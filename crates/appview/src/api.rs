@@ -1,0 +1,253 @@
+//! The AppView's public API.
+//!
+//! The AppView collates the data produced across the network and exposes it
+//! to clients (§2): profile views, feed-generator metadata
+//! (`getFeedGenerator`), and hydrated feeds (`getFeed`) that join a
+//! generator's skeleton with the post index. There is one Bluesky AppView,
+//! operated by Bluesky PBC; the study crawls exactly these endpoints (§3).
+
+use crate::index::{AppViewIndex, PostInfo};
+use bsky_atproto::error::{AtError, Result};
+use bsky_atproto::{AtUri, Did, Handle};
+use bsky_feedgen::FeedGenerator;
+
+/// Metadata returned by `app.bsky.feed.getFeedGenerator`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedGeneratorView {
+    /// The generator's `at://` URI.
+    pub uri: AtUri,
+    /// The creator account.
+    pub creator: Did,
+    /// Display name.
+    pub display_name: String,
+    /// Description.
+    pub description: String,
+    /// Like count.
+    pub like_count: u64,
+    /// Whether the AppView believes the generator's endpoint is online.
+    pub is_online: bool,
+    /// Whether the declaration record is valid.
+    pub is_valid: bool,
+}
+
+/// A profile view (`app.bsky.actor.getProfile`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileView {
+    /// The account DID.
+    pub did: Did,
+    /// Current handle.
+    pub handle: Handle,
+    /// Display name from the profile record, if any.
+    pub display_name: Option<String>,
+    /// Description from the profile record, if any.
+    pub description: Option<String>,
+    /// Followers count.
+    pub followers: u64,
+    /// Follows count.
+    pub follows: u64,
+    /// Posts count.
+    pub posts: u64,
+}
+
+/// The AppView service: the index plus API methods.
+#[derive(Debug, Clone, Default)]
+pub struct AppView {
+    index: AppViewIndex,
+    api_requests: u64,
+}
+
+impl AppView {
+    /// Create an empty AppView.
+    pub fn new() -> AppView {
+        AppView::default()
+    }
+
+    /// The underlying index (ingestion surface).
+    pub fn index(&self) -> &AppViewIndex {
+        &self.index
+    }
+
+    /// Mutable access to the underlying index (ingestion surface).
+    pub fn index_mut(&mut self) -> &mut AppViewIndex {
+        &mut self.index
+    }
+
+    /// `app.bsky.actor.getProfile`.
+    pub fn get_profile(&mut self, did: &Did) -> Result<ProfileView> {
+        self.api_requests += 1;
+        let actor = self
+            .index
+            .actor(did)
+            .ok_or_else(|| AtError::RepoError(format!("unknown actor {did}")))?;
+        if actor.deleted {
+            return Err(AtError::RepoError(format!("actor {did} deleted")));
+        }
+        Ok(ProfileView {
+            did: actor.did.clone(),
+            handle: actor.handle.clone(),
+            display_name: actor.profile.as_ref().map(|p| p.display_name.clone()),
+            description: actor.profile.as_ref().map(|p| p.description.clone()),
+            followers: actor.followers,
+            follows: actor.follows,
+            posts: actor.posts,
+        })
+    }
+
+    /// `app.bsky.feed.getFeedGenerator`.
+    pub fn get_feed_generator(&mut self, generator: &FeedGenerator) -> FeedGeneratorView {
+        self.api_requests += 1;
+        FeedGeneratorView {
+            uri: generator.uri().clone(),
+            creator: generator.creator().clone(),
+            display_name: generator.record().display_name.clone(),
+            description: generator.record().description.clone(),
+            like_count: generator.like_count(),
+            is_online: true,
+            is_valid: true,
+        }
+    }
+
+    /// `app.bsky.feed.getFeed`: ask the generator for its skeleton and
+    /// hydrate each URI from the post index. URIs the AppView cannot resolve
+    /// are silently dropped, as on the live network.
+    pub fn get_feed(
+        &mut self,
+        generator: &mut FeedGenerator,
+        limit: usize,
+        viewer: Option<&Did>,
+    ) -> Vec<PostInfo> {
+        self.api_requests += 1;
+        generator
+            .get_feed(limit, viewer)
+            .into_iter()
+            .filter_map(|entry| self.index.post(&entry.uri).cloned())
+            .collect()
+    }
+
+    /// Number of API requests served.
+    pub fn api_requests(&self) -> u64 {
+        self.api_requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::nsid::known;
+    use bsky_atproto::record::{FeedGeneratorRecord, PostRecord, ProfileRecord, Record};
+    use bsky_atproto::{Datetime, Nsid};
+    use bsky_feedgen::{CurationMode, FeedPipeline, RetentionPolicy};
+
+    fn now() -> Datetime {
+        Datetime::from_ymd_hms(2024, 4, 20, 12, 0, 0).unwrap()
+    }
+
+    fn did(name: &str) -> Did {
+        Did::plc_from_seed(name.as_bytes())
+    }
+
+    fn seeded_appview() -> (AppView, Did) {
+        let mut appview = AppView::new();
+        let alice = did("alice");
+        appview
+            .index_mut()
+            .upsert_actor(&alice, &Handle::parse("alice.bsky.social").unwrap());
+        appview.index_mut().index_record(
+            &alice,
+            &Nsid::parse(known::PROFILE).unwrap(),
+            "self",
+            &Record::Profile(ProfileRecord {
+                display_name: "Alice".into(),
+                description: "artist".into(),
+                has_avatar: true,
+                has_banner: true,
+                created_at: now(),
+            }),
+            now(),
+        );
+        for i in 0..5 {
+            appview.index_mut().index_record(
+                &alice,
+                &Nsid::parse(known::POST).unwrap(),
+                &format!("post{i:08}"),
+                &Record::Post(PostRecord::simple(
+                    &format!("post number {i}"),
+                    "en",
+                    now().plus_seconds(i as i64),
+                )),
+                now(),
+            );
+        }
+        (appview, alice)
+    }
+
+    #[test]
+    fn profile_view_reflects_index() {
+        let (mut appview, alice) = seeded_appview();
+        let profile = appview.get_profile(&alice).unwrap();
+        assert_eq!(profile.display_name.as_deref(), Some("Alice"));
+        assert_eq!(profile.posts, 5);
+        assert_eq!(profile.followers, 0);
+        assert!(appview.get_profile(&did("nobody")).is_err());
+        assert_eq!(appview.api_requests(), 2);
+    }
+
+    #[test]
+    fn get_feed_hydrates_skeleton() {
+        let (mut appview, alice) = seeded_appview();
+        let mut generator = FeedGenerator::new(
+            alice.clone(),
+            "everything",
+            FeedGeneratorRecord {
+                service_did: Did::web("skyfeed.example").unwrap(),
+                display_name: "everything".into(),
+                description: "all posts".into(),
+                created_at: now(),
+            },
+            CurationMode::Pipeline(FeedPipeline::everything()),
+            RetentionPolicy::All,
+        );
+        // Feed observes the same posts the AppView indexed, plus one the
+        // AppView does not know about (dropped on hydration).
+        for i in 0..5 {
+            let uri = AtUri::record(
+                alice.clone(),
+                Nsid::parse(known::POST).unwrap(),
+                format!("post{i:08}"),
+            );
+            generator.observe_post(
+                &uri,
+                &alice,
+                &PostRecord::simple(&format!("post number {i}"), "en", now().plus_seconds(i as i64)),
+                now(),
+            );
+        }
+        generator.curate_manually(
+            AtUri::record(alice.clone(), Nsid::parse(known::POST).unwrap(), "missing0001"),
+            now().plus_seconds(100),
+            now(),
+        );
+
+        let hydrated = appview.get_feed(&mut generator, 10, None);
+        assert_eq!(hydrated.len(), 5, "unresolvable URIs are dropped");
+        assert!(hydrated
+            .windows(2)
+            .all(|w| w[0].record.created_at >= w[1].record.created_at));
+
+        let view = appview.get_feed_generator(&generator);
+        assert_eq!(view.display_name, "everything");
+        assert!(view.is_online && view.is_valid);
+        assert_eq!(view.creator, alice);
+    }
+
+    #[test]
+    fn deleted_actors_have_no_profile() {
+        let (mut appview, alice) = seeded_appview();
+        appview.index_mut().process_event(&bsky_atproto::firehose::Event {
+            seq: 1,
+            time: now(),
+            body: bsky_atproto::firehose::EventBody::Tombstone { did: alice.clone() },
+        });
+        assert!(appview.get_profile(&alice).is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! The AppView's indices.
+//!
+//! The AppView consumes the firehose and the label streams, stores everything
+//! in queryable indices, and serves the client-facing API (§2). These indices
+//! are also what the measurement pipeline's AppView-based endpoints
+//! (`getFeedGenerator`, `getFeed`) read from.
+
+use bsky_atproto::firehose::{Event, EventBody};
+use bsky_atproto::label::{Label, LabelTarget};
+use bsky_atproto::record::{PostRecord, ProfileRecord, Record};
+use bsky_atproto::{AtUri, Datetime, Did, Handle, Nsid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Indexed information about a post.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostInfo {
+    /// The post's `at://` URI.
+    pub uri: AtUri,
+    /// The author.
+    pub author: Did,
+    /// The record contents.
+    pub record: PostRecord,
+    /// When the AppView indexed it.
+    pub indexed_at: Datetime,
+    /// Likes counted so far.
+    pub like_count: u64,
+    /// Reposts counted so far.
+    pub repost_count: u64,
+    /// Labels currently applied (source DID, value).
+    pub labels: Vec<(Did, String)>,
+}
+
+/// Indexed information about an actor (account).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorInfo {
+    /// The account DID.
+    pub did: Did,
+    /// Current handle.
+    pub handle: Handle,
+    /// Profile record, if one was published.
+    pub profile: Option<ProfileRecord>,
+    /// Number of accounts this actor follows.
+    pub follows: u64,
+    /// Number of accounts following this actor.
+    pub followers: u64,
+    /// Number of posts indexed for this actor.
+    pub posts: u64,
+    /// Number of block operations targeting this actor.
+    pub blocked_by: u64,
+    /// Labels applied to the whole account.
+    pub account_labels: Vec<(Did, String)>,
+    /// Whether the account has been tombstoned.
+    pub deleted: bool,
+}
+
+/// The AppView's combined index.
+#[derive(Debug, Clone, Default)]
+pub struct AppViewIndex {
+    posts: BTreeMap<String, PostInfo>,
+    actors: BTreeMap<String, ActorInfo>,
+    follow_edges: BTreeSet<(String, String)>,
+    block_edges: BTreeSet<(String, String)>,
+    events_processed: u64,
+    records_indexed: u64,
+    labels_ingested: u64,
+}
+
+impl AppViewIndex {
+    /// Create an empty index.
+    pub fn new() -> AppViewIndex {
+        AppViewIndex::default()
+    }
+
+    /// Register an account (from an identity event or backfill).
+    pub fn upsert_actor(&mut self, did: &Did, handle: &Handle) {
+        let key = did.to_string();
+        self.actors
+            .entry(key)
+            .and_modify(|a| a.handle = handle.clone())
+            .or_insert_with(|| ActorInfo {
+                did: did.clone(),
+                handle: handle.clone(),
+                profile: None,
+                follows: 0,
+                followers: 0,
+                posts: 0,
+                blocked_by: 0,
+                account_labels: Vec::new(),
+                deleted: false,
+            });
+    }
+
+    /// Index a record authored by `author` (the content counterpart of a
+    /// firehose commit op).
+    pub fn index_record(
+        &mut self,
+        author: &Did,
+        collection: &Nsid,
+        rkey: &str,
+        record: &Record,
+        at: Datetime,
+    ) {
+        self.records_indexed += 1;
+        let author_key = author.to_string();
+        match record {
+            Record::Post(post) => {
+                let uri = AtUri::record(author.clone(), collection.clone(), rkey);
+                self.posts.insert(
+                    uri.to_string(),
+                    PostInfo {
+                        uri,
+                        author: author.clone(),
+                        record: post.clone(),
+                        indexed_at: at,
+                        like_count: 0,
+                        repost_count: 0,
+                        labels: Vec::new(),
+                    },
+                );
+                if let Some(actor) = self.actors.get_mut(&author_key) {
+                    actor.posts += 1;
+                }
+            }
+            Record::Like(like) => {
+                if let Some(post) = self.posts.get_mut(&like.subject.to_string()) {
+                    post.like_count += 1;
+                }
+            }
+            Record::Repost(repost) => {
+                if let Some(post) = self.posts.get_mut(&repost.subject.to_string()) {
+                    post.repost_count += 1;
+                }
+            }
+            Record::Follow(follow) => {
+                let edge = (author_key.clone(), follow.subject.to_string());
+                if self.follow_edges.insert(edge) {
+                    if let Some(actor) = self.actors.get_mut(&author_key) {
+                        actor.follows += 1;
+                    }
+                    if let Some(target) = self.actors.get_mut(&follow.subject.to_string()) {
+                        target.followers += 1;
+                    }
+                }
+            }
+            Record::Block(block) => {
+                let edge = (author_key.clone(), block.subject.to_string());
+                if self.block_edges.insert(edge) {
+                    if let Some(target) = self.actors.get_mut(&block.subject.to_string()) {
+                        target.blocked_by += 1;
+                    }
+                }
+            }
+            Record::Profile(profile) => {
+                if let Some(actor) = self.actors.get_mut(&author_key) {
+                    actor.profile = Some(profile.clone());
+                }
+            }
+            // Feed generator and labeler declarations are tracked by their
+            // dedicated registries; unknown lexicons are not indexed by the
+            // Bluesky AppView (it cannot decode them, §4).
+            Record::FeedGenerator(_) | Record::LabelerService(_) | Record::Unknown(_) => {}
+        }
+    }
+
+    /// Remove a post from the index (a delete op).
+    pub fn remove_post(&mut self, uri: &AtUri) {
+        if let Some(info) = self.posts.remove(&uri.to_string()) {
+            if let Some(actor) = self.actors.get_mut(&info.author.to_string()) {
+                actor.posts = actor.posts.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Process a firehose event's non-content effects (handle changes,
+    /// identity updates, tombstones).
+    pub fn process_event(&mut self, event: &Event) {
+        self.events_processed += 1;
+        match &event.body {
+            EventBody::HandleChange { did, handle } => {
+                self.upsert_actor(did, handle);
+            }
+            EventBody::Tombstone { did } => {
+                if let Some(actor) = self.actors.get_mut(&did.to_string()) {
+                    actor.deleted = true;
+                }
+                // Purge the account's posts.
+                let prefix = format!("at://{did}/");
+                let to_remove: Vec<String> = self
+                    .posts
+                    .range(prefix.clone()..format!("{prefix}\u{10FFFF}"))
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for key in to_remove {
+                    self.posts.remove(&key);
+                }
+            }
+            EventBody::Commit { .. } | EventBody::Identity { .. } | EventBody::Info { .. } => {}
+        }
+    }
+
+    /// Ingest a label from a labeler stream, applying or rescinding it.
+    pub fn ingest_label(&mut self, label: &Label) {
+        self.labels_ingested += 1;
+        let entry = (label.src.clone(), label.value.clone());
+        match &label.target {
+            LabelTarget::Record(uri) => {
+                if let Some(post) = self.posts.get_mut(&uri.to_string()) {
+                    if label.negated {
+                        post.labels.retain(|e| e != &entry);
+                    } else if !post.labels.contains(&entry) {
+                        post.labels.push(entry);
+                    }
+                }
+            }
+            LabelTarget::Account(did) | LabelTarget::ProfileMedia(did) => {
+                if let Some(actor) = self.actors.get_mut(&did.to_string()) {
+                    if label.negated {
+                        actor.account_labels.retain(|e| e != &entry);
+                    } else if !actor.account_labels.contains(&entry) {
+                        actor.account_labels.push(entry);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Look up a post.
+    pub fn post(&self, uri: &AtUri) -> Option<&PostInfo> {
+        self.posts.get(&uri.to_string())
+    }
+
+    /// Look up an actor.
+    pub fn actor(&self, did: &Did) -> Option<&ActorInfo> {
+        self.actors.get(&did.to_string())
+    }
+
+    /// Whether `a` follows `b`.
+    pub fn follows(&self, a: &Did, b: &Did) -> bool {
+        self.follow_edges.contains(&(a.to_string(), b.to_string()))
+    }
+
+    /// Whether `a` blocks `b`.
+    pub fn blocks(&self, a: &Did, b: &Did) -> bool {
+        self.block_edges.contains(&(a.to_string(), b.to_string()))
+    }
+
+    /// Number of indexed posts.
+    pub fn post_count(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Number of known actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of follow edges.
+    pub fn follow_edge_count(&self) -> usize {
+        self.follow_edges.len()
+    }
+
+    /// Iterate all posts.
+    pub fn posts(&self) -> impl Iterator<Item = &PostInfo> {
+        self.posts.values()
+    }
+
+    /// Iterate all actors.
+    pub fn actors(&self) -> impl Iterator<Item = &ActorInfo> {
+        self.actors.values()
+    }
+
+    /// Total labels ingested (including negations).
+    pub fn labels_ingested(&self) -> u64 {
+        self.labels_ingested
+    }
+
+    /// Total records indexed.
+    pub fn records_indexed(&self) -> u64 {
+        self.records_indexed
+    }
+
+    /// Total firehose events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The most recent posts by accounts `viewer` follows (a simple
+    /// "following" timeline).
+    pub fn following_timeline(&self, viewer: &Did, limit: usize) -> Vec<&PostInfo> {
+        let mut posts: Vec<&PostInfo> = self
+            .posts
+            .values()
+            .filter(|p| self.follows(viewer, &p.author))
+            .collect();
+        posts.sort_by(|a, b| b.record.created_at.cmp(&a.record.created_at));
+        posts.truncate(limit);
+        posts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::nsid::known;
+    use bsky_atproto::record::{FollowRecord, LikeRecord};
+
+    fn now() -> Datetime {
+        Datetime::from_ymd_hms(2024, 4, 15, 9, 0, 0).unwrap()
+    }
+
+    fn did(name: &str) -> Did {
+        Did::plc_from_seed(name.as_bytes())
+    }
+
+    fn post_nsid() -> Nsid {
+        Nsid::parse(known::POST).unwrap()
+    }
+
+    fn setup() -> (AppViewIndex, Did, Did, AtUri) {
+        let mut index = AppViewIndex::new();
+        let alice = did("alice");
+        let bob = did("bob");
+        index.upsert_actor(&alice, &Handle::parse("alice.bsky.social").unwrap());
+        index.upsert_actor(&bob, &Handle::parse("bob.bsky.social").unwrap());
+        index.index_record(
+            &alice,
+            &post_nsid(),
+            "post00000001",
+            &Record::Post(PostRecord::simple("hello world", "en", now())),
+            now(),
+        );
+        let uri = AtUri::record(alice.clone(), post_nsid(), "post00000001");
+        (index, alice, bob, uri)
+    }
+
+    #[test]
+    fn posts_likes_reposts_follows_blocks() {
+        let (mut index, alice, bob, uri) = setup();
+        assert_eq!(index.post_count(), 1);
+        assert_eq!(index.actor(&alice).unwrap().posts, 1);
+
+        index.index_record(
+            &bob,
+            &Nsid::parse(known::LIKE).unwrap(),
+            "like00000001",
+            &Record::Like(LikeRecord {
+                subject: uri.clone(),
+                created_at: now(),
+            }),
+            now(),
+        );
+        index.index_record(
+            &bob,
+            &Nsid::parse(known::FOLLOW).unwrap(),
+            "follow0000001",
+            &Record::Follow(FollowRecord {
+                subject: alice.clone(),
+                created_at: now(),
+            }),
+            now(),
+        );
+        assert_eq!(index.post(&uri).unwrap().like_count, 1);
+        assert!(index.follows(&bob, &alice));
+        assert!(!index.follows(&alice, &bob));
+        assert_eq!(index.actor(&alice).unwrap().followers, 1);
+        assert_eq!(index.actor(&bob).unwrap().follows, 1);
+
+        // Duplicate follow records do not double-count.
+        index.index_record(
+            &bob,
+            &Nsid::parse(known::FOLLOW).unwrap(),
+            "follow0000002",
+            &Record::Follow(FollowRecord {
+                subject: alice.clone(),
+                created_at: now(),
+            }),
+            now(),
+        );
+        assert_eq!(index.actor(&alice).unwrap().followers, 1);
+
+        index.index_record(
+            &alice,
+            &Nsid::parse(known::BLOCK).unwrap(),
+            "block0000001",
+            &Record::Block(bsky_atproto::record::BlockRecord {
+                subject: bob.clone(),
+                created_at: now(),
+            }),
+            now(),
+        );
+        assert!(index.blocks(&alice, &bob));
+        assert_eq!(index.actor(&bob).unwrap().blocked_by, 1);
+        assert_eq!(index.records_indexed(), 5);
+    }
+
+    #[test]
+    fn labels_apply_and_rescind() {
+        let (mut index, _alice, _bob, uri) = setup();
+        let labeler = did("labeler");
+        let label = Label::new(
+            labeler.clone(),
+            LabelTarget::Record(uri.clone()),
+            "porn",
+            now(),
+        )
+        .unwrap();
+        index.ingest_label(&label);
+        assert_eq!(index.post(&uri).unwrap().labels.len(), 1);
+        // Duplicate application is idempotent.
+        index.ingest_label(&label);
+        assert_eq!(index.post(&uri).unwrap().labels.len(), 1);
+        index.ingest_label(&label.negation(now()));
+        assert!(index.post(&uri).unwrap().labels.is_empty());
+        assert_eq!(index.labels_ingested(), 3);
+
+        // Account-level labels.
+        let account_label = Label::new(
+            labeler,
+            LabelTarget::Account(did("alice")),
+            "spam",
+            now(),
+        )
+        .unwrap();
+        index.ingest_label(&account_label);
+        assert_eq!(index.actor(&did("alice")).unwrap().account_labels.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_purges_posts() {
+        let (mut index, alice, _bob, uri) = setup();
+        let event = Event {
+            seq: 1,
+            time: now(),
+            body: EventBody::Tombstone { did: alice.clone() },
+        };
+        index.process_event(&event);
+        assert!(index.post(&uri).is_none());
+        assert!(index.actor(&alice).unwrap().deleted);
+        assert_eq!(index.events_processed(), 1);
+    }
+
+    #[test]
+    fn handle_change_events_update_actors() {
+        let (mut index, alice, _bob, _uri) = setup();
+        index.process_event(&Event {
+            seq: 2,
+            time: now(),
+            body: EventBody::HandleChange {
+                did: alice.clone(),
+                handle: Handle::parse("alice.example.com").unwrap(),
+            },
+        });
+        assert_eq!(
+            index.actor(&alice).unwrap().handle.as_str(),
+            "alice.example.com"
+        );
+    }
+
+    #[test]
+    fn remove_post_and_timeline() {
+        let (mut index, alice, bob, uri) = setup();
+        index.index_record(
+            &bob,
+            &Nsid::parse(known::FOLLOW).unwrap(),
+            "f1",
+            &Record::Follow(FollowRecord {
+                subject: alice.clone(),
+                created_at: now(),
+            }),
+            now(),
+        );
+        // Bob follows Alice, so Bob's timeline shows Alice's post.
+        let timeline = index.following_timeline(&bob, 10);
+        assert_eq!(timeline.len(), 1);
+        // Alice follows nobody.
+        assert!(index.following_timeline(&alice, 10).is_empty());
+        index.remove_post(&uri);
+        assert_eq!(index.post_count(), 0);
+        assert_eq!(index.actor(&alice).unwrap().posts, 0);
+        assert!(index.following_timeline(&bob, 10).is_empty());
+    }
+}

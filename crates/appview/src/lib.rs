@@ -1,0 +1,23 @@
+//! # bsky-appview
+//!
+//! The AppView: the centralized component that collates network data into a
+//! client-usable form (§2 of the paper).
+//!
+//! * [`index`] — post/actor/graph indices fed by the firehose and label
+//!   streams.
+//! * [`moderation`] — combining labels with per-user preferences into
+//!   show/warn/hide decisions, including reserved-label and adult-content
+//!   hardcoded behaviour.
+//! * [`api`] — the public API surface the study crawls: `getProfile`,
+//!   `getFeedGenerator`, `getFeed`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod index;
+pub mod moderation;
+
+pub use api::{AppView, FeedGeneratorView, ProfileView};
+pub use index::{ActorInfo, AppViewIndex, PostInfo};
+pub use moderation::{decide_post_visibility, summarize_feed_visibility, Visibility};

@@ -1,0 +1,203 @@
+//! `at://` URIs identifying records within the network.
+//!
+//! Records are addressed as `at://<did>/<collection>/<rkey>`, e.g.
+//! `at://did:plc:.../app.bsky.feed.post/3kdgeujwlq32y` (§2). Feed generators
+//! return lists of such URIs; the feed-post dataset joins them back to the
+//! repository dataset (§3).
+
+use crate::did::Did;
+use crate::error::{AtError, Result};
+use crate::nsid::Nsid;
+use std::fmt;
+
+/// A parsed `at://` URI.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtUri {
+    did: Did,
+    collection: Option<Nsid>,
+    rkey: Option<String>,
+}
+
+impl AtUri {
+    /// URI of an entire repository (`at://<did>`).
+    pub fn repo(did: Did) -> AtUri {
+        AtUri {
+            did,
+            collection: None,
+            rkey: None,
+        }
+    }
+
+    /// URI of a record.
+    pub fn record(did: Did, collection: Nsid, rkey: impl Into<String>) -> AtUri {
+        AtUri {
+            did,
+            collection: Some(collection),
+            rkey: Some(rkey.into()),
+        }
+    }
+
+    /// Parse an `at://` URI string.
+    pub fn parse(s: &str) -> Result<AtUri> {
+        let rest = s
+            .strip_prefix("at://")
+            .ok_or_else(|| AtError::InvalidAtUri(s.to_string()))?;
+        let mut parts = rest.splitn(3, '/');
+        let did_str = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| AtError::InvalidAtUri(s.to_string()))?;
+        let did = Did::parse(did_str).map_err(|_| AtError::InvalidAtUri(s.to_string()))?;
+        let collection = match parts.next() {
+            Some(c) if !c.is_empty() => {
+                Some(Nsid::parse(c).map_err(|_| AtError::InvalidAtUri(s.to_string()))?)
+            }
+            Some(_) => return Err(AtError::InvalidAtUri(s.to_string())),
+            None => None,
+        };
+        let rkey = match parts.next() {
+            Some(r) if !r.is_empty() => {
+                if !r
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.' || b == b'_')
+                {
+                    return Err(AtError::InvalidAtUri(s.to_string()));
+                }
+                Some(r.to_string())
+            }
+            Some(_) => return Err(AtError::InvalidAtUri(s.to_string())),
+            None => None,
+        };
+        if collection.is_none() && rkey.is_some() {
+            return Err(AtError::InvalidAtUri(s.to_string()));
+        }
+        Ok(AtUri {
+            did,
+            collection,
+            rkey,
+        })
+    }
+
+    /// The repository owner.
+    pub fn did(&self) -> &Did {
+        &self.did
+    }
+
+    /// The collection NSID, if this URI points at a record or collection.
+    pub fn collection(&self) -> Option<&Nsid> {
+        self.collection.as_ref()
+    }
+
+    /// The record key, if this URI points at a record.
+    pub fn rkey(&self) -> Option<&str> {
+        self.rkey.as_deref()
+    }
+
+    /// Whether this URI points at a single record.
+    pub fn is_record(&self) -> bool {
+        self.collection.is_some() && self.rkey.is_some()
+    }
+
+    /// The repository-internal key `<collection>/<rkey>`, if a record URI.
+    pub fn repo_key(&self) -> Option<String> {
+        match (&self.collection, &self.rkey) {
+            (Some(c), Some(r)) => Some(format!("{c}/{r}")),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AtUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at://{}", self.did)?;
+        if let Some(c) = &self.collection {
+            write!(f, "/{c}")?;
+        }
+        if let Some(r) = &self.rkey {
+            write!(f, "/{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AtUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AtUri({self})")
+    }
+}
+
+impl std::str::FromStr for AtUri {
+    type Err = AtError;
+    fn from_str(s: &str) -> Result<AtUri> {
+        AtUri::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nsid::known;
+
+    fn did() -> Did {
+        Did::plc_from_seed(b"alice")
+    }
+
+    #[test]
+    fn record_uri_roundtrip() {
+        let uri = AtUri::record(did(), Nsid::parse(known::POST).unwrap(), "3kdgeujwlq32y");
+        let s = uri.to_string();
+        assert!(s.starts_with("at://did:plc:"));
+        assert!(s.ends_with("/app.bsky.feed.post/3kdgeujwlq32y"));
+        let parsed = AtUri::parse(&s).unwrap();
+        assert_eq!(parsed, uri);
+        assert!(parsed.is_record());
+        assert_eq!(
+            parsed.repo_key().unwrap(),
+            "app.bsky.feed.post/3kdgeujwlq32y"
+        );
+    }
+
+    #[test]
+    fn repo_uri() {
+        let uri = AtUri::repo(did());
+        assert!(!uri.is_record());
+        assert!(uri.repo_key().is_none());
+        let parsed = AtUri::parse(&uri.to_string()).unwrap();
+        assert_eq!(parsed, uri);
+    }
+
+    #[test]
+    fn collection_only_uri() {
+        let s = format!("at://{}/app.bsky.feed.post", did());
+        let uri = AtUri::parse(&s).unwrap();
+        assert!(uri.collection().is_some());
+        assert!(uri.rkey().is_none());
+        assert!(!uri.is_record());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        for s in [
+            "",
+            "http://example.com",
+            "at://",
+            "at://notadid/app.bsky.feed.post/abc",
+            "at://did:plc:ewvi7nxzyoun6zhxrhs64oiz//abc",
+            "at://did:plc:ewvi7nxzyoun6zhxrhs64oiz/notansid/abc",
+            "at://did:plc:ewvi7nxzyoun6zhxrhs64oiz/app.bsky.feed.post/bad key",
+        ] {
+            assert!(AtUri::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn web_did_uris_work() {
+        let uri = AtUri::record(
+            Did::web("blog.example.org").unwrap(),
+            Nsid::parse(known::WHTWND_ENTRY).unwrap(),
+            "entry1",
+        );
+        let parsed = AtUri::parse(&uri.to_string()).unwrap();
+        assert_eq!(parsed.did().to_string(), "did:web:blog.example.org");
+    }
+}

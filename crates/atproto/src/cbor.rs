@@ -1,0 +1,542 @@
+//! A DAG-CBOR subset encoder/decoder.
+//!
+//! All Bluesky records are encoded as CBOR (§2, "User Data Repositories").
+//! This module implements the deterministic subset DAG-CBOR prescribes:
+//! definite-length items only, canonical map-key ordering (shorter keys first,
+//! then bytewise), 64-bit integers, UTF-8 strings, byte strings, arrays, maps,
+//! booleans, null, and CID links (encoded as tag 42 over the binary CID with a
+//! multibase-identity prefix byte, matching the IPLD convention).
+
+use crate::cid::Cid;
+use crate::error::{AtError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A CBOR data model value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed 64-bit integer (covers both CBOR major types 0 and 1).
+    Int(i64),
+    /// UTF-8 text string.
+    Text(String),
+    /// Raw byte string.
+    Bytes(Vec<u8>),
+    /// Array of values.
+    Array(Vec<Value>),
+    /// String-keyed map.
+    Map(BTreeMap<String, Value>),
+    /// An IPLD link to another block.
+    Link(Cid),
+}
+
+impl Value {
+    /// Build a map from an iterator of pairs.
+    pub fn map<I, K>(pairs: I) -> Value
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Text helper.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Get a map field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Interpret as text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret as integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interpret as boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a link.
+    pub fn as_link(&self) -> Option<&Cid> {
+        match self {
+            Value::Link(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a map.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::Array(a) => write!(f, "array[{}]", a.len()),
+            Value::Map(m) => write!(f, "map[{}]", m.len()),
+            Value::Link(c) => write!(f, "link({c})"),
+        }
+    }
+}
+
+const MAJOR_UINT: u8 = 0;
+const MAJOR_NEGINT: u8 = 1;
+const MAJOR_BYTES: u8 = 2;
+const MAJOR_TEXT: u8 = 3;
+const MAJOR_ARRAY: u8 = 4;
+const MAJOR_MAP: u8 = 5;
+const MAJOR_TAG: u8 = 6;
+const MAJOR_SIMPLE: u8 = 7;
+const TAG_CID: u64 = 42;
+
+/// Encode a value to DAG-CBOR bytes.
+pub fn encode(value: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_into(value, &mut out);
+    out
+}
+
+fn write_head(major: u8, arg: u64, out: &mut Vec<u8>) {
+    let mt = major << 5;
+    if arg < 24 {
+        out.push(mt | arg as u8);
+    } else if arg <= u8::MAX as u64 {
+        out.push(mt | 24);
+        out.push(arg as u8);
+    } else if arg <= u16::MAX as u64 {
+        out.push(mt | 25);
+        out.extend_from_slice(&(arg as u16).to_be_bytes());
+    } else if arg <= u32::MAX as u64 {
+        out.push(mt | 26);
+        out.extend_from_slice(&(arg as u32).to_be_bytes());
+    } else {
+        out.push(mt | 27);
+        out.extend_from_slice(&arg.to_be_bytes());
+    }
+}
+
+fn encode_into(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push((MAJOR_SIMPLE << 5) | 22),
+        Value::Bool(false) => out.push((MAJOR_SIMPLE << 5) | 20),
+        Value::Bool(true) => out.push((MAJOR_SIMPLE << 5) | 21),
+        Value::Int(i) => {
+            if *i >= 0 {
+                write_head(MAJOR_UINT, *i as u64, out);
+            } else {
+                write_head(MAJOR_NEGINT, (-1 - *i) as u64, out);
+            }
+        }
+        Value::Text(s) => {
+            write_head(MAJOR_TEXT, s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            write_head(MAJOR_BYTES, b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::Array(items) => {
+            write_head(MAJOR_ARRAY, items.len() as u64, out);
+            for item in items {
+                encode_into(item, out);
+            }
+        }
+        Value::Map(map) => {
+            write_head(MAJOR_MAP, map.len() as u64, out);
+            // DAG-CBOR canonical ordering: length first, then bytewise.
+            let mut keys: Vec<&String> = map.keys().collect();
+            keys.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+            for key in keys {
+                write_head(MAJOR_TEXT, key.len() as u64, out);
+                out.extend_from_slice(key.as_bytes());
+                encode_into(&map[key], out);
+            }
+        }
+        Value::Link(cid) => {
+            write_head(MAJOR_TAG, TAG_CID, out);
+            let bytes = cid.to_bytes();
+            // Multibase identity prefix (0x00) per the DAG-CBOR CID convention.
+            write_head(MAJOR_BYTES, (bytes.len() + 1) as u64, out);
+            out.push(0x00);
+            out.extend_from_slice(&bytes);
+        }
+    }
+}
+
+/// Decode DAG-CBOR bytes into a value, requiring that the whole input is
+/// consumed.
+pub fn decode(bytes: &[u8]) -> Result<Value> {
+    let mut reader = Reader { bytes, pos: 0 };
+    let value = reader.read_value(0)?;
+    if reader.pos != bytes.len() {
+        return Err(AtError::CborDecode(format!(
+            "{} trailing bytes",
+            bytes.len() - reader.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 64;
+
+impl<'a> Reader<'a> {
+    fn read_byte(&mut self) -> Result<u8> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| AtError::CborDecode("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn read_slice(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.pos + len > self.bytes.len() {
+            return Err(AtError::CborDecode("unexpected end of input".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn read_arg(&mut self, info: u8) -> Result<u64> {
+        match info {
+            0..=23 => Ok(info as u64),
+            24 => Ok(self.read_byte()? as u64),
+            25 => {
+                let s = self.read_slice(2)?;
+                Ok(u16::from_be_bytes([s[0], s[1]]) as u64)
+            }
+            26 => {
+                let s = self.read_slice(4)?;
+                Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]) as u64)
+            }
+            27 => {
+                let s = self.read_slice(8)?;
+                Ok(u64::from_be_bytes([
+                    s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+                ]))
+            }
+            _ => Err(AtError::CborDecode(format!(
+                "indefinite-length or reserved additional info {info}"
+            ))),
+        }
+    }
+
+    fn read_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(AtError::CborDecode("nesting too deep".into()));
+        }
+        let initial = self.read_byte()?;
+        let major = initial >> 5;
+        let info = initial & 0x1f;
+        match major {
+            MAJOR_UINT => {
+                let v = self.read_arg(info)?;
+                if v > i64::MAX as u64 {
+                    return Err(AtError::CborDecode("integer out of range".into()));
+                }
+                Ok(Value::Int(v as i64))
+            }
+            MAJOR_NEGINT => {
+                let v = self.read_arg(info)?;
+                if v >= i64::MAX as u64 {
+                    return Err(AtError::CborDecode("integer out of range".into()));
+                }
+                Ok(Value::Int(-1 - v as i64))
+            }
+            MAJOR_BYTES => {
+                let len = self.read_arg(info)? as usize;
+                Ok(Value::Bytes(self.read_slice(len)?.to_vec()))
+            }
+            MAJOR_TEXT => {
+                let len = self.read_arg(info)? as usize;
+                let s = std::str::from_utf8(self.read_slice(len)?)
+                    .map_err(|_| AtError::CborDecode("invalid UTF-8 in text string".into()))?;
+                Ok(Value::Text(s.to_string()))
+            }
+            MAJOR_ARRAY => {
+                let len = self.read_arg(info)? as usize;
+                if len > self.bytes.len() {
+                    return Err(AtError::CborDecode("array length exceeds input".into()));
+                }
+                let mut items = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    items.push(self.read_value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            MAJOR_MAP => {
+                let len = self.read_arg(info)? as usize;
+                if len > self.bytes.len() {
+                    return Err(AtError::CborDecode("map length exceeds input".into()));
+                }
+                let mut map = BTreeMap::new();
+                for _ in 0..len {
+                    let key = match self.read_value(depth + 1)? {
+                        Value::Text(s) => s,
+                        other => {
+                            return Err(AtError::CborDecode(format!(
+                                "non-text map key: {other}"
+                            )))
+                        }
+                    };
+                    let value = self.read_value(depth + 1)?;
+                    if map.insert(key.clone(), value).is_some() {
+                        return Err(AtError::CborDecode(format!("duplicate map key {key:?}")));
+                    }
+                }
+                Ok(Value::Map(map))
+            }
+            MAJOR_TAG => {
+                let tag = self.read_arg(info)?;
+                if tag != TAG_CID {
+                    return Err(AtError::CborDecode(format!("unsupported tag {tag}")));
+                }
+                let inner = self.read_value(depth + 1)?;
+                match inner {
+                    Value::Bytes(b) if !b.is_empty() && b[0] == 0x00 => {
+                        Ok(Value::Link(Cid::from_bytes(&b[1..]).map_err(|e| {
+                            AtError::CborDecode(format!("bad CID in link: {e}"))
+                        })?))
+                    }
+                    _ => Err(AtError::CborDecode("tag 42 must wrap identity CID bytes".into())),
+                }
+            }
+            MAJOR_SIMPLE => match info {
+                20 => Ok(Value::Bool(false)),
+                21 => Ok(Value::Bool(true)),
+                22 => Ok(Value::Null),
+                _ => Err(AtError::CborDecode(format!(
+                    "unsupported simple value {info}"
+                ))),
+            },
+            _ => unreachable!("major type is 3 bits"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::to_hex;
+
+    fn roundtrip(v: &Value) -> Value {
+        decode(&encode(v)).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(23),
+            Value::Int(24),
+            Value::Int(255),
+            Value::Int(256),
+            Value::Int(65_536),
+            Value::Int(4_294_967_296),
+            Value::Int(-1),
+            Value::Int(-24),
+            Value::Int(-25),
+            Value::Int(-1_000_000),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN + 1),
+            Value::text(""),
+            Value::text("hello"),
+            Value::text("日本語のポスト"),
+            Value::Bytes(vec![]),
+            Value::Bytes(vec![1, 2, 3, 255]),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn known_encodings_match_rfc8949() {
+        // Selected RFC 8949 appendix A vectors.
+        assert_eq!(to_hex(&encode(&Value::Int(0))), "00");
+        assert_eq!(to_hex(&encode(&Value::Int(10))), "0a");
+        assert_eq!(to_hex(&encode(&Value::Int(100))), "1864");
+        assert_eq!(to_hex(&encode(&Value::Int(1000))), "1903e8");
+        assert_eq!(to_hex(&encode(&Value::Int(-10))), "29");
+        assert_eq!(to_hex(&encode(&Value::Int(-100))), "3863");
+        assert_eq!(to_hex(&encode(&Value::text("a"))), "6161");
+        assert_eq!(to_hex(&encode(&Value::text("IETF"))), "6449455446");
+        assert_eq!(to_hex(&encode(&Value::Bool(true))), "f5");
+        assert_eq!(to_hex(&encode(&Value::Null)), "f6");
+        assert_eq!(
+            to_hex(&encode(&Value::Array(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))),
+            "83010203"
+        );
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let post = Value::map([
+            ("$type", Value::text("app.bsky.feed.post")),
+            ("text", Value::text("Hello from the blue skies")),
+            ("createdAt", Value::text("2024-04-24T13:05:09Z")),
+            (
+                "langs",
+                Value::Array(vec![Value::text("en"), Value::text("pt")]),
+            ),
+            (
+                "embed",
+                Value::map([
+                    ("imageCount", Value::Int(2)),
+                    ("alt", Value::Null),
+                    ("link", Value::Link(Cid::for_raw(b"image-bytes"))),
+                ]),
+            ),
+        ]);
+        assert_eq!(roundtrip(&post), post);
+    }
+
+    #[test]
+    fn map_keys_are_canonically_ordered() {
+        // "aa" (len 2) must sort before "b"? No: DAG-CBOR orders by length
+        // first, so "b" (len 1) precedes "aa" (len 2).
+        let v = Value::map([("aa", Value::Int(1)), ("b", Value::Int(2))]);
+        let bytes = encode(&v);
+        // map(2), text(1) 'b', 02, text(2) 'aa', 01
+        assert_eq!(to_hex(&bytes), "a261620262616101");
+        // Encoding is independent of insertion order.
+        let v2 = Value::map([("b", Value::Int(2)), ("aa", Value::Int(1))]);
+        assert_eq!(encode(&v2), bytes);
+    }
+
+    #[test]
+    fn link_roundtrip() {
+        let cid = Cid::for_cbor(b"a block");
+        let v = Value::map([("root", Value::Link(cid))]);
+        let back = roundtrip(&v);
+        assert_eq!(back.get("root").unwrap().as_link().unwrap(), &cid);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        // Truncated text string.
+        assert!(decode(&[0x65, b'a', b'b']).is_err());
+        // Indefinite-length array.
+        assert!(decode(&[0x9f, 0x01, 0xff]).is_err());
+        // Duplicate map keys.
+        assert!(decode(&[0xa2, 0x61, b'a', 0x01, 0x61, b'a', 0x02]).is_err());
+        // Non-text map key.
+        assert!(decode(&[0xa1, 0x01, 0x01]).is_err());
+        // Unknown tag.
+        assert!(decode(&[0xc1, 0x01]).is_err());
+        // Trailing garbage.
+        assert!(decode(&[0x01, 0x02]).is_err());
+        // Float (major 7, info 27) unsupported in our DAG-CBOR subset.
+        assert!(decode(&[0xfb, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Absurd claimed array length.
+        assert!(decode(&[0x9a, 0xff, 0xff, 0xff, 0xff]).is_err());
+        // Empty input.
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let mut bytes = vec![0x81u8; 100]; // 100 nested single-element arrays...
+        bytes.push(0x01); // ...terminating in the int 1
+        assert!(decode(&bytes).is_err());
+        let mut ok_bytes = vec![0x81u8; 10];
+        ok_bytes.push(0x01);
+        assert!(decode(&ok_bytes).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_filter("avoid i64::MIN", |v| *v != i64::MIN).prop_map(Value::Int),
+            "[a-zA-Z0-9 ]{0,24}".prop_map(Value::text),
+            proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+            proptest::collection::vec(any::<u8>(), 0..24)
+                .prop_map(|b| Value::Link(Cid::for_cbor(&b))),
+        ];
+        leaf.prop_recursive(3, 32, 6, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+                proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Map),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(v in arb_value()) {
+            let bytes = encode(&v);
+            let back = decode(&bytes).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn encoding_is_deterministic(v in arb_value()) {
+            prop_assert_eq!(encode(&v), encode(&v));
+        }
+    }
+}

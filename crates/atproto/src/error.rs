@@ -1,0 +1,91 @@
+//! Error types shared by the ATProto data model.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AtError>;
+
+/// Errors produced while parsing, encoding or manipulating ATProto data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtError {
+    /// A DID string did not match `did:<method>:<identifier>` or used an
+    /// unsupported method.
+    InvalidDid(String),
+    /// A handle was not a valid fully-qualified domain name.
+    InvalidHandle(String),
+    /// An NSID did not follow the reverse-DNS naming rules.
+    InvalidNsid(String),
+    /// A TID was not 13 base32-sortable characters.
+    InvalidTid(String),
+    /// An `at://` URI could not be parsed.
+    InvalidAtUri(String),
+    /// A CID string or byte representation was malformed.
+    InvalidCid(String),
+    /// CBOR encoding failed (e.g. unsupported float payload).
+    CborEncode(String),
+    /// CBOR decoding failed (truncated input, bad major type, ...).
+    CborDecode(String),
+    /// A record did not contain the fields required by its lexicon.
+    InvalidRecord(String),
+    /// A repository operation referenced a missing key or commit.
+    RepoError(String),
+    /// A signature did not verify against the signer's key.
+    BadSignature(String),
+    /// A datetime string or component was out of range.
+    InvalidDatetime(String),
+    /// A label value violated the labelling rules (e.g. empty value).
+    InvalidLabel(String),
+}
+
+impl fmt::Display for AtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtError::InvalidDid(s) => write!(f, "invalid DID: {s}"),
+            AtError::InvalidHandle(s) => write!(f, "invalid handle: {s}"),
+            AtError::InvalidNsid(s) => write!(f, "invalid NSID: {s}"),
+            AtError::InvalidTid(s) => write!(f, "invalid TID: {s}"),
+            AtError::InvalidAtUri(s) => write!(f, "invalid at:// URI: {s}"),
+            AtError::InvalidCid(s) => write!(f, "invalid CID: {s}"),
+            AtError::CborEncode(s) => write!(f, "CBOR encode error: {s}"),
+            AtError::CborDecode(s) => write!(f, "CBOR decode error: {s}"),
+            AtError::InvalidRecord(s) => write!(f, "invalid record: {s}"),
+            AtError::RepoError(s) => write!(f, "repository error: {s}"),
+            AtError::BadSignature(s) => write!(f, "bad signature: {s}"),
+            AtError::InvalidDatetime(s) => write!(f, "invalid datetime: {s}"),
+            AtError::InvalidLabel(s) => write!(f, "invalid label: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = AtError::InvalidDid("did:xyz".into());
+        assert!(e.to_string().contains("did:xyz"));
+        let e = AtError::CborDecode("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            AtError::InvalidTid("x".into()),
+            AtError::InvalidTid("x".into())
+        );
+        assert_ne!(
+            AtError::InvalidTid("x".into()),
+            AtError::InvalidTid("y".into())
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&AtError::RepoError("missing".into()));
+    }
+}

@@ -1,0 +1,426 @@
+//! Firehose event frames.
+//!
+//! The Relay's firehose (`com.atproto.sync.subscribeRepos`) is a sequenced
+//! stream of everything happening in the network: repository commits,
+//! identity (DID document) updates, handle changes and account tombstones
+//! (§3, Table 1). Each frame carries a monotonically increasing sequence
+//! number which consumers use as a cursor for resuming and backfilling.
+
+use crate::cbor::{self, Value};
+use crate::cid::Cid;
+use crate::datetime::Datetime;
+use crate::did::Did;
+use crate::error::{AtError, Result};
+use crate::handle::Handle;
+use crate::repo::{RecordOp, WriteAction};
+use crate::tid::Tid;
+
+/// A sequence number on the firehose.
+pub type Seq = u64;
+
+/// The payload of a firehose frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventBody {
+    /// `#commit` — a repository commit with its record operations.
+    Commit {
+        /// Repository owner.
+        did: Did,
+        /// Commit CID.
+        commit: Cid,
+        /// Revision TID.
+        rev: Tid,
+        /// Record operations included in the commit.
+        ops: Vec<RecordOp>,
+        /// Approximate size of the carried blocks in bytes.
+        blocks_bytes: usize,
+        /// Whether the consumer is expected to re-sync (oversized commit).
+        too_big: bool,
+    },
+    /// `#identity` — the DID document changed (e.g. PDS migration, key
+    /// rotation); consumers should purge caches.
+    Identity {
+        /// The affected account.
+        did: Did,
+    },
+    /// `#handle` — the account's handle changed.
+    HandleChange {
+        /// The affected account.
+        did: Did,
+        /// The new handle.
+        handle: Handle,
+    },
+    /// `#tombstone` — the account was deleted.
+    Tombstone {
+        /// The deleted account.
+        did: Did,
+    },
+    /// `#info` — informational message from the relay (e.g. outdated cursor).
+    Info {
+        /// Message name, e.g. `OutdatedCursor`.
+        name: String,
+    },
+}
+
+/// The coarse event type used for Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Repository commit.
+    Commit,
+    /// Identity update.
+    Identity,
+    /// User handle update.
+    HandleChange,
+    /// Repository tombstone.
+    Tombstone,
+    /// Relay informational message.
+    Info,
+}
+
+impl EventKind {
+    /// Human-readable name matching the paper's Table 1 rows.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            EventKind::Commit => "Repo Commit",
+            EventKind::Identity => "Identity Update",
+            EventKind::HandleChange => "User Handle Update",
+            EventKind::Tombstone => "Repo Tombstone",
+            EventKind::Info => "Info",
+        }
+    }
+
+    /// All kinds, in the order Table 1 lists them.
+    pub fn all() -> [EventKind; 5] {
+        [
+            EventKind::Commit,
+            EventKind::Identity,
+            EventKind::HandleChange,
+            EventKind::Tombstone,
+            EventKind::Info,
+        ]
+    }
+}
+
+/// A full firehose frame: sequence number, relay receive time and body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonically increasing sequence number assigned by the relay.
+    pub seq: Seq,
+    /// Relay-side receive timestamp.
+    pub time: Datetime,
+    /// Event payload.
+    pub body: EventBody,
+}
+
+impl Event {
+    /// The coarse kind of this event.
+    pub fn kind(&self) -> EventKind {
+        match &self.body {
+            EventBody::Commit { .. } => EventKind::Commit,
+            EventBody::Identity { .. } => EventKind::Identity,
+            EventBody::HandleChange { .. } => EventKind::HandleChange,
+            EventBody::Tombstone { .. } => EventKind::Tombstone,
+            EventBody::Info { .. } => EventKind::Info,
+        }
+    }
+
+    /// The account this event concerns (if any).
+    pub fn did(&self) -> Option<&Did> {
+        match &self.body {
+            EventBody::Commit { did, .. }
+            | EventBody::Identity { did }
+            | EventBody::HandleChange { did, .. }
+            | EventBody::Tombstone { did } => Some(did),
+            EventBody::Info { .. } => None,
+        }
+    }
+
+    /// Approximate wire size of the frame in bytes (used for the ≈30 GB/day
+    /// firehose volume estimate in §9).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Encode the frame as DAG-CBOR.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = match &self.body {
+            EventBody::Commit {
+                did,
+                commit,
+                rev,
+                ops,
+                blocks_bytes,
+                too_big,
+            } => Value::map([
+                ("t", Value::text("#commit")),
+                ("repo", Value::text(did.to_string())),
+                ("commit", Value::Link(*commit)),
+                ("rev", Value::text(rev.to_string())),
+                ("tooBig", Value::Bool(*too_big)),
+                ("blocksBytes", Value::Int(*blocks_bytes as i64)),
+                (
+                    "ops",
+                    Value::Array(
+                        ops.iter()
+                            .map(|op| {
+                                Value::map([
+                                    ("action", Value::text(op.action.as_str())),
+                                    ("path", Value::text(&op.key)),
+                                    (
+                                        "cid",
+                                        match op.cid {
+                                            Some(c) => Value::Link(c),
+                                            None => Value::Null,
+                                        },
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            EventBody::Identity { did } => Value::map([
+                ("t", Value::text("#identity")),
+                ("did", Value::text(did.to_string())),
+            ]),
+            EventBody::HandleChange { did, handle } => Value::map([
+                ("t", Value::text("#handle")),
+                ("did", Value::text(did.to_string())),
+                ("handle", Value::text(handle.as_str())),
+            ]),
+            EventBody::Tombstone { did } => Value::map([
+                ("t", Value::text("#tombstone")),
+                ("did", Value::text(did.to_string())),
+            ]),
+            EventBody::Info { name } => Value::map([
+                ("t", Value::text("#info")),
+                ("name", Value::text(name)),
+            ]),
+        };
+        cbor::encode(&Value::map([
+            ("seq", Value::Int(self.seq as i64)),
+            ("time", Value::text(self.time.to_iso8601())),
+            ("body", body),
+        ]))
+    }
+
+    /// Decode a frame produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Event> {
+        let value = cbor::decode(bytes)?;
+        let seq = value
+            .get("seq")
+            .and_then(Value::as_int)
+            .ok_or_else(|| AtError::CborDecode("frame missing seq".into()))? as Seq;
+        let time = Datetime::parse_iso8601(
+            value
+                .get("time")
+                .and_then(Value::as_text)
+                .ok_or_else(|| AtError::CborDecode("frame missing time".into()))?,
+        )?;
+        let body_value = value
+            .get("body")
+            .ok_or_else(|| AtError::CborDecode("frame missing body".into()))?;
+        let t = body_value
+            .get("t")
+            .and_then(Value::as_text)
+            .ok_or_else(|| AtError::CborDecode("frame missing type".into()))?;
+        let get_did = |key: &str| -> Result<Did> {
+            Did::parse(
+                body_value
+                    .get(key)
+                    .and_then(Value::as_text)
+                    .ok_or_else(|| AtError::CborDecode(format!("frame missing {key}")))?,
+            )
+        };
+        let body = match t {
+            "#commit" => {
+                let ops = body_value
+                    .get("ops")
+                    .and_then(Value::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|op| -> Result<RecordOp> {
+                        let action = match op.get("action").and_then(Value::as_text) {
+                            Some("create") => WriteAction::Create,
+                            Some("update") => WriteAction::Update,
+                            Some("delete") => WriteAction::Delete,
+                            other => {
+                                return Err(AtError::CborDecode(format!(
+                                    "bad op action {other:?}"
+                                )))
+                            }
+                        };
+                        Ok(RecordOp {
+                            action,
+                            key: op
+                                .get("path")
+                                .and_then(Value::as_text)
+                                .ok_or_else(|| AtError::CborDecode("op missing path".into()))?
+                                .to_string(),
+                            cid: op.get("cid").and_then(Value::as_link).copied(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                EventBody::Commit {
+                    did: get_did("repo")?,
+                    commit: *body_value
+                        .get("commit")
+                        .and_then(Value::as_link)
+                        .ok_or_else(|| AtError::CborDecode("commit frame missing cid".into()))?,
+                    rev: Tid::parse(
+                        body_value
+                            .get("rev")
+                            .and_then(Value::as_text)
+                            .ok_or_else(|| AtError::CborDecode("commit frame missing rev".into()))?,
+                    )?,
+                    ops,
+                    blocks_bytes: body_value
+                        .get("blocksBytes")
+                        .and_then(Value::as_int)
+                        .unwrap_or(0) as usize,
+                    too_big: body_value
+                        .get("tooBig")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                }
+            }
+            "#identity" => EventBody::Identity { did: get_did("did")? },
+            "#handle" => EventBody::HandleChange {
+                did: get_did("did")?,
+                handle: Handle::parse(
+                    body_value
+                        .get("handle")
+                        .and_then(Value::as_text)
+                        .ok_or_else(|| AtError::CborDecode("handle frame missing handle".into()))?,
+                )?,
+            },
+            "#tombstone" => EventBody::Tombstone { did: get_did("did")? },
+            "#info" => EventBody::Info {
+                name: body_value
+                    .get("name")
+                    .and_then(Value::as_text)
+                    .unwrap_or("")
+                    .to_string(),
+            },
+            other => return Err(AtError::CborDecode(format!("unknown frame type {other}"))),
+        };
+        Ok(Event { seq, time, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nsid::known;
+
+    fn did() -> Did {
+        Did::plc_from_seed(b"alice")
+    }
+
+    fn now() -> Datetime {
+        Datetime::from_ymd_hms(2024, 3, 6, 0, 0, 0).unwrap()
+    }
+
+    fn commit_event(seq: Seq) -> Event {
+        Event {
+            seq,
+            time: now(),
+            body: EventBody::Commit {
+                did: did(),
+                commit: Cid::for_cbor(b"commit"),
+                rev: Tid::from_micros(1_000_000, 1),
+                ops: vec![
+                    RecordOp {
+                        action: WriteAction::Create,
+                        key: format!("{}/3kabcdefgh234", known::POST),
+                        cid: Some(Cid::for_cbor(b"record")),
+                    },
+                    RecordOp {
+                        action: WriteAction::Delete,
+                        key: format!("{}/3kabcdefgh235", known::LIKE),
+                        cid: None,
+                    },
+                ],
+                blocks_bytes: 512,
+                too_big: false,
+            },
+        }
+    }
+
+    #[test]
+    fn commit_frame_roundtrip() {
+        let event = commit_event(42);
+        let decoded = Event::decode(&event.encode()).unwrap();
+        assert_eq!(decoded, event);
+        assert_eq!(decoded.kind(), EventKind::Commit);
+        assert_eq!(decoded.did(), Some(&did()));
+        assert!(decoded.wire_size() > 100);
+    }
+
+    #[test]
+    fn other_frames_roundtrip() {
+        let events = [
+            Event {
+                seq: 1,
+                time: now(),
+                body: EventBody::Identity { did: did() },
+            },
+            Event {
+                seq: 2,
+                time: now(),
+                body: EventBody::HandleChange {
+                    did: did(),
+                    handle: Handle::parse("alice.example.com").unwrap(),
+                },
+            },
+            Event {
+                seq: 3,
+                time: now(),
+                body: EventBody::Tombstone { did: did() },
+            },
+            Event {
+                seq: 4,
+                time: now(),
+                body: EventBody::Info {
+                    name: "OutdatedCursor".into(),
+                },
+            },
+        ];
+        for event in events {
+            let decoded = Event::decode(&event.encode()).unwrap();
+            assert_eq!(decoded, event);
+        }
+    }
+
+    #[test]
+    fn kinds_match_table1_rows() {
+        assert_eq!(EventKind::Commit.display_name(), "Repo Commit");
+        assert_eq!(EventKind::Identity.display_name(), "Identity Update");
+        assert_eq!(EventKind::HandleChange.display_name(), "User Handle Update");
+        assert_eq!(EventKind::Tombstone.display_name(), "Repo Tombstone");
+        assert_eq!(EventKind::all().len(), 5);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(Event::decode(b"not cbor").is_err());
+        let missing_body = cbor::encode(&Value::map([("seq", Value::Int(1))]));
+        assert!(Event::decode(&missing_body).is_err());
+        let bad_type = cbor::encode(&Value::map([
+            ("seq", Value::Int(1)),
+            ("time", Value::text(now().to_iso8601())),
+            ("body", Value::map([("t", Value::text("#unknown"))])),
+        ]));
+        assert!(Event::decode(&bad_type).is_err());
+    }
+
+    #[test]
+    fn info_events_have_no_did() {
+        let event = Event {
+            seq: 9,
+            time: now(),
+            body: EventBody::Info { name: "x".into() },
+        };
+        assert!(event.did().is_none());
+        assert_eq!(event.kind(), EventKind::Info);
+    }
+}

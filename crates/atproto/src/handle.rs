@@ -1,0 +1,265 @@
+//! User handles.
+//!
+//! Handles are mutable, human-friendly identifiers; each handle is a
+//! fully-qualified domain name whose ownership is proven either through a DNS
+//! TXT record at `_atproto.<handle>` or through an
+//! `https://<handle>/.well-known/atproto-did` document (§2, §5 of the paper).
+//! By default Bluesky issues custodial handles under `bsky.social`.
+
+use crate::error::{AtError, Result};
+use std::fmt;
+
+/// The default custodial handle suffix operated by Bluesky PBC.
+pub const BSKY_SOCIAL: &str = "bsky.social";
+
+/// A validated FQDN handle such as `alice.bsky.social` or `example.com`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(String);
+
+/// How ownership of a handle is proven (§5, "Validating Handle Ownership").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandleProof {
+    /// DNS TXT record at `_atproto.<handle>` containing `did=<did>`.
+    DnsTxt,
+    /// HTTPS document at `/.well-known/atproto-did` containing the DID.
+    WellKnown,
+}
+
+impl Handle {
+    /// Maximum total length of a handle in bytes (DNS limit).
+    pub const MAX_LEN: usize = 253;
+    /// Maximum length of a single label.
+    pub const MAX_LABEL_LEN: usize = 63;
+
+    /// Parse and validate a handle.
+    pub fn parse(s: &str) -> Result<Handle> {
+        let lower = s.to_ascii_lowercase();
+        let lower = lower.strip_prefix('@').unwrap_or(&lower).to_string();
+        if lower.is_empty() || lower.len() > Self::MAX_LEN {
+            return Err(AtError::InvalidHandle(s.to_string()));
+        }
+        let labels: Vec<&str> = lower.split('.').collect();
+        if labels.len() < 2 {
+            return Err(AtError::InvalidHandle(s.to_string()));
+        }
+        for label in &labels {
+            if label.is_empty()
+                || label.len() > Self::MAX_LABEL_LEN
+                || label.starts_with('-')
+                || label.ends_with('-')
+                || !label
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+            {
+                return Err(AtError::InvalidHandle(s.to_string()));
+            }
+        }
+        // TLD must not be all-numeric.
+        if labels.last().unwrap().bytes().all(|b| b.is_ascii_digit()) {
+            return Err(AtError::InvalidHandle(s.to_string()));
+        }
+        Ok(Handle(lower))
+    }
+
+    /// Construct the default custodial handle `<username>.bsky.social`.
+    pub fn bsky_social(username: &str) -> Result<Handle> {
+        Handle::parse(&format!("{username}.{BSKY_SOCIAL}"))
+    }
+
+    /// The handle as a string slice (never includes the leading `@`).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The DNS labels of the handle, most-specific first.
+    pub fn labels(&self) -> Vec<&str> {
+        self.0.split('.').collect()
+    }
+
+    /// Whether this handle is a custodial subdomain of `bsky.social`.
+    pub fn is_bsky_social(&self) -> bool {
+        self.0 == BSKY_SOCIAL || self.0.ends_with(".bsky.social")
+    }
+
+    /// Whether this handle is a subdomain of the given parent domain.
+    pub fn is_subdomain_of(&self, parent: &str) -> bool {
+        let parent = parent.to_ascii_lowercase();
+        self.0 == parent || self.0.ends_with(&format!(".{parent}"))
+    }
+
+    /// The DNS name at which the TXT ownership proof must live.
+    pub fn atproto_txt_name(&self) -> String {
+        format!("_atproto.{}", self.0)
+    }
+
+    /// The URL path of the well-known ownership proof.
+    pub fn well_known_url(&self) -> String {
+        format!("https://{}/.well-known/atproto-did", self.0)
+    }
+
+    /// Naive registrable-domain guess: the last two labels. The identity
+    /// crate refines this with the Public Suffix List; this helper exists for
+    /// quick grouping where PSL context is unavailable.
+    pub fn naive_registered_domain(&self) -> String {
+        let labels = self.labels();
+        if labels.len() <= 2 {
+            self.0.clone()
+        } else {
+            labels[labels.len() - 2..].join(".")
+        }
+    }
+}
+
+impl fmt::Display for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle(@{})", self.0)
+    }
+}
+
+impl std::str::FromStr for Handle {
+    type Err = AtError;
+    fn from_str(s: &str) -> Result<Handle> {
+        Handle::parse(s)
+    }
+}
+
+impl AsRef<str> for Handle {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typical_handles() {
+        let h = Handle::parse("alice.bsky.social").unwrap();
+        assert!(h.is_bsky_social());
+        assert_eq!(h.as_str(), "alice.bsky.social");
+        assert_eq!(h.labels(), vec!["alice", "bsky", "social"]);
+        let h = Handle::parse("@Example.COM").unwrap();
+        assert_eq!(h.as_str(), "example.com");
+        assert!(!h.is_bsky_social());
+    }
+
+    #[test]
+    fn handles_from_paper() {
+        for s in [
+            "baatl.bsky.social",
+            "aendra.com",
+            "ff14labeler.bsky.social",
+            "usounds.work",
+            "someone.swifties.social",
+            "someone.tired.io",
+            "someone.vibes.cool",
+            "user.github.io",
+            "nytimes.com",
+            "stanford.edu",
+        ] {
+            assert!(Handle::parse(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        for s in [
+            "",
+            "nodots",
+            ".leading.dot",
+            "trailing.dot.",
+            "double..dot",
+            "-dash.start.com",
+            "dash.end-.com",
+            "under_score.com",
+            "spaces here.com",
+            "numeric.tld.123",
+            &("a".repeat(64) + ".com"),
+            &(format!("{}.com", "a.".repeat(130))),
+        ] {
+            assert!(Handle::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn bsky_social_constructor() {
+        let h = Handle::bsky_social("carol").unwrap();
+        assert_eq!(h.as_str(), "carol.bsky.social");
+        assert!(h.is_bsky_social());
+        assert!(h.is_subdomain_of("bsky.social"));
+        assert!(!h.is_subdomain_of("other.social"));
+    }
+
+    #[test]
+    fn subdomain_matching_requires_label_boundary() {
+        let h = Handle::parse("notbsky.social").unwrap();
+        assert!(!h.is_bsky_social());
+        let h = Handle::parse("foo.swifties.social").unwrap();
+        assert!(h.is_subdomain_of("swifties.social"));
+        assert!(!h.is_subdomain_of("ifties.social"));
+    }
+
+    #[test]
+    fn ownership_proof_locations() {
+        let h = Handle::parse("example.com").unwrap();
+        assert_eq!(h.atproto_txt_name(), "_atproto.example.com");
+        assert_eq!(
+            h.well_known_url(),
+            "https://example.com/.well-known/atproto-did"
+        );
+    }
+
+    #[test]
+    fn naive_registered_domain() {
+        assert_eq!(
+            Handle::parse("alice.bsky.social")
+                .unwrap()
+                .naive_registered_domain(),
+            "bsky.social"
+        );
+        assert_eq!(
+            Handle::parse("example.com")
+                .unwrap()
+                .naive_registered_domain(),
+            "example.com"
+        );
+        assert_eq!(
+            Handle::parse("a.b.c.d.example.org")
+                .unwrap()
+                .naive_registered_domain(),
+            "example.org"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(s in "\\PC*") {
+            let _ = Handle::parse(&s);
+        }
+
+        #[test]
+        fn valid_labels_always_parse(
+            a in "[a-z][a-z0-9]{0,10}",
+            b in "[a-z][a-z0-9]{0,10}",
+            c in "[a-z][a-z]{1,6}",
+        ) {
+            let s = format!("{a}.{b}.{c}");
+            let h = Handle::parse(&s).unwrap();
+            prop_assert_eq!(h.as_str(), s.as_str());
+            prop_assert_eq!(h.labels().len(), 3);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Moderation labels.
+//!
+//! Labels are short strings attached by Labelers to network objects — posts,
+//! whole accounts, or profile media (§2, §6). Reserved values prefixed with
+//! `!` have hardcoded behaviour and are only honoured when issued by the
+//! official Bluesky Labeler. A label can be rescinded by re-publishing it
+//! with the negation flag set.
+
+use crate::aturi::AtUri;
+use crate::cbor::{self, Value};
+use crate::datetime::Datetime;
+use crate::did::Did;
+use crate::error::{AtError, Result};
+
+/// What a label is attached to (Table 4 of the paper groups by this).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelTarget {
+    /// A record, identified by its `at://` URI (virtually always a post).
+    Record(AtUri),
+    /// A whole account, identified by DID.
+    Account(Did),
+    /// An account's profile picture or banner.
+    ProfileMedia(Did),
+}
+
+/// The coarse target type used by Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelTargetKind {
+    /// A post (or other record).
+    Post,
+    /// A whole account.
+    Account,
+    /// A banner or avatar image.
+    BannerAvatar,
+}
+
+impl LabelTargetKind {
+    /// Display name matching Table 4.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            LabelTargetKind::Post => "Post",
+            LabelTargetKind::Account => "Account",
+            LabelTargetKind::BannerAvatar => "Banner/Avatar",
+        }
+    }
+}
+
+impl LabelTarget {
+    /// The coarse kind of this target.
+    pub fn kind(&self) -> LabelTargetKind {
+        match self {
+            LabelTarget::Record(_) => LabelTargetKind::Post,
+            LabelTarget::Account(_) => LabelTargetKind::Account,
+            LabelTarget::ProfileMedia(_) => LabelTargetKind::BannerAvatar,
+        }
+    }
+
+    /// Canonical string form (`at://` URI or DID).
+    pub fn uri(&self) -> String {
+        match self {
+            LabelTarget::Record(uri) => uri.to_string(),
+            LabelTarget::Account(did) => did.to_string(),
+            LabelTarget::ProfileMedia(did) => format!("{did}#media"),
+        }
+    }
+
+    /// Parse the canonical string form.
+    pub fn parse(s: &str) -> Result<LabelTarget> {
+        if let Some(did_str) = s.strip_suffix("#media") {
+            return Ok(LabelTarget::ProfileMedia(Did::parse(did_str)?));
+        }
+        if s.starts_with("at://") {
+            return Ok(LabelTarget::Record(AtUri::parse(s)?));
+        }
+        Ok(LabelTarget::Account(Did::parse(s)?))
+    }
+
+    /// The DID of the account that owns the target.
+    pub fn subject_did(&self) -> &Did {
+        match self {
+            LabelTarget::Record(uri) => uri.did(),
+            LabelTarget::Account(did) | LabelTarget::ProfileMedia(did) => did,
+        }
+    }
+}
+
+/// Reserved label values with hardcoded behaviour (valid only from the
+/// official Bluesky Labeler).
+pub const RESERVED_LABELS: &[&str] = &["!hide", "!warn", "!takedown", "!no-promote", "!no-unauthenticated"];
+
+/// Label values with hardcoded age-gating behaviour that any Labeler may emit.
+pub const ADULT_CONTENT_LABELS: &[&str] = &["porn", "sexual", "graphic-media", "nudity"];
+
+/// Whether a value is one of the reserved `!` labels.
+pub fn is_reserved_value(value: &str) -> bool {
+    value.starts_with('!')
+}
+
+/// Validate a label value: lowercase kebab-case, optionally `!`-prefixed.
+pub fn validate_value(value: &str) -> Result<()> {
+    let body = value.strip_prefix('!').unwrap_or(value);
+    if body.is_empty()
+        || body.len() > 128
+        || !body
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        || body.starts_with('-')
+        || body.ends_with('-')
+    {
+        return Err(AtError::InvalidLabel(value.to_string()));
+    }
+    Ok(())
+}
+
+/// A single label interaction as published on a Labeler's stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Label {
+    /// The Labeler that issued the label.
+    pub src: Did,
+    /// What the label is attached to.
+    pub target: LabelTarget,
+    /// The label value, e.g. `porn` or `no-alt-text`.
+    pub value: String,
+    /// True when this interaction rescinds a previously issued label.
+    pub negated: bool,
+    /// When the Labeler issued it.
+    pub created_at: Datetime,
+}
+
+impl Label {
+    /// Create a (validated) label.
+    pub fn new(
+        src: Did,
+        target: LabelTarget,
+        value: impl Into<String>,
+        created_at: Datetime,
+    ) -> Result<Label> {
+        let value = value.into();
+        validate_value(&value)?;
+        Ok(Label {
+            src,
+            target,
+            value,
+            negated: false,
+            created_at,
+        })
+    }
+
+    /// Create the negation of this label (same source, target and value).
+    pub fn negation(&self, at: Datetime) -> Label {
+        Label {
+            negated: true,
+            created_at: at,
+            ..self.clone()
+        }
+    }
+
+    /// The deduplication key `(src, target, value)` used when applying
+    /// negations.
+    pub fn key(&self) -> (String, String, String) {
+        (self.src.to_string(), self.target.uri(), self.value.clone())
+    }
+
+    /// Encode as DAG-CBOR (one frame on a label stream).
+    pub fn encode(&self) -> Vec<u8> {
+        cbor::encode(&Value::map([
+            ("src", Value::text(self.src.to_string())),
+            ("uri", Value::text(self.target.uri())),
+            ("val", Value::text(&self.value)),
+            ("neg", Value::Bool(self.negated)),
+            ("cts", Value::text(self.created_at.to_iso8601())),
+        ]))
+    }
+
+    /// Decode a frame produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Label> {
+        let value = cbor::decode(bytes)?;
+        let text = |key: &str| -> Result<&str> {
+            value
+                .get(key)
+                .and_then(Value::as_text)
+                .ok_or_else(|| AtError::InvalidLabel(format!("missing field {key}")))
+        };
+        let label = Label {
+            src: Did::parse(text("src")?)?,
+            target: LabelTarget::parse(text("uri")?)?,
+            value: text("val")?.to_string(),
+            negated: value.get("neg").and_then(Value::as_bool).unwrap_or(false),
+            created_at: Datetime::parse_iso8601(text("cts")?)?,
+        };
+        validate_value(&label.value)?;
+        Ok(label)
+    }
+}
+
+/// Apply a stream of label interactions in order, honouring negations, and
+/// return the set of currently effective labels.
+pub fn effective_labels(stream: &[Label]) -> Vec<Label> {
+    use std::collections::BTreeMap;
+    let mut state: BTreeMap<(String, String, String), Label> = BTreeMap::new();
+    for label in stream {
+        if label.negated {
+            state.remove(&label.key());
+        } else {
+            state.insert(label.key(), label.clone());
+        }
+    }
+    state.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nsid::known;
+    use crate::Nsid;
+
+    fn labeler() -> Did {
+        Did::plc_from_seed(b"labeler")
+    }
+
+    fn alice() -> Did {
+        Did::plc_from_seed(b"alice")
+    }
+
+    fn post_target() -> LabelTarget {
+        LabelTarget::Record(AtUri::record(
+            alice(),
+            Nsid::parse(known::POST).unwrap(),
+            "3kabcdefgh234",
+        ))
+    }
+
+    fn now() -> Datetime {
+        Datetime::from_ymd_hms(2024, 4, 1, 10, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn value_validation() {
+        for ok in ["porn", "no-alt-text", "tenor-gif", "!takedown", "spam", "ai-imagery"] {
+            assert!(validate_value(ok).is_ok(), "{ok}");
+        }
+        for bad in ["", "!", "UPPER", "has space", "-lead", "trail-", "ünicode"] {
+            assert!(validate_value(bad).is_err(), "{bad}");
+        }
+        assert!(is_reserved_value("!takedown"));
+        assert!(!is_reserved_value("porn"));
+        assert!(RESERVED_LABELS.iter().all(|v| validate_value(v).is_ok()));
+        assert!(ADULT_CONTENT_LABELS.iter().all(|v| validate_value(v).is_ok()));
+    }
+
+    #[test]
+    fn label_roundtrip_all_target_kinds() {
+        let targets = [
+            post_target(),
+            LabelTarget::Account(alice()),
+            LabelTarget::ProfileMedia(alice()),
+        ];
+        for target in targets {
+            let label = Label::new(labeler(), target.clone(), "spam", now()).unwrap();
+            let decoded = Label::decode(&label.encode()).unwrap();
+            assert_eq!(decoded, label);
+            assert_eq!(decoded.target.kind(), target.kind());
+            assert_eq!(decoded.target.subject_did(), &alice());
+        }
+    }
+
+    #[test]
+    fn target_kind_display_names_match_table4() {
+        assert_eq!(LabelTargetKind::Post.display_name(), "Post");
+        assert_eq!(LabelTargetKind::Account.display_name(), "Account");
+        assert_eq!(LabelTargetKind::BannerAvatar.display_name(), "Banner/Avatar");
+    }
+
+    #[test]
+    fn negation_removes_effective_label() {
+        let label = Label::new(labeler(), post_target(), "porn", now()).unwrap();
+        let other = Label::new(labeler(), post_target(), "sexual", now()).unwrap();
+        let stream = vec![
+            label.clone(),
+            other.clone(),
+            label.negation(now().plus_seconds(60)),
+        ];
+        let effective = effective_labels(&stream);
+        assert_eq!(effective, vec![other]);
+        // Re-applying after negation restores it.
+        let stream2 = vec![
+            label.clone(),
+            label.negation(now().plus_seconds(60)),
+            label.clone(),
+        ];
+        assert_eq!(effective_labels(&stream2).len(), 1);
+    }
+
+    #[test]
+    fn negation_only_affects_matching_source() {
+        let official = Label::new(labeler(), post_target(), "spam", now()).unwrap();
+        let community =
+            Label::new(Did::plc_from_seed(b"community"), post_target(), "spam", now()).unwrap();
+        let stream = vec![
+            official.clone(),
+            community.clone(),
+            official.negation(now().plus_seconds(1)),
+        ];
+        let effective = effective_labels(&stream);
+        assert_eq!(effective, vec![community]);
+    }
+
+    #[test]
+    fn invalid_values_rejected_at_construction_and_decode() {
+        assert!(Label::new(labeler(), post_target(), "Bad Value", now()).is_err());
+        let mut label = Label::new(labeler(), post_target(), "ok-value", now()).unwrap();
+        label.value = "NOT OK".into();
+        assert!(Label::decode(&label.encode()).is_err());
+    }
+
+    #[test]
+    fn target_parse_rejects_garbage() {
+        assert!(LabelTarget::parse("not a target").is_err());
+        assert!(LabelTarget::parse("at://garbage").is_err());
+        // Roundtrip of every kind.
+        for t in [
+            post_target(),
+            LabelTarget::Account(alice()),
+            LabelTarget::ProfileMedia(alice()),
+        ] {
+            assert_eq!(LabelTarget::parse(&t.uri()).unwrap(), t);
+        }
+    }
+}

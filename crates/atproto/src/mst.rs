@@ -1,0 +1,521 @@
+//! Merkle Search Tree (MST).
+//!
+//! ATProto repositories store their record index in an MST: a deterministic,
+//! content-addressed search tree whose shape depends only on the set of keys
+//! it contains (never on insertion order). Keys are `<collection>/<rkey>`
+//! strings and values are CIDs of the record blocks.
+//!
+//! This implementation keeps the authoritative key→value mapping in an
+//! ordered map and materialises the tree — node layers derived from leading
+//! zero bits of `sha256(key)`, exactly like the reference implementation —
+//! whenever the root CID or the node block set is requested. Because the tree
+//! is a pure function of the mapping, the crucial MST property (identical
+//! contents ⇒ identical root CID) holds by construction, and the rebuild cost
+//! is linear in the number of keys, which is ample for simulation scale.
+
+use crate::cbor::Value;
+use crate::cid::Cid;
+use crate::crypto::sha256;
+use crate::error::{AtError, Result};
+use std::collections::BTreeMap;
+
+/// The fanout parameter: a key's layer is the number of leading zero *pairs of
+/// bits* in its SHA-256 hash (fanout 4, as in the reference implementation).
+const BITS_PER_LAYER: u32 = 2;
+
+/// Compute the MST layer of a key.
+pub fn key_layer(key: &str) -> u32 {
+    let digest = sha256(key.as_bytes());
+    let mut zeros = 0u32;
+    for byte in digest {
+        if byte == 0 {
+            zeros += 8;
+            continue;
+        }
+        zeros += byte.leading_zeros();
+        break;
+    }
+    zeros / BITS_PER_LAYER
+}
+
+/// Validate an MST key (`<collection>/<rkey>`).
+pub fn validate_key(key: &str) -> Result<()> {
+    let (collection, rkey) = key
+        .split_once('/')
+        .ok_or_else(|| AtError::RepoError(format!("MST key missing '/': {key}")))?;
+    if collection.is_empty() || rkey.is_empty() || key.len() > 256 {
+        return Err(AtError::RepoError(format!("invalid MST key: {key}")));
+    }
+    if !key
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_' || b == b'/')
+    {
+        return Err(AtError::RepoError(format!("invalid MST key bytes: {key}")));
+    }
+    Ok(())
+}
+
+/// A content-addressed key→CID index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Mst {
+    entries: BTreeMap<String, Cid>,
+}
+
+/// A single change between two MST states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MstDiffOp {
+    /// Key present in the new tree but not the old one.
+    Created {
+        /// The key.
+        key: String,
+        /// The new value.
+        cid: Cid,
+    },
+    /// Key present in both but with a different value.
+    Updated {
+        /// The key.
+        key: String,
+        /// The previous value.
+        old: Cid,
+        /// The new value.
+        new: Cid,
+    },
+    /// Key removed in the new tree.
+    Deleted {
+        /// The key.
+        key: String,
+        /// The value it previously had.
+        cid: Cid,
+    },
+}
+
+impl MstDiffOp {
+    /// The key this operation concerns.
+    pub fn key(&self) -> &str {
+        match self {
+            MstDiffOp::Created { key, .. }
+            | MstDiffOp::Updated { key, .. }
+            | MstDiffOp::Deleted { key, .. } => key,
+        }
+    }
+}
+
+/// A materialised tree node (only produced by [`Mst::blocks`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MstNode {
+    /// CID of this node's encoded block.
+    pub cid: Cid,
+    /// The encoded DAG-CBOR bytes of the node.
+    pub bytes: Vec<u8>,
+}
+
+impl Mst {
+    /// Create an empty tree.
+    pub fn new() -> Mst {
+        Mst::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace a key, returning the previous value if any.
+    pub fn insert(&mut self, key: &str, cid: Cid) -> Result<Option<Cid>> {
+        validate_key(key)?;
+        Ok(self.entries.insert(key.to_string(), cid))
+    }
+
+    /// Remove a key, returning its value if it was present.
+    pub fn remove(&mut self, key: &str) -> Option<Cid> {
+        self.entries.remove(key)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Cid> {
+        self.entries.get(key)
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Iterate all `(key, cid)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Cid)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate the keys of a single collection (keys beginning with
+    /// `<collection>/`).
+    pub fn iter_collection<'a>(
+        &'a self,
+        collection: &str,
+    ) -> impl Iterator<Item = (&'a str, &'a Cid)> + 'a {
+        let prefix = format!("{collection}/");
+        let end = format!("{collection}0"); // '0' sorts just after '/'
+        self.entries
+            .range(prefix..end)
+            .map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Compute the differences needed to go from `old` to `self`.
+    pub fn diff(&self, old: &Mst) -> Vec<MstDiffOp> {
+        let mut ops = Vec::new();
+        for (key, cid) in &self.entries {
+            match old.entries.get(key) {
+                None => ops.push(MstDiffOp::Created {
+                    key: key.clone(),
+                    cid: *cid,
+                }),
+                Some(prev) if prev != cid => ops.push(MstDiffOp::Updated {
+                    key: key.clone(),
+                    old: *prev,
+                    new: *cid,
+                }),
+                Some(_) => {}
+            }
+        }
+        for (key, cid) in &old.entries {
+            if !self.entries.contains_key(key) {
+                ops.push(MstDiffOp::Deleted {
+                    key: key.clone(),
+                    cid: *cid,
+                });
+            }
+        }
+        ops.sort_by(|a, b| a.key().cmp(b.key()));
+        ops
+    }
+
+    /// The root CID of the materialised tree.
+    pub fn root_cid(&self) -> Cid {
+        self.build().0
+    }
+
+    /// All node blocks of the materialised tree (for CAR export and sync).
+    pub fn blocks(&self) -> Vec<MstNode> {
+        self.build().1
+    }
+
+    /// Total serialized size of all node blocks in bytes.
+    pub fn structural_size(&self) -> usize {
+        self.blocks().iter().map(|n| n.bytes.len()).sum()
+    }
+
+    /// Build the tree: returns the root CID and every node block.
+    fn build(&self) -> (Cid, Vec<MstNode>) {
+        let mut blocks = Vec::new();
+        let items: Vec<(&String, &Cid, u32)> = self
+            .entries
+            .iter()
+            .map(|(k, v)| (k, v, key_layer(k)))
+            .collect();
+        let top_layer = items.iter().map(|(_, _, l)| *l).max().unwrap_or(0);
+        let root = Self::build_node(&items, top_layer, &mut blocks);
+        (root, blocks)
+    }
+
+    /// Recursively build the node covering `items` at `layer`.
+    fn build_node(items: &[(&String, &Cid, u32)], layer: u32, blocks: &mut Vec<MstNode>) -> Cid {
+        // Entries at this layer, in order; the gaps between them (and at both
+        // ends) become child subtrees at layer - 1.
+        let mut node_entries: Vec<Value> = Vec::new();
+        let mut segment_start = 0usize;
+        let mut left_child: Option<Cid> = None;
+        let mut first_entry_seen = false;
+
+        let flush_segment = |start: usize,
+                             end: usize,
+                             blocks: &mut Vec<MstNode>|
+         -> Option<Cid> {
+            if start >= end {
+                return None;
+            }
+            if layer == 0 {
+                // Cannot descend further; at layer 0 every item must be an
+                // entry, which the layer computation guarantees.
+                return None;
+            }
+            Some(Self::build_node(&items[start..end], layer - 1, blocks))
+        };
+
+        for (idx, (key, cid, item_layer)) in items.iter().enumerate() {
+            if *item_layer >= layer {
+                // Subtree of everything since the previous entry.
+                let subtree = flush_segment(segment_start, idx, blocks);
+                if !first_entry_seen {
+                    left_child = subtree;
+                } else if let Some(sub) = subtree {
+                    // Attach as the "tree" of the previous entry.
+                    if let Some(Value::Map(prev)) = node_entries.last_mut() {
+                        prev.insert("t".to_string(), Value::Link(sub));
+                    }
+                }
+                first_entry_seen = true;
+                node_entries.push(Value::map([
+                    ("k", Value::text(key.as_str())),
+                    ("v", Value::Link(**cid)),
+                ]));
+                segment_start = idx + 1;
+            }
+        }
+        // Trailing subtree.
+        let trailing = flush_segment(segment_start, items.len(), blocks);
+        if !first_entry_seen {
+            left_child = trailing;
+        } else if let Some(sub) = trailing {
+            if let Some(Value::Map(prev)) = node_entries.last_mut() {
+                prev.insert("t".to_string(), Value::Link(sub));
+            }
+        }
+
+        let node = Value::map([
+            (
+                "l",
+                match left_child {
+                    Some(c) => Value::Link(c),
+                    None => Value::Null,
+                },
+            ),
+            ("e", Value::Array(node_entries)),
+            ("layer", Value::Int(layer as i64)),
+        ]);
+        let bytes = crate::cbor::encode(&node);
+        let cid = Cid::for_cbor(&bytes);
+        blocks.push(MstNode { cid, bytes });
+        cid
+    }
+}
+
+impl FromIterator<(String, Cid)> for Mst {
+    fn from_iter<T: IntoIterator<Item = (String, Cid)>>(iter: T) -> Self {
+        Mst {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid_for(n: u32) -> Cid {
+        Cid::for_cbor(&n.to_be_bytes())
+    }
+
+    fn key_for(n: u32) -> String {
+        format!("app.bsky.feed.post/rkey{n:06}")
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut mst = Mst::new();
+        assert!(mst.is_empty());
+        assert_eq!(mst.insert(&key_for(1), cid_for(1)).unwrap(), None);
+        assert_eq!(
+            mst.insert(&key_for(1), cid_for(2)).unwrap(),
+            Some(cid_for(1))
+        );
+        assert_eq!(mst.get(&key_for(1)), Some(&cid_for(2)));
+        assert!(mst.contains(&key_for(1)));
+        assert_eq!(mst.len(), 1);
+        assert_eq!(mst.remove(&key_for(1)), Some(cid_for(2)));
+        assert!(mst.is_empty());
+    }
+
+    #[test]
+    fn key_validation() {
+        assert!(validate_key("app.bsky.feed.post/3kdgeujwlq32y").is_ok());
+        assert!(validate_key("nokey").is_err());
+        assert!(validate_key("/empty-collection").is_err());
+        assert!(validate_key("collection/").is_err());
+        assert!(validate_key("has space/abc").is_err());
+        let mut mst = Mst::new();
+        assert!(mst.insert("bad key", cid_for(0)).is_err());
+    }
+
+    #[test]
+    fn root_is_independent_of_insertion_order() {
+        let n = 500;
+        let mut a = Mst::new();
+        for i in 0..n {
+            a.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        let mut b = Mst::new();
+        for i in (0..n).rev() {
+            b.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        // Insert and remove extra keys in b; final contents are identical.
+        b.insert(&key_for(10_000), cid_for(1)).unwrap();
+        b.remove(&key_for(10_000));
+        assert_eq!(a.root_cid(), b.root_cid());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn root_changes_with_content() {
+        let mut a = Mst::new();
+        a.insert(&key_for(1), cid_for(1)).unwrap();
+        let root1 = a.root_cid();
+        a.insert(&key_for(2), cid_for(2)).unwrap();
+        let root2 = a.root_cid();
+        assert_ne!(root1, root2);
+        // Changing a value (not a key) also changes the root.
+        a.insert(&key_for(2), cid_for(3)).unwrap();
+        assert_ne!(a.root_cid(), root2);
+        // Empty tree has a root too (the empty node).
+        assert_ne!(Mst::new().root_cid(), root1);
+    }
+
+    #[test]
+    fn blocks_contain_all_values_reachable() {
+        let mut mst = Mst::new();
+        for i in 0..200 {
+            mst.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        let blocks = mst.blocks();
+        assert!(!blocks.is_empty());
+        // Decode every node and collect every referenced value CID.
+        let mut value_cids = Vec::new();
+        for node in &blocks {
+            let value = crate::cbor::decode(&node.bytes).unwrap();
+            assert_eq!(Cid::for_cbor(&node.bytes), node.cid);
+            for entry in value.get("e").unwrap().as_array().unwrap() {
+                value_cids.push(*entry.get("v").unwrap().as_link().unwrap());
+            }
+        }
+        value_cids.sort();
+        let mut expected: Vec<Cid> = (0..200).map(cid_for).collect();
+        expected.sort();
+        assert_eq!(value_cids, expected);
+        assert!(mst.structural_size() > 0);
+    }
+
+    #[test]
+    fn layers_spread_keys() {
+        // Most keys land on layer 0; a minority on deeper layers, so the tree
+        // actually has internal structure for a few hundred keys.
+        let layers: Vec<u32> = (0..2000).map(|i| key_layer(&key_for(i))).collect();
+        let zero = layers.iter().filter(|&&l| l == 0).count();
+        let nonzero = layers.len() - zero;
+        assert!(zero > nonzero, "layer 0 should dominate");
+        assert!(nonzero > 0, "some keys should promote to higher layers");
+    }
+
+    #[test]
+    fn collection_iteration_respects_boundaries() {
+        let mut mst = Mst::new();
+        mst.insert("app.bsky.feed.post/aaa", cid_for(1)).unwrap();
+        mst.insert("app.bsky.feed.post/bbb", cid_for(2)).unwrap();
+        mst.insert("app.bsky.feed.like/aaa", cid_for(3)).unwrap();
+        mst.insert("app.bsky.graph.follow/aaa", cid_for(4)).unwrap();
+        let posts: Vec<&str> = mst
+            .iter_collection("app.bsky.feed.post")
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(
+            posts,
+            vec!["app.bsky.feed.post/aaa", "app.bsky.feed.post/bbb"]
+        );
+        let likes: Vec<&str> = mst
+            .iter_collection("app.bsky.feed.like")
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(likes, vec!["app.bsky.feed.like/aaa"]);
+        assert_eq!(mst.iter_collection("app.bsky.feed").count(), 0);
+    }
+
+    #[test]
+    fn diff_reports_all_changes() {
+        let mut old = Mst::new();
+        old.insert(&key_for(1), cid_for(1)).unwrap();
+        old.insert(&key_for(2), cid_for(2)).unwrap();
+        old.insert(&key_for(3), cid_for(3)).unwrap();
+        let mut new = old.clone();
+        new.remove(&key_for(1));
+        new.insert(&key_for(2), cid_for(20)).unwrap();
+        new.insert(&key_for(4), cid_for(4)).unwrap();
+        let ops = new.diff(&old);
+        assert_eq!(ops.len(), 3);
+        assert!(ops.contains(&MstDiffOp::Deleted {
+            key: key_for(1),
+            cid: cid_for(1)
+        }));
+        assert!(ops.contains(&MstDiffOp::Updated {
+            key: key_for(2),
+            old: cid_for(2),
+            new: cid_for(20)
+        }));
+        assert!(ops.contains(&MstDiffOp::Created {
+            key: key_for(4),
+            cid: cid_for(4)
+        }));
+        assert!(new.diff(&new).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn arb_entries() -> impl Strategy<Value = BTreeMap<String, u32>> {
+        proptest::collection::btree_map("[a-z]{1,8}", any::<u32>(), 0..64).prop_map(|m| {
+            m.into_iter()
+                .map(|(k, v)| (format!("app.bsky.feed.post/{k}"), v))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn root_depends_only_on_contents(entries in arb_entries(), order_seed in any::<u64>()) {
+            let mut forward = Mst::new();
+            for (k, v) in &entries {
+                forward.insert(k, Cid::for_cbor(&v.to_be_bytes())).unwrap();
+            }
+            // Insert in a pseudo-shuffled order.
+            let mut keys: Vec<_> = entries.keys().cloned().collect();
+            keys.sort_by_key(|k| {
+                crate::crypto::sha256(format!("{order_seed}{k}").as_bytes())
+            });
+            let mut shuffled = Mst::new();
+            for k in keys {
+                let v = entries[&k];
+                shuffled.insert(&k, Cid::for_cbor(&v.to_be_bytes())).unwrap();
+            }
+            prop_assert_eq!(forward.root_cid(), shuffled.root_cid());
+        }
+
+        #[test]
+        fn diff_then_apply_restores_equality(a in arb_entries(), b in arb_entries()) {
+            let make = |m: &BTreeMap<String, u32>| -> Mst {
+                m.iter()
+                    .map(|(k, v)| (k.clone(), Cid::for_cbor(&v.to_be_bytes())))
+                    .collect()
+            };
+            let old = make(&a);
+            let new = make(&b);
+            // Applying the diff to `old` must produce `new`.
+            let mut patched = old.clone();
+            for op in new.diff(&old) {
+                match op {
+                    MstDiffOp::Created { key, cid } | MstDiffOp::Updated { key, new: cid, .. } => {
+                        patched.insert(&key, cid).unwrap();
+                    }
+                    MstDiffOp::Deleted { key, .. } => {
+                        patched.remove(&key);
+                    }
+                }
+            }
+            prop_assert_eq!(patched.root_cid(), new.root_cid());
+        }
+    }
+}

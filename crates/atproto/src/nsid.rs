@@ -1,0 +1,188 @@
+//! Namespaced identifiers (NSIDs) for lexicon types.
+//!
+//! Lexicons organise record types into DNS-like reverse-domain namespaces,
+//! e.g. `app.bsky.feed.post` (§2). The measurement study distinguishes
+//! Bluesky lexicons (`app.bsky.*`, `com.atproto.*`) from third-party
+//! lexicons such as WhiteWind's `com.whtwnd.blog.entry` ("Non-Bluesky
+//! content", §4).
+
+use crate::error::{AtError, Result};
+use std::fmt;
+
+/// A validated NSID such as `app.bsky.feed.post`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Nsid(String);
+
+/// Well-known NSIDs used throughout the workspace.
+pub mod known {
+    /// A microblog post.
+    pub const POST: &str = "app.bsky.feed.post";
+    /// A like on a post or feed generator.
+    pub const LIKE: &str = "app.bsky.feed.like";
+    /// A repost.
+    pub const REPOST: &str = "app.bsky.feed.repost";
+    /// A follow edge.
+    pub const FOLLOW: &str = "app.bsky.graph.follow";
+    /// A block edge.
+    pub const BLOCK: &str = "app.bsky.graph.block";
+    /// An actor profile record.
+    pub const PROFILE: &str = "app.bsky.actor.profile";
+    /// A feed generator declaration record.
+    pub const FEED_GENERATOR: &str = "app.bsky.feed.generator";
+    /// A labeler service declaration record.
+    pub const LABELER_SERVICE: &str = "app.bsky.labeler.service";
+    /// A moderation label (emitted on label streams, not stored in repos).
+    pub const LABEL: &str = "com.atproto.label.defs#label";
+    /// WhiteWind long-form blog entry (third-party lexicon).
+    pub const WHTWND_ENTRY: &str = "com.whtwnd.blog.entry";
+}
+
+impl Nsid {
+    /// Parse and validate an NSID.
+    pub fn parse(s: &str) -> Result<Nsid> {
+        // Allow an optional `#fragment` (used for defs references).
+        let (main, fragment) = match s.split_once('#') {
+            Some((m, f)) => (m, Some(f)),
+            None => (s, None),
+        };
+        let segments: Vec<&str> = main.split('.').collect();
+        if segments.len() < 3 {
+            return Err(AtError::InvalidNsid(s.to_string()));
+        }
+        for seg in &segments {
+            if seg.is_empty()
+                || seg.len() > 63
+                || !seg
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-')
+                || seg.starts_with('-')
+                || seg.ends_with('-')
+            {
+                return Err(AtError::InvalidNsid(s.to_string()));
+            }
+        }
+        // The name segment (last) must start with a letter.
+        if !segments
+            .last()
+            .unwrap()
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic())
+            .unwrap_or(false)
+        {
+            return Err(AtError::InvalidNsid(s.to_string()));
+        }
+        if let Some(f) = fragment {
+            if f.is_empty() || !f.bytes().all(|b| b.is_ascii_alphanumeric()) {
+                return Err(AtError::InvalidNsid(s.to_string()));
+            }
+        }
+        Ok(Nsid(s.to_string()))
+    }
+
+    /// The NSID string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The namespace authority (all segments except the final name), e.g.
+    /// `app.bsky.feed` for `app.bsky.feed.post`.
+    pub fn authority(&self) -> &str {
+        let main = self.0.split('#').next().unwrap_or(&self.0);
+        match main.rfind('.') {
+            Some(idx) => &main[..idx],
+            None => main,
+        }
+    }
+
+    /// The record type name (final segment, without fragment).
+    pub fn name(&self) -> &str {
+        let main = self.0.split('#').next().unwrap_or(&self.0);
+        main.rsplit('.').next().unwrap_or(main)
+    }
+
+    /// Whether this NSID belongs to the Bluesky application or core ATProto
+    /// lexicons (as opposed to third-party applications like WhiteWind).
+    pub fn is_bluesky_lexicon(&self) -> bool {
+        self.0.starts_with("app.bsky.") || self.0.starts_with("com.atproto.")
+    }
+}
+
+impl fmt::Display for Nsid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Nsid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nsid({})", self.0)
+    }
+}
+
+impl std::str::FromStr for Nsid {
+    type Err = AtError;
+    fn from_str(s: &str) -> Result<Nsid> {
+        Nsid::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_nsids_are_valid() {
+        for s in [
+            known::POST,
+            known::LIKE,
+            known::REPOST,
+            known::FOLLOW,
+            known::BLOCK,
+            known::PROFILE,
+            known::FEED_GENERATOR,
+            known::LABELER_SERVICE,
+            known::LABEL,
+            known::WHTWND_ENTRY,
+        ] {
+            assert!(Nsid::parse(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn authority_and_name() {
+        let n = Nsid::parse("app.bsky.feed.post").unwrap();
+        assert_eq!(n.authority(), "app.bsky.feed");
+        assert_eq!(n.name(), "post");
+        assert!(n.is_bluesky_lexicon());
+        let n = Nsid::parse("com.whtwnd.blog.entry").unwrap();
+        assert!(!n.is_bluesky_lexicon());
+        assert_eq!(n.name(), "entry");
+    }
+
+    #[test]
+    fn fragment_handling() {
+        let n = Nsid::parse("com.atproto.label.defs#label").unwrap();
+        assert_eq!(n.name(), "defs");
+        assert_eq!(n.authority(), "com.atproto.label");
+        assert!(Nsid::parse("com.atproto.label.defs#").is_err());
+        assert!(Nsid::parse("com.atproto.label.defs#two#three").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        for s in [
+            "",
+            "single",
+            "two.segments",
+            "has..empty",
+            "app.bsky.1numeric",
+            "app.bsky.-dash",
+            "app.bsky.dash-",
+            "app.bsky.sp ace",
+            "app.bsky.под",
+        ] {
+            assert!(Nsid::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+}

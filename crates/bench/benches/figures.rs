@@ -1,0 +1,41 @@
+//! One benchmark group per figure family of the paper.
+
+use bsky_atproto::Datetime;
+use bsky_study::{analysis, Collector, Datasets};
+use bsky_workload::{ScenarioConfig, World};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn collected() -> (World, Datasets) {
+    let mut config = ScenarioConfig::test_scale(11);
+    config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+    config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+    config.scale = 30_000;
+    let mut world = World::new(config);
+    let datasets = Collector::new().run(&mut world);
+    (world, datasets)
+}
+
+fn figures(c: &mut Criterion) {
+    let (world, datasets) = collected();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_fig2_activity_series", |b| {
+        b.iter(|| analysis::activity_series(&datasets))
+    });
+    group.bench_function("fig3_identity_concentration", |b| {
+        b.iter(|| analysis::identity_report(&datasets, &world))
+    });
+    group.bench_function("fig4_fig5_fig6_moderation", |b| {
+        b.iter(|| analysis::moderation_report(&datasets, &world))
+    });
+    group.bench_function("fig7_to_fig12_recommendation", |b| {
+        b.iter(|| analysis::recommendation_report(&datasets, &world))
+    });
+    group.bench_function("section9_firehose_volume", |b| {
+        b.iter(|| analysis::firehose_volume(&datasets, &world))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! One benchmark group per table of the paper: each measures regenerating the
+//! table's rows from an already-collected dataset.
+
+use bsky_atproto::Datetime;
+use bsky_study::{analysis, Collector, Datasets};
+use bsky_workload::{ScenarioConfig, World};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_config() -> ScenarioConfig {
+    let mut config = ScenarioConfig::test_scale(7);
+    config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+    config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+    config.scale = 30_000;
+    config
+}
+
+fn collected() -> (World, Datasets) {
+    let mut world = World::new(bench_config());
+    let datasets = Collector::new().run(&mut world);
+    (world, datasets)
+}
+
+fn tables(c: &mut Criterion) {
+    let (world, datasets) = collected();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_firehose_breakdown", |b| {
+        b.iter(|| analysis::table1_firehose_breakdown(&datasets))
+    });
+    group.bench_function("table2_registrars_section5", |b| {
+        b.iter(|| analysis::identity_report(&datasets, &world))
+    });
+    group.bench_function("table3_table4_table6_moderation", |b| {
+        b.iter(|| analysis::moderation_report(&datasets, &world))
+    });
+    group.bench_function("table5_feature_matrix", |b| {
+        b.iter(analysis::table5_feature_matrix)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Reproduction harness: regenerates every table and figure of the paper from
+//! a seeded simulation run.
+//!
+//! Usage:
+//!   repro [--seed N] [--scale N] [--json]
+//!
+//! `--scale` is the denominator applied to the live network's size
+//! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
+//! numbers as JSON (the format EXPERIMENTS.md records).
+
+use bsky_study::StudyReport;
+use bsky_workload::ScenarioConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = 42u64;
+    let mut scale = 2_000u64;
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(seed);
+                i += 1;
+            }
+            "--scale" => {
+                scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale);
+                i += 1;
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--seed N] [--scale N] [--json]");
+                return;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut config = ScenarioConfig::repro_scale(seed);
+    config.scale = scale;
+    eprintln!(
+        "running study: seed {seed}, scale 1:{scale} (≈{} users, {} simulated days)...",
+        config.target_users(),
+        config.total_days()
+    );
+    let report = StudyReport::run(config);
+    println!("{}", report.render());
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report.to_json()).expect("serialisable"));
+    }
+}

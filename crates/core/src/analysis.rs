@@ -1,0 +1,1334 @@
+//! The analyses of §4–§9: every table and figure of the paper, computed from
+//! the collected [`Datasets`] plus the active measurements (DNS, WHOIS,
+//! Tranco, endpoint classification) the study performed against the network.
+//!
+//! Each function returns a small result struct with a `render()` method that
+//! prints rows in the same shape as the corresponding table or figure.
+
+use crate::datasets::Datasets;
+use crate::langdetect;
+use crate::stats;
+use bsky_atproto::firehose::{EventBody, EventKind};
+use bsky_atproto::label::{effective_labels, LabelTargetKind};
+use bsky_atproto::nsid::known;
+use bsky_atproto::record::Record;
+use bsky_atproto::Datetime;
+use bsky_labeler::LabelerOperator;
+use bsky_simnet::net::HostingClass;
+use bsky_workload::World;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn month_of(dt: Datetime) -> String {
+    dt.date().year_month()
+}
+
+// ---------------------------------------------------------------------------
+// §4 / Table 1 / Figures 1–2
+// ---------------------------------------------------------------------------
+
+/// Table 1: firehose event-type breakdown.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows: `(event type name, count, share %)`.
+    pub rows: Vec<(String, u64, f64)>,
+    /// Total events.
+    pub total: u64,
+}
+
+/// Compute Table 1 from the firehose dataset.
+pub fn table1_firehose_breakdown(datasets: &Datasets) -> Table1 {
+    let mut counts: BTreeMap<EventKind, u64> = BTreeMap::new();
+    for event in &datasets.firehose_events {
+        *counts.entry(event.kind()).or_insert(0) += 1;
+    }
+    let total: u64 = counts.values().sum();
+    let rows = EventKind::all()
+        .iter()
+        .filter(|k| **k != EventKind::Info)
+        .map(|k| {
+            let count = counts.get(k).copied().unwrap_or(0);
+            (k.display_name().to_string(), count, stats::share(count, total))
+        })
+        .collect();
+    Table1 { rows, total }
+}
+
+impl Table1 {
+    /// Render in the paper's format.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table 1: Overview of Firehose event types\nEvent Type              | # Total      | Share (%)\n");
+        for (name, count, share) in &self.rows {
+            out.push_str(&format!("{name:<23} | {count:>12} | {share:>8.2}\n"));
+        }
+        out.push_str(&format!("Total events: {}\n", self.total));
+        out
+    }
+}
+
+/// Figure 1 / Figure 2: daily activity series (aggregated monthly for
+/// rendering).
+#[derive(Debug, Clone)]
+pub struct ActivitySeries {
+    /// Per-month `(month, active users, posts, likes, reposts)`.
+    pub monthly: Vec<(String, u64, u64, u64, u64)>,
+    /// Per-month per-language active users (Figure 2).
+    pub monthly_by_language: Vec<(String, Vec<(String, u64)>)>,
+    /// Grand totals `(posts, likes, follows, reposts, blocks)` from the
+    /// repositories dataset (§4 text).
+    pub totals: (u64, u64, u64, u64, u64),
+}
+
+/// Compute Figures 1 and 2 plus §4's operation totals.
+pub fn activity_series(datasets: &Datasets) -> ActivitySeries {
+    // Totals from the repositories dataset.
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+    // Daily activity from the repositories' record timestamps.
+    let mut daily_users: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut monthly_ops: BTreeMap<String, (BTreeSet<String>, u64, u64, u64)> = BTreeMap::new();
+    for repo in &datasets.repositories {
+        for (collection, _rkey, record) in &repo.records {
+            let created = match record.created_at() {
+                Some(c) => c,
+                None => continue,
+            };
+            let month = month_of(created);
+            let lang = match record {
+                Record::Post(p) => p.langs.first().cloned().unwrap_or_else(|| "und".into()),
+                _ => "und".into(),
+            };
+            match collection.as_str() {
+                known::POST => {
+                    totals.0 += 1;
+                    let entry = monthly_ops.entry(month.clone()).or_default();
+                    entry.0.insert(repo.did.to_string());
+                    entry.1 += 1;
+                    daily_users
+                        .entry((month.clone(), lang))
+                        .or_default()
+                        .insert(repo.did.to_string());
+                }
+                known::LIKE => {
+                    totals.1 += 1;
+                    let entry = monthly_ops.entry(month.clone()).or_default();
+                    entry.0.insert(repo.did.to_string());
+                    entry.2 += 1;
+                }
+                known::FOLLOW => totals.2 += 1,
+                known::REPOST => {
+                    totals.3 += 1;
+                    let entry = monthly_ops.entry(month.clone()).or_default();
+                    entry.0.insert(repo.did.to_string());
+                    entry.3 += 1;
+                }
+                known::BLOCK => totals.4 += 1,
+                _ => {}
+            }
+        }
+    }
+    let monthly = monthly_ops
+        .iter()
+        .map(|(month, (users, posts, likes, reposts))| {
+            (month.clone(), users.len() as u64, *posts, *likes, *reposts)
+        })
+        .collect();
+    let mut by_lang: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    for ((month, lang), users) in &daily_users {
+        by_lang
+            .entry(month.clone())
+            .or_default()
+            .push((lang.clone(), users.len() as u64));
+    }
+    let monthly_by_language = by_lang.into_iter().collect();
+    ActivitySeries {
+        monthly,
+        monthly_by_language,
+        totals,
+    }
+}
+
+impl ActivitySeries {
+    /// Render Figure 1's series.
+    pub fn render_figure1(&self) -> String {
+        let mut out = String::from("Figure 1: Monthly active users and operations\nMonth    | Active | Posts   | Likes   | Reposts\n");
+        for (month, users, posts, likes, reposts) in &self.monthly {
+            out.push_str(&format!(
+                "{month} | {users:>6} | {posts:>7} | {likes:>7} | {reposts:>7}\n"
+            ));
+        }
+        let (p, l, f, r, b) = self.totals;
+        out.push_str(&format!(
+            "Totals: {p} posts, {l} likes, {f} follows, {r} reposts, {b} blocks\n"
+        ));
+        out
+    }
+
+    /// Render Figure 2's per-language series.
+    pub fn render_figure2(&self) -> String {
+        let mut out =
+            String::from("Figure 2: Monthly active posting users per language community\n");
+        for (month, langs) in &self.monthly_by_language {
+            let mut sorted = langs.clone();
+            sorted.sort_by(|a, b| b.1.cmp(&a.1));
+            let row: Vec<String> = sorted
+                .iter()
+                .take(5)
+                .map(|(l, c)| format!("{l}:{c}"))
+                .collect();
+            out.push_str(&format!("{month} | {}\n", row.join("  ")));
+        }
+        out
+    }
+}
+
+/// §4 account popularity and non-Bluesky content.
+#[derive(Debug, Clone)]
+pub struct Section4 {
+    /// Most-followed accounts `(handle-ish DID, followers)`.
+    pub most_followed: Vec<(String, u64)>,
+    /// Most-blocked accounts `(DID, blocks)`.
+    pub most_blocked: Vec<(String, u64)>,
+    /// Number of non-Bluesky (third-party lexicon) records observed on the
+    /// firehose.
+    pub non_bsky_records: u64,
+    /// Total firehose events for context.
+    pub firehose_events: u64,
+}
+
+/// Compute §4's popularity and non-Bluesky content findings.
+pub fn section4_accounts(datasets: &Datasets) -> Section4 {
+    let mut followers: BTreeMap<String, u64> = BTreeMap::new();
+    let mut blocks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut non_bsky = 0u64;
+    for repo in &datasets.repositories {
+        for (collection, _, record) in &repo.records {
+            match record {
+                Record::Follow(f) => *followers.entry(f.subject.to_string()).or_insert(0) += 1,
+                Record::Block(b) => *blocks.entry(b.subject.to_string()).or_insert(0) += 1,
+                _ => {}
+            }
+            if !collection.is_bluesky_lexicon() {
+                non_bsky += 1;
+            }
+        }
+    }
+    let mut most_followed: Vec<(String, u64)> = followers.into_iter().collect();
+    most_followed.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    most_followed.truncate(5);
+    let mut most_blocked: Vec<(String, u64)> = blocks.into_iter().collect();
+    most_blocked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    most_blocked.truncate(5);
+    Section4 {
+        most_followed,
+        most_blocked,
+        non_bsky_records: non_bsky,
+        firehose_events: datasets.firehose_events.len() as u64,
+    }
+}
+
+impl Section4 {
+    /// Render the §4 summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Section 4: account popularity and non-Bluesky content\n");
+        out.push_str("Most followed accounts:\n");
+        for (did, n) in &self.most_followed {
+            out.push_str(&format!("  {did} — {n} followers\n"));
+        }
+        out.push_str("Most blocked accounts:\n");
+        for (did, n) in &self.most_blocked {
+            out.push_str(&format!("  {did} — {n} blocks\n"));
+        }
+        out.push_str(&format!(
+            "Non-Bluesky lexicon records: {} (of {} firehose events)\n",
+            self.non_bsky_records, self.firehose_events
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5 / Table 2 / Figure 3
+// ---------------------------------------------------------------------------
+
+/// §5 identity findings.
+#[derive(Debug, Clone)]
+pub struct IdentityReport {
+    /// Total FQDN handles examined.
+    pub total_handles: u64,
+    /// Handles under bsky.social and their share (%).
+    pub bsky_social: (u64, f64),
+    /// Number of did:web identities.
+    pub did_web: u64,
+    /// Figure 3: non-bsky.social registered domains with most subdomain
+    /// handles `(registered domain, handles)`.
+    pub subdomain_providers: Vec<(String, u64)>,
+    /// Registered domains extracted from custom handles.
+    pub registered_domains: u64,
+    /// Registered domains found in the Tranco top-1M and their share (%).
+    pub tranco_overlap: (u64, f64),
+    /// Ownership proofs: `(dns txt count, well-known count, txt share %)`.
+    pub proofs: (u64, u64, f64),
+    /// Table 2: registrars `(IANA id, name, domains, share %)`.
+    pub registrars: Vec<(Option<u32>, String, u64, f64)>,
+    /// Handle updates observed on the firehose: `(changes, unique DIDs,
+    /// unique handles, share of final handles under bsky.social %)`.
+    pub handle_updates: (u64, u64, u64, f64),
+}
+
+/// Compute §5: identity centralization, Table 2 and Figure 3.
+pub fn identity_report(datasets: &Datasets, world: &World) -> IdentityReport {
+    let total_handles = datasets.did_documents.len() as u64;
+    let bsky_count = datasets
+        .did_documents
+        .iter()
+        .filter(|d| d.handle.is_bsky_social())
+        .count() as u64;
+
+    // Figure 3: group non-custodial handles by registered domain (PSL).
+    let mut provider_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut registered_domains: BTreeSet<String> = BTreeSet::new();
+    let mut tranco_hits: BTreeSet<String> = BTreeSet::new();
+    for doc in &datasets.did_documents {
+        if doc.handle.is_bsky_social() {
+            continue;
+        }
+        if let Some(registered) = world.psl.registered_domain(doc.handle.as_str()) {
+            *provider_counts.entry(registered.clone()).or_insert(0) += 1;
+            registered_domains.insert(registered.clone());
+            if world.tranco.in_top(&registered, 1_000_000) {
+                tranco_hits.insert(registered);
+            }
+        }
+    }
+    let mut subdomain_providers: Vec<(String, u64)> = provider_counts.into_iter().collect();
+    subdomain_providers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    subdomain_providers.truncate(10);
+
+    // Ownership proofs via active measurement (DNS first, then well-known).
+    let mut dns_proofs = 0u64;
+    let mut well_known_proofs = 0u64;
+    for doc in &datasets.did_documents {
+        if doc.handle.is_bsky_social() {
+            continue;
+        }
+        if world.dns.lookup_atproto_did(doc.handle.as_str()).is_some() {
+            dns_proofs += 1;
+        } else if world
+            .web
+            .get(&doc.handle.well_known_url())
+            .body()
+            .is_some()
+        {
+            well_known_proofs += 1;
+        }
+    }
+    let proof_total = (dns_proofs + well_known_proofs).max(1);
+
+    // Table 2: WHOIS scan over the registered domains.
+    let mut registrar_counts: BTreeMap<(Option<u32>, String), u64> = BTreeMap::new();
+    let mut with_iana = 0u64;
+    for domain in &registered_domains {
+        if let Some(record) = world.whois.query(domain) {
+            if let Some(registrar) = &record.registrar {
+                *registrar_counts
+                    .entry((registrar.iana_id, registrar.name.clone()))
+                    .or_insert(0) += 1;
+                if registrar.iana_id.is_some() {
+                    with_iana += 1;
+                }
+            }
+        }
+    }
+    let mut registrars: Vec<(Option<u32>, String, u64, f64)> = registrar_counts
+        .into_iter()
+        .map(|((id, name), count)| (id, name, count, stats::share(count, with_iana.max(1))))
+        .collect();
+    registrars.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+    registrars.truncate(7);
+
+    // Handle updates from the firehose.
+    let mut changes = 0u64;
+    let mut dids: BTreeSet<String> = BTreeSet::new();
+    let mut handles: BTreeSet<String> = BTreeSet::new();
+    let mut final_handle: BTreeMap<String, String> = BTreeMap::new();
+    for event in &datasets.firehose_events {
+        if let EventBody::HandleChange { did, handle } = &event.body {
+            changes += 1;
+            dids.insert(did.to_string());
+            handles.insert(handle.as_str().to_string());
+            final_handle.insert(did.to_string(), handle.as_str().to_string());
+        }
+    }
+    let final_bsky = final_handle
+        .values()
+        .filter(|h| h.ends_with(".bsky.social"))
+        .count() as u64;
+
+    IdentityReport {
+        total_handles,
+        bsky_social: (bsky_count, stats::share(bsky_count, total_handles)),
+        did_web: datasets.did_web_count as u64,
+        subdomain_providers,
+        registered_domains: registered_domains.len() as u64,
+        tranco_overlap: (
+            tranco_hits.len() as u64,
+            stats::share(tranco_hits.len() as u64, registered_domains.len().max(1) as u64),
+        ),
+        proofs: (
+            dns_proofs,
+            well_known_proofs,
+            stats::share(dns_proofs, proof_total),
+        ),
+        registrars,
+        handle_updates: (
+            changes,
+            dids.len() as u64,
+            handles.len() as u64,
+            stats::share(final_bsky, final_handle.len().max(1) as u64),
+        ),
+    }
+}
+
+impl IdentityReport {
+    /// Render §5, Table 2 and Figure 3.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Section 5: (de)centralized identity\n");
+        out.push_str(&format!(
+            "FQDN handles: {}   under bsky.social: {} ({:.1} %)   did:web identities: {}\n",
+            self.total_handles, self.bsky_social.0, self.bsky_social.1, self.did_web
+        ));
+        out.push_str("Figure 3: subdomain handles per registered domain (excl. bsky.social)\n");
+        for (domain, count) in &self.subdomain_providers {
+            out.push_str(&format!("  {domain:<24} {count}\n"));
+        }
+        out.push_str(&format!(
+            "Registered domains: {}   in Tranco top-1M: {} ({:.1} %)\n",
+            self.registered_domains, self.tranco_overlap.0, self.tranco_overlap.1
+        ));
+        out.push_str(&format!(
+            "Ownership proofs: DNS TXT {} / well-known {} ({:.1} % TXT)\n",
+            self.proofs.0, self.proofs.1, self.proofs.2
+        ));
+        out.push_str("Table 2: Domain name handles per registrar\nIANA ID | Registrar                  | # Total | Share (%)\n");
+        for (id, name, count, share) in &self.registrars {
+            let id_str = id.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+            out.push_str(&format!("{id_str:>7} | {name:<26} | {count:>7} | {share:>6.2}\n"));
+        }
+        let (changes, dids, handles, final_bsky) = self.handle_updates;
+        out.push_str(&format!(
+            "Handle updates: {changes} changes by {dids} DIDs over {handles} unique handles; {final_bsky:.1} % of final handles under bsky.social\n"
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §6 / Tables 3, 4, 6 / Figures 4, 5, 6
+// ---------------------------------------------------------------------------
+
+/// Per-labeler reaction-time statistics (Table 6 / Figure 5).
+#[derive(Debug, Clone)]
+pub struct LabelerReaction {
+    /// Labeler DID.
+    pub did: String,
+    /// Display name.
+    pub name: String,
+    /// Operator class.
+    pub community: bool,
+    /// Top label values by application count.
+    pub top_values: Vec<String>,
+    /// Distinct values emitted.
+    pub unique_values: u64,
+    /// Total labels applied (excluding negations).
+    pub total: u64,
+    /// Share of all labels (%).
+    pub share: f64,
+    /// Median reaction time in seconds (posts only).
+    pub median_reaction_secs: Option<f64>,
+    /// Interquartile distance of the reaction time.
+    pub iqd_reaction_secs: Option<f64>,
+}
+
+/// The §6 moderation report.
+#[derive(Debug, Clone)]
+pub struct ModerationReport {
+    /// Announced / functional / active labeler counts.
+    pub labeler_counts: (u64, u64, u64),
+    /// Endpoint hosting classification `(cloud, residential, dead)`.
+    pub hosting: (u64, u64, u64),
+    /// Figure 4: per-month labels by source `(month, bluesky, community)` and
+    /// cumulative community labelers.
+    pub labels_by_month: Vec<(String, u64, u64, u64)>,
+    /// Community share of labels in the last full month (%).
+    pub community_share_last_month: f64,
+    /// Total label interactions and rescissions.
+    pub interactions: (u64, u64),
+    /// Unique labeled objects.
+    pub unique_objects: u64,
+    /// Share of last-month posts that received a label (%).
+    pub last_month_posts_labeled_share: f64,
+    /// Distinct label values (raw and after cleaning).
+    pub label_values: (u64, u64),
+    /// Share of labeled objects carrying labels from multiple services (%).
+    pub multi_service_share: f64,
+    /// Share of objects labeled by both Bluesky and a community labeler (%).
+    pub bluesky_community_overlap_share: f64,
+    /// Table 3: top community labelers `(name, labels applied, likes)`.
+    pub table3: Vec<(String, u64, u64)>,
+    /// Table 4: label targets `(kind, objects, share %, top values)`.
+    pub table4: Vec<(String, u64, f64, Vec<(String, u64)>)>,
+    /// Table 6 / Figure 5: per-labeler reaction statistics.
+    pub table6: Vec<LabelerReaction>,
+    /// Figure 6: per-value `(value, objects, median reaction s, community)`.
+    pub figure6: Vec<(String, u64, f64, bool)>,
+}
+
+/// Compute the §6 moderation analyses.
+pub fn moderation_report(datasets: &Datasets, world: &World) -> ModerationReport {
+    let announced = datasets.labelers.len() as u64;
+    let functional = datasets.labelers.iter().filter(|l| l.functional).count() as u64;
+    let active = datasets
+        .labelers
+        .iter()
+        .filter(|l| !l.labels.is_empty())
+        .count() as u64;
+    let hosting = (
+        datasets
+            .labelers
+            .iter()
+            .filter(|l| l.hosting == HostingClass::Cloud)
+            .count() as u64,
+        datasets
+            .labelers
+            .iter()
+            .filter(|l| l.hosting == HostingClass::Residential)
+            .count() as u64,
+        datasets
+            .labelers
+            .iter()
+            .filter(|l| l.hosting == HostingClass::Dead)
+            .count() as u64,
+    );
+
+    // Index post creation times for reaction-time computation, and likes on
+    // feed generator creators for Table 3's likes column.
+    let mut post_created: BTreeMap<String, Datetime> = BTreeMap::new();
+    for repo in &datasets.repositories {
+        for (collection, _, record) in &repo.records {
+            if collection.as_str() == known::POST {
+                if let (Record::Post(p), Some(_)) = (record, record.created_at()) {
+                    // We cannot reconstruct the rkey from the CAR walk, so key
+                    // reaction times off the firehose instead (below).
+                    let _ = p;
+                }
+            }
+        }
+    }
+    // Post creation times from firehose commit ops (the paper computes
+    // reaction times against posts received from the firehose since Mar 6).
+    for event in &datasets.firehose_events {
+        if let EventBody::Commit { did, ops, .. } = &event.body {
+            for op in ops {
+                if op.collection() == known::POST && op.cid.is_some() {
+                    let uri = format!("at://{did}/{}", op.key);
+                    post_created.entry(uri).or_insert(event.time);
+                }
+            }
+        }
+    }
+
+    // Label accounting.
+    let mut per_month: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut labeler_month_first: BTreeMap<String, String> = BTreeMap::new();
+    let mut interactions = 0u64;
+    let mut rescissions = 0u64;
+    let mut objects: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // object -> labeler DIDs
+    let mut object_kind: BTreeMap<String, LabelTargetKind> = BTreeMap::new();
+    let mut value_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut value_reactions: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut value_by_community: BTreeMap<String, bool> = BTreeMap::new();
+    let mut per_target_kind: BTreeMap<LabelTargetKind, BTreeMap<String, u64>> = BTreeMap::new();
+    let mut raw_values: BTreeSet<String> = BTreeSet::new();
+    let mut applied_values: BTreeSet<String> = BTreeSet::new();
+    let mut bluesky_objects: BTreeSet<String> = BTreeSet::new();
+    let mut community_objects: BTreeSet<String> = BTreeSet::new();
+    let mut table3_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut table6 = Vec::new();
+
+    let official_did = datasets
+        .labelers
+        .iter()
+        .find(|l| l.operator == LabelerOperator::BlueskyOfficial)
+        .map(|l| l.did.to_string())
+        .unwrap_or_default();
+
+    let total_applied: u64 = datasets
+        .labelers
+        .iter()
+        .map(|l| l.labels.iter().filter(|x| !x.negated).count() as u64)
+        .sum();
+
+    for entry in &datasets.labelers {
+        let community = entry.operator == LabelerOperator::Community;
+        let mut reactions: Vec<f64> = Vec::new();
+        let mut values: BTreeMap<String, u64> = BTreeMap::new();
+        let mut applied = 0u64;
+        for label in &entry.labels {
+            interactions += 1;
+            raw_values.insert(label.value.clone());
+            if label.negated {
+                rescissions += 1;
+                continue;
+            }
+            applied += 1;
+            applied_values.insert(label.value.clone());
+            *values.entry(label.value.clone()).or_insert(0) += 1;
+            *value_counts.entry(label.value.clone()).or_insert(0) += 1;
+            value_by_community
+                .entry(label.value.clone())
+                .and_modify(|c| *c = *c && community)
+                .or_insert(community);
+            let month = month_of(label.created_at);
+            let slot = per_month.entry(month.clone()).or_insert((0, 0));
+            if community {
+                slot.1 += 1;
+                labeler_month_first
+                    .entry(entry.did.to_string())
+                    .or_insert(month.clone());
+            } else {
+                slot.0 += 1;
+            }
+            let object = label.target.uri();
+            objects
+                .entry(object.clone())
+                .or_default()
+                .insert(entry.did.to_string());
+            object_kind.insert(object.clone(), label.target.kind());
+            *per_target_kind
+                .entry(label.target.kind())
+                .or_default()
+                .entry(label.value.clone())
+                .or_insert(0) += 1;
+            if entry.did.to_string() == official_did {
+                bluesky_objects.insert(object.clone());
+            } else {
+                community_objects.insert(object.clone());
+            }
+            if community {
+                *table3_counts.entry(entry.name.clone()).or_insert(0) += 1;
+            }
+            // Reaction time against the post's firehose arrival.
+            if let Some(created) = post_created.get(&object) {
+                let delta = (label.created_at.timestamp() - created.timestamp()).max(0) as f64;
+                reactions.push(delta);
+                value_reactions
+                    .entry(label.value.clone())
+                    .or_default()
+                    .push(delta);
+            }
+        }
+        if applied > 0 {
+            let mut top: Vec<(String, u64)> = values.into_iter().collect();
+            top.sort_by(|a, b| b.1.cmp(&a.1));
+            table6.push(LabelerReaction {
+                did: entry.did.to_string(),
+                name: entry.name.clone(),
+                community,
+                unique_values: top.len() as u64,
+                top_values: top.iter().take(3).map(|(v, _)| v.clone()).collect(),
+                total: applied,
+                share: stats::share(applied, total_applied.max(1)),
+                median_reaction_secs: stats::median(&reactions),
+                iqd_reaction_secs: stats::iqd(&reactions),
+            });
+        }
+    }
+    table6.sort_by(|a, b| b.total.cmp(&a.total));
+
+    // Figure 4 series with cumulative community labeler count.
+    let mut labels_by_month: Vec<(String, u64, u64, u64)> = Vec::new();
+    let mut seen_labelers: BTreeSet<String> = BTreeSet::new();
+    let months: BTreeSet<String> = per_month.keys().cloned().collect();
+    for month in months {
+        for (did, first) in &labeler_month_first {
+            if *first <= month {
+                seen_labelers.insert(did.clone());
+            }
+        }
+        let (bluesky, community) = per_month.get(&month).copied().unwrap_or((0, 0));
+        labels_by_month.push((month, bluesky, community, seen_labelers.len() as u64));
+    }
+    let community_share_last_month = labels_by_month
+        .last()
+        .map(|(_, b, c, _)| stats::share(*c, b + c))
+        .unwrap_or(0.0);
+
+    // Last-month labeled-post share: posts created in the last full month of
+    // the window vs labeled objects in that month.
+    let last_month = month_of(datasets.collection_end.plus_days(-15));
+    let posts_last_month = post_created
+        .values()
+        .filter(|t| month_of(**t) == last_month)
+        .count() as u64;
+    let labeled_posts_last_month = objects
+        .keys()
+        .filter(|uri| {
+            post_created
+                .get(*uri)
+                .map(|t| month_of(*t) == last_month)
+                .unwrap_or(false)
+        })
+        .count() as u64;
+
+    // Table 3: top community labelers with likes on their accounts.
+    let mut likes_on_accounts: BTreeMap<String, u64> = BTreeMap::new();
+    for repo in &datasets.repositories {
+        for (_, _, record) in &repo.records {
+            if let Record::Like(like) = record {
+                *likes_on_accounts
+                    .entry(like.subject.did().to_string())
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    let mut table3: Vec<(String, u64, u64)> = table3_counts
+        .into_iter()
+        .map(|(name, count)| {
+            let likes = datasets
+                .labelers
+                .iter()
+                .find(|l| l.name == name)
+                .and_then(|l| likes_on_accounts.get(&l.did.to_string()).copied())
+                .unwrap_or(0);
+            (name, count, likes)
+        })
+        .collect();
+    table3.sort_by(|a, b| b.1.cmp(&a.1));
+    table3.truncate(5);
+
+    // Table 4: label targets.
+    let total_objects = objects.len() as u64;
+    let mut table4 = Vec::new();
+    for kind in [
+        LabelTargetKind::Post,
+        LabelTargetKind::Account,
+        LabelTargetKind::BannerAvatar,
+    ] {
+        let count = object_kind.values().filter(|k| **k == kind).count() as u64;
+        let mut top: Vec<(String, u64)> = per_target_kind
+            .get(&kind)
+            .map(|m| m.iter().map(|(v, c)| (v.clone(), *c)).collect())
+            .unwrap_or_default();
+        top.sort_by(|a, b| b.1.cmp(&a.1));
+        top.truncate(5);
+        table4.push((
+            kind.display_name().to_string(),
+            count,
+            stats::share(count, total_objects.max(1)),
+            top,
+        ));
+    }
+
+    // Figure 6: per-value reaction times.
+    let mut figure6: Vec<(String, u64, f64, bool)> = value_counts
+        .iter()
+        .map(|(value, count)| {
+            let median = value_reactions
+                .get(value)
+                .and_then(|v| stats::median(v))
+                .unwrap_or(0.0);
+            (
+                value.clone(),
+                *count,
+                median,
+                value_by_community.get(value).copied().unwrap_or(true),
+            )
+        })
+        .collect();
+    figure6.sort_by(|a, b| b.1.cmp(&a.1));
+
+    // Overlap statistics.
+    let multi_service = objects.values().filter(|s| s.len() > 1).count() as u64;
+    let both = bluesky_objects.intersection(&community_objects).count() as u64;
+
+    let _ = world;
+    ModerationReport {
+        labeler_counts: (announced, functional, active),
+        hosting,
+        labels_by_month,
+        community_share_last_month,
+        interactions: (interactions, rescissions),
+        unique_objects: total_objects,
+        last_month_posts_labeled_share: stats::share(
+            labeled_posts_last_month,
+            posts_last_month.max(1),
+        ),
+        label_values: (raw_values.len() as u64, applied_values.len() as u64),
+        multi_service_share: stats::share(multi_service, total_objects.max(1)),
+        bluesky_community_overlap_share: stats::share(both, total_objects.max(1)),
+        table3,
+        table4,
+        table6,
+        figure6,
+    }
+}
+
+impl ModerationReport {
+    /// Render §6, Tables 3/4/6 and Figures 4/5/6.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Section 6: content moderation\n");
+        let (a, f, act) = self.labeler_counts;
+        out.push_str(&format!(
+            "Labelers: {a} announced, {f} functional, {act} issued ≥1 label\n"
+        ));
+        let (cloud, res, dead) = self.hosting;
+        out.push_str(&format!(
+            "Endpoints: {cloud} cloud / {res} residential / {dead} not functional\n"
+        ));
+        out.push_str(&format!(
+            "Label interactions: {} (incl. {} rescinded), {} unique objects, {} -> {} label values\n",
+            self.interactions.0, self.interactions.1, self.unique_objects,
+            self.label_values.0, self.label_values.1
+        ));
+        out.push_str(&format!(
+            "Community share of labels in final month: {:.1} %\n",
+            self.community_share_last_month
+        ));
+        out.push_str(&format!(
+            "Share of final-month posts labeled: {:.2} %   multi-service objects: {:.1} %   Bluesky∩community objects: {:.1} %\n",
+            self.last_month_posts_labeled_share, self.multi_service_share,
+            self.bluesky_community_overlap_share
+        ));
+        out.push_str("Figure 4: labels per month by source (+ cumulative community labelers)\n");
+        for (month, bluesky, community, labelers) in &self.labels_by_month {
+            out.push_str(&format!(
+                "  {month} | bluesky {bluesky:>8} | community {community:>8} | labelers {labelers}\n"
+            ));
+        }
+        out.push_str("Table 3: Top community labelers by labels applied\n");
+        for (i, (name, count, likes)) in self.table3.iter().enumerate() {
+            out.push_str(&format!("  {} {name:<42} {count:>8} labels  {likes:>5} likes\n", i + 1));
+        }
+        out.push_str("Table 4: Label targets with most-applied labels\n");
+        for (kind, count, share, top) in &self.table4 {
+            let tops: Vec<String> = top.iter().map(|(v, c)| format!("{v} ({c})")).collect();
+            out.push_str(&format!(
+                "  {kind:<14} {count:>8} ({share:>5.2} %)  {}\n",
+                tops.join(", ")
+            ));
+        }
+        out.push_str("Table 6 / Figure 5: per-labeler volumes and reaction times\n");
+        for row in &self.table6 {
+            out.push_str(&format!(
+                "  {:<40} {:>8} labels ({:>5.2} %)  median {}  iqd {}  [{}]\n",
+                row.name,
+                row.total,
+                row.share,
+                row.median_reaction_secs
+                    .map(|v| format!("{v:.2}s"))
+                    .unwrap_or_else(|| "-".into()),
+                row.iqd_reaction_secs
+                    .map(|v| format!("{v:.2}s"))
+                    .unwrap_or_else(|| "-".into()),
+                if row.community { "community" } else { "bluesky" },
+            ));
+        }
+        out.push_str("Figure 6: objects per label value vs reaction time\n");
+        for (value, count, median, community) in self.figure6.iter().take(20) {
+            out.push_str(&format!(
+                "  {value:<28} {count:>8} objects  median {median:>10.2}s  [{}]\n",
+                if *community { "community" } else { "bluesky" }
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §7 / Table 5 / Figures 7–12
+// ---------------------------------------------------------------------------
+
+/// The §7 recommendation report.
+#[derive(Debug, Clone)]
+pub struct RecommendationReport {
+    /// Reachable feed generators.
+    pub total_feeds: u64,
+    /// Feeds that never curated a post, and their share (%).
+    pub never_curated: (u64, f64),
+    /// Language distribution of descriptions `(language, share %)`.
+    pub description_languages: Vec<(String, f64)>,
+    /// Figure 8: most common description words.
+    pub top_words: Vec<(String, u64)>,
+    /// Figure 9: top labels on feed-curated posts.
+    pub feed_post_labels: Vec<(String, u64)>,
+    /// Share of feeds with ≥10 % labeled content (%).
+    pub heavily_labeled_share: f64,
+    /// Figure 7: cumulative `(month, feeds, likes on feeds, follows on
+    /// creators)`.
+    pub cumulative_growth: Vec<(String, u64, u64, u64)>,
+    /// Figure 10: `(feed name, posts, likes)` for the most extreme feeds.
+    pub posts_vs_likes: Vec<(String, u64, u64)>,
+    /// Figure 11: mean in/out-degree of feed creators vs other users.
+    pub creator_degrees: ((f64, f64), (f64, f64)),
+    /// Pearson r of (#feeds created, followers).
+    pub r_feeds_followers: Option<f64>,
+    /// Pearson r of (sum of likes on created feeds, followers).
+    pub r_likes_followers: Option<f64>,
+    /// Feeds-per-account distribution `(1 feed %, 2-10 %, >100 count, max)`.
+    pub feeds_per_account: (f64, f64, u64, u64),
+    /// Figure 12 / Table 5: per-platform `(name, feeds, share %, posts share
+    /// %, likes share %)`.
+    pub platform_shares: Vec<(String, u64, f64, f64, f64)>,
+}
+
+/// Compute the §7 recommendation analyses.
+pub fn recommendation_report(datasets: &Datasets, world: &World) -> RecommendationReport {
+    let total_feeds = datasets.feed_generators.len() as u64;
+    let never = datasets
+        .feed_generators
+        .iter()
+        .filter(|f| f.posts.is_empty())
+        .count() as u64;
+
+    // Language detection over descriptions.
+    let langs: Vec<&'static str> = datasets
+        .feed_generators
+        .iter()
+        .map(|f| langdetect::detect(&f.description))
+        .collect();
+    let lang_counts = stats::top_counts(langs.iter().copied());
+    let description_languages = lang_counts
+        .iter()
+        .map(|(l, c)| ((*l).to_string(), stats::share(*c, total_feeds.max(1))))
+        .collect();
+
+    // Figure 8: word frequencies.
+    let mut words: BTreeMap<String, u64> = BTreeMap::new();
+    for feed in &datasets.feed_generators {
+        for word in feed.description.split_whitespace() {
+            let cleaned: String = word
+                .chars()
+                .filter(|c| c.is_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            if cleaned.len() >= 3 {
+                *words.entry(cleaned).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut top_words: Vec<(String, u64)> = words.into_iter().collect();
+    top_words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    top_words.truncate(15);
+
+    // Figure 9: labels attached to feed-curated posts; heavily-labeled share.
+    let mut label_by_uri: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for entry in &datasets.labelers {
+        for label in effective_labels(&entry.labels) {
+            label_by_uri
+                .entry(label.target.uri())
+                .or_default()
+                .push(label.value.clone());
+        }
+    }
+    let mut feed_label_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut heavily_labeled = 0u64;
+    for feed in &datasets.feed_generators {
+        if feed.posts.is_empty() {
+            continue;
+        }
+        let labeled = feed
+            .posts
+            .iter()
+            .filter(|(uri, _)| label_by_uri.contains_key(&uri.to_string()))
+            .count();
+        if labeled as f64 / feed.posts.len() as f64 >= 0.10 {
+            heavily_labeled += 1;
+            // Most frequent label for this feed.
+            let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+            for (uri, _) in &feed.posts {
+                if let Some(values) = label_by_uri.get(&uri.to_string()) {
+                    for value in values {
+                        *counts.entry(value.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+            if let Some((top_value, _)) = counts.into_iter().max_by_key(|(_, c)| *c) {
+                *feed_label_counts.entry(top_value).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut feed_post_labels: Vec<(String, u64)> = feed_label_counts.into_iter().collect();
+    feed_post_labels.sort_by(|a, b| b.1.cmp(&a.1));
+    feed_post_labels.truncate(10);
+
+    // Figure 7: cumulative growth by month.
+    let mut by_month: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    for info in &world.feedgen_info {
+        let month = month_of(info.plan.created_at);
+        by_month.entry(month).or_default().0 += 1;
+    }
+    // Likes on feeds / follows on creators attributed to the month of the
+    // like/follow record.
+    let feed_creator_dids: BTreeSet<String> = datasets
+        .feed_generators
+        .iter()
+        .map(|f| f.creator.to_string())
+        .collect();
+    let feed_uris: BTreeSet<String> = datasets
+        .feed_generators
+        .iter()
+        .map(|f| f.uri.to_string())
+        .collect();
+    for repo in &datasets.repositories {
+        for (_, _, record) in &repo.records {
+            match record {
+                Record::Like(like) if feed_uris.contains(&like.subject.to_string()) => {
+                    by_month
+                        .entry(month_of(like.created_at))
+                        .or_default()
+                        .1 += 1;
+                }
+                Record::Follow(follow)
+                    if feed_creator_dids.contains(&follow.subject.to_string()) =>
+                {
+                    by_month
+                        .entry(month_of(follow.created_at))
+                        .or_default()
+                        .2 += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut cumulative_growth = Vec::new();
+    let mut acc = (0u64, 0u64, 0u64);
+    for (month, (feeds, likes, follows)) in by_month {
+        acc.0 += feeds;
+        acc.1 += likes;
+        acc.2 += follows;
+        cumulative_growth.push((month, acc.0, acc.1, acc.2));
+    }
+
+    // Figure 10: posts vs likes extremes.
+    let mut posts_vs_likes: Vec<(String, u64, u64)> = datasets
+        .feed_generators
+        .iter()
+        .map(|f| (f.display_name.clone(), f.posts.len() as u64, f.like_count))
+        .collect();
+    posts_vs_likes.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)));
+    posts_vs_likes.truncate(10);
+
+    // Figure 11 + correlations: follower counts come from the AppView.
+    let mut creator_in = Vec::new();
+    let mut creator_out = Vec::new();
+    let mut other_in = Vec::new();
+    let mut other_out = Vec::new();
+    let mut feeds_per_creator: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for feed in &datasets.feed_generators {
+        let entry = feeds_per_creator
+            .entry(feed.creator.to_string())
+            .or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += feed.like_count;
+    }
+    let mut x_feeds = Vec::new();
+    let mut x_likes = Vec::new();
+    let mut y_followers = Vec::new();
+    for actor in world.appview.index().actors() {
+        let key = actor.did.to_string();
+        if let Some((feeds, likes)) = feeds_per_creator.get(&key) {
+            creator_in.push(actor.followers as f64);
+            creator_out.push(actor.follows as f64);
+            x_feeds.push(*feeds as f64);
+            x_likes.push(*likes as f64);
+            y_followers.push(actor.followers as f64);
+        } else {
+            other_in.push(actor.followers as f64);
+            other_out.push(actor.follows as f64);
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let creator_degrees = (
+        (mean(&creator_in), mean(&creator_out)),
+        (mean(&other_in), mean(&other_out)),
+    );
+    let r_feeds_followers = stats::pearson(&x_feeds, &y_followers);
+    let r_likes_followers = stats::pearson(&x_likes, &y_followers);
+
+    // Feeds per account.
+    let one = feeds_per_creator.values().filter(|(f, _)| *f == 1).count() as u64;
+    let two_to_ten = feeds_per_creator
+        .values()
+        .filter(|(f, _)| (2..=10).contains(f))
+        .count() as u64;
+    let over_100 = feeds_per_creator.values().filter(|(f, _)| *f > 100).count() as u64;
+    let max_feeds = feeds_per_creator.values().map(|(f, _)| *f).max().unwrap_or(0);
+    let creators = feeds_per_creator.len().max(1) as u64;
+
+    // Figure 12 / Table 5: platform shares.
+    let total_posts: u64 = datasets.feed_generators.iter().map(|f| f.posts.len() as u64).sum();
+    let total_likes: u64 = datasets.feed_generators.iter().map(|f| f.like_count).sum();
+    let mut per_platform: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    for feed in &datasets.feed_generators {
+        let entry = per_platform.entry(feed.platform.clone()).or_default();
+        entry.0 += 1;
+        entry.1 += feed.posts.len() as u64;
+        entry.2 += feed.like_count;
+    }
+    let mut platform_shares: Vec<(String, u64, f64, f64, f64)> = per_platform
+        .into_iter()
+        .map(|(name, (feeds, posts, likes))| {
+            (
+                name,
+                feeds,
+                stats::share(feeds, total_feeds.max(1)),
+                stats::share(posts, total_posts.max(1)),
+                stats::share(likes, total_likes.max(1)),
+            )
+        })
+        .collect();
+    platform_shares.sort_by(|a, b| b.1.cmp(&a.1));
+
+    RecommendationReport {
+        total_feeds,
+        never_curated: (never, stats::share(never, total_feeds.max(1))),
+        description_languages,
+        top_words,
+        feed_post_labels,
+        heavily_labeled_share: stats::share(heavily_labeled, total_feeds.max(1)),
+        cumulative_growth,
+        posts_vs_likes,
+        creator_degrees,
+        r_feeds_followers,
+        r_likes_followers,
+        feeds_per_account: (
+            stats::share(one, creators),
+            stats::share(two_to_ten, creators),
+            over_100,
+            max_feeds,
+        ),
+        platform_shares,
+    }
+}
+
+impl RecommendationReport {
+    /// Render §7, Table 5 and Figures 7–12.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Section 7: content recommendation\n");
+        out.push_str(&format!(
+            "Feed generators: {}   never curated: {} ({:.1} %)   ≥10 % labeled content: {:.2} %\n",
+            self.total_feeds, self.never_curated.0, self.never_curated.1, self.heavily_labeled_share
+        ));
+        out.push_str("Description languages: ");
+        let langs: Vec<String> = self
+            .description_languages
+            .iter()
+            .take(6)
+            .map(|(l, s)| format!("{l} {s:.1}%"))
+            .collect();
+        out.push_str(&format!("{}\n", langs.join(", ")));
+        out.push_str("Figure 7: cumulative feeds / likes on feeds / follows on creators\n");
+        for (month, feeds, likes, follows) in &self.cumulative_growth {
+            out.push_str(&format!(
+                "  {month} | feeds {feeds:>6} | likes {likes:>8} | creator follows {follows:>8}\n"
+            ));
+        }
+        out.push_str("Figure 8: most common description words\n  ");
+        let words: Vec<String> = self
+            .top_words
+            .iter()
+            .map(|(w, c)| format!("{w}({c})"))
+            .collect();
+        out.push_str(&format!("{}\n", words.join(" ")));
+        out.push_str("Figure 9: top labels on heavily-labeled feeds\n");
+        for (value, count) in &self.feed_post_labels {
+            out.push_str(&format!("  {value:<24} {count}\n"));
+        }
+        out.push_str("Figure 10: most active / most liked feeds (posts, likes)\n");
+        for (name, posts, likes) in &self.posts_vs_likes {
+            out.push_str(&format!("  {name:<28} {posts:>7} posts  {likes:>6} likes\n"));
+        }
+        let ((ci, co), (oi, oo)) = self.creator_degrees;
+        out.push_str(&format!(
+            "Figure 11: mean degree — feed creators in {ci:.1} / out {co:.1}; other users in {oi:.1} / out {oo:.1}\n"
+        ));
+        out.push_str(&format!(
+            "Correlations: #feeds vs followers r = {}   Σ likes on feeds vs followers r = {}\n",
+            self.r_feeds_followers
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            self.r_likes_followers
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+        ));
+        let (one, two_ten, over100, max) = self.feeds_per_account;
+        out.push_str(&format!(
+            "Feeds per account: {one:.1} % manage one, {two_ten:.1} % manage 2–10, {over100} accounts manage >100 (max {max})\n"
+        ));
+        out.push_str("Figure 12 / Table 5: feeds per hosting platform\n");
+        for (name, feeds, share, posts_share, likes_share) in &self.platform_shares {
+            out.push_str(&format!(
+                "  {name:<22} {feeds:>6} feeds ({share:>5.2} %)  posts {posts_share:>5.1} %  likes {likes_share:>5.1} %\n"
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §9: firehose volume
+// ---------------------------------------------------------------------------
+
+/// §9 firehose volume estimate.
+#[derive(Debug, Clone)]
+pub struct FirehoseVolume {
+    /// Mean bytes per day observed on the firehose during collection.
+    pub bytes_per_day: f64,
+    /// The same figure extrapolated to the full network size (multiplying by
+    /// the scale factor).
+    pub extrapolated_full_network: f64,
+}
+
+/// Compute the §9 firehose-volume estimate.
+pub fn firehose_volume(datasets: &Datasets, world: &World) -> FirehoseVolume {
+    let mut per_day: BTreeMap<i64, u64> = BTreeMap::new();
+    for event in &datasets.firehose_events {
+        *per_day.entry(event.time.day_index()).or_insert(0) += event.wire_size() as u64;
+    }
+    let days = per_day.len().max(1) as f64;
+    let total: u64 = per_day.values().sum();
+    let bytes_per_day = total as f64 / days;
+    FirehoseVolume {
+        bytes_per_day,
+        extrapolated_full_network: bytes_per_day * world.config.scale as f64,
+    }
+}
+
+impl FirehoseVolume {
+    /// Render the volume estimate.
+    pub fn render(&self) -> String {
+        format!(
+            "Section 9: firehose volume ≈ {:.1} MB/day at simulation scale, ≈ {:.1} GB/day extrapolated to the full network\n",
+            self.bytes_per_day / 1e6,
+            self.extrapolated_full_network / 1e9
+        )
+    }
+}
+
+/// Table 5's static feature matrix (re-exported from the feedgen crate and
+/// rendered alongside the measured platform shares).
+pub fn table5_feature_matrix() -> String {
+    let platforms = bsky_feedgen::faas::default_platforms();
+    let mut out = String::from("Table 5: Feed-Generator-as-a-Service feature comparison\n");
+    out.push_str("Platform              | features | regex | pricing\n");
+    for p in &platforms {
+        out.push_str(&format!(
+            "{:<22} | {:>8} | {:>5} | {:?}\n",
+            p.name,
+            p.feature_count(),
+            if p.filters.regex_text { "yes" } else { "no" },
+            p.pricing
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Collector;
+    use bsky_workload::ScenarioConfig;
+
+    fn run_small() -> (World, Datasets) {
+        let mut config = ScenarioConfig::test_scale(9);
+        config.start = Datetime::from_ymd(2024, 2, 15).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 25).unwrap();
+        config.scale = 30_000;
+        let mut world = World::new(config);
+        let datasets = Collector::new().run(&mut world);
+        (world, datasets)
+    }
+
+    #[test]
+    fn all_analyses_run_and_render() {
+        let (world, datasets) = run_small();
+
+        let t1 = table1_firehose_breakdown(&datasets);
+        assert!(t1.total > 0);
+        let commit_share = t1.rows.iter().find(|r| r.0 == "Repo Commit").unwrap().2;
+        assert!(commit_share > 90.0, "commit share {commit_share}");
+        assert!(t1.render().contains("Repo Commit"));
+
+        let activity = activity_series(&datasets);
+        assert!(!activity.monthly.is_empty());
+        assert!(activity.totals.1 > activity.totals.0, "likes > posts");
+        assert!(activity.render_figure1().contains("Totals"));
+        assert!(!activity.render_figure2().is_empty());
+
+        let s4 = section4_accounts(&datasets);
+        assert!(!s4.most_followed.is_empty());
+        assert!(s4.render().contains("Most followed"));
+
+        let identity = identity_report(&datasets, &world);
+        assert!(identity.total_handles > 0);
+        assert!(identity.bsky_social.1 > 90.0);
+        assert!(identity.proofs.2 > 80.0);
+        assert!(identity.render().contains("Table 2"));
+
+        let moderation = moderation_report(&datasets, &world);
+        assert!(moderation.labeler_counts.0 >= 40);
+        assert!(moderation.interactions.0 > 0);
+        assert!(!moderation.table6.is_empty());
+        assert!(moderation.community_share_last_month > 50.0);
+        assert!(moderation.render().contains("Table 3"));
+
+        let recommendation = recommendation_report(&datasets, &world);
+        assert!(recommendation.total_feeds > 10);
+        assert!(recommendation.never_curated.1 > 0.0);
+        assert!(!recommendation.platform_shares.is_empty());
+        assert_eq!(recommendation.platform_shares[0].0, "Skyfeed");
+        assert!(recommendation.render().contains("Figure 12"));
+
+        let volume = firehose_volume(&datasets, &world);
+        assert!(volume.bytes_per_day > 0.0);
+        assert!(volume.extrapolated_full_network > volume.bytes_per_day);
+        assert!(volume.render().contains("firehose volume"));
+
+        assert!(table5_feature_matrix().contains("Skyfeed"));
+    }
+
+    #[test]
+    fn moderation_reaction_times_distinguish_automation() {
+        let (world, datasets) = run_small();
+        let moderation = moderation_report(&datasets, &world);
+        // The alt-text labeler (automated) must be faster than any manual
+        // community labeler that has a measured reaction time.
+        let automated: Vec<&LabelerReaction> = moderation
+            .table6
+            .iter()
+            .filter(|r| r.name.contains("Alt Text") || r.name.contains("GIFS"))
+            .collect();
+        let manual: Vec<&LabelerReaction> = moderation
+            .table6
+            .iter()
+            .filter(|r| r.median_reaction_secs.map(|m| m > 3_600.0).unwrap_or(false))
+            .collect();
+        if let (Some(fast), Some(slow)) = (automated.first(), manual.first()) {
+            assert!(
+                fast.median_reaction_secs.unwrap_or(f64::MAX)
+                    < slow.median_reaction_secs.unwrap_or(0.0)
+            );
+        }
+        // The most prolific labeler labels far more than the median one.
+        if moderation.table6.len() >= 3 {
+            let top = moderation.table6[0].total;
+            let mid = moderation.table6[moderation.table6.len() / 2].total;
+            assert!(top >= mid);
+        }
+    }
+}

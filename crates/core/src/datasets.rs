@@ -1,0 +1,343 @@
+//! Dataset collection (§3 of the paper).
+//!
+//! The collector drives a [`World`] day by day and gathers the same six
+//! datasets the study gathered, through the same service interfaces:
+//!
+//! * **User Identifier Dataset** — weekly `sync.listRepos` snapshots from the
+//!   Relay during March–April 2024.
+//! * **DID Documents** — a full PLC-directory export plus `did:web`
+//!   documents fetched over HTTPS.
+//! * **Repositories Dataset** — a snapshot of every repository, downloaded as
+//!   CAR archives from the Relay mirror and decoded.
+//! * **Firehose Dataset** — a continuous subscription from 2024-03-06.
+//! * **Feed Generators / Feed Posts** — generator records discovered in the
+//!   repositories, metadata via `getFeedGenerator`, posts via `getFeed`.
+//! * **Labeling Services** — every labeler stream consumed from the start
+//!   (including rescinded labels).
+
+use bsky_atproto::firehose::Event;
+use bsky_atproto::label::Label;
+use bsky_atproto::record::Record;
+use bsky_atproto::repo::Repository;
+use bsky_atproto::{AtUri, Datetime, Did, Nsid};
+use bsky_identity::DidDocument;
+use bsky_labeler::LabelerOperator;
+use bsky_simnet::http::HttpResponse;
+use bsky_simnet::net::HostingClass;
+use bsky_workload::World;
+
+/// A decoded repository snapshot.
+#[derive(Debug, Clone)]
+pub struct RepoSnapshot {
+    /// Repository owner.
+    pub did: Did,
+    /// All live records: `(collection, rkey, record)`.
+    pub records: Vec<(Nsid, String, Record)>,
+}
+
+/// Feed-generator dataset entry.
+#[derive(Debug, Clone)]
+pub struct FeedGenEntry {
+    /// The generator's URI.
+    pub uri: AtUri,
+    /// Creator account.
+    pub creator: Did,
+    /// Display name.
+    pub display_name: String,
+    /// Description.
+    pub description: String,
+    /// Hosting platform name (from the service DID / world metadata).
+    pub platform: String,
+    /// Likes observed on the generator record.
+    pub like_count: u64,
+    /// Whether the crawler is a feed-generator creator account.
+    pub creator_is_popular_rank: u64,
+    /// Curated posts returned by `getFeed`: `(post URI, post created_at)`.
+    pub posts: Vec<(AtUri, Datetime)>,
+    /// Whether metadata reported the feed online & valid.
+    pub online_and_valid: bool,
+}
+
+/// Labeling-service dataset entry.
+#[derive(Debug, Clone)]
+pub struct LabelerEntry {
+    /// The labeler's account DID.
+    pub did: Did,
+    /// Display name.
+    pub name: String,
+    /// Operator class.
+    pub operator: LabelerOperator,
+    /// Endpoint hosting classification (from the active measurements).
+    pub hosting: HostingClass,
+    /// Whether the endpoint answered.
+    pub functional: bool,
+    /// When the labeler was announced.
+    pub announced_at: Datetime,
+    /// Every label interaction on its stream (including negations).
+    pub labels: Vec<Label>,
+}
+
+/// The collected datasets.
+#[derive(Debug, Clone, Default)]
+pub struct Datasets {
+    /// `(did, latest revision)` pairs from the weekly listRepos snapshots.
+    pub user_identifiers: Vec<(Did, Option<String>)>,
+    /// DID documents from the PLC export and did:web fetches.
+    pub did_documents: Vec<DidDocument>,
+    /// Number of did:web documents among them.
+    pub did_web_count: usize,
+    /// Decoded repository snapshots.
+    pub repositories: Vec<RepoSnapshot>,
+    /// Firehose events observed since the collection start.
+    pub firehose_events: Vec<Event>,
+    /// Feed-generator dataset.
+    pub feed_generators: Vec<FeedGenEntry>,
+    /// Labeling-services dataset.
+    pub labelers: Vec<LabelerEntry>,
+    /// When continuous firehose collection started.
+    pub firehose_collection_start: Datetime,
+    /// When collection ended.
+    pub collection_end: Datetime,
+}
+
+/// Drives a [`World`] and collects the datasets.
+#[derive(Debug, Default)]
+pub struct Collector {
+    firehose_cursor: u64,
+    listrepos_snapshots: u32,
+}
+
+impl Collector {
+    /// Create a collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Run the world to its end date while collecting, then take the final
+    /// snapshots. Returns the datasets.
+    pub fn run(&mut self, world: &mut World) -> Datasets {
+        let mut datasets = Datasets {
+            firehose_collection_start: world.config.firehose_collection_start,
+            collection_end: world.config.end,
+            ..Datasets::default()
+        };
+        let mut last_listrepos: Option<Datetime> = None;
+        while !world.finished() {
+            world.step_day();
+            let today = world.today;
+            // Continuous firehose subscription from the configured start.
+            if today >= world.config.firehose_collection_start {
+                let sub = world.relay.subscribe(self.firehose_cursor);
+                self.firehose_cursor = sub.cursor;
+                // The first read also returns the retained backlog from
+                // before the subscription started; the study only counts
+                // events from the collection start onwards.
+                datasets.firehose_events.extend(
+                    sub.events
+                        .into_iter()
+                        .filter(|e| e.time >= world.config.firehose_collection_start),
+                );
+                // Weekly listRepos snapshots during the collection window.
+                let due = match last_listrepos {
+                    None => true,
+                    Some(prev) => today.days_since(prev) >= 7,
+                };
+                if due {
+                    self.snapshot_user_identifiers(world, &mut datasets);
+                    last_listrepos = Some(today);
+                    self.listrepos_snapshots += 1;
+                }
+            }
+        }
+        // Final snapshots at the end of the window.
+        self.snapshot_user_identifiers(world, &mut datasets);
+        self.snapshot_did_documents(world, &mut datasets);
+        self.snapshot_repositories(world, &mut datasets);
+        self.snapshot_feed_generators(world, &mut datasets);
+        self.snapshot_labelers(world, &mut datasets);
+        datasets
+    }
+
+    fn snapshot_user_identifiers(&mut self, world: &mut World, datasets: &mut Datasets) {
+        let mut cursor: Option<String> = None;
+        let mut seen: std::collections::BTreeSet<String> = datasets
+            .user_identifiers
+            .iter()
+            .map(|(did, _)| did.to_string())
+            .collect();
+        loop {
+            let (page, next) = world.relay.list_repos(cursor.as_deref(), 500);
+            for (did, rev) in page {
+                if seen.insert(did.to_string()) {
+                    datasets
+                        .user_identifiers
+                        .push((did, rev.map(|t| t.to_string())));
+                }
+            }
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+    }
+
+    fn snapshot_did_documents(&mut self, world: &mut World, datasets: &mut Datasets) {
+        // Full PLC export (paginated).
+        let mut cursor: Option<String> = None;
+        loop {
+            let (page, next) = world.plc.export(cursor.as_deref(), 1_000);
+            datasets.did_documents.extend(page.into_iter().cloned());
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        // did:web documents: fetch /.well-known/did.json for did:web users.
+        for user in &world.users {
+            if let Some(domain) = user.did.web_domain() {
+                let url = format!("https://{domain}/.well-known/did.json");
+                if let HttpResponse::Ok(body) = world.web.get(&url) {
+                    if let Ok(doc) = DidDocument::from_wire(&body) {
+                        datasets.did_documents.push(doc);
+                        datasets.did_web_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn snapshot_repositories(&mut self, world: &mut World, datasets: &mut Datasets) {
+        let dids: Vec<Did> = datasets
+            .user_identifiers
+            .iter()
+            .map(|(did, _)| did.clone())
+            .collect();
+        let end = world.config.end;
+        for did in dids {
+            let car = match world.relay.get_repo(&did, &mut world.fleet, end) {
+                Ok(car) => car,
+                Err(_) => continue, // deleted / migrated away mid-snapshot
+            };
+            let Ok((_roots, blocks)) = Repository::parse_car(&car) else {
+                continue;
+            };
+            // Decode every block that parses as a known or unknown record.
+            let mut records = Vec::new();
+            for bytes in blocks.values() {
+                if let Ok(record) = Record::from_cbor(bytes) {
+                    let collection = record.collection();
+                    records.push((collection, String::new(), record));
+                }
+            }
+            datasets.repositories.push(RepoSnapshot { did, records });
+        }
+    }
+
+    fn snapshot_feed_generators(&mut self, world: &mut World, datasets: &mut Datasets) {
+        for (index, info) in world.feedgen_info.iter().enumerate() {
+            let generator = &mut world.feedgens[index];
+            let view = world.appview.get_feed_generator(generator);
+            // Crawl the feed with an "empty" viewer account, as the study did.
+            let posts: Vec<(AtUri, Datetime)> = world
+                .appview
+                .get_feed(generator, 1_000, None)
+                .into_iter()
+                .map(|p| (p.uri.clone(), p.record.created_at))
+                .collect();
+            datasets.feed_generators.push(FeedGenEntry {
+                uri: view.uri,
+                creator: view.creator,
+                display_name: view.display_name,
+                description: view.description,
+                platform: info.platform_name.clone(),
+                like_count: view.like_count,
+                creator_is_popular_rank: info.plan.creator_popularity_rank,
+                posts,
+                online_and_valid: view.is_online && view.is_valid,
+            });
+        }
+    }
+
+    fn snapshot_labelers(&mut self, world: &mut World, datasets: &mut Datasets) {
+        for labeler in world.labelers.all() {
+            let (labels, _) = labeler.subscribe_labels(0);
+            datasets.labelers.push(LabelerEntry {
+                did: labeler.did().clone(),
+                name: labeler.display_name().to_string(),
+                operator: labeler.operator(),
+                hosting: labeler.hosting(),
+                functional: labeler.is_functional(),
+                announced_at: labeler.announced_at(),
+                labels: labels.to_vec(),
+            });
+        }
+    }
+}
+
+impl Datasets {
+    /// Total number of label interactions collected (including negations).
+    pub fn total_label_interactions(&self) -> usize {
+        self.labelers.iter().map(|l| l.labels.len()).sum()
+    }
+
+    /// Total number of feed posts collected.
+    pub fn total_feed_posts(&self) -> usize {
+        self.feed_generators.iter().map(|f| f.posts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_workload::ScenarioConfig;
+
+    fn collected() -> (World, Datasets) {
+        let mut config = ScenarioConfig::test_scale(5);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+        config.firehose_collection_start = Datetime::from_ymd(2024, 3, 6).unwrap();
+        config.scale = 40_000;
+        let mut world = World::new(config);
+        let datasets = Collector::new().run(&mut world);
+        (world, datasets)
+    }
+
+    #[test]
+    fn collector_gathers_all_datasets() {
+        let (world, datasets) = collected();
+        assert!(!datasets.user_identifiers.is_empty());
+        assert!(!datasets.did_documents.is_empty());
+        assert!(!datasets.repositories.is_empty());
+        assert!(!datasets.firehose_events.is_empty());
+        assert!(!datasets.feed_generators.is_empty());
+        assert!(!datasets.labelers.is_empty());
+        // Identifiers are unique.
+        let mut dids: Vec<String> = datasets
+            .user_identifiers
+            .iter()
+            .map(|(d, _)| d.to_string())
+            .collect();
+        let before = dids.len();
+        dids.sort();
+        dids.dedup();
+        assert_eq!(dids.len(), before);
+        // Firehose events all postdate the collection start.
+        assert!(datasets
+            .firehose_events
+            .iter()
+            .all(|e| e.time >= datasets.firehose_collection_start));
+        // Every repository snapshot decoded at least one record.
+        assert!(datasets.repositories.iter().any(|r| !r.records.is_empty()));
+        // Label interactions were observed.
+        assert!(datasets.total_label_interactions() > 0);
+        // The world is still usable afterwards.
+        assert!(world.finished());
+    }
+
+    #[test]
+    fn repositories_cover_most_identifiers() {
+        let (_, datasets) = collected();
+        let ratio = datasets.repositories.len() as f64 / datasets.user_identifiers.len() as f64;
+        assert!(ratio > 0.9, "repo coverage {ratio}");
+    }
+}

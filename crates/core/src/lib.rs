@@ -1,0 +1,25 @@
+//! # bsky-study
+//!
+//! The paper's primary contribution, reproduced: the measurement pipeline of
+//! *Looking AT the Blue Skies of Bluesky* (IMC 2024).
+//!
+//! * [`datasets`] — the six dataset collectors of §3 (user identifiers, DID
+//!   documents, repositories, firehose, feed generators/posts, labelers),
+//!   driving a simulated [`bsky_workload::World`] through the same service
+//!   interfaces the real study used.
+//! * [`analysis`] — every table and figure of §4–§9.
+//! * [`stats`] — quantiles, Pearson correlation, share tables.
+//! * [`langdetect`] — the language detector used on feed descriptions.
+//! * [`report`] — the full study report combining all analyses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod datasets;
+pub mod langdetect;
+pub mod report;
+pub mod stats;
+
+pub use datasets::{Collector, Datasets};
+pub use report::StudyReport;

@@ -1,0 +1,174 @@
+//! The full study report: run the collector, compute every analysis, and
+//! render or serialise the results.
+
+use crate::analysis::{
+    activity_series, firehose_volume, identity_report, moderation_report, recommendation_report,
+    section4_accounts, table1_firehose_breakdown, table5_feature_matrix, ActivitySeries,
+    FirehoseVolume, IdentityReport, ModerationReport, RecommendationReport, Section4, Table1,
+};
+use crate::datasets::{Collector, Datasets};
+use bsky_workload::{ScenarioConfig, World};
+
+/// All analyses of the paper, computed for one simulated run.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// The scenario that produced the report.
+    pub config: ScenarioConfig,
+    /// Table 1.
+    pub table1: Table1,
+    /// Figures 1–2 and §4 totals.
+    pub activity: ActivitySeries,
+    /// §4 account popularity and non-Bluesky content.
+    pub section4: Section4,
+    /// §5, Table 2, Figure 3.
+    pub identity: IdentityReport,
+    /// §6, Tables 3/4/6, Figures 4/5/6.
+    pub moderation: ModerationReport,
+    /// §7, Table 5, Figures 7–12.
+    pub recommendation: RecommendationReport,
+    /// §9 firehose volume.
+    pub firehose_volume: FirehoseVolume,
+}
+
+impl StudyReport {
+    /// Run the full pipeline: build the world, collect the datasets, compute
+    /// every analysis.
+    pub fn run(config: ScenarioConfig) -> StudyReport {
+        let mut world = World::new(config);
+        let datasets = Collector::new().run(&mut world);
+        StudyReport::from_collected(config, &world, &datasets)
+    }
+
+    /// Compute the analyses from already-collected datasets.
+    pub fn from_collected(
+        config: ScenarioConfig,
+        world: &World,
+        datasets: &Datasets,
+    ) -> StudyReport {
+        StudyReport {
+            config,
+            table1: table1_firehose_breakdown(datasets),
+            activity: activity_series(datasets),
+            section4: section4_accounts(datasets),
+            identity: identity_report(datasets, world),
+            moderation: moderation_report(datasets, world),
+            recommendation: recommendation_report(datasets, world),
+            firehose_volume: firehose_volume(datasets, world),
+        }
+    }
+
+    /// Render the whole report as text (every table and figure).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Reproduction run: seed {} scale 1:{} ({} → {}) ==\n\n",
+            self.config.seed,
+            self.config.scale,
+            self.config.start.date(),
+            self.config.end.date()
+        ));
+        out.push_str(&self.table1.render());
+        out.push('\n');
+        out.push_str(&self.activity.render_figure1());
+        out.push('\n');
+        out.push_str(&self.activity.render_figure2());
+        out.push('\n');
+        out.push_str(&self.section4.render());
+        out.push('\n');
+        out.push_str(&self.identity.render());
+        out.push('\n');
+        out.push_str(&self.moderation.render());
+        out.push('\n');
+        out.push_str(&self.recommendation.render());
+        out.push('\n');
+        out.push_str(&table5_feature_matrix());
+        out.push('\n');
+        out.push_str(&self.firehose_volume.render());
+        out
+    }
+
+    /// Serialise headline numbers as JSON for EXPERIMENTS.md tooling.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "seed": self.config.seed,
+            "scale": self.config.scale,
+            "table1": {
+                "total_events": self.table1.total,
+                "rows": self.table1.rows.iter().map(|(n, c, s)| {
+                    serde_json::json!({"type": n, "count": c, "share_pct": s})
+                }).collect::<Vec<_>>(),
+            },
+            "section4": {
+                "totals": {
+                    "posts": self.activity.totals.0,
+                    "likes": self.activity.totals.1,
+                    "follows": self.activity.totals.2,
+                    "reposts": self.activity.totals.3,
+                    "blocks": self.activity.totals.4,
+                },
+                "non_bsky_records": self.section4.non_bsky_records,
+            },
+            "section5": {
+                "handles": self.identity.total_handles,
+                "bsky_social_share_pct": self.identity.bsky_social.1,
+                "did_web": self.identity.did_web,
+                "dns_txt_share_pct": self.identity.proofs.2,
+                "tranco_share_pct": self.identity.tranco_overlap.1,
+            },
+            "section6": {
+                "labelers_announced": self.moderation.labeler_counts.0,
+                "labelers_functional": self.moderation.labeler_counts.1,
+                "labelers_active": self.moderation.labeler_counts.2,
+                "community_share_last_month_pct": self.moderation.community_share_last_month,
+                "label_interactions": self.moderation.interactions.0,
+                "rescinded": self.moderation.interactions.1,
+                "posts_labeled_share_pct": self.moderation.last_month_posts_labeled_share,
+            },
+            "section7": {
+                "feeds": self.recommendation.total_feeds,
+                "never_curated_pct": self.recommendation.never_curated.1,
+                "r_feeds_followers": self.recommendation.r_feeds_followers,
+                "r_likes_followers": self.recommendation.r_likes_followers,
+                "skyfeed_share_pct": self.recommendation.platform_shares.first().map(|p| p.2),
+            },
+            "section9": {
+                "firehose_gb_per_day_extrapolated": self.firehose_volume.extrapolated_full_network / 1e9,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::Datetime;
+
+    #[test]
+    fn full_report_runs_and_serialises() {
+        let mut config = ScenarioConfig::test_scale(21);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+        config.scale = 40_000;
+        let report = StudyReport::run(config);
+        let text = report.render();
+        for needle in [
+            "Table 1",
+            "Figure 1",
+            "Figure 3",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 6",
+            "Figure 7",
+            "Figure 12",
+            "Table 5",
+            "firehose volume",
+        ] {
+            assert!(text.contains(needle), "report missing {needle}");
+        }
+        let json = report.to_json();
+        assert!(json["table1"]["total_events"].as_u64().unwrap() > 0);
+        assert!(json["section5"]["bsky_social_share_pct"].as_f64().unwrap() > 90.0);
+        assert!(json["section6"]["labelers_announced"].as_u64().unwrap() >= 40);
+    }
+}

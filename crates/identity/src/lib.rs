@@ -1,0 +1,35 @@
+//! # bsky-identity
+//!
+//! The identity infrastructure of the simulated Bluesky network, covering
+//! everything §5 of *Looking AT the Blue Skies of Bluesky* measures:
+//!
+//! * [`diddoc`] — DID documents (handle, PDS endpoint, signing key, labeler
+//!   endpoints) and their wire encoding.
+//! * [`plc`] — the centralized PLC directory operated by Bluesky PBC, with
+//!   creation/update/tombstone operations and the paginated export the study
+//!   snapshots.
+//! * [`resolver`] — bidirectional handle ⇄ DID resolution via DNS TXT proofs
+//!   and `/.well-known/atproto-did`, plus `did:web` document fetching.
+//! * [`psl`] — Public Suffix List handling for extracting registered domains
+//!   from FQDN handles (Figure 3).
+//! * [`registrar`] — registrar catalogue and WHOIS database with IANA-ID
+//!   coverage gaps (Table 2).
+//! * [`tranco`] — a Tranco-style popularity ranking for the top-1M overlap
+//!   analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diddoc;
+pub mod plc;
+pub mod psl;
+pub mod registrar;
+pub mod resolver;
+pub mod tranco;
+
+pub use diddoc::DidDocument;
+pub use plc::PlcDirectory;
+pub use psl::PublicSuffixList;
+pub use registrar::{Registrar, WhoisDatabase};
+pub use resolver::IdentityResolver;
+pub use tranco::TrancoList;

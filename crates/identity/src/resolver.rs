@@ -1,0 +1,277 @@
+//! Handle and DID resolution.
+//!
+//! Resolution is bidirectional (§2, §5): a handle resolves to a DID through
+//! one of two ownership proofs (a DNS TXT record at `_atproto.<handle>` or an
+//! HTTPS document at `/.well-known/atproto-did`), and the DID's document must
+//! list that handle back for the pairing to be considered verified. DID
+//! documents themselves come from the PLC directory (`did:plc`) or from
+//! `/.well-known/did.json` on the handle's domain (`did:web`).
+
+use crate::diddoc::DidDocument;
+use crate::plc::PlcDirectory;
+use bsky_atproto::error::{AtError, Result};
+use bsky_atproto::handle::HandleProof;
+use bsky_atproto::{Did, DidMethod, Handle};
+use bsky_simnet::dns::DnsZoneStore;
+use bsky_simnet::http::{HttpResponse, WebSpace};
+
+/// Outcome of resolving a handle to a DID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandleResolution {
+    /// The resolved DID.
+    pub did: Did,
+    /// Which ownership proof was found first (DNS TXT is preferred).
+    pub proof: HandleProof,
+}
+
+/// The resolver the measurement pipeline and the AppView both use.
+#[derive(Debug, Default)]
+pub struct IdentityResolver {
+    /// Cached statistics: how many resolutions used each proof mechanism.
+    dns_proofs: u64,
+    well_known_proofs: u64,
+}
+
+impl IdentityResolver {
+    /// Create a resolver.
+    pub fn new() -> IdentityResolver {
+        IdentityResolver::default()
+    }
+
+    /// Resolve a handle to a DID using the network's DNS zones and web space.
+    pub fn resolve_handle(
+        &mut self,
+        handle: &Handle,
+        dns: &DnsZoneStore,
+        web: &WebSpace,
+    ) -> Result<HandleResolution> {
+        // 1. DNS TXT record at _atproto.<handle>
+        if let Some(did_str) = dns.lookup_atproto_did(handle.as_str()) {
+            let did = Did::parse(&did_str)?;
+            self.dns_proofs += 1;
+            return Ok(HandleResolution {
+                did,
+                proof: HandleProof::DnsTxt,
+            });
+        }
+        // 2. HTTPS /.well-known/atproto-did
+        match web.get(&handle.well_known_url()) {
+            HttpResponse::Ok(body) => {
+                let did = Did::parse(body.trim())?;
+                self.well_known_proofs += 1;
+                Ok(HandleResolution {
+                    did,
+                    proof: HandleProof::WellKnown,
+                })
+            }
+            _ => Err(AtError::InvalidHandle(format!(
+                "no ownership proof found for {handle}"
+            ))),
+        }
+    }
+
+    /// Resolve a DID to its document.
+    pub fn resolve_did(
+        &self,
+        did: &Did,
+        plc: &PlcDirectory,
+        web: &WebSpace,
+    ) -> Result<DidDocument> {
+        match did.method() {
+            DidMethod::Plc => plc
+                .resolve(did)
+                .cloned()
+                .ok_or_else(|| AtError::InvalidDid(format!("{did} not in PLC directory"))),
+            DidMethod::Web => {
+                let domain = did.web_domain().expect("did:web has a domain");
+                let url = format!("https://{domain}/.well-known/did.json");
+                match web.get(&url) {
+                    HttpResponse::Ok(body) => DidDocument::from_wire(&body),
+                    _ => Err(AtError::InvalidDid(format!(
+                        "did:web document unavailable at {url}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Fully verify a handle: resolve handle → DID, fetch the DID document,
+    /// and check that the document lists the same handle back.
+    pub fn verify_handle(
+        &mut self,
+        handle: &Handle,
+        dns: &DnsZoneStore,
+        web: &WebSpace,
+        plc: &PlcDirectory,
+    ) -> Result<(DidDocument, HandleProof)> {
+        let resolution = self.resolve_handle(handle, dns, web)?;
+        let document = self.resolve_did(&resolution.did, plc, web)?;
+        if document.handle != *handle {
+            return Err(AtError::InvalidHandle(format!(
+                "bidirectional check failed: {handle} resolves to {} but its document claims {}",
+                resolution.did, document.handle
+            )));
+        }
+        Ok((document, resolution.proof))
+    }
+
+    /// Number of successful resolutions that used a DNS TXT proof.
+    pub fn dns_proofs(&self) -> u64 {
+        self.dns_proofs
+    }
+
+    /// Number of successful resolutions that used the well-known proof.
+    pub fn well_known_proofs(&self) -> u64 {
+        self.well_known_proofs
+    }
+}
+
+/// Helpers for publishing ownership proofs (used by PDSes when accounts are
+/// created or when handles change).
+pub mod publish {
+    use super::*;
+
+    /// Publish a DNS TXT ownership proof for a handle.
+    pub fn dns_proof(dns: &mut DnsZoneStore, handle: &Handle, did: &Did) {
+        dns.set_txt(&handle.atproto_txt_name(), vec![format!("did={did}")]);
+    }
+
+    /// Publish a well-known HTTPS ownership proof for a handle.
+    pub fn well_known_proof(web: &mut WebSpace, handle: &Handle, did: &Did) {
+        web.publish(&handle.well_known_url(), did.to_string());
+    }
+
+    /// Publish a `did:web` DID document on its domain.
+    pub fn did_web_document(web: &mut WebSpace, document: &DidDocument) {
+        if let Some(domain) = document.did.web_domain() {
+            web.publish(
+                &format!("https://{domain}/.well-known/did.json"),
+                document.to_wire(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::Datetime;
+
+    struct World {
+        dns: DnsZoneStore,
+        web: WebSpace,
+        plc: PlcDirectory,
+        resolver: IdentityResolver,
+    }
+
+    fn world() -> World {
+        World {
+            dns: DnsZoneStore::new(),
+            web: WebSpace::new(),
+            plc: PlcDirectory::new(),
+            resolver: IdentityResolver::new(),
+        }
+    }
+
+    fn register_plc(world: &mut World, name: &str, handle: &str) -> DidDocument {
+        let doc = DidDocument::new(
+            Did::plc_from_seed(name.as_bytes()),
+            Handle::parse(handle).unwrap(),
+            format!("key-{name}"),
+            "https://pds001.bsky.network".into(),
+        );
+        world
+            .plc
+            .create(doc.clone(), Datetime::from_ymd(2024, 3, 1).unwrap())
+            .unwrap();
+        doc
+    }
+
+    #[test]
+    fn dns_txt_proof_preferred() {
+        let mut w = world();
+        let doc = register_plc(&mut w, "alice", "alice.example.com");
+        let handle = doc.handle.clone();
+        publish::dns_proof(&mut w.dns, &handle, &doc.did);
+        publish::well_known_proof(&mut w.web, &handle, &doc.did);
+
+        let (resolved, proof) = w
+            .resolver
+            .verify_handle(&handle, &w.dns, &w.web, &w.plc)
+            .unwrap();
+        assert_eq!(resolved.did, doc.did);
+        assert_eq!(proof, HandleProof::DnsTxt);
+        assert_eq!(w.resolver.dns_proofs(), 1);
+        assert_eq!(w.resolver.well_known_proofs(), 0);
+    }
+
+    #[test]
+    fn well_known_fallback() {
+        let mut w = world();
+        let doc = register_plc(&mut w, "bob", "bob.example.org");
+        publish::well_known_proof(&mut w.web, &doc.handle, &doc.did);
+        let (_, proof) = w
+            .resolver
+            .verify_handle(&doc.handle, &w.dns, &w.web, &w.plc)
+            .unwrap();
+        assert_eq!(proof, HandleProof::WellKnown);
+        assert_eq!(w.resolver.well_known_proofs(), 1);
+    }
+
+    #[test]
+    fn missing_proof_fails() {
+        let mut w = world();
+        let doc = register_plc(&mut w, "carol", "carol.example.net");
+        assert!(w
+            .resolver
+            .verify_handle(&doc.handle, &w.dns, &w.web, &w.plc)
+            .is_err());
+    }
+
+    #[test]
+    fn bidirectional_mismatch_fails() {
+        let mut w = world();
+        let doc = register_plc(&mut w, "dave", "dave.example.com");
+        // The DNS proof claims a handle the document does not list.
+        let imposter_handle = Handle::parse("imposter.example.com").unwrap();
+        publish::dns_proof(&mut w.dns, &imposter_handle, &doc.did);
+        assert!(w
+            .resolver
+            .verify_handle(&imposter_handle, &w.dns, &w.web, &w.plc)
+            .is_err());
+    }
+
+    #[test]
+    fn did_web_resolution() {
+        let mut w = world();
+        let did = Did::web("blog.example.org").unwrap();
+        let doc = DidDocument::new(
+            did.clone(),
+            Handle::parse("blog.example.org").unwrap(),
+            "key-web".into(),
+            "https://self-hosted.example".into(),
+        );
+        publish::did_web_document(&mut w.web, &doc);
+        publish::dns_proof(&mut w.dns, &doc.handle, &did);
+        let (resolved, proof) = w
+            .resolver
+            .verify_handle(&doc.handle, &w.dns, &w.web, &w.plc)
+            .unwrap();
+        assert_eq!(resolved, doc);
+        assert_eq!(proof, HandleProof::DnsTxt);
+        // Unpublishing the document breaks DID resolution.
+        w.web
+            .unpublish("https://blog.example.org/.well-known/did.json");
+        assert!(w.resolver.resolve_did(&did, &w.plc, &w.web).is_err());
+    }
+
+    #[test]
+    fn tombstoned_plc_did_does_not_resolve() {
+        let mut w = world();
+        let doc = register_plc(&mut w, "erin", "erin.bsky.social");
+        w.plc
+            .tombstone(&doc.did, Datetime::from_ymd(2024, 4, 1).unwrap())
+            .unwrap();
+        assert!(w.resolver.resolve_did(&doc.did, &w.plc, &w.web).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # bsky-labeler
+//!
+//! Labelers: the decentralized content-moderation services of §6 of the
+//! paper.
+//!
+//! * [`values`] — label value catalogues for the official Bluesky Labeler and
+//!   the community labelers of Tables 3/4/6.
+//! * [`policy`] — issuance policies: content triggers plus the
+//!   automated-vs-manual reaction-time models behind Figures 5 and 6.
+//! * [`service`] — the labeler service itself: service records, pending
+//!   queues, label streams with cursors, rescissions, hosting classes and the
+//!   network-wide registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod service;
+pub mod values;
+
+pub use policy::{IssuancePolicy, ReactionModel, Trigger};
+pub use service::{LabelerOperator, LabelerRegistry, LabelerService};

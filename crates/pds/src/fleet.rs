@@ -1,0 +1,237 @@
+//! The PDS fleet.
+//!
+//! Bluesky PBC operates the default PDSes (the `*.host.bsky.network`
+//! "mushroom" servers users are sharded onto at signup); since federation
+//! opened, anyone can run a self-hosted PDS and users can migrate onto it
+//! while keeping their social graph (§2). The fleet tracks which PDS hosts
+//! which account — the piece of state a Relay crawler walks.
+
+use crate::server::{Pds, PdsOperator};
+use bsky_atproto::error::{AtError, Result};
+use bsky_atproto::{Datetime, Did, Handle};
+use std::collections::BTreeMap;
+
+/// A collection of PDS instances plus the DID → PDS routing table.
+#[derive(Debug, Clone, Default)]
+pub struct PdsFleet {
+    servers: BTreeMap<String, Pds>,
+    routing: BTreeMap<String, String>,
+}
+
+impl PdsFleet {
+    /// Create an empty fleet.
+    pub fn new() -> PdsFleet {
+        PdsFleet::default()
+    }
+
+    /// Create a fleet with `n` default Bluesky-operated PDSes.
+    pub fn with_default_servers(n: usize) -> PdsFleet {
+        let mut fleet = PdsFleet::new();
+        for i in 0..n.max(1) {
+            fleet.add_server(Pds::new(
+                format!("pds{:03}.host.bsky.network", i + 1),
+                PdsOperator::BlueskyPbc,
+            ));
+        }
+        fleet
+    }
+
+    /// Add a server (default or self-hosted).
+    pub fn add_server(&mut self, pds: Pds) {
+        self.servers.insert(pds.hostname().to_string(), pds);
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Iterate servers (hostname order).
+    pub fn servers(&self) -> impl Iterator<Item = &Pds> {
+        self.servers.values()
+    }
+
+    /// Mutable iteration over servers.
+    pub fn servers_mut(&mut self) -> impl Iterator<Item = &mut Pds> {
+        self.servers.values_mut()
+    }
+
+    /// Access a server by hostname.
+    pub fn server(&self, hostname: &str) -> Option<&Pds> {
+        self.servers.get(hostname)
+    }
+
+    /// Mutable access to a server by hostname.
+    pub fn server_mut(&mut self, hostname: &str) -> Option<&mut Pds> {
+        self.servers.get_mut(hostname)
+    }
+
+    /// Hostnames of Bluesky-operated default servers.
+    pub fn default_hostnames(&self) -> Vec<String> {
+        self.servers
+            .values()
+            .filter(|p| p.operator() == PdsOperator::BlueskyPbc)
+            .map(|p| p.hostname().to_string())
+            .collect()
+    }
+
+    /// The hostname of the PDS hosting a DID.
+    pub fn locate(&self, did: &Did) -> Option<&str> {
+        self.routing.get(&did.to_string()).map(String::as_str)
+    }
+
+    /// The PDS hosting a DID.
+    pub fn pds_for(&self, did: &Did) -> Option<&Pds> {
+        self.locate(did).and_then(|h| self.servers.get(h))
+    }
+
+    /// Mutable access to the PDS hosting a DID.
+    pub fn pds_for_mut(&mut self, did: &Did) -> Option<&mut Pds> {
+        let host = self.routing.get(&did.to_string())?.clone();
+        self.servers.get_mut(&host)
+    }
+
+    /// Create an account on a specific server.
+    pub fn create_account_on(
+        &mut self,
+        hostname: &str,
+        did: Did,
+        handle: Handle,
+        at: Datetime,
+    ) -> Result<()> {
+        let server = self
+            .servers
+            .get_mut(hostname)
+            .ok_or_else(|| AtError::RepoError(format!("no PDS named {hostname}")))?;
+        server.create_account(did.clone(), handle, at)?;
+        self.routing.insert(did.to_string(), hostname.to_string());
+        Ok(())
+    }
+
+    /// Migrate an account from its current PDS to another server, keeping all
+    /// repository content. Returns the destination endpoint (the new value
+    /// for the DID document).
+    pub fn migrate_account(
+        &mut self,
+        did: &Did,
+        destination: &str,
+        new_handle: Handle,
+        at: Datetime,
+    ) -> Result<String> {
+        let origin_host = self
+            .locate(did)
+            .ok_or_else(|| AtError::RepoError(format!("{did} not hosted anywhere")))?
+            .to_string();
+        if origin_host == destination {
+            return Err(AtError::RepoError("already hosted on the destination".into()));
+        }
+        if !self.servers.contains_key(destination) {
+            return Err(AtError::RepoError(format!("no PDS named {destination}")));
+        }
+        let repo = self
+            .servers
+            .get_mut(&origin_host)
+            .expect("origin exists")
+            .migrate_out(did, at)?;
+        let dest = self.servers.get_mut(destination).expect("checked above");
+        dest.migrate_in(repo, new_handle, at)?;
+        self.routing
+            .insert(did.to_string(), destination.to_string());
+        Ok(dest.endpoint())
+    }
+
+    /// Total number of hosted accounts across all servers.
+    pub fn total_accounts(&self) -> usize {
+        self.routing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::nsid::known;
+    use bsky_atproto::record::{PostRecord, Record};
+    use bsky_atproto::Nsid;
+
+    fn now() -> Datetime {
+        Datetime::from_ymd(2024, 2, 10).unwrap()
+    }
+
+    #[test]
+    fn default_fleet_layout() {
+        let fleet = PdsFleet::with_default_servers(10);
+        assert_eq!(fleet.server_count(), 10);
+        assert_eq!(fleet.default_hostnames().len(), 10);
+        assert!(fleet.server("pds001.host.bsky.network").is_some());
+        assert!(fleet.server("missing").is_none());
+        assert_eq!(fleet.total_accounts(), 0);
+    }
+
+    #[test]
+    fn account_creation_and_routing() {
+        let mut fleet = PdsFleet::with_default_servers(2);
+        let did = Did::plc_from_seed(b"alice");
+        fleet
+            .create_account_on(
+                "pds002.host.bsky.network",
+                did.clone(),
+                Handle::parse("alice.bsky.social").unwrap(),
+                now(),
+            )
+            .unwrap();
+        assert_eq!(fleet.locate(&did), Some("pds002.host.bsky.network"));
+        assert!(fleet.pds_for(&did).unwrap().hosts(&did));
+        assert_eq!(fleet.total_accounts(), 1);
+        assert!(fleet
+            .create_account_on("missing", Did::plc_from_seed(b"bob"), Handle::parse("b.bsky.social").unwrap(), now())
+            .is_err());
+    }
+
+    #[test]
+    fn migration_moves_routing_and_content() {
+        let mut fleet = PdsFleet::with_default_servers(1);
+        fleet.add_server(Pds::new("self.example", PdsOperator::SelfHosted));
+        let did = Did::plc_from_seed(b"carol");
+        fleet
+            .create_account_on(
+                "pds001.host.bsky.network",
+                did.clone(),
+                Handle::parse("carol.bsky.social").unwrap(),
+                now(),
+            )
+            .unwrap();
+        fleet
+            .pds_for_mut(&did)
+            .unwrap()
+            .create_record(
+                &did,
+                Nsid::parse(known::POST).unwrap(),
+                Record::Post(PostRecord::simple("hello", "en", now())),
+                now(),
+            )
+            .unwrap();
+
+        let endpoint = fleet
+            .migrate_account(&did, "self.example", Handle::parse("carol.example.com").unwrap(), now())
+            .unwrap();
+        assert_eq!(endpoint, "https://self.example");
+        assert_eq!(fleet.locate(&did), Some("self.example"));
+        let posts = fleet
+            .pds_for(&did)
+            .unwrap()
+            .repo(&did)
+            .unwrap()
+            .list_collection(&Nsid::parse(known::POST).unwrap());
+        assert_eq!(posts.len(), 1);
+        // Errors: unknown destination, migrating to the same host, unknown DID.
+        assert!(fleet
+            .migrate_account(&did, "nowhere.example", Handle::parse("c.example.com").unwrap(), now())
+            .is_err());
+        assert!(fleet
+            .migrate_account(&did, "self.example", Handle::parse("c.example.com").unwrap(), now())
+            .is_err());
+        assert!(fleet
+            .migrate_account(&Did::plc_from_seed(b"nobody"), "self.example", Handle::parse("n.example.com").unwrap(), now())
+            .is_err());
+    }
+}

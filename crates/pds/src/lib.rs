@@ -1,0 +1,20 @@
+//! # bsky-pds
+//!
+//! Personal Data Servers for the simulated Bluesky network (§2 of the paper).
+//!
+//! * [`account`] — hosted accounts and their private moderation preferences.
+//! * [`server`] — a single PDS: repository hosting, the `com.atproto.sync.*`
+//!   endpoints the Relay crawls, handle changes, deletions and migrations.
+//! * [`fleet`] — the fleet of default Bluesky-operated PDSes plus self-hosted
+//!   servers, with the DID → PDS routing table and account migration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod fleet;
+pub mod server;
+
+pub use account::{Account, AccountStatus, LabelAction, ModerationPreferences};
+pub use fleet::PdsFleet;
+pub use server::{Pds, PdsEvent, PdsEventDetail, PdsOperator};

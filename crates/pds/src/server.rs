@@ -1,0 +1,485 @@
+//! The Personal Data Server.
+//!
+//! A PDS hosts the repositories of the accounts registered with it and
+//! exposes the `com.atproto.sync.*` endpoints the Relay crawls: `listRepos`
+//! (paginated DID + latest revision), `getRepo` (CAR export) and an event
+//! outbox that stands in for `subscribeRepos` at the PDS level (§2, §3).
+
+use crate::account::{Account, AccountStatus};
+use bsky_atproto::error::{AtError, Result};
+use bsky_atproto::record::Record;
+use bsky_atproto::repo::{CommitResult, Repository, Write};
+use bsky_atproto::{Datetime, Did, Handle, Nsid};
+use std::collections::BTreeMap;
+
+/// Who operates a PDS (§2: Bluesky PBC runs the defaults, self-hosting is
+/// possible since federation opened).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PdsOperator {
+    /// One of the default `*.host.bsky.network` servers run by Bluesky PBC.
+    BlueskyPbc,
+    /// A community / self-hosted server.
+    SelfHosted,
+}
+
+/// An event produced by a PDS, to be picked up by the Relay crawler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdsEvent {
+    /// When the PDS registered the event.
+    pub at: Datetime,
+    /// The account concerned.
+    pub did: Did,
+    /// What happened.
+    pub detail: PdsEventDetail,
+}
+
+/// Event payloads a PDS can emit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdsEventDetail {
+    /// A repository commit (new records, updates, deletions).
+    Commit(CommitResult),
+    /// The account's handle changed.
+    HandleChange(Handle),
+    /// The account's DID document changed (PDS migration, key rotation, ...).
+    IdentityUpdate,
+    /// The account was deleted.
+    AccountDelete,
+}
+
+/// A Personal Data Server instance.
+#[derive(Debug, Clone)]
+pub struct Pds {
+    hostname: String,
+    operator: PdsOperator,
+    accounts: BTreeMap<String, Account>,
+    repos: BTreeMap<String, Repository>,
+    outbox: Vec<PdsEvent>,
+    sync_requests: u64,
+}
+
+impl Pds {
+    /// Create a PDS with a hostname like `pds001.host.bsky.network`.
+    pub fn new(hostname: impl Into<String>, operator: PdsOperator) -> Pds {
+        Pds {
+            hostname: hostname.into(),
+            operator,
+            accounts: BTreeMap::new(),
+            repos: BTreeMap::new(),
+            outbox: Vec::new(),
+            sync_requests: 0,
+        }
+    }
+
+    /// The PDS hostname.
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// The service endpoint URL placed in DID documents.
+    pub fn endpoint(&self) -> String {
+        format!("https://{}", self.hostname)
+    }
+
+    /// Who operates this PDS.
+    pub fn operator(&self) -> PdsOperator {
+        self.operator
+    }
+
+    /// Number of hosted accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Create an account and its empty repository.
+    pub fn create_account(&mut self, did: Did, handle: Handle, at: Datetime) -> Result<()> {
+        let key = did.to_string();
+        if self.accounts.contains_key(&key) {
+            return Err(AtError::RepoError(format!("{key} already hosted here")));
+        }
+        self.accounts
+            .insert(key.clone(), Account::new(did.clone(), handle, at));
+        self.repos
+            .insert(key.clone(), Repository::new(did.clone(), self.hostname.as_bytes()));
+        self.outbox.push(PdsEvent {
+            at,
+            did,
+            detail: PdsEventDetail::IdentityUpdate,
+        });
+        Ok(())
+    }
+
+    /// Access an account.
+    pub fn account(&self, did: &Did) -> Option<&Account> {
+        self.accounts.get(&did.to_string())
+    }
+
+    /// Mutable access to an account (e.g. to edit preferences).
+    pub fn account_mut(&mut self, did: &Did) -> Option<&mut Account> {
+        self.accounts.get_mut(&did.to_string())
+    }
+
+    /// Access a hosted repository.
+    pub fn repo(&self, did: &Did) -> Option<&Repository> {
+        self.repos.get(&did.to_string())
+    }
+
+    /// Whether the given DID is hosted here.
+    pub fn hosts(&self, did: &Did) -> bool {
+        self.repos.contains_key(&did.to_string())
+    }
+
+    /// Apply a batch of writes to a hosted repository, emitting a commit
+    /// event for the Relay.
+    pub fn apply_writes(
+        &mut self,
+        did: &Did,
+        writes: &[Write],
+        at: Datetime,
+    ) -> Result<CommitResult> {
+        let key = did.to_string();
+        match self.accounts.get(&key) {
+            Some(a) if a.status == AccountStatus::Active => {}
+            Some(_) => return Err(AtError::RepoError(format!("{key} is not active"))),
+            None => return Err(AtError::RepoError(format!("{key} not hosted here"))),
+        }
+        let repo = self
+            .repos
+            .get_mut(&key)
+            .ok_or_else(|| AtError::RepoError(format!("{key} has no repo")))?;
+        let result = repo.apply_writes(writes, at)?;
+        self.outbox.push(PdsEvent {
+            at,
+            did: did.clone(),
+            detail: PdsEventDetail::Commit(result.clone()),
+        });
+        Ok(result)
+    }
+
+    /// Convenience: create a single record keyed by a fresh TID.
+    pub fn create_record(
+        &mut self,
+        did: &Did,
+        collection: Nsid,
+        record: Record,
+        at: Datetime,
+    ) -> Result<(String, CommitResult)> {
+        let key = did.to_string();
+        match self.accounts.get(&key) {
+            Some(a) if a.status == AccountStatus::Active => {}
+            _ => return Err(AtError::RepoError(format!("{key} is not active"))),
+        }
+        let repo = self
+            .repos
+            .get_mut(&key)
+            .ok_or_else(|| AtError::RepoError(format!("{key} not hosted here")))?;
+        let (rkey, result) = repo.create_record(collection, record, at)?;
+        self.outbox.push(PdsEvent {
+            at,
+            did: did.clone(),
+            detail: PdsEventDetail::Commit(result.clone()),
+        });
+        Ok((rkey, result))
+    }
+
+    /// Change an account's handle, emitting a handle-change event.
+    pub fn change_handle(&mut self, did: &Did, new_handle: Handle, at: Datetime) -> Result<()> {
+        let account = self
+            .accounts
+            .get_mut(&did.to_string())
+            .ok_or_else(|| AtError::RepoError(format!("{did} not hosted here")))?;
+        account.handle = new_handle.clone();
+        self.outbox.push(PdsEvent {
+            at,
+            did: did.clone(),
+            detail: PdsEventDetail::HandleChange(new_handle),
+        });
+        Ok(())
+    }
+
+    /// Delete an account, emitting a tombstone event. The repository is
+    /// dropped from this PDS.
+    pub fn delete_account(&mut self, did: &Did, at: Datetime) -> Result<()> {
+        let key = did.to_string();
+        let account = self
+            .accounts
+            .get_mut(&key)
+            .ok_or_else(|| AtError::RepoError(format!("{key} not hosted here")))?;
+        account.status = AccountStatus::Deleted;
+        self.repos.remove(&key);
+        self.outbox.push(PdsEvent {
+            at,
+            did: did.clone(),
+            detail: PdsEventDetail::AccountDelete,
+        });
+        Ok(())
+    }
+
+    /// Remove a repository as part of a migration to another PDS, returning
+    /// it so the destination can import it. The account entry stays as a
+    /// deactivated stub.
+    pub fn migrate_out(&mut self, did: &Did, at: Datetime) -> Result<Repository> {
+        let key = did.to_string();
+        let repo = self
+            .repos
+            .remove(&key)
+            .ok_or_else(|| AtError::RepoError(format!("{key} not hosted here")))?;
+        if let Some(account) = self.accounts.get_mut(&key) {
+            account.status = AccountStatus::Deactivated;
+        }
+        self.outbox.push(PdsEvent {
+            at,
+            did: did.clone(),
+            detail: PdsEventDetail::IdentityUpdate,
+        });
+        Ok(repo)
+    }
+
+    /// Import a repository migrated from another PDS.
+    pub fn migrate_in(
+        &mut self,
+        repo: Repository,
+        handle: Handle,
+        at: Datetime,
+    ) -> Result<()> {
+        let did = repo.did().clone();
+        let key = did.to_string();
+        if self.repos.contains_key(&key) {
+            return Err(AtError::RepoError(format!("{key} already hosted here")));
+        }
+        self.repos.insert(key.clone(), repo);
+        self.accounts
+            .entry(key)
+            .and_modify(|a| a.status = AccountStatus::Active)
+            .or_insert_with(|| Account::new(did.clone(), handle.clone(), at));
+        self.outbox.push(PdsEvent {
+            at,
+            did,
+            detail: PdsEventDetail::IdentityUpdate,
+        });
+        Ok(())
+    }
+
+    // ----- com.atproto.sync.* -----
+
+    /// `sync.listRepos`: page of `(did, latest revision)` pairs in DID order.
+    pub fn list_repos(
+        &mut self,
+        cursor: Option<&str>,
+        limit: usize,
+    ) -> (Vec<(Did, Option<String>)>, Option<String>) {
+        self.sync_requests += 1;
+        let limit = limit.max(1);
+        let iter: Box<dyn Iterator<Item = (&String, &Repository)>> = match cursor {
+            Some(c) => Box::new(self.repos.range::<String, _>((
+                std::ops::Bound::Excluded(c.to_string()),
+                std::ops::Bound::Unbounded,
+            ))),
+            None => Box::new(self.repos.iter()),
+        };
+        let page: Vec<(Did, Option<String>)> = iter
+            .take(limit)
+            .map(|(_, r)| (r.did().clone(), r.rev().map(|t| t.to_string())))
+            .collect();
+        let next = if page.len() == limit {
+            page.last().map(|(did, _)| did.to_string())
+        } else {
+            None
+        };
+        (page, next)
+    }
+
+    /// `sync.getRepo`: CAR export of a hosted repository.
+    pub fn get_repo(&mut self, did: &Did) -> Result<Vec<u8>> {
+        self.sync_requests += 1;
+        self.repos
+            .get(&did.to_string())
+            .map(Repository::export_car)
+            .ok_or_else(|| AtError::RepoError(format!("{did} not hosted here")))
+    }
+
+    /// Events recorded at or after the given outbox index (the Relay's
+    /// per-PDS crawl cursor). Returns the slice and the next cursor.
+    pub fn events_since(&self, cursor: usize) -> (&[PdsEvent], usize) {
+        let start = cursor.min(self.outbox.len());
+        (&self.outbox[start..], self.outbox.len())
+    }
+
+    /// Number of sync API requests served (crawler-load accounting).
+    pub fn sync_requests(&self) -> u64 {
+        self.sync_requests
+    }
+
+    /// All hosted DIDs.
+    pub fn hosted_dids(&self) -> Vec<Did> {
+        self.repos.values().map(|r| r.did().clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::nsid::known;
+    use bsky_atproto::record::PostRecord;
+
+    fn now() -> Datetime {
+        Datetime::from_ymd_hms(2024, 4, 1, 8, 0, 0).unwrap()
+    }
+
+    fn post(text: &str) -> Record {
+        Record::Post(PostRecord::simple(text, "en", now()))
+    }
+
+    fn pds_with_alice() -> (Pds, Did) {
+        let mut pds = Pds::new("pds001.host.bsky.network", PdsOperator::BlueskyPbc);
+        let did = Did::plc_from_seed(b"alice");
+        pds.create_account(did.clone(), Handle::parse("alice.bsky.social").unwrap(), now())
+            .unwrap();
+        (pds, did)
+    }
+
+    #[test]
+    fn account_lifecycle_and_events() {
+        let (mut pds, did) = pds_with_alice();
+        assert_eq!(pds.account_count(), 1);
+        assert!(pds.hosts(&did));
+        assert_eq!(pds.endpoint(), "https://pds001.host.bsky.network");
+
+        let (_, result) = pds
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("hello"), now())
+            .unwrap();
+        assert_eq!(result.ops.len(), 1);
+
+        pds.change_handle(&did, Handle::parse("alice.example.com").unwrap(), now())
+            .unwrap();
+        assert_eq!(
+            pds.account(&did).unwrap().handle.as_str(),
+            "alice.example.com"
+        );
+
+        let (events, next) = pds.events_since(0);
+        // identity (create), commit, handle change
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0].detail, PdsEventDetail::IdentityUpdate));
+        assert!(matches!(events[1].detail, PdsEventDetail::Commit(_)));
+        assert!(matches!(events[2].detail, PdsEventDetail::HandleChange(_)));
+        // Cursor semantics.
+        let (later, _) = pds.events_since(next);
+        assert!(later.is_empty());
+
+        pds.delete_account(&did, now()).unwrap();
+        assert!(!pds.hosts(&did));
+        assert!(pds
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("x"), now())
+            .is_err());
+        let (events, _) = pds.events_since(next);
+        assert!(matches!(events[0].detail, PdsEventDetail::AccountDelete));
+    }
+
+    #[test]
+    fn duplicate_account_rejected() {
+        let (mut pds, did) = pds_with_alice();
+        assert!(pds
+            .create_account(did, Handle::parse("alice2.bsky.social").unwrap(), now())
+            .is_err());
+    }
+
+    #[test]
+    fn writes_only_for_hosted_active_accounts() {
+        let (mut pds, _) = pds_with_alice();
+        let stranger = Did::plc_from_seed(b"stranger");
+        assert!(pds
+            .apply_writes(
+                &stranger,
+                &[Write::Create {
+                    collection: Nsid::parse(known::POST).unwrap(),
+                    rkey: "abc".into(),
+                    record: post("x"),
+                }],
+                now()
+            )
+            .is_err());
+        assert!(pds.get_repo(&stranger).is_err());
+    }
+
+    #[test]
+    fn list_repos_pagination() {
+        let mut pds = Pds::new("pds002.host.bsky.network", PdsOperator::BlueskyPbc);
+        for i in 0..25 {
+            let did = Did::plc_from_seed(format!("user{i}").as_bytes());
+            pds.create_account(
+                did.clone(),
+                Handle::parse(&format!("user{i}.bsky.social")).unwrap(),
+                now(),
+            )
+            .unwrap();
+            pds.create_record(&did, Nsid::parse(known::POST).unwrap(), post("hi"), now())
+                .unwrap();
+        }
+        let mut seen = 0;
+        let mut cursor: Option<String> = None;
+        loop {
+            let (page, next) = pds.list_repos(cursor.as_deref(), 10);
+            seen += page.len();
+            assert!(page.iter().all(|(_, rev)| rev.is_some()));
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(seen, 25);
+        assert!(pds.sync_requests() >= 3);
+    }
+
+    #[test]
+    fn car_export_via_sync() {
+        let (mut pds, did) = pds_with_alice();
+        pds.create_record(&did, Nsid::parse(known::POST).unwrap(), post("hello"), now())
+            .unwrap();
+        let car = pds.get_repo(&did).unwrap();
+        let (roots, blocks) = Repository::parse_car(&car).unwrap();
+        assert_eq!(roots.len(), 1);
+        assert!(!blocks.is_empty());
+    }
+
+    #[test]
+    fn migration_between_pdses() {
+        let (mut origin, did) = pds_with_alice();
+        origin
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("pre-move"), now())
+            .unwrap();
+        let mut destination = Pds::new("self-hosted.example", PdsOperator::SelfHosted);
+
+        let repo = origin.migrate_out(&did, now()).unwrap();
+        destination
+            .migrate_in(repo, Handle::parse("alice.example.com").unwrap(), now())
+            .unwrap();
+
+        assert!(!origin.hosts(&did));
+        assert!(destination.hosts(&did));
+        // Content survives the move.
+        let posts = destination
+            .repo(&did)
+            .unwrap()
+            .list_collection(&Nsid::parse(known::POST).unwrap());
+        assert_eq!(posts.len(), 1);
+        // Writes continue at the destination.
+        destination
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("post-move"), now())
+            .unwrap();
+        assert_eq!(
+            destination
+                .repo(&did)
+                .unwrap()
+                .list_collection(&Nsid::parse(known::POST).unwrap())
+                .len(),
+            2
+        );
+        // Importing twice fails.
+        let repo_again = Repository::new(did.clone(), b"x");
+        assert!(destination
+            .migrate_in(repo_again, Handle::parse("alice.example.com").unwrap(), now())
+            .is_err());
+        // The origin cannot migrate out what it no longer has.
+        assert!(origin.migrate_out(&did, now()).is_err());
+    }
+}

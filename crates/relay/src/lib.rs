@@ -1,0 +1,23 @@
+//! # bsky-relay
+//!
+//! The Relay and its Firehose (§2, §3 of the paper): the central aggregation
+//! point that crawls every PDS, mirrors repositories, and republishes all
+//! network activity as a sequenced event stream.
+//!
+//! * [`firehose`] — the sequenced, retention-bounded event log with cursors
+//!   and outdated-cursor signalling.
+//! * [`relay`] — the Relay service: PDS crawler, repository mirror
+//!   (`sync.getRepo` with caching), network-wide `sync.listRepos`.
+//! * [`stats`] — per-day event/byte accounting behind the ≈30 GB/day
+//!   firehose-volume estimate (§9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod firehose;
+pub mod relay;
+pub mod stats;
+
+pub use firehose::{FirehoseLog, Subscription, RETENTION_SECONDS};
+pub use relay::Relay;
+pub use stats::RelayStats;

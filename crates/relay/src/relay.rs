@@ -1,0 +1,393 @@
+//! The Relay service.
+//!
+//! The Relay aggregates user interactions across every known PDS: it crawls
+//! their sync endpoints, mirrors repository data, and republishes everything
+//! on the firehose (§2). Bluesky PBC runs the default Relay at
+//! `bsky.network`; the study obtained both its full repository snapshot and
+//! its real-time event stream from this single vantage point (§3).
+
+use crate::firehose::{FirehoseLog, Subscription};
+use crate::stats::RelayStats;
+use bsky_atproto::error::{AtError, Result};
+use bsky_atproto::firehose::{EventBody, Seq};
+use bsky_atproto::{Datetime, Did, Tid};
+use bsky_pds::{PdsEventDetail, PdsFleet};
+use std::collections::BTreeMap;
+
+/// A cached repository mirror entry.
+#[derive(Debug, Clone)]
+struct MirrorEntry {
+    rev: Option<String>,
+    car: Vec<u8>,
+    fetched_at: Datetime,
+}
+
+/// The Relay: PDS crawler, repository mirror and firehose publisher.
+#[derive(Debug, Clone)]
+pub struct Relay {
+    hostname: String,
+    firehose: FirehoseLog,
+    crawl_cursors: BTreeMap<String, usize>,
+    mirror: BTreeMap<String, MirrorEntry>,
+    known_dids: BTreeMap<String, Option<String>>,
+    stats: RelayStats,
+}
+
+impl Default for Relay {
+    fn default() -> Self {
+        Relay::new("bsky.network")
+    }
+}
+
+impl Relay {
+    /// Create a relay with a hostname (the default network relay is
+    /// `bsky.network`).
+    pub fn new(hostname: impl Into<String>) -> Relay {
+        Relay {
+            hostname: hostname.into(),
+            firehose: FirehoseLog::new(),
+            crawl_cursors: BTreeMap::new(),
+            mirror: BTreeMap::new(),
+            known_dids: BTreeMap::new(),
+            stats: RelayStats::new(),
+        }
+    }
+
+    /// The relay hostname.
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// Crawl every PDS in the fleet, ingesting new events into the firehose.
+    /// Returns the number of events ingested.
+    pub fn crawl(&mut self, fleet: &PdsFleet, now: Datetime) -> usize {
+        let mut ingested = 0usize;
+        // Collect hostnames first to keep borrow scopes simple.
+        let hostnames: Vec<String> = fleet.servers().map(|p| p.hostname().to_string()).collect();
+        for hostname in hostnames {
+            let server = match fleet.server(&hostname) {
+                Some(s) => s,
+                None => continue,
+            };
+            let cursor = self.crawl_cursors.get(&hostname).copied().unwrap_or(0);
+            let (events, next_cursor) = server.events_since(cursor);
+            for event in events {
+                let body = match &event.detail {
+                    PdsEventDetail::Commit(result) => {
+                        // Track latest known revision for listRepos.
+                        self.known_dids
+                            .insert(event.did.to_string(), Some(result.commit.rev.to_string()));
+                        // Invalidate any stale mirror entry.
+                        self.mirror.remove(&event.did.to_string());
+                        EventBody::Commit {
+                            did: event.did.clone(),
+                            commit: result.commit.cid(),
+                            rev: result.commit.rev,
+                            ops: result.ops.clone(),
+                            blocks_bytes: result.bytes_written,
+                            too_big: result.bytes_written > 1_000_000,
+                        }
+                    }
+                    PdsEventDetail::HandleChange(handle) => EventBody::HandleChange {
+                        did: event.did.clone(),
+                        handle: handle.clone(),
+                    },
+                    PdsEventDetail::IdentityUpdate => {
+                        self.known_dids
+                            .entry(event.did.to_string())
+                            .or_insert(None);
+                        EventBody::Identity {
+                            did: event.did.clone(),
+                        }
+                    }
+                    PdsEventDetail::AccountDelete => {
+                        self.known_dids.remove(&event.did.to_string());
+                        self.mirror.remove(&event.did.to_string());
+                        EventBody::Tombstone {
+                            did: event.did.clone(),
+                        }
+                    }
+                };
+                let time = if event.at.timestamp() > now.timestamp() {
+                    now
+                } else {
+                    event.at
+                };
+                let seq = self.firehose.append(time, body);
+                self.stats
+                    .record_event(time, self.firehose.iter().last().map(|e| e.wire_size()).unwrap_or(0), seq);
+                ingested += 1;
+            }
+            self.crawl_cursors.insert(hostname, next_cursor);
+        }
+        self.firehose.prune(now);
+        ingested
+    }
+
+    /// The firehose log (read access for subscribers and stats).
+    pub fn firehose(&self) -> &FirehoseLog {
+        &self.firehose
+    }
+
+    /// Subscribe to the firehose from a cursor.
+    pub fn subscribe(&self, cursor: Seq) -> Subscription {
+        self.firehose.read_from(cursor)
+    }
+
+    /// Relay-level statistics.
+    pub fn stats(&self) -> &RelayStats {
+        &self.stats
+    }
+
+    /// `sync.listRepos` served from the relay's own view of the network:
+    /// pages of `(did, latest rev)` in DID order.
+    pub fn list_repos(
+        &self,
+        cursor: Option<&str>,
+        limit: usize,
+    ) -> (Vec<(Did, Option<Tid>)>, Option<String>) {
+        let limit = limit.max(1);
+        let iter: Box<dyn Iterator<Item = (&String, &Option<String>)>> = match cursor {
+            Some(c) => Box::new(self.known_dids.range::<String, _>((
+                std::ops::Bound::Excluded(c.to_string()),
+                std::ops::Bound::Unbounded,
+            ))),
+            None => Box::new(self.known_dids.iter()),
+        };
+        let page: Vec<(Did, Option<Tid>)> = iter
+            .take(limit)
+            .filter_map(|(did, rev)| {
+                Some((
+                    Did::parse(did).ok()?,
+                    rev.as_deref().and_then(|r| Tid::parse(r).ok()),
+                ))
+            })
+            .collect();
+        let next = if page.len() == limit {
+            page.last().map(|(did, _)| did.to_string())
+        } else {
+            None
+        };
+        (page, next)
+    }
+
+    /// Number of accounts the relay currently knows about.
+    pub fn known_account_count(&self) -> usize {
+        self.known_dids.len()
+    }
+
+    /// `sync.getRepo` served from the relay's local cache, falling back to
+    /// fetching from the hosting PDS (and caching the result). This is the
+    /// recommended way for researchers to download repositories because it
+    /// "reduces load elsewhere in the network" (§3).
+    pub fn get_repo(&mut self, did: &Did, fleet: &mut PdsFleet, now: Datetime) -> Result<Vec<u8>> {
+        let key = did.to_string();
+        let current_rev = self.known_dids.get(&key).cloned().flatten();
+        if let Some(entry) = self.mirror.get(&key) {
+            if entry.rev == current_rev {
+                self.stats.record_cache_hit();
+                return Ok(entry.car.clone());
+            }
+        }
+        let pds = fleet
+            .pds_for_mut(did)
+            .ok_or_else(|| AtError::RepoError(format!("{did} is not hosted on any known PDS")))?;
+        let car = pds.get_repo(did)?;
+        self.stats.record_cache_miss(car.len());
+        self.mirror.insert(
+            key,
+            MirrorEntry {
+                rev: current_rev,
+                car: car.clone(),
+                fetched_at: now,
+            },
+        );
+        Ok(car)
+    }
+
+    /// Number of repositories currently mirrored.
+    pub fn mirrored_repos(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Age of the oldest mirror entry relative to `now` (for eviction tests).
+    pub fn oldest_mirror_age(&self, now: Datetime) -> Option<i64> {
+        self.mirror
+            .values()
+            .map(|e| now.timestamp() - e.fetched_at.timestamp())
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::firehose::EventKind;
+    use bsky_atproto::nsid::known;
+    use bsky_atproto::record::{PostRecord, Record};
+    use bsky_atproto::repo::Repository;
+    use bsky_atproto::{Handle, Nsid};
+    use bsky_pds::{Pds, PdsOperator};
+
+    fn now() -> Datetime {
+        Datetime::from_ymd_hms(2024, 4, 1, 12, 0, 0).unwrap()
+    }
+
+    fn post(text: &str) -> Record {
+        Record::Post(PostRecord::simple(text, "en", now()))
+    }
+
+    fn fleet_with_users(n: usize) -> (PdsFleet, Vec<Did>) {
+        let mut fleet = PdsFleet::with_default_servers(2);
+        fleet.add_server(Pds::new("self.example", PdsOperator::SelfHosted));
+        let hosts = ["pds001.host.bsky.network", "pds002.host.bsky.network", "self.example"];
+        let mut dids = Vec::new();
+        for i in 0..n {
+            let did = Did::plc_from_seed(format!("user{i}").as_bytes());
+            let host = hosts[i % hosts.len()];
+            fleet
+                .create_account_on(
+                    host,
+                    did.clone(),
+                    Handle::parse(&format!("user{i}.bsky.social")).unwrap(),
+                    now(),
+                )
+                .unwrap();
+            dids.push(did);
+        }
+        (fleet, dids)
+    }
+
+    #[test]
+    fn crawl_converts_pds_events_into_firehose_frames() {
+        let (mut fleet, dids) = fleet_with_users(6);
+        for did in &dids {
+            fleet
+                .pds_for_mut(did)
+                .unwrap()
+                .create_record(did, Nsid::parse(known::POST).unwrap(), post("hi"), now())
+                .unwrap();
+        }
+        fleet
+            .pds_for_mut(&dids[0])
+            .unwrap()
+            .change_handle(&dids[0], Handle::parse("user0.example.com").unwrap(), now())
+            .unwrap();
+        fleet.pds_for_mut(&dids[1]).unwrap().delete_account(&dids[1], now()).unwrap();
+
+        let mut relay = Relay::default();
+        let ingested = relay.crawl(&fleet, now());
+        // 6 identity (account creation) + 6 commits + 1 handle + 1 tombstone
+        assert_eq!(ingested, 14);
+        let totals = relay.firehose().totals_by_kind();
+        assert_eq!(totals.get(&EventKind::Commit).copied(), Some(6));
+        assert_eq!(totals.get(&EventKind::Identity).copied(), Some(6));
+        assert_eq!(totals.get(&EventKind::HandleChange).copied(), Some(1));
+        assert_eq!(totals.get(&EventKind::Tombstone).copied(), Some(1));
+        // A second crawl with no new activity ingests nothing.
+        assert_eq!(relay.crawl(&fleet, now()), 0);
+        // Deleted accounts disappear from the relay's account list.
+        assert_eq!(relay.known_account_count(), 5);
+    }
+
+    #[test]
+    fn subscription_sees_crawled_events_in_order() {
+        let (mut fleet, dids) = fleet_with_users(3);
+        let mut relay = Relay::default();
+        relay.crawl(&fleet, now());
+        let sub = relay.subscribe(0);
+        let first_batch = sub.events.len();
+        assert!(first_batch >= 3);
+        assert!(sub.events.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        fleet
+            .pds_for_mut(&dids[0])
+            .unwrap()
+            .create_record(&dids[0], Nsid::parse(known::POST).unwrap(), post("new"), now())
+            .unwrap();
+        relay.crawl(&fleet, now());
+        let more = relay.subscribe(sub.cursor);
+        assert_eq!(more.events.len(), 1);
+        assert_eq!(more.events[0].kind(), EventKind::Commit);
+    }
+
+    #[test]
+    fn list_repos_pagination_over_all_pdses() {
+        let (mut fleet, dids) = fleet_with_users(13);
+        for did in &dids {
+            fleet
+                .pds_for_mut(did)
+                .unwrap()
+                .create_record(did, Nsid::parse(known::POST).unwrap(), post("x"), now())
+                .unwrap();
+        }
+        let mut relay = Relay::default();
+        relay.crawl(&fleet, now());
+        let mut seen = 0;
+        let mut cursor: Option<String> = None;
+        loop {
+            let (page, next) = relay.list_repos(cursor.as_deref(), 5);
+            seen += page.len();
+            assert!(page.iter().all(|(_, rev)| rev.is_some()));
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(seen, 13);
+    }
+
+    #[test]
+    fn get_repo_caches_and_invalidates() {
+        let (mut fleet, dids) = fleet_with_users(2);
+        let did = dids[0].clone();
+        fleet
+            .pds_for_mut(&did)
+            .unwrap()
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("v1"), now())
+            .unwrap();
+        let mut relay = Relay::default();
+        relay.crawl(&fleet, now());
+
+        let car1 = relay.get_repo(&did, &mut fleet, now()).unwrap();
+        let car2 = relay.get_repo(&did, &mut fleet, now()).unwrap();
+        assert_eq!(car1, car2);
+        assert_eq!(relay.stats().cache_hits(), 1);
+        assert_eq!(relay.mirrored_repos(), 1);
+        assert!(relay.oldest_mirror_age(now()).unwrap() >= 0);
+        let (_, blocks) = Repository::parse_car(&car1).unwrap();
+        assert!(!blocks.is_empty());
+
+        // New activity invalidates the cache; the next fetch returns new data.
+        fleet
+            .pds_for_mut(&did)
+            .unwrap()
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("v2"), now())
+            .unwrap();
+        relay.crawl(&fleet, now());
+        let car3 = relay.get_repo(&did, &mut fleet, now()).unwrap();
+        assert_ne!(car1, car3);
+        assert_eq!(relay.stats().cache_misses(), 2);
+
+        // Unknown DIDs error.
+        assert!(relay
+            .get_repo(&Did::plc_from_seed(b"nobody"), &mut fleet, now())
+            .is_err());
+    }
+
+    #[test]
+    fn commit_timestamps_never_exceed_crawl_time() {
+        let (mut fleet, dids) = fleet_with_users(1);
+        let future = now().plus_days(10);
+        fleet
+            .pds_for_mut(&dids[0])
+            .unwrap()
+            .create_record(&dids[0], Nsid::parse(known::POST).unwrap(), post("future"), future)
+            .unwrap();
+        let mut relay = Relay::default();
+        relay.crawl(&fleet, now());
+        for event in relay.firehose().iter() {
+            assert!(event.time.timestamp() <= now().timestamp());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Relay volume accounting.
+//!
+//! §9 estimates that "the Firehose already outputs ≈30 GB of data per day per
+//! subscribed client". The relay keeps per-day event and byte counters so the
+//! study can reproduce that estimate for the simulated network (and so the
+//! scaling section of EXPERIMENTS.md can extrapolate it to the real network
+//! size).
+
+use bsky_atproto::Datetime;
+use std::collections::BTreeMap;
+
+/// Per-day and lifetime relay statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RelayStats {
+    events_per_day: BTreeMap<i64, u64>,
+    bytes_per_day: BTreeMap<i64, u64>,
+    cache_hits: u64,
+    cache_misses: u64,
+    bytes_fetched_from_pds: u64,
+    highest_seq: u64,
+}
+
+impl RelayStats {
+    /// Create empty statistics.
+    pub fn new() -> RelayStats {
+        RelayStats::default()
+    }
+
+    /// Record one firehose event of `wire_bytes` at `time`.
+    pub fn record_event(&mut self, time: Datetime, wire_bytes: usize, seq: u64) {
+        let day = time.day_index();
+        *self.events_per_day.entry(day).or_insert(0) += 1;
+        *self.bytes_per_day.entry(day).or_insert(0) += wire_bytes as u64;
+        self.highest_seq = self.highest_seq.max(seq);
+    }
+
+    /// Record a repo fetch served from the mirror cache.
+    pub fn record_cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    /// Record a repo fetch that had to go to the hosting PDS.
+    pub fn record_cache_miss(&mut self, bytes: usize) {
+        self.cache_misses += 1;
+        self.bytes_fetched_from_pds += bytes as u64;
+    }
+
+    /// Total events observed.
+    pub fn total_events(&self) -> u64 {
+        self.events_per_day.values().sum()
+    }
+
+    /// Total firehose bytes emitted.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_day.values().sum()
+    }
+
+    /// Number of days with at least one event.
+    pub fn active_days(&self) -> usize {
+        self.events_per_day.len()
+    }
+
+    /// Mean firehose output per active day, in bytes.
+    pub fn mean_bytes_per_day(&self) -> f64 {
+        if self.events_per_day.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.active_days() as f64
+        }
+    }
+
+    /// Per-day series `(day_index, events, bytes)` in day order.
+    pub fn daily_series(&self) -> Vec<(i64, u64, u64)> {
+        self.events_per_day
+            .iter()
+            .map(|(day, events)| {
+                (
+                    *day,
+                    *events,
+                    self.bytes_per_day.get(day).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    /// Mirror cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Mirror cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Bytes fetched from PDSes due to cache misses.
+    pub fn bytes_fetched_from_pds(&self) -> u64 {
+        self.bytes_fetched_from_pds
+    }
+
+    /// Highest firehose sequence number observed.
+    pub fn highest_seq(&self) -> u64 {
+        self.highest_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(n: i64) -> Datetime {
+        Datetime::from_ymd(2024, 4, 1).unwrap().plus_days(n)
+    }
+
+    #[test]
+    fn per_day_accounting() {
+        let mut stats = RelayStats::new();
+        stats.record_event(day(0), 100, 1);
+        stats.record_event(day(0), 150, 2);
+        stats.record_event(day(1), 200, 3);
+        assert_eq!(stats.total_events(), 3);
+        assert_eq!(stats.total_bytes(), 450);
+        assert_eq!(stats.active_days(), 2);
+        assert!((stats.mean_bytes_per_day() - 225.0).abs() < 1e-9);
+        let series = stats.daily_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1, 2);
+        assert_eq!(series[0].2, 250);
+        assert_eq!(stats.highest_seq(), 3);
+    }
+
+    #[test]
+    fn cache_accounting() {
+        let mut stats = RelayStats::new();
+        stats.record_cache_miss(1_000);
+        stats.record_cache_hit();
+        stats.record_cache_hit();
+        assert_eq!(stats.cache_hits(), 2);
+        assert_eq!(stats.cache_misses(), 1);
+        assert_eq!(stats.bytes_fetched_from_pds(), 1_000);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = RelayStats::new();
+        assert_eq!(stats.total_events(), 0);
+        assert_eq!(stats.mean_bytes_per_day(), 0.0);
+        assert!(stats.daily_series().is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Simulated wall-clock time.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Seconds since the Unix epoch — mirrors `bsky_atproto::Datetime` without
+/// introducing a dependency cycle; conversion is a plain integer copy.
+pub type UnixSeconds = i64;
+
+/// A shareable simulated clock.
+///
+/// All services hold a clone of the clock; the workload driver advances it.
+/// Reads are cheap (an `RwLock` read), writes only happen from the driver.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: Arc<RwLock<UnixSeconds>>,
+}
+
+impl SimClock {
+    /// Create a clock starting at the given time.
+    pub fn starting_at(start: UnixSeconds) -> SimClock {
+        SimClock {
+            now: Arc::new(RwLock::new(start)),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> UnixSeconds {
+        *self.now.read()
+    }
+
+    /// Advance the clock by `seconds` (panics if negative).
+    pub fn advance(&self, seconds: i64) {
+        assert!(seconds >= 0, "clock cannot move backwards");
+        *self.now.write() += seconds;
+    }
+
+    /// Jump the clock to an absolute time (must not move backwards).
+    pub fn set(&self, to: UnixSeconds) {
+        let mut now = self.now.write();
+        assert!(to >= *now, "clock cannot move backwards");
+        *now = to;
+    }
+
+    /// Elapsed seconds since `earlier`.
+    pub fn seconds_since(&self, earlier: UnixSeconds) -> i64 {
+        self.now() - earlier
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::starting_at(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let clock = SimClock::starting_at(100);
+        let clone = clock.clone();
+        clock.advance(50);
+        assert_eq!(clone.now(), 150);
+        clone.set(200);
+        assert_eq!(clock.now(), 200);
+        assert_eq!(clock.seconds_since(120), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn cannot_move_backwards() {
+        let clock = SimClock::starting_at(100);
+        clock.set(50);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn cannot_advance_negative() {
+        let clock = SimClock::starting_at(100);
+        clock.advance(-1);
+    }
+}

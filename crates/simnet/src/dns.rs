@@ -1,0 +1,165 @@
+//! Simulated DNS.
+//!
+//! The study's identity analyses (§5) hinge on DNS: `_atproto.<handle>` TXT
+//! records prove handle ownership, and WHOIS data maps registered domains to
+//! registrars. This module provides the authoritative zone store the
+//! simulated resolvers query. Lookups can be made to fail for a configurable
+//! fraction of zones to model broken delegations.
+
+use std::collections::BTreeMap;
+
+/// Outcome of a DNS TXT lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxtLookup {
+    /// The name exists and has TXT records.
+    Found(Vec<String>),
+    /// The name does not exist (NXDOMAIN).
+    NxDomain,
+    /// The query timed out / the delegation is broken.
+    ServFail,
+}
+
+impl TxtLookup {
+    /// The records, if the lookup succeeded.
+    pub fn records(&self) -> Option<&[String]> {
+        match self {
+            TxtLookup::Found(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// An authoritative store of TXT records plus per-name failure marks.
+#[derive(Debug, Clone, Default)]
+pub struct DnsZoneStore {
+    txt: BTreeMap<String, Vec<String>>,
+    broken: BTreeMap<String, ()>,
+    queries: std::cell::Cell<u64>,
+}
+
+impl DnsZoneStore {
+    /// Create an empty store.
+    pub fn new() -> DnsZoneStore {
+        DnsZoneStore::default()
+    }
+
+    /// Publish (append) a TXT record at a name.
+    pub fn add_txt(&mut self, name: &str, value: impl Into<String>) {
+        self.txt
+            .entry(name.to_ascii_lowercase())
+            .or_default()
+            .push(value.into());
+    }
+
+    /// Replace all TXT records at a name.
+    pub fn set_txt(&mut self, name: &str, values: Vec<String>) {
+        self.txt.insert(name.to_ascii_lowercase(), values);
+    }
+
+    /// Remove all records at a name.
+    pub fn remove(&mut self, name: &str) {
+        self.txt.remove(&name.to_ascii_lowercase());
+        self.broken.remove(&name.to_ascii_lowercase());
+    }
+
+    /// Mark a name as failing (SERVFAIL) regardless of stored records.
+    pub fn mark_broken(&mut self, name: &str) {
+        self.broken.insert(name.to_ascii_lowercase(), ());
+    }
+
+    /// Perform a TXT lookup.
+    pub fn lookup_txt(&self, name: &str) -> TxtLookup {
+        self.queries.set(self.queries.get() + 1);
+        let name = name.to_ascii_lowercase();
+        if self.broken.contains_key(&name) {
+            return TxtLookup::ServFail;
+        }
+        match self.txt.get(&name) {
+            Some(records) => TxtLookup::Found(records.clone()),
+            None => TxtLookup::NxDomain,
+        }
+    }
+
+    /// Convenience: the `did=` payload of an `_atproto.` TXT proof, if any.
+    pub fn lookup_atproto_did(&self, handle: &str) -> Option<String> {
+        let name = format!("_atproto.{}", handle.to_ascii_lowercase());
+        self.lookup_txt(&name)
+            .records()?
+            .iter()
+            .find_map(|r| r.strip_prefix("did=").map(str::to_string))
+    }
+
+    /// Number of names with at least one TXT record.
+    pub fn zone_count(&self) -> usize {
+        self.txt.len()
+    }
+
+    /// Total queries served (measurement of crawler load).
+    pub fn queries_served(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Iterate all `(name, records)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.txt.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txt_publish_and_lookup() {
+        let mut dns = DnsZoneStore::new();
+        dns.add_txt("_atproto.example.com", "did=did:plc:abc");
+        dns.add_txt("_atproto.example.com", "unrelated");
+        match dns.lookup_txt("_atproto.EXAMPLE.com") {
+            TxtLookup::Found(records) => assert_eq!(records.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            dns.lookup_atproto_did("example.com"),
+            Some("did:plc:abc".to_string())
+        );
+        assert_eq!(dns.lookup_txt("missing.example"), TxtLookup::NxDomain);
+        assert_eq!(dns.zone_count(), 1);
+        assert!(dns.queries_served() >= 3);
+    }
+
+    #[test]
+    fn broken_names_servfail() {
+        let mut dns = DnsZoneStore::new();
+        dns.add_txt("_atproto.broken.example", "did=did:plc:abc");
+        dns.mark_broken("_atproto.broken.example");
+        assert_eq!(
+            dns.lookup_txt("_atproto.broken.example"),
+            TxtLookup::ServFail
+        );
+        assert_eq!(dns.lookup_atproto_did("broken.example"), None);
+        dns.remove("_atproto.broken.example");
+        assert_eq!(
+            dns.lookup_txt("_atproto.broken.example"),
+            TxtLookup::NxDomain
+        );
+    }
+
+    #[test]
+    fn set_replaces_records() {
+        let mut dns = DnsZoneStore::new();
+        dns.add_txt("name.example", "one");
+        dns.set_txt("name.example", vec!["two".into()]);
+        assert_eq!(
+            dns.lookup_txt("name.example").records().unwrap(),
+            &["two".to_string()]
+        );
+        assert_eq!(dns.iter().count(), 1);
+    }
+
+    #[test]
+    fn missing_did_prefix_is_ignored() {
+        let mut dns = DnsZoneStore::new();
+        dns.add_txt("_atproto.nodid.example", "verification=xyz");
+        assert_eq!(dns.lookup_atproto_did("nodid.example"), None);
+    }
+}

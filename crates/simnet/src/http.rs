@@ -1,0 +1,156 @@
+//! Simulated HTTPS document space.
+//!
+//! Several ATProto mechanisms are "fetch a small document over HTTPS":
+//! `/.well-known/atproto-did` handle proofs, `/.well-known/did.json` for
+//! `did:web`, feed-generator `describeFeedGenerator` metadata, and labeler
+//! endpoints. This module stores such documents keyed by URL and models
+//! unavailability.
+
+use std::collections::BTreeMap;
+
+/// Outcome of an HTTPS GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpResponse {
+    /// 200 with a body.
+    Ok(String),
+    /// 404 — the document does not exist.
+    NotFound,
+    /// Connection failure / timeout (host down, DNS broken, ...).
+    Unreachable,
+}
+
+impl HttpResponse {
+    /// The body, if the request succeeded.
+    pub fn body(&self) -> Option<&str> {
+        match self {
+            HttpResponse::Ok(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// A miniature web: URL → document, plus per-host outage marks.
+#[derive(Debug, Clone, Default)]
+pub struct WebSpace {
+    documents: BTreeMap<String, String>,
+    down_hosts: BTreeMap<String, ()>,
+    requests: std::cell::Cell<u64>,
+}
+
+fn host_of(url: &str) -> Option<&str> {
+    let rest = url.strip_prefix("https://").or_else(|| url.strip_prefix("http://"))?;
+    Some(rest.split('/').next().unwrap_or(rest))
+}
+
+impl WebSpace {
+    /// Create an empty web.
+    pub fn new() -> WebSpace {
+        WebSpace::default()
+    }
+
+    /// Publish a document at a URL.
+    pub fn publish(&mut self, url: &str, body: impl Into<String>) {
+        self.documents.insert(url.to_string(), body.into());
+    }
+
+    /// Remove a document.
+    pub fn unpublish(&mut self, url: &str) {
+        self.documents.remove(url);
+    }
+
+    /// Mark an entire host as unreachable.
+    pub fn take_host_down(&mut self, host: &str) {
+        self.down_hosts.insert(host.to_ascii_lowercase(), ());
+    }
+
+    /// Bring a host back.
+    pub fn bring_host_up(&mut self, host: &str) {
+        self.down_hosts.remove(&host.to_ascii_lowercase());
+    }
+
+    /// Perform a GET.
+    pub fn get(&self, url: &str) -> HttpResponse {
+        self.requests.set(self.requests.get() + 1);
+        if let Some(host) = host_of(url) {
+            if self.down_hosts.contains_key(&host.to_ascii_lowercase()) {
+                return HttpResponse::Unreachable;
+            }
+        } else {
+            return HttpResponse::Unreachable;
+        }
+        match self.documents.get(url) {
+            Some(body) => HttpResponse::Ok(body.clone()),
+            None => HttpResponse::NotFound,
+        }
+    }
+
+    /// Number of documents published.
+    pub fn document_count(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Total requests served.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_get_unpublish() {
+        let mut web = WebSpace::new();
+        web.publish(
+            "https://example.com/.well-known/atproto-did",
+            "did:plc:abc",
+        );
+        assert_eq!(
+            web.get("https://example.com/.well-known/atproto-did"),
+            HttpResponse::Ok("did:plc:abc".into())
+        );
+        assert_eq!(
+            web.get("https://example.com/other"),
+            HttpResponse::NotFound
+        );
+        web.unpublish("https://example.com/.well-known/atproto-did");
+        assert_eq!(
+            web.get("https://example.com/.well-known/atproto-did"),
+            HttpResponse::NotFound
+        );
+        assert_eq!(web.document_count(), 0);
+        assert!(web.requests_served() >= 3);
+    }
+
+    #[test]
+    fn host_outages() {
+        let mut web = WebSpace::new();
+        web.publish("https://labeler.example/xrpc/labels", "[]");
+        web.take_host_down("labeler.example");
+        assert_eq!(
+            web.get("https://labeler.example/xrpc/labels"),
+            HttpResponse::Unreachable
+        );
+        web.bring_host_up("labeler.example");
+        assert_eq!(
+            web.get("https://labeler.example/xrpc/labels"),
+            HttpResponse::Ok("[]".into())
+        );
+    }
+
+    #[test]
+    fn malformed_urls_are_unreachable() {
+        let web = WebSpace::new();
+        assert_eq!(web.get("not a url"), HttpResponse::Unreachable);
+        assert_eq!(HttpResponse::NotFound.body(), None);
+        assert_eq!(HttpResponse::Ok("x".into()).body(), Some("x"));
+    }
+
+    #[test]
+    fn host_extraction() {
+        assert_eq!(host_of("https://a.example.com/path/x"), Some("a.example.com"));
+        assert_eq!(host_of("http://b.example"), Some("b.example"));
+        assert_eq!(host_of("ftp://c.example"), None);
+    }
+}

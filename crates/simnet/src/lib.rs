@@ -1,0 +1,37 @@
+//! # bsky-simnet
+//!
+//! Deterministic simulation substrate for the Bluesky ecosystem reproduction.
+//!
+//! The measurement study ran against the live network; this crate provides
+//! the pieces of "the Internet" the study interacted with, in a form that is
+//! deterministic (seeded), fast, and inspectable:
+//!
+//! * [`clock::SimClock`] — simulated wall-clock time shared by every service.
+//! * [`rng::SimRng`] — seeded, forkable random number generation so that a
+//!   `(seed, scale)` pair fully determines a run.
+//! * [`dns`] — an authoritative DNS zone store used for `_atproto.` TXT
+//!   handle-ownership proofs.
+//! * [`http`] — a miniature HTTPS document space used for
+//!   `/.well-known/atproto-did` and `/.well-known/did.json` documents.
+//! * [`net`] — endpoint address plan, hosting classification (cloud,
+//!   residential, dead) and availability/fault modelling.
+//! * [`event`] — a discrete-event scheduler for time-ordered simulation.
+//! * [`metrics`] — counters and streaming histograms used by services and by
+//!   the measurement pipeline.
+//!
+//! Everything is synchronous and poll-driven (the smoltcp idiom): the
+//! workload driver advances [`clock::SimClock`] and services react.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod dns;
+pub mod event;
+pub mod http;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+
+pub use clock::SimClock;
+pub use rng::SimRng;

@@ -1,0 +1,198 @@
+//! Counters and streaming histograms.
+//!
+//! Services use these to account for load (requests served, bytes shipped on
+//! the firehose) and the measurement pipeline uses them for the quantile
+//! summaries the paper reports (e.g. Table 6's median / IQD reaction times).
+
+use std::collections::BTreeMap;
+
+/// A named set of monotonically increasing counters.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSet {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Create an empty set.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Increment a counter by 1.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `amount`.
+    pub fn add(&mut self, name: &str, amount: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += amount;
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate all counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+}
+
+/// A histogram that keeps all samples (fine at simulation scale) and offers
+/// exact quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record a sample (non-finite samples are ignored).
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the histogram has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Mean of the samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.samples.len() as f64)
+        }
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile in `[0, 1]` using nearest-rank interpolation.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.sort();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// The median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Interquartile distance (Q3 − Q1), the dispersion measure Table 6 uses.
+    pub fn iqd(&mut self) -> Option<f64> {
+        Some(self.quantile(0.75)? - self.quantile(0.25)?)
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Option<f64> {
+        self.sort();
+        self.samples.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Option<f64> {
+        self.sort();
+        self.samples.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = CounterSet::new();
+        c.incr("posts");
+        c.add("posts", 9);
+        c.add("likes", 5);
+        assert_eq!(c.get("posts"), 10);
+        assert_eq!(c.get("likes"), 5);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.total(), 15);
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["likes", "posts"]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.median().unwrap() - 50.5).abs() < 1e-9);
+        assert!((h.quantile(0.0).unwrap() - 1.0).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 100.0).abs() < 1e-9);
+        let iqd = h.iqd().unwrap();
+        assert!((iqd - 49.5).abs() < 1.0, "iqd {iqd}");
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(100.0));
+        assert!((h.mean().unwrap() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate_histograms() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.median(), None);
+        assert_eq!(h.iqd(), None);
+        assert_eq!(h.mean(), None);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty());
+        h.record(7.0);
+        assert_eq!(h.median(), Some(7.0));
+        assert_eq!(h.iqd(), Some(0.0));
+    }
+
+    #[test]
+    fn interleaved_record_and_quantile() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        assert_eq!(h.median(), Some(10.0));
+        h.record(20.0);
+        h.record(30.0);
+        assert_eq!(h.median(), Some(20.0));
+        assert_eq!(h.quantile(2.0), Some(30.0)); // clamped
+    }
+}

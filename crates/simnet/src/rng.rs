@@ -1,0 +1,242 @@
+//! Seeded, forkable random number generation.
+//!
+//! Every stochastic decision in the workload generator flows through a
+//! [`SimRng`], so a single 64-bit seed plus the scale factor determines a run
+//! exactly. Forking by label lets independent subsystems (e.g. the follow
+//! graph and the labeler ecosystem) consume randomness without perturbing
+//! each other when one of them changes.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Poisson, Zipf};
+
+/// A deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent generator for a named subsystem. The derived
+    /// seed depends only on the parent seed and the label.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let mut derived = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for byte in label.bytes() {
+            derived = derived.wrapping_mul(0x100_0000_01b3).wrapping_add(byte as u64);
+            derived ^= derived >> 29;
+        }
+        SimRng::new(derived)
+    }
+
+    /// Uniform sample from a range.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen_bool(p)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Poisson sample with the given mean (returns 0 for non-positive means).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        // Guard against numerically extreme means.
+        let mean = mean.min(1e7);
+        Poisson::new(mean)
+            .map(|d| d.sample(&mut self.inner) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Log-normal sample parameterised by the *median* and sigma of the
+    /// underlying normal. Used for reaction-time and activity-level models.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        let mu = median.max(1e-9).ln();
+        LogNormal::new(mu, sigma.max(1e-9))
+            .map(|d| d.sample(&mut self.inner))
+            .unwrap_or(median)
+    }
+
+    /// Zipf-distributed rank sample in `[1, n]` with exponent `s`.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        if n <= 1 {
+            return 1;
+        }
+        Zipf::new(n, s.max(1e-6))
+            .map(|d| d.sample(&mut self.inner) as u64)
+            .unwrap_or(1)
+    }
+
+    /// Pick one element of a slice (panics on empty slices).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.inner.gen_range(0..items.len())]
+    }
+
+    /// Pick an index according to a weight vector. Returns `None` when the
+    /// total weight is not positive.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.inner.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                target -= w;
+                if target <= 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        Some(weights.len() - 1)
+    }
+
+    /// Shuffle a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        items.shuffle(&mut self.inner);
+    }
+
+    /// Raw 64-bit output (for deriving sub-seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let root = SimRng::new(7);
+        let mut f1 = root.fork("labelers");
+        let mut f1_again = root.fork("labelers");
+        let mut f2 = root.fork("feedgens");
+        assert_eq!(f1.next_u64(), f1_again.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(2.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn zipf_is_heavy_tailed() {
+        let mut rng = SimRng::new(11);
+        let samples: Vec<u64> = (0..20_000).map(|_| rng.zipf(1_000, 1.1)).collect();
+        let ones = samples.iter().filter(|&&v| v == 1).count();
+        let big = samples.iter().filter(|&&v| v > 500).count();
+        assert!(ones > big, "rank 1 ({ones}) should dominate the tail ({big})");
+        assert!(samples.iter().all(|&v| (1..=1_000).contains(&v)));
+        assert_eq!(rng.zipf(1, 1.1), 1);
+        assert_eq!(rng.zipf(0, 1.1), 1);
+    }
+
+    #[test]
+    fn poisson_mean_is_respected() {
+        let mut rng = SimRng::new(13);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.poisson(3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((2.8..3.2).contains(&mean), "mean {mean}");
+        assert_eq!(rng.poisson(0.0), 0);
+        assert_eq!(rng.poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn log_normal_median_is_respected() {
+        let mut rng = SimRng::new(17);
+        let mut samples: Vec<f64> = (0..10_001).map(|_| rng.log_normal(10.0, 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((7.0..14.0).contains(&median), "median {median}");
+        assert!(samples.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn weighted_pick_follows_weights() {
+        let mut rng = SimRng::new(19);
+        let weights = [0.0, 9.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.pick_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2] * 5);
+        assert!(rng.pick_weighted(&[]).is_none());
+        assert!(rng.pick_weighted(&[0.0, 0.0]).is_none());
+        assert!(rng.pick_weighted(&[f64::NAN, 1.0]).is_some());
+    }
+
+    #[test]
+    fn pick_and_shuffle() {
+        let mut rng = SimRng::new(23);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+        let mut shuffled = items;
+        rng.shuffle(&mut shuffled);
+        let mut sorted = shuffled;
+        sorted.sort();
+        assert_eq!(sorted, items);
+    }
+}

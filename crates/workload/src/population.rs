@@ -1,0 +1,327 @@
+//! The synthetic user population.
+//!
+//! Each user is drawn with the attributes the study's analyses depend on:
+//! language community (§4), handle choice — custodial `bsky.social`
+//! subdomain, dedicated subdomain provider, or self-managed domain — with its
+//! registrar and ownership-proof mechanism (§5), activity level (Zipf-like),
+//! media/alt-text behaviour (the raw material for §6's labels), and whether
+//! the account also uses third-party lexicons such as WhiteWind (§4).
+
+use crate::config::{ScenarioConfig, LANGUAGE_SHARES};
+use bsky_atproto::{Datetime, Did, Handle};
+use bsky_simnet::SimRng;
+
+/// How the user chose their handle (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandleChoice {
+    /// Custodial `<name>.bsky.social` subdomain managed by Bluesky PBC.
+    BskySocial,
+    /// A subdomain under a dedicated third-party provider
+    /// (`swifties.social`, `tired.io`, `vibes.cool`, `github.io`, ...).
+    ProviderSubdomain {
+        /// The provider's registered domain.
+        provider: String,
+    },
+    /// A self-managed registered domain.
+    SelfManaged {
+        /// The registered domain.
+        domain: String,
+        /// Index into the registrar catalogue, or `None` when WHOIS data is
+        /// unavailable for this domain.
+        registrar_index: Option<usize>,
+        /// Whether the domain appears in the synthetic Tranco top-1M.
+        in_tranco_top1m: bool,
+    },
+}
+
+/// Ownership-proof mechanism for non-custodial handles (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofChoice {
+    /// DNS TXT record at `_atproto.<handle>` (98.7 % of custom handles).
+    DnsTxt,
+    /// `/.well-known/atproto-did` document (1.3 %).
+    WellKnown,
+}
+
+/// Dedicated subdomain providers observed in Figure 3, with relative weights.
+pub const SUBDOMAIN_PROVIDERS: &[(&str, f64)] = &[
+    ("swifties.social", 256.0),
+    ("tired.io", 179.0),
+    ("vibes.cool", 133.0),
+    ("github.io", 35.0),
+    ("skyna.me", 90.0),
+    ("bsky.cafe", 60.0),
+    ("deer.social", 45.0),
+    ("fediverse.observer", 25.0),
+];
+
+/// A member of the synthetic population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// Stable per-run index.
+    pub index: usize,
+    /// The user's DID (`did:plc` for all but a handful of `did:web` users).
+    pub did: Did,
+    /// The user's handle.
+    pub handle: Handle,
+    /// How the handle was chosen.
+    pub handle_choice: HandleChoice,
+    /// Ownership proof (only meaningful for non-custodial handles).
+    pub proof: ProofChoice,
+    /// Primary posting language.
+    pub language: String,
+    /// The day the account joined.
+    pub joined: Datetime,
+    /// Relative activity weight (Zipf-distributed; rank 1 is the most
+    /// active/popular account).
+    pub activity_weight: f64,
+    /// Probability that a post carries media.
+    pub media_probability: f64,
+    /// Probability that attached media is missing alt text.
+    pub missing_alt_probability: f64,
+    /// Probability that a post with media is adult content.
+    pub adult_probability: f64,
+    /// Whether the user also publishes third-party (WhiteWind) records.
+    pub uses_whitewind: bool,
+}
+
+impl UserProfile {
+    /// Whether the user has a custodial bsky.social handle.
+    pub fn is_bsky_social(&self) -> bool {
+        matches!(self.handle_choice, HandleChoice::BskySocial)
+    }
+}
+
+/// Draw a language according to the calibrated shares.
+pub fn draw_language(rng: &mut SimRng) -> String {
+    let weights: Vec<f64> = LANGUAGE_SHARES.iter().map(|(_, w)| *w).collect();
+    let idx = rng.pick_weighted(&weights).unwrap_or(0);
+    LANGUAGE_SHARES[idx].0.to_string()
+}
+
+/// Synthesise a username from an index (deterministic, readable, unique).
+pub fn username(index: usize) -> String {
+    const ADJECTIVES: &[&str] = &[
+        "blue", "quiet", "rapid", "lunar", "amber", "cosmic", "gentle", "vivid", "silver",
+        "wandering",
+    ];
+    const NOUNS: &[&str] = &[
+        "skylark", "otter", "comet", "harbor", "meadow", "pixel", "raven", "willow", "ember",
+        "drift",
+    ];
+    format!(
+        "{}{}{}",
+        ADJECTIVES[index % ADJECTIVES.len()],
+        NOUNS[(index / ADJECTIVES.len()) % NOUNS.len()],
+        index
+    )
+}
+
+/// Synthesise a registered domain for a self-managed handle. A small share
+/// are well-known organisation domains (in the Tranco top-1M).
+pub fn self_managed_domain(index: usize, rng: &mut SimRng) -> (String, bool) {
+    const FAMOUS: &[&str] = &[
+        "nytimes.com",
+        "washingtonpost.com",
+        "cnn.com",
+        "stanford.edu",
+        "columbia.edu",
+        "microsoft.com",
+        "cloudflare.com",
+        "amazonaws.com",
+        "theguardian.com",
+        "bbc.co.uk",
+    ];
+    // ≈2.8 % of registered domains behind handles are in the top-1M (§5).
+    if rng.chance(0.028) {
+        ((*rng.pick(FAMOUS)).to_string(), true)
+    } else {
+        const TLDS: &[&str] = &["com", "net", "org", "io", "dev", "me", "social", "de", "jp", "com.br"];
+        let tld = TLDS[index % TLDS.len()];
+        (format!("{}.{tld}", username(index)), false)
+    }
+}
+
+/// Draw a user profile.
+pub fn draw_user(
+    index: usize,
+    joined: Datetime,
+    config: &ScenarioConfig,
+    rng: &mut SimRng,
+    registrar_count: usize,
+) -> UserProfile {
+    let language = draw_language(rng);
+    let name = username(index);
+
+    // Handle choice: 98.9 % custodial; the remainder split between dedicated
+    // subdomain providers and self-managed domains.
+    let (handle, handle_choice, did) = if rng.chance(0.989) {
+        let handle = Handle::parse(&format!("{name}.bsky.social")).expect("valid handle");
+        (handle, HandleChoice::BskySocial, Did::plc_from_seed(name.as_bytes()))
+    } else if rng.chance(0.5) {
+        let weights: Vec<f64> = SUBDOMAIN_PROVIDERS.iter().map(|(_, w)| *w).collect();
+        let provider = SUBDOMAIN_PROVIDERS[rng.pick_weighted(&weights).unwrap_or(0)].0;
+        let handle = Handle::parse(&format!("{name}.{provider}")).expect("valid handle");
+        (
+            handle,
+            HandleChoice::ProviderSubdomain {
+                provider: provider.to_string(),
+            },
+            Did::plc_from_seed(name.as_bytes()),
+        )
+    } else {
+        let (domain, in_tranco) = self_managed_domain(index, rng);
+        // WHOIS coverage: ~92 % of registered domains have WHOIS data and
+        // ~76 % have an IANA ID; domains without either get `None`.
+        let registrar_index = if rng.chance(0.83) {
+            Some(rng.range(0..registrar_count.max(1)))
+        } else {
+            None
+        };
+        let handle = Handle::parse(&domain).expect("valid handle");
+        // A handful of identities (6 on the live network) use did:web.
+        let did = if index < (config.scaled(6)).max(1) as usize && !in_tranco {
+            Did::web(&domain).unwrap_or_else(|_| Did::plc_from_seed(name.as_bytes()))
+        } else {
+            Did::plc_from_seed(name.as_bytes())
+        };
+        (
+            handle,
+            HandleChoice::SelfManaged {
+                domain,
+                registrar_index,
+                in_tranco_top1m: in_tranco,
+            },
+            did,
+        )
+    };
+
+    let proof = if rng.chance(0.987) {
+        ProofChoice::DnsTxt
+    } else {
+        ProofChoice::WellKnown
+    };
+
+    // Activity weight: Zipf over the population, so a few accounts are very
+    // popular/active (the official account, newspapers, ...) and most are
+    // quiet.
+    let rank = rng.zipf(config.target_users().max(2), 1.05);
+    let activity_weight = 1.0 / (rank as f64).powf(0.6);
+
+    // Media behaviour varies by community: the art-heavy communities attach
+    // more media; Japanese-language posts attach fewer alt texts on average
+    // (these drive the relative label volumes of Table 6).
+    let media_probability = match language.as_str() {
+        "ja" => 0.38,
+        "en" => 0.30,
+        _ => 0.25,
+    };
+    let missing_alt_probability = 0.62;
+    let adult_probability = 0.10;
+
+    UserProfile {
+        index,
+        did,
+        handle,
+        handle_choice,
+        proof,
+        language,
+        joined,
+        activity_weight,
+        media_probability,
+        missing_alt_probability,
+        adult_probability,
+        uses_whitewind: rng.chance(0.0005),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw_many(n: usize) -> Vec<UserProfile> {
+        let config = ScenarioConfig::test_scale(3);
+        let mut rng = SimRng::new(3).fork("population");
+        let joined = Datetime::from_ymd(2023, 7, 1).unwrap();
+        (0..n)
+            .map(|i| draw_user(i, joined, &config, &mut rng, 249))
+            .collect()
+    }
+
+    #[test]
+    fn usernames_and_dids_are_unique() {
+        let users = draw_many(2_000);
+        let mut handles: Vec<&str> = users.iter().map(|u| u.handle.as_str()).collect();
+        handles.sort();
+        let before = handles.len();
+        handles.dedup();
+        // Handles are unique except famous self-managed domains, which can
+        // repeat (several staff accounts under one newsroom domain).
+        assert!(before - handles.len() < 20);
+        let mut dids: Vec<String> = users.iter().map(|u| u.did.to_string()).collect();
+        dids.sort();
+        dids.dedup();
+        assert!(dids.len() >= before - 20);
+    }
+
+    #[test]
+    fn handle_concentration_matches_calibration() {
+        let users = draw_many(5_000);
+        let custodial = users.iter().filter(|u| u.is_bsky_social()).count();
+        let share = custodial as f64 / users.len() as f64;
+        assert!((0.975..0.998).contains(&share), "bsky.social share {share}");
+        // Some users chose provider subdomains and some self-managed domains.
+        assert!(users
+            .iter()
+            .any(|u| matches!(u.handle_choice, HandleChoice::ProviderSubdomain { .. })));
+        assert!(users
+            .iter()
+            .any(|u| matches!(u.handle_choice, HandleChoice::SelfManaged { .. })));
+    }
+
+    #[test]
+    fn proof_mechanism_split() {
+        let users = draw_many(5_000);
+        let txt = users.iter().filter(|u| u.proof == ProofChoice::DnsTxt).count();
+        let share = txt as f64 / users.len() as f64;
+        assert!(share > 0.96, "DNS TXT share {share}");
+    }
+
+    #[test]
+    fn language_distribution_roughly_matches() {
+        let users = draw_many(8_000);
+        let en = users.iter().filter(|u| u.language == "en").count() as f64 / users.len() as f64;
+        let ja = users.iter().filter(|u| u.language == "ja").count() as f64 / users.len() as f64;
+        let pt = users.iter().filter(|u| u.language == "pt").count() as f64 / users.len() as f64;
+        assert!((0.33..0.47).contains(&en), "en share {en}");
+        assert!((0.28..0.42).contains(&ja), "ja share {ja}");
+        assert!((0.06..0.15).contains(&pt), "pt share {pt}");
+        assert!(en > ja, "English remains the largest community");
+    }
+
+    #[test]
+    fn activity_weights_are_heavy_tailed() {
+        let users = draw_many(5_000);
+        let mut weights: Vec<f64> = users.iter().map(|u| u.activity_weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top_decile: f64 = weights[..500].iter().sum();
+        let total: f64 = weights.iter().sum();
+        assert!(top_decile / total > 0.25, "top decile share {}", top_decile / total);
+        assert!(weights.iter().all(|w| *w > 0.0 && *w <= 1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = draw_many(100);
+        let b = draw_many(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn some_users_are_whitewind_authors_at_large_n() {
+        let users = draw_many(10_000);
+        let ww = users.iter().filter(|u| u.uses_whitewind).count();
+        assert!(ww >= 1, "expected at least one WhiteWind user");
+        assert!(ww < 30, "WhiteWind adoption must stay marginal, got {ww}");
+    }
+}

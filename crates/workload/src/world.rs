@@ -1,0 +1,971 @@
+//! The simulated world and its day-by-day driver.
+//!
+//! [`World::new`] builds the static ecosystem (PDS fleet, PLC directory, DNS
+//! zones, registrars, labeler and feed-generator plans); [`World::step_day`]
+//! advances the simulation by one day — signups, posting/liking/following
+//! activity, handle changes, deletions, label issuance, feed curation, the
+//! Relay crawl and AppView ingestion. The measurement pipeline in
+//! `bsky-study` drives a `World` and observes it exclusively through the same
+//! service interfaces the real study used.
+
+use crate::config::{ScenarioConfig, GROWTH_EPOCHS};
+use crate::ecosystem::{
+    build_feedgen_plans, build_labeler_plans, FeedArchetype, FeedGenPlan, LabelerPlan,
+};
+use crate::population::{draw_user, HandleChoice, ProofChoice, UserProfile};
+use bsky_atproto::nsid::known;
+use bsky_atproto::record::{
+    BlockRecord, Embed, FeedGeneratorRecord, FollowRecord, ImageEmbed, LikeRecord, MediaKind,
+    PostRecord, ProfileRecord, Record, RepostRecord, UnknownRecord,
+};
+use bsky_atproto::{cbor, AtUri, Datetime, Did, Handle, Nsid};
+use bsky_appview::AppView;
+use bsky_feedgen::faas::default_platforms;
+use bsky_feedgen::{CurationMode, FeedFilter, FeedGenerator, FeedInput, FeedPipeline, RetentionPolicy};
+use bsky_identity::registrar::default_catalogue;
+use bsky_identity::resolver::publish;
+use bsky_identity::{DidDocument, PlcDirectory, PublicSuffixList, TrancoList, WhoisDatabase};
+use bsky_labeler::{LabelerRegistry, LabelerService};
+use bsky_pds::{Pds, PdsFleet, PdsOperator};
+use bsky_relay::Relay;
+use bsky_simnet::dns::DnsZoneStore;
+use bsky_simnet::http::WebSpace;
+use bsky_simnet::net::AddressPlan;
+use bsky_simnet::SimRng;
+use std::collections::VecDeque;
+
+/// Metadata about an instantiated feed generator (plan + creator binding).
+#[derive(Debug, Clone)]
+pub struct FeedGenInfo {
+    /// Index into [`World::feedgens`].
+    pub index: usize,
+    /// The plan it was built from.
+    pub plan: FeedGenPlan,
+    /// The creator's population index.
+    pub creator_index: usize,
+    /// Hosting platform name (`"self-hosted"` when not on a FaaS platform).
+    pub platform_name: String,
+}
+
+/// Metadata about an instantiated labeler.
+#[derive(Debug, Clone)]
+pub struct LabelerInfo {
+    /// Index into the registry.
+    pub index: usize,
+    /// The plan it was built from.
+    pub plan: LabelerPlan,
+    /// Per-consumer stream cursor used by the AppView ingestion.
+    pub appview_cursor: usize,
+}
+
+/// A post kept in the short-term pool that likes/reposts/labels draw from.
+#[derive(Debug, Clone)]
+struct RecentPost {
+    uri: AtUri,
+}
+
+/// The complete simulated Bluesky world.
+#[derive(Debug)]
+pub struct World {
+    /// Scenario configuration.
+    pub config: ScenarioConfig,
+    /// Ground-truth population (drawn lazily as users sign up).
+    pub users: Vec<UserProfile>,
+    /// PDS fleet (Bluesky-operated + self-hosted).
+    pub fleet: PdsFleet,
+    /// PLC directory.
+    pub plc: PlcDirectory,
+    /// DNS zones.
+    pub dns: DnsZoneStore,
+    /// Web space (well-known documents, did:web documents).
+    pub web: WebSpace,
+    /// The Relay.
+    pub relay: Relay,
+    /// The AppView.
+    pub appview: AppView,
+    /// Labeler registry.
+    pub labelers: LabelerRegistry,
+    /// Labeler metadata parallel to the registry.
+    pub labeler_info: Vec<LabelerInfo>,
+    /// Feed generators.
+    pub feedgens: Vec<FeedGenerator>,
+    /// Feed generator metadata parallel to `feedgens`.
+    pub feedgen_info: Vec<FeedGenInfo>,
+    /// WHOIS database.
+    pub whois: WhoisDatabase,
+    /// Tranco-style ranking.
+    pub tranco: TrancoList,
+    /// Public suffix list.
+    pub psl: PublicSuffixList,
+    /// Current simulated day (start of day).
+    pub today: Datetime,
+
+    signup_schedule: Vec<u32>,
+    labeler_plans: Vec<LabelerPlan>,
+    feedgen_plans: Vec<FeedGenPlan>,
+    recent_posts: VecDeque<RecentPost>,
+    rng: SimRng,
+    rkey_counter: u64,
+    self_hosted_pds: Vec<String>,
+    addresses: AddressPlan,
+    pub(crate) total_posts: u64,
+    pub(crate) total_likes: u64,
+}
+
+impl World {
+    /// Build the world's static state. No activity has happened yet; call
+    /// [`World::step_day`] (or [`World::run_to_end`]) to simulate.
+    pub fn new(config: ScenarioConfig) -> World {
+        let root_rng = SimRng::new(config.seed);
+        let rng = root_rng.fork("world");
+
+        // PDS fleet: default servers plus a few self-hosted ones.
+        let mut fleet = PdsFleet::with_default_servers(config.default_pds_count);
+        let mut self_hosted_pds = Vec::new();
+        for i in 0..3 {
+            let hostname = format!("pds.selfhosted{i:02}.example");
+            fleet.add_server(Pds::new(hostname.clone(), PdsOperator::SelfHosted));
+            self_hosted_pds.push(hostname);
+        }
+
+        // Signup schedule: per-day counts per the growth epochs, normalised
+        // to the target population.
+        let total_days = config.total_days().max(1) as usize;
+        let mut raw = vec![0f64; total_days];
+        for (day_idx, raw_count) in raw.iter_mut().enumerate() {
+            let day = config.start.plus_days(day_idx as i64);
+            if let Some(epoch) = GROWTH_EPOCHS.iter().find(|e| {
+                let start = Datetime::from_ymd(e.start.0, e.start.1, e.start.2).unwrap();
+                let end = Datetime::from_ymd(e.end.0, e.end.1, e.end.2).unwrap();
+                day >= start && day < end
+            }) {
+                *raw_count = epoch.daily_signup_fraction;
+            }
+        }
+        let raw_total: f64 = raw.iter().sum();
+        let target = config.target_users() as f64;
+        let mut signup_schedule = Vec::with_capacity(total_days);
+        let mut carried = 0.0f64;
+        for value in &raw {
+            let exact = value / raw_total.max(1e-12) * target + carried;
+            let whole = exact.floor();
+            carried = exact - whole;
+            signup_schedule.push(whole as u32);
+        }
+
+        // Ecosystem plans.
+        let labeler_plans = build_labeler_plans(&config, &mut rng.fork("labelers"));
+        let feedgen_plans = build_feedgen_plans(&config, &mut rng.fork("feeds"));
+
+        // Tranco list: famous domains rank inside the top 1M.
+        let tranco = TrancoList::from_ranked(&[
+            "google.com".into(),
+            "amazonaws.com".into(),
+            "microsoft.com".into(),
+            "cloudflare.com".into(),
+            "nytimes.com".into(),
+            "washingtonpost.com".into(),
+            "cnn.com".into(),
+            "bbc.co.uk".into(),
+            "theguardian.com".into(),
+            "stanford.edu".into(),
+            "columbia.edu".into(),
+        ]);
+
+        World {
+            users: Vec::new(),
+            fleet,
+            plc: PlcDirectory::new(),
+            dns: DnsZoneStore::new(),
+            web: WebSpace::new(),
+            relay: Relay::default(),
+            appview: AppView::new(),
+            labelers: LabelerRegistry::new(),
+            labeler_info: Vec::new(),
+            feedgens: Vec::new(),
+            feedgen_info: Vec::new(),
+            whois: WhoisDatabase::new(),
+            tranco,
+            psl: PublicSuffixList::embedded(),
+            today: config.start,
+            signup_schedule,
+            labeler_plans,
+            feedgen_plans,
+            recent_posts: VecDeque::new(),
+            rng: rng.fork("activity"),
+            rkey_counter: 0,
+            self_hosted_pds,
+            addresses: AddressPlan::new(),
+            total_posts: 0,
+            total_likes: 0,
+            config,
+        }
+    }
+
+    /// Number of days simulated so far.
+    pub fn days_elapsed(&self) -> i64 {
+        self.today.days_since(self.config.start)
+    }
+
+    /// Whether the simulation has reached the configured end date.
+    pub fn finished(&self) -> bool {
+        self.today >= self.config.end
+    }
+
+    /// Run the simulation to the configured end date.
+    pub fn run_to_end(&mut self) {
+        while !self.finished() {
+            self.step_day();
+        }
+    }
+
+    fn next_rkey(&mut self) -> String {
+        self.rkey_counter += 1;
+        format!("k{:011}", self.rkey_counter)
+    }
+
+    /// Advance the simulation by one day.
+    pub fn step_day(&mut self) {
+        if self.finished() {
+            return;
+        }
+        let today = self.today;
+
+        // 1. New signups.
+        let day_idx = self.days_elapsed() as usize;
+        let signups = self
+            .signup_schedule
+            .get(day_idx)
+            .copied()
+            .unwrap_or(0);
+        for _ in 0..signups {
+            self.sign_up_user(today);
+        }
+
+        // 2. Bring planned labelers and feed generators online.
+        self.activate_labelers(today);
+        self.activate_feedgens(today);
+
+        // 3. Daily activity of existing users.
+        self.simulate_activity(today);
+
+        // 4. Labelers publish due labels; the AppView ingests them.
+        self.poll_labelers(today);
+
+        // 5. Relay crawl + AppView event processing + retention.
+        let cursor = self.relay.firehose().head_seq();
+        self.relay.crawl(&self.fleet, today.plus_seconds(86_399));
+        let new_events = self.relay.subscribe(cursor);
+        for event in &new_events.events {
+            self.appview.index_mut().process_event(event);
+        }
+        for feed in &mut self.feedgens {
+            feed.enforce_retention(today);
+        }
+
+        self.today = today.plus_days(1);
+    }
+
+    fn sign_up_user(&mut self, today: Datetime) {
+        let index = self.users.len();
+        let registrar_count = default_catalogue().len();
+        let mut rng = self.rng.fork(&format!("user-{index}"));
+        let user = draw_user(index, today, &self.config, &mut rng, registrar_count);
+
+        // Pick a PDS: almost everyone lands on a default server; a handful
+        // self-host (only possible since federation opened).
+        let hostname = if today >= Datetime::from_ymd(2024, 2, 1).unwrap() && rng.chance(0.004) {
+            self.self_hosted_pds[index % self.self_hosted_pds.len()].clone()
+        } else {
+            let defaults = self.fleet.default_hostnames();
+            defaults[index % defaults.len()].clone()
+        };
+        if self
+            .fleet
+            .create_account_on(&hostname, user.did.clone(), user.handle.clone(), today)
+            .is_err()
+        {
+            return;
+        }
+        let endpoint = self
+            .fleet
+            .server(&hostname)
+            .map(|p| p.endpoint())
+            .unwrap_or_default();
+
+        // Identity: DID document in the PLC directory (or did:web), ownership
+        // proofs in DNS / well-known, WHOIS registration for custom domains.
+        let doc = DidDocument::new(
+            user.did.clone(),
+            user.handle.clone(),
+            format!("simkey-{index}"),
+            endpoint,
+        );
+        match user.did.method() {
+            bsky_atproto::DidMethod::Plc => {
+                let _ = self.plc.create(doc.clone(), today);
+            }
+            bsky_atproto::DidMethod::Web => {
+                publish::did_web_document(&mut self.web, &doc);
+            }
+        }
+        match user.proof {
+            ProofChoice::DnsTxt => publish::dns_proof(&mut self.dns, &user.handle, &user.did),
+            ProofChoice::WellKnown => {
+                publish::well_known_proof(&mut self.web, &user.handle, &user.did)
+            }
+        }
+        if let HandleChoice::SelfManaged {
+            domain,
+            registrar_index,
+            ..
+        } = &user.handle_choice
+        {
+            let registrar = registrar_index.map(|i| default_catalogue()[i % default_catalogue().len()].clone());
+            self.whois.register(domain, registrar);
+        }
+
+        // AppView learns about the actor and their profile record.
+        self.appview.index_mut().upsert_actor(&user.did, &user.handle);
+        let profile = Record::Profile(ProfileRecord {
+            display_name: user.handle.labels()[0].to_string(),
+            description: format!("posting in {}", user.language),
+            has_avatar: true,
+            has_banner: rng.chance(0.4),
+            created_at: today,
+        });
+        let rkey = "self".to_string();
+        if let Some(pds) = self.fleet.pds_for_mut(&user.did) {
+            let _ = pds.apply_writes(
+                &user.did,
+                &[bsky_atproto::repo::Write::Create {
+                    collection: Nsid::parse(known::PROFILE).unwrap(),
+                    rkey: rkey.clone(),
+                    record: profile.clone(),
+                }],
+                today,
+            );
+        }
+        self.appview.index_mut().index_record(
+            &user.did,
+            &Nsid::parse(known::PROFILE).unwrap(),
+            &rkey,
+            &profile,
+            today,
+        );
+        self.users.push(user);
+    }
+
+    fn activate_labelers(&mut self, today: Datetime) {
+        let pending: Vec<LabelerPlan> = self
+            .labeler_plans
+            .iter()
+            .filter(|p| p.announced_at.day_index() == today.day_index())
+            .cloned()
+            .collect();
+        for plan in pending {
+            let index = self.labelers.announced_count();
+            let did = Did::plc_from_seed(format!("labeler-{}", plan.name).as_bytes());
+            let _addr = self.addresses.allocate(plan.hosting);
+            let rng = self.rng.fork(&format!("labeler-{index}"));
+            let service = LabelerService::new(
+                did,
+                plan.name.clone(),
+                plan.operator,
+                plan.hosting,
+                plan.policy.clone(),
+                plan.announced_at,
+                rng,
+            );
+            self.labelers.register(service);
+            self.labeler_info.push(LabelerInfo {
+                index,
+                plan,
+                appview_cursor: 0,
+            });
+        }
+    }
+
+    fn activate_feedgens(&mut self, today: Datetime) {
+        let platforms = default_platforms();
+        let pending: Vec<FeedGenPlan> = self
+            .feedgen_plans
+            .iter()
+            .filter(|p| p.created_at.day_index() == today.day_index())
+            .cloned()
+            .collect();
+        for plan in pending {
+            if self.users.is_empty() {
+                continue;
+            }
+            let index = self.feedgens.len();
+            // Bind the creator: rank 1 = most popular joined user.
+            let mut by_weight: Vec<usize> = (0..self.users.len()).collect();
+            by_weight.sort_by(|a, b| {
+                self.users[*b]
+                    .activity_weight
+                    .partial_cmp(&self.users[*a].activity_weight)
+                    .unwrap()
+            });
+            let rank = (plan.creator_popularity_rank as usize).min(by_weight.len());
+            let creator_index = by_weight[rank.saturating_sub(1)];
+            let creator = self.users[creator_index].did.clone();
+
+            let (platform_name, service_did) = match plan.platform_index {
+                Some(i) => {
+                    let platform = &platforms[i.min(platforms.len() - 1)];
+                    (
+                        platform.name.clone(),
+                        Did::web(&platform.hostname).expect("valid platform domain"),
+                    )
+                }
+                None => (
+                    "self-hosted".to_string(),
+                    Did::web(&format!("feeds.{}", self.users[creator_index].handle)).unwrap_or_else(
+                        |_| Did::web("selfhosted-feeds.example").expect("valid"),
+                    ),
+                ),
+            };
+
+            let mode = match plan.archetype {
+                FeedArchetype::Personalized => CurationMode::Personalized,
+                FeedArchetype::ManualCommunity | FeedArchetype::Empty => CurationMode::Manual,
+                FeedArchetype::LanguageAggregator => {
+                    CurationMode::Pipeline(FeedPipeline {
+                        inputs: vec![FeedInput::WholeNetwork],
+                        filters: vec![FeedFilter::Language(vec![plan.language.clone()])],
+                    })
+                }
+                FeedArchetype::Adult => CurationMode::Pipeline(FeedPipeline {
+                    inputs: vec![FeedInput::WholeNetwork],
+                    filters: vec![FeedFilter::RequireMediaKinds(vec![MediaKind::Adult])],
+                }),
+                FeedArchetype::Topic => {
+                    let topic = plan.name.split('-').next().unwrap_or("art").to_string();
+                    CurationMode::Pipeline(FeedPipeline {
+                        inputs: vec![FeedInput::WholeNetwork],
+                        filters: vec![FeedFilter::Keyword(topic)],
+                    })
+                }
+            };
+            let retention = if self.rng.chance(0.45) {
+                RetentionPolicy::Days(self.rng.range(1..10i64) as u32)
+            } else if self.rng.chance(0.3) {
+                RetentionPolicy::Count(self.rng.range(50..500usize))
+            } else {
+                RetentionPolicy::All
+            };
+            let record = FeedGeneratorRecord {
+                service_did,
+                display_name: plan.name.clone(),
+                description: plan.description.clone(),
+                created_at: plan.created_at,
+            };
+            // The declaration record lives in the creator's repository.
+            if let Some(pds) = self.fleet.pds_for_mut(&creator) {
+                let _ = pds.create_record(
+                    &creator,
+                    Nsid::parse(known::FEED_GENERATOR).unwrap(),
+                    Record::FeedGenerator(record.clone()),
+                    today,
+                );
+            }
+            let generator = FeedGenerator::new(
+                creator,
+                format!("feed{index:06}"),
+                record,
+                mode,
+                retention,
+            );
+            self.feedgens.push(generator);
+            self.feedgen_info.push(FeedGenInfo {
+                index,
+                plan,
+                creator_index,
+                platform_name,
+            });
+        }
+    }
+
+    /// Simulate one day of user activity.
+    fn simulate_activity(&mut self, today: Datetime) {
+        if self.users.is_empty() {
+            return;
+        }
+        let epoch = GROWTH_EPOCHS
+            .iter()
+            .find(|e| {
+                let start = Datetime::from_ymd(e.start.0, e.start.1, e.start.2).unwrap();
+                let end = Datetime::from_ymd(e.end.0, e.end.1, e.end.2).unwrap();
+                today >= start && today < end
+            })
+            .copied()
+            .unwrap_or(GROWTH_EPOCHS[GROWTH_EPOCHS.len() - 1]);
+
+        let joined: Vec<usize> = (0..self.users.len())
+            .filter(|&i| self.users[i].joined <= today)
+            .collect();
+        let target_active = ((joined.len() as f64) * epoch.daily_active_fraction).round() as usize;
+        if target_active == 0 {
+            return;
+        }
+        // Weighted sample of active users (heavy users are active more often).
+        let weights: Vec<f64> = joined
+            .iter()
+            .map(|&i| self.users[i].activity_weight)
+            .collect();
+        let mut active: Vec<usize> = Vec::with_capacity(target_active);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut attempts = 0;
+        while active.len() < target_active && attempts < target_active * 8 {
+            attempts += 1;
+            if let Some(pick) = self.rng.pick_weighted(&weights) {
+                let user_index = joined[pick];
+                if seen.insert(user_index) {
+                    active.push(user_index);
+                }
+            }
+        }
+
+        for user_index in active {
+            self.simulate_user_day(user_index, today);
+        }
+    }
+
+    /// One active user's actions for one day, applied as a single commit.
+    fn simulate_user_day(&mut self, user_index: usize, today: Datetime) {
+        let user = self.users[user_index].clone();
+        let mut writes: Vec<bsky_atproto::repo::Write> = Vec::new();
+        let mut new_posts: Vec<(String, PostRecord)> = Vec::new();
+        let mut indexed: Vec<(Nsid, String, Record)> = Vec::new();
+
+        let seconds_of_day = self.rng.range(0..80_000i64);
+        let when = today.plus_seconds(seconds_of_day);
+
+        // Posts (≈1.8 per active user-day on average, weighted by the user).
+        let post_count = self.rng.poisson(1.8_f64.min(4.0 * user.activity_weight + 0.9));
+        for _ in 0..post_count {
+            let post = self.draw_post(&user, when);
+            let rkey = self.next_rkey();
+            new_posts.push((rkey.clone(), post.clone()));
+            writes.push(bsky_atproto::repo::Write::Create {
+                collection: Nsid::parse(known::POST).unwrap(),
+                rkey: rkey.clone(),
+                record: Record::Post(post.clone()),
+            });
+            indexed.push((Nsid::parse(known::POST).unwrap(), rkey, Record::Post(post)));
+            self.total_posts += 1;
+        }
+
+        // Likes (≈6 per active user-day): mostly on recent posts, sometimes
+        // on feed generators.
+        let like_count = self.rng.poisson(6.0);
+        for _ in 0..like_count {
+            let subject = if !self.feedgens.is_empty() && self.rng.chance(0.03) {
+                let weights: Vec<f64> = self
+                    .feedgen_info
+                    .iter()
+                    .map(|info| 1.0 / (info.plan.creator_popularity_rank as f64 + 1.0))
+                    .collect();
+                let idx = self.rng.pick_weighted(&weights).unwrap_or(0);
+                self.feedgens[idx].add_like();
+                self.feedgens[idx].uri().clone()
+            } else if let Some(target) = self.pick_recent_post() {
+                target
+            } else {
+                continue;
+            };
+            let rkey = self.next_rkey();
+            let record = Record::Like(LikeRecord {
+                subject,
+                created_at: when,
+            });
+            writes.push(bsky_atproto::repo::Write::Create {
+                collection: Nsid::parse(known::LIKE).unwrap(),
+                rkey: rkey.clone(),
+                record: record.clone(),
+            });
+            indexed.push((Nsid::parse(known::LIKE).unwrap(), rkey, record));
+            self.total_likes += 1;
+        }
+
+        // Reposts (≈0.6).
+        for _ in 0..self.rng.poisson(0.6) {
+            if let Some(target) = self.pick_recent_post() {
+                let rkey = self.next_rkey();
+                let record = Record::Repost(RepostRecord {
+                    subject: target,
+                    created_at: when,
+                });
+                writes.push(bsky_atproto::repo::Write::Create {
+                    collection: Nsid::parse(known::REPOST).unwrap(),
+                    rkey: rkey.clone(),
+                    record: record.clone(),
+                });
+                indexed.push((Nsid::parse(known::REPOST).unwrap(), rkey, record));
+            }
+        }
+
+        // Follows (≈1.3): preferential attachment towards popular users.
+        for _ in 0..self.rng.poisson(1.3) {
+            if let Some(target) = self.pick_popular_user(user_index) {
+                let rkey = self.next_rkey();
+                let record = Record::Follow(FollowRecord {
+                    subject: target,
+                    created_at: when,
+                });
+                writes.push(bsky_atproto::repo::Write::Create {
+                    collection: Nsid::parse(known::FOLLOW).unwrap(),
+                    rkey: rkey.clone(),
+                    record: record.clone(),
+                });
+                indexed.push((Nsid::parse(known::FOLLOW).unwrap(), rkey, record));
+            }
+        }
+
+        // Blocks (≈0.09): concentrated on a couple of notorious accounts.
+        for _ in 0..self.rng.poisson(0.09) {
+            if let Some(target) = self.pick_block_target(user_index) {
+                let rkey = self.next_rkey();
+                let record = Record::Block(BlockRecord {
+                    subject: target,
+                    created_at: when,
+                });
+                writes.push(bsky_atproto::repo::Write::Create {
+                    collection: Nsid::parse(known::BLOCK).unwrap(),
+                    rkey: rkey.clone(),
+                    record: record.clone(),
+                });
+                indexed.push((Nsid::parse(known::BLOCK).unwrap(), rkey, record));
+            }
+        }
+
+        // Third-party (WhiteWind) records for the few users who use them.
+        if user.uses_whitewind && self.rng.chance(0.2) {
+            let rkey = self.next_rkey();
+            let record = Record::Unknown(UnknownRecord {
+                record_type: Nsid::parse(known::WHTWND_ENTRY).unwrap(),
+                value: cbor::Value::map([
+                    ("$type", cbor::Value::text(known::WHTWND_ENTRY)),
+                    ("title", cbor::Value::text("long-form thoughts")),
+                    ("createdAt", cbor::Value::text(when.to_iso8601())),
+                ]),
+            });
+            writes.push(bsky_atproto::repo::Write::Create {
+                collection: Nsid::parse(known::WHTWND_ENTRY).unwrap(),
+                rkey: rkey.clone(),
+                record: record.clone(),
+            });
+            indexed.push((Nsid::parse(known::WHTWND_ENTRY).unwrap(), rkey, record));
+        }
+
+        if writes.is_empty() {
+            return;
+        }
+        if let Some(pds) = self.fleet.pds_for_mut(&user.did) {
+            if pds.apply_writes(&user.did, &writes, when).is_err() {
+                return;
+            }
+        } else {
+            return;
+        }
+
+        // AppView indexing, feed curation, labeler observation for the new
+        // content (the "firehose with blocks" path).
+        for (collection, rkey, record) in indexed {
+            self.appview
+                .index_mut()
+                .index_record(&user.did, &collection, &rkey, &record, when);
+        }
+        for (rkey, post) in new_posts {
+            let uri = AtUri::record(user.did.clone(), Nsid::parse(known::POST).unwrap(), rkey);
+            for feed in &mut self.feedgens {
+                feed.observe_post(&uri, &user.did, &post, when);
+            }
+            for labeler in self.labelers.all_mut() {
+                labeler.observe_post(&uri, &post, when);
+            }
+            self.recent_posts.push_back(RecentPost { uri });
+            if self.recent_posts.len() > 4_000 {
+                self.recent_posts.pop_front();
+            }
+        }
+
+        // Occasional identity churn: handle changes and account deletion.
+        self.simulate_identity_churn(user_index, today);
+    }
+
+    fn draw_post(&mut self, user: &UserProfile, when: Datetime) -> PostRecord {
+        const TOPICS: &[&str] = &[
+            "art", "ramen", "news", "science", "music", "cats", "football", "politics",
+            "photography", "nude study",
+        ];
+        let topic = *self.rng.pick(TOPICS);
+        let text = format!("{} post about {} #{}", user.language, topic, topic.split(' ').next().unwrap_or(topic));
+        let mut tags = Vec::new();
+        if self.rng.chance(0.015) {
+            tags.push("aiart".to_string());
+        }
+        let embed = if self.rng.chance(user.media_probability) {
+            let kind_roll = self.rng.unit();
+            let kind = if kind_roll < user.adult_probability {
+                MediaKind::Adult
+            } else if kind_roll < user.adult_probability + 0.012 {
+                MediaKind::Graphic
+            } else if kind_roll < user.adult_probability + 0.07 {
+                MediaKind::GifTenor
+            } else if kind_roll < user.adult_probability + 0.10 {
+                MediaKind::ScreenshotTwitter
+            } else if kind_roll < user.adult_probability + 0.12 {
+                MediaKind::ScreenshotBluesky
+            } else if kind_roll < user.adult_probability + 0.16 {
+                MediaKind::AiGenerated
+            } else if kind_roll < user.adult_probability + 0.40 {
+                MediaKind::Artwork
+            } else {
+                MediaKind::Photo
+            };
+            let alt = if self.rng.chance(user.missing_alt_probability) {
+                None
+            } else {
+                Some(format!("an image about {topic}"))
+            };
+            Some(Embed::Images(vec![ImageEmbed { alt, kind }]))
+        } else {
+            None
+        };
+        // A tiny fraction of posts carry corrupted (pre-launch) timestamps,
+        // reproducing the client bug the paper reports (§7.1).
+        let created_at = if self.rng.chance(0.0001) {
+            Datetime::from_ymd(*self.rng.pick(&[1185, 1776, 1923]), 6, 1).unwrap()
+        } else {
+            when
+        };
+        PostRecord {
+            text,
+            created_at,
+            langs: vec![user.language.clone()],
+            reply_parent: None,
+            embed,
+            tags,
+        }
+    }
+
+    fn pick_recent_post(&mut self) -> Option<AtUri> {
+        if self.recent_posts.is_empty() {
+            return None;
+        }
+        let idx = self.rng.range(0..self.recent_posts.len());
+        Some(self.recent_posts[idx].uri.clone())
+    }
+
+    fn pick_popular_user(&mut self, exclude: usize) -> Option<Did> {
+        if self.users.len() < 2 {
+            return None;
+        }
+        for _ in 0..8 {
+            let weights: Vec<f64> = self.users.iter().map(|u| u.activity_weight).collect();
+            let idx = self.rng.pick_weighted(&weights)?;
+            if idx != exclude && self.users[idx].joined <= self.today {
+                return Some(self.users[idx].did.clone());
+            }
+        }
+        None
+    }
+
+    fn pick_block_target(&mut self, exclude: usize) -> Option<Did> {
+        if self.users.len() < 4 {
+            return None;
+        }
+        // Blocks concentrate on two notorious accounts (the impersonator and
+        // the propagandist of §4), with a tail over everyone else.
+        let notorious = [2usize, 3usize];
+        let idx = if self.rng.chance(0.6) {
+            notorious[self.rng.range(0..notorious.len())]
+        } else {
+            self.rng.range(0..self.users.len())
+        };
+        if idx == exclude {
+            return None;
+        }
+        Some(self.users[idx].did.clone())
+    }
+
+    fn simulate_identity_churn(&mut self, user_index: usize, today: Datetime) {
+        // Handle updates: ≈0.8 % of accounts over the window ⇒ tiny daily
+        // probability; 75 % of final handles end up under bsky.social (§5).
+        if self.rng.chance(0.00006) {
+            let user = self.users[user_index].clone();
+            let to_bsky = self.rng.chance(0.7574);
+            let new_handle = if to_bsky {
+                Handle::parse(&format!("{}-new.bsky.social", crate::population::username(user_index)))
+            } else {
+                Handle::parse(&format!("{}.example.org", crate::population::username(user_index)))
+            };
+            if let Ok(handle) = new_handle {
+                if let Some(pds) = self.fleet.pds_for_mut(&user.did) {
+                    let _ = pds.change_handle(&user.did, handle.clone(), today);
+                }
+                let _ = self.plc.update(&user.did, "update_handle", today, |doc| {
+                    doc.handle = handle.clone();
+                });
+                publish::dns_proof(&mut self.dns, &handle, &user.did);
+                self.users[user_index].handle = handle;
+            }
+        }
+        // Account deletions (tombstones): very rare.
+        if self.rng.chance(0.000_015) {
+            let user = self.users[user_index].clone();
+            if let Some(pds) = self.fleet.pds_for_mut(&user.did) {
+                let _ = pds.delete_account(&user.did, today);
+            }
+            let _ = self.plc.tombstone(&user.did, today);
+        }
+        // PDS migrations (identity updates beyond creation): rare.
+        if self.rng.chance(0.00003) && !self.self_hosted_pds.is_empty() {
+            let user = self.users[user_index].clone();
+            let destination = self.self_hosted_pds[user_index % self.self_hosted_pds.len()].clone();
+            let handle = user.handle.clone();
+            if self
+                .fleet
+                .migrate_account(&user.did, &destination, handle, today)
+                .is_ok()
+            {
+                let endpoint = self
+                    .fleet
+                    .server(&destination)
+                    .map(|p| p.endpoint())
+                    .unwrap_or_default();
+                let _ = self.plc.update(&user.did, "update_pds", today, |doc| {
+                    doc.set_service(
+                        bsky_identity::diddoc::SERVICE_PDS,
+                        "AtprotoPersonalDataServer",
+                        &endpoint,
+                    );
+                });
+            }
+        }
+    }
+
+    fn poll_labelers(&mut self, today: Datetime) {
+        let end_of_day = today.plus_seconds(86_399);
+        for labeler in self.labelers.all_mut() {
+            labeler.poll(end_of_day);
+        }
+        // The AppView subscribes to every labeler's stream.
+        for info in &mut self.labeler_info {
+            let labeler = &self.labelers.all()[info.index];
+            let (labels, next) = labeler.subscribe_labels(info.appview_cursor);
+            for label in labels {
+                self.appview.index_mut().ingest_label(label);
+            }
+            info.appview_cursor = next;
+        }
+    }
+
+    /// Ground-truth totals (used only by tests and sanity checks, never by
+    /// the measurement pipeline).
+    pub fn ground_truth_totals(&self) -> (u64, u64) {
+        (self.total_posts, self.total_likes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        let mut config = ScenarioConfig::test_scale(77);
+        // Shorten the horizon so unit tests stay fast: start mid-2023.
+        config.start = Datetime::from_ymd(2024, 1, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 30).unwrap();
+        config.scale = 40_000;
+        World::new(config)
+    }
+
+    #[test]
+    fn world_builds_and_steps() {
+        let mut world = small_world();
+        assert!(!world.finished());
+        for _ in 0..30 {
+            world.step_day();
+        }
+        assert!(world.users.len() > 5, "users signed up: {}", world.users.len());
+        assert!(world.relay.known_account_count() > 0);
+        assert!(world.appview.index().post_count() > 0);
+        assert!(world.relay.firehose().total_events() > 0);
+        assert_eq!(world.days_elapsed(), 30);
+    }
+
+    #[test]
+    fn full_run_produces_consistent_ecosystem() {
+        let mut world = small_world();
+        world.run_to_end();
+        assert!(world.finished());
+        // Population roughly matches the scaled target.
+        let target = world.config.target_users() as f64;
+        let actual = world.users.len() as f64;
+        assert!(
+            (actual / target) > 0.6 && (actual / target) < 1.4,
+            "population {actual} vs target {target}"
+        );
+        // Handle concentration holds.
+        let custodial = world.users.iter().filter(|u| u.is_bsky_social()).count();
+        assert!(custodial as f64 / actual > 0.95);
+        // Activity happened and flowed through the whole pipeline.
+        let (posts, likes) = world.ground_truth_totals();
+        assert!(posts > 100, "posts {posts}");
+        assert!(likes > posts, "likes ({likes}) should outnumber posts ({posts})");
+        assert!(world.appview.index().post_count() > 0);
+        assert!(world.appview.index().follow_edge_count() > 0);
+        // The relay observed commits and at least one identity/handle event.
+        let totals = world.relay.firehose().totals_by_kind();
+        assert!(totals.get(&bsky_atproto::firehose::EventKind::Commit).copied().unwrap_or(0) > 0);
+        // Labelers came online after 2024-03-15 and issued labels.
+        assert!(world.labelers.announced_count() > 20);
+        assert!(world.labelers.active_count() >= 2);
+        assert!(world.appview.index().labels_ingested() > 0);
+        // Feed generators exist and most curated something.
+        assert!(!world.feedgens.is_empty());
+        let curating = world.feedgens.iter().filter(|f| f.has_curated()).count();
+        assert!(curating > 0);
+        // The PLC directory has roughly one document per did:plc user.
+        assert!(world.plc.len() > 0);
+        assert!(world.plc.len() <= world.users.len());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = small_world();
+        let mut b = small_world();
+        for _ in 0..25 {
+            a.step_day();
+            b.step_day();
+        }
+        assert_eq!(a.users.len(), b.users.len());
+        assert_eq!(a.ground_truth_totals(), b.ground_truth_totals());
+        assert_eq!(
+            a.relay.firehose().total_events(),
+            b.relay.firehose().total_events()
+        );
+        assert_eq!(
+            a.appview.index().labels_ingested(),
+            b.appview.index().labels_ingested()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut config = ScenarioConfig::test_scale(1);
+        config.start = Datetime::from_ymd(2024, 2, 1).unwrap();
+        config.end = Datetime::from_ymd(2024, 3, 15).unwrap();
+        config.scale = 40_000;
+        let mut a = World::new(config);
+        let mut b = World::new(ScenarioConfig { seed: 2, ..config });
+        for _ in 0..40 {
+            a.step_day();
+            b.step_day();
+        }
+        assert_ne!(a.ground_truth_totals(), b.ground_truth_totals());
+    }
+}

@@ -1,0 +1,52 @@
+//! Subscribe to the Relay firehose with a cursor and summarise the event mix,
+//! exactly like the paper's Firehose Dataset collection (§3, Table 1).
+//!
+//! ```sh
+//! cargo run --example firehose_tap
+//! ```
+
+use bluesky_repro::bsky_atproto::firehose::EventKind;
+use bluesky_repro::bsky_atproto::Datetime;
+use bluesky_repro::bsky_workload::{ScenarioConfig, World};
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut config = ScenarioConfig::test_scale(2);
+    config.start = Datetime::from_ymd(2024, 2, 15).unwrap();
+    config.end = Datetime::from_ymd(2024, 4, 1).unwrap();
+    config.scale = 40_000;
+    let mut world = World::new(config);
+
+    // Tap the firehose day by day, exactly like a long-lived subscriber.
+    let mut cursor = 0u64;
+    let mut counts: BTreeMap<EventKind, u64> = BTreeMap::new();
+    let mut bytes = 0u64;
+    while !world.finished() {
+        world.step_day();
+        let sub = world.relay.subscribe(cursor);
+        cursor = sub.cursor;
+        for event in &sub.events {
+            *counts.entry(event.kind()).or_insert(0) += 1;
+            bytes += event.wire_size() as u64;
+        }
+    }
+
+    let total: u64 = counts.values().sum();
+    println!("Firehose event mix over {} events:", total);
+    for kind in EventKind::all() {
+        let count = counts.get(&kind).copied().unwrap_or(0);
+        if count > 0 {
+            println!(
+                "  {:<20} {:>8}  ({:.2} %)",
+                kind.display_name(),
+                count,
+                count as f64 / total as f64 * 100.0
+            );
+        }
+    }
+    println!(
+        "wire volume: {:.2} MB over {} simulated days",
+        bytes as f64 / 1e6,
+        config.total_days()
+    );
+}

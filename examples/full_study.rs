@@ -1,0 +1,28 @@
+//! Run the complete measurement study end to end at a small scale and print
+//! every table and figure (a faster version of the `repro` binary).
+//!
+//! ```sh
+//! cargo run --release --example full_study
+//! ```
+
+use bluesky_repro::bsky_atproto::Datetime;
+use bluesky_repro::bsky_study::StudyReport;
+use bluesky_repro::bsky_workload::ScenarioConfig;
+
+fn main() {
+    let mut config = ScenarioConfig::test_scale(42);
+    // A shortened horizon keeps this example quick while still covering the
+    // opening of the labeler ecosystem and the collection window.
+    config.start = Datetime::from_ymd(2024, 1, 15).unwrap();
+    config.end = Datetime::from_ymd(2024, 4, 30).unwrap();
+    config.scale = 20_000;
+
+    eprintln!(
+        "running the full study at scale 1:{} (≈{} users, {} days)...",
+        config.scale,
+        config.target_users(),
+        config.total_days()
+    );
+    let report = StudyReport::run(config);
+    println!("{}", report.render());
+}

@@ -1,0 +1,23 @@
+//! # bluesky-repro
+//!
+//! Umbrella crate for the reproduction of *Looking AT the Blue Skies of
+//! Bluesky* (IMC 2024). It re-exports the workspace crates so the examples
+//! and integration tests have a single import surface:
+//!
+//! * [`bsky_atproto`] — the AT Protocol data model.
+//! * [`bsky_simnet`] — the deterministic simulation substrate.
+//! * [`bsky_identity`], [`bsky_pds`], [`bsky_relay`], [`bsky_labeler`],
+//!   [`bsky_feedgen`], [`bsky_appview`] — the network services.
+//! * [`bsky_workload`] — the calibrated synthetic ecosystem.
+//! * [`bsky_study`] — the measurement pipeline and analyses.
+
+pub use bsky_appview;
+pub use bsky_atproto;
+pub use bsky_feedgen;
+pub use bsky_identity;
+pub use bsky_labeler;
+pub use bsky_pds;
+pub use bsky_relay;
+pub use bsky_simnet;
+pub use bsky_study;
+pub use bsky_workload;

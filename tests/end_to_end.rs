@@ -1,0 +1,100 @@
+//! Cross-crate integration tests: the full pipeline from the synthetic world
+//! through the collectors to the analyses, plus invariants that span crates.
+
+use bluesky_repro::bsky_atproto::Datetime;
+use bluesky_repro::bsky_study::{Collector, StudyReport};
+use bluesky_repro::bsky_workload::{ScenarioConfig, World};
+
+fn small_config(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::test_scale(seed);
+    config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+    config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+    config.scale = 40_000;
+    config
+}
+
+#[test]
+fn full_study_reproduces_headline_shapes() {
+    let report = StudyReport::run(small_config(1));
+
+    // Table 1: commits dominate the firehose.
+    let commit_share = report
+        .table1
+        .rows
+        .iter()
+        .find(|r| r.0 == "Repo Commit")
+        .map(|r| r.2)
+        .unwrap_or(0.0);
+    assert!(commit_share > 90.0, "commit share {commit_share}");
+
+    // §4: likes outnumber posts, posts outnumber reposts.
+    let (posts, likes, _follows, reposts, blocks) = report.activity.totals;
+    assert!(likes > posts && posts > reposts && blocks < reposts);
+
+    // §5: custodial handles dominate; DNS TXT proofs dominate.
+    assert!(report.identity.bsky_social.1 > 95.0);
+    assert!(report.identity.proofs.2 > 80.0);
+
+    // §6: community labelers issue the majority of recent labels; the most
+    // prolific labeler is an automated one with a sub-minute median.
+    assert!(report.moderation.community_share_last_month > 50.0);
+    if let Some(top) = report.moderation.table6.first() {
+        if let Some(median) = top.median_reaction_secs {
+            assert!(median < 60.0, "top labeler median {median}");
+        }
+    }
+
+    // §7: Skyfeed hosts the largest share of feeds; some feeds never curated.
+    assert_eq!(report.recommendation.platform_shares[0].0, "Skyfeed");
+    assert!(report.recommendation.platform_shares[0].2 > 50.0);
+    assert!(report.recommendation.never_curated.0 > 0);
+
+    // §9: extrapolated firehose volume is positive and scales with the
+    // configured factor.
+    assert!(report.firehose_volume.extrapolated_full_network > report.firehose_volume.bytes_per_day);
+}
+
+#[test]
+fn collector_observes_only_public_surfaces() {
+    let mut world = World::new(small_config(2));
+    let datasets = Collector::new().run(&mut world);
+    // The datasets never contain more identities than the relay exposes.
+    assert!(datasets.user_identifiers.len() <= world.relay.known_account_count() + 5);
+    // Repositories decode into records; every decoded record belongs to a
+    // collection with a valid NSID.
+    for repo in &datasets.repositories {
+        for (collection, _, _) in &repo.records {
+            assert!(collection.as_str().split('.').count() >= 3);
+        }
+    }
+    // Labeler streams include rescissions that effective-label application
+    // removes.
+    let any_negated = datasets
+        .labelers
+        .iter()
+        .flat_map(|l| &l.labels)
+        .any(|l| l.negated);
+    if any_negated {
+        for entry in &datasets.labelers {
+            let effective = bluesky_repro::bsky_atproto::label::effective_labels(&entry.labels);
+            let applied = entry.labels.iter().filter(|l| !l.negated).count();
+            assert!(effective.len() <= applied);
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_reports() {
+    let a = StudyReport::run(small_config(3));
+    let b = StudyReport::run(small_config(3));
+    assert_eq!(a.table1.total, b.table1.total);
+    assert_eq!(a.activity.totals, b.activity.totals);
+    assert_eq!(a.moderation.interactions, b.moderation.interactions);
+    assert_eq!(
+        a.recommendation.total_feeds,
+        b.recommendation.total_feeds
+    );
+    // And a different seed gives a different world.
+    let c = StudyReport::run(small_config(4));
+    assert_ne!(a.activity.totals, c.activity.totals);
+}
