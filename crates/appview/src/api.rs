@@ -171,7 +171,7 @@ mod tests {
                 &Nsid::parse(known::POST).unwrap(),
                 &format!("post{i:08}"),
                 &Record::Post(PostRecord::simple(
-                    &format!("post number {i}"),
+                    format!("post number {i}"),
                     "en",
                     now().plus_seconds(i as i64),
                 )),
@@ -218,12 +218,20 @@ mod tests {
             generator.observe_post(
                 &uri,
                 &alice,
-                &PostRecord::simple(&format!("post number {i}"), "en", now().plus_seconds(i as i64)),
+                &PostRecord::simple(
+                    format!("post number {i}"),
+                    "en",
+                    now().plus_seconds(i as i64),
+                ),
                 now(),
             );
         }
         generator.curate_manually(
-            AtUri::record(alice.clone(), Nsid::parse(known::POST).unwrap(), "missing0001"),
+            AtUri::record(
+                alice.clone(),
+                Nsid::parse(known::POST).unwrap(),
+                "missing0001",
+            ),
             now().plus_seconds(100),
             now(),
         );
@@ -243,11 +251,13 @@ mod tests {
     #[test]
     fn deleted_actors_have_no_profile() {
         let (mut appview, alice) = seeded_appview();
-        appview.index_mut().process_event(&bsky_atproto::firehose::Event {
-            seq: 1,
-            time: now(),
-            body: bsky_atproto::firehose::EventBody::Tombstone { did: alice.clone() },
-        });
+        appview
+            .index_mut()
+            .process_event(&bsky_atproto::firehose::Event {
+                seq: 1,
+                time: now(),
+                body: bsky_atproto::firehose::EventBody::Tombstone { did: alice.clone() },
+            });
         assert!(appview.get_profile(&alice).is_err());
     }
 }

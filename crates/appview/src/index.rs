@@ -292,7 +292,7 @@ impl AppViewIndex {
             .values()
             .filter(|p| self.follows(viewer, &p.author))
             .collect();
-        posts.sort_by(|a, b| b.record.created_at.cmp(&a.record.created_at));
+        posts.sort_by_key(|p| std::cmp::Reverse(p.record.created_at));
         posts.truncate(limit);
         posts
     }
@@ -414,13 +414,8 @@ mod tests {
         assert_eq!(index.labels_ingested(), 3);
 
         // Account-level labels.
-        let account_label = Label::new(
-            labeler,
-            LabelTarget::Account(did("alice")),
-            "spam",
-            now(),
-        )
-        .unwrap();
+        let account_label =
+            Label::new(labeler, LabelTarget::Account(did("alice")), "spam", now()).unwrap();
         index.ingest_label(&account_label);
         assert_eq!(index.actor(&did("alice")).unwrap().account_labels.len(), 1);
     }

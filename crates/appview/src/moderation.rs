@@ -103,7 +103,11 @@ mod tests {
     fn post_with_labels(labels: Vec<(Did, &str)>) -> PostInfo {
         let author = Did::plc_from_seed(b"author");
         PostInfo {
-            uri: AtUri::record(author.clone(), Nsid::parse(known::POST).unwrap(), "rkey000000001"),
+            uri: AtUri::record(
+                author.clone(),
+                Nsid::parse(known::POST).unwrap(),
+                "rkey000000001",
+            ),
             author,
             record: PostRecord::simple("content", "en", Datetime::from_ymd(2024, 4, 1).unwrap()),
             indexed_at: Datetime::from_ymd(2024, 4, 1).unwrap(),
@@ -128,8 +132,10 @@ mod tests {
 
     #[test]
     fn takedown_from_official_always_hides() {
-        let mut prefs = ModerationPreferences::default();
-        prefs.adult_content_enabled = true;
+        let prefs = ModerationPreferences {
+            adult_content_enabled: true,
+            ..Default::default()
+        };
         let post = post_with_labels(vec![(official(), "!takedown")]);
         assert_eq!(
             decide_post_visibility(&post, &prefs, &official()),
@@ -154,9 +160,13 @@ mod tests {
             decide_post_visibility(&post, &prefs, &official()),
             Visibility::Hide
         );
-        let mut adult_ok = ModerationPreferences::default();
-        adult_ok.adult_content_enabled = true;
-        adult_ok.label_actions.insert("porn".into(), LabelAction::Ignore);
+        let mut adult_ok = ModerationPreferences {
+            adult_content_enabled: true,
+            ..Default::default()
+        };
+        adult_ok
+            .label_actions
+            .insert("porn".into(), LabelAction::Ignore);
         assert_eq!(
             decide_post_visibility(&post, &adult_ok, &official()),
             Visibility::Show

@@ -321,9 +321,7 @@ impl<'a> Reader<'a> {
                     let key = match self.read_value(depth + 1)? {
                         Value::Text(s) => s,
                         other => {
-                            return Err(AtError::CborDecode(format!(
-                                "non-text map key: {other}"
-                            )))
+                            return Err(AtError::CborDecode(format!("non-text map key: {other}")))
                         }
                     };
                     let value = self.read_value(depth + 1)?;
@@ -345,7 +343,9 @@ impl<'a> Reader<'a> {
                             AtError::CborDecode(format!("bad CID in link: {e}"))
                         })?))
                     }
-                    _ => Err(AtError::CborDecode("tag 42 must wrap identity CID bytes".into())),
+                    _ => Err(AtError::CborDecode(
+                        "tag 42 must wrap identity CID bytes".into(),
+                    )),
                 }
             }
             MAJOR_SIMPLE => match info {
@@ -501,42 +501,68 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRng;
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        let leaf = prop_oneof![
-            Just(Value::Null),
-            any::<bool>().prop_map(Value::Bool),
-            any::<i64>().prop_filter("avoid i64::MIN", |v| *v != i64::MIN).prop_map(Value::Int),
-            "[a-zA-Z0-9 ]{0,24}".prop_map(Value::text),
-            proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
-            proptest::collection::vec(any::<u8>(), 0..24)
-                .prop_map(|b| Value::Link(Cid::for_cbor(&b))),
-        ];
-        leaf.prop_recursive(3, 32, 6, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-                proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Map),
-            ]
-        })
+    fn arb_leaf(rng: &mut TestRng) -> Value {
+        match rng.below(6) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.below(2) == 0),
+            2 => {
+                let mut v = rng.next_u64() as i64;
+                if v == i64::MIN {
+                    v = 0;
+                }
+                Value::Int(v)
+            }
+            3 => Value::text(rng.lowercase(0, 24)),
+            4 => Value::Bytes(rng.bytes(24)),
+            _ => Value::Link(Cid::for_cbor(&rng.bytes(24))),
+        }
     }
 
-    proptest! {
-        #[test]
-        fn encode_decode_roundtrip(v in arb_value()) {
+    fn arb_value(rng: &mut TestRng, depth: u32) -> Value {
+        if depth == 0 || rng.below(3) == 0 {
+            return arb_leaf(rng);
+        }
+        if rng.below(2) == 0 {
+            let len = rng.below(6) as usize;
+            Value::Array((0..len).map(|_| arb_value(rng, depth - 1)).collect())
+        } else {
+            let len = rng.below(6) as usize;
+            Value::Map(
+                (0..len)
+                    .map(|_| (rng.lowercase(1, 8), arb_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = TestRng::new(0xcb01);
+        for _ in 0..200 {
+            let v = arb_value(&mut rng, 3);
             let bytes = encode(&v);
             let back = decode(&bytes).unwrap();
-            prop_assert_eq!(back, v);
+            assert_eq!(back, v);
         }
+    }
 
-        #[test]
-        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn decode_never_panics() {
+        let mut rng = TestRng::new(0xcb02);
+        for _ in 0..500 {
+            let bytes = rng.bytes(256);
             let _ = decode(&bytes);
         }
+    }
 
-        #[test]
-        fn encoding_is_deterministic(v in arb_value()) {
-            prop_assert_eq!(encode(&v), encode(&v));
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut rng = TestRng::new(0xcb03);
+        for _ in 0..100 {
+            let v = arb_value(&mut rng, 3);
+            assert_eq!(encode(&v), encode(&v));
         }
     }
 }

@@ -119,7 +119,11 @@ impl Sha256 {
         let mut pad = [0u8; 72];
         pad[0] = 0x80;
         let pending = self.buffer_len;
-        let pad_len = if pending < 56 { 56 - pending } else { 120 - pending };
+        let pad_len = if pending < 56 {
+            56 - pending
+        } else {
+            120 - pending
+        };
         // Manually process without affecting total_len.
         let mut input = &pad[..pad_len];
         if self.buffer_len > 0 {
@@ -230,7 +234,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 
 /// Parse lowercase/uppercase hex into bytes.
 pub fn from_hex(s: &str) -> Result<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(AtError::InvalidCid(format!("odd hex length {}", s.len())));
     }
     let mut out = Vec::with_capacity(s.len() / 2);

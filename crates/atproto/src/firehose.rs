@@ -191,10 +191,9 @@ impl Event {
                 ("t", Value::text("#tombstone")),
                 ("did", Value::text(did.to_string())),
             ]),
-            EventBody::Info { name } => Value::map([
-                ("t", Value::text("#info")),
-                ("name", Value::text(name)),
-            ]),
+            EventBody::Info { name } => {
+                Value::map([("t", Value::text("#info")), ("name", Value::text(name))])
+            }
         };
         cbor::encode(&Value::map([
             ("seq", Value::Int(self.seq as i64)),
@@ -209,7 +208,8 @@ impl Event {
         let seq = value
             .get("seq")
             .and_then(Value::as_int)
-            .ok_or_else(|| AtError::CborDecode("frame missing seq".into()))? as Seq;
+            .ok_or_else(|| AtError::CborDecode("frame missing seq".into()))?
+            as Seq;
         let time = Datetime::parse_iso8601(
             value
                 .get("time")
@@ -244,9 +244,7 @@ impl Event {
                             Some("update") => WriteAction::Update,
                             Some("delete") => WriteAction::Delete,
                             other => {
-                                return Err(AtError::CborDecode(format!(
-                                    "bad op action {other:?}"
-                                )))
+                                return Err(AtError::CborDecode(format!("bad op action {other:?}")))
                             }
                         };
                         Ok(RecordOp {
@@ -270,7 +268,9 @@ impl Event {
                         body_value
                             .get("rev")
                             .and_then(Value::as_text)
-                            .ok_or_else(|| AtError::CborDecode("commit frame missing rev".into()))?,
+                            .ok_or_else(|| {
+                                AtError::CborDecode("commit frame missing rev".into())
+                            })?,
                     )?,
                     ops,
                     blocks_bytes: body_value
@@ -283,7 +283,9 @@ impl Event {
                         .unwrap_or(false),
                 }
             }
-            "#identity" => EventBody::Identity { did: get_did("did")? },
+            "#identity" => EventBody::Identity {
+                did: get_did("did")?,
+            },
             "#handle" => EventBody::HandleChange {
                 did: get_did("did")?,
                 handle: Handle::parse(
@@ -293,7 +295,9 @@ impl Event {
                         .ok_or_else(|| AtError::CborDecode("handle frame missing handle".into()))?,
                 )?,
             },
-            "#tombstone" => EventBody::Tombstone { did: get_did("did")? },
+            "#tombstone" => EventBody::Tombstone {
+                did: get_did("did")?,
+            },
             "#info" => EventBody::Info {
                 name: body_value
                     .get("name")

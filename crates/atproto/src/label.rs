@@ -86,7 +86,13 @@ impl LabelTarget {
 
 /// Reserved label values with hardcoded behaviour (valid only from the
 /// official Bluesky Labeler).
-pub const RESERVED_LABELS: &[&str] = &["!hide", "!warn", "!takedown", "!no-promote", "!no-unauthenticated"];
+pub const RESERVED_LABELS: &[&str] = &[
+    "!hide",
+    "!warn",
+    "!takedown",
+    "!no-promote",
+    "!no-unauthenticated",
+];
 
 /// Label values with hardcoded age-gating behaviour that any Labeler may emit.
 pub const ADULT_CONTENT_LABELS: &[&str] = &["porn", "sexual", "graphic-media", "nudity"];
@@ -236,7 +242,14 @@ mod tests {
 
     #[test]
     fn value_validation() {
-        for ok in ["porn", "no-alt-text", "tenor-gif", "!takedown", "spam", "ai-imagery"] {
+        for ok in [
+            "porn",
+            "no-alt-text",
+            "tenor-gif",
+            "!takedown",
+            "spam",
+            "ai-imagery",
+        ] {
             assert!(validate_value(ok).is_ok(), "{ok}");
         }
         for bad in ["", "!", "UPPER", "has space", "-lead", "trail-", "ünicode"] {
@@ -245,7 +258,9 @@ mod tests {
         assert!(is_reserved_value("!takedown"));
         assert!(!is_reserved_value("porn"));
         assert!(RESERVED_LABELS.iter().all(|v| validate_value(v).is_ok()));
-        assert!(ADULT_CONTENT_LABELS.iter().all(|v| validate_value(v).is_ok()));
+        assert!(ADULT_CONTENT_LABELS
+            .iter()
+            .all(|v| validate_value(v).is_ok()));
     }
 
     #[test]
@@ -268,7 +283,10 @@ mod tests {
     fn target_kind_display_names_match_table4() {
         assert_eq!(LabelTargetKind::Post.display_name(), "Post");
         assert_eq!(LabelTargetKind::Account.display_name(), "Account");
-        assert_eq!(LabelTargetKind::BannerAvatar.display_name(), "Banner/Avatar");
+        assert_eq!(
+            LabelTargetKind::BannerAvatar.display_name(),
+            "Banner/Avatar"
+        );
     }
 
     #[test]
@@ -294,8 +312,13 @@ mod tests {
     #[test]
     fn negation_only_affects_matching_source() {
         let official = Label::new(labeler(), post_target(), "spam", now()).unwrap();
-        let community =
-            Label::new(Did::plc_from_seed(b"community"), post_target(), "spam", now()).unwrap();
+        let community = Label::new(
+            Did::plc_from_seed(b"community"),
+            post_target(),
+            "spam",
+            now(),
+        )
+        .unwrap();
         let stream = vec![
             official.clone(),
             community.clone(),

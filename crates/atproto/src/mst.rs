@@ -230,10 +230,7 @@ impl Mst {
         let mut left_child: Option<Cid> = None;
         let mut first_entry_seen = false;
 
-        let flush_segment = |start: usize,
-                             end: usize,
-                             blocks: &mut Vec<MstNode>|
-         -> Option<Cid> {
+        let flush_segment = |start: usize, end: usize, blocks: &mut Vec<MstNode>| -> Option<Cid> {
             if start >= end {
                 return None;
             }
@@ -463,39 +460,49 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRng;
     use std::collections::BTreeMap;
 
-    fn arb_entries() -> impl Strategy<Value = BTreeMap<String, u32>> {
-        proptest::collection::btree_map("[a-z]{1,8}", any::<u32>(), 0..64).prop_map(|m| {
-            m.into_iter()
-                .map(|(k, v)| (format!("app.bsky.feed.post/{k}"), v))
-                .collect()
-        })
+    fn arb_entries(rng: &mut TestRng) -> BTreeMap<String, u32> {
+        let count = rng.below(64) as usize;
+        (0..count)
+            .map(|_| {
+                let key = format!("app.bsky.feed.post/{}", rng.lowercase(1, 8));
+                (key, rng.next_u64() as u32)
+            })
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn root_depends_only_on_contents(entries in arb_entries(), order_seed in any::<u64>()) {
+    #[test]
+    fn root_depends_only_on_contents() {
+        let mut rng = TestRng::new(0x357);
+        for _ in 0..40 {
+            let entries = arb_entries(&mut rng);
+            let order_seed = rng.next_u64();
             let mut forward = Mst::new();
             for (k, v) in &entries {
                 forward.insert(k, Cid::for_cbor(&v.to_be_bytes())).unwrap();
             }
             // Insert in a pseudo-shuffled order.
             let mut keys: Vec<_> = entries.keys().cloned().collect();
-            keys.sort_by_key(|k| {
-                crate::crypto::sha256(format!("{order_seed}{k}").as_bytes())
-            });
+            keys.sort_by_key(|k| crate::crypto::sha256(format!("{order_seed}{k}").as_bytes()));
             let mut shuffled = Mst::new();
             for k in keys {
                 let v = entries[&k];
-                shuffled.insert(&k, Cid::for_cbor(&v.to_be_bytes())).unwrap();
+                shuffled
+                    .insert(&k, Cid::for_cbor(&v.to_be_bytes()))
+                    .unwrap();
             }
-            prop_assert_eq!(forward.root_cid(), shuffled.root_cid());
+            assert_eq!(forward.root_cid(), shuffled.root_cid());
         }
+    }
 
-        #[test]
-        fn diff_then_apply_restores_equality(a in arb_entries(), b in arb_entries()) {
+    #[test]
+    fn diff_then_apply_restores_equality() {
+        let mut rng = TestRng::new(0x358);
+        for _ in 0..40 {
+            let a = arb_entries(&mut rng);
+            let b = arb_entries(&mut rng);
             let make = |m: &BTreeMap<String, u32>| -> Mst {
                 m.iter()
                     .map(|(k, v)| (k.clone(), Cid::for_cbor(&v.to_be_bytes())))
@@ -515,7 +522,7 @@ mod proptests {
                     }
                 }
             }
-            prop_assert_eq!(patched.root_cid(), new.root_cid());
+            assert_eq!(patched.root_cid(), new.root_cid());
         }
     }
 }

@@ -52,9 +52,7 @@ impl Nsid {
         for seg in &segments {
             if seg.is_empty()
                 || seg.len() > 63
-                || !seg
-                    .bytes()
-                    .all(|b| b.is_ascii_alphanumeric() || b == b'-')
+                || !seg.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-')
                 || seg.starts_with('-')
                 || seg.ends_with('-')
             {

@@ -437,9 +437,8 @@ impl Record {
                 .and_then(Value::as_text)
                 .ok_or_else(|| AtError::InvalidRecord(format!("missing field {key}")))
         };
-        let get_datetime = |key: &str| -> Result<Datetime> {
-            Datetime::parse_iso8601(get_text(key)?)
-        };
+        let get_datetime =
+            |key: &str| -> Result<Datetime> { Datetime::parse_iso8601(get_text(key)?) };
         match type_str {
             known::POST => {
                 let langs = value
@@ -592,10 +591,9 @@ fn embed_to_value(embed: &Embed) -> Value {
                 ),
             ),
         ]),
-        Embed::External { uri } => Value::map([
-            ("kind", Value::text("external")),
-            ("uri", Value::text(uri)),
-        ]),
+        Embed::External { uri } => {
+            Value::map([("kind", Value::text("external")), ("uri", Value::text(uri))])
+        }
         Embed::Record(uri) => Value::map([
             ("kind", Value::text("record")),
             ("record", Value::text(uri.to_string())),
@@ -643,7 +641,9 @@ fn embed_from_value(value: &Value) -> Result<Embed> {
                 .and_then(Value::as_text)
                 .ok_or_else(|| AtError::InvalidRecord("record embed missing record".into()))?,
         )?)),
-        other => Err(AtError::InvalidRecord(format!("unknown embed kind {other}"))),
+        other => Err(AtError::InvalidRecord(format!(
+            "unknown embed kind {other}"
+        ))),
     }
 }
 
@@ -660,11 +660,7 @@ mod tests {
     }
 
     fn post_uri() -> AtUri {
-        AtUri::record(
-            alice(),
-            Nsid::parse(known::POST).unwrap(),
-            "3kdgeujwlq32y",
-        )
+        AtUri::record(alice(), Nsid::parse(known::POST).unwrap(), "3kdgeujwlq32y")
     }
 
     #[test]

@@ -165,6 +165,9 @@ pub struct CommitResult {
     pub bytes_written: usize,
 }
 
+/// A parsed CAR archive: the root CIDs and the block store.
+pub type ParsedCar = (Vec<Cid>, BTreeMap<Cid, Vec<u8>>);
+
 /// A user repository: block store + MST index + commit chain.
 #[derive(Debug, Clone)]
 pub struct Repository {
@@ -416,7 +419,7 @@ impl Repository {
     }
 
     /// Parse a CAR archive back into `(roots, blocks)`.
-    pub fn parse_car(bytes: &[u8]) -> Result<(Vec<Cid>, BTreeMap<Cid, Vec<u8>>)> {
+    pub fn parse_car(bytes: &[u8]) -> Result<ParsedCar> {
         let mut pos = 0usize;
         let (header_len, read) = read_varint(&bytes[pos..])?;
         pos += read;
@@ -445,7 +448,9 @@ impl Repository {
             let cid = Cid::from_bytes(&bytes[pos..pos + 36])?;
             let data = bytes[pos + 36..end].to_vec();
             if Cid::for_cbor(&data) != cid && Cid::for_raw(&data) != cid {
-                return Err(AtError::RepoError(format!("block does not match CID {cid}")));
+                return Err(AtError::RepoError(format!(
+                    "block does not match CID {cid}"
+                )));
             }
             blocks.insert(cid, data);
             pos = end;
@@ -518,15 +523,14 @@ mod tests {
     fn create_get_update_delete_cycle() {
         let mut repo = new_repo("alice");
         assert!(repo.head().is_none());
-        let (rkey, result) = repo.create_record(post_nsid(), post("first"), now()).unwrap();
+        let (rkey, result) = repo
+            .create_record(post_nsid(), post("first"), now())
+            .unwrap();
         assert_eq!(result.ops.len(), 1);
         assert_eq!(result.ops[0].action, WriteAction::Create);
         assert_eq!(result.ops[0].collection(), known::POST);
         assert_eq!(repo.record_count(), 1);
-        assert_eq!(
-            repo.get_record(&post_nsid(), &rkey),
-            Some(post("first"))
-        );
+        assert_eq!(repo.get_record(&post_nsid(), &rkey), Some(post("first")));
 
         let update = repo
             .apply_writes(
@@ -575,7 +579,8 @@ mod tests {
     #[test]
     fn commits_are_signed_and_verifiable() {
         let mut repo = new_repo("carol");
-        repo.create_record(post_nsid(), post("signed"), now()).unwrap();
+        repo.create_record(post_nsid(), post("signed"), now())
+            .unwrap();
         let head = repo.head().unwrap().clone();
         assert!(head.verify(repo.signing_key()));
         // A different key does not verify.
@@ -643,7 +648,8 @@ mod tests {
         .unwrap();
         assert_eq!(repo.list_collection(&post_nsid()).len(), 2);
         assert_eq!(
-            repo.list_collection(&Nsid::parse(known::FOLLOW).unwrap()).len(),
+            repo.list_collection(&Nsid::parse(known::FOLLOW).unwrap())
+                .len(),
             1
         );
         assert_eq!(repo.all_records().len(), 3);
@@ -684,7 +690,9 @@ mod tests {
     #[test]
     fn deleted_blocks_persist_until_gc() {
         let mut repo = new_repo("iris");
-        let (rkey, _) = repo.create_record(post_nsid(), post("to be deleted"), now()).unwrap();
+        let (rkey, _) = repo
+            .create_record(post_nsid(), post("to be deleted"), now())
+            .unwrap();
         let record_cid = Cid::for_cbor(&post("to be deleted").to_cbor());
         repo.apply_writes(
             &[Write::Delete {
@@ -703,7 +711,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX / 2] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX / 2,
+        ] {
             let mut buf = Vec::new();
             write_varint(v, &mut buf);
             let (back, read) = read_varint(&buf).unwrap();

@@ -1,9 +1,9 @@
 //! One benchmark group per figure family of the paper.
 
 use bsky_atproto::Datetime;
+use bsky_bench::BenchGroup;
 use bsky_study::{analysis, Collector, Datasets};
 use bsky_workload::{ScenarioConfig, World};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn collected() -> (World, Datasets) {
     let mut config = ScenarioConfig::test_scale(11);
@@ -15,27 +15,24 @@ fn collected() -> (World, Datasets) {
     (world, datasets)
 }
 
-fn figures(c: &mut Criterion) {
+fn main() {
     let (world, datasets) = collected();
-    let mut group = c.benchmark_group("figures");
+    let mut group = BenchGroup::new("figures");
     group.sample_size(10);
-    group.bench_function("fig1_fig2_activity_series", |b| {
-        b.iter(|| analysis::activity_series(&datasets))
+    group.bench_function("fig1_fig2_activity_series", || {
+        analysis::activity_series(&datasets)
     });
-    group.bench_function("fig3_identity_concentration", |b| {
-        b.iter(|| analysis::identity_report(&datasets, &world))
+    group.bench_function("fig3_identity_concentration", || {
+        analysis::identity_report(&datasets, &world)
     });
-    group.bench_function("fig4_fig5_fig6_moderation", |b| {
-        b.iter(|| analysis::moderation_report(&datasets, &world))
+    group.bench_function("fig4_fig5_fig6_moderation", || {
+        analysis::moderation_report(&datasets, &world)
     });
-    group.bench_function("fig7_to_fig12_recommendation", |b| {
-        b.iter(|| analysis::recommendation_report(&datasets, &world))
+    group.bench_function("fig7_to_fig12_recommendation", || {
+        analysis::recommendation_report(&datasets, &world)
     });
-    group.bench_function("section9_firehose_volume", |b| {
-        b.iter(|| analysis::firehose_volume(&datasets, &world))
+    group.bench_function("section9_firehose_volume", || {
+        analysis::firehose_volume(&datasets, &world)
     });
     group.finish();
 }
-
-criterion_group!(benches, figures);
-criterion_main!(benches);

@@ -5,54 +5,47 @@ use bsky_atproto::nsid::known;
 use bsky_atproto::record::{PostRecord, Record};
 use bsky_atproto::repo::Repository;
 use bsky_atproto::{Datetime, Did, Nsid};
+use bsky_bench::BenchGroup;
 use bsky_study::Collector;
 use bsky_workload::{ScenarioConfig, World};
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
+fn main() {
+    let mut group = BenchGroup::new("pipeline");
     group.sample_size(10);
 
-    group.bench_function("simulate_and_collect_60_days_tiny", |b| {
-        b.iter(|| {
-            let mut config = ScenarioConfig::test_scale(3);
-            config.start = Datetime::from_ymd(2024, 3, 1).unwrap();
-            config.end = Datetime::from_ymd(2024, 4, 30).unwrap();
-            config.scale = 60_000;
-            let mut world = World::new(config);
-            Collector::new().run(&mut world)
-        })
+    group.bench_function("simulate_and_collect_60_days_tiny", || {
+        let mut config = ScenarioConfig::test_scale(3);
+        config.start = Datetime::from_ymd(2024, 3, 1).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 30).unwrap();
+        config.scale = 60_000;
+        let mut world = World::new(config);
+        Collector::new().run(&mut world)
     });
 
-    group.bench_function("repo_commit_and_car_export_100_posts", |b| {
-        b.iter(|| {
-            let mut repo = Repository::new(Did::plc_from_seed(b"bench"), b"seed");
-            let now = Datetime::from_ymd(2024, 4, 1).unwrap();
-            for i in 0..100 {
-                repo.create_record(
-                    Nsid::parse(known::POST).unwrap(),
-                    Record::Post(PostRecord::simple(&format!("post {i}"), "en", now)),
-                    now,
-                )
-                .unwrap();
-            }
-            repo.export_car()
-        })
+    group.bench_function("repo_commit_and_car_export_100_posts", || {
+        let mut repo = Repository::new(Did::plc_from_seed(b"bench"), b"seed");
+        let now = Datetime::from_ymd(2024, 4, 1).unwrap();
+        for i in 0..100 {
+            repo.create_record(
+                Nsid::parse(known::POST).unwrap(),
+                Record::Post(PostRecord::simple(format!("post {i}"), "en", now)),
+                now,
+            )
+            .unwrap();
+        }
+        repo.export_car()
     });
 
-    group.bench_function("firehose_frame_roundtrip", |b| {
-        let event = bsky_atproto::firehose::Event {
-            seq: 1,
-            time: Datetime::from_ymd(2024, 4, 1).unwrap(),
-            body: bsky_atproto::firehose::EventBody::Identity {
-                did: Did::plc_from_seed(b"bench"),
-            },
-        };
-        b.iter(|| bsky_atproto::firehose::Event::decode(&event.encode()).unwrap())
+    let event = bsky_atproto::firehose::Event {
+        seq: 1,
+        time: Datetime::from_ymd(2024, 4, 1).unwrap(),
+        body: bsky_atproto::firehose::EventBody::Identity {
+            did: Did::plc_from_seed(b"bench"),
+        },
+    };
+    group.bench_function("firehose_frame_roundtrip", || {
+        bsky_atproto::firehose::Event::decode(&event.encode()).unwrap()
     });
 
     group.finish();
 }
-
-criterion_group!(benches, pipeline);
-criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Streaming vs batch study pipeline: wall-clock and retained-memory
+//! comparison at repro-like scale.
+//!
+//! The batch path materializes every firehose event into a `Vec` and keeps
+//! it alive until all seven analyses finish; the streaming path folds each
+//! event into the incremental analyzers as it arrives and retains at most
+//! one day's subscription batch. This bench measures both and prints the
+//! retained-event counts side by side — the streaming peak must be strictly
+//! lower than the batch retention.
+
+use bsky_atproto::Datetime;
+use bsky_bench::BenchGroup;
+use bsky_study::{Collector, StudyReport};
+use bsky_workload::{ScenarioConfig, World};
+
+fn bench_config() -> ScenarioConfig {
+    let mut config = ScenarioConfig::test_scale(17);
+    config.start = Datetime::from_ymd(2024, 2, 1).unwrap();
+    config.end = Datetime::from_ymd(2024, 4, 30).unwrap();
+    config.scale = 20_000;
+    config
+}
+
+fn main() {
+    let config = bench_config();
+    let mut group = BenchGroup::new("streaming_vs_batch");
+    group.sample_size(5);
+
+    group.bench_function("batch_collect_then_analyze", || {
+        StudyReport::run_batch(config)
+    });
+    group.bench_function("stream_single_pass", || StudyReport::run(config));
+    group.finish();
+
+    // Memory comparison: retained firehose events on each path.
+    let mut world = World::new(config);
+    let batch_retained = Collector::new().run(&mut world).firehose_events.len();
+    let (_, summary) = StudyReport::run_streaming(config);
+    println!(
+        "retained events: batch {} vs streaming peak in-flight {}",
+        batch_retained, summary.peak_in_flight_events
+    );
+    assert!(
+        summary.peak_in_flight_events < batch_retained,
+        "streaming must retain strictly fewer events than batch ({} vs {batch_retained})",
+        summary.peak_in_flight_events
+    );
+    println!(
+        "streaming retains {:.2} % of the batch path's event footprint",
+        summary.peak_in_flight_events as f64 / batch_retained.max(1) as f64 * 100.0
+    );
+}

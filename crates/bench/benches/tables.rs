@@ -2,9 +2,9 @@
 //! table's rows from an already-collected dataset.
 
 use bsky_atproto::Datetime;
+use bsky_bench::BenchGroup;
 use bsky_study::{analysis, Collector, Datasets};
 use bsky_workload::{ScenarioConfig, World};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_config() -> ScenarioConfig {
     let mut config = ScenarioConfig::test_scale(7);
@@ -20,24 +20,19 @@ fn collected() -> (World, Datasets) {
     (world, datasets)
 }
 
-fn tables(c: &mut Criterion) {
+fn main() {
     let (world, datasets) = collected();
-    let mut group = c.benchmark_group("tables");
+    let mut group = BenchGroup::new("tables");
     group.sample_size(10);
-    group.bench_function("table1_firehose_breakdown", |b| {
-        b.iter(|| analysis::table1_firehose_breakdown(&datasets))
+    group.bench_function("table1_firehose_breakdown", || {
+        analysis::table1_firehose_breakdown(&datasets)
     });
-    group.bench_function("table2_registrars_section5", |b| {
-        b.iter(|| analysis::identity_report(&datasets, &world))
+    group.bench_function("table2_registrars_section5", || {
+        analysis::identity_report(&datasets, &world)
     });
-    group.bench_function("table3_table4_table6_moderation", |b| {
-        b.iter(|| analysis::moderation_report(&datasets, &world))
+    group.bench_function("table3_table4_table6_moderation", || {
+        analysis::moderation_report(&datasets, &world)
     });
-    group.bench_function("table5_feature_matrix", |b| {
-        b.iter(analysis::table5_feature_matrix)
-    });
+    group.bench_function("table5_feature_matrix", analysis::table5_feature_matrix);
     group.finish();
 }
-
-criterion_group!(benches, tables);
-criterion_main!(benches);

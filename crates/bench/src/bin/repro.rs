@@ -2,40 +2,133 @@
 //! a seeded simulation run.
 //!
 //! Usage:
-//!   repro [--seed N] [--scale N] [--json]
+//!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
+//!         [--json] [--stream] [--batch]
 //!
 //! `--scale` is the denominator applied to the live network's size
 //! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
-//! numbers as JSON (the format EXPERIMENTS.md records).
+//! numbers as JSON (the format EXPERIMENTS.md records). `--stream` prints
+//! the streaming pipeline's summary (observations, peak in-flight events)
+//! after the report; `--batch` forces the legacy materializing collector.
+//! `--seeds`/`--scales` run a whole grid in one call via `StudyBatch` and
+//! print the comparison table instead of a single report.
+//!
+//! Unknown flags and missing/malformed values are errors (exit code 2).
 
-use bsky_study::StudyReport;
+use bsky_study::{StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
+
+const USAGE: &str =
+    "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--json] [--stream] [--batch]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("repro: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parse the value following a flag, or die with usage.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(raw) = value else {
+        usage_error(&format!("{flag} requires a value"));
+    };
+    match raw.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => usage_error(&format!("invalid value for {flag}: {raw:?}")),
+    }
+}
+
+/// Parse a comma-separated list following a flag, or die with usage.
+fn parse_list(flag: &str, value: Option<&String>) -> Vec<u64> {
+    let Some(raw) = value else {
+        usage_error(&format!("{flag} requires a comma-separated list"));
+    };
+    raw.split(',')
+        .map(|item| match item.trim().parse() {
+            Ok(parsed) => parsed,
+            Err(_) => usage_error(&format!("invalid entry in {flag}: {item:?}")),
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut seed = 42u64;
     let mut scale = 2_000u64;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut scales: Option<Vec<u64>> = None;
     let mut json = false;
+    let mut stream = false;
+    let mut batch = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
-                seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(seed);
+                seed = parse_value("--seed", args.get(i + 1));
                 i += 1;
             }
             "--scale" => {
-                scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale);
+                scale = parse_value("--scale", args.get(i + 1));
+                i += 1;
+            }
+            "--seeds" => {
+                seeds = Some(parse_list("--seeds", args.get(i + 1)));
+                i += 1;
+            }
+            "--scales" => {
+                scales = Some(parse_list("--scales", args.get(i + 1)));
                 i += 1;
             }
             "--json" => json = true,
+            "--stream" => stream = true,
+            "--batch" => batch = true,
             "--help" | "-h" => {
-                eprintln!("usage: repro [--seed N] [--scale N] [--json]");
+                eprintln!("{USAGE}");
                 return;
             }
-            _ => {}
+            unknown => usage_error(&format!("unknown argument {unknown:?}")),
         }
         i += 1;
     }
+    if batch && stream {
+        usage_error("--batch and --stream are mutually exclusive");
+    }
+    if scale == 0 {
+        usage_error("--scale must be positive");
+    }
+
+    // Grid mode: N seeds × M scales through the StudyBatch runner.
+    if seeds.is_some() || scales.is_some() {
+        if batch {
+            usage_error("--batch cannot be combined with --seeds/--scales");
+        }
+        let seeds = seeds.unwrap_or_else(|| vec![seed]);
+        let scales = scales.unwrap_or_else(|| vec![scale]);
+        if scales.contains(&0) {
+            usage_error("--scales entries must be positive");
+        }
+        let grid = StudyBatch::grid(ScenarioConfig::repro_scale(seed), &seeds, &scales);
+        eprintln!("running study batch: {} scenarios...", grid.len());
+        let runs = grid.run();
+        if stream {
+            for run in &runs {
+                eprintln!(
+                    "seed {} scale 1:{} — {}",
+                    run.report.config.seed,
+                    run.report.config.scale,
+                    run.summary.render()
+                );
+            }
+        }
+        print!("{}", StudyBatch::render_summary(&runs));
+        if json {
+            let array =
+                bsky_study::json::Json::Arr(runs.iter().map(|run| run.report.to_json()).collect());
+            println!("{}", array.to_string_pretty());
+        }
+        return;
+    }
+
     let mut config = ScenarioConfig::repro_scale(seed);
     config.scale = scale;
     eprintln!(
@@ -43,9 +136,17 @@ fn main() {
         config.target_users(),
         config.total_days()
     );
-    let report = StudyReport::run(config);
+    let report = if batch {
+        StudyReport::run_batch(config)
+    } else {
+        let (report, summary) = StudyReport::run_streaming(config);
+        if stream {
+            eprintln!("{}", summary.render());
+        }
+        report
+    };
     println!("{}", report.render());
     if json {
-        println!("{}", serde_json::to_string_pretty(&report.to_json()).expect("serialisable"));
+        println!("{}", report.to_json().to_string_pretty());
     }
 }

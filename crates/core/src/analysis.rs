@@ -1,12 +1,18 @@
-//! The analyses of §4–§9: every table and figure of the paper, computed from
-//! the collected [`Datasets`] plus the active measurements (DNS, WHOIS,
-//! Tranco, endpoint classification) the study performed against the network.
+//! The analyses of §4–§9: every table and figure of the paper, computed
+//! *incrementally* from the observation stream plus the active measurements
+//! (DNS, WHOIS, Tranco, endpoint classification) the study performed against
+//! the network.
 //!
-//! Each function returns a small result struct with a `render()` method that
-//! prints rows in the same shape as the corresponding table or figure.
+//! Each section is an [`Analyzer`]: `observe` folds one observation into
+//! per-entity accumulators, `finish` computes the result struct with its
+//! `render()` method. The free functions (`table1_firehose_breakdown`,
+//! `activity_series`, …) keep the original batch API: they [`replay`] an
+//! already-materialized [`Datasets`] through the same analyzer, so the batch
+//! and streaming paths produce identical results by construction.
 
 use crate::datasets::Datasets;
 use crate::langdetect;
+use crate::pipeline::{replay, Analyzer, Observation, StudyCtx};
 use crate::stats;
 use bsky_atproto::firehose::{EventBody, EventKind};
 use bsky_atproto::label::{effective_labels, LabelTargetKind};
@@ -35,22 +41,49 @@ pub struct Table1 {
     pub total: u64,
 }
 
-/// Compute Table 1 from the firehose dataset.
-pub fn table1_firehose_breakdown(datasets: &Datasets) -> Table1 {
-    let mut counts: BTreeMap<EventKind, u64> = BTreeMap::new();
-    for event in &datasets.firehose_events {
-        *counts.entry(event.kind()).or_insert(0) += 1;
+/// Incremental Table 1: counts firehose events by kind.
+#[derive(Debug, Default)]
+pub struct Table1Analyzer {
+    counts: BTreeMap<EventKind, u64>,
+}
+
+impl Table1Analyzer {
+    /// A fresh accumulator.
+    pub fn new() -> Table1Analyzer {
+        Table1Analyzer::default()
     }
-    let total: u64 = counts.values().sum();
-    let rows = EventKind::all()
-        .iter()
-        .filter(|k| **k != EventKind::Info)
-        .map(|k| {
-            let count = counts.get(k).copied().unwrap_or(0);
-            (k.display_name().to_string(), count, stats::share(count, total))
-        })
-        .collect();
-    Table1 { rows, total }
+}
+
+impl Analyzer for Table1Analyzer {
+    type Output = Table1;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        if let Observation::Firehose(event) = obs {
+            *self.counts.entry(event.kind()).or_insert(0) += 1;
+        }
+    }
+
+    fn finish(self, _ctx: &StudyCtx<'_>) -> Table1 {
+        let total: u64 = self.counts.values().sum();
+        let rows = EventKind::all()
+            .iter()
+            .filter(|k| **k != EventKind::Info)
+            .map(|k| {
+                let count = self.counts.get(k).copied().unwrap_or(0);
+                (
+                    k.display_name().to_string(),
+                    count,
+                    stats::share(count, total),
+                )
+            })
+            .collect();
+        Table1 { rows, total }
+    }
+}
+
+/// Compute Table 1 from a materialized firehose dataset (batch API).
+pub fn table1_firehose_breakdown(datasets: &Datasets) -> Table1 {
+    replay(Table1Analyzer::new(), datasets, &StudyCtx::detached())
 }
 
 impl Table1 {
@@ -78,14 +111,29 @@ pub struct ActivitySeries {
     pub totals: (u64, u64, u64, u64, u64),
 }
 
-/// Compute Figures 1 and 2 plus §4's operation totals.
-pub fn activity_series(datasets: &Datasets) -> ActivitySeries {
-    // Totals from the repositories dataset.
-    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
-    // Daily activity from the repositories' record timestamps.
-    let mut daily_users: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
-    let mut monthly_ops: BTreeMap<String, (BTreeSet<String>, u64, u64, u64)> = BTreeMap::new();
-    for repo in &datasets.repositories {
+/// Incremental Figures 1–2 plus §4's operation totals, folded per
+/// repository snapshot.
+#[derive(Debug, Default)]
+pub struct ActivityAnalyzer {
+    totals: (u64, u64, u64, u64, u64),
+    daily_users: BTreeMap<(String, String), BTreeSet<String>>,
+    monthly_ops: BTreeMap<String, (BTreeSet<String>, u64, u64, u64)>,
+}
+
+impl ActivityAnalyzer {
+    /// A fresh accumulator.
+    pub fn new() -> ActivityAnalyzer {
+        ActivityAnalyzer::default()
+    }
+}
+
+impl Analyzer for ActivityAnalyzer {
+    type Output = ActivitySeries;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        let Observation::Repo(repo) = obs else {
+            return;
+        };
         for (collection, _rkey, record) in &repo.records {
             let created = match record.created_at() {
                 Some(c) => c,
@@ -98,52 +146,61 @@ pub fn activity_series(datasets: &Datasets) -> ActivitySeries {
             };
             match collection.as_str() {
                 known::POST => {
-                    totals.0 += 1;
-                    let entry = monthly_ops.entry(month.clone()).or_default();
+                    self.totals.0 += 1;
+                    let entry = self.monthly_ops.entry(month.clone()).or_default();
                     entry.0.insert(repo.did.to_string());
                     entry.1 += 1;
-                    daily_users
+                    self.daily_users
                         .entry((month.clone(), lang))
                         .or_default()
                         .insert(repo.did.to_string());
                 }
                 known::LIKE => {
-                    totals.1 += 1;
-                    let entry = monthly_ops.entry(month.clone()).or_default();
+                    self.totals.1 += 1;
+                    let entry = self.monthly_ops.entry(month.clone()).or_default();
                     entry.0.insert(repo.did.to_string());
                     entry.2 += 1;
                 }
-                known::FOLLOW => totals.2 += 1,
+                known::FOLLOW => self.totals.2 += 1,
                 known::REPOST => {
-                    totals.3 += 1;
-                    let entry = monthly_ops.entry(month.clone()).or_default();
+                    self.totals.3 += 1;
+                    let entry = self.monthly_ops.entry(month.clone()).or_default();
                     entry.0.insert(repo.did.to_string());
                     entry.3 += 1;
                 }
-                known::BLOCK => totals.4 += 1,
+                known::BLOCK => self.totals.4 += 1,
                 _ => {}
             }
         }
     }
-    let monthly = monthly_ops
-        .iter()
-        .map(|(month, (users, posts, likes, reposts))| {
-            (month.clone(), users.len() as u64, *posts, *likes, *reposts)
-        })
-        .collect();
-    let mut by_lang: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
-    for ((month, lang), users) in &daily_users {
-        by_lang
-            .entry(month.clone())
-            .or_default()
-            .push((lang.clone(), users.len() as u64));
+
+    fn finish(self, _ctx: &StudyCtx<'_>) -> ActivitySeries {
+        let monthly = self
+            .monthly_ops
+            .iter()
+            .map(|(month, (users, posts, likes, reposts))| {
+                (month.clone(), users.len() as u64, *posts, *likes, *reposts)
+            })
+            .collect();
+        let mut by_lang: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        for ((month, lang), users) in &self.daily_users {
+            by_lang
+                .entry(month.clone())
+                .or_default()
+                .push((lang.clone(), users.len() as u64));
+        }
+        let monthly_by_language = by_lang.into_iter().collect();
+        ActivitySeries {
+            monthly,
+            monthly_by_language,
+            totals: self.totals,
+        }
     }
-    let monthly_by_language = by_lang.into_iter().collect();
-    ActivitySeries {
-        monthly,
-        monthly_by_language,
-        totals,
-    }
+}
+
+/// Compute Figures 1 and 2 plus §4's operation totals (batch API).
+pub fn activity_series(datasets: &Datasets) -> ActivitySeries {
+    replay(ActivityAnalyzer::new(), datasets, &StudyCtx::detached())
 }
 
 impl ActivitySeries {
@@ -168,7 +225,7 @@ impl ActivitySeries {
             String::from("Figure 2: Monthly active posting users per language community\n");
         for (month, langs) in &self.monthly_by_language {
             let mut sorted = langs.clone();
-            sorted.sort_by(|a, b| b.1.cmp(&a.1));
+            sorted.sort_by_key(|e| std::cmp::Reverse(e.1));
             let row: Vec<String> = sorted
                 .iter()
                 .take(5)
@@ -194,35 +251,67 @@ pub struct Section4 {
     pub firehose_events: u64,
 }
 
-/// Compute §4's popularity and non-Bluesky content findings.
-pub fn section4_accounts(datasets: &Datasets) -> Section4 {
-    let mut followers: BTreeMap<String, u64> = BTreeMap::new();
-    let mut blocks: BTreeMap<String, u64> = BTreeMap::new();
-    let mut non_bsky = 0u64;
-    for repo in &datasets.repositories {
-        for (collection, _, record) in &repo.records {
-            match record {
-                Record::Follow(f) => *followers.entry(f.subject.to_string()).or_insert(0) += 1,
-                Record::Block(b) => *blocks.entry(b.subject.to_string()).or_insert(0) += 1,
-                _ => {}
+/// Incremental §4 popularity and non-Bluesky content accumulator.
+#[derive(Debug, Default)]
+pub struct Section4Analyzer {
+    followers: BTreeMap<String, u64>,
+    blocks: BTreeMap<String, u64>,
+    non_bsky: u64,
+    firehose_events: u64,
+}
+
+impl Section4Analyzer {
+    /// A fresh accumulator.
+    pub fn new() -> Section4Analyzer {
+        Section4Analyzer::default()
+    }
+}
+
+impl Analyzer for Section4Analyzer {
+    type Output = Section4;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        match obs {
+            Observation::Firehose(_) => self.firehose_events += 1,
+            Observation::Repo(repo) => {
+                for (collection, _, record) in &repo.records {
+                    match record {
+                        Record::Follow(f) => {
+                            *self.followers.entry(f.subject.to_string()).or_insert(0) += 1
+                        }
+                        Record::Block(b) => {
+                            *self.blocks.entry(b.subject.to_string()).or_insert(0) += 1
+                        }
+                        _ => {}
+                    }
+                    if !collection.is_bluesky_lexicon() {
+                        self.non_bsky += 1;
+                    }
+                }
             }
-            if !collection.is_bluesky_lexicon() {
-                non_bsky += 1;
-            }
+            _ => {}
         }
     }
-    let mut most_followed: Vec<(String, u64)> = followers.into_iter().collect();
-    most_followed.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    most_followed.truncate(5);
-    let mut most_blocked: Vec<(String, u64)> = blocks.into_iter().collect();
-    most_blocked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    most_blocked.truncate(5);
-    Section4 {
-        most_followed,
-        most_blocked,
-        non_bsky_records: non_bsky,
-        firehose_events: datasets.firehose_events.len() as u64,
+
+    fn finish(self, _ctx: &StudyCtx<'_>) -> Section4 {
+        let mut most_followed: Vec<(String, u64)> = self.followers.into_iter().collect();
+        most_followed.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        most_followed.truncate(5);
+        let mut most_blocked: Vec<(String, u64)> = self.blocks.into_iter().collect();
+        most_blocked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        most_blocked.truncate(5);
+        Section4 {
+            most_followed,
+            most_blocked,
+            non_bsky_records: self.non_bsky,
+            firehose_events: self.firehose_events,
+        }
     }
+}
+
+/// Compute §4's popularity and non-Bluesky content findings (batch API).
+pub fn section4_accounts(datasets: &Datasets) -> Section4 {
+    replay(Section4Analyzer::new(), datasets, &StudyCtx::detached())
 }
 
 impl Section4 {
@@ -274,118 +363,151 @@ pub struct IdentityReport {
     pub handle_updates: (u64, u64, u64, f64),
 }
 
-/// Compute §5: identity centralization, Table 2 and Figure 3.
-pub fn identity_report(datasets: &Datasets, world: &World) -> IdentityReport {
-    let total_handles = datasets.did_documents.len() as u64;
-    let bsky_count = datasets
-        .did_documents
-        .iter()
-        .filter(|d| d.handle.is_bsky_social())
-        .count() as u64;
+/// Incremental §5: identity centralization, Table 2 and Figure 3.
+///
+/// Performs the study's active measurements (PSL grouping, Tranco ranking,
+/// DNS TXT / well-known ownership proofs) per DID document as it streams by,
+/// and the WHOIS scan at finish time.
+#[derive(Debug, Default)]
+pub struct IdentityAnalyzer {
+    total_handles: u64,
+    bsky_count: u64,
+    did_web: u64,
+    provider_counts: BTreeMap<String, u64>,
+    registered_domains: BTreeSet<String>,
+    tranco_hits: BTreeSet<String>,
+    dns_proofs: u64,
+    well_known_proofs: u64,
+    changes: u64,
+    dids: BTreeSet<String>,
+    handles: BTreeSet<String>,
+    final_handle: BTreeMap<String, String>,
+}
 
-    // Figure 3: group non-custodial handles by registered domain (PSL).
-    let mut provider_counts: BTreeMap<String, u64> = BTreeMap::new();
-    let mut registered_domains: BTreeSet<String> = BTreeSet::new();
-    let mut tranco_hits: BTreeSet<String> = BTreeSet::new();
-    for doc in &datasets.did_documents {
-        if doc.handle.is_bsky_social() {
-            continue;
-        }
-        if let Some(registered) = world.psl.registered_domain(doc.handle.as_str()) {
-            *provider_counts.entry(registered.clone()).or_insert(0) += 1;
-            registered_domains.insert(registered.clone());
-            if world.tranco.in_top(&registered, 1_000_000) {
-                tranco_hits.insert(registered);
+impl IdentityAnalyzer {
+    /// A fresh accumulator.
+    pub fn new() -> IdentityAnalyzer {
+        IdentityAnalyzer::default()
+    }
+}
+
+impl Analyzer for IdentityAnalyzer {
+    type Output = IdentityReport;
+
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        match obs {
+            Observation::DidDocument { doc, via_web } => {
+                self.total_handles += 1;
+                if *via_web {
+                    self.did_web += 1;
+                }
+                if doc.handle.is_bsky_social() {
+                    self.bsky_count += 1;
+                    return;
+                }
+                let world = ctx.world();
+                // Figure 3: group non-custodial handles by registered domain
+                // (PSL), and check the Tranco ranking.
+                if let Some(registered) = world.psl.registered_domain(doc.handle.as_str()) {
+                    *self.provider_counts.entry(registered.clone()).or_insert(0) += 1;
+                    self.registered_domains.insert(registered.clone());
+                    if world.tranco.in_top(&registered, 1_000_000) {
+                        self.tranco_hits.insert(registered);
+                    }
+                }
+                // Ownership proofs via active measurement (DNS first, then
+                // well-known).
+                if world.dns.lookup_atproto_did(doc.handle.as_str()).is_some() {
+                    self.dns_proofs += 1;
+                } else if world.web.get(&doc.handle.well_known_url()).body().is_some() {
+                    self.well_known_proofs += 1;
+                }
             }
+            Observation::Firehose(event) => {
+                if let EventBody::HandleChange { did, handle } = &event.body {
+                    self.changes += 1;
+                    self.dids.insert(did.to_string());
+                    self.handles.insert(handle.as_str().to_string());
+                    self.final_handle
+                        .insert(did.to_string(), handle.as_str().to_string());
+                }
+            }
+            _ => {}
         }
     }
-    let mut subdomain_providers: Vec<(String, u64)> = provider_counts.into_iter().collect();
-    subdomain_providers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    subdomain_providers.truncate(10);
 
-    // Ownership proofs via active measurement (DNS first, then well-known).
-    let mut dns_proofs = 0u64;
-    let mut well_known_proofs = 0u64;
-    for doc in &datasets.did_documents {
-        if doc.handle.is_bsky_social() {
-            continue;
-        }
-        if world.dns.lookup_atproto_did(doc.handle.as_str()).is_some() {
-            dns_proofs += 1;
-        } else if world
-            .web
-            .get(&doc.handle.well_known_url())
-            .body()
-            .is_some()
-        {
-            well_known_proofs += 1;
-        }
-    }
-    let proof_total = (dns_proofs + well_known_proofs).max(1);
+    fn finish(self, ctx: &StudyCtx<'_>) -> IdentityReport {
+        let world = ctx.world();
+        let mut subdomain_providers: Vec<(String, u64)> =
+            self.provider_counts.into_iter().collect();
+        subdomain_providers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        subdomain_providers.truncate(10);
 
-    // Table 2: WHOIS scan over the registered domains.
-    let mut registrar_counts: BTreeMap<(Option<u32>, String), u64> = BTreeMap::new();
-    let mut with_iana = 0u64;
-    for domain in &registered_domains {
-        if let Some(record) = world.whois.query(domain) {
-            if let Some(registrar) = &record.registrar {
-                *registrar_counts
-                    .entry((registrar.iana_id, registrar.name.clone()))
-                    .or_insert(0) += 1;
-                if registrar.iana_id.is_some() {
-                    with_iana += 1;
+        let proof_total = (self.dns_proofs + self.well_known_proofs).max(1);
+
+        // Table 2: WHOIS scan over the registered domains.
+        let mut registrar_counts: BTreeMap<(Option<u32>, String), u64> = BTreeMap::new();
+        let mut with_iana = 0u64;
+        for domain in &self.registered_domains {
+            if let Some(record) = world.whois.query(domain) {
+                if let Some(registrar) = &record.registrar {
+                    *registrar_counts
+                        .entry((registrar.iana_id, registrar.name.clone()))
+                        .or_insert(0) += 1;
+                    if registrar.iana_id.is_some() {
+                        with_iana += 1;
+                    }
                 }
             }
         }
-    }
-    let mut registrars: Vec<(Option<u32>, String, u64, f64)> = registrar_counts
-        .into_iter()
-        .map(|((id, name), count)| (id, name, count, stats::share(count, with_iana.max(1))))
-        .collect();
-    registrars.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
-    registrars.truncate(7);
+        let mut registrars: Vec<(Option<u32>, String, u64, f64)> = registrar_counts
+            .into_iter()
+            .map(|((id, name), count)| (id, name, count, stats::share(count, with_iana.max(1))))
+            .collect();
+        registrars.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+        registrars.truncate(7);
 
-    // Handle updates from the firehose.
-    let mut changes = 0u64;
-    let mut dids: BTreeSet<String> = BTreeSet::new();
-    let mut handles: BTreeSet<String> = BTreeSet::new();
-    let mut final_handle: BTreeMap<String, String> = BTreeMap::new();
-    for event in &datasets.firehose_events {
-        if let EventBody::HandleChange { did, handle } = &event.body {
-            changes += 1;
-            dids.insert(did.to_string());
-            handles.insert(handle.as_str().to_string());
-            final_handle.insert(did.to_string(), handle.as_str().to_string());
+        let final_bsky = self
+            .final_handle
+            .values()
+            .filter(|h| h.ends_with(".bsky.social"))
+            .count() as u64;
+
+        IdentityReport {
+            total_handles: self.total_handles,
+            bsky_social: (
+                self.bsky_count,
+                stats::share(self.bsky_count, self.total_handles),
+            ),
+            did_web: self.did_web,
+            subdomain_providers,
+            registered_domains: self.registered_domains.len() as u64,
+            tranco_overlap: (
+                self.tranco_hits.len() as u64,
+                stats::share(
+                    self.tranco_hits.len() as u64,
+                    self.registered_domains.len().max(1) as u64,
+                ),
+            ),
+            proofs: (
+                self.dns_proofs,
+                self.well_known_proofs,
+                stats::share(self.dns_proofs, proof_total),
+            ),
+            registrars,
+            handle_updates: (
+                self.changes,
+                self.dids.len() as u64,
+                self.handles.len() as u64,
+                stats::share(final_bsky, self.final_handle.len().max(1) as u64),
+            ),
         }
     }
-    let final_bsky = final_handle
-        .values()
-        .filter(|h| h.ends_with(".bsky.social"))
-        .count() as u64;
+}
 
-    IdentityReport {
-        total_handles,
-        bsky_social: (bsky_count, stats::share(bsky_count, total_handles)),
-        did_web: datasets.did_web_count as u64,
-        subdomain_providers,
-        registered_domains: registered_domains.len() as u64,
-        tranco_overlap: (
-            tranco_hits.len() as u64,
-            stats::share(tranco_hits.len() as u64, registered_domains.len().max(1) as u64),
-        ),
-        proofs: (
-            dns_proofs,
-            well_known_proofs,
-            stats::share(dns_proofs, proof_total),
-        ),
-        registrars,
-        handle_updates: (
-            changes,
-            dids.len() as u64,
-            handles.len() as u64,
-            stats::share(final_bsky, final_handle.len().max(1) as u64),
-        ),
-    }
+/// Compute §5: identity centralization, Table 2 and Figure 3 (batch API).
+pub fn identity_report(datasets: &Datasets, world: &World) -> IdentityReport {
+    replay(IdentityAnalyzer::new(), datasets, &StudyCtx::new(world))
 }
 
 impl IdentityReport {
@@ -411,7 +533,9 @@ impl IdentityReport {
         out.push_str("Table 2: Domain name handles per registrar\nIANA ID | Registrar                  | # Total | Share (%)\n");
         for (id, name, count, share) in &self.registrars {
             let id_str = id.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
-            out.push_str(&format!("{id_str:>7} | {name:<26} | {count:>7} | {share:>6.2}\n"));
+            out.push_str(&format!(
+                "{id_str:>7} | {name:<26} | {count:>7} | {share:>6.2}\n"
+            ));
         }
         let (changes, dids, handles, final_bsky) = self.handle_updates;
         out.push_str(&format!(
@@ -424,6 +548,9 @@ impl IdentityReport {
 // ---------------------------------------------------------------------------
 // §6 / Tables 3, 4, 6 / Figures 4, 5, 6
 // ---------------------------------------------------------------------------
+
+/// One Table 4 row: `(target kind, objects, share %, top values)`.
+pub type LabelTargetRow = (String, u64, f64, Vec<(String, u64)>);
 
 /// Per-labeler reaction-time statistics (Table 6 / Figure 5).
 #[derive(Debug, Clone)]
@@ -475,301 +602,349 @@ pub struct ModerationReport {
     /// Table 3: top community labelers `(name, labels applied, likes)`.
     pub table3: Vec<(String, u64, u64)>,
     /// Table 4: label targets `(kind, objects, share %, top values)`.
-    pub table4: Vec<(String, u64, f64, Vec<(String, u64)>)>,
+    pub table4: Vec<LabelTargetRow>,
     /// Table 6 / Figure 5: per-labeler reaction statistics.
     pub table6: Vec<LabelerReaction>,
     /// Figure 6: per-value `(value, objects, median reaction s, community)`.
     pub figure6: Vec<(String, u64, f64, bool)>,
 }
 
-/// Compute the §6 moderation analyses.
-pub fn moderation_report(datasets: &Datasets, world: &World) -> ModerationReport {
-    let announced = datasets.labelers.len() as u64;
-    let functional = datasets.labelers.iter().filter(|l| l.functional).count() as u64;
-    let active = datasets
-        .labelers
-        .iter()
-        .filter(|l| !l.labels.is_empty())
-        .count() as u64;
-    let hosting = (
-        datasets
-            .labelers
-            .iter()
-            .filter(|l| l.hosting == HostingClass::Cloud)
-            .count() as u64,
-        datasets
-            .labelers
-            .iter()
-            .filter(|l| l.hosting == HostingClass::Residential)
-            .count() as u64,
-        datasets
-            .labelers
-            .iter()
-            .filter(|l| l.hosting == HostingClass::Dead)
-            .count() as u64,
-    );
+/// Per-labeler accumulator feeding Table 6 / Figure 5.
+#[derive(Debug)]
+struct LabelerAcc {
+    did: String,
+    name: String,
+    community: bool,
+    values: BTreeMap<String, u64>,
+    reactions: Vec<f64>,
+    applied: u64,
+}
 
-    // Index post creation times for reaction-time computation, and likes on
-    // feed generator creators for Table 3's likes column.
-    let mut post_created: BTreeMap<String, Datetime> = BTreeMap::new();
-    for repo in &datasets.repositories {
-        for (collection, _, record) in &repo.records {
-            if collection.as_str() == known::POST {
-                if let (Record::Post(p), Some(_)) = (record, record.created_at()) {
-                    // We cannot reconstruct the rkey from the CAR walk, so key
-                    // reaction times off the firehose instead (below).
-                    let _ = p;
+/// Incremental §6 moderation analyses.
+///
+/// Firehose commits stream first and feed the post-creation index; each
+/// labeler entry is then folded in one observation; repository snapshots
+/// contribute the likes-on-accounts column of Table 3; everything that needs
+/// global totals (shares, Figure 4, the overlap statistics) is computed at
+/// finish time.
+#[derive(Debug, Default)]
+pub struct ModerationAnalyzer {
+    announced: u64,
+    functional: u64,
+    active: u64,
+    hosting: (u64, u64, u64),
+    post_created: BTreeMap<String, Datetime>,
+    per_month: BTreeMap<String, (u64, u64)>,
+    labeler_month_first: BTreeMap<String, String>,
+    interactions: u64,
+    rescissions: u64,
+    objects: BTreeMap<String, BTreeSet<String>>,
+    object_kind: BTreeMap<String, LabelTargetKind>,
+    value_counts: BTreeMap<String, u64>,
+    value_reactions: BTreeMap<String, Vec<f64>>,
+    value_by_community: BTreeMap<String, bool>,
+    per_target_kind: BTreeMap<LabelTargetKind, BTreeMap<String, u64>>,
+    raw_values: BTreeSet<String>,
+    applied_values: BTreeSet<String>,
+    bluesky_objects: BTreeSet<String>,
+    community_objects: BTreeSet<String>,
+    table3_counts: BTreeMap<String, u64>,
+    labeler_did_by_name: BTreeMap<String, String>,
+    likes_on_accounts: BTreeMap<String, u64>,
+    official_did: Option<String>,
+    accs: Vec<LabelerAcc>,
+    collection_end: Datetime,
+}
+
+impl ModerationAnalyzer {
+    /// A fresh accumulator.
+    pub fn new() -> ModerationAnalyzer {
+        ModerationAnalyzer::default()
+    }
+}
+
+impl Analyzer for ModerationAnalyzer {
+    type Output = ModerationReport;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        match obs {
+            Observation::WindowStart { collection_end, .. } => {
+                self.collection_end = *collection_end;
+            }
+            // Post creation times from firehose commit ops (the paper
+            // computes reaction times against posts received from the
+            // firehose since Mar 6).
+            Observation::Firehose(event) => {
+                if let EventBody::Commit { did, ops, .. } = &event.body {
+                    for op in ops {
+                        if op.collection() == known::POST && op.cid.is_some() {
+                            let uri = format!("at://{did}/{}", op.key);
+                            self.post_created.entry(uri).or_insert(event.time);
+                        }
+                    }
                 }
             }
-        }
-    }
-    // Post creation times from firehose commit ops (the paper computes
-    // reaction times against posts received from the firehose since Mar 6).
-    for event in &datasets.firehose_events {
-        if let EventBody::Commit { did, ops, .. } = &event.body {
-            for op in ops {
-                if op.collection() == known::POST && op.cid.is_some() {
-                    let uri = format!("at://{did}/{}", op.key);
-                    post_created.entry(uri).or_insert(event.time);
+            Observation::Labeler(entry) => {
+                self.announced += 1;
+                if entry.functional {
+                    self.functional += 1;
+                }
+                if !entry.labels.is_empty() {
+                    self.active += 1;
+                }
+                match entry.hosting {
+                    HostingClass::Cloud => self.hosting.0 += 1,
+                    HostingClass::Residential => self.hosting.1 += 1,
+                    HostingClass::Dead => self.hosting.2 += 1,
+                }
+                // The first official labeler on the stream anchors the
+                // Bluesky-vs-community object split, as in the batch scan.
+                if entry.operator == LabelerOperator::BlueskyOfficial && self.official_did.is_none()
+                {
+                    self.official_did = Some(entry.did.to_string());
+                }
+                self.labeler_did_by_name
+                    .entry(entry.name.clone())
+                    .or_insert_with(|| entry.did.to_string());
+                let community = entry.operator == LabelerOperator::Community;
+                let mut acc = LabelerAcc {
+                    did: entry.did.to_string(),
+                    name: entry.name.clone(),
+                    community,
+                    values: BTreeMap::new(),
+                    reactions: Vec::new(),
+                    applied: 0,
+                };
+                let official = self.official_did.clone().unwrap_or_default();
+                for label in &entry.labels {
+                    self.interactions += 1;
+                    self.raw_values.insert(label.value.clone());
+                    if label.negated {
+                        self.rescissions += 1;
+                        continue;
+                    }
+                    acc.applied += 1;
+                    self.applied_values.insert(label.value.clone());
+                    *acc.values.entry(label.value.clone()).or_insert(0) += 1;
+                    *self.value_counts.entry(label.value.clone()).or_insert(0) += 1;
+                    self.value_by_community
+                        .entry(label.value.clone())
+                        .and_modify(|c| *c = *c && community)
+                        .or_insert(community);
+                    let month = month_of(label.created_at);
+                    let slot = self.per_month.entry(month.clone()).or_insert((0, 0));
+                    if community {
+                        slot.1 += 1;
+                        self.labeler_month_first
+                            .entry(acc.did.clone())
+                            .or_insert(month.clone());
+                    } else {
+                        slot.0 += 1;
+                    }
+                    let object = label.target.uri();
+                    self.objects
+                        .entry(object.clone())
+                        .or_default()
+                        .insert(acc.did.clone());
+                    self.object_kind.insert(object.clone(), label.target.kind());
+                    *self
+                        .per_target_kind
+                        .entry(label.target.kind())
+                        .or_default()
+                        .entry(label.value.clone())
+                        .or_insert(0) += 1;
+                    if acc.did == official {
+                        self.bluesky_objects.insert(object.clone());
+                    } else {
+                        self.community_objects.insert(object.clone());
+                    }
+                    if community {
+                        *self.table3_counts.entry(acc.name.clone()).or_insert(0) += 1;
+                    }
+                    // Reaction time against the post's firehose arrival.
+                    if let Some(created) = self.post_created.get(&object) {
+                        let delta =
+                            (label.created_at.timestamp() - created.timestamp()).max(0) as f64;
+                        acc.reactions.push(delta);
+                        self.value_reactions
+                            .entry(label.value.clone())
+                            .or_default()
+                            .push(delta);
+                    }
+                }
+                self.accs.push(acc);
+            }
+            Observation::Repo(repo) => {
+                // Table 3's likes column: likes on labeler accounts.
+                for (_, _, record) in &repo.records {
+                    if let Record::Like(like) = record {
+                        *self
+                            .likes_on_accounts
+                            .entry(like.subject.did().to_string())
+                            .or_insert(0) += 1;
+                    }
                 }
             }
+            _ => {}
         }
     }
 
-    // Label accounting.
-    let mut per_month: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-    let mut labeler_month_first: BTreeMap<String, String> = BTreeMap::new();
-    let mut interactions = 0u64;
-    let mut rescissions = 0u64;
-    let mut objects: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // object -> labeler DIDs
-    let mut object_kind: BTreeMap<String, LabelTargetKind> = BTreeMap::new();
-    let mut value_counts: BTreeMap<String, u64> = BTreeMap::new();
-    let mut value_reactions: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    let mut value_by_community: BTreeMap<String, bool> = BTreeMap::new();
-    let mut per_target_kind: BTreeMap<LabelTargetKind, BTreeMap<String, u64>> = BTreeMap::new();
-    let mut raw_values: BTreeSet<String> = BTreeSet::new();
-    let mut applied_values: BTreeSet<String> = BTreeSet::new();
-    let mut bluesky_objects: BTreeSet<String> = BTreeSet::new();
-    let mut community_objects: BTreeSet<String> = BTreeSet::new();
-    let mut table3_counts: BTreeMap<String, u64> = BTreeMap::new();
-    let mut table6 = Vec::new();
-
-    let official_did = datasets
-        .labelers
-        .iter()
-        .find(|l| l.operator == LabelerOperator::BlueskyOfficial)
-        .map(|l| l.did.to_string())
-        .unwrap_or_default();
-
-    let total_applied: u64 = datasets
-        .labelers
-        .iter()
-        .map(|l| l.labels.iter().filter(|x| !x.negated).count() as u64)
-        .sum();
-
-    for entry in &datasets.labelers {
-        let community = entry.operator == LabelerOperator::Community;
-        let mut reactions: Vec<f64> = Vec::new();
-        let mut values: BTreeMap<String, u64> = BTreeMap::new();
-        let mut applied = 0u64;
-        for label in &entry.labels {
-            interactions += 1;
-            raw_values.insert(label.value.clone());
-            if label.negated {
-                rescissions += 1;
+    fn finish(self, _ctx: &StudyCtx<'_>) -> ModerationReport {
+        let total_applied: u64 = self.accs.iter().map(|a| a.applied).sum();
+        let mut table6 = Vec::new();
+        for acc in &self.accs {
+            if acc.applied == 0 {
                 continue;
             }
-            applied += 1;
-            applied_values.insert(label.value.clone());
-            *values.entry(label.value.clone()).or_insert(0) += 1;
-            *value_counts.entry(label.value.clone()).or_insert(0) += 1;
-            value_by_community
-                .entry(label.value.clone())
-                .and_modify(|c| *c = *c && community)
-                .or_insert(community);
-            let month = month_of(label.created_at);
-            let slot = per_month.entry(month.clone()).or_insert((0, 0));
-            if community {
-                slot.1 += 1;
-                labeler_month_first
-                    .entry(entry.did.to_string())
-                    .or_insert(month.clone());
-            } else {
-                slot.0 += 1;
-            }
-            let object = label.target.uri();
-            objects
-                .entry(object.clone())
-                .or_default()
-                .insert(entry.did.to_string());
-            object_kind.insert(object.clone(), label.target.kind());
-            *per_target_kind
-                .entry(label.target.kind())
-                .or_default()
-                .entry(label.value.clone())
-                .or_insert(0) += 1;
-            if entry.did.to_string() == official_did {
-                bluesky_objects.insert(object.clone());
-            } else {
-                community_objects.insert(object.clone());
-            }
-            if community {
-                *table3_counts.entry(entry.name.clone()).or_insert(0) += 1;
-            }
-            // Reaction time against the post's firehose arrival.
-            if let Some(created) = post_created.get(&object) {
-                let delta = (label.created_at.timestamp() - created.timestamp()).max(0) as f64;
-                reactions.push(delta);
-                value_reactions
-                    .entry(label.value.clone())
-                    .or_default()
-                    .push(delta);
-            }
-        }
-        if applied > 0 {
-            let mut top: Vec<(String, u64)> = values.into_iter().collect();
-            top.sort_by(|a, b| b.1.cmp(&a.1));
+            let mut top: Vec<(String, u64)> =
+                acc.values.iter().map(|(v, c)| (v.clone(), *c)).collect();
+            top.sort_by_key(|e| std::cmp::Reverse(e.1));
             table6.push(LabelerReaction {
-                did: entry.did.to_string(),
-                name: entry.name.clone(),
-                community,
+                did: acc.did.clone(),
+                name: acc.name.clone(),
+                community: acc.community,
                 unique_values: top.len() as u64,
                 top_values: top.iter().take(3).map(|(v, _)| v.clone()).collect(),
-                total: applied,
-                share: stats::share(applied, total_applied.max(1)),
-                median_reaction_secs: stats::median(&reactions),
-                iqd_reaction_secs: stats::iqd(&reactions),
+                total: acc.applied,
+                share: stats::share(acc.applied, total_applied.max(1)),
+                median_reaction_secs: stats::median(&acc.reactions),
+                iqd_reaction_secs: stats::iqd(&acc.reactions),
             });
         }
-    }
-    table6.sort_by(|a, b| b.total.cmp(&a.total));
+        table6.sort_by_key(|r| std::cmp::Reverse(r.total));
 
-    // Figure 4 series with cumulative community labeler count.
-    let mut labels_by_month: Vec<(String, u64, u64, u64)> = Vec::new();
-    let mut seen_labelers: BTreeSet<String> = BTreeSet::new();
-    let months: BTreeSet<String> = per_month.keys().cloned().collect();
-    for month in months {
-        for (did, first) in &labeler_month_first {
-            if *first <= month {
-                seen_labelers.insert(did.clone());
+        // Figure 4 series with cumulative community labeler count.
+        let mut labels_by_month: Vec<(String, u64, u64, u64)> = Vec::new();
+        let mut seen_labelers: BTreeSet<String> = BTreeSet::new();
+        let months: BTreeSet<String> = self.per_month.keys().cloned().collect();
+        for month in months {
+            for (did, first) in &self.labeler_month_first {
+                if *first <= month {
+                    seen_labelers.insert(did.clone());
+                }
             }
+            let (bluesky, community) = self.per_month.get(&month).copied().unwrap_or((0, 0));
+            labels_by_month.push((month, bluesky, community, seen_labelers.len() as u64));
         }
-        let (bluesky, community) = per_month.get(&month).copied().unwrap_or((0, 0));
-        labels_by_month.push((month, bluesky, community, seen_labelers.len() as u64));
-    }
-    let community_share_last_month = labels_by_month
-        .last()
-        .map(|(_, b, c, _)| stats::share(*c, b + c))
-        .unwrap_or(0.0);
+        let community_share_last_month = labels_by_month
+            .last()
+            .map(|(_, b, c, _)| stats::share(*c, b + c))
+            .unwrap_or(0.0);
 
-    // Last-month labeled-post share: posts created in the last full month of
-    // the window vs labeled objects in that month.
-    let last_month = month_of(datasets.collection_end.plus_days(-15));
-    let posts_last_month = post_created
-        .values()
-        .filter(|t| month_of(**t) == last_month)
-        .count() as u64;
-    let labeled_posts_last_month = objects
-        .keys()
-        .filter(|uri| {
-            post_created
-                .get(*uri)
-                .map(|t| month_of(*t) == last_month)
-                .unwrap_or(false)
-        })
-        .count() as u64;
+        // Last-month labeled-post share: posts created in the last full month
+        // of the window vs labeled objects in that month.
+        let last_month = month_of(self.collection_end.plus_days(-15));
+        let posts_last_month = self
+            .post_created
+            .values()
+            .filter(|t| month_of(**t) == last_month)
+            .count() as u64;
+        let labeled_posts_last_month = self
+            .objects
+            .keys()
+            .filter(|uri| {
+                self.post_created
+                    .get(*uri)
+                    .map(|t| month_of(*t) == last_month)
+                    .unwrap_or(false)
+            })
+            .count() as u64;
 
-    // Table 3: top community labelers with likes on their accounts.
-    let mut likes_on_accounts: BTreeMap<String, u64> = BTreeMap::new();
-    for repo in &datasets.repositories {
-        for (_, _, record) in &repo.records {
-            if let Record::Like(like) = record {
-                *likes_on_accounts
-                    .entry(like.subject.did().to_string())
-                    .or_insert(0) += 1;
-            }
+        // Table 3: top community labelers with likes on their accounts.
+        let mut table3: Vec<(String, u64, u64)> = self
+            .table3_counts
+            .into_iter()
+            .map(|(name, count)| {
+                let likes = self
+                    .labeler_did_by_name
+                    .get(&name)
+                    .and_then(|did| self.likes_on_accounts.get(did).copied())
+                    .unwrap_or(0);
+                (name, count, likes)
+            })
+            .collect();
+        table3.sort_by_key(|e| std::cmp::Reverse(e.1));
+        table3.truncate(5);
+
+        // Table 4: label targets.
+        let total_objects = self.objects.len() as u64;
+        let mut table4 = Vec::new();
+        for kind in [
+            LabelTargetKind::Post,
+            LabelTargetKind::Account,
+            LabelTargetKind::BannerAvatar,
+        ] {
+            let count = self.object_kind.values().filter(|k| **k == kind).count() as u64;
+            let mut top: Vec<(String, u64)> = self
+                .per_target_kind
+                .get(&kind)
+                .map(|m| m.iter().map(|(v, c)| (v.clone(), *c)).collect())
+                .unwrap_or_default();
+            top.sort_by_key(|e| std::cmp::Reverse(e.1));
+            top.truncate(5);
+            table4.push((
+                kind.display_name().to_string(),
+                count,
+                stats::share(count, total_objects.max(1)),
+                top,
+            ));
+        }
+
+        // Figure 6: per-value reaction times.
+        let mut figure6: Vec<(String, u64, f64, bool)> = self
+            .value_counts
+            .iter()
+            .map(|(value, count)| {
+                let median = self
+                    .value_reactions
+                    .get(value)
+                    .and_then(|v| stats::median(v))
+                    .unwrap_or(0.0);
+                (
+                    value.clone(),
+                    *count,
+                    median,
+                    self.value_by_community.get(value).copied().unwrap_or(true),
+                )
+            })
+            .collect();
+        figure6.sort_by_key(|e| std::cmp::Reverse(e.1));
+
+        // Overlap statistics.
+        let multi_service = self.objects.values().filter(|s| s.len() > 1).count() as u64;
+        let both = self
+            .bluesky_objects
+            .intersection(&self.community_objects)
+            .count() as u64;
+
+        ModerationReport {
+            labeler_counts: (self.announced, self.functional, self.active),
+            hosting: self.hosting,
+            labels_by_month,
+            community_share_last_month,
+            interactions: (self.interactions, self.rescissions),
+            unique_objects: total_objects,
+            last_month_posts_labeled_share: stats::share(
+                labeled_posts_last_month,
+                posts_last_month.max(1),
+            ),
+            label_values: (
+                self.raw_values.len() as u64,
+                self.applied_values.len() as u64,
+            ),
+            multi_service_share: stats::share(multi_service, total_objects.max(1)),
+            bluesky_community_overlap_share: stats::share(both, total_objects.max(1)),
+            table3,
+            table4,
+            table6,
+            figure6,
         }
     }
-    let mut table3: Vec<(String, u64, u64)> = table3_counts
-        .into_iter()
-        .map(|(name, count)| {
-            let likes = datasets
-                .labelers
-                .iter()
-                .find(|l| l.name == name)
-                .and_then(|l| likes_on_accounts.get(&l.did.to_string()).copied())
-                .unwrap_or(0);
-            (name, count, likes)
-        })
-        .collect();
-    table3.sort_by(|a, b| b.1.cmp(&a.1));
-    table3.truncate(5);
+}
 
-    // Table 4: label targets.
-    let total_objects = objects.len() as u64;
-    let mut table4 = Vec::new();
-    for kind in [
-        LabelTargetKind::Post,
-        LabelTargetKind::Account,
-        LabelTargetKind::BannerAvatar,
-    ] {
-        let count = object_kind.values().filter(|k| **k == kind).count() as u64;
-        let mut top: Vec<(String, u64)> = per_target_kind
-            .get(&kind)
-            .map(|m| m.iter().map(|(v, c)| (v.clone(), *c)).collect())
-            .unwrap_or_default();
-        top.sort_by(|a, b| b.1.cmp(&a.1));
-        top.truncate(5);
-        table4.push((
-            kind.display_name().to_string(),
-            count,
-            stats::share(count, total_objects.max(1)),
-            top,
-        ));
-    }
-
-    // Figure 6: per-value reaction times.
-    let mut figure6: Vec<(String, u64, f64, bool)> = value_counts
-        .iter()
-        .map(|(value, count)| {
-            let median = value_reactions
-                .get(value)
-                .and_then(|v| stats::median(v))
-                .unwrap_or(0.0);
-            (
-                value.clone(),
-                *count,
-                median,
-                value_by_community.get(value).copied().unwrap_or(true),
-            )
-        })
-        .collect();
-    figure6.sort_by(|a, b| b.1.cmp(&a.1));
-
-    // Overlap statistics.
-    let multi_service = objects.values().filter(|s| s.len() > 1).count() as u64;
-    let both = bluesky_objects.intersection(&community_objects).count() as u64;
-
-    let _ = world;
-    ModerationReport {
-        labeler_counts: (announced, functional, active),
-        hosting,
-        labels_by_month,
-        community_share_last_month,
-        interactions: (interactions, rescissions),
-        unique_objects: total_objects,
-        last_month_posts_labeled_share: stats::share(
-            labeled_posts_last_month,
-            posts_last_month.max(1),
-        ),
-        label_values: (raw_values.len() as u64, applied_values.len() as u64),
-        multi_service_share: stats::share(multi_service, total_objects.max(1)),
-        bluesky_community_overlap_share: stats::share(both, total_objects.max(1)),
-        table3,
-        table4,
-        table6,
-        figure6,
-    }
+/// Compute the §6 moderation analyses (batch API).
+pub fn moderation_report(datasets: &Datasets, world: &World) -> ModerationReport {
+    replay(ModerationAnalyzer::new(), datasets, &StudyCtx::new(world))
 }
 
 impl ModerationReport {
@@ -806,7 +981,10 @@ impl ModerationReport {
         }
         out.push_str("Table 3: Top community labelers by labels applied\n");
         for (i, (name, count, likes)) in self.table3.iter().enumerate() {
-            out.push_str(&format!("  {} {name:<42} {count:>8} labels  {likes:>5} likes\n", i + 1));
+            out.push_str(&format!(
+                "  {} {name:<42} {count:>8} labels  {likes:>5} likes\n",
+                i + 1
+            ));
         }
         out.push_str("Table 4: Label targets with most-applied labels\n");
         for (kind, count, share, top) in &self.table4 {
@@ -829,7 +1007,11 @@ impl ModerationReport {
                 row.iqd_reaction_secs
                     .map(|v| format!("{v:.2}s"))
                     .unwrap_or_else(|| "-".into()),
-                if row.community { "community" } else { "bluesky" },
+                if row.community {
+                    "community"
+                } else {
+                    "bluesky"
+                },
             ));
         }
         out.push_str("Figure 6: objects per label value vs reaction time\n");
@@ -880,240 +1062,285 @@ pub struct RecommendationReport {
     pub platform_shares: Vec<(String, u64, f64, f64, f64)>,
 }
 
-/// Compute the §7 recommendation analyses.
-pub fn recommendation_report(datasets: &Datasets, world: &World) -> RecommendationReport {
-    let total_feeds = datasets.feed_generators.len() as u64;
-    let never = datasets
-        .feed_generators
-        .iter()
-        .filter(|f| f.posts.is_empty())
-        .count() as u64;
+/// Incremental §7 recommendation analyses.
+///
+/// Relies on the canonical stream order: labeler entries arrive before feed
+/// generators (so the label index exists when feeds are folded), which in
+/// turn arrive before repository snapshots (so likes-on-feeds and
+/// follows-on-creators can be matched without retaining repo records).
+#[derive(Debug, Default)]
+pub struct RecommendationAnalyzer {
+    total_feeds: u64,
+    never: u64,
+    langs: Vec<&'static str>,
+    words: BTreeMap<String, u64>,
+    label_by_uri: BTreeMap<String, Vec<String>>,
+    feed_label_counts: BTreeMap<String, u64>,
+    heavily_labeled: u64,
+    by_month: BTreeMap<String, (u64, u64, u64)>,
+    feed_creator_dids: BTreeSet<String>,
+    feed_uris: BTreeSet<String>,
+    posts_vs_likes: Vec<(String, u64, u64)>,
+    feeds_per_creator: BTreeMap<String, (u64, u64)>,
+    total_posts: u64,
+    total_likes: u64,
+    per_platform: BTreeMap<String, (u64, u64, u64)>,
+}
 
-    // Language detection over descriptions.
-    let langs: Vec<&'static str> = datasets
-        .feed_generators
-        .iter()
-        .map(|f| langdetect::detect(&f.description))
-        .collect();
-    let lang_counts = stats::top_counts(langs.iter().copied());
-    let description_languages = lang_counts
-        .iter()
-        .map(|(l, c)| ((*l).to_string(), stats::share(*c, total_feeds.max(1))))
-        .collect();
+impl RecommendationAnalyzer {
+    /// A fresh accumulator.
+    pub fn new() -> RecommendationAnalyzer {
+        RecommendationAnalyzer::default()
+    }
+}
 
-    // Figure 8: word frequencies.
-    let mut words: BTreeMap<String, u64> = BTreeMap::new();
-    for feed in &datasets.feed_generators {
-        for word in feed.description.split_whitespace() {
-            let cleaned: String = word
-                .chars()
-                .filter(|c| c.is_alphanumeric())
-                .collect::<String>()
-                .to_lowercase();
-            if cleaned.len() >= 3 {
-                *words.entry(cleaned).or_insert(0) += 1;
+impl Analyzer for RecommendationAnalyzer {
+    type Output = RecommendationReport;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        match obs {
+            Observation::Labeler(entry) => {
+                // Figure 9's label index, from effective (non-rescinded)
+                // labels.
+                for label in effective_labels(&entry.labels) {
+                    self.label_by_uri
+                        .entry(label.target.uri())
+                        .or_default()
+                        .push(label.value.clone());
+                }
             }
-        }
-    }
-    let mut top_words: Vec<(String, u64)> = words.into_iter().collect();
-    top_words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    top_words.truncate(15);
-
-    // Figure 9: labels attached to feed-curated posts; heavily-labeled share.
-    let mut label_by_uri: BTreeMap<String, Vec<String>> = BTreeMap::new();
-    for entry in &datasets.labelers {
-        for label in effective_labels(&entry.labels) {
-            label_by_uri
-                .entry(label.target.uri())
-                .or_default()
-                .push(label.value.clone());
-        }
-    }
-    let mut feed_label_counts: BTreeMap<String, u64> = BTreeMap::new();
-    let mut heavily_labeled = 0u64;
-    for feed in &datasets.feed_generators {
-        if feed.posts.is_empty() {
-            continue;
-        }
-        let labeled = feed
-            .posts
-            .iter()
-            .filter(|(uri, _)| label_by_uri.contains_key(&uri.to_string()))
-            .count();
-        if labeled as f64 / feed.posts.len() as f64 >= 0.10 {
-            heavily_labeled += 1;
-            // Most frequent label for this feed.
-            let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-            for (uri, _) in &feed.posts {
-                if let Some(values) = label_by_uri.get(&uri.to_string()) {
-                    for value in values {
-                        *counts.entry(value.clone()).or_insert(0) += 1;
+            Observation::FeedGenerator(feed) => {
+                self.total_feeds += 1;
+                if feed.posts.is_empty() {
+                    self.never += 1;
+                }
+                self.langs.push(langdetect::detect(&feed.description));
+                // Figure 8: word frequencies.
+                for word in feed.description.split_whitespace() {
+                    let cleaned: String = word
+                        .chars()
+                        .filter(|c| c.is_alphanumeric())
+                        .collect::<String>()
+                        .to_lowercase();
+                    if cleaned.len() >= 3 {
+                        *self.words.entry(cleaned).or_insert(0) += 1;
+                    }
+                }
+                // Figure 9 + heavily-labeled share.
+                if !feed.posts.is_empty() {
+                    let labeled = feed
+                        .posts
+                        .iter()
+                        .filter(|(uri, _)| self.label_by_uri.contains_key(&uri.to_string()))
+                        .count();
+                    if labeled as f64 / feed.posts.len() as f64 >= 0.10 {
+                        self.heavily_labeled += 1;
+                        // Most frequent label for this feed.
+                        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+                        for (uri, _) in &feed.posts {
+                            if let Some(values) = self.label_by_uri.get(&uri.to_string()) {
+                                for value in values {
+                                    *counts.entry(value.clone()).or_insert(0) += 1;
+                                }
+                            }
+                        }
+                        if let Some((top_value, _)) = counts.into_iter().max_by_key(|(_, c)| *c) {
+                            *self.feed_label_counts.entry(top_value).or_insert(0) += 1;
+                        }
+                    }
+                }
+                self.feed_creator_dids.insert(feed.creator.to_string());
+                self.feed_uris.insert(feed.uri.to_string());
+                self.posts_vs_likes.push((
+                    feed.display_name.clone(),
+                    feed.posts.len() as u64,
+                    feed.like_count,
+                ));
+                let entry = self
+                    .feeds_per_creator
+                    .entry(feed.creator.to_string())
+                    .or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += feed.like_count;
+                self.total_posts += feed.posts.len() as u64;
+                self.total_likes += feed.like_count;
+                let platform = self.per_platform.entry(feed.platform.clone()).or_default();
+                platform.0 += 1;
+                platform.1 += feed.posts.len() as u64;
+                platform.2 += feed.like_count;
+            }
+            Observation::Repo(repo) => {
+                // Figure 7: likes on feeds / follows on creators, attributed
+                // to the month of the like/follow record.
+                for (_, _, record) in &repo.records {
+                    match record {
+                        Record::Like(like)
+                            if self.feed_uris.contains(&like.subject.to_string()) =>
+                        {
+                            self.by_month
+                                .entry(month_of(like.created_at))
+                                .or_default()
+                                .1 += 1;
+                        }
+                        Record::Follow(follow)
+                            if self.feed_creator_dids.contains(&follow.subject.to_string()) =>
+                        {
+                            self.by_month
+                                .entry(month_of(follow.created_at))
+                                .or_default()
+                                .2 += 1;
+                        }
+                        _ => {}
                     }
                 }
             }
-            if let Some((top_value, _)) = counts.into_iter().max_by_key(|(_, c)| *c) {
-                *feed_label_counts.entry(top_value).or_insert(0) += 1;
+            _ => {}
+        }
+    }
+
+    fn finish(mut self, ctx: &StudyCtx<'_>) -> RecommendationReport {
+        let world = ctx.world();
+        let total_feeds = self.total_feeds;
+        let lang_counts = stats::top_counts(self.langs.iter().copied());
+        let description_languages = lang_counts
+            .iter()
+            .map(|(l, c)| ((*l).to_string(), stats::share(*c, total_feeds.max(1))))
+            .collect();
+
+        let mut top_words: Vec<(String, u64)> = self.words.into_iter().collect();
+        top_words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        top_words.truncate(15);
+
+        let mut feed_post_labels: Vec<(String, u64)> = self.feed_label_counts.into_iter().collect();
+        feed_post_labels.sort_by_key(|e| std::cmp::Reverse(e.1));
+        feed_post_labels.truncate(10);
+
+        // Figure 7: feeds per creation month join the like/follow series.
+        for info in &world.feedgen_info {
+            let month = month_of(info.plan.created_at);
+            self.by_month.entry(month).or_default().0 += 1;
+        }
+        let mut cumulative_growth = Vec::new();
+        let mut acc = (0u64, 0u64, 0u64);
+        for (month, (feeds, likes, follows)) in self.by_month {
+            acc.0 += feeds;
+            acc.1 += likes;
+            acc.2 += follows;
+            cumulative_growth.push((month, acc.0, acc.1, acc.2));
+        }
+
+        // Figure 10: posts vs likes extremes.
+        let mut posts_vs_likes = self.posts_vs_likes;
+        posts_vs_likes.sort_by_key(|e| std::cmp::Reverse(e.1 + e.2));
+        posts_vs_likes.truncate(10);
+
+        // Figure 11 + correlations: follower counts come from the AppView.
+        let mut creator_in = Vec::new();
+        let mut creator_out = Vec::new();
+        let mut other_in = Vec::new();
+        let mut other_out = Vec::new();
+        let mut x_feeds = Vec::new();
+        let mut x_likes = Vec::new();
+        let mut y_followers = Vec::new();
+        for actor in world.appview.index().actors() {
+            let key = actor.did.to_string();
+            if let Some((feeds, likes)) = self.feeds_per_creator.get(&key) {
+                creator_in.push(actor.followers as f64);
+                creator_out.push(actor.follows as f64);
+                x_feeds.push(*feeds as f64);
+                x_likes.push(*likes as f64);
+                y_followers.push(actor.followers as f64);
+            } else {
+                other_in.push(actor.followers as f64);
+                other_out.push(actor.follows as f64);
             }
         }
-    }
-    let mut feed_post_labels: Vec<(String, u64)> = feed_label_counts.into_iter().collect();
-    feed_post_labels.sort_by(|a, b| b.1.cmp(&a.1));
-    feed_post_labels.truncate(10);
-
-    // Figure 7: cumulative growth by month.
-    let mut by_month: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
-    for info in &world.feedgen_info {
-        let month = month_of(info.plan.created_at);
-        by_month.entry(month).or_default().0 += 1;
-    }
-    // Likes on feeds / follows on creators attributed to the month of the
-    // like/follow record.
-    let feed_creator_dids: BTreeSet<String> = datasets
-        .feed_generators
-        .iter()
-        .map(|f| f.creator.to_string())
-        .collect();
-    let feed_uris: BTreeSet<String> = datasets
-        .feed_generators
-        .iter()
-        .map(|f| f.uri.to_string())
-        .collect();
-    for repo in &datasets.repositories {
-        for (_, _, record) in &repo.records {
-            match record {
-                Record::Like(like) if feed_uris.contains(&like.subject.to_string()) => {
-                    by_month
-                        .entry(month_of(like.created_at))
-                        .or_default()
-                        .1 += 1;
-                }
-                Record::Follow(follow)
-                    if feed_creator_dids.contains(&follow.subject.to_string()) =>
-                {
-                    by_month
-                        .entry(month_of(follow.created_at))
-                        .or_default()
-                        .2 += 1;
-                }
-                _ => {}
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
             }
+        };
+        let creator_degrees = (
+            (mean(&creator_in), mean(&creator_out)),
+            (mean(&other_in), mean(&other_out)),
+        );
+        let r_feeds_followers = stats::pearson(&x_feeds, &y_followers);
+        let r_likes_followers = stats::pearson(&x_likes, &y_followers);
+
+        // Feeds per account.
+        let one = self
+            .feeds_per_creator
+            .values()
+            .filter(|(f, _)| *f == 1)
+            .count() as u64;
+        let two_to_ten = self
+            .feeds_per_creator
+            .values()
+            .filter(|(f, _)| (2..=10).contains(f))
+            .count() as u64;
+        let over_100 = self
+            .feeds_per_creator
+            .values()
+            .filter(|(f, _)| *f > 100)
+            .count() as u64;
+        let max_feeds = self
+            .feeds_per_creator
+            .values()
+            .map(|(f, _)| *f)
+            .max()
+            .unwrap_or(0);
+        let creators = self.feeds_per_creator.len().max(1) as u64;
+
+        // Figure 12 / Table 5: platform shares.
+        let total_posts = self.total_posts;
+        let total_likes = self.total_likes;
+        let mut platform_shares: Vec<(String, u64, f64, f64, f64)> = self
+            .per_platform
+            .into_iter()
+            .map(|(name, (feeds, posts, likes))| {
+                (
+                    name,
+                    feeds,
+                    stats::share(feeds, total_feeds.max(1)),
+                    stats::share(posts, total_posts.max(1)),
+                    stats::share(likes, total_likes.max(1)),
+                )
+            })
+            .collect();
+        platform_shares.sort_by_key(|e| std::cmp::Reverse(e.1));
+
+        RecommendationReport {
+            total_feeds,
+            never_curated: (self.never, stats::share(self.never, total_feeds.max(1))),
+            description_languages,
+            top_words,
+            feed_post_labels,
+            heavily_labeled_share: stats::share(self.heavily_labeled, total_feeds.max(1)),
+            cumulative_growth,
+            posts_vs_likes,
+            creator_degrees,
+            r_feeds_followers,
+            r_likes_followers,
+            feeds_per_account: (
+                stats::share(one, creators),
+                stats::share(two_to_ten, creators),
+                over_100,
+                max_feeds,
+            ),
+            platform_shares,
         }
     }
-    let mut cumulative_growth = Vec::new();
-    let mut acc = (0u64, 0u64, 0u64);
-    for (month, (feeds, likes, follows)) in by_month {
-        acc.0 += feeds;
-        acc.1 += likes;
-        acc.2 += follows;
-        cumulative_growth.push((month, acc.0, acc.1, acc.2));
-    }
+}
 
-    // Figure 10: posts vs likes extremes.
-    let mut posts_vs_likes: Vec<(String, u64, u64)> = datasets
-        .feed_generators
-        .iter()
-        .map(|f| (f.display_name.clone(), f.posts.len() as u64, f.like_count))
-        .collect();
-    posts_vs_likes.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)));
-    posts_vs_likes.truncate(10);
-
-    // Figure 11 + correlations: follower counts come from the AppView.
-    let mut creator_in = Vec::new();
-    let mut creator_out = Vec::new();
-    let mut other_in = Vec::new();
-    let mut other_out = Vec::new();
-    let mut feeds_per_creator: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-    for feed in &datasets.feed_generators {
-        let entry = feeds_per_creator
-            .entry(feed.creator.to_string())
-            .or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 += feed.like_count;
-    }
-    let mut x_feeds = Vec::new();
-    let mut x_likes = Vec::new();
-    let mut y_followers = Vec::new();
-    for actor in world.appview.index().actors() {
-        let key = actor.did.to_string();
-        if let Some((feeds, likes)) = feeds_per_creator.get(&key) {
-            creator_in.push(actor.followers as f64);
-            creator_out.push(actor.follows as f64);
-            x_feeds.push(*feeds as f64);
-            x_likes.push(*likes as f64);
-            y_followers.push(actor.followers as f64);
-        } else {
-            other_in.push(actor.followers as f64);
-            other_out.push(actor.follows as f64);
-        }
-    }
-    let mean = |v: &[f64]| {
-        if v.is_empty() {
-            0.0
-        } else {
-            v.iter().sum::<f64>() / v.len() as f64
-        }
-    };
-    let creator_degrees = (
-        (mean(&creator_in), mean(&creator_out)),
-        (mean(&other_in), mean(&other_out)),
-    );
-    let r_feeds_followers = stats::pearson(&x_feeds, &y_followers);
-    let r_likes_followers = stats::pearson(&x_likes, &y_followers);
-
-    // Feeds per account.
-    let one = feeds_per_creator.values().filter(|(f, _)| *f == 1).count() as u64;
-    let two_to_ten = feeds_per_creator
-        .values()
-        .filter(|(f, _)| (2..=10).contains(f))
-        .count() as u64;
-    let over_100 = feeds_per_creator.values().filter(|(f, _)| *f > 100).count() as u64;
-    let max_feeds = feeds_per_creator.values().map(|(f, _)| *f).max().unwrap_or(0);
-    let creators = feeds_per_creator.len().max(1) as u64;
-
-    // Figure 12 / Table 5: platform shares.
-    let total_posts: u64 = datasets.feed_generators.iter().map(|f| f.posts.len() as u64).sum();
-    let total_likes: u64 = datasets.feed_generators.iter().map(|f| f.like_count).sum();
-    let mut per_platform: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
-    for feed in &datasets.feed_generators {
-        let entry = per_platform.entry(feed.platform.clone()).or_default();
-        entry.0 += 1;
-        entry.1 += feed.posts.len() as u64;
-        entry.2 += feed.like_count;
-    }
-    let mut platform_shares: Vec<(String, u64, f64, f64, f64)> = per_platform
-        .into_iter()
-        .map(|(name, (feeds, posts, likes))| {
-            (
-                name,
-                feeds,
-                stats::share(feeds, total_feeds.max(1)),
-                stats::share(posts, total_posts.max(1)),
-                stats::share(likes, total_likes.max(1)),
-            )
-        })
-        .collect();
-    platform_shares.sort_by(|a, b| b.1.cmp(&a.1));
-
-    RecommendationReport {
-        total_feeds,
-        never_curated: (never, stats::share(never, total_feeds.max(1))),
-        description_languages,
-        top_words,
-        feed_post_labels,
-        heavily_labeled_share: stats::share(heavily_labeled, total_feeds.max(1)),
-        cumulative_growth,
-        posts_vs_likes,
-        creator_degrees,
-        r_feeds_followers,
-        r_likes_followers,
-        feeds_per_account: (
-            stats::share(one, creators),
-            stats::share(two_to_ten, creators),
-            over_100,
-            max_feeds,
-        ),
-        platform_shares,
-    }
+/// Compute the §7 recommendation analyses (batch API).
+pub fn recommendation_report(datasets: &Datasets, world: &World) -> RecommendationReport {
+    replay(
+        RecommendationAnalyzer::new(),
+        datasets,
+        &StudyCtx::new(world),
+    )
 }
 
 impl RecommendationReport {
@@ -1122,7 +1349,10 @@ impl RecommendationReport {
         let mut out = String::from("Section 7: content recommendation\n");
         out.push_str(&format!(
             "Feed generators: {}   never curated: {} ({:.1} %)   ≥10 % labeled content: {:.2} %\n",
-            self.total_feeds, self.never_curated.0, self.never_curated.1, self.heavily_labeled_share
+            self.total_feeds,
+            self.never_curated.0,
+            self.never_curated.1,
+            self.heavily_labeled_share
         ));
         out.push_str("Description languages: ");
         let langs: Vec<String> = self
@@ -1151,7 +1381,9 @@ impl RecommendationReport {
         }
         out.push_str("Figure 10: most active / most liked feeds (posts, likes)\n");
         for (name, posts, likes) in &self.posts_vs_likes {
-            out.push_str(&format!("  {name:<28} {posts:>7} posts  {likes:>6} likes\n"));
+            out.push_str(&format!(
+                "  {name:<28} {posts:>7} posts  {likes:>6} likes\n"
+            ));
         }
         let ((ci, co), (oi, oo)) = self.creator_degrees;
         out.push_str(&format!(
@@ -1194,19 +1426,46 @@ pub struct FirehoseVolume {
     pub extrapolated_full_network: f64,
 }
 
-/// Compute the §9 firehose-volume estimate.
+/// Incremental §9 firehose-volume accumulator.
+#[derive(Debug, Default)]
+pub struct FirehoseVolumeAnalyzer {
+    per_day: BTreeMap<i64, u64>,
+}
+
+impl FirehoseVolumeAnalyzer {
+    /// A fresh accumulator.
+    pub fn new() -> FirehoseVolumeAnalyzer {
+        FirehoseVolumeAnalyzer::default()
+    }
+}
+
+impl Analyzer for FirehoseVolumeAnalyzer {
+    type Output = FirehoseVolume;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        if let Observation::Firehose(event) = obs {
+            *self.per_day.entry(event.time.day_index()).or_insert(0) += event.wire_size() as u64;
+        }
+    }
+
+    fn finish(self, ctx: &StudyCtx<'_>) -> FirehoseVolume {
+        let days = self.per_day.len().max(1) as f64;
+        let total: u64 = self.per_day.values().sum();
+        let bytes_per_day = total as f64 / days;
+        FirehoseVolume {
+            bytes_per_day,
+            extrapolated_full_network: bytes_per_day * ctx.world().config.scale as f64,
+        }
+    }
+}
+
+/// Compute the §9 firehose-volume estimate (batch API).
 pub fn firehose_volume(datasets: &Datasets, world: &World) -> FirehoseVolume {
-    let mut per_day: BTreeMap<i64, u64> = BTreeMap::new();
-    for event in &datasets.firehose_events {
-        *per_day.entry(event.time.day_index()).or_insert(0) += event.wire_size() as u64;
-    }
-    let days = per_day.len().max(1) as f64;
-    let total: u64 = per_day.values().sum();
-    let bytes_per_day = total as f64 / days;
-    FirehoseVolume {
-        bytes_per_day,
-        extrapolated_full_network: bytes_per_day * world.config.scale as f64,
-    }
+    replay(
+        FirehoseVolumeAnalyzer::new(),
+        datasets,
+        &StudyCtx::new(world),
+    )
 }
 
 impl FirehoseVolume {
@@ -1245,7 +1504,7 @@ mod tests {
     use bsky_workload::ScenarioConfig;
 
     fn run_small() -> (World, Datasets) {
-        let mut config = ScenarioConfig::test_scale(9);
+        let mut config = ScenarioConfig::test_scale(11);
         config.start = Datetime::from_ymd(2024, 2, 15).unwrap();
         config.end = Datetime::from_ymd(2024, 4, 25).unwrap();
         config.scale = 30_000;

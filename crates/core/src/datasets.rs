@@ -1,20 +1,29 @@
-//! Dataset collection (§3 of the paper).
+//! Dataset collection (§3 of the paper), as a streaming producer.
 //!
-//! The collector drives a [`World`] day by day and gathers the same six
-//! datasets the study gathered, through the same service interfaces:
+//! [`Collector::stream`] drives a [`World`] day by day and *emits* the same
+//! six datasets the study gathered — through the same service interfaces —
+//! as [`Observation`]s on a [`StudyEngine`] bus:
 //!
 //! * **User Identifier Dataset** — weekly `sync.listRepos` snapshots from the
-//!   Relay during March–April 2024.
+//!   Relay during March–April 2024, one observation per newly seen DID.
 //! * **DID Documents** — a full PLC-directory export plus `did:web`
 //!   documents fetched over HTTPS.
 //! * **Repositories Dataset** — a snapshot of every repository, downloaded as
-//!   CAR archives from the Relay mirror and decoded.
-//! * **Firehose Dataset** — a continuous subscription from 2024-03-06.
+//!   CAR archives from the Relay mirror, decoded, emitted, and dropped.
+//! * **Firehose Dataset** — a continuous subscription from 2024-03-06,
+//!   emitted one event at a time; the producer never retains more than one
+//!   day's subscription batch.
 //! * **Feed Generators / Feed Posts** — generator records discovered in the
 //!   repositories, metadata via `getFeedGenerator`, posts via `getFeed`.
 //! * **Labeling Services** — every labeler stream consumed from the start
 //!   (including rescinded labels).
+//!
+//! [`Collector::run`] keeps the original batch API alive: it registers the
+//! [`Materialize`] analyzer — which folds the stream back into in-memory
+//! [`Datasets`] vectors — and returns its output, so existing callers and
+//! golden tests are untouched.
 
+use crate::pipeline::{Analyzer, Observation, StreamSummary, StudyCtx, StudyEngine};
 use bsky_atproto::firehose::Event;
 use bsky_atproto::label::Label;
 use bsky_atproto::record::Record;
@@ -25,6 +34,7 @@ use bsky_labeler::LabelerOperator;
 use bsky_simnet::http::HttpResponse;
 use bsky_simnet::net::HostingClass;
 use bsky_workload::World;
+use std::collections::BTreeSet;
 
 /// A decoded repository snapshot.
 #[derive(Debug, Clone)]
@@ -77,7 +87,7 @@ pub struct LabelerEntry {
     pub labels: Vec<Label>,
 }
 
-/// The collected datasets.
+/// The collected datasets (the batch representation).
 #[derive(Debug, Clone, Default)]
 pub struct Datasets {
     /// `(did, latest revision)` pairs from the weekly listRepos snapshots.
@@ -100,11 +110,12 @@ pub struct Datasets {
     pub collection_end: Datetime,
 }
 
-/// Drives a [`World`] and collects the datasets.
+/// Drives a [`World`] and emits the datasets as observations.
 #[derive(Debug, Default)]
 pub struct Collector {
     firehose_cursor: u64,
-    listrepos_snapshots: u32,
+    seen_identifiers: BTreeSet<String>,
+    identifier_order: Vec<Did>,
 }
 
 impl Collector {
@@ -113,65 +124,105 @@ impl Collector {
         Collector::default()
     }
 
-    /// Run the world to its end date while collecting, then take the final
-    /// snapshots. Returns the datasets.
-    pub fn run(&mut self, world: &mut World) -> Datasets {
-        let mut datasets = Datasets {
-            firehose_collection_start: world.config.firehose_collection_start,
-            collection_end: world.config.end,
-            ..Datasets::default()
-        };
+    /// Run the world to its end date while streaming every observation to
+    /// the engine's analyzers, then emit the final snapshots. One pass;
+    /// nothing is retained here beyond per-DID dedup state.
+    pub fn stream(&mut self, world: &mut World, engine: &mut StudyEngine) -> StreamSummary {
+        // Each stream is a complete, independent collection: reset the
+        // per-run producer state so a reused collector starts fresh.
+        self.firehose_cursor = 0;
+        self.seen_identifiers.clear();
+        self.identifier_order.clear();
+        let mut summary = StreamSummary::default();
+        // The engine counts observations for its whole lifetime; report only
+        // this stream's share so reusing an engine across windows stays
+        // accurate.
+        let observations_before = engine.observations();
+        let firehose_start = world.config.firehose_collection_start;
+        let collection_end = world.config.end;
+        engine.observe(
+            &Observation::WindowStart {
+                firehose_collection_start: firehose_start,
+                collection_end,
+            },
+            &StudyCtx::new(world),
+        );
         let mut last_listrepos: Option<Datetime> = None;
         while !world.finished() {
             world.step_day();
+            summary.days += 1;
             let today = world.today;
+            engine.observe(
+                &Observation::DayBoundary { day: today },
+                &StudyCtx::new(world),
+            );
             // Continuous firehose subscription from the configured start.
-            if today >= world.config.firehose_collection_start {
+            if today >= firehose_start {
                 let sub = world.relay.subscribe(self.firehose_cursor);
                 self.firehose_cursor = sub.cursor;
                 // The first read also returns the retained backlog from
                 // before the subscription started; the study only counts
                 // events from the collection start onwards.
-                datasets.firehose_events.extend(
-                    sub.events
-                        .into_iter()
-                        .filter(|e| e.time >= world.config.firehose_collection_start),
-                );
+                let ctx = StudyCtx::new(world);
+                summary.peak_in_flight_events = summary.peak_in_flight_events.max(sub.events.len());
+                for event in sub.events.iter().filter(|e| e.time >= firehose_start) {
+                    summary.firehose_events += 1;
+                    engine.observe(&Observation::Firehose(event), &ctx);
+                }
                 // Weekly listRepos snapshots during the collection window.
                 let due = match last_listrepos {
                     None => true,
                     Some(prev) => today.days_since(prev) >= 7,
                 };
                 if due {
-                    self.snapshot_user_identifiers(world, &mut datasets);
+                    self.snapshot_user_identifiers(world, engine);
                     last_listrepos = Some(today);
-                    self.listrepos_snapshots += 1;
+                    summary.listrepos_snapshots += 1;
                 }
             }
         }
         // Final snapshots at the end of the window.
-        self.snapshot_user_identifiers(world, &mut datasets);
-        self.snapshot_did_documents(world, &mut datasets);
-        self.snapshot_repositories(world, &mut datasets);
-        self.snapshot_feed_generators(world, &mut datasets);
-        self.snapshot_labelers(world, &mut datasets);
-        datasets
+        self.snapshot_user_identifiers(world, engine);
+        self.snapshot_did_documents(world, engine);
+        self.snapshot_labelers(world, engine);
+        self.snapshot_feed_generators(world, engine);
+        self.snapshot_repositories(world, engine);
+        engine.observe(
+            &Observation::WindowEnd { at: collection_end },
+            &StudyCtx::new(world),
+        );
+        summary.observations = engine.observations() - observations_before;
+        summary
     }
 
-    fn snapshot_user_identifiers(&mut self, world: &mut World, datasets: &mut Datasets) {
+    /// Batch compatibility: stream into a [`Materialize`] analyzer and
+    /// return the in-memory datasets (the seed pipeline's representation).
+    pub fn run(&mut self, world: &mut World) -> Datasets {
+        let mut engine = StudyEngine::new();
+        engine.register(Materialize::new());
+        self.stream(world, &mut engine);
+        let ctx = StudyCtx::new(world);
+        engine
+            .finish(&ctx)
+            .take::<Datasets>()
+            .expect("Materialize produces Datasets")
+    }
+
+    fn snapshot_user_identifiers(&mut self, world: &mut World, engine: &mut StudyEngine) {
         let mut cursor: Option<String> = None;
-        let mut seen: std::collections::BTreeSet<String> = datasets
-            .user_identifiers
-            .iter()
-            .map(|(did, _)| did.to_string())
-            .collect();
         loop {
             let (page, next) = world.relay.list_repos(cursor.as_deref(), 500);
             for (did, rev) in page {
-                if seen.insert(did.to_string()) {
-                    datasets
-                        .user_identifiers
-                        .push((did, rev.map(|t| t.to_string())));
+                if self.seen_identifiers.insert(did.to_string()) {
+                    self.identifier_order.push(did.clone());
+                    let rev = rev.map(|t| t.to_string());
+                    engine.observe(
+                        &Observation::UserIdentifier {
+                            did: &did,
+                            rev: rev.as_deref(),
+                        },
+                        &StudyCtx::new(world),
+                    );
                 }
             }
             match next {
@@ -181,40 +232,49 @@ impl Collector {
         }
     }
 
-    fn snapshot_did_documents(&mut self, world: &mut World, datasets: &mut Datasets) {
+    fn snapshot_did_documents(&mut self, world: &mut World, engine: &mut StudyEngine) {
         // Full PLC export (paginated).
         let mut cursor: Option<String> = None;
         loop {
             let (page, next) = world.plc.export(cursor.as_deref(), 1_000);
-            datasets.did_documents.extend(page.into_iter().cloned());
+            for doc in page {
+                engine.observe(
+                    &Observation::DidDocument {
+                        doc,
+                        via_web: false,
+                    },
+                    &StudyCtx::new(world),
+                );
+            }
             match next {
                 Some(c) => cursor = Some(c),
                 None => break,
             }
         }
         // did:web documents: fetch /.well-known/did.json for did:web users.
-        for user in &world.users {
-            if let Some(domain) = user.did.web_domain() {
-                let url = format!("https://{domain}/.well-known/did.json");
-                if let HttpResponse::Ok(body) = world.web.get(&url) {
-                    if let Ok(doc) = DidDocument::from_wire(&body) {
-                        datasets.did_documents.push(doc);
-                        datasets.did_web_count += 1;
-                    }
+        for index in 0..world.users.len() {
+            let Some(domain) = world.users[index].did.web_domain() else {
+                continue;
+            };
+            let url = format!("https://{domain}/.well-known/did.json");
+            if let HttpResponse::Ok(body) = world.web.get(&url) {
+                if let Ok(doc) = DidDocument::from_wire(&body) {
+                    engine.observe(
+                        &Observation::DidDocument {
+                            doc: &doc,
+                            via_web: true,
+                        },
+                        &StudyCtx::new(world),
+                    );
                 }
             }
         }
     }
 
-    fn snapshot_repositories(&mut self, world: &mut World, datasets: &mut Datasets) {
-        let dids: Vec<Did> = datasets
-            .user_identifiers
-            .iter()
-            .map(|(did, _)| did.clone())
-            .collect();
+    fn snapshot_repositories(&self, world: &mut World, engine: &mut StudyEngine) {
         let end = world.config.end;
-        for did in dids {
-            let car = match world.relay.get_repo(&did, &mut world.fleet, end) {
+        for did in &self.identifier_order {
+            let car = match world.relay.get_repo(did, &mut world.fleet, end) {
                 Ok(car) => car,
                 Err(_) => continue, // deleted / migrated away mid-snapshot
             };
@@ -229,12 +289,19 @@ impl Collector {
                     records.push((collection, String::new(), record));
                 }
             }
-            datasets.repositories.push(RepoSnapshot { did, records });
+            let snapshot = RepoSnapshot {
+                did: did.clone(),
+                records,
+            };
+            engine.observe(&Observation::Repo(&snapshot), &StudyCtx::new(world));
         }
     }
 
-    fn snapshot_feed_generators(&mut self, world: &mut World, datasets: &mut Datasets) {
-        for (index, info) in world.feedgen_info.iter().enumerate() {
+    fn snapshot_feed_generators(&mut self, world: &mut World, engine: &mut StudyEngine) {
+        for index in 0..world.feedgens.len() {
+            let info = &world.feedgen_info[index];
+            let platform = info.platform_name.clone();
+            let creator_is_popular_rank = info.plan.creator_popularity_rank;
             let generator = &mut world.feedgens[index];
             let view = world.appview.get_feed_generator(generator);
             // Crawl the feed with an "empty" viewer account, as the study did.
@@ -244,33 +311,105 @@ impl Collector {
                 .into_iter()
                 .map(|p| (p.uri.clone(), p.record.created_at))
                 .collect();
-            datasets.feed_generators.push(FeedGenEntry {
+            let entry = FeedGenEntry {
                 uri: view.uri,
                 creator: view.creator,
                 display_name: view.display_name,
                 description: view.description,
-                platform: info.platform_name.clone(),
+                platform,
                 like_count: view.like_count,
-                creator_is_popular_rank: info.plan.creator_popularity_rank,
+                creator_is_popular_rank,
                 posts,
                 online_and_valid: view.is_online && view.is_valid,
-            });
+            };
+            engine.observe(&Observation::FeedGenerator(&entry), &StudyCtx::new(world));
         }
     }
 
-    fn snapshot_labelers(&mut self, world: &mut World, datasets: &mut Datasets) {
-        for labeler in world.labelers.all() {
-            let (labels, _) = labeler.subscribe_labels(0);
-            datasets.labelers.push(LabelerEntry {
-                did: labeler.did().clone(),
-                name: labeler.display_name().to_string(),
-                operator: labeler.operator(),
-                hosting: labeler.hosting(),
-                functional: labeler.is_functional(),
-                announced_at: labeler.announced_at(),
-                labels: labels.to_vec(),
-            });
+    fn snapshot_labelers(&mut self, world: &mut World, engine: &mut StudyEngine) {
+        for index in 0..world.labelers.all().len() {
+            let entry = {
+                let labeler = &world.labelers.all()[index];
+                let (labels, _) = labeler.subscribe_labels(0);
+                LabelerEntry {
+                    did: labeler.did().clone(),
+                    name: labeler.display_name().to_string(),
+                    operator: labeler.operator(),
+                    hosting: labeler.hosting(),
+                    functional: labeler.is_functional(),
+                    announced_at: labeler.announced_at(),
+                    labels: labels.to_vec(),
+                }
+            };
+            engine.observe(&Observation::Labeler(&entry), &StudyCtx::new(world));
         }
+    }
+}
+
+/// The optional materializing analyzer: folds the observation stream back
+/// into the batch [`Datasets`] vectors. Register it when the in-memory
+/// representation is actually needed (compatibility, golden tests); leave it
+/// out for bounded-memory runs.
+///
+/// Observations are borrowed from the producer, so materializing clones each
+/// firehose event and repository snapshot — the batch path pays one extra
+/// deep copy of the two largest datasets relative to the pre-streaming
+/// collector. That cost is confined to this analyzer by design; the
+/// streaming path copies nothing.
+#[derive(Debug, Default)]
+pub struct Materialize {
+    datasets: Datasets,
+}
+
+impl Materialize {
+    /// A materializer with empty datasets.
+    pub fn new() -> Materialize {
+        Materialize::default()
+    }
+}
+
+impl Analyzer for Materialize {
+    type Output = Datasets;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        match obs {
+            Observation::WindowStart {
+                firehose_collection_start,
+                collection_end,
+            } => {
+                self.datasets.firehose_collection_start = *firehose_collection_start;
+                self.datasets.collection_end = *collection_end;
+            }
+            Observation::DayBoundary { .. } => {}
+            Observation::Firehose(event) => {
+                self.datasets.firehose_events.push((*event).clone());
+            }
+            Observation::UserIdentifier { did, rev } => {
+                self.datasets
+                    .user_identifiers
+                    .push(((*did).clone(), rev.map(str::to_string)));
+            }
+            Observation::DidDocument { doc, via_web } => {
+                self.datasets.did_documents.push((*doc).clone());
+                if *via_web {
+                    self.datasets.did_web_count += 1;
+                }
+            }
+            Observation::Labeler(entry) => {
+                self.datasets.labelers.push((*entry).clone());
+            }
+            Observation::FeedGenerator(entry) => {
+                self.datasets.feed_generators.push((*entry).clone());
+            }
+            Observation::Repo(snapshot) => {
+                self.datasets.repositories.push((*snapshot).clone());
+            }
+            Observation::WindowEnd { .. } => {}
+        }
+    }
+
+    fn finish(self, _ctx: &StudyCtx<'_>) -> Datasets {
+        self.datasets
     }
 }
 
@@ -339,5 +478,46 @@ mod tests {
         let (_, datasets) = collected();
         let ratio = datasets.repositories.len() as f64 / datasets.user_identifiers.len() as f64;
         assert!(ratio > 0.9, "repo coverage {ratio}");
+    }
+
+    #[test]
+    fn collector_can_be_reused_across_worlds() {
+        let mut config = ScenarioConfig::test_scale(5);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+        config.scale = 40_000;
+        let mut collector = Collector::new();
+        let first = collector.run(&mut World::new(config));
+        let second = collector.run(&mut World::new(config));
+        // Per-run producer state resets, so the second collection sees the
+        // same world from scratch instead of deduplicating against run one.
+        assert_eq!(first.user_identifiers.len(), second.user_identifiers.len());
+        assert_eq!(first.repositories.len(), second.repositories.len());
+        assert!(!second.user_identifiers.is_empty());
+    }
+
+    #[test]
+    fn stream_summary_reports_bounded_inflight() {
+        let mut config = ScenarioConfig::test_scale(5);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+        config.scale = 40_000;
+        let mut world = World::new(config);
+        let mut engine = StudyEngine::new();
+        engine.register(Materialize::new());
+        let summary = Collector::new().stream(&mut world, &mut engine);
+        let ctx = StudyCtx::new(&world);
+        let datasets = engine.finish(&ctx).take::<Datasets>().unwrap();
+        assert_eq!(
+            summary.firehose_events as usize,
+            datasets.firehose_events.len()
+        );
+        assert!(summary.peak_in_flight_events > 0);
+        // The producer never holds more than one day's batch, which is far
+        // smaller than the full firehose dataset the batch path retains.
+        assert!(summary.peak_in_flight_events < datasets.firehose_events.len());
+        assert!(summary.observations > summary.firehose_events);
+        assert!(summary.days > 0);
+        assert!(summary.render().contains("in flight"));
     }
 }

@@ -1,0 +1,280 @@
+//! A minimal JSON value tree and serialiser, replacing the external
+//! `serde_json` dependency for the report's headline-number export.
+//!
+//! Only what the study report needs: object/array/number/string/bool/null,
+//! pretty printing with stable key order (insertion order), and convenient
+//! indexing (`value["section"]["field"].as_u64()`).
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any floating-point number (integral values print without a dot).
+    Num(f64),
+    /// An unsigned integer, preserved exactly (f64 would round above 2^53).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert (or replace) a key in an object; panics on non-objects.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        let Json::Obj(entries) = self else {
+            panic!("Json::set on a non-object");
+        };
+        let value = value.into();
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Member lookup; returns `Json::Null` for missing keys / non-objects.
+    pub fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a whole non-negative
+    /// number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            // `u64::MAX as f64` rounds up to 2^64, so the bound must be
+            // exclusive or the saturating cast would fabricate u64::MAX.
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialise with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_inner = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&format!("{v}")),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+
+    fn index(&self, key: &str) -> &Json {
+        self.get(key)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_index_and_serialise() {
+        let value = Json::object()
+            .with("seed", 42u64)
+            .with("share_pct", 99.25)
+            .with("name", "repro")
+            .with("missing", Json::Null)
+            .with("flag", true)
+            .with("rows", Json::Arr(vec![Json::object().with("count", 3u64)]));
+        assert_eq!(value["seed"].as_u64(), Some(42));
+        assert_eq!(value["share_pct"].as_f64(), Some(99.25));
+        assert_eq!(value["name"].as_str(), Some("repro"));
+        assert_eq!(value["nope"], Json::Null);
+        assert_eq!(value["nope"]["deeper"].as_u64(), None);
+        let text = value.to_string_pretty();
+        assert!(text.contains("\"seed\": 42"));
+        assert!(text.contains("\"share_pct\": 99.25"));
+        assert!(text.contains("\"flag\": true"));
+        assert!(text.contains("\"count\": 3"));
+    }
+
+    #[test]
+    fn large_u64_values_are_exact() {
+        let value = Json::object()
+            .with("seed", u64::MAX)
+            .with("above_2_53", (1u64 << 53) + 1);
+        assert_eq!(value["seed"].as_u64(), Some(u64::MAX));
+        let text = value.to_string_pretty();
+        assert!(text.contains("18446744073709551615"));
+        assert!(text.contains("9007199254740993"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let value = Json::Str("a\"b\\c\nd".to_string());
+        assert_eq!(value.to_string_pretty(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn set_replaces_existing_keys() {
+        let mut value = Json::object().with("k", 1u64);
+        value.set("k", 2u64);
+        assert_eq!(value["k"].as_u64(), Some(2));
+    }
+}

@@ -33,11 +33,59 @@ pub fn detect(text: &str) -> &'static str {
     }
     let lower = format!(" {} ", text.to_lowercase());
     let evidence: [(&str, &[&str]); 6] = [
-        ("de", &[" der ", " die ", " das ", " und ", " für ", " alle ", " über ", " beiträge ", " rund "]),
-        ("pt", &[" de ", " para ", " com ", " sobre ", " tudo ", " notícias ", " música ", " arte "]),
-        ("fr", &[" le ", " la ", " les ", " des ", " pour ", " avec ", " sur "]),
-        ("es", &[" el ", " los ", " las ", " para ", " sobre ", " todo "]),
-        ("en", &[" the ", " a ", " of ", " about ", " all ", " posts ", " feed ", " best ", " new ", " collecting ", " tagged "]),
+        (
+            "de",
+            &[
+                " der ",
+                " die ",
+                " das ",
+                " und ",
+                " für ",
+                " alle ",
+                " über ",
+                " beiträge ",
+                " rund ",
+            ],
+        ),
+        (
+            "pt",
+            &[
+                " de ",
+                " para ",
+                " com ",
+                " sobre ",
+                " tudo ",
+                " notícias ",
+                " música ",
+                " arte ",
+            ],
+        ),
+        (
+            "fr",
+            &[
+                " le ", " la ", " les ", " des ", " pour ", " avec ", " sur ",
+            ],
+        ),
+        (
+            "es",
+            &[" el ", " los ", " las ", " para ", " sobre ", " todo "],
+        ),
+        (
+            "en",
+            &[
+                " the ",
+                " a ",
+                " of ",
+                " about ",
+                " all ",
+                " posts ",
+                " feed ",
+                " best ",
+                " new ",
+                " collecting ",
+                " tagged ",
+            ],
+        ),
         ("und", &[]),
     ];
     let mut best = ("und", 0usize);

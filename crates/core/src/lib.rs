@@ -1,25 +1,44 @@
 //! # bsky-study
 //!
-//! The paper's primary contribution, reproduced: the measurement pipeline of
-//! *Looking AT the Blue Skies of Bluesky* (IMC 2024).
+//! The paper's primary contribution, reproduced as a *streaming* measurement
+//! pipeline: the real study consumed the firehose continuously over weeks,
+//! and this crate mirrors that consumption model instead of batch-scanning
+//! materialized vectors.
 //!
-//! * [`datasets`] — the six dataset collectors of §3 (user identifiers, DID
-//!   documents, repositories, firehose, feed generators/posts, labelers),
-//!   driving a simulated [`bsky_workload::World`] through the same service
-//!   interfaces the real study used.
-//! * [`analysis`] — every table and figure of §4–§9.
+//! The architecture is an observation bus with incremental analyzers:
+//!
+//! * [`pipeline`] — the core abstractions: [`pipeline::Observation`] (one
+//!   variant per §3 dataset item plus collection-window markers),
+//!   the [`pipeline::Analyzer`] trait (`observe` folds one observation,
+//!   `finish` produces the result), [`pipeline::StudyEngine`] (the bus), and
+//!   [`pipeline::StudyCtx`] (read-only access to the world's active
+//!   measurement surfaces).
+//! * [`datasets`] — the §3 *producer*: [`Collector::stream`] drives a
+//!   simulated [`bsky_workload::World`] day by day through the same service
+//!   interfaces the real study used and emits every dataset item exactly
+//!   once. The optional [`datasets::Materialize`] analyzer folds the stream
+//!   back into in-memory [`Datasets`] for the legacy batch path.
+//! * [`analysis`] — every table and figure of §4–§9 as incremental
+//!   analyzers; the batch functions replay materialized datasets through the
+//!   same accumulators, so both paths agree by construction.
+//! * [`report`] — [`StudyReport::run`] computes the full report in **one
+//!   pass with bounded memory** (firehose events are never retained), and
+//!   [`report::StudyBatch`] runs whole seed × scale grids.
 //! * [`stats`] — quantiles, Pearson correlation, share tables.
 //! * [`langdetect`] — the language detector used on feed descriptions.
-//! * [`report`] — the full study report combining all analyses.
+//! * [`json`] — a dependency-free JSON tree for the headline-number export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod datasets;
+pub mod json;
 pub mod langdetect;
+pub mod pipeline;
 pub mod report;
 pub mod stats;
 
 pub use datasets::{Collector, Datasets};
-pub use report::StudyReport;
+pub use pipeline::{Analyzer, Observation, StreamSummary, StudyCtx, StudyEngine};
+pub use report::{StudyBatch, StudyReport};

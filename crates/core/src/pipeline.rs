@@ -1,0 +1,439 @@
+//! The streaming measurement pipeline: an observation bus plus incremental
+//! analyzers.
+//!
+//! The batch pipeline of the original seed materialized all six §3 datasets
+//! into vectors and then re-scanned them once per analysis. The real study
+//! consumed the firehose as a *stream* over weeks; this module reproduces
+//! that consumption model:
+//!
+//! * [`Observation`] — one item on the bus: a firehose event, a snapshot row
+//!   of one of the §3 datasets, or a collection-window marker. Observations
+//!   borrow their payloads, so producers can emit and immediately drop them.
+//! * [`Analyzer`] — an incremental consumer: `observe` folds one observation
+//!   into internal accumulators, `finish` computes the final result struct.
+//! * [`StudyEngine`] — the bus itself: analyzers register, the producer
+//!   pushes observations, and `finish` hands back every analyzer's output.
+//! * [`StudyCtx`] — read-only access to the simulated [`World`]'s active
+//!   measurement surfaces (DNS, WHOIS, Tranco, PSL, AppView), mirroring the
+//!   active measurements the study ran alongside the passive collection.
+//!
+//! The engine computes the full study report in **one pass** without
+//! retaining the firehose: events are folded as they arrive (peak in-flight
+//! is one day's subscription batch), and only per-entity aggregates survive
+//! between observations. Memory is therefore bounded by entity counts —
+//! accounts, posts, label values — rather than by firehose volume; the
+//! largest remaining index (the moderation analyzer's post-creation times)
+//! is a known follow-up in ROADMAP.md. The legacy batch path is kept alive by one optional
+//! *materializing* analyzer ([`crate::datasets::Materialize`]) plus
+//! [`replay`], which re-emits an already-collected [`Datasets`] over the bus
+//! in canonical order so batch and streaming results are identical by
+//! construction.
+
+use crate::datasets::{Datasets, FeedGenEntry, LabelerEntry, RepoSnapshot};
+use bsky_atproto::firehose::Event;
+use bsky_atproto::{Datetime, Did};
+use bsky_identity::DidDocument;
+use bsky_workload::World;
+use std::any::Any;
+
+/// One item on the observation bus.
+///
+/// Variants borrow their payloads from the producer: the engine dispatches a
+/// shared reference to every analyzer and the producer drops the value right
+/// after, so nothing is retained unless an analyzer copies it on purpose.
+#[derive(Debug, Clone, Copy)]
+pub enum Observation<'a> {
+    /// Collection is starting. Carries the window boundaries so analyzers
+    /// need not reach into the world configuration.
+    WindowStart {
+        /// When the continuous firehose subscription begins.
+        firehose_collection_start: Datetime,
+        /// Day after the last collected day.
+        collection_end: Datetime,
+    },
+    /// A new simulated day is about to be observed.
+    DayBoundary {
+        /// Start of the day.
+        day: Datetime,
+    },
+    /// One firehose event (already filtered to the collection window).
+    Firehose(&'a Event),
+    /// One row of the user-identifier dataset (`sync.listRepos`), emitted at
+    /// most once per DID across all weekly snapshots.
+    UserIdentifier {
+        /// The account DID.
+        did: &'a Did,
+        /// Latest repo revision, if any.
+        rev: Option<&'a str>,
+    },
+    /// One DID document (PLC export or did:web fetch).
+    DidDocument {
+        /// The document.
+        doc: &'a DidDocument,
+        /// Whether it was fetched over HTTPS as a did:web document.
+        via_web: bool,
+    },
+    /// One labeling service with its full label stream.
+    Labeler(&'a LabelerEntry),
+    /// One feed generator with its curated posts.
+    FeedGenerator(&'a FeedGenEntry),
+    /// One decoded repository snapshot.
+    Repo(&'a RepoSnapshot),
+    /// Collection has ended; `finish` will be called next.
+    WindowEnd {
+        /// The end of the collection window.
+        at: Datetime,
+    },
+}
+
+/// Read-only context handed to analyzers with every observation and at
+/// finish time.
+///
+/// Wraps the [`World`] so analyzers can run the study's *active*
+/// measurements (DNS lookups, well-known fetches, WHOIS queries, Tranco
+/// ranking, PSL suffix matching, AppView graph queries) against the same
+/// surfaces the collector observed. A detached context (no world) is used
+/// when replaying materialized datasets through analyzers that never touch
+/// the world.
+#[derive(Clone, Copy)]
+pub struct StudyCtx<'a> {
+    world: Option<&'a World>,
+}
+
+impl<'a> StudyCtx<'a> {
+    /// Context over a live world.
+    pub fn new(world: &'a World) -> StudyCtx<'a> {
+        StudyCtx { world: Some(world) }
+    }
+
+    /// Context with no world attached (dataset replay only).
+    pub fn detached() -> StudyCtx<'static> {
+        StudyCtx { world: None }
+    }
+
+    /// The world, if one is attached.
+    pub fn try_world(&self) -> Option<&'a World> {
+        self.world
+    }
+
+    /// The world. Panics when the analyzer requires active measurements but
+    /// the context is detached.
+    pub fn world(&self) -> &'a World {
+        self.world
+            .expect("this analyzer performs active measurements and needs a StudyCtx with a World")
+    }
+}
+
+/// An incremental analysis: folds observations as they arrive and produces
+/// its result struct once the collection window closes.
+pub trait Analyzer {
+    /// The analysis result (one of the report's table/figure structs).
+    type Output;
+
+    /// Fold one observation into the accumulators.
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>);
+
+    /// Compute the final result. Called exactly once, after the last
+    /// observation.
+    fn finish(self, ctx: &StudyCtx<'_>) -> Self::Output;
+}
+
+/// Object-safe adapter so the engine can hold heterogeneous analyzers.
+trait ErasedAnalyzer {
+    fn observe_erased(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>);
+    fn finish_erased(self: Box<Self>, ctx: &StudyCtx<'_>) -> Box<dyn Any>;
+}
+
+impl<A> ErasedAnalyzer for A
+where
+    A: Analyzer + 'static,
+    A::Output: 'static,
+{
+    fn observe_erased(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        self.observe(obs, ctx);
+    }
+
+    fn finish_erased(self: Box<Self>, ctx: &StudyCtx<'_>) -> Box<dyn Any> {
+        Box::new((*self).finish(ctx))
+    }
+}
+
+/// The observation bus: registered analyzers all see every observation.
+#[derive(Default)]
+pub struct StudyEngine {
+    analyzers: Vec<Box<dyn ErasedAnalyzer>>,
+    observations: u64,
+}
+
+impl StudyEngine {
+    /// An engine with no analyzers.
+    pub fn new() -> StudyEngine {
+        StudyEngine::default()
+    }
+
+    /// Register an analyzer. Outputs are retrieved by type from
+    /// [`AnalyzerOutputs`] after [`StudyEngine::finish`].
+    pub fn register<A>(&mut self, analyzer: A)
+    where
+        A: Analyzer + 'static,
+        A::Output: 'static,
+    {
+        self.analyzers.push(Box::new(analyzer));
+    }
+
+    /// Number of registered analyzers.
+    pub fn analyzer_count(&self) -> usize {
+        self.analyzers.len()
+    }
+
+    /// Number of observations dispatched so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Dispatch one observation to every analyzer.
+    pub fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        self.observations += 1;
+        for analyzer in &mut self.analyzers {
+            analyzer.observe_erased(obs, ctx);
+        }
+    }
+
+    /// Close the window: finish every analyzer and collect the outputs.
+    pub fn finish(self, ctx: &StudyCtx<'_>) -> AnalyzerOutputs {
+        AnalyzerOutputs {
+            outputs: self
+                .analyzers
+                .into_iter()
+                .map(|a| a.finish_erased(ctx))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StudyEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudyEngine")
+            .field("analyzers", &self.analyzers.len())
+            .field("observations", &self.observations)
+            .finish()
+    }
+}
+
+/// The finished analyzers' outputs, retrievable by result type.
+#[derive(Default)]
+pub struct AnalyzerOutputs {
+    outputs: Vec<Box<dyn Any>>,
+}
+
+impl AnalyzerOutputs {
+    /// Remove and return the first output of type `T`.
+    pub fn take<T: 'static>(&mut self) -> Option<T> {
+        let index = self.outputs.iter().position(|o| o.is::<T>())?;
+        self.outputs
+            .remove(index)
+            .downcast::<T>()
+            .ok()
+            .map(|boxed| *boxed)
+    }
+
+    /// Number of outputs still held.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether all outputs have been taken.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+/// Statistics of one producer run over the bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Days the producer drove the world.
+    pub days: u32,
+    /// Observations emitted (including markers).
+    pub observations: u64,
+    /// Firehose events emitted (none retained by the producer).
+    pub firehose_events: u64,
+    /// Largest subscription batch held at once on the producer side. This
+    /// is the producer's true transient buffer: normally one day's events,
+    /// except the first in-window read, which also carries the relay's
+    /// retained pre-window backlog before filtering. The batch collector by
+    /// contrast retains all `firehose_events` until the analyses finish.
+    pub peak_in_flight_events: usize,
+    /// Weekly `sync.listRepos` snapshots taken inside the collection window
+    /// (the final end-of-window sweep is not counted, matching the study's
+    /// weekly cadence).
+    pub listrepos_snapshots: u32,
+}
+
+impl StreamSummary {
+    /// Render a one-line summary for CLI output.
+    pub fn render(&self) -> String {
+        format!(
+            "pipeline: {} days, {} observations, {} firehose events streamed, peak {} in flight (batch would retain all {})",
+            self.days,
+            self.observations,
+            self.firehose_events,
+            self.peak_in_flight_events,
+            self.firehose_events,
+        )
+    }
+}
+
+/// Re-emit an already-collected [`Datasets`] over the bus in the canonical
+/// *category* order the live producer uses (window start, firehose, user
+/// identifiers, DID documents, labelers, feed generators, repositories,
+/// window end), then finish the analyzer.
+///
+/// This is how the batch analysis functions are implemented, which makes
+/// "batch result == streaming result" hold by construction for analyzers
+/// that depend only on per-category order. Two stream features are *not*
+/// reproduced: no [`Observation::DayBoundary`] markers are emitted, and the
+/// live stream interleaves weekly user-identifier snapshots with the
+/// firehose while the replay emits the firehose first. An analyzer that
+/// counts day boundaries or correlates identifier arrival with firehose
+/// timing must therefore be validated against the live stream, not this
+/// replay (the golden test in `tests/pipeline_equivalence.rs` does exactly
+/// that for the built-in analyzers).
+pub fn replay<A: Analyzer>(mut analyzer: A, datasets: &Datasets, ctx: &StudyCtx<'_>) -> A::Output {
+    let mut emit = |obs: Observation<'_>| analyzer.observe(&obs, ctx);
+    emit(Observation::WindowStart {
+        firehose_collection_start: datasets.firehose_collection_start,
+        collection_end: datasets.collection_end,
+    });
+    for event in &datasets.firehose_events {
+        emit(Observation::Firehose(event));
+    }
+    for (did, rev) in &datasets.user_identifiers {
+        emit(Observation::UserIdentifier {
+            did,
+            rev: rev.as_deref(),
+        });
+    }
+    // did:web documents are appended after the PLC export by the collector;
+    // reconstruct the flag from the tail count. Saturate so a hand-built
+    // Datasets with an inconsistent did_web_count degrades to labelling
+    // every document did:web instead of panicking.
+    let plc_docs = datasets
+        .did_documents
+        .len()
+        .saturating_sub(datasets.did_web_count);
+    for (index, doc) in datasets.did_documents.iter().enumerate() {
+        emit(Observation::DidDocument {
+            doc,
+            via_web: index >= plc_docs,
+        });
+    }
+    for labeler in &datasets.labelers {
+        emit(Observation::Labeler(labeler));
+    }
+    for feed in &datasets.feed_generators {
+        emit(Observation::FeedGenerator(feed));
+    }
+    for repo in &datasets.repositories {
+        emit(Observation::Repo(repo));
+    }
+    emit(Observation::WindowEnd {
+        at: datasets.collection_end,
+    });
+    analyzer.finish(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts observations by coarse kind.
+    #[derive(Default)]
+    struct CountingAnalyzer {
+        firehose: u64,
+        snapshots: u64,
+        markers: u64,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct Counts {
+        firehose: u64,
+        snapshots: u64,
+        markers: u64,
+    }
+
+    impl Analyzer for CountingAnalyzer {
+        type Output = Counts;
+
+        fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+            match obs {
+                Observation::Firehose(_) => self.firehose += 1,
+                Observation::WindowStart { .. }
+                | Observation::DayBoundary { .. }
+                | Observation::WindowEnd { .. } => self.markers += 1,
+                _ => self.snapshots += 1,
+            }
+        }
+
+        fn finish(self, _ctx: &StudyCtx<'_>) -> Counts {
+            Counts {
+                firehose: self.firehose,
+                snapshots: self.snapshots,
+                markers: self.markers,
+            }
+        }
+    }
+
+    #[test]
+    fn engine_dispatches_and_returns_typed_outputs() {
+        let mut engine = StudyEngine::new();
+        engine.register(CountingAnalyzer::default());
+        assert_eq!(engine.analyzer_count(), 1);
+        let ctx = StudyCtx::detached();
+        let day = Datetime::from_ymd(2024, 3, 6).unwrap();
+        engine.observe(
+            &Observation::WindowStart {
+                firehose_collection_start: day,
+                collection_end: day,
+            },
+            &ctx,
+        );
+        engine.observe(&Observation::DayBoundary { day }, &ctx);
+        engine.observe(&Observation::WindowEnd { at: day }, &ctx);
+        assert_eq!(engine.observations(), 3);
+        let mut outputs = engine.finish(&ctx);
+        assert_eq!(outputs.len(), 1);
+        let counts = outputs.take::<Counts>().unwrap();
+        assert_eq!(
+            counts,
+            Counts {
+                firehose: 0,
+                snapshots: 0,
+                markers: 3
+            }
+        );
+        assert!(outputs.is_empty());
+        assert!(outputs.take::<Counts>().is_none());
+    }
+
+    #[test]
+    fn replay_emits_canonical_order_and_counts() {
+        let datasets = Datasets {
+            firehose_collection_start: Datetime::from_ymd(2024, 3, 6).unwrap(),
+            collection_end: Datetime::from_ymd(2024, 5, 1).unwrap(),
+            ..Datasets::default()
+        };
+        let counts = replay(
+            CountingAnalyzer::default(),
+            &datasets,
+            &StudyCtx::detached(),
+        );
+        assert_eq!(
+            counts,
+            Counts {
+                firehose: 0,
+                snapshots: 0,
+                markers: 2
+            }
+        );
+    }
+}

@@ -1,12 +1,26 @@
-//! The full study report: run the collector, compute every analysis, and
-//! render or serialise the results.
+//! The full study report: stream the world through the engine's analyzers in
+//! one pass, and render or serialise the results.
+//!
+//! [`StudyReport::run`] is built on the streaming pipeline: it registers the
+//! seven incremental analyzers on a [`StudyEngine`], drives the world once
+//! with [`Collector::stream`], and assembles the report from the analyzer
+//! outputs — firehose events are never retained. The legacy batch path is
+//! kept as [`StudyReport::run_batch`] / [`StudyReport::from_collected`],
+//! which materialize [`Datasets`] first; both paths produce identical
+//! reports (the golden equivalence test in `tests/` pins this).
+//! [`StudyBatch`] runs a whole grid of scenarios (N seeds × M scales) in one
+//! call.
 
 use crate::analysis::{
     activity_series, firehose_volume, identity_report, moderation_report, recommendation_report,
-    section4_accounts, table1_firehose_breakdown, table5_feature_matrix, ActivitySeries,
-    FirehoseVolume, IdentityReport, ModerationReport, RecommendationReport, Section4, Table1,
+    section4_accounts, table1_firehose_breakdown, table5_feature_matrix, ActivityAnalyzer,
+    ActivitySeries, FirehoseVolume, FirehoseVolumeAnalyzer, IdentityAnalyzer, IdentityReport,
+    ModerationAnalyzer, ModerationReport, RecommendationAnalyzer, RecommendationReport, Section4,
+    Section4Analyzer, Table1, Table1Analyzer,
 };
 use crate::datasets::{Collector, Datasets};
+use crate::json::Json;
+use crate::pipeline::{StreamSummary, StudyCtx, StudyEngine};
 use bsky_workload::{ScenarioConfig, World};
 
 /// All analyses of the paper, computed for one simulated run.
@@ -31,9 +45,46 @@ pub struct StudyReport {
 }
 
 impl StudyReport {
-    /// Run the full pipeline: build the world, collect the datasets, compute
-    /// every analysis.
+    /// Run the full pipeline in streaming mode: build the world, register
+    /// every incremental analyzer, and compute the whole report in a single
+    /// pass without retaining the firehose.
     pub fn run(config: ScenarioConfig) -> StudyReport {
+        StudyReport::run_streaming(config).0
+    }
+
+    /// [`StudyReport::run`] plus the producer's [`StreamSummary`] (days,
+    /// observation counts, peak in-flight events).
+    pub fn run_streaming(config: ScenarioConfig) -> (StudyReport, StreamSummary) {
+        let mut world = World::new(config);
+        let mut engine = StudyEngine::new();
+        engine.register(Table1Analyzer::new());
+        engine.register(ActivityAnalyzer::new());
+        engine.register(Section4Analyzer::new());
+        engine.register(IdentityAnalyzer::new());
+        engine.register(ModerationAnalyzer::new());
+        engine.register(RecommendationAnalyzer::new());
+        engine.register(FirehoseVolumeAnalyzer::new());
+        let summary = Collector::new().stream(&mut world, &mut engine);
+        let ctx = StudyCtx::new(&world);
+        let mut outputs = engine.finish(&ctx);
+        let report = StudyReport {
+            config,
+            table1: outputs.take().expect("Table1 analyzer output"),
+            activity: outputs.take().expect("Activity analyzer output"),
+            section4: outputs.take().expect("Section4 analyzer output"),
+            identity: outputs.take().expect("Identity analyzer output"),
+            moderation: outputs.take().expect("Moderation analyzer output"),
+            recommendation: outputs.take().expect("Recommendation analyzer output"),
+            firehose_volume: outputs.take().expect("FirehoseVolume analyzer output"),
+        };
+        (report, summary)
+    }
+
+    /// Run the legacy batch pipeline: materialize all six datasets in
+    /// memory, then compute every analysis from the vectors. Retains the
+    /// firehose for the whole run; use [`StudyReport::run`] unless the
+    /// materialized [`Datasets`] are needed.
+    pub fn run_batch(config: ScenarioConfig) -> StudyReport {
         let mut world = World::new(config);
         let datasets = Collector::new().run(&mut world);
         StudyReport::from_collected(config, &world, &datasets)
@@ -88,53 +139,174 @@ impl StudyReport {
     }
 
     /// Serialise headline numbers as JSON for EXPERIMENTS.md tooling.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "seed": self.config.seed,
-            "scale": self.config.scale,
-            "table1": {
-                "total_events": self.table1.total,
-                "rows": self.table1.rows.iter().map(|(n, c, s)| {
-                    serde_json::json!({"type": n, "count": c, "share_pct": s})
-                }).collect::<Vec<_>>(),
-            },
-            "section4": {
-                "totals": {
-                    "posts": self.activity.totals.0,
-                    "likes": self.activity.totals.1,
-                    "follows": self.activity.totals.2,
-                    "reposts": self.activity.totals.3,
-                    "blocks": self.activity.totals.4,
-                },
-                "non_bsky_records": self.section4.non_bsky_records,
-            },
-            "section5": {
-                "handles": self.identity.total_handles,
-                "bsky_social_share_pct": self.identity.bsky_social.1,
-                "did_web": self.identity.did_web,
-                "dns_txt_share_pct": self.identity.proofs.2,
-                "tranco_share_pct": self.identity.tranco_overlap.1,
-            },
-            "section6": {
-                "labelers_announced": self.moderation.labeler_counts.0,
-                "labelers_functional": self.moderation.labeler_counts.1,
-                "labelers_active": self.moderation.labeler_counts.2,
-                "community_share_last_month_pct": self.moderation.community_share_last_month,
-                "label_interactions": self.moderation.interactions.0,
-                "rescinded": self.moderation.interactions.1,
-                "posts_labeled_share_pct": self.moderation.last_month_posts_labeled_share,
-            },
-            "section7": {
-                "feeds": self.recommendation.total_feeds,
-                "never_curated_pct": self.recommendation.never_curated.1,
-                "r_feeds_followers": self.recommendation.r_feeds_followers,
-                "r_likes_followers": self.recommendation.r_likes_followers,
-                "skyfeed_share_pct": self.recommendation.platform_shares.first().map(|p| p.2),
-            },
-            "section9": {
-                "firehose_gb_per_day_extrapolated": self.firehose_volume.extrapolated_full_network / 1e9,
-            },
-        })
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("seed", self.config.seed)
+            .with("scale", self.config.scale)
+            .with(
+                "table1",
+                Json::object().with("total_events", self.table1.total).with(
+                    "rows",
+                    Json::Arr(
+                        self.table1
+                            .rows
+                            .iter()
+                            .map(|(n, c, s)| {
+                                Json::object()
+                                    .with("type", n.as_str())
+                                    .with("count", *c)
+                                    .with("share_pct", *s)
+                            })
+                            .collect(),
+                    ),
+                ),
+            )
+            .with(
+                "section4",
+                Json::object()
+                    .with(
+                        "totals",
+                        Json::object()
+                            .with("posts", self.activity.totals.0)
+                            .with("likes", self.activity.totals.1)
+                            .with("follows", self.activity.totals.2)
+                            .with("reposts", self.activity.totals.3)
+                            .with("blocks", self.activity.totals.4),
+                    )
+                    .with("non_bsky_records", self.section4.non_bsky_records),
+            )
+            .with(
+                "section5",
+                Json::object()
+                    .with("handles", self.identity.total_handles)
+                    .with("bsky_social_share_pct", self.identity.bsky_social.1)
+                    .with("did_web", self.identity.did_web)
+                    .with("dns_txt_share_pct", self.identity.proofs.2)
+                    .with("tranco_share_pct", self.identity.tranco_overlap.1),
+            )
+            .with(
+                "section6",
+                Json::object()
+                    .with("labelers_announced", self.moderation.labeler_counts.0)
+                    .with("labelers_functional", self.moderation.labeler_counts.1)
+                    .with("labelers_active", self.moderation.labeler_counts.2)
+                    .with(
+                        "community_share_last_month_pct",
+                        self.moderation.community_share_last_month,
+                    )
+                    .with("label_interactions", self.moderation.interactions.0)
+                    .with("rescinded", self.moderation.interactions.1)
+                    .with(
+                        "posts_labeled_share_pct",
+                        self.moderation.last_month_posts_labeled_share,
+                    ),
+            )
+            .with(
+                "section7",
+                Json::object()
+                    .with("feeds", self.recommendation.total_feeds)
+                    .with("never_curated_pct", self.recommendation.never_curated.1)
+                    .with("r_feeds_followers", self.recommendation.r_feeds_followers)
+                    .with("r_likes_followers", self.recommendation.r_likes_followers)
+                    .with(
+                        "skyfeed_share_pct",
+                        self.recommendation.platform_shares.first().map(|p| p.2),
+                    ),
+            )
+            .with(
+                "section9",
+                Json::object().with(
+                    "firehose_gb_per_day_extrapolated",
+                    self.firehose_volume.extrapolated_full_network / 1e9,
+                ),
+            )
+    }
+}
+
+/// One scenario's result within a [`StudyBatch`] run.
+#[derive(Debug, Clone)]
+pub struct StudyRun {
+    /// The report.
+    pub report: StudyReport,
+    /// The producer's stream summary.
+    pub summary: StreamSummary,
+}
+
+/// A multi-scenario runner: N seeds × M scales computed in one call, each
+/// through the streaming engine (so a whole grid fits in bounded memory,
+/// one scenario at a time).
+#[derive(Debug, Clone, Default)]
+pub struct StudyBatch {
+    /// The scenarios to run, in order.
+    pub configs: Vec<ScenarioConfig>,
+}
+
+impl StudyBatch {
+    /// An empty batch.
+    pub fn new() -> StudyBatch {
+        StudyBatch::default()
+    }
+
+    /// A batch over explicit scenario configurations.
+    pub fn from_configs(configs: Vec<ScenarioConfig>) -> StudyBatch {
+        StudyBatch { configs }
+    }
+
+    /// The full grid `seeds × scales` over a base configuration (seed and
+    /// scale of the base are overridden per cell; everything else is kept).
+    pub fn grid(base: ScenarioConfig, seeds: &[u64], scales: &[u64]) -> StudyBatch {
+        let mut configs = Vec::with_capacity(seeds.len() * scales.len());
+        for &seed in seeds {
+            for &scale in scales {
+                configs.push(ScenarioConfig {
+                    seed,
+                    scale,
+                    ..base
+                });
+            }
+        }
+        StudyBatch { configs }
+    }
+
+    /// Number of scenarios in the batch.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Run every scenario through the streaming engine.
+    pub fn run(&self) -> Vec<StudyRun> {
+        self.configs
+            .iter()
+            .map(|config| {
+                let (report, summary) = StudyReport::run_streaming(*config);
+                StudyRun { report, summary }
+            })
+            .collect()
+    }
+
+    /// Render a compact comparison table over a batch's results.
+    pub fn render_summary(runs: &[StudyRun]) -> String {
+        let mut out = String::from(
+            "== Study batch ==\nseed | scale  | users | events     | labels   | feeds | peak in-flight\n",
+        );
+        for run in runs {
+            out.push_str(&format!(
+                "{:>4} | {:>6} | {:>5} | {:>10} | {:>8} | {:>5} | {:>8}\n",
+                run.report.config.seed,
+                run.report.config.scale,
+                run.report.config.target_users(),
+                run.report.table1.total,
+                run.report.moderation.interactions.0,
+                run.report.recommendation.total_feeds,
+                run.summary.peak_in_flight_events,
+            ));
+        }
+        out
     }
 }
 
@@ -143,12 +315,17 @@ mod tests {
     use super::*;
     use bsky_atproto::Datetime;
 
-    #[test]
-    fn full_report_runs_and_serialises() {
-        let mut config = ScenarioConfig::test_scale(21);
+    fn small_config(seed: u64) -> ScenarioConfig {
+        let mut config = ScenarioConfig::test_scale(seed);
         config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
         config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
         config.scale = 40_000;
+        config
+    }
+
+    #[test]
+    fn full_report_runs_and_serialises() {
+        let config = small_config(21);
         let report = StudyReport::run(config);
         let text = report.render();
         for needle in [
@@ -170,5 +347,29 @@ mod tests {
         assert!(json["table1"]["total_events"].as_u64().unwrap() > 0);
         assert!(json["section5"]["bsky_social_share_pct"].as_f64().unwrap() > 90.0);
         assert!(json["section6"]["labelers_announced"].as_u64().unwrap() >= 40);
+    }
+
+    #[test]
+    fn streaming_summary_shows_bounded_memory() {
+        let (report, summary) = StudyReport::run_streaming(small_config(22));
+        assert_eq!(summary.firehose_events, report.table1.total);
+        assert!(summary.peak_in_flight_events > 0);
+        assert!((summary.peak_in_flight_events as u64) < summary.firehose_events);
+    }
+
+    #[test]
+    fn batch_runner_covers_the_grid() {
+        let batch = StudyBatch::grid(small_config(1), &[1, 2], &[40_000, 80_000]);
+        assert_eq!(batch.len(), 4);
+        let runs = batch.run();
+        assert_eq!(runs.len(), 4);
+        // Same seed, different scale ⇒ different population; same cells are
+        // ordered seed-major.
+        assert_eq!(runs[0].report.config.seed, 1);
+        assert_eq!(runs[1].report.config.scale, 80_000);
+        assert!(runs[0].report.table1.total > 0);
+        let summary = StudyBatch::render_summary(&runs);
+        assert!(summary.contains("Study batch"));
+        assert!(summary.lines().count() >= 6);
     }
 }

@@ -10,7 +10,7 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -90,6 +90,18 @@ mod tests {
         assert_eq!(iqd(&values), Some(4.0));
         assert_eq!(median(&[]), None);
         assert_eq!(median(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn quantile_ignores_nan_and_infinities_without_panicking() {
+        // Regression: the sort used `partial_cmp(..).unwrap()` and panicked
+        // on NaN input; `total_cmp` plus the finite filter must not.
+        let values = [3.0, f64::NAN, 1.0, f64::INFINITY, 2.0, f64::NEG_INFINITY];
+        assert_eq!(median(&values), Some(2.0));
+        assert_eq!(quantile(&values, 0.0), Some(1.0));
+        assert_eq!(quantile(&values, 1.0), Some(3.0));
+        // All-NaN input degrades to None, not a panic.
+        assert_eq!(quantile(&[f64::NAN, f64::NAN], 0.5), None);
     }
 
     #[test]

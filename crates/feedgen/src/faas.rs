@@ -183,7 +183,6 @@ pub fn default_platforms() -> Vec<FaasPlatform> {
                 feed: true,
                 single_post: true,
                 labels: true,
-                ..Default::default()
             },
             filters: FilterFeatures {
                 labels: true,
@@ -312,9 +311,15 @@ mod tests {
             inputs: vec![FeedInput::Tags(vec!["art".into()])],
             filters: vec![FeedFilter::Language(vec!["en".into()])],
         };
-        let supporting_regex = platforms.iter().filter(|p| p.supports(&regex_pipeline)).count();
+        let supporting_regex = platforms
+            .iter()
+            .filter(|p| p.supports(&regex_pipeline))
+            .count();
         assert_eq!(supporting_regex, 1, "only Skyfeed hosts regex pipelines");
-        let supporting_simple = platforms.iter().filter(|p| p.supports(&simple_pipeline)).count();
+        let supporting_simple = platforms
+            .iter()
+            .filter(|p| p.supports(&simple_pipeline))
+            .count();
         assert!(supporting_simple >= 3);
         // A single-user pipeline is the lowest common denominator (every
         // platform in Table 5 supports single-user inputs).

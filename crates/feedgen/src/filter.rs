@@ -196,8 +196,10 @@ mod tests {
 
         let ramen = text_post("best Ramen in Tokyo", "ja");
         assert!(FeedFilter::Keyword("ramen".into()).passes(&alice, &ramen));
-        assert!(FeedFilter::TextRegex(Regex::new_case_insensitive("ramen|ラーメン").unwrap())
-            .passes(&alice, &ramen));
+        assert!(
+            FeedFilter::TextRegex(Regex::new_case_insensitive("ramen|ラーメン").unwrap())
+                .passes(&alice, &ramen)
+        );
         assert!(!FeedFilter::TextRegex(Regex::new("sushi").unwrap()).passes(&alice, &ramen));
 
         let art = art_post("a watercolour fox");

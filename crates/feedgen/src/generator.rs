@@ -173,7 +173,7 @@ impl FeedGenerator {
             return Vec::new();
         }
         let mut out: Vec<FeedEntry> = self.entries.clone();
-        out.sort_by(|a, b| b.post_created_at.cmp(&a.post_created_at));
+        out.sort_by_key(|e| std::cmp::Reverse(e.post_created_at));
         out.truncate(limit);
         out
     }
@@ -276,7 +276,10 @@ mod tests {
         assert_eq!(skeleton.len(), 1);
         assert_eq!(skeleton[0].uri, post_uri(1));
         assert_eq!(feed.requests_served(), 1);
-        assert_eq!(feed.uri().collection().unwrap().as_str(), known::FEED_GENERATOR);
+        assert_eq!(
+            feed.uri().collection().unwrap().as_str(),
+            known::FEED_GENERATOR
+        );
         // The declaration record roundtrips through the repo layer.
         let rec = Record::FeedGenerator(feed.record().clone());
         assert_eq!(Record::from_cbor(&rec.to_cbor()).unwrap(), rec);
@@ -293,7 +296,10 @@ mod tests {
         );
         assert!(feed.is_personalized());
         feed.curate_manually(post_uri(1), now(), now());
-        assert!(feed.get_feed(10, None).is_empty(), "anonymous viewer sees nothing");
+        assert!(
+            feed.get_feed(10, None).is_empty(),
+            "anonymous viewer sees nothing"
+        );
         let viewer = Did::plc_from_seed(b"real-user");
         assert_eq!(feed.get_feed(10, Some(&viewer)).len(), 1);
     }
@@ -332,7 +338,11 @@ mod tests {
         }
         let end = now().plus_days(20);
         feed.enforce_retention(end);
-        assert!(feed.post_count() <= 8, "only ~a week retained, got {}", feed.post_count());
+        assert!(
+            feed.post_count() <= 8,
+            "only ~a week retained, got {}",
+            feed.post_count()
+        );
         assert!(feed
             .entries()
             .iter()
@@ -353,7 +363,9 @@ mod tests {
         }
         let skeleton = feed.get_feed(10, None);
         assert_eq!(skeleton.len(), 10);
-        assert!(skeleton.windows(2).all(|w| w[0].post_created_at >= w[1].post_created_at));
+        assert!(skeleton
+            .windows(2)
+            .all(|w| w[0].post_created_at >= w[1].post_created_at));
         assert_eq!(skeleton[0].uri, post_uri(29));
     }
 

@@ -36,12 +36,19 @@ enum Node {
     Empty,
     Literal(char),
     AnyChar,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     StartAnchor,
     EndAnchor,
     Concat(Vec<Node>),
     Alternate(Vec<Node>),
-    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -195,9 +202,7 @@ impl<'a> Parser<'a> {
                                 self.chars.next(); // consume '-'
                                 self.chars.next(); // consume end
                                 if end < c {
-                                    return Err(RegexError(format!(
-                                        "invalid range {c}-{end}"
-                                    )));
+                                    return Err(RegexError(format!("invalid range {c}-{end}")));
                                 }
                                 items.push(ClassItem::Range(c, end));
                                 continue;
@@ -271,9 +276,7 @@ fn lowercase_node(node: &Node) -> Node {
             items: items
                 .iter()
                 .map(|i| match i {
-                    ClassItem::Char(c) => {
-                        ClassItem::Char(c.to_lowercase().next().unwrap_or(*c))
-                    }
+                    ClassItem::Char(c) => ClassItem::Char(c.to_lowercase().next().unwrap_or(*c)),
                     ClassItem::Range(a, b) => ClassItem::Range(
                         a.to_lowercase().next().unwrap_or(*a),
                         b.to_lowercase().next().unwrap_or(*b),
@@ -329,9 +332,7 @@ fn match_here(node: &Node, text: &[char], pos: usize, at_start: bool) -> Option<
             }
         }
         Node::StartAnchor => {
-            if pos == 0 || at_start && pos == 0 {
-                Some(pos)
-            } else if pos == 0 {
+            if pos == 0 {
                 Some(pos)
             } else {
                 None
@@ -348,9 +349,7 @@ fn match_here(node: &Node, text: &[char], pos: usize, at_start: bool) -> Option<
             .iter()
             .find_map(|b| match_here(b, text, pos, at_start)),
         Node::Concat(parts) => match_sequence(parts, text, pos, at_start),
-        Node::Repeat { node, min, max } => {
-            match_repeat(node, *min, *max, &[], text, pos, at_start)
-        }
+        Node::Repeat { node, min, max } => match_repeat(node, *min, *max, &[], text, pos, at_start),
     }
 }
 

@@ -152,7 +152,10 @@ impl DidDocument {
                         .trim_start_matches('#')
                         .to_string(),
                     service_type: s.get("type").and_then(Value::as_text)?.to_string(),
-                    endpoint: s.get("serviceEndpoint").and_then(Value::as_text)?.to_string(),
+                    endpoint: s
+                        .get("serviceEndpoint")
+                        .and_then(Value::as_text)?
+                        .to_string(),
                 })
             })
             .collect();
@@ -186,7 +189,9 @@ mod tests {
         DidDocument::new(
             Did::plc_from_seed(b"alice"),
             Handle::parse("alice.bsky.social").unwrap(),
-            SigningKey::from_seed(b"alice-key").verifying_key().to_multibase(),
+            SigningKey::from_seed(b"alice-key")
+                .verifying_key()
+                .to_multibase(),
             "https://pds001.bsky.network".into(),
         )
     }
@@ -206,7 +211,10 @@ mod tests {
         let mut d = doc();
         d.set_labeler_endpoint("https://labeler.example/xrpc");
         let back = DidDocument::from_wire(&d.to_wire()).unwrap();
-        assert_eq!(back.labeler_endpoint(), Some("https://labeler.example/xrpc"));
+        assert_eq!(
+            back.labeler_endpoint(),
+            Some("https://labeler.example/xrpc")
+        );
         assert_eq!(back.services.len(), 2);
         // Setting again replaces rather than duplicating.
         d.set_labeler_endpoint("https://labeler2.example/xrpc");
@@ -217,7 +225,11 @@ mod tests {
     #[test]
     fn pds_migration_updates_endpoint() {
         let mut d = doc();
-        d.set_service(SERVICE_PDS, "AtprotoPersonalDataServer", "https://self-hosted.example");
+        d.set_service(
+            SERVICE_PDS,
+            "AtprotoPersonalDataServer",
+            "https://self-hosted.example",
+        );
         assert_eq!(d.pds_endpoint(), Some("https://self-hosted.example"));
         assert_eq!(d.services.len(), 1);
     }

@@ -48,10 +48,13 @@ impl PlcDirectory {
         if self.documents.contains_key(&key) || self.tombstones.contains_key(&key) {
             return Err(AtError::InvalidDid(format!("{key} already registered")));
         }
-        self.logs.entry(key.clone()).or_default().push(PlcOperation {
-            at,
-            kind: "create".into(),
-        });
+        self.logs
+            .entry(key.clone())
+            .or_default()
+            .push(PlcOperation {
+                at,
+                kind: "create".into(),
+            });
         self.documents.insert(key, document);
         Ok(())
     }
@@ -83,10 +86,13 @@ impl PlcDirectory {
         if self.documents.remove(&key).is_none() {
             return Err(AtError::InvalidDid(format!("{key} not registered")));
         }
-        self.logs.entry(key.clone()).or_default().push(PlcOperation {
-            at,
-            kind: "tombstone".into(),
-        });
+        self.logs
+            .entry(key.clone())
+            .or_default()
+            .push(PlcOperation {
+                at,
+                kind: "tombstone".into(),
+            });
         self.tombstones.insert(key, at);
         Ok(())
     }
@@ -122,16 +128,17 @@ impl PlcDirectory {
     /// Paginated export: documents in DID order, starting after `cursor`.
     /// Returns the page and the next cursor (None when exhausted). This is
     /// what the study's snapshot download uses.
-    pub fn export(&self, cursor: Option<&str>, page_size: usize) -> (Vec<&DidDocument>, Option<String>) {
+    pub fn export(
+        &self,
+        cursor: Option<&str>,
+        page_size: usize,
+    ) -> (Vec<&DidDocument>, Option<String>) {
         let page_size = page_size.max(1);
         let iter: Box<dyn Iterator<Item = (&String, &DidDocument)>> = match cursor {
-            Some(c) => Box::new(
-                self.documents
-                    .range::<String, _>((
-                        std::ops::Bound::Excluded(c.to_string()),
-                        std::ops::Bound::Unbounded,
-                    )),
-            ),
+            Some(c) => Box::new(self.documents.range::<String, _>((
+                std::ops::Bound::Excluded(c.to_string()),
+                std::ops::Bound::Unbounded,
+            ))),
             None => Box::new(self.documents.iter()),
         };
         let page: Vec<&DidDocument> = iter.take(page_size).map(|(_, d)| d).collect();

@@ -18,20 +18,27 @@ pub struct PublicSuffixList {
 
 /// ICANN suffixes embedded by default.
 const ICANN_SUFFIXES: &[&str] = &[
-    "com", "org", "net", "edu", "gov", "mil", "int", "io", "social", "app", "dev", "cool",
-    "work", "world", "me", "tv", "fm", "blue", "sh", "xyz", "cloud", "team", "online", "site",
-    "club", "art", "blog", "wiki", "jp", "de", "fr", "br", "uk", "us", "ca", "au", "nl", "kr",
-    "es", "it", "pl", "se", "ch", "at", "be", "cz", "eu", "info", "biz", "name", "pro",
+    "com", "org", "net", "edu", "gov", "mil", "int", "io", "social", "app", "dev", "cool", "work",
+    "world", "me", "tv", "fm", "blue", "sh", "xyz", "cloud", "team", "online", "site", "club",
+    "art", "blog", "wiki", "jp", "de", "fr", "br", "uk", "us", "ca", "au", "nl", "kr", "es", "it",
+    "pl", "se", "ch", "at", "be", "cz", "eu", "info", "biz", "name", "pro",
     // Second-level ccTLD suffixes.
-    "co.uk", "org.uk", "ac.uk", "com.br", "net.br", "org.br", "co.jp", "ne.jp", "or.jp",
-    "ac.jp", "com.au", "net.au", "org.au", "co.kr", "or.kr", "com.es", "co.at", "co.nz",
+    "co.uk", "org.uk", "ac.uk", "com.br", "net.br", "org.br", "co.jp", "ne.jp", "or.jp", "ac.jp",
+    "com.au", "net.au", "org.au", "co.kr", "or.kr", "com.es", "co.at", "co.nz",
 ];
 
 /// Private-section suffixes embedded by default (operators offering
 /// subdomains to the public, so each subdomain is its own registrable name).
 const PRIVATE_SUFFIXES: &[&str] = &[
-    "github.io", "gitlab.io", "netlify.app", "vercel.app", "pages.dev", "web.app",
-    "herokuapp.com", "glitch.me", "neocities.org",
+    "github.io",
+    "gitlab.io",
+    "netlify.app",
+    "vercel.app",
+    "pages.dev",
+    "web.app",
+    "herokuapp.com",
+    "glitch.me",
+    "neocities.org",
 ];
 
 impl Default for PublicSuffixList {
@@ -144,7 +151,10 @@ mod tests {
             psl.registered_domain("alice.bsky.social"),
             Some("bsky.social".into())
         );
-        assert_eq!(psl.registered_domain("example.com"), Some("example.com".into()));
+        assert_eq!(
+            psl.registered_domain("example.com"),
+            Some("example.com".into())
+        );
         assert_eq!(
             psl.registered_domain("a.b.c.example.com"),
             Some("example.com".into())
@@ -205,7 +215,10 @@ mod tests {
             psl.registered_domain("shop.site.www.ck"),
             Some("site.www.ck".into())
         );
-        assert_eq!(psl.registered_domain("site.www.ck"), Some("site.www.ck".into()));
+        assert_eq!(
+            psl.registered_domain("site.www.ck"),
+            Some("site.www.ck".into())
+        );
         assert!(psl.len() == 2 && !psl.is_empty());
     }
 

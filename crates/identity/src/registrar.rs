@@ -87,13 +87,8 @@ impl WhoisDatabase {
     /// be unavailable for it).
     pub fn register(&mut self, domain: &str, registrar: Option<Registrar>) {
         let domain = domain.to_ascii_lowercase();
-        self.records.insert(
-            domain.clone(),
-            WhoisRecord {
-                domain,
-                registrar,
-            },
-        );
+        self.records
+            .insert(domain.clone(), WhoisRecord { domain, registrar });
     }
 
     /// Perform a WHOIS query. `None` means no data could be retrieved.
@@ -151,7 +146,16 @@ mod tests {
         let mut db = WhoisDatabase::new();
         let catalogue = default_catalogue();
         db.register("example.com", Some(catalogue[0].clone()));
-        db.register("example.co.jp", Some(catalogue.iter().find(|r| r.iana_id.is_none()).unwrap().clone()));
+        db.register(
+            "example.co.jp",
+            Some(
+                catalogue
+                    .iter()
+                    .find(|r| r.iana_id.is_none())
+                    .unwrap()
+                    .clone(),
+            ),
+        );
         db.register("hidden.example", None);
 
         let rec = db.query("EXAMPLE.com").unwrap();

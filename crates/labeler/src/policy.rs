@@ -125,9 +125,7 @@ impl Trigger {
         match self {
             Trigger::MissingAltText { .. } => post.has_media_missing_alt(),
             Trigger::Media { kind, .. } => post.media_kinds().contains(kind),
-            Trigger::Hashtag { tag, .. } => {
-                post.tags.iter().any(|t| t.eq_ignore_ascii_case(tag))
-            }
+            Trigger::Hashtag { tag, .. } => post.tags.iter().any(|t| t.eq_ignore_ascii_case(tag)),
             Trigger::Keyword { keyword, .. } => post
                 .text
                 .to_ascii_lowercase()
@@ -174,7 +172,11 @@ impl IssuancePolicy {
 
     /// Values this policy may emit.
     pub fn declared_values(&self) -> Vec<String> {
-        let mut values: Vec<String> = self.triggers.iter().map(|t| t.value().to_string()).collect();
+        let mut values: Vec<String> = self
+            .triggers
+            .iter()
+            .map(|t| t.value().to_string())
+            .collect();
         values.sort();
         values.dedup();
         values
@@ -255,7 +257,10 @@ mod tests {
             keyword: "ramen".into(),
             value: "food".into(),
         };
-        assert!(keyword.matches(&PostRecord::simple("Best RAMEN in town", "ja", now()), &mut r));
+        assert!(keyword.matches(
+            &PostRecord::simple("Best RAMEN in town", "ja", now()),
+            &mut r
+        ));
         assert!(!keyword.matches(&PostRecord::simple("sushi only", "ja", now()), &mut r));
 
         let lang_kw = Trigger::LanguageKeyword {
@@ -263,8 +268,14 @@ mod tests {
             keyword: "dawntrail".into(),
             value: "dawntrail".into(),
         };
-        assert!(lang_kw.matches(&PostRecord::simple("Dawntrail spoilers!", "ja", now()), &mut r));
-        assert!(!lang_kw.matches(&PostRecord::simple("Dawntrail spoilers!", "en", now()), &mut r));
+        assert!(lang_kw.matches(
+            &PostRecord::simple("Dawntrail spoilers!", "ja", now()),
+            &mut r
+        ));
+        assert!(!lang_kw.matches(
+            &PostRecord::simple("Dawntrail spoilers!", "en", now()),
+            &mut r
+        ));
     }
 
     #[test]
@@ -275,7 +286,9 @@ mod tests {
         };
         let mut r = rng();
         let post = PostRecord::simple("anything", "en", now());
-        let hits = (0..10_000).filter(|_| trigger.matches(&post, &mut r)).count();
+        let hits = (0..10_000)
+            .filter(|_| trigger.matches(&post, &mut r))
+            .count();
         assert!((700..1_400).contains(&hits), "hits {hits}");
     }
 

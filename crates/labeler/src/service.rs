@@ -498,7 +498,9 @@ mod tests {
         assert_eq!(registry.functional_count(), 2);
         assert_eq!(registry.active_count(), 1);
         assert!(registry.official().is_some());
-        assert!(registry.by_did(&Did::plc_from_seed(b"alt-labeler")).is_some());
+        assert!(registry
+            .by_did(&Did::plc_from_seed(b"alt-labeler"))
+            .is_some());
         assert!(registry.by_did(&Did::plc_from_seed(b"nobody")).is_none());
         assert_eq!(registry.all().len(), registry.all_mut().len());
     }

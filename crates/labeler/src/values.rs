@@ -41,7 +41,11 @@ pub const COMMUNITY_LABELER_PROFILES: &[(&str, &[&str])] = &[
     ),
     (
         "XBlock Screenshot Labeler",
-        &["twitter-screenshot", "bluesky-screenshot", "uncategorised-screenshot"],
+        &[
+            "twitter-screenshot",
+            "bluesky-screenshot",
+            "uncategorised-screenshot",
+        ],
     ),
     ("No GIFS Please", &["tenor-gif", "tenor-gif-no-text"]),
     ("AI Imagery Labeler", &["ai-imagery"]),
@@ -60,18 +64,31 @@ pub const COMMUNITY_LABELER_PROFILES: &[(&str, &[&str])] = &[
     ("Furry Content Tagger", &["pup", "fatfur", "diaper"]),
     ("Beans", &["beans"]),
     ("Cringe Curator", &["simping", "bad-selfies", "cringe"]),
-    ("Quality Filter", &["lowquality", "shorturl", "unknown-source"]),
+    (
+        "Quality Filter",
+        &["lowquality", "shorturl", "unknown-source"],
+    ),
     ("Meme Historian", &["alf", "sensual-alf", "the-format"]),
     (
         "Severity Tester",
-        &["severity-alert-blurs-content", "severity-alert-blurs-media", "severity-alert-blurs-none"],
+        &[
+            "severity-alert-blurs-content",
+            "severity-alert-blurs-media",
+            "severity-alert-blurs-none",
+        ],
     ),
     ("JA Spam Watch", &["spam-aff-ja", "spam", "porn"]),
     ("Vibes Labeler", &["so-true", "epic", "based"]),
     ("Trigger Warnings", &["!warn", "threat", "triggerwarning"]),
     ("Phobia Tagger", &["coulro", "arachno", "lepidoptero"]),
-    ("Discourse Meter", &["neutral-pro-discourse", "anti-discourse"]),
-    ("Spoiler Shield", &["spoilers", "!no-promote", "!no-unauthenticated"]),
+    (
+        "Discourse Meter",
+        &["neutral-pro-discourse", "anti-discourse"],
+    ),
+    (
+        "Spoiler Shield",
+        &["spoilers", "!no-promote", "!no-unauthenticated"],
+    ),
     ("Nipps", &["nipps", "no-church", "non-handshake"]),
     ("General Purpose", &["!warn", "porn", "spam"]),
     ("Disinfo Watch", &["amplifying-disinfo"]),

@@ -21,7 +21,7 @@ pub enum LabelAction {
 }
 
 /// Per-user moderation preferences.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ModerationPreferences {
     /// Labelers the user subscribes to, beyond the mandatory Bluesky one.
     pub subscribed_labelers: Vec<Did>,
@@ -29,16 +29,6 @@ pub struct ModerationPreferences {
     pub label_actions: BTreeMap<String, LabelAction>,
     /// Whether adult content is enabled (age-gated labels).
     pub adult_content_enabled: bool,
-}
-
-impl Default for ModerationPreferences {
-    fn default() -> Self {
-        ModerationPreferences {
-            subscribed_labelers: Vec::new(),
-            label_actions: BTreeMap::new(),
-            adult_content_enabled: false,
-        }
-    }
 }
 
 impl ModerationPreferences {
@@ -117,8 +107,12 @@ mod tests {
     #[test]
     fn preference_overrides() {
         let mut prefs = ModerationPreferences::default();
-        prefs.label_actions.insert("spoiler".into(), LabelAction::Hide);
-        prefs.label_actions.insert("porn".into(), LabelAction::Ignore);
+        prefs
+            .label_actions
+            .insert("spoiler".into(), LabelAction::Hide);
+        prefs
+            .label_actions
+            .insert("porn".into(), LabelAction::Ignore);
         assert_eq!(prefs.action_for("spoiler"), LabelAction::Hide);
         assert_eq!(prefs.action_for("porn"), LabelAction::Ignore);
         assert_eq!(prefs.action_for("other"), LabelAction::Warn);

@@ -123,7 +123,9 @@ impl PdsFleet {
             .ok_or_else(|| AtError::RepoError(format!("{did} not hosted anywhere")))?
             .to_string();
         if origin_host == destination {
-            return Err(AtError::RepoError("already hosted on the destination".into()));
+            return Err(AtError::RepoError(
+                "already hosted on the destination".into(),
+            ));
         }
         if !self.servers.contains_key(destination) {
             return Err(AtError::RepoError(format!("no PDS named {destination}")));
@@ -183,7 +185,12 @@ mod tests {
         assert!(fleet.pds_for(&did).unwrap().hosts(&did));
         assert_eq!(fleet.total_accounts(), 1);
         assert!(fleet
-            .create_account_on("missing", Did::plc_from_seed(b"bob"), Handle::parse("b.bsky.social").unwrap(), now())
+            .create_account_on(
+                "missing",
+                Did::plc_from_seed(b"bob"),
+                Handle::parse("b.bsky.social").unwrap(),
+                now()
+            )
             .is_err());
     }
 
@@ -212,7 +219,12 @@ mod tests {
             .unwrap();
 
         let endpoint = fleet
-            .migrate_account(&did, "self.example", Handle::parse("carol.example.com").unwrap(), now())
+            .migrate_account(
+                &did,
+                "self.example",
+                Handle::parse("carol.example.com").unwrap(),
+                now(),
+            )
             .unwrap();
         assert_eq!(endpoint, "https://self.example");
         assert_eq!(fleet.locate(&did), Some("self.example"));
@@ -225,13 +237,28 @@ mod tests {
         assert_eq!(posts.len(), 1);
         // Errors: unknown destination, migrating to the same host, unknown DID.
         assert!(fleet
-            .migrate_account(&did, "nowhere.example", Handle::parse("c.example.com").unwrap(), now())
+            .migrate_account(
+                &did,
+                "nowhere.example",
+                Handle::parse("c.example.com").unwrap(),
+                now()
+            )
             .is_err());
         assert!(fleet
-            .migrate_account(&did, "self.example", Handle::parse("c.example.com").unwrap(), now())
+            .migrate_account(
+                &did,
+                "self.example",
+                Handle::parse("c.example.com").unwrap(),
+                now()
+            )
             .is_err());
         assert!(fleet
-            .migrate_account(&Did::plc_from_seed(b"nobody"), "self.example", Handle::parse("n.example.com").unwrap(), now())
+            .migrate_account(
+                &Did::plc_from_seed(b"nobody"),
+                "self.example",
+                Handle::parse("n.example.com").unwrap(),
+                now()
+            )
             .is_err());
     }
 }

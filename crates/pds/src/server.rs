@@ -98,8 +98,10 @@ impl Pds {
         }
         self.accounts
             .insert(key.clone(), Account::new(did.clone(), handle, at));
-        self.repos
-            .insert(key.clone(), Repository::new(did.clone(), self.hostname.as_bytes()));
+        self.repos.insert(
+            key.clone(),
+            Repository::new(did.clone(), self.hostname.as_bytes()),
+        );
         self.outbox.push(PdsEvent {
             at,
             did,
@@ -235,12 +237,7 @@ impl Pds {
     }
 
     /// Import a repository migrated from another PDS.
-    pub fn migrate_in(
-        &mut self,
-        repo: Repository,
-        handle: Handle,
-        at: Datetime,
-    ) -> Result<()> {
+    pub fn migrate_in(&mut self, repo: Repository, handle: Handle, at: Datetime) -> Result<()> {
         let did = repo.did().clone();
         let key = did.to_string();
         if self.repos.contains_key(&key) {
@@ -332,8 +329,12 @@ mod tests {
     fn pds_with_alice() -> (Pds, Did) {
         let mut pds = Pds::new("pds001.host.bsky.network", PdsOperator::BlueskyPbc);
         let did = Did::plc_from_seed(b"alice");
-        pds.create_account(did.clone(), Handle::parse("alice.bsky.social").unwrap(), now())
-            .unwrap();
+        pds.create_account(
+            did.clone(),
+            Handle::parse("alice.bsky.social").unwrap(),
+            now(),
+        )
+        .unwrap();
         (pds, did)
     }
 
@@ -345,7 +346,12 @@ mod tests {
         assert_eq!(pds.endpoint(), "https://pds001.host.bsky.network");
 
         let (_, result) = pds
-            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("hello"), now())
+            .create_record(
+                &did,
+                Nsid::parse(known::POST).unwrap(),
+                post("hello"),
+                now(),
+            )
             .unwrap();
         assert_eq!(result.ops.len(), 1);
 
@@ -433,8 +439,13 @@ mod tests {
     #[test]
     fn car_export_via_sync() {
         let (mut pds, did) = pds_with_alice();
-        pds.create_record(&did, Nsid::parse(known::POST).unwrap(), post("hello"), now())
-            .unwrap();
+        pds.create_record(
+            &did,
+            Nsid::parse(known::POST).unwrap(),
+            post("hello"),
+            now(),
+        )
+        .unwrap();
         let car = pds.get_repo(&did).unwrap();
         let (roots, blocks) = Repository::parse_car(&car).unwrap();
         assert_eq!(roots.len(), 1);
@@ -445,7 +456,12 @@ mod tests {
     fn migration_between_pdses() {
         let (mut origin, did) = pds_with_alice();
         origin
-            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("pre-move"), now())
+            .create_record(
+                &did,
+                Nsid::parse(known::POST).unwrap(),
+                post("pre-move"),
+                now(),
+            )
             .unwrap();
         let mut destination = Pds::new("self-hosted.example", PdsOperator::SelfHosted);
 
@@ -464,7 +480,12 @@ mod tests {
         assert_eq!(posts.len(), 1);
         // Writes continue at the destination.
         destination
-            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("post-move"), now())
+            .create_record(
+                &did,
+                Nsid::parse(known::POST).unwrap(),
+                post("post-move"),
+                now(),
+            )
             .unwrap();
         assert_eq!(
             destination
@@ -477,7 +498,11 @@ mod tests {
         // Importing twice fails.
         let repo_again = Repository::new(did.clone(), b"x");
         assert!(destination
-            .migrate_in(repo_again, Handle::parse("alice.example.com").unwrap(), now())
+            .migrate_in(
+                repo_again,
+                Handle::parse("alice.example.com").unwrap(),
+                now()
+            )
             .is_err());
         // The origin cannot migrate out what it no longer has.
         assert!(origin.migrate_out(&did, now()).is_err());

@@ -75,7 +75,10 @@ impl FirehoseLog {
             .filter(|e| e.seq > cursor)
             .cloned()
             .collect();
-        let new_cursor = events.last().map(|e| e.seq).unwrap_or(cursor.max(oldest_retained.saturating_sub(1)));
+        let new_cursor = events
+            .last()
+            .map(|e| e.seq)
+            .unwrap_or(cursor.max(oldest_retained.saturating_sub(1)));
         Subscription {
             events,
             outdated_cursor: outdated,
@@ -170,7 +173,10 @@ mod tests {
             log.append(t(day, 0), identity_body(&format!("d{day}")));
         }
         let pruned = log.prune(t(5, 1));
-        assert!(pruned >= 2, "events older than 3 days must be pruned, got {pruned}");
+        assert!(
+            pruned >= 2,
+            "events older than 3 days must be pruned, got {pruned}"
+        );
         assert!(log.retained() < 6);
         assert_eq!(log.total_events(), 6);
         assert!(log.total_bytes() > 0);

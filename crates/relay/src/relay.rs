@@ -93,9 +93,7 @@ impl Relay {
                         handle: handle.clone(),
                     },
                     PdsEventDetail::IdentityUpdate => {
-                        self.known_dids
-                            .entry(event.did.to_string())
-                            .or_insert(None);
+                        self.known_dids.entry(event.did.to_string()).or_insert(None);
                         EventBody::Identity {
                             did: event.did.clone(),
                         }
@@ -114,8 +112,15 @@ impl Relay {
                     event.at
                 };
                 let seq = self.firehose.append(time, body);
-                self.stats
-                    .record_event(time, self.firehose.iter().last().map(|e| e.wire_size()).unwrap_or(0), seq);
+                self.stats.record_event(
+                    time,
+                    self.firehose
+                        .iter()
+                        .last()
+                        .map(|e| e.wire_size())
+                        .unwrap_or(0),
+                    seq,
+                );
                 ingested += 1;
             }
             self.crawl_cursors.insert(hostname, next_cursor);
@@ -240,7 +245,11 @@ mod tests {
     fn fleet_with_users(n: usize) -> (PdsFleet, Vec<Did>) {
         let mut fleet = PdsFleet::with_default_servers(2);
         fleet.add_server(Pds::new("self.example", PdsOperator::SelfHosted));
-        let hosts = ["pds001.host.bsky.network", "pds002.host.bsky.network", "self.example"];
+        let hosts = [
+            "pds001.host.bsky.network",
+            "pds002.host.bsky.network",
+            "self.example",
+        ];
         let mut dids = Vec::new();
         for i in 0..n {
             let did = Did::plc_from_seed(format!("user{i}").as_bytes());
@@ -273,7 +282,11 @@ mod tests {
             .unwrap()
             .change_handle(&dids[0], Handle::parse("user0.example.com").unwrap(), now())
             .unwrap();
-        fleet.pds_for_mut(&dids[1]).unwrap().delete_account(&dids[1], now()).unwrap();
+        fleet
+            .pds_for_mut(&dids[1])
+            .unwrap()
+            .delete_account(&dids[1], now())
+            .unwrap();
 
         let mut relay = Relay::default();
         let ingested = relay.crawl(&fleet, now());
@@ -303,7 +316,12 @@ mod tests {
         fleet
             .pds_for_mut(&dids[0])
             .unwrap()
-            .create_record(&dids[0], Nsid::parse(known::POST).unwrap(), post("new"), now())
+            .create_record(
+                &dids[0],
+                Nsid::parse(known::POST).unwrap(),
+                post("new"),
+                now(),
+            )
             .unwrap();
         relay.crawl(&fleet, now());
         let more = relay.subscribe(sub.cursor);
@@ -382,7 +400,12 @@ mod tests {
         fleet
             .pds_for_mut(&dids[0])
             .unwrap()
-            .create_record(&dids[0], Nsid::parse(known::POST).unwrap(), post("future"), future)
+            .create_record(
+                &dids[0],
+                Nsid::parse(known::POST).unwrap(),
+                post("future"),
+                future,
+            )
             .unwrap();
         let mut relay = Relay::default();
         relay.crawl(&fleet, now());

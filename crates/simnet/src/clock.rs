@@ -1,7 +1,6 @@
 //! Simulated wall-clock time.
 
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Seconds since the Unix epoch — mirrors `bsky_atproto::Datetime` without
 /// introducing a dependency cycle; conversion is a plain integer copy.
@@ -26,18 +25,18 @@ impl SimClock {
 
     /// The current simulated time.
     pub fn now(&self) -> UnixSeconds {
-        *self.now.read()
+        *self.now.read().expect("clock lock poisoned")
     }
 
     /// Advance the clock by `seconds` (panics if negative).
     pub fn advance(&self, seconds: i64) {
         assert!(seconds >= 0, "clock cannot move backwards");
-        *self.now.write() += seconds;
+        *self.now.write().expect("clock lock poisoned") += seconds;
     }
 
     /// Jump the clock to an absolute time (must not move backwards).
     pub fn set(&self, to: UnixSeconds) {
-        let mut now = self.now.write();
+        let mut now = self.now.write().expect("clock lock poisoned");
         assert!(to >= *now, "clock cannot move backwards");
         *now = to;
     }

@@ -119,10 +119,7 @@ mod tests {
         q.schedule(10, "a2");
         q.schedule(20, "b");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
-        assert_eq!(
-            order,
-            vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]
-        );
+        assert_eq!(order, vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]);
         assert_eq!(q.processed(), 4);
         assert!(q.is_empty());
     }
@@ -134,7 +131,10 @@ mod tests {
             q.schedule(t, t);
         }
         let batch = q.pop_until(5);
-        assert_eq!(batch.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(
+            batch.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(7));
         assert!(q.pop_until(0).is_empty());

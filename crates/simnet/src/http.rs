@@ -38,7 +38,9 @@ pub struct WebSpace {
 }
 
 fn host_of(url: &str) -> Option<&str> {
-    let rest = url.strip_prefix("https://").or_else(|| url.strip_prefix("http://"))?;
+    let rest = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))?;
     Some(rest.split('/').next().unwrap_or(rest))
 }
 
@@ -102,18 +104,12 @@ mod tests {
     #[test]
     fn publish_get_unpublish() {
         let mut web = WebSpace::new();
-        web.publish(
-            "https://example.com/.well-known/atproto-did",
-            "did:plc:abc",
-        );
+        web.publish("https://example.com/.well-known/atproto-did", "did:plc:abc");
         assert_eq!(
             web.get("https://example.com/.well-known/atproto-did"),
             HttpResponse::Ok("did:plc:abc".into())
         );
-        assert_eq!(
-            web.get("https://example.com/other"),
-            HttpResponse::NotFound
-        );
+        assert_eq!(web.get("https://example.com/other"), HttpResponse::NotFound);
         web.unpublish("https://example.com/.well-known/atproto-did");
         assert_eq!(
             web.get("https://example.com/.well-known/atproto-did"),
@@ -149,7 +145,10 @@ mod tests {
 
     #[test]
     fn host_extraction() {
-        assert_eq!(host_of("https://a.example.com/path/x"), Some("a.example.com"));
+        assert_eq!(
+            host_of("https://a.example.com/path/x"),
+            Some("a.example.com")
+        );
         assert_eq!(host_of("http://b.example"), Some("b.example"));
         assert_eq!(host_of("ftp://c.example"), None);
     }

@@ -160,7 +160,10 @@ mod tests {
     fn display_and_names() {
         let addr = SimAddr([10, 0, 1, 2]);
         assert_eq!(addr.to_string(), "10.0.1.2");
-        assert_eq!(HostingClass::Cloud.display_name(), "cloud / reverse-proxied");
+        assert_eq!(
+            HostingClass::Cloud.display_name(),
+            "cloud / reverse-proxied"
+        );
         assert_eq!(HostingClass::Residential.display_name(), "residential");
         assert_eq!(HostingClass::Dead.display_name(), "not functional");
     }

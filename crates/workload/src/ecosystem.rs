@@ -310,8 +310,21 @@ fn description_for(archetype: FeedArchetype, language: &str, rng: &mut SimRng) -
             &["feed com posts sobre", "tudo sobre"],
         ),
         _ => (
-            &["art", "artists", "photography", "furry", "news", "science", "cats", "music"],
-            &["a feed collecting posts about", "the best posts about", "all new posts tagged"],
+            &[
+                "art",
+                "artists",
+                "photography",
+                "furry",
+                "news",
+                "science",
+                "cats",
+                "music",
+            ],
+            &[
+                "a feed collecting posts about",
+                "the best posts about",
+                "all new posts tagged",
+            ],
         ),
     };
     let topic = (*rng.pick(topics)).to_string();
@@ -373,9 +386,20 @@ pub fn build_feedgen_plans(config: &ScenarioConfig, rng: &mut SimRng) -> Vec<Fee
         };
 
         // Description language follows §7.1: EN 45 %, JA 36 %, DE 4.1 %, ...
-        let lang_weights = [("en", 0.45), ("ja", 0.36), ("de", 0.041), ("ko", 0.02), ("fr", 0.019), ("pt", 0.04), ("es", 0.02), ("other", 0.05)];
+        let lang_weights = [
+            ("en", 0.45),
+            ("ja", 0.36),
+            ("de", 0.041),
+            ("ko", 0.02),
+            ("fr", 0.019),
+            ("pt", 0.04),
+            ("es", 0.02),
+            ("other", 0.05),
+        ];
         let weights: Vec<f64> = lang_weights.iter().map(|(_, w)| *w).collect();
-        let language = lang_weights[rng.pick_weighted(&weights).unwrap_or(0)].0.to_string();
+        let language = lang_weights[rng.pick_weighted(&weights).unwrap_or(0)]
+            .0
+            .to_string();
         let (topic, description) = description_for(archetype, &language, rng);
 
         // Creators are drawn from the popular end of the population
@@ -412,7 +436,11 @@ mod tests {
     fn labeler_totals_match_paper() {
         let mut rng = SimRng::new(11).fork("labelers");
         let plans = build_labeler_plans(&config(), &mut rng);
-        assert_eq!(plans.len(), 62 - 12, "62 announced minus the 12 merged silent entries");
+        assert_eq!(
+            plans.len(),
+            62 - 12,
+            "62 announced minus the 12 merged silent entries"
+        );
         // NOTE: 1 official + 23 profiled + 10 silent + 16 dead = 50; the
         // remaining 12 of the paper's 62 never even expose endpoints and are
         // not modelled. Counts used by the analyses:
@@ -421,8 +449,14 @@ mod tests {
             .filter(|p| p.hosting != HostingClass::Dead)
             .count();
         assert_eq!(plans.len() - functional, 16, "16 dead endpoints");
-        let with_triggers = plans.iter().filter(|p| !p.policy.triggers.is_empty()).count();
-        assert_eq!(with_triggers, 24, "official + 23 profiled labelers can label");
+        let with_triggers = plans
+            .iter()
+            .filter(|p| !p.policy.triggers.is_empty())
+            .count();
+        assert_eq!(
+            with_triggers, 24,
+            "official + 23 profiled labelers can label"
+        );
         let official = plans
             .iter()
             .filter(|p| p.operator == LabelerOperator::BlueskyOfficial)

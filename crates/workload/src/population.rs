@@ -102,7 +102,15 @@ pub fn draw_language(rng: &mut SimRng) -> String {
 /// Synthesise a username from an index (deterministic, readable, unique).
 pub fn username(index: usize) -> String {
     const ADJECTIVES: &[&str] = &[
-        "blue", "quiet", "rapid", "lunar", "amber", "cosmic", "gentle", "vivid", "silver",
+        "blue",
+        "quiet",
+        "rapid",
+        "lunar",
+        "amber",
+        "cosmic",
+        "gentle",
+        "vivid",
+        "silver",
         "wandering",
     ];
     const NOUNS: &[&str] = &[
@@ -136,7 +144,9 @@ pub fn self_managed_domain(index: usize, rng: &mut SimRng) -> (String, bool) {
     if rng.chance(0.028) {
         ((*rng.pick(FAMOUS)).to_string(), true)
     } else {
-        const TLDS: &[&str] = &["com", "net", "org", "io", "dev", "me", "social", "de", "jp", "com.br"];
+        const TLDS: &[&str] = &[
+            "com", "net", "org", "io", "dev", "me", "social", "de", "jp", "com.br",
+        ];
         let tld = TLDS[index % TLDS.len()];
         (format!("{}.{tld}", username(index)), false)
     }
@@ -157,7 +167,11 @@ pub fn draw_user(
     // subdomain providers and self-managed domains.
     let (handle, handle_choice, did) = if rng.chance(0.989) {
         let handle = Handle::parse(&format!("{name}.bsky.social")).expect("valid handle");
-        (handle, HandleChoice::BskySocial, Did::plc_from_seed(name.as_bytes()))
+        (
+            handle,
+            HandleChoice::BskySocial,
+            Did::plc_from_seed(name.as_bytes()),
+        )
     } else if rng.chance(0.5) {
         let weights: Vec<f64> = SUBDOMAIN_PROVIDERS.iter().map(|(_, w)| *w).collect();
         let provider = SUBDOMAIN_PROVIDERS[rng.pick_weighted(&weights).unwrap_or(0)].0;
@@ -282,7 +296,10 @@ mod tests {
     #[test]
     fn proof_mechanism_split() {
         let users = draw_many(5_000);
-        let txt = users.iter().filter(|u| u.proof == ProofChoice::DnsTxt).count();
+        let txt = users
+            .iter()
+            .filter(|u| u.proof == ProofChoice::DnsTxt)
+            .count();
         let share = txt as f64 / users.len() as f64;
         assert!(share > 0.96, "DNS TXT share {share}");
     }
@@ -306,7 +323,11 @@ mod tests {
         weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let top_decile: f64 = weights[..500].iter().sum();
         let total: f64 = weights.iter().sum();
-        assert!(top_decile / total > 0.25, "top decile share {}", top_decile / total);
+        assert!(
+            top_decile / total > 0.25,
+            "top decile share {}",
+            top_decile / total
+        );
         assert!(weights.iter().all(|w| *w > 0.0 && *w <= 1.0));
     }
 

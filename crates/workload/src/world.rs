@@ -13,15 +13,17 @@ use crate::ecosystem::{
     build_feedgen_plans, build_labeler_plans, FeedArchetype, FeedGenPlan, LabelerPlan,
 };
 use crate::population::{draw_user, HandleChoice, ProofChoice, UserProfile};
+use bsky_appview::AppView;
 use bsky_atproto::nsid::known;
 use bsky_atproto::record::{
     BlockRecord, Embed, FeedGeneratorRecord, FollowRecord, ImageEmbed, LikeRecord, MediaKind,
     PostRecord, ProfileRecord, Record, RepostRecord, UnknownRecord,
 };
 use bsky_atproto::{cbor, AtUri, Datetime, Did, Handle, Nsid};
-use bsky_appview::AppView;
 use bsky_feedgen::faas::default_platforms;
-use bsky_feedgen::{CurationMode, FeedFilter, FeedGenerator, FeedInput, FeedPipeline, RetentionPolicy};
+use bsky_feedgen::{
+    CurationMode, FeedFilter, FeedGenerator, FeedInput, FeedPipeline, RetentionPolicy,
+};
 use bsky_identity::registrar::default_catalogue;
 use bsky_identity::resolver::publish;
 use bsky_identity::{DidDocument, PlcDirectory, PublicSuffixList, TrancoList, WhoisDatabase};
@@ -233,11 +235,7 @@ impl World {
 
         // 1. New signups.
         let day_idx = self.days_elapsed() as usize;
-        let signups = self
-            .signup_schedule
-            .get(day_idx)
-            .copied()
-            .unwrap_or(0);
+        let signups = self.signup_schedule.get(day_idx).copied().unwrap_or(0);
         for _ in 0..signups {
             self.sign_up_user(today);
         }
@@ -321,12 +319,15 @@ impl World {
             ..
         } = &user.handle_choice
         {
-            let registrar = registrar_index.map(|i| default_catalogue()[i % default_catalogue().len()].clone());
+            let registrar =
+                registrar_index.map(|i| default_catalogue()[i % default_catalogue().len()].clone());
             self.whois.register(domain, registrar);
         }
 
         // AppView learns about the actor and their profile record.
-        self.appview.index_mut().upsert_actor(&user.did, &user.handle);
+        self.appview
+            .index_mut()
+            .upsert_actor(&user.did, &user.handle);
         let profile = Record::Profile(ProfileRecord {
             display_name: user.handle.labels()[0].to_string(),
             description: format!("posting in {}", user.language),
@@ -421,21 +422,18 @@ impl World {
                 }
                 None => (
                     "self-hosted".to_string(),
-                    Did::web(&format!("feeds.{}", self.users[creator_index].handle)).unwrap_or_else(
-                        |_| Did::web("selfhosted-feeds.example").expect("valid"),
-                    ),
+                    Did::web(&format!("feeds.{}", self.users[creator_index].handle))
+                        .unwrap_or_else(|_| Did::web("selfhosted-feeds.example").expect("valid")),
                 ),
             };
 
             let mode = match plan.archetype {
                 FeedArchetype::Personalized => CurationMode::Personalized,
                 FeedArchetype::ManualCommunity | FeedArchetype::Empty => CurationMode::Manual,
-                FeedArchetype::LanguageAggregator => {
-                    CurationMode::Pipeline(FeedPipeline {
-                        inputs: vec![FeedInput::WholeNetwork],
-                        filters: vec![FeedFilter::Language(vec![plan.language.clone()])],
-                    })
-                }
+                FeedArchetype::LanguageAggregator => CurationMode::Pipeline(FeedPipeline {
+                    inputs: vec![FeedInput::WholeNetwork],
+                    filters: vec![FeedFilter::Language(vec![plan.language.clone()])],
+                }),
                 FeedArchetype::Adult => CurationMode::Pipeline(FeedPipeline {
                     inputs: vec![FeedInput::WholeNetwork],
                     filters: vec![FeedFilter::RequireMediaKinds(vec![MediaKind::Adult])],
@@ -470,13 +468,8 @@ impl World {
                     today,
                 );
             }
-            let generator = FeedGenerator::new(
-                creator,
-                format!("feed{index:06}"),
-                record,
-                mode,
-                retention,
-            );
+            let generator =
+                FeedGenerator::new(creator, format!("feed{index:06}"), record, mode, retention);
             self.feedgens.push(generator);
             self.feedgen_info.push(FeedGenInfo {
                 index,
@@ -543,7 +536,9 @@ impl World {
         let when = today.plus_seconds(seconds_of_day);
 
         // Posts (≈1.8 per active user-day on average, weighted by the user).
-        let post_count = self.rng.poisson(1.8_f64.min(4.0 * user.activity_weight + 0.9));
+        let post_count = self
+            .rng
+            .poisson(1.8_f64.min(4.0 * user.activity_weight + 0.9));
         for _ in 0..post_count {
             let post = self.draw_post(&user, when);
             let rkey = self.next_rkey();
@@ -697,11 +692,24 @@ impl World {
 
     fn draw_post(&mut self, user: &UserProfile, when: Datetime) -> PostRecord {
         const TOPICS: &[&str] = &[
-            "art", "ramen", "news", "science", "music", "cats", "football", "politics",
-            "photography", "nude study",
+            "art",
+            "ramen",
+            "news",
+            "science",
+            "music",
+            "cats",
+            "football",
+            "politics",
+            "photography",
+            "nude study",
         ];
         let topic = *self.rng.pick(TOPICS);
-        let text = format!("{} post about {} #{}", user.language, topic, topic.split(' ').next().unwrap_or(topic));
+        let text = format!(
+            "{} post about {} #{}",
+            user.language,
+            topic,
+            topic.split(' ').next().unwrap_or(topic)
+        );
         let mut tags = Vec::new();
         if self.rng.chance(0.015) {
             tags.push("aiart".to_string());
@@ -798,9 +806,15 @@ impl World {
             let user = self.users[user_index].clone();
             let to_bsky = self.rng.chance(0.7574);
             let new_handle = if to_bsky {
-                Handle::parse(&format!("{}-new.bsky.social", crate::population::username(user_index)))
+                Handle::parse(&format!(
+                    "{}-new.bsky.social",
+                    crate::population::username(user_index)
+                ))
             } else {
-                Handle::parse(&format!("{}.example.org", crate::population::username(user_index)))
+                Handle::parse(&format!(
+                    "{}.example.org",
+                    crate::population::username(user_index)
+                ))
             };
             if let Ok(handle) = new_handle {
                 if let Some(pds) = self.fleet.pds_for_mut(&user.did) {
@@ -890,7 +904,11 @@ mod tests {
         for _ in 0..30 {
             world.step_day();
         }
-        assert!(world.users.len() > 5, "users signed up: {}", world.users.len());
+        assert!(
+            world.users.len() > 5,
+            "users signed up: {}",
+            world.users.len()
+        );
         assert!(world.relay.known_account_count() > 0);
         assert!(world.appview.index().post_count() > 0);
         assert!(world.relay.firehose().total_events() > 0);
@@ -915,12 +933,21 @@ mod tests {
         // Activity happened and flowed through the whole pipeline.
         let (posts, likes) = world.ground_truth_totals();
         assert!(posts > 100, "posts {posts}");
-        assert!(likes > posts, "likes ({likes}) should outnumber posts ({posts})");
+        assert!(
+            likes > posts,
+            "likes ({likes}) should outnumber posts ({posts})"
+        );
         assert!(world.appview.index().post_count() > 0);
         assert!(world.appview.index().follow_edge_count() > 0);
         // The relay observed commits and at least one identity/handle event.
         let totals = world.relay.firehose().totals_by_kind();
-        assert!(totals.get(&bsky_atproto::firehose::EventKind::Commit).copied().unwrap_or(0) > 0);
+        assert!(
+            totals
+                .get(&bsky_atproto::firehose::EventKind::Commit)
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
         // Labelers came online after 2024-03-15 and issued labels.
         assert!(world.labelers.announced_count() > 20);
         assert!(world.labelers.active_count() >= 2);
@@ -930,7 +957,7 @@ mod tests {
         let curating = world.feedgens.iter().filter(|f| f.has_curated()).count();
         assert!(curating > 0);
         // The PLC directory has roughly one document per did:plc user.
-        assert!(world.plc.len() > 0);
+        assert!(!world.plc.is_empty());
         assert!(world.plc.len() <= world.users.len());
     }
 

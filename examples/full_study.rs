@@ -1,6 +1,10 @@
 //! Run the complete measurement study end to end at a small scale and print
 //! every table and figure (a faster version of the `repro` binary).
 //!
+//! The report is computed by the streaming engine: the collector drives the
+//! world day by day and every analysis folds observations incrementally, so
+//! the run needs one pass and never retains the firehose.
+//!
 //! ```sh
 //! cargo run --release --example full_study
 //! ```
@@ -23,6 +27,7 @@ fn main() {
         config.target_users(),
         config.total_days()
     );
-    let report = StudyReport::run(config);
+    let (report, summary) = StudyReport::run_streaming(config);
     println!("{}", report.render());
+    eprintln!("{}", summary.render());
 }

@@ -61,9 +61,16 @@ fn main() {
         }])),
         ..described.clone()
     };
-    let uri_ok = AtUri::record(author.clone(), Nsid::parse(known::POST).unwrap(), "withalt00001");
-    let uri_missing =
-        AtUri::record(author.clone(), Nsid::parse(known::POST).unwrap(), "noalt0000001");
+    let uri_ok = AtUri::record(
+        author.clone(),
+        Nsid::parse(known::POST).unwrap(),
+        "withalt00001",
+    );
+    let uri_missing = AtUri::record(
+        author.clone(),
+        Nsid::parse(known::POST).unwrap(),
+        "noalt0000001",
+    );
     labeler.observe_post(&uri_ok, &described, now);
     labeler.observe_post(&uri_missing, &undescribed, now);
 
@@ -83,7 +90,11 @@ fn main() {
     // Account-level moderation from the official labeler.
     let official = Did::plc_from_seed(b"bluesky-official");
     labeler
-        .apply_label(LabelTarget::Account(Did::plc_from_seed(b"spammer")), "spam", now)
+        .apply_label(
+            LabelTarget::Account(Did::plc_from_seed(b"spammer")),
+            "spam",
+            now,
+        )
         .unwrap();
 
     // Client-side decision: a viewer subscribed to the community labeler.
@@ -107,5 +118,9 @@ fn main() {
         "viewer subscribed to the labeler sees the un-described post as: {:?}",
         decision
     );
-    assert_ne!(decision, Visibility::Hide, "warnings, not removal, by default");
+    assert_ne!(
+        decision,
+        Visibility::Hide,
+        "warnings, not removal, by default"
+    );
 }

@@ -24,12 +24,18 @@ fn main() {
     world.run_to_end();
 
     println!("users signed up:        {}", world.users.len());
-    println!("accounts known to relay: {}", world.relay.known_account_count());
+    println!(
+        "accounts known to relay: {}",
+        world.relay.known_account_count()
+    );
     println!(
         "firehose events:         {}",
         world.relay.firehose().total_events()
     );
-    println!("posts indexed by AppView: {}", world.appview.index().post_count());
+    println!(
+        "posts indexed by AppView: {}",
+        world.appview.index().post_count()
+    );
     println!(
         "follow edges:            {}",
         world.appview.index().follow_edge_count()

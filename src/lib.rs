@@ -9,7 +9,32 @@
 //! * [`bsky_identity`], [`bsky_pds`], [`bsky_relay`], [`bsky_labeler`],
 //!   [`bsky_feedgen`], [`bsky_appview`] — the network services.
 //! * [`bsky_workload`] — the calibrated synthetic ecosystem.
-//! * [`bsky_study`] — the measurement pipeline and analyses.
+//! * [`bsky_study`] — the streaming measurement pipeline and analyses.
+//!
+//! ## The streaming study pipeline
+//!
+//! The measurement pipeline mirrors how the real study consumed the network:
+//! as a continuous stream, not a batch scan. `bsky_study` is built around an
+//! *observation bus*:
+//!
+//! * `bsky_study::Observation` — one bus item per §3 dataset element
+//!   (firehose event, repo snapshot, user-identifier row, DID document,
+//!   feed-generator entry, labeler entry) plus day-boundary and
+//!   collection-window markers.
+//! * `bsky_study::Analyzer` — incremental consumers: `observe` folds one
+//!   observation into accumulators, `finish` emits the section's tables and
+//!   figures.
+//! * `bsky_study::StudyEngine` — the bus; `bsky_study::Collector::stream`
+//!   produces onto it by driving a [`bsky_workload::World`] day by day
+//!   through the public service interfaces.
+//!
+//! `bsky_study::StudyReport::run` computes the entire report in a single
+//! pass with bounded memory — firehose events are never retained — and
+//! `bsky_study::StudyBatch` runs whole seed × scale grids. The legacy batch
+//! representation survives as one optional materializing analyzer
+//! (`bsky_study::datasets::Materialize`), and the batch analysis functions
+//! replay materialized datasets through the same accumulators, so both
+//! paths agree exactly (see `tests/pipeline_equivalence.rs`).
 
 pub use bsky_appview;
 pub use bsky_atproto;

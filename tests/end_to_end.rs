@@ -51,7 +51,9 @@ fn full_study_reproduces_headline_shapes() {
 
     // §9: extrapolated firehose volume is positive and scales with the
     // configured factor.
-    assert!(report.firehose_volume.extrapolated_full_network > report.firehose_volume.bytes_per_day);
+    assert!(
+        report.firehose_volume.extrapolated_full_network > report.firehose_volume.bytes_per_day
+    );
 }
 
 #[test]
@@ -90,10 +92,7 @@ fn identical_seeds_give_identical_reports() {
     assert_eq!(a.table1.total, b.table1.total);
     assert_eq!(a.activity.totals, b.activity.totals);
     assert_eq!(a.moderation.interactions, b.moderation.interactions);
-    assert_eq!(
-        a.recommendation.total_feeds,
-        b.recommendation.total_feeds
-    );
+    assert_eq!(a.recommendation.total_feeds, b.recommendation.total_feeds);
     // And a different seed gives a different world.
     let c = StudyReport::run(small_config(4));
     assert_ne!(a.activity.totals, c.activity.totals);

@@ -1,0 +1,113 @@
+//! Golden equivalence: the streaming engine's `StudyReport` must be
+//! identical — every table and figure field — to the batch
+//! `StudyReport::from_collected` computed over materialized `Datasets`, for
+//! multiple seeds.
+//!
+//! The rendered report covers every table/figure field of every section and
+//! the JSON export covers the headline numbers, so string equality over both
+//! pins the full surface. A few structured fields are compared directly as
+//! well so a failure points at the diverging section.
+
+use bluesky_repro::bsky_atproto::Datetime;
+use bluesky_repro::bsky_study::{Collector, StudyReport};
+use bluesky_repro::bsky_workload::{ScenarioConfig, World};
+
+fn small_config(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::test_scale(seed);
+    config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+    config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+    config.scale = 40_000;
+    config
+}
+
+fn assert_reports_identical(streaming: &StudyReport, batch: &StudyReport, seed: u64) {
+    // Structured spot checks first, for readable failures.
+    assert_eq!(streaming.table1.total, batch.table1.total, "seed {seed}");
+    assert_eq!(streaming.table1.rows, batch.table1.rows, "seed {seed}");
+    assert_eq!(
+        streaming.activity.totals, batch.activity.totals,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.activity.monthly, batch.activity.monthly,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.section4.most_followed, batch.section4.most_followed,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.identity.registrars, batch.identity.registrars,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.identity.handle_updates, batch.identity.handle_updates,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.moderation.interactions, batch.moderation.interactions,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.moderation.labels_by_month, batch.moderation.labels_by_month,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.moderation.table3, batch.moderation.table3,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.recommendation.platform_shares, batch.recommendation.platform_shares,
+        "seed {seed}"
+    );
+    assert_eq!(
+        streaming.recommendation.cumulative_growth, batch.recommendation.cumulative_growth,
+        "seed {seed}"
+    );
+    // Full surface: the rendered report contains every table and figure
+    // field; the JSON export contains every headline number.
+    assert_eq!(streaming.render(), batch.render(), "seed {seed}");
+    assert_eq!(
+        streaming.to_json().to_string_pretty(),
+        batch.to_json().to_string_pretty(),
+        "seed {seed}"
+    );
+}
+
+#[test]
+fn streaming_equals_batch_for_two_seeds() {
+    for seed in [31u64, 32] {
+        let config = small_config(seed);
+        // Streaming: one pass, no retained firehose.
+        let (streaming, summary) = StudyReport::run_streaming(config);
+        // Batch: materialize the datasets, then compute from the vectors.
+        let mut world = World::new(config);
+        let datasets = Collector::new().run(&mut world);
+        let batch = StudyReport::from_collected(config, &world, &datasets);
+
+        assert_reports_identical(&streaming, &batch, seed);
+
+        // And the streaming path really was bounded: its peak in-flight
+        // event count is strictly below what the batch path retained.
+        assert!(summary.firehose_events > 0, "seed {seed}");
+        assert_eq!(
+            summary.firehose_events as usize,
+            datasets.firehose_events.len(),
+            "seed {seed}"
+        );
+        assert!(
+            summary.peak_in_flight_events < datasets.firehose_events.len(),
+            "seed {seed}: peak {} vs retained {}",
+            summary.peak_in_flight_events,
+            datasets.firehose_events.len()
+        );
+    }
+}
+
+#[test]
+fn run_is_the_streaming_path() {
+    let config = small_config(33);
+    let via_run = StudyReport::run(config);
+    let (via_streaming, _) = StudyReport::run_streaming(config);
+    assert_eq!(via_run.render(), via_streaming.render());
+}
