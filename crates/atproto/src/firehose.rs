@@ -100,6 +100,18 @@ impl EventKind {
     }
 }
 
+/// Width in bytes of the canonical CBOR encoding of an unsigned integer
+/// (head byte plus argument), mirroring the encoder in [`crate::cbor`].
+fn cbor_uint_width(value: u64) -> usize {
+    match value {
+        0..=23 => 1,
+        24..=0xff => 2,
+        0x100..=0xffff => 3,
+        0x1_0000..=0xffff_ffff => 5,
+        _ => 9,
+    }
+}
+
 /// A full firehose frame: sequence number, relay receive time and body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -136,8 +148,17 @@ impl Event {
 
     /// Approximate wire size of the frame in bytes (used for the ≈30 GB/day
     /// firehose volume estimate in §9).
+    ///
+    /// The sequence number is counted at a canonical fixed width (9 bytes,
+    /// the widest CBOR uint encoding) rather than at its variable encoded
+    /// width. The live firehose assigns sequence numbers relay-side, so two
+    /// observers of the same event can see different `seq` values; §9's
+    /// volume estimate must not depend on the observer. This also keeps the
+    /// estimate identical between a single-relay run and a sharded run whose
+    /// per-shard relays assign smaller sequence numbers.
     pub fn wire_size(&self) -> usize {
-        self.encode().len()
+        const CANONICAL_SEQ_BYTES: usize = 9;
+        self.encode().len() - cbor_uint_width(self.seq) + CANONICAL_SEQ_BYTES
     }
 
     /// Encode the frame as DAG-CBOR.
@@ -393,6 +414,17 @@ mod tests {
             let decoded = Event::decode(&event.encode()).unwrap();
             assert_eq!(decoded, event);
         }
+    }
+
+    #[test]
+    fn wire_size_is_independent_of_sequence_number() {
+        // Two observers (or two shards) can assign different seqs to the
+        // same event; §9's volume estimate must not see a difference.
+        let small = commit_event(3);
+        let large = commit_event(1_000_000_007);
+        assert_eq!(small.wire_size(), large.wire_size());
+        assert!(small.encode().len() < large.encode().len());
+        assert!(small.wire_size() >= small.encode().len());
     }
 
     #[test]

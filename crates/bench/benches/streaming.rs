@@ -1,15 +1,30 @@
-//! Streaming vs batch study pipeline: wall-clock and retained-memory
-//! comparison at repro-like scale.
+//! Streaming study pipeline benchmarks: serial vs sharded wall clock,
+//! retained-memory bounds, and the machine-readable perf export.
 //!
-//! The batch path materializes every firehose event into a `Vec` and keeps
-//! it alive until all seven analyses finish; the streaming path folds each
-//! event into the incremental analyzers as it arrives and retains at most
-//! one day's subscription batch. This bench measures both and prints the
-//! retained-event counts side by side — the streaming peak must be strictly
-//! lower than the batch retention.
+//! Measurements:
+//!
+//! * **serial vs sharded** — the same report computed on one thread vs four
+//!   population shards on four worker threads. The report is byte-identical
+//!   either way (pinned by `tests/pipeline_equivalence.rs`); this bench
+//!   tracks the wall-clock ratio. On hardware with ≥ 4 CPUs the sharded run
+//!   must be ≥ 2.5× faster; on smaller machines the ratio is only reported.
+//! * **bounded in-flight events** — the producer drains the relay in
+//!   constant-size chunks, so the peak subscription batch must not scale
+//!   with daily volume (asserted across a 3× population difference).
+//! * **bounded moderation index** — the post-creation index is aged past
+//!   the labelers' reaction window, so its peak stays a fraction of the
+//!   total posts observed (asserted; this was the `--scale 100` ceiling).
+//!
+//! `--json` additionally writes `BENCH_streaming.json` next to the working
+//! directory so the perf trajectory can be tracked across PRs. `--smoke`
+//! (used by CI under `cargo bench -- --smoke`) runs every body once,
+//! assertions included, without full measurement.
 
 use bsky_atproto::Datetime;
-use bsky_bench::BenchGroup;
+use bsky_bench::{smoke_mode, BenchGroup};
+use bsky_study::analysis::ModerationAnalyzer;
+use bsky_study::json::Json;
+use bsky_study::pipeline::{Analyzer, Observation, ObservationSink, StudyCtx};
 use bsky_study::{Collector, StudyReport};
 use bsky_workload::{ScenarioConfig, World};
 
@@ -21,32 +36,157 @@ fn bench_config() -> ScenarioConfig {
     config
 }
 
+/// Streams a world through a lone `ModerationAnalyzer`, tracking its
+/// post-index peak and the total number of posts seen.
+struct IndexProbe {
+    analyzer: ModerationAnalyzer,
+    total_posts: usize,
+}
+
+impl ObservationSink for IndexProbe {
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        if let Observation::Firehose(event) = obs {
+            if let bsky_atproto::firehose::EventBody::Commit { ops, .. } = &event.body {
+                self.total_posts += ops
+                    .iter()
+                    .filter(|op| {
+                        op.collection() == bsky_atproto::nsid::known::POST && op.cid.is_some()
+                    })
+                    .count();
+            }
+        }
+        Analyzer::observe(&mut self.analyzer, obs, ctx);
+    }
+}
+
 fn main() {
+    let smoke = smoke_mode();
+    let json = std::env::args().any(|a| a == "--json");
     let config = bench_config();
-    let mut group = BenchGroup::new("streaming_vs_batch");
+    let days = config.total_days().max(1) as u64;
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut group = BenchGroup::new("streaming");
     group.sample_size(5);
 
-    group.bench_function("batch_collect_then_analyze", || {
-        StudyReport::run_batch(config)
-    });
-    group.bench_function("stream_single_pass", || StudyReport::run(config));
-    group.finish();
-
-    // Memory comparison: retained firehose events on each path.
-    let mut world = World::new(config);
-    let batch_retained = Collector::new().run(&mut world).firehose_events.len();
-    let (_, summary) = StudyReport::run_streaming(config);
+    // Wall clock: serial single pass vs 4 shards on 4 worker threads.
+    let serial = group.measure("serial_single_pass", || StudyReport::run(config));
+    let sharded = group.measure("sharded_4x4", || StudyReport::run_sharded(config, 4, 4));
+    let speedup = serial.as_secs_f64() / sharded.as_secs_f64().max(1e-12);
     println!(
-        "retained events: batch {} vs streaming peak in-flight {}",
-        batch_retained, summary.peak_in_flight_events
+        "sharded speedup: {speedup:.2}x over serial ({} CPU(s) available, {:.0} ns/day serial, {:.0} ns/day sharded)",
+        parallelism,
+        serial.as_nanos() as f64 / days as f64,
+        sharded.as_nanos() as f64 / days as f64,
+    );
+    if !smoke && parallelism >= 4 {
+        assert!(
+            speedup >= 2.5,
+            "sharded run must be >= 2.5x faster than serial on >=4 CPUs, got {speedup:.2}x"
+        );
+    }
+
+    // Memory: with a fixed chunk size, peak in-flight events must not scale
+    // with daily volume — the producer crawls once a chunk's worth of relay
+    // events is pending, so the subscription batch is bounded by the chunk
+    // plus one user's commit burst no matter how heavy the day is.
+    const CHUNK: usize = 32;
+    struct NullSink;
+    impl ObservationSink for NullSink {
+        fn observe(&mut self, _obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {}
+    }
+    let base_summary = {
+        let mut world = World::new(config);
+        Collector::with_chunk_size(CHUNK).stream(&mut world, &mut NullSink)
+    };
+    let mut large_config = config;
+    large_config.scale = 6_000; // ≈3.3× the population ⇒ ≈3× daily volume
+    let large_summary = {
+        let mut world = World::new(large_config);
+        Collector::with_chunk_size(CHUNK).stream(&mut world, &mut NullSink)
+    };
+    println!(
+        "events streamed: {} (base) vs {} (3x volume); peak in-flight {} vs {} (chunk {})",
+        base_summary.firehose_events,
+        large_summary.firehose_events,
+        base_summary.peak_in_flight_events,
+        large_summary.peak_in_flight_events,
+        CHUNK,
     );
     assert!(
-        summary.peak_in_flight_events < batch_retained,
-        "streaming must retain strictly fewer events than batch ({} vs {batch_retained})",
-        summary.peak_in_flight_events
+        large_summary.firehose_events > base_summary.firehose_events * 2,
+        "volume scaling sanity: {} vs {}",
+        large_summary.firehose_events,
+        base_summary.firehose_events
     );
+    // The hard invariant is the absolute bound: chunk size plus one day's
+    // signup/activation burst, regardless of volume. The ratio check only
+    // guards against accidental proportional growth (3× volume must not
+    // mean 3× peak).
+    assert!(
+        large_summary.peak_in_flight_events < CHUNK + 64,
+        "peak in-flight must be bounded by the chunk size, got {}",
+        large_summary.peak_in_flight_events
+    );
+    let peak_ratio = large_summary.peak_in_flight_events as f64
+        / base_summary.peak_in_flight_events.max(1) as f64;
+    assert!(
+        peak_ratio < 2.5,
+        "peak in-flight must be volume-independent (chunked day steps); ratio {peak_ratio:.2}"
+    );
+    assert!(
+        (base_summary.peak_in_flight_events as u64) < base_summary.firehose_events,
+        "streaming must retain strictly fewer events than the batch path"
+    );
+
+    // Memory: the moderation post index is aged past the reaction window.
+    let mut world = World::new(config);
+    let mut probe = IndexProbe {
+        analyzer: ModerationAnalyzer::new(),
+        total_posts: 0,
+    };
+    Collector::new().stream(&mut world, &mut probe);
     println!(
-        "streaming retains {:.2} % of the batch path's event footprint",
-        summary.peak_in_flight_events as f64 / batch_retained.max(1) as f64 * 100.0
+        "moderation post index: peak {} of {} posts observed ({:.1} %)",
+        probe.analyzer.peak_post_index(),
+        probe.total_posts,
+        probe.analyzer.peak_post_index() as f64 / probe.total_posts.max(1) as f64 * 100.0,
     );
+    assert!(probe.total_posts > 0);
+    assert!(
+        probe.analyzer.peak_post_index() <= probe.total_posts * 6 / 10,
+        "post index must be aged out (peak {} vs {} posts)",
+        probe.analyzer.peak_post_index(),
+        probe.total_posts
+    );
+
+    group.finish();
+
+    if json {
+        let out = Json::object()
+            .with("bench", "streaming")
+            .with("smoke", smoke)
+            .with("parallelism", parallelism as u64)
+            .with("events_streamed", base_summary.firehose_events)
+            .with("peak_in_flight", base_summary.peak_in_flight_events as u64)
+            .with(
+                "peak_in_flight_3x_volume",
+                large_summary.peak_in_flight_events as u64,
+            )
+            .with(
+                "moderation_peak_post_index",
+                probe.analyzer.peak_post_index() as u64,
+            )
+            .with("moderation_total_posts", probe.total_posts as u64)
+            .with("serial_ns_per_day", serial.as_nanos() as u64 / days)
+            .with("sharded4_ns_per_day", sharded.as_nanos() as u64 / days)
+            .with("sharded_speedup", speedup);
+        // Benches run with the package as cwd; anchor the export at the
+        // workspace root so the trajectory file has a stable path.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+        std::fs::write(path, out.to_string_pretty()).expect("write BENCH_streaming.json");
+        println!("wrote {path}");
+    }
 }

@@ -3,13 +3,17 @@
 //!
 //! Usage:
 //!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
-//!         [--json] [--stream] [--batch]
+//!         [--jobs N] [--shards N] [--json] [--stream] [--batch]
 //!
 //! `--scale` is the denominator applied to the live network's size
 //! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
 //! numbers as JSON (the format EXPERIMENTS.md records). `--stream` prints
 //! the streaming pipeline's summary (observations, peak in-flight events)
 //! after the report; `--batch` forces the legacy materializing collector.
+//! `--jobs N` runs the collection sharded: the population is partitioned by
+//! DID hash into `--shards` shards (default: one per job) simulated on `N`
+//! worker threads and merged — the report is byte-identical to the serial
+//! run. `--jobs` must be between 1 and the shard count.
 //! `--seeds`/`--scales` run a whole grid in one call via `StudyBatch` and
 //! print the comparison table instead of a single report.
 //!
@@ -18,8 +22,139 @@
 use bsky_study::{StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str =
-    "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--json] [--stream] [--batch]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--json] [--stream] [--batch]";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    seed: u64,
+    scale: u64,
+    seeds: Option<Vec<u64>>,
+    scales: Option<Vec<u64>>,
+    jobs: usize,
+    shards: usize,
+    json: bool,
+    stream: bool,
+    batch: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            seed: 42,
+            scale: 2_000,
+            seeds: None,
+            scales: None,
+            jobs: 1,
+            shards: 1,
+            json: false,
+            stream: false,
+            batch: false,
+        }
+    }
+}
+
+/// Parse the value following a flag.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let Some(raw) = value else {
+        return Err(format!("{flag} requires a value"));
+    };
+    raw.parse()
+        .map_err(|_| format!("invalid value for {flag}: {raw:?}"))
+}
+
+/// Parse a comma-separated list following a flag.
+fn parse_list(flag: &str, value: Option<&String>) -> Result<Vec<u64>, String> {
+    let Some(raw) = value else {
+        return Err(format!("{flag} requires a comma-separated list"));
+    };
+    raw.split(',')
+        .map(|item| {
+            item.trim()
+                .parse()
+                .map_err(|_| format!("invalid entry in {flag}: {item:?}"))
+        })
+        .collect()
+}
+
+/// Parse and validate the full argument list (everything after argv[0]).
+/// Returns `Ok(None)` for `--help`.
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    let mut shards: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                opts.seed = parse_value("--seed", args.get(i + 1))?;
+                i += 1;
+            }
+            "--scale" => {
+                opts.scale = parse_value("--scale", args.get(i + 1))?;
+                i += 1;
+            }
+            "--seeds" => {
+                opts.seeds = Some(parse_list("--seeds", args.get(i + 1))?);
+                i += 1;
+            }
+            "--scales" => {
+                opts.scales = Some(parse_list("--scales", args.get(i + 1))?);
+                i += 1;
+            }
+            "--jobs" => {
+                opts.jobs = parse_value("--jobs", args.get(i + 1))?;
+                i += 1;
+            }
+            "--shards" => {
+                shards = Some(parse_value("--shards", args.get(i + 1))?);
+                i += 1;
+            }
+            "--json" => opts.json = true,
+            "--stream" => opts.stream = true,
+            "--batch" => opts.batch = true,
+            "--help" | "-h" => return Ok(None),
+            unknown => return Err(format!("unknown argument {unknown:?}")),
+        }
+        i += 1;
+    }
+    if opts.batch && opts.stream {
+        return Err("--batch and --stream are mutually exclusive".into());
+    }
+    if opts.scale == 0 {
+        return Err("--scale must be positive".into());
+    }
+    if let Some(scales) = &opts.scales {
+        if scales.contains(&0) {
+            return Err("--scales entries must be positive".into());
+        }
+    }
+    if opts.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    // The shard count defaults to one shard per worker; an explicit
+    // `--shards` may exceed the worker count (more shards than threads is
+    // fine — they queue) but never the other way around.
+    opts.shards = shards.unwrap_or(opts.jobs);
+    if opts.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if opts.jobs > opts.shards {
+        return Err(format!(
+            "--jobs ({}) exceeds the shard count ({}); use --shards {} or fewer jobs",
+            opts.jobs, opts.shards, opts.jobs
+        ));
+    }
+    if opts.batch && (opts.jobs > 1 || opts.shards > 1) {
+        return Err("--batch cannot be combined with --jobs/--shards".into());
+    }
+    if (opts.seeds.is_some() || opts.scales.is_some()) && opts.batch {
+        return Err("--batch cannot be combined with --seeds/--scales".into());
+    }
+    if (opts.seeds.is_some() || opts.scales.is_some()) && (opts.jobs > 1 || opts.shards > 1) {
+        return Err("--jobs/--shards cannot be combined with --seeds/--scales".into());
+    }
+    Ok(Some(opts))
+}
 
 fn usage_error(message: &str) -> ! {
     eprintln!("repro: {message}");
@@ -27,90 +162,25 @@ fn usage_error(message: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Parse the value following a flag, or die with usage.
-fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
-    let Some(raw) = value else {
-        usage_error(&format!("{flag} requires a value"));
-    };
-    match raw.parse() {
-        Ok(parsed) => parsed,
-        Err(_) => usage_error(&format!("invalid value for {flag}: {raw:?}")),
-    }
-}
-
-/// Parse a comma-separated list following a flag, or die with usage.
-fn parse_list(flag: &str, value: Option<&String>) -> Vec<u64> {
-    let Some(raw) = value else {
-        usage_error(&format!("{flag} requires a comma-separated list"));
-    };
-    raw.split(',')
-        .map(|item| match item.trim().parse() {
-            Ok(parsed) => parsed,
-            Err(_) => usage_error(&format!("invalid entry in {flag}: {item:?}")),
-        })
-        .collect()
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut seed = 42u64;
-    let mut scale = 2_000u64;
-    let mut seeds: Option<Vec<u64>> = None;
-    let mut scales: Option<Vec<u64>> = None;
-    let mut json = false;
-    let mut stream = false;
-    let mut batch = false;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                seed = parse_value("--seed", args.get(i + 1));
-                i += 1;
-            }
-            "--scale" => {
-                scale = parse_value("--scale", args.get(i + 1));
-                i += 1;
-            }
-            "--seeds" => {
-                seeds = Some(parse_list("--seeds", args.get(i + 1)));
-                i += 1;
-            }
-            "--scales" => {
-                scales = Some(parse_list("--scales", args.get(i + 1)));
-                i += 1;
-            }
-            "--json" => json = true,
-            "--stream" => stream = true,
-            "--batch" => batch = true,
-            "--help" | "-h" => {
-                eprintln!("{USAGE}");
-                return;
-            }
-            unknown => usage_error(&format!("unknown argument {unknown:?}")),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            eprintln!("{USAGE}");
+            return;
         }
-        i += 1;
-    }
-    if batch && stream {
-        usage_error("--batch and --stream are mutually exclusive");
-    }
-    if scale == 0 {
-        usage_error("--scale must be positive");
-    }
+        Err(message) => usage_error(&message),
+    };
 
     // Grid mode: N seeds × M scales through the StudyBatch runner.
-    if seeds.is_some() || scales.is_some() {
-        if batch {
-            usage_error("--batch cannot be combined with --seeds/--scales");
-        }
-        let seeds = seeds.unwrap_or_else(|| vec![seed]);
-        let scales = scales.unwrap_or_else(|| vec![scale]);
-        if scales.contains(&0) {
-            usage_error("--scales entries must be positive");
-        }
-        let grid = StudyBatch::grid(ScenarioConfig::repro_scale(seed), &seeds, &scales);
+    if opts.seeds.is_some() || opts.scales.is_some() {
+        let seeds = opts.seeds.clone().unwrap_or_else(|| vec![opts.seed]);
+        let scales = opts.scales.clone().unwrap_or_else(|| vec![opts.scale]);
+        let grid = StudyBatch::grid(ScenarioConfig::repro_scale(opts.seed), &seeds, &scales);
         eprintln!("running study batch: {} scenarios...", grid.len());
         let runs = grid.run();
-        if stream {
+        if opts.stream {
             for run in &runs {
                 eprintln!(
                     "seed {} scale 1:{} — {}",
@@ -121,7 +191,7 @@ fn main() {
             }
         }
         print!("{}", StudyBatch::render_summary(&runs));
-        if json {
+        if opts.json {
             let array =
                 bsky_study::json::Json::Arr(runs.iter().map(|run| run.report.to_json()).collect());
             println!("{}", array.to_string_pretty());
@@ -129,24 +199,91 @@ fn main() {
         return;
     }
 
-    let mut config = ScenarioConfig::repro_scale(seed);
-    config.scale = scale;
+    let mut config = ScenarioConfig::repro_scale(opts.seed);
+    config.scale = opts.scale;
     eprintln!(
-        "running study: seed {seed}, scale 1:{scale} (≈{} users, {} simulated days)...",
+        "running study: seed {}, scale 1:{} (≈{} users, {} simulated days, {} shard(s) on {} thread(s))...",
+        opts.seed,
+        opts.scale,
         config.target_users(),
-        config.total_days()
+        config.total_days(),
+        opts.shards,
+        opts.jobs,
     );
-    let report = if batch {
+    let report = if opts.batch {
         StudyReport::run_batch(config)
     } else {
-        let (report, summary) = StudyReport::run_streaming(config);
-        if stream {
-            eprintln!("{}", summary.render());
+        let (report, summary) = StudyReport::run_sharded(config, opts.shards, opts.jobs);
+        if opts.stream {
+            eprint!("{}", summary.render());
         }
         report
     };
     println!("{}", report.render());
-    if json {
+    if opts.json {
         println!("{}", report.to_json().to_string_pretty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn jobs_and_shards_parse() {
+        let opts = parse_args(&args(&["--jobs", "4"])).unwrap().unwrap();
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.shards, 4, "shards default to one per job");
+        let opts = parse_args(&args(&["--jobs", "2", "--shards", "8"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.jobs, 2);
+        assert_eq!(opts.shards, 8);
+    }
+
+    #[test]
+    fn zero_jobs_is_an_error() {
+        let err = parse_args(&args(&["--jobs", "0"])).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn jobs_exceeding_shards_is_an_error() {
+        let err = parse_args(&args(&["--jobs", "4", "--shards", "2"])).unwrap_err();
+        assert!(err.contains("exceeds the shard count"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_values_are_errors() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--seed"])).is_err());
+        assert!(parse_args(&args(&["--seed", "abc"])).is_err());
+        assert!(parse_args(&args(&["--scale", "0"])).is_err());
+        assert!(parse_args(&args(&["--seeds", "1,x"])).is_err());
+        assert!(parse_args(&args(&["--scales", "0"])).is_err());
+    }
+
+    #[test]
+    fn conflicting_modes_are_errors() {
+        assert!(parse_args(&args(&["--batch", "--stream"])).is_err());
+        assert!(parse_args(&args(&["--batch", "--jobs", "2"])).is_err());
+        assert!(parse_args(&args(&["--batch", "--seeds", "1,2"])).is_err());
+        assert!(parse_args(&args(&["--jobs", "2", "--seeds", "1,2"])).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), None);
+        assert_eq!(parse_args(&args(&["-h"])).unwrap(), None);
     }
 }

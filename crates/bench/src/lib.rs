@@ -15,10 +15,21 @@
 
 use std::time::{Duration, Instant};
 
-/// Whether this is a smoke run (anything but `cargo bench`, which passes
-/// `--bench`).
+/// Whether this is a smoke run: anything but `cargo bench` (which passes
+/// `--bench`), or an explicit `--smoke` flag (the CI runs
+/// `cargo bench -- --smoke` in release so the bench *code* — including its
+/// assertions — is exercised without paying for full measurement).
 pub fn smoke_mode() -> bool {
-    !std::env::args().any(|a| a == "--bench")
+    let mut has_bench = false;
+    let mut has_smoke = false;
+    for arg in std::env::args() {
+        match arg.as_str() {
+            "--bench" => has_bench = true,
+            "--smoke" => has_smoke = true,
+            _ => {}
+        }
+    }
+    !has_bench || has_smoke
 }
 
 /// A named group of benchmarks with a shared sample count.
@@ -48,7 +59,18 @@ impl BenchGroup {
     /// prints the median wall-clock duration. The closure's return value is
     /// passed through `std::hint::black_box` so the work is not optimised
     /// away.
-    pub fn bench_function<F, R>(&mut self, name: &str, mut f: F) -> &mut BenchGroup
+    pub fn bench_function<F, R>(&mut self, name: &str, f: F) -> &mut BenchGroup
+    where
+        F: FnMut() -> R,
+    {
+        self.measure(name, f);
+        self
+    }
+
+    /// Like [`BenchGroup::bench_function`], but also returns the median
+    /// duration so callers can compute derived figures (speedups,
+    /// per-iteration rates, machine-readable exports).
+    pub fn measure<F, R>(&mut self, name: &str, mut f: F) -> Duration
     where
         F: FnMut() -> R,
     {
@@ -66,7 +88,7 @@ impl BenchGroup {
             self.name,
             if self.smoke { " [smoke]" } else { "" },
         );
-        self
+        median
     }
 
     /// No-op, for call-site compatibility with criterion-style code.

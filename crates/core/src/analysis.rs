@@ -4,22 +4,28 @@
 //! the network.
 //!
 //! Each section is an [`Analyzer`]: `observe` folds one observation into
-//! per-entity accumulators, `finish` computes the result struct with its
-//! `render()` method. The free functions (`table1_firehose_breakdown`,
-//! `activity_series`, …) keep the original batch API: they [`replay`] an
-//! already-materialized [`Datasets`] through the same analyzer, so the batch
-//! and streaming paths produce identical results by construction.
+//! per-entity accumulators, `merge` combines two independently folded states
+//! (the primitive behind the sharded engine in [`crate::shard`]), and
+//! `finish` computes the result struct with its `render()` method. All seven
+//! analyzers obey the merge law (see [`crate::pipeline`]): splitting any
+//! observation stream at any point and merging the two halves' states equals
+//! folding the whole stream — the property tests at the bottom of this file
+//! pin that for every analyzer. The free functions
+//! (`table1_firehose_breakdown`, `activity_series`, …) keep the original
+//! batch API: they [`replay`] an already-materialized [`Datasets`] through
+//! the same analyzer, so the batch and streaming paths produce identical
+//! results by construction.
 
 use crate::datasets::Datasets;
 use crate::langdetect;
 use crate::pipeline::{replay, Analyzer, Observation, StudyCtx};
 use crate::stats;
 use bsky_atproto::firehose::{EventBody, EventKind};
-use bsky_atproto::label::{effective_labels, LabelTargetKind};
+use bsky_atproto::label::LabelTargetKind;
 use bsky_atproto::nsid::known;
 use bsky_atproto::record::Record;
 use bsky_atproto::Datetime;
-use bsky_labeler::LabelerOperator;
+use bsky_labeler::{LabelerOperator, REACTION_WINDOW_DAYS};
 use bsky_simnet::net::HostingClass;
 use bsky_workload::World;
 use std::collections::{BTreeMap, BTreeSet};
@@ -33,7 +39,7 @@ fn month_of(dt: Datetime) -> String {
 // ---------------------------------------------------------------------------
 
 /// Table 1: firehose event-type breakdown.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
     /// Rows: `(event type name, count, share %)`.
     pub rows: Vec<(String, u64, f64)>,
@@ -60,6 +66,12 @@ impl Analyzer for Table1Analyzer {
     fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
         if let Observation::Firehose(event) = obs {
             *self.counts.entry(event.kind()).or_insert(0) += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (kind, count) in other.counts {
+            *self.counts.entry(kind).or_insert(0) += count;
         }
     }
 
@@ -100,7 +112,7 @@ impl Table1 {
 
 /// Figure 1 / Figure 2: daily activity series (aggregated monthly for
 /// rendering).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivitySeries {
     /// Per-month `(month, active users, posts, likes, reposts)`.
     pub monthly: Vec<(String, u64, u64, u64, u64)>,
@@ -174,6 +186,24 @@ impl Analyzer for ActivityAnalyzer {
         }
     }
 
+    fn merge(&mut self, other: Self) {
+        self.totals.0 += other.totals.0;
+        self.totals.1 += other.totals.1;
+        self.totals.2 += other.totals.2;
+        self.totals.3 += other.totals.3;
+        self.totals.4 += other.totals.4;
+        for (key, users) in other.daily_users {
+            self.daily_users.entry(key).or_default().extend(users);
+        }
+        for (month, (users, posts, likes, reposts)) in other.monthly_ops {
+            let entry = self.monthly_ops.entry(month).or_default();
+            entry.0.extend(users);
+            entry.1 += posts;
+            entry.2 += likes;
+            entry.3 += reposts;
+        }
+    }
+
     fn finish(self, _ctx: &StudyCtx<'_>) -> ActivitySeries {
         let monthly = self
             .monthly_ops
@@ -225,7 +255,7 @@ impl ActivitySeries {
             String::from("Figure 2: Monthly active posting users per language community\n");
         for (month, langs) in &self.monthly_by_language {
             let mut sorted = langs.clone();
-            sorted.sort_by_key(|e| std::cmp::Reverse(e.1));
+            sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             let row: Vec<String> = sorted
                 .iter()
                 .take(5)
@@ -238,7 +268,7 @@ impl ActivitySeries {
 }
 
 /// §4 account popularity and non-Bluesky content.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Section4 {
     /// Most-followed accounts `(handle-ish DID, followers)`.
     pub most_followed: Vec<(String, u64)>,
@@ -293,6 +323,17 @@ impl Analyzer for Section4Analyzer {
         }
     }
 
+    fn merge(&mut self, other: Self) {
+        for (did, count) in other.followers {
+            *self.followers.entry(did).or_insert(0) += count;
+        }
+        for (did, count) in other.blocks {
+            *self.blocks.entry(did).or_insert(0) += count;
+        }
+        self.non_bsky += other.non_bsky;
+        self.firehose_events += other.firehose_events;
+    }
+
     fn finish(self, _ctx: &StudyCtx<'_>) -> Section4 {
         let mut most_followed: Vec<(String, u64)> = self.followers.into_iter().collect();
         most_followed.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -339,7 +380,7 @@ impl Section4 {
 // ---------------------------------------------------------------------------
 
 /// §5 identity findings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IdentityReport {
     /// Total FQDN handles examined.
     pub total_handles: u64,
@@ -366,8 +407,11 @@ pub struct IdentityReport {
 /// Incremental §5: identity centralization, Table 2 and Figure 3.
 ///
 /// Performs the study's active measurements (PSL grouping, Tranco ranking,
-/// DNS TXT / well-known ownership proofs) per DID document as it streams by,
-/// and the WHOIS scan at finish time.
+/// DNS TXT / well-known ownership proofs, and the WHOIS query for each
+/// newly seen registered domain) per DID document as it streams by. Doing
+/// the WHOIS scan at observe time — against the shard that owns the domain
+/// registration — is what makes the state mergeable: the per-domain result
+/// map is a union, never a recount.
 #[derive(Debug, Default)]
 pub struct IdentityAnalyzer {
     total_handles: u64,
@@ -378,10 +422,13 @@ pub struct IdentityAnalyzer {
     tranco_hits: BTreeSet<String>,
     dns_proofs: u64,
     well_known_proofs: u64,
+    /// Registered domain → WHOIS registrar `(IANA id, name)`, when any.
+    whois_by_domain: BTreeMap<String, Option<(Option<u32>, String)>>,
     changes: u64,
     dids: BTreeSet<String>,
     handles: BTreeSet<String>,
-    final_handle: BTreeMap<String, String>,
+    /// DID → latest observed handle change `(event time, handle)`.
+    final_handle: BTreeMap<String, (Datetime, String)>,
 }
 
 impl IdentityAnalyzer {
@@ -407,10 +454,19 @@ impl Analyzer for IdentityAnalyzer {
                 }
                 let world = ctx.world();
                 // Figure 3: group non-custodial handles by registered domain
-                // (PSL), and check the Tranco ranking.
+                // (PSL), check the Tranco ranking, and WHOIS-scan each newly
+                // seen domain.
                 if let Some(registered) = world.psl.registered_domain(doc.handle.as_str()) {
                     *self.provider_counts.entry(registered.clone()).or_insert(0) += 1;
-                    self.registered_domains.insert(registered.clone());
+                    if self.registered_domains.insert(registered.clone()) {
+                        let registrar = world.whois.query(&registered).and_then(|record| {
+                            record
+                                .registrar
+                                .as_ref()
+                                .map(|r| (r.iana_id, r.name.clone()))
+                        });
+                        self.whois_by_domain.insert(registered.clone(), registrar);
+                    }
                     if world.tranco.in_top(&registered, 1_000_000) {
                         self.tranco_hits.insert(registered);
                     }
@@ -428,16 +484,50 @@ impl Analyzer for IdentityAnalyzer {
                     self.changes += 1;
                     self.dids.insert(did.to_string());
                     self.handles.insert(handle.as_str().to_string());
-                    self.final_handle
-                        .insert(did.to_string(), handle.as_str().to_string());
+                    let entry = self
+                        .final_handle
+                        .entry(did.to_string())
+                        .or_insert((event.time, handle.as_str().to_string()));
+                    if event.time >= entry.0 {
+                        *entry = (event.time, handle.as_str().to_string());
+                    }
                 }
             }
             _ => {}
         }
     }
 
-    fn finish(self, ctx: &StudyCtx<'_>) -> IdentityReport {
-        let world = ctx.world();
+    fn merge(&mut self, other: Self) {
+        self.total_handles += other.total_handles;
+        self.bsky_count += other.bsky_count;
+        self.did_web += other.did_web;
+        for (domain, count) in other.provider_counts {
+            *self.provider_counts.entry(domain).or_insert(0) += count;
+        }
+        self.registered_domains.extend(other.registered_domains);
+        self.tranco_hits.extend(other.tranco_hits);
+        self.dns_proofs += other.dns_proofs;
+        self.well_known_proofs += other.well_known_proofs;
+        // Same domain seen by two shards → same WHOIS answer; union is
+        // idempotent.
+        for (domain, registrar) in other.whois_by_domain {
+            self.whois_by_domain.entry(domain).or_insert(registrar);
+        }
+        self.changes += other.changes;
+        self.dids.extend(other.dids);
+        self.handles.extend(other.handles);
+        for (did, (time, handle)) in other.final_handle {
+            let entry = self
+                .final_handle
+                .entry(did)
+                .or_insert((time, handle.clone()));
+            if time >= entry.0 {
+                *entry = (time, handle);
+            }
+        }
+    }
+
+    fn finish(self, _ctx: &StudyCtx<'_>) -> IdentityReport {
         let mut subdomain_providers: Vec<(String, u64)> =
             self.provider_counts.into_iter().collect();
         subdomain_providers.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -445,19 +535,15 @@ impl Analyzer for IdentityAnalyzer {
 
         let proof_total = (self.dns_proofs + self.well_known_proofs).max(1);
 
-        // Table 2: WHOIS scan over the registered domains.
+        // Table 2: aggregate the per-domain WHOIS scan.
         let mut registrar_counts: BTreeMap<(Option<u32>, String), u64> = BTreeMap::new();
         let mut with_iana = 0u64;
-        for domain in &self.registered_domains {
-            if let Some(record) = world.whois.query(domain) {
-                if let Some(registrar) = &record.registrar {
-                    *registrar_counts
-                        .entry((registrar.iana_id, registrar.name.clone()))
-                        .or_insert(0) += 1;
-                    if registrar.iana_id.is_some() {
-                        with_iana += 1;
-                    }
-                }
+        for registrar in self.whois_by_domain.values().flatten() {
+            *registrar_counts
+                .entry((registrar.0, registrar.1.clone()))
+                .or_insert(0) += 1;
+            if registrar.0.is_some() {
+                with_iana += 1;
             }
         }
         let mut registrars: Vec<(Option<u32>, String, u64, f64)> = registrar_counts
@@ -470,7 +556,7 @@ impl Analyzer for IdentityAnalyzer {
         let final_bsky = self
             .final_handle
             .values()
-            .filter(|h| h.ends_with(".bsky.social"))
+            .filter(|(_, h)| h.ends_with(".bsky.social"))
             .count() as u64;
 
         IdentityReport {
@@ -553,7 +639,7 @@ impl IdentityReport {
 pub type LabelTargetRow = (String, u64, f64, Vec<(String, u64)>);
 
 /// Per-labeler reaction-time statistics (Table 6 / Figure 5).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabelerReaction {
     /// Labeler DID.
     pub did: String,
@@ -576,7 +662,7 @@ pub struct LabelerReaction {
 }
 
 /// The §6 moderation report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModerationReport {
     /// Announced / functional / active labeler counts.
     pub labeler_counts: (u64, u64, u64),
@@ -609,57 +695,140 @@ pub struct ModerationReport {
     pub figure6: Vec<(String, u64, f64, bool)>,
 }
 
-/// Per-labeler accumulator feeding Table 6 / Figure 5.
-#[derive(Debug)]
-struct LabelerAcc {
-    did: String,
+/// Static metadata of one labeler (from its announcement observation).
+#[derive(Debug, Clone)]
+struct LabelerMeta {
     name: String,
-    community: bool,
+    operator: LabelerOperator,
+    hosting: HostingClass,
+    functional: bool,
+}
+
+/// Per-labeler accumulator feeding Tables 3/6 and Figures 4/5.
+#[derive(Debug, Default)]
+struct LabelerAcc {
+    meta: Option<LabelerMeta>,
     values: BTreeMap<String, u64>,
     reactions: Vec<f64>,
     applied: u64,
+    stream_entries: u64,
+    /// Applied labels per month (split Bluesky vs community at finish).
+    per_month: BTreeMap<String, u64>,
+    /// Objects this labeler labeled.
+    objects: BTreeSet<String>,
+    /// First month with an applied label.
+    first_month: Option<String>,
+}
+
+impl LabelerAcc {
+    fn absorb(&mut self, other: LabelerAcc) {
+        if self.meta.is_none() {
+            self.meta = other.meta;
+        }
+        for (value, count) in other.values {
+            *self.values.entry(value).or_insert(0) += count;
+        }
+        self.reactions.extend(other.reactions);
+        self.applied += other.applied;
+        self.stream_entries += other.stream_entries;
+        for (month, count) in other.per_month {
+            *self.per_month.entry(month).or_insert(0) += count;
+        }
+        self.objects.extend(other.objects);
+        self.first_month = match (self.first_month.take(), other.first_month) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A label whose post was not (yet) seen when the label streamed by.
+/// Resolved against the other half's post index at merge time; labels whose
+/// posts never appear simply have no reaction time (matching the study:
+/// labels on pre-window posts are volume-counted but not reaction-timed).
+#[derive(Debug, Clone)]
+struct PendingReaction {
+    object: String,
+    value: String,
+    labeler: String,
+    label_created: Datetime,
 }
 
 /// Incremental §6 moderation analyses.
 ///
-/// Firehose commits stream first and feed the post-creation index; each
-/// labeler entry is then folded in one observation; repository snapshots
-/// contribute the likes-on-accounts column of Table 3; everything that needs
-/// global totals (shares, Figure 4, the overlap statistics) is computed at
-/// finish time.
+/// Labeler metadata arrives when a service is announced; its label stream
+/// arrives in daily batches. Reaction times are measured against the
+/// post-creation index built from firehose commits — and because every
+/// labeler's reaction delay is bounded by
+/// [`bsky_labeler::REACTION_WINDOW_DAYS`], that index is *aged out* at every
+/// day boundary: entries older than the reaction window can never match a
+/// future label, so peak index size is bounded by one window's worth of
+/// posts instead of the whole collection (the former `--scale 100` memory
+/// ceiling).
 #[derive(Debug, Default)]
 pub struct ModerationAnalyzer {
-    announced: u64,
-    functional: u64,
-    active: u64,
-    hosting: (u64, u64, u64),
+    collection_end: Datetime,
+    /// Post URI → firehose arrival time, aged past the reaction window.
     post_created: BTreeMap<String, Datetime>,
-    per_month: BTreeMap<String, (u64, u64)>,
-    labeler_month_first: BTreeMap<String, String>,
-    interactions: u64,
-    rescissions: u64,
+    /// Posts per month (bounded by the number of months).
+    posts_per_month: BTreeMap<String, u64>,
+    /// Per-labeler accumulators, keyed by DID.
+    accs: BTreeMap<String, LabelerAcc>,
+    /// Labeled object → labeler DIDs.
     objects: BTreeMap<String, BTreeSet<String>>,
     object_kind: BTreeMap<String, LabelTargetKind>,
+    /// Labeled post → its creation month (bounded by labeled objects).
+    labeled_post_month: BTreeMap<String, String>,
     value_counts: BTreeMap<String, u64>,
     value_reactions: BTreeMap<String, Vec<f64>>,
-    value_by_community: BTreeMap<String, bool>,
     per_target_kind: BTreeMap<LabelTargetKind, BTreeMap<String, u64>>,
     raw_values: BTreeSet<String>,
     applied_values: BTreeSet<String>,
-    bluesky_objects: BTreeSet<String>,
-    community_objects: BTreeSet<String>,
-    table3_counts: BTreeMap<String, u64>,
-    labeler_did_by_name: BTreeMap<String, String>,
+    interactions: u64,
+    rescissions: u64,
     likes_on_accounts: BTreeMap<String, u64>,
-    official_did: Option<String>,
-    accs: Vec<LabelerAcc>,
-    collection_end: Datetime,
+    pending: Vec<PendingReaction>,
+    peak_post_index: usize,
 }
 
 impl ModerationAnalyzer {
     /// A fresh accumulator.
     pub fn new() -> ModerationAnalyzer {
         ModerationAnalyzer::default()
+    }
+
+    /// Current size of the post-creation index (the bounded-memory probe
+    /// used by the streaming bench).
+    pub fn post_index_len(&self) -> usize {
+        self.post_created.len()
+    }
+
+    /// Largest size the post-creation index ever reached.
+    pub fn peak_post_index(&self) -> usize {
+        self.peak_post_index
+    }
+
+    /// Record one measured reaction: the post's creation month (for the
+    /// last-month labeled share), the per-labeler delta and the per-value
+    /// delta.
+    fn record_reaction(
+        &mut self,
+        labeler: &str,
+        value: &str,
+        object: &str,
+        post_created: Datetime,
+        label_created: Datetime,
+    ) {
+        let delta = (label_created.timestamp() - post_created.timestamp()).max(0) as f64;
+        self.labeled_post_month
+            .insert(object.to_string(), month_of(post_created));
+        if let Some(acc) = self.accs.get_mut(labeler) {
+            acc.reactions.push(delta);
+        }
+        self.value_reactions
+            .entry(value.to_string())
+            .or_default()
+            .push(delta);
     }
 }
 
@@ -671,6 +840,13 @@ impl Analyzer for ModerationAnalyzer {
             Observation::WindowStart { collection_end, .. } => {
                 self.collection_end = *collection_end;
             }
+            // Age out the post index: a label for a post always surfaces
+            // within the bounded reaction window, so entries older than the
+            // window (plus one day of publication slack) can never match.
+            Observation::DayBoundary { day } => {
+                let cutoff = day.timestamp() - (REACTION_WINDOW_DAYS + 1) * 86_400;
+                self.post_created.retain(|_, t| t.timestamp() >= cutoff);
+            }
             // Post creation times from firehose commit ops (the paper
             // computes reaction times against posts received from the
             // firehose since Mar 6).
@@ -679,73 +855,56 @@ impl Analyzer for ModerationAnalyzer {
                     for op in ops {
                         if op.collection() == known::POST && op.cid.is_some() {
                             let uri = format!("at://{did}/{}", op.key);
-                            self.post_created.entry(uri).or_insert(event.time);
+                            if let std::collections::btree_map::Entry::Vacant(e) =
+                                self.post_created.entry(uri)
+                            {
+                                e.insert(event.time);
+                                *self
+                                    .posts_per_month
+                                    .entry(month_of(event.time))
+                                    .or_insert(0) += 1;
+                            }
                         }
                     }
+                    self.peak_post_index = self.peak_post_index.max(self.post_created.len());
                 }
             }
             Observation::Labeler(entry) => {
-                self.announced += 1;
-                if entry.functional {
-                    self.functional += 1;
-                }
-                if !entry.labels.is_empty() {
-                    self.active += 1;
-                }
-                match entry.hosting {
-                    HostingClass::Cloud => self.hosting.0 += 1,
-                    HostingClass::Residential => self.hosting.1 += 1,
-                    HostingClass::Dead => self.hosting.2 += 1,
-                }
-                // The first official labeler on the stream anchors the
-                // Bluesky-vs-community object split, as in the batch scan.
-                if entry.operator == LabelerOperator::BlueskyOfficial && self.official_did.is_none()
-                {
-                    self.official_did = Some(entry.did.to_string());
-                }
-                self.labeler_did_by_name
-                    .entry(entry.name.clone())
-                    .or_insert_with(|| entry.did.to_string());
-                let community = entry.operator == LabelerOperator::Community;
-                let mut acc = LabelerAcc {
-                    did: entry.did.to_string(),
+                let acc = self.accs.entry(entry.did.to_string()).or_default();
+                acc.meta = Some(LabelerMeta {
                     name: entry.name.clone(),
-                    community,
-                    values: BTreeMap::new(),
-                    reactions: Vec::new(),
-                    applied: 0,
-                };
-                let official = self.official_did.clone().unwrap_or_default();
-                for label in &entry.labels {
+                    operator: entry.operator,
+                    hosting: entry.hosting,
+                    functional: entry.functional,
+                });
+            }
+            Observation::Labels { src, labels } => {
+                let key = src.to_string();
+                for label in labels.iter() {
                     self.interactions += 1;
                     self.raw_values.insert(label.value.clone());
+                    let acc = self.accs.entry(key.clone()).or_default();
+                    acc.stream_entries += 1;
                     if label.negated {
                         self.rescissions += 1;
                         continue;
                     }
                     acc.applied += 1;
-                    self.applied_values.insert(label.value.clone());
                     *acc.values.entry(label.value.clone()).or_insert(0) += 1;
-                    *self.value_counts.entry(label.value.clone()).or_insert(0) += 1;
-                    self.value_by_community
-                        .entry(label.value.clone())
-                        .and_modify(|c| *c = *c && community)
-                        .or_insert(community);
                     let month = month_of(label.created_at);
-                    let slot = self.per_month.entry(month.clone()).or_insert((0, 0));
-                    if community {
-                        slot.1 += 1;
-                        self.labeler_month_first
-                            .entry(acc.did.clone())
-                            .or_insert(month.clone());
-                    } else {
-                        slot.0 += 1;
-                    }
+                    *acc.per_month.entry(month.clone()).or_insert(0) += 1;
+                    acc.first_month = match acc.first_month.take() {
+                        Some(m) => Some(m.min(month)),
+                        None => Some(month),
+                    };
+                    self.applied_values.insert(label.value.clone());
+                    *self.value_counts.entry(label.value.clone()).or_insert(0) += 1;
                     let object = label.target.uri();
+                    acc.objects.insert(object.clone());
                     self.objects
                         .entry(object.clone())
                         .or_default()
-                        .insert(acc.did.clone());
+                        .insert(key.clone());
                     self.object_kind.insert(object.clone(), label.target.kind());
                     *self
                         .per_target_kind
@@ -753,26 +912,25 @@ impl Analyzer for ModerationAnalyzer {
                         .or_default()
                         .entry(label.value.clone())
                         .or_insert(0) += 1;
-                    if acc.did == official {
-                        self.bluesky_objects.insert(object.clone());
-                    } else {
-                        self.community_objects.insert(object.clone());
-                    }
-                    if community {
-                        *self.table3_counts.entry(acc.name.clone()).or_insert(0) += 1;
-                    }
                     // Reaction time against the post's firehose arrival.
-                    if let Some(created) = self.post_created.get(&object) {
-                        let delta =
-                            (label.created_at.timestamp() - created.timestamp()).max(0) as f64;
-                        acc.reactions.push(delta);
-                        self.value_reactions
-                            .entry(label.value.clone())
-                            .or_default()
-                            .push(delta);
+                    match self.post_created.get(&object).copied() {
+                        Some(created) => {
+                            self.record_reaction(
+                                &key,
+                                &label.value,
+                                &object,
+                                created,
+                                label.created_at,
+                            );
+                        }
+                        None => self.pending.push(PendingReaction {
+                            object,
+                            value: label.value.clone(),
+                            labeler: key.clone(),
+                            label_created: label.created_at,
+                        }),
                     }
                 }
-                self.accs.push(acc);
             }
             Observation::Repo(repo) => {
                 // Table 3's likes column: likes on labeler accounts.
@@ -789,20 +947,128 @@ impl Analyzer for ModerationAnalyzer {
         }
     }
 
+    fn merge(&mut self, other: Self) {
+        if self.collection_end == Datetime::default() {
+            self.collection_end = other.collection_end;
+        }
+        // Post indices are disjoint-keyed (each post arrives once) except
+        // under artificial replays; first writer wins either way.
+        for (uri, time) in other.post_created {
+            self.post_created.entry(uri).or_insert(time);
+        }
+        self.peak_post_index = self.peak_post_index.max(other.peak_post_index);
+        for (month, count) in other.posts_per_month {
+            *self.posts_per_month.entry(month).or_insert(0) += count;
+        }
+        for (did, acc) in other.accs {
+            self.accs.entry(did).or_default().absorb(acc);
+        }
+        for (object, dids) in other.objects {
+            self.objects.entry(object).or_default().extend(dids);
+        }
+        for (object, kind) in other.object_kind {
+            self.object_kind.entry(object).or_insert(kind);
+        }
+        for (object, month) in other.labeled_post_month {
+            self.labeled_post_month.entry(object).or_insert(month);
+        }
+        for (value, count) in other.value_counts {
+            *self.value_counts.entry(value).or_insert(0) += count;
+        }
+        for (value, reactions) in other.value_reactions {
+            self.value_reactions
+                .entry(value)
+                .or_default()
+                .extend(reactions);
+        }
+        for (kind, values) in other.per_target_kind {
+            let entry = self.per_target_kind.entry(kind).or_default();
+            for (value, count) in values {
+                *entry.entry(value).or_insert(0) += count;
+            }
+        }
+        self.raw_values.extend(other.raw_values);
+        self.applied_values.extend(other.applied_values);
+        self.interactions += other.interactions;
+        self.rescissions += other.rescissions;
+        for (did, count) in other.likes_on_accounts {
+            *self.likes_on_accounts.entry(did).or_insert(0) += count;
+        }
+        // Re-resolve pending reactions against the combined post index: a
+        // stream split can separate a label from its post, and the merge
+        // must heal exactly that.
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.extend(other.pending);
+        for p in pending {
+            match self.post_created.get(&p.object).copied() {
+                Some(created) => {
+                    self.record_reaction(&p.labeler, &p.value, &p.object, created, p.label_created)
+                }
+                None => self.pending.push(p),
+            }
+        }
+    }
+
     fn finish(self, _ctx: &StudyCtx<'_>) -> ModerationReport {
-        let total_applied: u64 = self.accs.iter().map(|a| a.applied).sum();
+        // Labels whose posts never appeared on the stream (pre-window
+        // posts) keep their volume counts but have no reaction time — drop
+        // the leftover pendings, mirroring the batch scan.
+        let official: Option<String> = self
+            .accs
+            .iter()
+            .filter(|(_, acc)| {
+                acc.meta
+                    .as_ref()
+                    .map(|m| m.operator == LabelerOperator::BlueskyOfficial)
+                    .unwrap_or(false)
+            })
+            .map(|(did, _)| did.clone())
+            .next();
+
+        let mut announced = 0u64;
+        let mut functional = 0u64;
+        let mut active = 0u64;
+        let mut hosting = (0u64, 0u64, 0u64);
+        for acc in self.accs.values() {
+            let Some(meta) = &acc.meta else { continue };
+            announced += 1;
+            if meta.functional {
+                functional += 1;
+            }
+            if acc.stream_entries > 0 {
+                active += 1;
+            }
+            match meta.hosting {
+                HostingClass::Cloud => hosting.0 += 1,
+                HostingClass::Residential => hosting.1 += 1,
+                HostingClass::Dead => hosting.2 += 1,
+            }
+        }
+
+        let community = |acc: &LabelerAcc| -> bool {
+            acc.meta
+                .as_ref()
+                .map(|m| m.operator == LabelerOperator::Community)
+                .unwrap_or(true)
+        };
+
+        let total_applied: u64 = self.accs.values().map(|a| a.applied).sum();
         let mut table6 = Vec::new();
-        for acc in &self.accs {
+        for (did, acc) in &self.accs {
             if acc.applied == 0 {
                 continue;
             }
             let mut top: Vec<(String, u64)> =
                 acc.values.iter().map(|(v, c)| (v.clone(), *c)).collect();
-            top.sort_by_key(|e| std::cmp::Reverse(e.1));
+            top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             table6.push(LabelerReaction {
-                did: acc.did.clone(),
-                name: acc.name.clone(),
-                community: acc.community,
+                did: did.clone(),
+                name: acc
+                    .meta
+                    .as_ref()
+                    .map(|m| m.name.clone())
+                    .unwrap_or_default(),
+                community: community(acc),
                 unique_values: top.len() as u64,
                 top_values: top.iter().take(3).map(|(v, _)| v.clone()).collect(),
                 total: acc.applied,
@@ -811,20 +1077,40 @@ impl Analyzer for ModerationAnalyzer {
                 iqd_reaction_secs: stats::iqd(&acc.reactions),
             });
         }
-        table6.sort_by_key(|r| std::cmp::Reverse(r.total));
+        table6.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
 
         // Figure 4 series with cumulative community labeler count.
-        let mut labels_by_month: Vec<(String, u64, u64, u64)> = Vec::new();
-        let mut seen_labelers: BTreeSet<String> = BTreeSet::new();
-        let months: BTreeSet<String> = self.per_month.keys().cloned().collect();
-        for month in months {
-            for (did, first) in &self.labeler_month_first {
-                if *first <= month {
-                    seen_labelers.insert(did.clone());
+        let mut per_month: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for acc in self.accs.values() {
+            let is_community = community(acc);
+            for (month, count) in &acc.per_month {
+                let slot = per_month.entry(month.clone()).or_insert((0, 0));
+                if is_community {
+                    slot.1 += count;
+                } else {
+                    slot.0 += count;
                 }
             }
-            let (bluesky, community) = self.per_month.get(&month).copied().unwrap_or((0, 0));
-            labels_by_month.push((month, bluesky, community, seen_labelers.len() as u64));
+        }
+        let mut labels_by_month: Vec<(String, u64, u64, u64)> = Vec::new();
+        let mut seen_labelers: BTreeSet<String> = BTreeSet::new();
+        for (month, (bluesky, community_count)) in &per_month {
+            for (did, acc) in &self.accs {
+                if !community(acc) {
+                    continue;
+                }
+                if let Some(first) = &acc.first_month {
+                    if first <= month {
+                        seen_labelers.insert(did.clone());
+                    }
+                }
+            }
+            labels_by_month.push((
+                month.clone(),
+                *bluesky,
+                *community_count,
+                seen_labelers.len() as u64,
+            ));
         }
         let community_share_last_month = labels_by_month
             .last()
@@ -832,38 +1118,31 @@ impl Analyzer for ModerationAnalyzer {
             .unwrap_or(0.0);
 
         // Last-month labeled-post share: posts created in the last full month
-        // of the window vs labeled objects in that month.
+        // of the window vs labeled objects created in that month.
         let last_month = month_of(self.collection_end.plus_days(-15));
-        let posts_last_month = self
-            .post_created
-            .values()
-            .filter(|t| month_of(**t) == last_month)
-            .count() as u64;
+        let posts_last_month = self.posts_per_month.get(&last_month).copied().unwrap_or(0);
         let labeled_posts_last_month = self
-            .objects
-            .keys()
-            .filter(|uri| {
-                self.post_created
-                    .get(*uri)
-                    .map(|t| month_of(*t) == last_month)
-                    .unwrap_or(false)
-            })
+            .labeled_post_month
+            .values()
+            .filter(|month| **month == last_month)
             .count() as u64;
 
         // Table 3: top community labelers with likes on their accounts.
         let mut table3: Vec<(String, u64, u64)> = self
-            .table3_counts
-            .into_iter()
-            .map(|(name, count)| {
-                let likes = self
-                    .labeler_did_by_name
-                    .get(&name)
-                    .and_then(|did| self.likes_on_accounts.get(did).copied())
-                    .unwrap_or(0);
-                (name, count, likes)
+            .accs
+            .iter()
+            .filter(|(_, acc)| community(acc) && acc.applied > 0)
+            .map(|(did, acc)| {
+                let name = acc
+                    .meta
+                    .as_ref()
+                    .map(|m| m.name.clone())
+                    .unwrap_or_default();
+                let likes = self.likes_on_accounts.get(did).copied().unwrap_or(0);
+                (name, acc.applied, likes)
             })
             .collect();
-        table3.sort_by_key(|e| std::cmp::Reverse(e.1));
+        table3.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         table3.truncate(5);
 
         // Table 4: label targets.
@@ -880,7 +1159,7 @@ impl Analyzer for ModerationAnalyzer {
                 .get(&kind)
                 .map(|m| m.iter().map(|(v, c)| (v.clone(), *c)).collect())
                 .unwrap_or_default();
-            top.sort_by_key(|e| std::cmp::Reverse(e.1));
+            top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             top.truncate(5);
             table4.push((
                 kind.display_name().to_string(),
@@ -890,7 +1169,18 @@ impl Analyzer for ModerationAnalyzer {
             ));
         }
 
-        // Figure 6: per-value reaction times.
+        // Figure 6: per-value reaction times. A value counts as community
+        // when every labeler applying it is community-operated.
+        let mut value_community: BTreeMap<&String, bool> = BTreeMap::new();
+        for acc in self.accs.values() {
+            let is_community = community(acc);
+            for value in acc.values.keys() {
+                value_community
+                    .entry(value)
+                    .and_modify(|c| *c = *c && is_community)
+                    .or_insert(is_community);
+            }
+        }
         let mut figure6: Vec<(String, u64, f64, bool)> = self
             .value_counts
             .iter()
@@ -904,22 +1194,30 @@ impl Analyzer for ModerationAnalyzer {
                     value.clone(),
                     *count,
                     median,
-                    self.value_by_community.get(value).copied().unwrap_or(true),
+                    value_community.get(value).copied().unwrap_or(true),
                 )
             })
             .collect();
-        figure6.sort_by_key(|e| std::cmp::Reverse(e.1));
+        figure6.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         // Overlap statistics.
         let multi_service = self.objects.values().filter(|s| s.len() > 1).count() as u64;
-        let both = self
-            .bluesky_objects
-            .intersection(&self.community_objects)
-            .count() as u64;
+        let bluesky_objects: BTreeSet<&String> = official
+            .as_ref()
+            .and_then(|did| self.accs.get(did))
+            .map(|acc| acc.objects.iter().collect())
+            .unwrap_or_default();
+        let mut community_objects: BTreeSet<&String> = BTreeSet::new();
+        for (did, acc) in &self.accs {
+            if Some(did) != official.as_ref() {
+                community_objects.extend(acc.objects.iter());
+            }
+        }
+        let both = bluesky_objects.intersection(&community_objects).count() as u64;
 
         ModerationReport {
-            labeler_counts: (self.announced, self.functional, self.active),
-            hosting: self.hosting,
+            labeler_counts: (announced, functional, active),
+            hosting,
             labels_by_month,
             community_share_last_month,
             interactions: (self.interactions, self.rescissions),
@@ -1030,7 +1328,7 @@ impl ModerationReport {
 // ---------------------------------------------------------------------------
 
 /// The §7 recommendation report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecommendationReport {
     /// Reachable feed generators.
     pub total_feeds: u64,
@@ -1064,27 +1362,25 @@ pub struct RecommendationReport {
 
 /// Incremental §7 recommendation analyses.
 ///
-/// Relies on the canonical stream order: labeler entries arrive before feed
-/// generators (so the label index exists when feeds are folded), which in
-/// turn arrive before repository snapshots (so likes-on-feeds and
-/// follows-on-creators can be matched without retaining repo records).
+/// All per-feed state is keyed by feed URI (so a feed observed by several
+/// shards merges by [`crate::datasets::FeedGenEntry::absorb`]); everything
+/// that needs global context — the label index, the follow graph, the
+/// creator set — is resolved at finish time, after all merges.
 #[derive(Debug, Default)]
 pub struct RecommendationAnalyzer {
-    total_feeds: u64,
-    never: u64,
-    langs: Vec<&'static str>,
-    words: BTreeMap<String, u64>,
-    label_by_uri: BTreeMap<String, Vec<String>>,
-    feed_label_counts: BTreeMap<String, u64>,
-    heavily_labeled: u64,
-    by_month: BTreeMap<String, (u64, u64, u64)>,
-    feed_creator_dids: BTreeSet<String>,
-    feed_uris: BTreeSet<String>,
-    posts_vs_likes: Vec<(String, u64, u64)>,
-    feeds_per_creator: BTreeMap<String, (u64, u64)>,
-    total_posts: u64,
-    total_likes: u64,
-    per_platform: BTreeMap<String, (u64, u64, u64)>,
+    /// Feed URI → merged dataset entry.
+    feeds: BTreeMap<String, crate::datasets::FeedGenEntry>,
+    /// `(object uri, labeler, value)` → `(applied, negated)`.
+    labels: BTreeMap<(String, String, String), (bool, bool)>,
+    /// Deduplicated follow edges `(author, subject)` from the repositories.
+    follow_edges: BTreeSet<(String, String)>,
+    /// DIDs with a repository snapshot (the §7 user universe).
+    actors: BTreeSet<String>,
+    /// Likes on feed-generator records per month (Figure 7).
+    feed_likes_by_month: BTreeMap<String, u64>,
+    /// Follow records per subject and month (filtered to creators at
+    /// finish).
+    follows_by_subject_month: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 impl RecommendationAnalyzer {
@@ -1099,96 +1395,58 @@ impl Analyzer for RecommendationAnalyzer {
 
     fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
         match obs {
-            Observation::Labeler(entry) => {
-                // Figure 9's label index, from effective (non-rescinded)
-                // labels.
-                for label in effective_labels(&entry.labels) {
-                    self.label_by_uri
-                        .entry(label.target.uri())
-                        .or_default()
-                        .push(label.value.clone());
+            Observation::Labels { src, labels } => {
+                // Figure 9's label index: raw interactions folded into
+                // (applied, negated) flags per (object, labeler, value) —
+                // the order-insensitive form of `effective_labels`.
+                for label in labels.iter() {
+                    let key = (label.target.uri(), src.to_string(), label.value.clone());
+                    let entry = self.labels.entry(key).or_insert((false, false));
+                    if label.negated {
+                        entry.1 = true;
+                    } else {
+                        entry.0 = true;
+                    }
                 }
             }
             Observation::FeedGenerator(feed) => {
-                self.total_feeds += 1;
-                if feed.posts.is_empty() {
-                    self.never += 1;
-                }
-                self.langs.push(langdetect::detect(&feed.description));
-                // Figure 8: word frequencies.
-                for word in feed.description.split_whitespace() {
-                    let cleaned: String = word
-                        .chars()
-                        .filter(|c| c.is_alphanumeric())
-                        .collect::<String>()
-                        .to_lowercase();
-                    if cleaned.len() >= 3 {
-                        *self.words.entry(cleaned).or_insert(0) += 1;
+                let key = feed.uri.to_string();
+                match self.feeds.get_mut(&key) {
+                    Some(existing) => existing.absorb((*feed).clone()),
+                    None => {
+                        self.feeds.insert(key, (*feed).clone());
                     }
                 }
-                // Figure 9 + heavily-labeled share.
-                if !feed.posts.is_empty() {
-                    let labeled = feed
-                        .posts
-                        .iter()
-                        .filter(|(uri, _)| self.label_by_uri.contains_key(&uri.to_string()))
-                        .count();
-                    if labeled as f64 / feed.posts.len() as f64 >= 0.10 {
-                        self.heavily_labeled += 1;
-                        // Most frequent label for this feed.
-                        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-                        for (uri, _) in &feed.posts {
-                            if let Some(values) = self.label_by_uri.get(&uri.to_string()) {
-                                for value in values {
-                                    *counts.entry(value.clone()).or_insert(0) += 1;
-                                }
-                            }
-                        }
-                        if let Some((top_value, _)) = counts.into_iter().max_by_key(|(_, c)| *c) {
-                            *self.feed_label_counts.entry(top_value).or_insert(0) += 1;
-                        }
-                    }
-                }
-                self.feed_creator_dids.insert(feed.creator.to_string());
-                self.feed_uris.insert(feed.uri.to_string());
-                self.posts_vs_likes.push((
-                    feed.display_name.clone(),
-                    feed.posts.len() as u64,
-                    feed.like_count,
-                ));
-                let entry = self
-                    .feeds_per_creator
-                    .entry(feed.creator.to_string())
-                    .or_insert((0, 0));
-                entry.0 += 1;
-                entry.1 += feed.like_count;
-                self.total_posts += feed.posts.len() as u64;
-                self.total_likes += feed.like_count;
-                let platform = self.per_platform.entry(feed.platform.clone()).or_default();
-                platform.0 += 1;
-                platform.1 += feed.posts.len() as u64;
-                platform.2 += feed.like_count;
             }
             Observation::Repo(repo) => {
-                // Figure 7: likes on feeds / follows on creators, attributed
-                // to the month of the like/follow record.
+                self.actors.insert(repo.did.to_string());
                 for (_, _, record) in &repo.records {
                     match record {
+                        // Figure 7: likes on feed-generator records,
+                        // recognised structurally so no cross-category state
+                        // is needed at observe time.
                         Record::Like(like)
-                            if self.feed_uris.contains(&like.subject.to_string()) =>
+                            if like
+                                .subject
+                                .collection()
+                                .map(|c| c.as_str() == known::FEED_GENERATOR)
+                                .unwrap_or(false) =>
                         {
-                            self.by_month
+                            *self
+                                .feed_likes_by_month
                                 .entry(month_of(like.created_at))
-                                .or_default()
-                                .1 += 1;
+                                .or_insert(0) += 1;
                         }
-                        Record::Follow(follow)
-                            if self.feed_creator_dids.contains(&follow.subject.to_string()) =>
-                        {
-                            self.by_month
-                                .entry(month_of(follow.created_at))
+                        Record::Follow(follow) => {
+                            let subject = follow.subject.to_string();
+                            self.follow_edges
+                                .insert((repo.did.to_string(), subject.clone()));
+                            *self
+                                .follows_by_subject_month
+                                .entry(subject)
                                 .or_default()
-                                .2 += 1;
+                                .entry(month_of(follow.created_at))
+                                .or_insert(0) += 1;
                         }
                         _ => {}
                     }
@@ -1198,31 +1456,142 @@ impl Analyzer for RecommendationAnalyzer {
         }
     }
 
-    fn finish(mut self, ctx: &StudyCtx<'_>) -> RecommendationReport {
-        let world = ctx.world();
-        let total_feeds = self.total_feeds;
-        let lang_counts = stats::top_counts(self.langs.iter().copied());
+    fn merge(&mut self, other: Self) {
+        for (key, entry) in other.feeds {
+            match self.feeds.get_mut(&key) {
+                Some(existing) => existing.absorb(entry),
+                None => {
+                    self.feeds.insert(key, entry);
+                }
+            }
+        }
+        for (key, (applied, negated)) in other.labels {
+            let entry = self.labels.entry(key).or_insert((false, false));
+            entry.0 |= applied;
+            entry.1 |= negated;
+        }
+        self.follow_edges.extend(other.follow_edges);
+        self.actors.extend(other.actors);
+        for (month, count) in other.feed_likes_by_month {
+            *self.feed_likes_by_month.entry(month).or_insert(0) += count;
+        }
+        for (subject, months) in other.follows_by_subject_month {
+            let entry = self.follows_by_subject_month.entry(subject).or_default();
+            for (month, count) in months {
+                *entry.entry(month).or_insert(0) += count;
+            }
+        }
+    }
+
+    fn finish(self, _ctx: &StudyCtx<'_>) -> RecommendationReport {
+        let total_feeds = self.feeds.len() as u64;
+
+        // Effective label index: applied and never negated.
+        let mut label_by_uri: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+        for ((uri, _src, value), (applied, negated)) in &self.labels {
+            if *applied && !*negated {
+                label_by_uri.entry(uri).or_default().push(value);
+            }
+        }
+
+        let mut never = 0u64;
+        let mut langs: Vec<&'static str> = Vec::new();
+        let mut words: BTreeMap<String, u64> = BTreeMap::new();
+        let mut heavily_labeled = 0u64;
+        let mut feed_label_counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut by_month: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        let mut posts_vs_likes: Vec<(String, u64, u64)> = Vec::new();
+        let mut feeds_per_creator: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut total_posts = 0u64;
+        let mut total_likes = 0u64;
+        let mut per_platform: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+
+        for feed in self.feeds.values() {
+            let served = feed.served_posts();
+            if served.is_empty() {
+                never += 1;
+            }
+            langs.push(langdetect::detect(&feed.description));
+            for word in feed.description.split_whitespace() {
+                let cleaned: String = word
+                    .chars()
+                    .filter(|c| c.is_alphanumeric())
+                    .collect::<String>()
+                    .to_lowercase();
+                if cleaned.len() >= 3 {
+                    *words.entry(cleaned).or_insert(0) += 1;
+                }
+            }
+            // Figure 9 + heavily-labeled share.
+            if !served.is_empty() {
+                let labeled = served
+                    .iter()
+                    .filter(|post| label_by_uri.contains_key(&post.uri.to_string()))
+                    .count();
+                if labeled as f64 / served.len() as f64 >= 0.10 {
+                    heavily_labeled += 1;
+                    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+                    for post in &served {
+                        if let Some(values) = label_by_uri.get(&post.uri.to_string()) {
+                            for value in values {
+                                *counts.entry((*value).clone()).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    if let Some((top_value, _)) = counts.into_iter().max_by_key(|(_, c)| *c) {
+                        *feed_label_counts.entry(top_value).or_insert(0) += 1;
+                    }
+                }
+            }
+            by_month.entry(month_of(feed.created_at)).or_default().0 += 1;
+            posts_vs_likes.push((
+                feed.display_name.clone(),
+                served.len() as u64,
+                feed.like_count,
+            ));
+            let creator = feeds_per_creator
+                .entry(feed.creator.to_string())
+                .or_insert((0, 0));
+            creator.0 += 1;
+            creator.1 += feed.like_count;
+            total_posts += served.len() as u64;
+            total_likes += feed.like_count;
+            let platform = per_platform.entry(feed.platform.clone()).or_default();
+            platform.0 += 1;
+            platform.1 += served.len() as u64;
+            platform.2 += feed.like_count;
+        }
+
+        let lang_counts = stats::top_counts(langs.iter().copied());
         let description_languages = lang_counts
             .iter()
             .map(|(l, c)| ((*l).to_string(), stats::share(*c, total_feeds.max(1))))
             .collect();
 
-        let mut top_words: Vec<(String, u64)> = self.words.into_iter().collect();
+        let mut top_words: Vec<(String, u64)> = words.into_iter().collect();
         top_words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         top_words.truncate(15);
 
-        let mut feed_post_labels: Vec<(String, u64)> = self.feed_label_counts.into_iter().collect();
-        feed_post_labels.sort_by_key(|e| std::cmp::Reverse(e.1));
+        let mut feed_post_labels: Vec<(String, u64)> = feed_label_counts.into_iter().collect();
+        feed_post_labels.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         feed_post_labels.truncate(10);
 
-        // Figure 7: feeds per creation month join the like/follow series.
-        for info in &world.feedgen_info {
-            let month = month_of(info.plan.created_at);
-            self.by_month.entry(month).or_default().0 += 1;
+        // Figure 7: likes on feeds and follows on creators join the
+        // feed-creation series.
+        for (month, count) in &self.feed_likes_by_month {
+            by_month.entry(month.clone()).or_default().1 += count;
+        }
+        let creator_dids: BTreeSet<&String> = feeds_per_creator.keys().collect();
+        for (subject, months) in &self.follows_by_subject_month {
+            if creator_dids.contains(subject) {
+                for (month, count) in months {
+                    by_month.entry(month.clone()).or_default().2 += count;
+                }
+            }
         }
         let mut cumulative_growth = Vec::new();
         let mut acc = (0u64, 0u64, 0u64);
-        for (month, (feeds, likes, follows)) in self.by_month {
+        for (month, (feeds, likes, follows)) in by_month {
             acc.0 += feeds;
             acc.1 += likes;
             acc.2 += follows;
@@ -1230,11 +1599,17 @@ impl Analyzer for RecommendationAnalyzer {
         }
 
         // Figure 10: posts vs likes extremes.
-        let mut posts_vs_likes = self.posts_vs_likes;
-        posts_vs_likes.sort_by_key(|e| std::cmp::Reverse(e.1 + e.2));
+        posts_vs_likes.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)).then_with(|| a.0.cmp(&b.0)));
         posts_vs_likes.truncate(10);
 
-        // Figure 11 + correlations: follower counts come from the AppView.
+        // Figure 11 + correlations: degrees from the deduplicated follow
+        // graph of the repositories dataset.
+        let mut follows_of: BTreeMap<&String, u64> = BTreeMap::new();
+        let mut followers_of: BTreeMap<&String, u64> = BTreeMap::new();
+        for (author, subject) in &self.follow_edges {
+            *follows_of.entry(author).or_insert(0) += 1;
+            *followers_of.entry(subject).or_insert(0) += 1;
+        }
         let mut creator_in = Vec::new();
         let mut creator_out = Vec::new();
         let mut other_in = Vec::new();
@@ -1242,17 +1617,18 @@ impl Analyzer for RecommendationAnalyzer {
         let mut x_feeds = Vec::new();
         let mut x_likes = Vec::new();
         let mut y_followers = Vec::new();
-        for actor in world.appview.index().actors() {
-            let key = actor.did.to_string();
-            if let Some((feeds, likes)) = self.feeds_per_creator.get(&key) {
-                creator_in.push(actor.followers as f64);
-                creator_out.push(actor.follows as f64);
+        for did in &self.actors {
+            let followers = followers_of.get(did).copied().unwrap_or(0) as f64;
+            let follows = follows_of.get(did).copied().unwrap_or(0) as f64;
+            if let Some((feeds, likes)) = feeds_per_creator.get(did) {
+                creator_in.push(followers);
+                creator_out.push(follows);
                 x_feeds.push(*feeds as f64);
                 x_likes.push(*likes as f64);
-                y_followers.push(actor.followers as f64);
+                y_followers.push(followers);
             } else {
-                other_in.push(actor.followers as f64);
-                other_out.push(actor.follows as f64);
+                other_in.push(followers);
+                other_out.push(follows);
             }
         }
         let mean = |v: &[f64]| {
@@ -1270,34 +1646,21 @@ impl Analyzer for RecommendationAnalyzer {
         let r_likes_followers = stats::pearson(&x_likes, &y_followers);
 
         // Feeds per account.
-        let one = self
-            .feeds_per_creator
-            .values()
-            .filter(|(f, _)| *f == 1)
-            .count() as u64;
-        let two_to_ten = self
-            .feeds_per_creator
+        let one = feeds_per_creator.values().filter(|(f, _)| *f == 1).count() as u64;
+        let two_to_ten = feeds_per_creator
             .values()
             .filter(|(f, _)| (2..=10).contains(f))
             .count() as u64;
-        let over_100 = self
-            .feeds_per_creator
-            .values()
-            .filter(|(f, _)| *f > 100)
-            .count() as u64;
-        let max_feeds = self
-            .feeds_per_creator
+        let over_100 = feeds_per_creator.values().filter(|(f, _)| *f > 100).count() as u64;
+        let max_feeds = feeds_per_creator
             .values()
             .map(|(f, _)| *f)
             .max()
             .unwrap_or(0);
-        let creators = self.feeds_per_creator.len().max(1) as u64;
+        let creators = feeds_per_creator.len().max(1) as u64;
 
         // Figure 12 / Table 5: platform shares.
-        let total_posts = self.total_posts;
-        let total_likes = self.total_likes;
-        let mut platform_shares: Vec<(String, u64, f64, f64, f64)> = self
-            .per_platform
+        let mut platform_shares: Vec<(String, u64, f64, f64, f64)> = per_platform
             .into_iter()
             .map(|(name, (feeds, posts, likes))| {
                 (
@@ -1309,15 +1672,15 @@ impl Analyzer for RecommendationAnalyzer {
                 )
             })
             .collect();
-        platform_shares.sort_by_key(|e| std::cmp::Reverse(e.1));
+        platform_shares.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         RecommendationReport {
             total_feeds,
-            never_curated: (self.never, stats::share(self.never, total_feeds.max(1))),
+            never_curated: (never, stats::share(never, total_feeds.max(1))),
             description_languages,
             top_words,
             feed_post_labels,
-            heavily_labeled_share: stats::share(self.heavily_labeled, total_feeds.max(1)),
+            heavily_labeled_share: stats::share(heavily_labeled, total_feeds.max(1)),
             cumulative_growth,
             posts_vs_likes,
             creator_degrees,
@@ -1417,7 +1780,7 @@ impl RecommendationReport {
 // ---------------------------------------------------------------------------
 
 /// §9 firehose volume estimate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FirehoseVolume {
     /// Mean bytes per day observed on the firehose during collection.
     pub bytes_per_day: f64,
@@ -1445,6 +1808,12 @@ impl Analyzer for FirehoseVolumeAnalyzer {
     fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
         if let Observation::Firehose(event) = obs {
             *self.per_day.entry(event.time.day_index()).or_insert(0) += event.wire_size() as u64;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (day, bytes) in other.per_day {
+            *self.per_day.entry(day).or_insert(0) += bytes;
         }
     }
 
@@ -1501,6 +1870,8 @@ pub fn table5_feature_matrix() -> String {
 mod tests {
     use super::*;
     use crate::datasets::Collector;
+    use crate::pipeline::for_each_observation;
+    use bsky_simnet::SimRng;
     use bsky_workload::ScenarioConfig;
 
     fn run_small() -> (World, Datasets) {
@@ -1589,5 +1960,105 @@ mod tests {
             let mid = moderation.table6[moderation.table6.len() / 2].total;
             assert!(top >= mid);
         }
+    }
+
+    #[test]
+    fn moderation_post_index_is_aged_out() {
+        let mut config = ScenarioConfig::test_scale(13);
+        config.start = Datetime::from_ymd(2024, 1, 10).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 25).unwrap();
+        config.scale = 30_000;
+        let mut world = World::new(config);
+        let mut analyzer = ModerationAnalyzer::new();
+        struct Probe {
+            analyzer: ModerationAnalyzer,
+            total_posts: usize,
+        }
+        impl crate::pipeline::ObservationSink for Probe {
+            fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+                if let Observation::Firehose(event) = obs {
+                    if let EventBody::Commit { ops, .. } = &event.body {
+                        self.total_posts += ops
+                            .iter()
+                            .filter(|op| op.collection() == known::POST && op.cid.is_some())
+                            .count();
+                    }
+                }
+                Analyzer::observe(&mut self.analyzer, obs, ctx);
+            }
+        }
+        analyzer.observe(
+            &Observation::WindowStart {
+                firehose_collection_start: config.firehose_collection_start,
+                collection_end: config.end,
+            },
+            &StudyCtx::detached(),
+        );
+        let mut probe = Probe {
+            analyzer,
+            total_posts: 0,
+        };
+        Collector::new().stream(&mut world, &mut probe);
+        // The aged index peaks far below the total number of posts seen.
+        assert!(probe.total_posts > 0);
+        assert!(
+            probe.analyzer.peak_post_index() < probe.total_posts,
+            "peak {} vs total {}",
+            probe.analyzer.peak_post_index(),
+            probe.total_posts
+        );
+        // And the final index holds at most the last reaction window.
+        assert!(probe.analyzer.post_index_len() <= probe.analyzer.peak_post_index());
+    }
+
+    /// The merge law, pinned per analyzer: fold the whole stream vs split
+    /// the stream at a random point, fold the halves into two fresh
+    /// analyzers, merge, and compare the finished outputs.
+    fn assert_split_merge_equals_fold<A, F>(make: F, world: &World, datasets: &Datasets)
+    where
+        A: Analyzer,
+        A::Output: PartialEq + std::fmt::Debug,
+        F: Fn() -> A,
+    {
+        let ctx = StudyCtx::new(world);
+        let mut observations = 0usize;
+        for_each_observation(datasets, |_| observations += 1);
+        let mut whole = make();
+        for_each_observation(datasets, |obs| whole.observe(&obs, &ctx));
+        let expected = whole.finish(&ctx);
+        // Seeded test RNG: reproducible split points.
+        let mut rng = SimRng::new(0xfeed);
+        for _ in 0..4 {
+            let split = rng.range(0..observations.max(1));
+            let mut first = make();
+            let mut second = make();
+            let mut index = 0usize;
+            for_each_observation(datasets, |obs| {
+                if index < split {
+                    first.observe(&obs, &ctx);
+                } else {
+                    second.observe(&obs, &ctx);
+                }
+                index += 1;
+            });
+            first.merge(second);
+            let merged = first.finish(&ctx);
+            assert!(
+                merged == expected,
+                "split at {split}/{observations} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn every_analyzer_satisfies_the_merge_law() {
+        let (world, datasets) = run_small();
+        assert_split_merge_equals_fold(Table1Analyzer::new, &world, &datasets);
+        assert_split_merge_equals_fold(ActivityAnalyzer::new, &world, &datasets);
+        assert_split_merge_equals_fold(Section4Analyzer::new, &world, &datasets);
+        assert_split_merge_equals_fold(IdentityAnalyzer::new, &world, &datasets);
+        assert_split_merge_equals_fold(ModerationAnalyzer::new, &world, &datasets);
+        assert_split_merge_equals_fold(RecommendationAnalyzer::new, &world, &datasets);
+        assert_split_merge_equals_fold(FirehoseVolumeAnalyzer::new, &world, &datasets);
     }
 }

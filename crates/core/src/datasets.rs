@@ -2,7 +2,7 @@
 //!
 //! [`Collector::stream`] drives a [`World`] day by day and *emits* the same
 //! six datasets the study gathered — through the same service interfaces —
-//! as [`Observation`]s on a [`StudyEngine`] bus:
+//! as [`Observation`]s into an [`ObservationSink`]:
 //!
 //! * **User Identifier Dataset** — weekly `sync.listRepos` snapshots from the
 //!   Relay during March–April 2024, one observation per newly seen DID.
@@ -10,31 +10,35 @@
 //!   documents fetched over HTTPS.
 //! * **Repositories Dataset** — a snapshot of every repository, downloaded as
 //!   CAR archives from the Relay mirror, decoded, emitted, and dropped.
-//! * **Firehose Dataset** — a continuous subscription from 2024-03-06,
-//!   emitted one event at a time; the producer never retains more than one
-//!   day's subscription batch.
+//! * **Firehose Dataset** — a continuous subscription from 2024-03-06. The
+//!   producer interleaves chunked day steps ([`World::step_chunk`]) with
+//!   subscription reads, so it never holds more than one chunk's worth of
+//!   events — peak in-flight is independent of the day's volume.
+//! * **Labeling Services** — metadata when each service record is announced,
+//!   then a daily `subscribeLabels` read per labeler (including rescinded
+//!   labels), so labels stream out close to their publication time.
 //! * **Feed Generators / Feed Posts** — generator records discovered in the
-//!   repositories, metadata via `getFeedGenerator`, posts via `getFeed`.
-//! * **Labeling Services** — every labeler stream consumed from the start
-//!   (including rescinded labels).
+//!   repositories, metadata via `getFeedGenerator`, retained entries via
+//!   `getFeed` hydration.
 //!
 //! [`Collector::run`] keeps the original batch API alive: it registers the
 //! [`Materialize`] analyzer — which folds the stream back into in-memory
 //! [`Datasets`] vectors — and returns its output, so existing callers and
 //! golden tests are untouched.
 
-use crate::pipeline::{Analyzer, Observation, StreamSummary, StudyCtx, StudyEngine};
+use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
 use bsky_atproto::firehose::Event;
 use bsky_atproto::label::Label;
 use bsky_atproto::record::Record;
 use bsky_atproto::repo::Repository;
 use bsky_atproto::{AtUri, Datetime, Did, Nsid};
+use bsky_feedgen::RetentionPolicy;
 use bsky_identity::DidDocument;
 use bsky_labeler::LabelerOperator;
 use bsky_simnet::http::HttpResponse;
 use bsky_simnet::net::HostingClass;
 use bsky_workload::World;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A decoded repository snapshot.
 #[derive(Debug, Clone)]
@@ -45,7 +49,22 @@ pub struct RepoSnapshot {
     pub records: Vec<(Nsid, String, Record)>,
 }
 
+/// One curated post of a feed-generator dataset entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedPost {
+    /// The post URI.
+    pub uri: AtUri,
+    /// The post's self-reported creation time.
+    pub created_at: Datetime,
+    /// When the generator curated it.
+    pub curated_at: Datetime,
+}
+
 /// Feed-generator dataset entry.
+///
+/// In a sharded run every shard emits one entry per feed, carrying only the
+/// curation and likes its own population produced; [`FeedGenEntry::absorb`]
+/// combines them into exactly the entry the serial crawl produces.
 #[derive(Debug, Clone)]
 pub struct FeedGenEntry {
     /// The generator's URI.
@@ -58,17 +77,69 @@ pub struct FeedGenEntry {
     pub description: String,
     /// Hosting platform name (from the service DID / world metadata).
     pub platform: String,
+    /// When the feed was created (declaration record timestamp).
+    pub created_at: Datetime,
+    /// The generator's retention policy (needed to merge shard-local
+    /// retained entry lists into the global retained set).
+    pub retention: RetentionPolicy,
     /// Likes observed on the generator record.
     pub like_count: u64,
     /// Whether the crawler is a feed-generator creator account.
     pub creator_is_popular_rank: u64,
-    /// Curated posts returned by `getFeed`: `(post URI, post created_at)`.
-    pub posts: Vec<(AtUri, Datetime)>,
+    /// Retained, hydrated curated entries in canonical `(curated_at, uri)`
+    /// order. Use [`FeedGenEntry::served_posts`] for the capped
+    /// `getFeed`-style view.
+    pub posts: Vec<FeedPost>,
     /// Whether metadata reported the feed online & valid.
     pub online_and_valid: bool,
 }
 
+/// `getFeed` page cap applied when serving a feed's posts.
+pub const GET_FEED_LIMIT: usize = 1_000;
+
+impl FeedGenEntry {
+    /// Fold another shard's entry for the same feed into this one: likes
+    /// add, curated entries merge under the canonical order, and the
+    /// retention policy is re-applied so the result equals what a single
+    /// generator observing both shards' posts would have retained.
+    pub fn absorb(&mut self, other: FeedGenEntry) {
+        debug_assert_eq!(self.uri, other.uri);
+        self.like_count += other.like_count;
+        self.posts.extend(other.posts);
+        // Canonical curation order — the same structural (curated_at, uri)
+        // comparison `FeedGenerator::push_entry` maintains, so re-applying
+        // Count retention below selects exactly the entries a single
+        // generator would have kept.
+        self.posts
+            .sort_by(|a, b| (a.curated_at, &a.uri).cmp(&(b.curated_at, &b.uri)));
+        self.posts.dedup_by(|a, b| a.uri == b.uri);
+        if let RetentionPolicy::Count(max) = self.retention {
+            if self.posts.len() > max {
+                let excess = self.posts.len() - max;
+                self.posts.drain(0..excess);
+            }
+        }
+    }
+
+    /// The `getFeed` view of the retained entries: newest first by post
+    /// creation time (ties broken by URI), capped at [`GET_FEED_LIMIT`].
+    pub fn served_posts(&self) -> Vec<&FeedPost> {
+        let mut out: Vec<&FeedPost> = self.posts.iter().collect();
+        out.sort_by(|a, b| {
+            b.created_at
+                .cmp(&a.created_at)
+                .then_with(|| a.uri.cmp(&b.uri))
+        });
+        out.truncate(GET_FEED_LIMIT);
+        out
+    }
+}
+
 /// Labeling-service dataset entry.
+///
+/// On the live stream this carries only metadata (labels arrive separately
+/// as [`Observation::Labels`] batches); in the materialized batch
+/// representation `labels` holds the full stream.
 #[derive(Debug, Clone)]
 pub struct LabelerEntry {
     /// The labeler's account DID.
@@ -83,7 +154,8 @@ pub struct LabelerEntry {
     pub functional: bool,
     /// When the labeler was announced.
     pub announced_at: Datetime,
-    /// Every label interaction on its stream (including negations).
+    /// Every label interaction on its stream (including negations). Empty
+    /// on the live stream; populated in the batch representation.
     pub labels: Vec<Label>,
 }
 
@@ -110,105 +182,187 @@ pub struct Datasets {
     pub collection_end: Datetime,
 }
 
+/// Default number of pending relay events per producer chunk.
+pub const DEFAULT_CHUNK_EVENTS: usize = 256;
+
 /// Drives a [`World`] and emits the datasets as observations.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
+    chunk_events: usize,
     firehose_cursor: u64,
     seen_identifiers: BTreeSet<String>,
     identifier_order: Vec<Did>,
+    /// Labeler registry entries already announced to the sink.
+    labelers_emitted: usize,
+    /// Per-labeler `subscribeLabels` cursors.
+    label_cursors: Vec<usize>,
+    observations: u64,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new()
+    }
 }
 
 impl Collector {
-    /// Create a collector.
+    /// Create a collector with the default chunk size.
     pub fn new() -> Collector {
-        Collector::default()
+        Collector::with_chunk_size(DEFAULT_CHUNK_EVENTS)
+    }
+
+    /// Create a collector that crawls after every `chunk_events` pending
+    /// relay events. Smaller chunks bound the in-flight batch tighter at
+    /// the cost of more crawl round-trips.
+    pub fn with_chunk_size(chunk_events: usize) -> Collector {
+        Collector {
+            chunk_events: chunk_events.max(1),
+            firehose_cursor: 0,
+            seen_identifiers: BTreeSet::new(),
+            identifier_order: Vec::new(),
+            labelers_emitted: 0,
+            label_cursors: Vec::new(),
+            observations: 0,
+        }
+    }
+
+    fn emit<S: ObservationSink>(&mut self, sink: &mut S, obs: &Observation<'_>, world: &World) {
+        self.observations += 1;
+        sink.observe(obs, &StudyCtx::new(world));
     }
 
     /// Run the world to its end date while streaming every observation to
-    /// the engine's analyzers, then emit the final snapshots. One pass;
-    /// nothing is retained here beyond per-DID dedup state.
-    pub fn stream(&mut self, world: &mut World, engine: &mut StudyEngine) -> StreamSummary {
+    /// the sink, then emit the final snapshots. One pass; nothing is
+    /// retained here beyond per-DID dedup state, and at most one chunk of
+    /// firehose events is in flight at any time.
+    pub fn stream<S: ObservationSink>(&mut self, world: &mut World, sink: &mut S) -> StreamSummary {
         // Each stream is a complete, independent collection: reset the
         // per-run producer state so a reused collector starts fresh.
         self.firehose_cursor = 0;
         self.seen_identifiers.clear();
         self.identifier_order.clear();
+        self.labelers_emitted = 0;
+        self.label_cursors.clear();
+        self.observations = 0;
         let mut summary = StreamSummary::default();
-        // The engine counts observations for its whole lifetime; report only
-        // this stream's share so reusing an engine across windows stays
-        // accurate.
-        let observations_before = engine.observations();
         let firehose_start = world.config.firehose_collection_start;
         let collection_end = world.config.end;
-        engine.observe(
+        self.emit(
+            sink,
             &Observation::WindowStart {
                 firehose_collection_start: firehose_start,
                 collection_end,
             },
-            &StudyCtx::new(world),
+            world,
         );
         let mut last_listrepos: Option<Datetime> = None;
         while !world.finished() {
-            world.step_day();
+            let Some(mut cursor) = world.begin_day() else {
+                break;
+            };
+            let today = cursor.day();
             summary.days += 1;
-            let today = world.today;
-            engine.observe(
-                &Observation::DayBoundary { day: today },
-                &StudyCtx::new(world),
-            );
-            // Continuous firehose subscription from the configured start.
-            if today >= firehose_start {
+            self.emit(sink, &Observation::DayBoundary { day: today }, world);
+            // Interleave chunked simulation with subscription reads: the
+            // producer drains the relay continuously (discarding pre-window
+            // events), so neither the relay backlog nor a heavy day ever
+            // accumulates into one oversized batch.
+            loop {
+                let done = world.step_chunk(&mut cursor, self.chunk_events);
                 let sub = world.relay.subscribe(self.firehose_cursor);
                 self.firehose_cursor = sub.cursor;
-                // The first read also returns the retained backlog from
-                // before the subscription started; the study only counts
-                // events from the collection start onwards.
-                let ctx = StudyCtx::new(world);
                 summary.peak_in_flight_events = summary.peak_in_flight_events.max(sub.events.len());
                 for event in sub.events.iter().filter(|e| e.time >= firehose_start) {
                     summary.firehose_events += 1;
-                    engine.observe(&Observation::Firehose(event), &ctx);
+                    self.observations += 1;
+                    sink.observe(&Observation::Firehose(event), &StudyCtx::new(world));
                 }
-                // Weekly listRepos snapshots during the collection window.
+                if done {
+                    break;
+                }
+            }
+            world.end_day(cursor);
+            // Labeler metadata for services announced today (exactly one
+            // shard owns each labeler DID), then today's label batches from
+            // every stream.
+            self.emit_new_labelers(world, sink);
+            self.emit_new_labels(world, sink);
+            // Weekly listRepos snapshots during the collection window.
+            if today >= firehose_start {
                 let due = match last_listrepos {
                     None => true,
                     Some(prev) => today.days_since(prev) >= 7,
                 };
                 if due {
-                    self.snapshot_user_identifiers(world, engine);
+                    self.snapshot_user_identifiers(world, sink);
                     last_listrepos = Some(today);
                     summary.listrepos_snapshots += 1;
                 }
             }
         }
         // Final snapshots at the end of the window.
-        self.snapshot_user_identifiers(world, engine);
-        self.snapshot_did_documents(world, engine);
-        self.snapshot_labelers(world, engine);
-        self.snapshot_feed_generators(world, engine);
-        self.snapshot_repositories(world, engine);
-        engine.observe(
-            &Observation::WindowEnd { at: collection_end },
-            &StudyCtx::new(world),
-        );
-        summary.observations = engine.observations() - observations_before;
+        self.snapshot_user_identifiers(world, sink);
+        self.snapshot_did_documents(world, sink);
+        self.snapshot_feed_generators(world, sink);
+        self.snapshot_repositories(world, sink);
+        self.emit(sink, &Observation::WindowEnd { at: collection_end }, world);
+        summary.observations = self.observations;
         summary
     }
 
     /// Batch compatibility: stream into a [`Materialize`] analyzer and
     /// return the in-memory datasets (the seed pipeline's representation).
     pub fn run(&mut self, world: &mut World) -> Datasets {
-        let mut engine = StudyEngine::new();
-        engine.register(Materialize::new());
-        self.stream(world, &mut engine);
+        let mut materialize = Materialize::new();
+        self.stream(world, &mut materialize);
         let ctx = StudyCtx::new(world);
-        engine
-            .finish(&ctx)
-            .take::<Datasets>()
-            .expect("Materialize produces Datasets")
+        materialize.finish(&ctx)
     }
 
-    fn snapshot_user_identifiers(&mut self, world: &mut World, engine: &mut StudyEngine) {
+    fn emit_new_labelers<S: ObservationSink>(&mut self, world: &World, sink: &mut S) {
+        while self.labelers_emitted < world.labelers.all().len() {
+            let index = self.labelers_emitted;
+            self.labelers_emitted += 1;
+            self.label_cursors.push(0);
+            let labeler = &world.labelers.all()[index];
+            let entry = LabelerEntry {
+                did: labeler.did().clone(),
+                name: labeler.display_name().to_string(),
+                operator: labeler.operator(),
+                hosting: labeler.hosting(),
+                functional: labeler.is_functional(),
+                announced_at: labeler.announced_at(),
+                labels: Vec::new(),
+            };
+            // Every shard instantiates every labeler, but the metadata is a
+            // global singleton: only the shard owning the labeler's DID
+            // announces it. (Label batches, by contrast, flow from every
+            // shard — each shard's labeler copy labels that shard's posts.)
+            if world.owns_did(&entry.did) {
+                self.emit(sink, &Observation::Labeler(&entry), world);
+            }
+        }
+    }
+
+    fn emit_new_labels<S: ObservationSink>(&mut self, world: &World, sink: &mut S) {
+        for index in 0..self.labelers_emitted {
+            let labeler = &world.labelers.all()[index];
+            let (labels, next) = labeler.subscribe_labels(self.label_cursors[index]);
+            if !labels.is_empty() {
+                self.observations += 1;
+                sink.observe(
+                    &Observation::Labels {
+                        src: labeler.did(),
+                        labels,
+                    },
+                    &StudyCtx::new(world),
+                );
+            }
+            self.label_cursors[index] = next;
+        }
+    }
+
+    fn snapshot_user_identifiers<S: ObservationSink>(&mut self, world: &World, sink: &mut S) {
         let mut cursor: Option<String> = None;
         loop {
             let (page, next) = world.relay.list_repos(cursor.as_deref(), 500);
@@ -216,12 +370,13 @@ impl Collector {
                 if self.seen_identifiers.insert(did.to_string()) {
                     self.identifier_order.push(did.clone());
                     let rev = rev.map(|t| t.to_string());
-                    engine.observe(
+                    self.emit(
+                        sink,
                         &Observation::UserIdentifier {
                             did: &did,
                             rev: rev.as_deref(),
                         },
-                        &StudyCtx::new(world),
+                        world,
                     );
                 }
             }
@@ -232,18 +387,19 @@ impl Collector {
         }
     }
 
-    fn snapshot_did_documents(&mut self, world: &mut World, engine: &mut StudyEngine) {
+    fn snapshot_did_documents<S: ObservationSink>(&mut self, world: &World, sink: &mut S) {
         // Full PLC export (paginated).
         let mut cursor: Option<String> = None;
         loop {
             let (page, next) = world.plc.export(cursor.as_deref(), 1_000);
             for doc in page {
-                engine.observe(
+                self.emit(
+                    sink,
                     &Observation::DidDocument {
                         doc,
                         via_web: false,
                     },
-                    &StudyCtx::new(world),
+                    world,
                 );
             }
             match next {
@@ -259,21 +415,26 @@ impl Collector {
             let url = format!("https://{domain}/.well-known/did.json");
             if let HttpResponse::Ok(body) = world.web.get(&url) {
                 if let Ok(doc) = DidDocument::from_wire(&body) {
-                    engine.observe(
+                    self.emit(
+                        sink,
                         &Observation::DidDocument {
                             doc: &doc,
                             via_web: true,
                         },
-                        &StudyCtx::new(world),
+                        world,
                     );
                 }
             }
         }
     }
 
-    fn snapshot_repositories(&self, world: &mut World, engine: &mut StudyEngine) {
+    fn snapshot_repositories<S: ObservationSink>(&mut self, world: &mut World, sink: &mut S) {
         let end = world.config.end;
-        for did in &self.identifier_order {
+        // Take the order list out of `self` for the duration of the loop
+        // (the body needs `&mut self` to emit) instead of cloning one DID
+        // per collected user.
+        let order = std::mem::take(&mut self.identifier_order);
+        for did in &order {
             let car = match world.relay.get_repo(did, &mut world.fleet, end) {
                 Ok(car) => car,
                 Err(_) => continue, // deleted / migrated away mid-snapshot
@@ -293,55 +454,51 @@ impl Collector {
                 did: did.clone(),
                 records,
             };
-            engine.observe(&Observation::Repo(&snapshot), &StudyCtx::new(world));
+            self.emit(sink, &Observation::Repo(&snapshot), world);
         }
+        self.identifier_order = order;
     }
 
-    fn snapshot_feed_generators(&mut self, world: &mut World, engine: &mut StudyEngine) {
+    fn snapshot_feed_generators<S: ObservationSink>(&mut self, world: &World, sink: &mut S) {
         for index in 0..world.feedgens.len() {
             let info = &world.feedgen_info[index];
             let platform = info.platform_name.clone();
             let creator_is_popular_rank = info.plan.creator_popularity_rank;
-            let generator = &mut world.feedgens[index];
-            let view = world.appview.get_feed_generator(generator);
-            // Crawl the feed with an "empty" viewer account, as the study did.
-            let posts: Vec<(AtUri, Datetime)> = world
-                .appview
-                .get_feed(generator, 1_000, None)
-                .into_iter()
-                .map(|p| (p.uri.clone(), p.record.created_at))
-                .collect();
+            let created_at = info.plan.created_at;
+            let generator = &world.feedgens[index];
+            // Hydrate the retained entries against the post index, as
+            // `getFeed` does on the live network: URIs the AppView cannot
+            // resolve are silently dropped. Personalised feeds serve
+            // nothing to the study's anonymous crawler.
+            let posts: Vec<FeedPost> = if generator.is_personalized() {
+                Vec::new()
+            } else {
+                generator
+                    .entries()
+                    .iter()
+                    .filter(|entry| world.appview.index().post(&entry.uri).is_some())
+                    .map(|entry| FeedPost {
+                        uri: entry.uri.clone(),
+                        created_at: entry.post_created_at,
+                        curated_at: entry.curated_at,
+                    })
+                    .collect()
+            };
+            let record = generator.record();
             let entry = FeedGenEntry {
-                uri: view.uri,
-                creator: view.creator,
-                display_name: view.display_name,
-                description: view.description,
+                uri: generator.uri().clone(),
+                creator: generator.creator().clone(),
+                display_name: record.display_name.clone(),
+                description: record.description.clone(),
                 platform,
-                like_count: view.like_count,
+                created_at,
+                retention: generator.retention(),
+                like_count: generator.like_count(),
                 creator_is_popular_rank,
                 posts,
-                online_and_valid: view.is_online && view.is_valid,
+                online_and_valid: true,
             };
-            engine.observe(&Observation::FeedGenerator(&entry), &StudyCtx::new(world));
-        }
-    }
-
-    fn snapshot_labelers(&mut self, world: &mut World, engine: &mut StudyEngine) {
-        for index in 0..world.labelers.all().len() {
-            let entry = {
-                let labeler = &world.labelers.all()[index];
-                let (labels, _) = labeler.subscribe_labels(0);
-                LabelerEntry {
-                    did: labeler.did().clone(),
-                    name: labeler.display_name().to_string(),
-                    operator: labeler.operator(),
-                    hosting: labeler.hosting(),
-                    functional: labeler.is_functional(),
-                    announced_at: labeler.announced_at(),
-                    labels: labels.to_vec(),
-                }
-            };
-            engine.observe(&Observation::Labeler(&entry), &StudyCtx::new(world));
+            self.emit(sink, &Observation::FeedGenerator(&entry), world);
         }
     }
 }
@@ -359,12 +516,24 @@ impl Collector {
 #[derive(Debug, Default)]
 pub struct Materialize {
     datasets: Datasets,
+    labeler_by_did: BTreeMap<String, usize>,
+    feed_by_uri: BTreeMap<String, usize>,
+    /// Labels that arrived before their labeler's metadata (only possible
+    /// on artificial stream splits; the live stream and the replay always
+    /// announce metadata first).
+    orphan_labels: BTreeMap<String, Vec<Label>>,
 }
 
 impl Materialize {
     /// A materializer with empty datasets.
     pub fn new() -> Materialize {
         Materialize::default()
+    }
+}
+
+impl ObservationSink for Materialize {
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        Analyzer::observe(self, obs, ctx);
     }
 }
 
@@ -396,9 +565,31 @@ impl Analyzer for Materialize {
                 }
             }
             Observation::Labeler(entry) => {
-                self.datasets.labelers.push((*entry).clone());
+                let key = entry.did.to_string();
+                let mut entry = (*entry).clone();
+                if let Some(orphans) = self.orphan_labels.remove(&key) {
+                    entry.labels.extend(orphans);
+                }
+                self.labeler_by_did
+                    .insert(key, self.datasets.labelers.len());
+                self.datasets.labelers.push(entry);
+            }
+            Observation::Labels { src, labels } => {
+                let key = src.to_string();
+                match self.labeler_by_did.get(&key) {
+                    Some(&index) => self.datasets.labelers[index]
+                        .labels
+                        .extend(labels.iter().cloned()),
+                    None => self
+                        .orphan_labels
+                        .entry(key)
+                        .or_default()
+                        .extend(labels.iter().cloned()),
+                }
             }
             Observation::FeedGenerator(entry) => {
+                self.feed_by_uri
+                    .insert(entry.uri.to_string(), self.datasets.feed_generators.len());
                 self.datasets.feed_generators.push((*entry).clone());
             }
             Observation::Repo(snapshot) => {
@@ -406,6 +597,126 @@ impl Analyzer for Materialize {
             }
             Observation::WindowEnd { .. } => {}
         }
+    }
+
+    /// Merge another shard's materialized datasets. Per-entity categories
+    /// are keyed (labelers by DID, feeds by URI) and re-sorted into a
+    /// canonical order; the firehose is ordered by `(time, repo DID)` —
+    /// deterministic, though not the serial interleaving, which no analyzer
+    /// depends on.
+    fn merge(&mut self, other: Self) {
+        let Materialize {
+            datasets: other_data,
+            orphan_labels: other_orphans,
+            ..
+        } = other;
+        if self.datasets.collection_end == Datetime::default() {
+            self.datasets.firehose_collection_start = other_data.firehose_collection_start;
+            self.datasets.collection_end = other_data.collection_end;
+        }
+        // Identifiers, documents, repositories: disjoint across shards.
+        self.datasets
+            .user_identifiers
+            .extend(other_data.user_identifiers);
+        self.datasets
+            .user_identifiers
+            .sort_by_key(|a| a.0.to_string());
+        let plc_self = self.datasets.did_documents.len() - self.datasets.did_web_count;
+        let plc_other = other_data.did_documents.len() - other_data.did_web_count;
+        let mut docs = std::mem::take(&mut self.datasets.did_documents);
+        let web_self = docs.split_off(plc_self);
+        let mut other_docs = other_data.did_documents;
+        let web_other = other_docs.split_off(plc_other);
+        docs.extend(other_docs);
+        docs.sort_by_key(|a| a.did.to_string());
+        let mut web = web_self;
+        web.extend(web_other);
+        web.sort_by_key(|a| a.did.to_string());
+        docs.extend(web);
+        self.datasets.did_documents = docs;
+        self.datasets.did_web_count += other_data.did_web_count;
+        self.datasets.repositories.extend(other_data.repositories);
+        self.datasets
+            .repositories
+            .sort_by_key(|a| a.did.to_string());
+        // Firehose: canonical (time, did) order.
+        self.datasets
+            .firehose_events
+            .extend(other_data.firehose_events);
+        self.datasets.firehose_events.sort_by(|a, b| {
+            (
+                a.time,
+                a.did().map(|d| d.to_string()).unwrap_or_default(),
+                a.seq,
+            )
+                .cmp(&(
+                    b.time,
+                    b.did().map(|d| d.to_string()).unwrap_or_default(),
+                    b.seq,
+                ))
+        });
+        // Labelers: keyed by DID, label streams concatenated and ordered.
+        for mut entry in other_data.labelers {
+            match self.labeler_by_did.get(&entry.did.to_string()) {
+                Some(&index) => self.datasets.labelers[index]
+                    .labels
+                    .append(&mut entry.labels),
+                None => {
+                    self.labeler_by_did
+                        .insert(entry.did.to_string(), self.datasets.labelers.len());
+                    self.datasets.labelers.push(entry);
+                }
+            }
+        }
+        for (did, orphans) in other_orphans {
+            match self.labeler_by_did.get(&did) {
+                Some(&index) => self.datasets.labelers[index].labels.extend(orphans),
+                None => self.orphan_labels.entry(did).or_default().extend(orphans),
+            }
+        }
+        for entry in &mut self.datasets.labelers {
+            entry.labels.sort_by(|a, b| {
+                (a.created_at, a.target.uri(), &a.value, a.negated).cmp(&(
+                    b.created_at,
+                    b.target.uri(),
+                    &b.value,
+                    b.negated,
+                ))
+            });
+        }
+        self.datasets.labelers.sort_by(|a, b| {
+            a.announced_at
+                .cmp(&b.announced_at)
+                .then_with(|| a.did.to_string().cmp(&b.did.to_string()))
+        });
+        self.labeler_by_did = self
+            .datasets
+            .labelers
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.did.to_string(), i))
+            .collect();
+        // Feed generators: keyed by URI, absorbed pairwise.
+        for entry in other_data.feed_generators {
+            match self.feed_by_uri.get(&entry.uri.to_string()) {
+                Some(&index) => self.datasets.feed_generators[index].absorb(entry),
+                None => {
+                    self.feed_by_uri
+                        .insert(entry.uri.to_string(), self.datasets.feed_generators.len());
+                    self.datasets.feed_generators.push(entry);
+                }
+            }
+        }
+        self.datasets
+            .feed_generators
+            .sort_by_key(|a| a.uri.to_string());
+        self.feed_by_uri = self
+            .datasets
+            .feed_generators
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.uri.to_string(), i))
+            .collect();
     }
 
     fn finish(self, _ctx: &StudyCtx<'_>) -> Datasets {
@@ -428,6 +739,7 @@ impl Datasets {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::StudyEngine;
     use bsky_workload::ScenarioConfig;
 
     fn collected() -> (World, Datasets) {
@@ -513,11 +825,67 @@ mod tests {
             datasets.firehose_events.len()
         );
         assert!(summary.peak_in_flight_events > 0);
-        // The producer never holds more than one day's batch, which is far
+        // The producer never holds more than one chunk, which is far
         // smaller than the full firehose dataset the batch path retains.
         assert!(summary.peak_in_flight_events < datasets.firehose_events.len());
         assert!(summary.observations > summary.firehose_events);
         assert!(summary.days > 0);
         assert!(summary.render().contains("in flight"));
+    }
+
+    #[test]
+    fn chunk_size_bounds_in_flight_events() {
+        let mut config = ScenarioConfig::test_scale(5);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 10).unwrap();
+        config.scale = 40_000;
+        let mut world = World::new(config);
+        let mut sink = Materialize::new();
+        let summary = Collector::with_chunk_size(32).stream(&mut world, &mut sink);
+        // One chunk plus one user's commit burst bounds the batch.
+        assert!(
+            summary.peak_in_flight_events < 32 + 64,
+            "peak {} not bounded by chunk",
+            summary.peak_in_flight_events
+        );
+    }
+
+    #[test]
+    fn sharded_materialize_merges_to_serial_datasets() {
+        let mut config = ScenarioConfig::test_scale(9);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 5).unwrap();
+        config.scale = 40_000;
+        let (_, serial) = {
+            let mut world = World::new(config);
+            let d = Collector::new().run(&mut world);
+            (world, d)
+        };
+        let shards = 2usize;
+        let mut merged: Option<Materialize> = None;
+        for index in 0..shards {
+            let mut world = World::new_shard(config, index, shards);
+            let mut sink = Materialize::new();
+            Collector::new().stream(&mut world, &mut sink);
+            merged = Some(match merged {
+                None => sink,
+                Some(mut acc) => {
+                    Analyzer::merge(&mut acc, sink);
+                    acc
+                }
+            });
+        }
+        let merged = merged.unwrap().finish(&StudyCtx::detached());
+        assert_eq!(merged.user_identifiers.len(), serial.user_identifiers.len());
+        assert_eq!(merged.did_web_count, serial.did_web_count);
+        assert_eq!(merged.firehose_events.len(), serial.firehose_events.len());
+        assert_eq!(merged.repositories.len(), serial.repositories.len());
+        assert_eq!(merged.labelers.len(), serial.labelers.len());
+        assert_eq!(
+            merged.total_label_interactions(),
+            serial.total_label_interactions()
+        );
+        assert_eq!(merged.feed_generators.len(), serial.feed_generators.len());
+        assert_eq!(merged.total_feed_posts(), serial.total_feed_posts());
     }
 }

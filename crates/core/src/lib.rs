@@ -21,8 +21,13 @@
 //! * [`analysis`] — every table and figure of §4–§9 as incremental
 //!   analyzers; the batch functions replay materialized datasets through the
 //!   same accumulators, so both paths agree by construction.
+//! * [`shard`] — the sharded engine: the population is partitioned by DID
+//!   hash, one producer + analyzer set runs per shard on worker threads,
+//!   and the per-shard states are merged (every analyzer implements an
+//!   associative `merge`) into a report byte-identical to the serial run's.
 //! * [`report`] — [`StudyReport::run`] computes the full report in **one
-//!   pass with bounded memory** (firehose events are never retained), and
+//!   pass with bounded memory** (firehose events are never retained),
+//!   [`StudyReport::run_sharded`] does the same across worker threads, and
 //!   [`report::StudyBatch`] runs whole seed × scale grids.
 //! * [`stats`] — quantiles, Pearson correlation, share tables.
 //! * [`langdetect`] — the language detector used on feed descriptions.
@@ -37,8 +42,10 @@ pub mod json;
 pub mod langdetect;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 pub mod stats;
 
 pub use datasets::{Collector, Datasets};
-pub use pipeline::{Analyzer, Observation, StreamSummary, StudyCtx, StudyEngine};
+pub use pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx, StudyEngine};
 pub use report::{StudyBatch, StudyReport};
+pub use shard::{ShardedSummary, StudyAnalyzers};

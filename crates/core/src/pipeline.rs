@@ -1,5 +1,5 @@
-//! The streaming measurement pipeline: an observation bus plus incremental
-//! analyzers.
+//! The streaming measurement pipeline: an observation bus plus incremental,
+//! *mergeable* analyzers.
 //!
 //! The batch pipeline of the original seed materialized all six §3 datasets
 //! into vectors and then re-scanned them once per analysis. The real study
@@ -7,30 +7,51 @@
 //! that consumption model:
 //!
 //! * [`Observation`] — one item on the bus: a firehose event, a snapshot row
-//!   of one of the §3 datasets, or a collection-window marker. Observations
-//!   borrow their payloads, so producers can emit and immediately drop them.
+//!   of one of the §3 datasets, a batch of freshly published labels, or a
+//!   collection-window marker. Observations borrow their payloads, so
+//!   producers can emit and immediately drop them.
 //! * [`Analyzer`] — an incremental consumer: `observe` folds one observation
-//!   into internal accumulators, `finish` computes the final result struct.
-//! * [`StudyEngine`] — the bus itself: analyzers register, the producer
+//!   into internal accumulators, `merge` combines two independently folded
+//!   states, and `finish` computes the final result struct.
+//! * [`ObservationSink`] — anything a producer can emit into: the
+//!   type-erased [`StudyEngine`] bus, the report's concrete analyzer set, or
+//!   a custom probe (the benches use one to watch accumulator sizes).
+//! * [`StudyEngine`] — the dynamic bus: analyzers register, the producer
 //!   pushes observations, and `finish` hands back every analyzer's output.
 //! * [`StudyCtx`] — read-only access to the simulated [`World`]'s active
 //!   measurement surfaces (DNS, WHOIS, Tranco, PSL, AppView), mirroring the
 //!   active measurements the study ran alongside the passive collection.
 //!
+//! ## The merge law
+//!
+//! [`Analyzer::merge`] is the primitive behind the sharded engine
+//! ([`crate::shard`]): the population is partitioned by DID hash, one
+//! producer + analyzer set runs per shard, and the per-shard states are
+//! merged in shard order before a single `finish`. Implementations must be
+//! **associative and order-insensitive over stream splits**: for any split
+//! of an observation stream into a prefix and a suffix folded by two fresh
+//! analyzers, `merge(prefix_state, suffix_state)` must equal the state of
+//! one analyzer that folded the whole stream. The property tests in
+//! `analysis.rs` pin exactly this for every built-in analyzer, and the
+//! golden test in `tests/pipeline_equivalence.rs` pins the end-to-end
+//! consequence: a 4-shard run renders a byte-identical report to the serial
+//! run.
+//!
 //! The engine computes the full study report in **one pass** without
-//! retaining the firehose: events are folded as they arrive (peak in-flight
-//! is one day's subscription batch), and only per-entity aggregates survive
-//! between observations. Memory is therefore bounded by entity counts —
-//! accounts, posts, label values — rather than by firehose volume; the
-//! largest remaining index (the moderation analyzer's post-creation times)
-//! is a known follow-up in ROADMAP.md. The legacy batch path is kept alive by one optional
-//! *materializing* analyzer ([`crate::datasets::Materialize`]) plus
-//! [`replay`], which re-emits an already-collected [`Datasets`] over the bus
-//! in canonical order so batch and streaming results are identical by
-//! construction.
+//! retaining the firehose: events are folded as they arrive (the producer
+//! reads the relay in constant-size chunks, so peak in-flight is one chunk,
+//! independent of daily volume), and only per-entity aggregates survive
+//! between observations. The moderation analyzer's post-creation index —
+//! previously the remaining scale ceiling — is aged out past the labelers'
+//! bounded reaction window at every day boundary. The legacy batch path is
+//! kept alive by one optional *materializing* analyzer
+//! ([`crate::datasets::Materialize`]) plus [`replay`], which re-emits an
+//! already-collected [`Datasets`] over the bus in canonical order so batch
+//! and streaming results are identical by construction.
 
 use crate::datasets::{Datasets, FeedGenEntry, LabelerEntry, RepoSnapshot};
 use bsky_atproto::firehose::Event;
+use bsky_atproto::label::Label;
 use bsky_atproto::{Datetime, Did};
 use bsky_identity::DidDocument;
 use bsky_workload::World;
@@ -51,7 +72,8 @@ pub enum Observation<'a> {
         /// Day after the last collected day.
         collection_end: Datetime,
     },
-    /// A new simulated day is about to be observed.
+    /// A new simulated day is about to be observed. Analyzers use this to
+    /// age out time-bounded indices.
     DayBoundary {
         /// Start of the day.
         day: Datetime,
@@ -73,8 +95,17 @@ pub enum Observation<'a> {
         /// Whether it was fetched over HTTPS as a did:web document.
         via_web: bool,
     },
-    /// One labeling service with its full label stream.
+    /// One labeling service's metadata, emitted when its service record is
+    /// announced — always before any of its labels.
     Labeler(&'a LabelerEntry),
+    /// A batch of label interactions freshly published on one labeler's
+    /// stream (the daily `subscribeLabels` read). Includes negations.
+    Labels {
+        /// The issuing labeler.
+        src: &'a Did,
+        /// The new stream entries, in publication order.
+        labels: &'a [Label],
+    },
     /// One feed generator with its curated posts.
     FeedGenerator(&'a FeedGenEntry),
     /// One decoded repository snapshot.
@@ -91,10 +122,9 @@ pub enum Observation<'a> {
 ///
 /// Wraps the [`World`] so analyzers can run the study's *active*
 /// measurements (DNS lookups, well-known fetches, WHOIS queries, Tranco
-/// ranking, PSL suffix matching, AppView graph queries) against the same
-/// surfaces the collector observed. A detached context (no world) is used
-/// when replaying materialized datasets through analyzers that never touch
-/// the world.
+/// ranking, PSL suffix matching) against the same surfaces the collector
+/// observed. A detached context (no world) is used when replaying
+/// materialized datasets through analyzers that never touch the world.
 #[derive(Clone, Copy)]
 pub struct StudyCtx<'a> {
     world: Option<&'a World>,
@@ -124,8 +154,9 @@ impl<'a> StudyCtx<'a> {
     }
 }
 
-/// An incremental analysis: folds observations as they arrive and produces
-/// its result struct once the collection window closes.
+/// An incremental analysis: folds observations as they arrive, merges with
+/// independently folded peers, and produces its result struct once the
+/// collection window closes.
 pub trait Analyzer {
     /// The analysis result (one of the report's table/figure structs).
     type Output;
@@ -133,9 +164,40 @@ pub trait Analyzer {
     /// Fold one observation into the accumulators.
     fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>);
 
+    /// Combine another analyzer's independently accumulated state into this
+    /// one. Must satisfy the merge law documented at the module level:
+    /// splitting a stream anywhere and merging the two halves' states is
+    /// equivalent to folding the whole stream. The built-in analyzers all
+    /// implement this; bespoke analyzers that are never sharded may keep
+    /// the default, which panics.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized,
+    {
+        let _ = other;
+        panic!("this analyzer does not implement merge");
+    }
+
     /// Compute the final result. Called exactly once, after the last
-    /// observation.
+    /// observation (and after all merges).
     fn finish(self, ctx: &StudyCtx<'_>) -> Self::Output;
+}
+
+/// Anything a producer can emit observations into.
+///
+/// [`crate::datasets::Collector::stream`] is generic over this, so the same
+/// producer drives the dynamic [`StudyEngine`], the sharded runner's
+/// concrete analyzer set, and bespoke probes (e.g. the benches' bounded-
+/// index watcher).
+pub trait ObservationSink {
+    /// Receive one observation.
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>);
+}
+
+impl ObservationSink for StudyEngine {
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        StudyEngine::observe(self, obs, ctx);
+    }
 }
 
 /// Object-safe adapter so the engine can hold heterogeneous analyzers.
@@ -257,11 +319,10 @@ pub struct StreamSummary {
     pub observations: u64,
     /// Firehose events emitted (none retained by the producer).
     pub firehose_events: u64,
-    /// Largest subscription batch held at once on the producer side. This
-    /// is the producer's true transient buffer: normally one day's events,
-    /// except the first in-window read, which also carries the relay's
-    /// retained pre-window backlog before filtering. The batch collector by
-    /// contrast retains all `firehose_events` until the analyses finish.
+    /// Largest subscription batch held at once on the producer side. The
+    /// producer interleaves chunked day steps with firehose reads, so this
+    /// is bounded by the chunk size plus one user's commit burst —
+    /// independent of the day's total event volume.
     pub peak_in_flight_events: usize,
     /// Weekly `sync.listRepos` snapshots taken inside the collection window
     /// (the final end-of-window sweep is not counted, matching the study's
@@ -281,25 +342,24 @@ impl StreamSummary {
             self.firehose_events,
         )
     }
+
+    /// Fold another producer's summary into this one (used when merging
+    /// per-shard runs: counters add, peaks take the max, per-run constants
+    /// take the max so identical values pass through).
+    pub fn absorb(&mut self, other: &StreamSummary) {
+        self.days = self.days.max(other.days);
+        self.observations += other.observations;
+        self.firehose_events += other.firehose_events;
+        self.peak_in_flight_events = self.peak_in_flight_events.max(other.peak_in_flight_events);
+        self.listrepos_snapshots = self.listrepos_snapshots.max(other.listrepos_snapshots);
+    }
 }
 
-/// Re-emit an already-collected [`Datasets`] over the bus in the canonical
-/// *category* order the live producer uses (window start, firehose, user
-/// identifiers, DID documents, labelers, feed generators, repositories,
-/// window end), then finish the analyzer.
-///
-/// This is how the batch analysis functions are implemented, which makes
-/// "batch result == streaming result" hold by construction for analyzers
-/// that depend only on per-category order. Two stream features are *not*
-/// reproduced: no [`Observation::DayBoundary`] markers are emitted, and the
-/// live stream interleaves weekly user-identifier snapshots with the
-/// firehose while the replay emits the firehose first. An analyzer that
-/// counts day boundaries or correlates identifier arrival with firehose
-/// timing must therefore be validated against the live stream, not this
-/// replay (the golden test in `tests/pipeline_equivalence.rs` does exactly
-/// that for the built-in analyzers).
-pub fn replay<A: Analyzer>(mut analyzer: A, datasets: &Datasets, ctx: &StudyCtx<'_>) -> A::Output {
-    let mut emit = |obs: Observation<'_>| analyzer.observe(&obs, ctx);
+/// Walk an already-collected [`Datasets`] in the canonical *category* order
+/// the live producer uses (window start, firehose, user identifiers, DID
+/// documents, labelers with their label streams, feed generators,
+/// repositories, window end), invoking `emit` for each observation.
+pub fn for_each_observation<'a, F: FnMut(Observation<'a>)>(datasets: &'a Datasets, mut emit: F) {
     emit(Observation::WindowStart {
         firehose_collection_start: datasets.firehose_collection_start,
         collection_end: datasets.collection_end,
@@ -329,6 +389,12 @@ pub fn replay<A: Analyzer>(mut analyzer: A, datasets: &Datasets, ctx: &StudyCtx<
     }
     for labeler in &datasets.labelers {
         emit(Observation::Labeler(labeler));
+        if !labeler.labels.is_empty() {
+            emit(Observation::Labels {
+                src: &labeler.did,
+                labels: &labeler.labels,
+            });
+        }
     }
     for feed in &datasets.feed_generators {
         emit(Observation::FeedGenerator(feed));
@@ -339,6 +405,23 @@ pub fn replay<A: Analyzer>(mut analyzer: A, datasets: &Datasets, ctx: &StudyCtx<
     emit(Observation::WindowEnd {
         at: datasets.collection_end,
     });
+}
+
+/// Re-emit an already-collected [`Datasets`] over the bus in canonical
+/// order (see [`for_each_observation`]), then finish the analyzer.
+///
+/// This is how the batch analysis functions are implemented, which makes
+/// "batch result == streaming result" hold by construction for analyzers
+/// that depend only on per-category order. Two stream features are *not*
+/// reproduced: no [`Observation::DayBoundary`] markers are emitted (so no
+/// index aging happens — harmless, because labels always arrive within the
+/// bounded reaction window), and the live stream interleaves label batches
+/// and weekly identifier snapshots with the firehose while the replay emits
+/// whole categories. The built-in analyzers are split-insensitive (the
+/// merge law), so both orders produce identical results; the golden test in
+/// `tests/pipeline_equivalence.rs` pins this against the live stream.
+pub fn replay<A: Analyzer>(mut analyzer: A, datasets: &Datasets, ctx: &StudyCtx<'_>) -> A::Output {
+    for_each_observation(datasets, |obs| analyzer.observe(&obs, ctx));
     analyzer.finish(ctx)
 }
 
@@ -372,6 +455,12 @@ mod tests {
                 | Observation::WindowEnd { .. } => self.markers += 1,
                 _ => self.snapshots += 1,
             }
+        }
+
+        fn merge(&mut self, other: Self) {
+            self.firehose += other.firehose;
+            self.snapshots += other.snapshots;
+            self.markers += other.markers;
         }
 
         fn finish(self, _ctx: &StudyCtx<'_>) -> Counts {
@@ -435,5 +524,40 @@ mod tests {
                 markers: 2
             }
         );
+    }
+
+    #[test]
+    fn merged_counting_analyzers_equal_one() {
+        let ctx = StudyCtx::detached();
+        let day = Datetime::from_ymd(2024, 3, 6).unwrap();
+        let mut whole = CountingAnalyzer::default();
+        let mut a = CountingAnalyzer::default();
+        let mut b = CountingAnalyzer::default();
+        for i in 0..5 {
+            let obs = Observation::DayBoundary {
+                day: day.plus_days(i),
+            };
+            whole.observe(&obs, &ctx);
+            if i < 2 {
+                a.observe(&obs, &ctx);
+            } else {
+                b.observe(&obs, &ctx);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.finish(&ctx), whole.finish(&ctx));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not implement merge")]
+    fn default_merge_panics() {
+        struct NoMerge;
+        impl Analyzer for NoMerge {
+            type Output = ();
+            fn observe(&mut self, _obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {}
+            fn finish(self, _ctx: &StudyCtx<'_>) {}
+        }
+        let mut a = NoMerge;
+        a.merge(NoMerge);
     }
 }

@@ -1,26 +1,29 @@
-//! The full study report: stream the world through the engine's analyzers in
-//! one pass, and render or serialise the results.
+//! The full study report: stream the world through the analyzers in one
+//! pass — serially or sharded across worker threads — and render or
+//! serialise the results.
 //!
-//! [`StudyReport::run`] is built on the streaming pipeline: it registers the
-//! seven incremental analyzers on a [`StudyEngine`], drives the world once
-//! with [`Collector::stream`], and assembles the report from the analyzer
-//! outputs — firehose events are never retained. The legacy batch path is
-//! kept as [`StudyReport::run_batch`] / [`StudyReport::from_collected`],
-//! which materialize [`Datasets`] first; both paths produce identical
+//! [`StudyReport::run`] is built on the streaming pipeline: it drives the
+//! world once with [`Collector::stream`] into the seven incremental
+//! analyzers and assembles the report from their outputs — firehose events
+//! are never retained. [`StudyReport::run_sharded`] partitions the
+//! population by DID hash, runs one producer + analyzer set per shard on
+//! worker threads, and merges the states in shard order; the result is
+//! byte-identical to the serial run for any shard count. The legacy batch
+//! path is kept as [`StudyReport::run_batch`] / [`StudyReport::from_collected`],
+//! which materialize [`Datasets`] first; all paths produce identical
 //! reports (the golden equivalence test in `tests/` pins this).
 //! [`StudyBatch`] runs a whole grid of scenarios (N seeds × M scales) in one
 //! call.
 
 use crate::analysis::{
     activity_series, firehose_volume, identity_report, moderation_report, recommendation_report,
-    section4_accounts, table1_firehose_breakdown, table5_feature_matrix, ActivityAnalyzer,
-    ActivitySeries, FirehoseVolume, FirehoseVolumeAnalyzer, IdentityAnalyzer, IdentityReport,
-    ModerationAnalyzer, ModerationReport, RecommendationAnalyzer, RecommendationReport, Section4,
-    Section4Analyzer, Table1, Table1Analyzer,
+    section4_accounts, table1_firehose_breakdown, table5_feature_matrix, ActivitySeries,
+    FirehoseVolume, IdentityReport, ModerationReport, RecommendationReport, Section4, Table1,
 };
 use crate::datasets::{Collector, Datasets};
 use crate::json::Json;
-use crate::pipeline::{StreamSummary, StudyCtx, StudyEngine};
+use crate::pipeline::{Analyzer, StreamSummary, StudyCtx};
+use crate::shard::{collect_sharded, ShardedSummary, StudyAnalyzers};
 use bsky_workload::{ScenarioConfig, World};
 
 /// All analyses of the paper, computed for one simulated run.
@@ -45,9 +48,9 @@ pub struct StudyReport {
 }
 
 impl StudyReport {
-    /// Run the full pipeline in streaming mode: build the world, register
-    /// every incremental analyzer, and compute the whole report in a single
-    /// pass without retaining the firehose.
+    /// Run the full pipeline in streaming mode: build the world, fold every
+    /// observation into the incremental analyzers, and compute the whole
+    /// report in a single pass without retaining the firehose.
     pub fn run(config: ScenarioConfig) -> StudyReport {
         StudyReport::run_streaming(config).0
     }
@@ -55,29 +58,49 @@ impl StudyReport {
     /// [`StudyReport::run`] plus the producer's [`StreamSummary`] (days,
     /// observation counts, peak in-flight events).
     pub fn run_streaming(config: ScenarioConfig) -> (StudyReport, StreamSummary) {
-        let mut world = World::new(config);
-        let mut engine = StudyEngine::new();
-        engine.register(Table1Analyzer::new());
-        engine.register(ActivityAnalyzer::new());
-        engine.register(Section4Analyzer::new());
-        engine.register(IdentityAnalyzer::new());
-        engine.register(ModerationAnalyzer::new());
-        engine.register(RecommendationAnalyzer::new());
-        engine.register(FirehoseVolumeAnalyzer::new());
-        let summary = Collector::new().stream(&mut world, &mut engine);
-        let ctx = StudyCtx::new(&world);
-        let mut outputs = engine.finish(&ctx);
-        let report = StudyReport {
+        let (report, summary) = StudyReport::run_sharded(config, 1, 1);
+        (report, summary.merged)
+    }
+
+    /// Run the collection sharded: the population is split into `shards`
+    /// DID-hash partitions, each simulated and analyzed independently (at
+    /// most `jobs` on worker threads at once), and the analyzer states are
+    /// merged in shard order. Produces a report **byte-identical** to the
+    /// serial run for any `(shards, jobs)` — the golden equivalence test
+    /// pins this — while the wall clock scales with the worker count.
+    ///
+    /// Panics unless `1 <= jobs <= shards`.
+    pub fn run_sharded(
+        config: ScenarioConfig,
+        shards: usize,
+        jobs: usize,
+    ) -> (StudyReport, ShardedSummary) {
+        let (analyzers, world, summary) = collect_sharded(config, shards, jobs);
+        (
+            StudyReport::from_analyzers(config, analyzers, &world),
+            summary,
+        )
+    }
+
+    /// Assemble the report from a (merged) analyzer set. The world provides
+    /// the finish-time context (scenario constants such as the scale
+    /// factor); any shard's world is equivalent.
+    pub fn from_analyzers(
+        config: ScenarioConfig,
+        analyzers: StudyAnalyzers,
+        world: &World,
+    ) -> StudyReport {
+        let ctx = StudyCtx::new(world);
+        StudyReport {
             config,
-            table1: outputs.take().expect("Table1 analyzer output"),
-            activity: outputs.take().expect("Activity analyzer output"),
-            section4: outputs.take().expect("Section4 analyzer output"),
-            identity: outputs.take().expect("Identity analyzer output"),
-            moderation: outputs.take().expect("Moderation analyzer output"),
-            recommendation: outputs.take().expect("Recommendation analyzer output"),
-            firehose_volume: outputs.take().expect("FirehoseVolume analyzer output"),
-        };
-        (report, summary)
+            table1: analyzers.table1.finish(&ctx),
+            activity: analyzers.activity.finish(&ctx),
+            section4: analyzers.section4.finish(&ctx),
+            identity: analyzers.identity.finish(&ctx),
+            moderation: analyzers.moderation.finish(&ctx),
+            recommendation: analyzers.recommendation.finish(&ctx),
+            firehose_volume: analyzers.volume.finish(&ctx),
+        }
     }
 
     /// Run the legacy batch pipeline: materialize all six datasets in

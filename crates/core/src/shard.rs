@@ -1,0 +1,251 @@
+//! The sharded study engine: partition the population by DID hash, run one
+//! producer + analyzer set per shard on worker threads, and merge the
+//! per-shard analyzer states into one report.
+//!
+//! The correctness contract is exact: because every stochastic decision in
+//! the [`World`] derives from `(seed, DID, day)` and every analyzer
+//! implements the merge law (see [`crate::pipeline`]), the merged report is
+//! **byte-identical** to the serial run's for any shard count — pinned by
+//! the golden test in `tests/pipeline_equivalence.rs`. Shards are merged in
+//! shard-index order on the coordinating thread, so thread scheduling never
+//! influences the result; `jobs` only bounds how many shards are in flight
+//! at once.
+
+use crate::analysis::{
+    ActivityAnalyzer, FirehoseVolumeAnalyzer, IdentityAnalyzer, ModerationAnalyzer,
+    RecommendationAnalyzer, Section4Analyzer, Table1Analyzer,
+};
+use crate::datasets::Collector;
+use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
+use bsky_workload::{PopulationPlan, ScenarioConfig, ShardSpec, World};
+use std::sync::{Arc, Mutex};
+
+/// The report's seven analyzers as one concrete, mergeable set.
+#[derive(Debug, Default)]
+pub struct StudyAnalyzers {
+    /// Table 1.
+    pub table1: Table1Analyzer,
+    /// Figures 1–2, §4 totals.
+    pub activity: ActivityAnalyzer,
+    /// §4 popularity.
+    pub section4: Section4Analyzer,
+    /// §5 identity.
+    pub identity: IdentityAnalyzer,
+    /// §6 moderation.
+    pub moderation: ModerationAnalyzer,
+    /// §7 recommendation.
+    pub recommendation: RecommendationAnalyzer,
+    /// §9 firehose volume.
+    pub volume: FirehoseVolumeAnalyzer,
+}
+
+impl StudyAnalyzers {
+    /// A fresh set.
+    pub fn new() -> StudyAnalyzers {
+        StudyAnalyzers::default()
+    }
+
+    /// Merge another set's state into this one (memberwise).
+    pub fn merge(&mut self, other: StudyAnalyzers) {
+        self.table1.merge(other.table1);
+        self.activity.merge(other.activity);
+        self.section4.merge(other.section4);
+        self.identity.merge(other.identity);
+        self.moderation.merge(other.moderation);
+        self.recommendation.merge(other.recommendation);
+        self.volume.merge(other.volume);
+    }
+}
+
+impl ObservationSink for StudyAnalyzers {
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        self.table1.observe(obs, ctx);
+        self.activity.observe(obs, ctx);
+        self.section4.observe(obs, ctx);
+        self.identity.observe(obs, ctx);
+        self.moderation.observe(obs, ctx);
+        self.recommendation.observe(obs, ctx);
+        self.volume.observe(obs, ctx);
+    }
+}
+
+/// Result of one shard's collection pass.
+struct ShardResult {
+    analyzers: StudyAnalyzers,
+    summary: StreamSummary,
+    /// Only shard 0 returns its world (the finish context).
+    world: Option<World>,
+}
+
+/// Summary of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedSummary {
+    /// Number of population shards.
+    pub shards: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Per-shard producer summaries, in shard order.
+    pub per_shard: Vec<StreamSummary>,
+    /// The merged summary (counters added, peaks maxed).
+    pub merged: StreamSummary,
+}
+
+impl ShardedSummary {
+    /// Render a multi-line summary for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "sharded run: {} shards on {} worker thread(s)\n",
+            self.shards, self.jobs
+        );
+        for (index, summary) in self.per_shard.iter().enumerate() {
+            out.push_str(&format!("  shard {index}: {}\n", summary.render()));
+        }
+        out.push_str(&format!("  merged:  {}\n", self.merged.render()));
+        out
+    }
+}
+
+/// Run one shard: build its world, stream it through a fresh analyzer set,
+/// and hand back the state.
+fn run_shard(
+    config: ScenarioConfig,
+    plan: Arc<PopulationPlan>,
+    index: usize,
+    shards: usize,
+) -> ShardResult {
+    let mut world = World::with_plan(
+        config,
+        plan,
+        ShardSpec {
+            index,
+            count: shards,
+        },
+    );
+    let mut analyzers = StudyAnalyzers::new();
+    let summary = Collector::new().stream(&mut world, &mut analyzers);
+    ShardResult {
+        analyzers,
+        summary,
+        world: (index == 0).then_some(world),
+    }
+}
+
+/// Run the full collection over `shards` population shards with at most
+/// `jobs` worker threads, merge the per-shard analyzer states in shard
+/// order, and return the merged set plus the finish-context world (shard 0)
+/// and the run summary.
+///
+/// Panics if `jobs` is zero or exceeds `shards` (the CLI validates first).
+pub fn collect_sharded(
+    config: ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+) -> (StudyAnalyzers, World, ShardedSummary) {
+    assert!(shards >= 1, "shard count must be at least 1");
+    assert!(
+        (1..=shards).contains(&jobs),
+        "jobs must be in 1..=shards (got {jobs} for {shards} shards)"
+    );
+    let plan = Arc::new(PopulationPlan::build(&config));
+
+    let mut results: Vec<Option<ShardResult>> = Vec::new();
+    if jobs == 1 {
+        // Serial path: no threads, same code.
+        for index in 0..shards {
+            results.push(Some(run_shard(config, plan.clone(), index, shards)));
+        }
+    } else {
+        let slots: Arc<Mutex<Vec<Option<ShardResult>>>> =
+            Arc::new(Mutex::new((0..shards).map(|_| None).collect()));
+        let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let plan = plan.clone();
+                let slots = slots.clone();
+                let next = next.clone();
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if index >= shards {
+                        break;
+                    }
+                    let result = run_shard(config, plan.clone(), index, shards);
+                    slots.lock().expect("shard result lock")[index] = Some(result);
+                });
+            }
+        });
+        results = Arc::try_unwrap(slots)
+            .unwrap_or_else(|_| panic!("all workers joined"))
+            .into_inner()
+            .expect("shard result lock");
+    }
+
+    // Deterministic reduction: merge strictly in shard-index order.
+    let mut merged_analyzers: Option<StudyAnalyzers> = None;
+    let mut world0: Option<World> = None;
+    let mut per_shard = Vec::with_capacity(shards);
+    let mut merged_summary = StreamSummary::default();
+    for result in results.into_iter() {
+        let result = result.expect("every shard produced a result");
+        per_shard.push(result.summary);
+        merged_summary.absorb(&result.summary);
+        if let Some(world) = result.world {
+            world0 = Some(world);
+        }
+        merged_analyzers = Some(match merged_analyzers {
+            None => result.analyzers,
+            Some(mut acc) => {
+                acc.merge(result.analyzers);
+                acc
+            }
+        });
+    }
+    (
+        merged_analyzers.expect("at least one shard"),
+        world0.expect("shard 0 returns its world"),
+        ShardedSummary {
+            shards,
+            jobs,
+            per_shard,
+            merged: merged_summary,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::Datetime;
+
+    fn small_config(seed: u64) -> ScenarioConfig {
+        let mut config = ScenarioConfig::test_scale(seed);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 10).unwrap();
+        config.scale = 40_000;
+        config
+    }
+
+    #[test]
+    fn sharded_collection_merges_summaries() {
+        let (analyzers, world, summary) = collect_sharded(small_config(51), 3, 2);
+        assert_eq!(summary.shards, 3);
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.per_shard.len(), 3);
+        assert!(summary.merged.firehose_events > 0);
+        assert_eq!(
+            summary.merged.firehose_events,
+            summary.per_shard.iter().map(|s| s.firehose_events).sum()
+        );
+        assert!(summary.render().contains("shard 0"));
+        // The finish world is shard 0's.
+        assert_eq!(world.shard.index, 0);
+        let ctx = StudyCtx::new(&world);
+        let table1 = analyzers.table1.finish(&ctx);
+        assert!(table1.total > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jobs must be in 1..=shards")]
+    fn rejects_more_jobs_than_shards() {
+        let _ = collect_sharded(small_config(51), 2, 3);
+    }
+}

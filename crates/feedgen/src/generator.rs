@@ -148,7 +148,19 @@ impl FeedGenerator {
     }
 
     fn push_entry(&mut self, entry: FeedEntry) {
-        self.entries.push(entry);
+        // Entries are kept sorted by the canonical curation order
+        // `(curated_at, uri)` — structural `AtUri` ordering, allocation-free
+        // and used identically by the study pipeline's feed merge. This is
+        // a *total* order, so "keep the most recent N" means the same thing
+        // no matter how the underlying post stream was partitioned: a
+        // generator that saw only a subset of the network retains exactly
+        // its subset of what a generator that saw everything would retain,
+        // which is what makes sharded curation merge back into the
+        // single-instance feed exactly.
+        let idx = self
+            .entries
+            .partition_point(|e| (e.curated_at, &e.uri) <= (entry.curated_at, &entry.uri));
+        self.entries.insert(idx, entry);
         if let RetentionPolicy::Count(max) = self.retention {
             if self.entries.len() > max {
                 let excess = self.entries.len() - max;
@@ -165,7 +177,8 @@ impl FeedGenerator {
         }
     }
 
-    /// `getFeedSkeleton`: the most recent `limit` entries, newest first.
+    /// `getFeedSkeleton`: the most recent `limit` entries, newest first
+    /// (ties broken by URI so the order is total and observer-independent).
     /// Personalised feeds return nothing for an anonymous / empty viewer.
     pub fn get_feed(&mut self, limit: usize, viewer: Option<&Did>) -> Vec<FeedEntry> {
         self.requests_served += 1;
@@ -173,7 +186,11 @@ impl FeedGenerator {
             return Vec::new();
         }
         let mut out: Vec<FeedEntry> = self.entries.clone();
-        out.sort_by_key(|e| std::cmp::Reverse(e.post_created_at));
+        out.sort_by(|a, b| {
+            b.post_created_at
+                .cmp(&a.post_created_at)
+                .then_with(|| a.uri.cmp(&b.uri))
+        });
         out.truncate(limit);
         out
     }

@@ -19,4 +19,4 @@ pub mod service;
 pub mod values;
 
 pub use policy::{IssuancePolicy, ReactionModel, Trigger};
-pub use service::{LabelerOperator, LabelerRegistry, LabelerService};
+pub use service::{LabelerOperator, LabelerRegistry, LabelerService, REACTION_WINDOW_DAYS};

@@ -16,6 +16,14 @@ use bsky_simnet::net::HostingClass;
 use bsky_simnet::SimRng;
 use std::collections::VecDeque;
 
+/// Upper bound on a labeler's reaction delay, in days. Every sampled delay
+/// is clamped to this window, which gives downstream consumers a hard
+/// guarantee: a label for a post always surfaces within
+/// `REACTION_WINDOW_DAYS` of the post's publication. The study pipeline
+/// relies on this to age out its post-creation index without losing any
+/// reaction-time measurement.
+pub const REACTION_WINDOW_DAYS: i64 = 14;
+
 /// Who operates a labeler (for the Bluesky-vs-community split in §6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LabelerOperator {
@@ -35,8 +43,9 @@ pub struct LabelerService {
     hosting: HostingClass,
     policy: IssuancePolicy,
     announced_at: Datetime,
-    /// Labels awaiting their reaction delay, ordered by due time.
-    pending: VecDeque<(Datetime, Label)>,
+    /// Labels awaiting their reaction delay, ordered by due time. The flag
+    /// marks labels that will be rescinded right after publication.
+    pending: VecDeque<(Datetime, Label, bool)>,
     /// The published stream, in publication order.
     stream: Vec<Label>,
     rng: SimRng,
@@ -139,13 +148,26 @@ impl LabelerService {
 
     /// Observe a freshly published post. Matching triggers enqueue labels
     /// that will surface on the stream after the reaction delay.
+    ///
+    /// Every stochastic decision — trigger sampling, reaction delay, the
+    /// rescind coin — is drawn from a generator derived from this labeler's
+    /// seed *and the post URI*, never from a sequential stream. The verdict
+    /// on a given post is therefore identical no matter which other posts
+    /// this service instance has seen, which is what lets a sharded run
+    /// (each shard's labeler copy sees only that shard's posts) reproduce
+    /// the single-instance label stream exactly.
     pub fn observe_post(&mut self, uri: &AtUri, post: &PostRecord, observed_at: Datetime) {
         if !self.functional {
             return;
         }
-        let values = self.policy.evaluate(post, &mut self.rng);
+        let mut rng = self.rng.fork(&uri.to_string());
+        let values = self.policy.evaluate(post, &mut rng);
         for value in values {
-            let delay = self.policy.reaction.sample_delay_secs(&mut self.rng);
+            let delay = self
+                .policy
+                .reaction
+                .sample_delay_secs(&mut rng)
+                .min((REACTION_WINDOW_DAYS * 86_400) as f64);
             let due = observed_at.plus_seconds(delay.round() as i64);
             let label = match Label::new(
                 self.did.clone(),
@@ -156,7 +178,8 @@ impl LabelerService {
                 Ok(l) => l,
                 Err(_) => continue,
             };
-            self.schedule(due, label, observed_at);
+            let rescind = rng.chance(self.policy.rescind_probability);
+            self.schedule(due, label, rescind);
         }
     }
 
@@ -168,37 +191,43 @@ impl LabelerService {
         value: &str,
         observed_at: Datetime,
     ) -> Result<()> {
-        let delay = self.policy.reaction.sample_delay_secs(&mut self.rng);
+        let mut rng = self.rng.fork(&target.uri());
+        let delay = self
+            .policy
+            .reaction
+            .sample_delay_secs(&mut rng)
+            .min((REACTION_WINDOW_DAYS * 86_400) as f64);
         let due = observed_at.plus_seconds(delay.round() as i64);
         let label = Label::new(self.did.clone(), target, value, due)?;
-        self.schedule(due, label, observed_at);
+        let rescind = rng.chance(self.policy.rescind_probability);
+        self.schedule(due, label, rescind);
         Ok(())
     }
 
-    fn schedule(&mut self, due: Datetime, label: Label, _observed_at: Datetime) {
+    fn schedule(&mut self, due: Datetime, label: Label, rescind: bool) {
         // Keep the pending queue sorted by due time (insertion point search).
         let idx = self
             .pending
             .iter()
-            .position(|(t, _)| *t > due)
+            .position(|(t, _, _)| *t > due)
             .unwrap_or(self.pending.len());
-        self.pending.insert(idx, (due, label));
+        self.pending.insert(idx, (due, label, rescind));
     }
 
     /// Release every pending label whose reaction delay has elapsed onto the
-    /// public stream. Occasionally rescinds previously published labels
-    /// (false-positive cleanup). Returns how many stream entries were added.
+    /// public stream. Labels drawn for rescission (false-positive cleanup)
+    /// are followed by their negation. Returns how many stream entries were
+    /// added.
     pub fn poll(&mut self, now: Datetime) -> usize {
         if !self.functional {
             return 0;
         }
         let mut published = 0usize;
-        while matches!(self.pending.front(), Some((due, _)) if *due <= now) {
-            let (_, label) = self.pending.pop_front().expect("checked front");
-            let maybe_rescind = self.rng.chance(self.policy.rescind_probability);
+        while matches!(self.pending.front(), Some((due, _, _)) if *due <= now) {
+            let (_, label, rescind) = self.pending.pop_front().expect("checked front");
             self.stream.push(label.clone());
             published += 1;
-            if maybe_rescind {
+            if rescind {
                 self.stream.push(label.negation(now));
                 published += 1;
             }

@@ -134,6 +134,23 @@ impl Relay {
         &self.firehose
     }
 
+    /// Number of PDS outbox events produced but not yet crawled. Producers
+    /// that want to bound their in-flight batch size check this between
+    /// simulation steps and crawl once a chunk's worth is pending.
+    pub fn pending_events(&self, fleet: &PdsFleet) -> usize {
+        fleet
+            .servers()
+            .map(|server| {
+                let cursor = self
+                    .crawl_cursors
+                    .get(server.hostname())
+                    .copied()
+                    .unwrap_or(0);
+                server.events_since(cursor).0.len()
+            })
+            .sum()
+    }
+
     /// Subscribe to the firehose from a cursor.
     pub fn subscribe(&self, cursor: Seq) -> Subscription {
         self.firehose.read_from(cursor)

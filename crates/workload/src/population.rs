@@ -7,8 +7,9 @@
 //! media/alt-text behaviour (the raw material for §6's labels), and whether
 //! the account also uses third-party lexicons such as WhiteWind (§4).
 
-use crate::config::{ScenarioConfig, LANGUAGE_SHARES};
-use bsky_atproto::{Datetime, Did, Handle};
+use crate::config::{ScenarioConfig, GROWTH_EPOCHS, LANGUAGE_SHARES};
+use bsky_atproto::nsid::known;
+use bsky_atproto::{AtUri, Datetime, Did, Handle, Nsid};
 use bsky_simnet::SimRng;
 
 /// How the user chose their handle (§5).
@@ -27,7 +28,10 @@ pub enum HandleChoice {
         /// The registered domain.
         domain: String,
         /// Index into the registrar catalogue, or `None` when WHOIS data is
-        /// unavailable for this domain.
+        /// unavailable for this domain. Informational: the world derives
+        /// the authoritative WHOIS record from the *domain* (see
+        /// `world::whois_registrar_for`) so shared domains resolve
+        /// identically on every shard.
         registrar_index: Option<usize>,
         /// Whether the domain appears in the synthetic Tranco top-1M.
         in_tranco_top1m: bool,
@@ -246,6 +250,351 @@ pub fn draw_user(
         missing_alt_probability,
         adult_probability,
         uses_whitewind: rng.chance(0.0005),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The population plan: the deterministic skeleton of a run
+// ---------------------------------------------------------------------------
+
+/// Numbered per-(user, day) random streams. Each purpose gets its own
+/// derived generator so any single quantity (the activity coin, the post
+/// count, the commit timestamp) can be recomputed in isolation without
+/// replaying the rest of the user's day.
+#[derive(Debug, Clone, Copy)]
+pub enum DayPurpose {
+    /// The daily activity coin.
+    Active = 0,
+    /// The second-of-day all of the user's commits carry.
+    When = 1,
+    /// The number of posts published.
+    Posts = 2,
+    /// Everything else: post contents, like/repost/follow/block targets,
+    /// third-party records and identity churn. Consumed sequentially, and
+    /// only ever by the user's owning shard.
+    Content = 3,
+}
+
+/// The deterministic skeleton of a simulated run: every user's profile,
+/// signup day and per-day random streams, derived entirely from
+/// `(seed, scale)` — never from mutable world state.
+///
+/// This is the primitive that makes the population shardable. Every shard
+/// builds the *same* plan (it is cheap: one profile draw per user), so any
+/// shard can answer questions about any user — did `u` join yet, was `u`
+/// active on day `d`, how many posts did `u` publish that day, and what are
+/// their URIs — without simulating `u`. Cross-user interactions (likes,
+/// follows, blocks, feed curation targets) are resolved against the plan
+/// instead of against live state, which removes every cross-shard data
+/// dependency from the simulation: `union(shard events) == serial events`,
+/// bit for bit.
+#[derive(Debug, Clone)]
+pub struct PopulationPlan {
+    seed: u64,
+    start: Datetime,
+    total_days: usize,
+    /// Per-day planned signups.
+    signup_schedule: Vec<u32>,
+    /// All profiles, indexed by global user index, `joined` already set.
+    profiles: Vec<UserProfile>,
+    /// Per-user base RNG, forked from the user's DID.
+    user_rngs: Vec<SimRng>,
+    /// Per-user FNV-1a hash of the DID (shard assignment).
+    did_hashes: Vec<u64>,
+    /// Join day index per user.
+    join_days: Vec<u32>,
+    /// `joined_counts[d]` = number of users with `join_day <= d`.
+    joined_counts: Vec<u32>,
+    /// Cumulative activity weights in index order (`len == users + 1`).
+    weight_cumsum: Vec<f64>,
+    /// Daily active fraction from the growth epochs.
+    active_fractions: Vec<f64>,
+    /// User indices sorted by activity weight (descending, stable).
+    popularity_order: Vec<u32>,
+}
+
+/// FNV-1a over a DID string; the per-DID shard assignment hash.
+pub fn did_hash(did: &Did) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in did.to_string().bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+impl PopulationPlan {
+    /// Build the plan for a scenario. Deterministic in `(seed, scale)`.
+    pub fn build(config: &ScenarioConfig) -> PopulationPlan {
+        let root = SimRng::new(config.seed);
+        let total_days = config.total_days().max(1) as usize;
+
+        // Signup schedule: per-day counts per the growth epochs, normalised
+        // to the target population (carry-error accumulation keeps the total
+        // exact without rounding drift).
+        let mut raw = vec![0f64; total_days];
+        let mut active_fractions = vec![0f64; total_days];
+        for (day_idx, raw_count) in raw.iter_mut().enumerate() {
+            let day = config.start.plus_days(day_idx as i64);
+            if let Some(epoch) = GROWTH_EPOCHS.iter().find(|e| {
+                let start = Datetime::from_ymd(e.start.0, e.start.1, e.start.2).unwrap();
+                let end = Datetime::from_ymd(e.end.0, e.end.1, e.end.2).unwrap();
+                day >= start && day < end
+            }) {
+                *raw_count = epoch.daily_signup_fraction;
+                active_fractions[day_idx] = epoch.daily_active_fraction;
+            }
+        }
+        let raw_total: f64 = raw.iter().sum();
+        let target = config.target_users() as f64;
+        let mut signup_schedule = Vec::with_capacity(total_days);
+        let mut carried = 0.0f64;
+        for value in &raw {
+            let exact = value / raw_total.max(1e-12) * target + carried;
+            let whole = exact.floor();
+            carried = exact - whole;
+            signup_schedule.push(whole as u32);
+        }
+
+        // Draw every profile up front. Each user's stream is forked by index
+        // so the profile is a pure function of `(seed, index)`.
+        let registrar_count = bsky_identity::registrar::default_catalogue().len();
+        let mut profiles = Vec::new();
+        let mut user_rngs = Vec::new();
+        let mut did_hashes = Vec::new();
+        let mut join_days = Vec::new();
+        let mut joined_counts = vec![0u32; total_days];
+        for (day_idx, &count) in signup_schedule.iter().enumerate() {
+            let day = config.start.plus_days(day_idx as i64);
+            for _ in 0..count {
+                let index = profiles.len();
+                let mut rng = root.fork(&format!("user-{index}"));
+                let profile = draw_user(index, day, config, &mut rng, registrar_count);
+                // The per-day streams are derived from the user's DID, so a
+                // shard holding this DID regenerates exactly the streams the
+                // serial run uses.
+                user_rngs.push(root.fork(&profile.did.to_string()));
+                did_hashes.push(did_hash(&profile.did));
+                join_days.push(day_idx as u32);
+                profiles.push(profile);
+            }
+            joined_counts[day_idx] = profiles.len() as u32;
+        }
+
+        let mut weight_cumsum = Vec::with_capacity(profiles.len() + 1);
+        weight_cumsum.push(0.0);
+        for profile in &profiles {
+            weight_cumsum.push(weight_cumsum.last().unwrap() + profile.activity_weight);
+        }
+
+        let mut popularity_order: Vec<u32> = (0..profiles.len() as u32).collect();
+        popularity_order.sort_by(|a, b| {
+            profiles[*b as usize]
+                .activity_weight
+                .partial_cmp(&profiles[*a as usize].activity_weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+
+        PopulationPlan {
+            seed: config.seed,
+            start: config.start,
+            total_days,
+            signup_schedule,
+            profiles,
+            user_rngs,
+            did_hashes,
+            join_days,
+            joined_counts,
+            weight_cumsum,
+            active_fractions,
+            popularity_order,
+        }
+    }
+
+    /// Total planned users.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// First simulated day.
+    pub fn start(&self) -> Datetime {
+        self.start
+    }
+
+    /// Number of planned days.
+    pub fn total_days(&self) -> usize {
+        self.total_days
+    }
+
+    /// The profile of user `index`.
+    pub fn profile(&self, index: usize) -> &UserProfile {
+        &self.profiles[index]
+    }
+
+    /// The join day index of user `index`.
+    pub fn join_day(&self, index: usize) -> usize {
+        self.join_days[index] as usize
+    }
+
+    /// Users with `join_day <= day_idx` (they occupy indices `0..count`).
+    pub fn joined_count(&self, day_idx: usize) -> usize {
+        if self.joined_counts.is_empty() {
+            return 0;
+        }
+        self.joined_counts[day_idx.min(self.joined_counts.len() - 1)] as usize
+    }
+
+    /// Planned signups on a day.
+    pub fn signups_on(&self, day_idx: usize) -> std::ops::Range<usize> {
+        let until = self.joined_count(day_idx);
+        let from = if day_idx == 0 {
+            0
+        } else {
+            self.joined_count(day_idx - 1)
+        };
+        from..until
+    }
+
+    /// Whether `index` lands on shard `shard` of `shard_count` (by DID hash).
+    pub fn owned_by(&self, index: usize, shard: usize, shard_count: usize) -> bool {
+        shard_count <= 1 || (self.did_hashes[index] % shard_count.max(1) as u64) == shard as u64
+    }
+
+    /// The per-(user, day, purpose) random stream.
+    pub fn day_rng(&self, index: usize, day_idx: usize, purpose: DayPurpose) -> SimRng {
+        self.user_rngs[index].fork_u64((day_idx as u64) << 3 | purpose as u64)
+    }
+
+    /// Whether user `index` is active on `day_idx`. Each user flips an
+    /// independent coin whose probability is proportional to their activity
+    /// weight, normalised so the expected number of active users matches the
+    /// epoch's daily active fraction. Independence is what makes the
+    /// decision computable by any shard for any user.
+    pub fn is_active(&self, index: usize, day_idx: usize) -> bool {
+        if day_idx >= self.total_days || self.join_day(index) > day_idx {
+            return false;
+        }
+        let joined = self.joined_count(day_idx);
+        if joined == 0 {
+            return false;
+        }
+        let total_weight = self.weight_cumsum[joined];
+        if total_weight <= 0.0 {
+            return false;
+        }
+        let fraction = self.active_fractions[day_idx];
+        let p = fraction * self.profiles[index].activity_weight * joined as f64 / total_weight;
+        self.day_rng(index, day_idx, DayPurpose::Active).chance(p)
+    }
+
+    /// The second-of-day all of the user's commits carry on `day_idx`.
+    pub fn seconds_of_day(&self, index: usize, day_idx: usize) -> i64 {
+        self.day_rng(index, day_idx, DayPurpose::When)
+            .range(0..80_000i64)
+    }
+
+    /// The commit timestamp of user `index` on `day_idx`.
+    pub fn when(&self, index: usize, day_idx: usize) -> Datetime {
+        self.start
+            .plus_days(day_idx as i64)
+            .plus_seconds(self.seconds_of_day(index, day_idx))
+    }
+
+    /// Number of posts user `index` publishes on `day_idx` (0 when
+    /// inactive). Any shard can compute this for any user; it is how likes
+    /// and reposts target other shards' posts without seeing them.
+    pub fn posts_on(&self, index: usize, day_idx: usize) -> u64 {
+        if !self.is_active(index, day_idx) {
+            return 0;
+        }
+        let weight = self.profiles[index].activity_weight;
+        self.day_rng(index, day_idx, DayPurpose::Posts)
+            .poisson(1.8_f64.min(4.0 * weight + 0.9))
+    }
+
+    /// The record key of the `slot`-th post of a user-day.
+    pub fn post_rkey(day_idx: usize, slot: u64) -> String {
+        format!("p{day_idx:05}s{slot:02}")
+    }
+
+    /// The `at://` URI of the `slot`-th post of user `index` on `day_idx`.
+    pub fn post_uri(&self, index: usize, day_idx: usize, slot: u64) -> AtUri {
+        AtUri::record(
+            self.profiles[index].did.clone(),
+            Nsid::parse(known::POST).unwrap(),
+            Self::post_rkey(day_idx, slot),
+        )
+    }
+
+    /// Weighted pick (by activity weight) among the users joined by
+    /// `day_idx`, using the caller's stream. `None` when nobody joined yet.
+    pub fn pick_joined_weighted(&self, day_idx: usize, rng: &mut SimRng) -> Option<usize> {
+        let joined = self.joined_count(day_idx);
+        if joined == 0 {
+            return None;
+        }
+        let total = self.weight_cumsum[joined];
+        if total <= 0.0 {
+            return None;
+        }
+        let target = rng.unit() * total;
+        let idx = self.weight_cumsum[..=joined].partition_point(|&c| c <= target);
+        Some((idx - 1).min(joined - 1))
+    }
+
+    /// The user holding popularity rank `rank` (1 = most popular) among the
+    /// users joined by `day_idx`.
+    pub fn creator_for_rank(&self, rank: u64, day_idx: usize) -> Option<usize> {
+        let joined = self.joined_count(day_idx);
+        if joined == 0 {
+            return None;
+        }
+        let rank = (rank.max(1) as usize).min(joined);
+        self.popularity_order
+            .iter()
+            .filter(|&&i| (i as usize) < joined)
+            .nth(rank - 1)
+            .map(|&i| i as usize)
+    }
+
+    /// Pick a recently published post anywhere in the network: draw a
+    /// weighted author among the joined users, a day within the last three,
+    /// and one of the author's post slots — all against the plan, so the
+    /// pick never needs the author's shard. `None` when no attempt found a
+    /// published post.
+    pub fn pick_recent_post(&self, today_idx: usize, rng: &mut SimRng) -> Option<AtUri> {
+        for _ in 0..6 {
+            let back = rng.range(0..3i64);
+            let Some(day_idx) = today_idx.checked_sub(back as usize) else {
+                continue;
+            };
+            let Some(author) = self.pick_joined_weighted(day_idx, rng) else {
+                continue;
+            };
+            let posts = self.posts_on(author, day_idx);
+            if posts == 0 {
+                continue;
+            }
+            let slot = rng.range(0..posts);
+            return Some(self.post_uri(author, day_idx, slot));
+        }
+        None
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The planned signup schedule (per-day counts).
+    pub fn signup_schedule(&self) -> &[u32] {
+        &self.signup_schedule
     }
 }
 

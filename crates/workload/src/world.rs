@@ -1,18 +1,43 @@
 //! The simulated world and its day-by-day driver.
 //!
 //! [`World::new`] builds the static ecosystem (PDS fleet, PLC directory, DNS
-//! zones, registrars, labeler and feed-generator plans); [`World::step_day`]
-//! advances the simulation by one day — signups, posting/liking/following
-//! activity, handle changes, deletions, label issuance, feed curation, the
-//! Relay crawl and AppView ingestion. The measurement pipeline in
-//! `bsky-study` drives a `World` and observes it exclusively through the same
-//! service interfaces the real study used.
+//! zones, registrars, labeler and feed-generator plans); the simulation then
+//! advances one day at a time — signups, posting/liking/following activity,
+//! handle changes, deletions, label issuance, feed curation, the Relay crawl
+//! and AppView ingestion. The measurement pipeline in `bsky-study` drives a
+//! `World` and observes it exclusively through the same service interfaces
+//! the real study used.
+//!
+//! ## Sharding
+//!
+//! A world can simulate the *whole* population ([`World::new`]) or one
+//! DID-hash shard of it ([`World::new_shard`]). Every stochastic decision is
+//! derived from `(seed, DID, day)` via the [`PopulationPlan`] — never from a
+//! shared sequential stream — and every cross-user interaction (like and
+//! repost targets, follow targets, feed curation, labeling verdicts) is
+//! resolved against the plan or against per-post derived randomness. A
+//! shard therefore emits exactly the events the full simulation would emit
+//! for its users: the union of `N` shards' firehose streams, repositories,
+//! label streams and feed curation equals the serial run's, bit for bit.
+//! The ecosystem services (labelers, feed generators) are instantiated in
+//! *every* shard and observe that shard's posts; their per-shard state is
+//! merged by the study pipeline's analyzer `merge` operation.
+//!
+//! ## Chunked day steps
+//!
+//! [`World::step_day`] is a convenience wrapper around the resumable
+//! intra-day driver: [`World::begin_day`] plans the day (signups, service
+//! activations, the active-user list), [`World::step_chunk`] simulates users
+//! until a bounded number of relay events is pending and then crawls, and
+//! [`World::end_day`] polls labelers and closes the day. A producer that
+//! interleaves `step_chunk` with firehose reads holds only one chunk of
+//! events in flight, independent of the day's total volume.
 
-use crate::config::{ScenarioConfig, GROWTH_EPOCHS};
+use crate::config::ScenarioConfig;
 use crate::ecosystem::{
     build_feedgen_plans, build_labeler_plans, FeedArchetype, FeedGenPlan, LabelerPlan,
 };
-use crate::population::{draw_user, HandleChoice, ProofChoice, UserProfile};
+use crate::population::{DayPurpose, PopulationPlan, UserProfile};
 use bsky_appview::AppView;
 use bsky_atproto::nsid::known;
 use bsky_atproto::record::{
@@ -34,7 +59,24 @@ use bsky_simnet::dns::DnsZoneStore;
 use bsky_simnet::http::WebSpace;
 use bsky_simnet::net::AddressPlan;
 use bsky_simnet::SimRng;
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which population shard a world simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index in `0..count`.
+    pub index: usize,
+    /// Total number of shards (1 = the serial, whole-population world).
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The whole-population (serial) shard.
+    pub fn whole() -> ShardSpec {
+        ShardSpec { index: 0, count: 1 }
+    }
+}
 
 /// Metadata about an instantiated feed generator (plan + creator binding).
 #[derive(Debug, Clone)]
@@ -60,18 +102,39 @@ pub struct LabelerInfo {
     pub appview_cursor: usize,
 }
 
-/// A post kept in the short-term pool that likes/reposts/labels draw from.
-#[derive(Debug, Clone)]
-struct RecentPost {
-    uri: AtUri,
+/// Resumable state of one simulated day (see [`World::begin_day`]).
+#[derive(Debug)]
+pub struct DayCursor {
+    day: Datetime,
+    day_idx: usize,
+    /// Global indices of this shard's active users, ascending.
+    active: Vec<usize>,
+    pos: usize,
 }
 
-/// The complete simulated Bluesky world.
+impl DayCursor {
+    /// The day being simulated.
+    pub fn day(&self) -> Datetime {
+        self.day
+    }
+
+    /// Number of active (owned) users this day.
+    pub fn active_users(&self) -> usize {
+        self.active.len()
+    }
+}
+
+/// The complete simulated Bluesky world (or one population shard of it).
 #[derive(Debug)]
 pub struct World {
     /// Scenario configuration.
     pub config: ScenarioConfig,
-    /// Ground-truth population (drawn lazily as users sign up).
+    /// The deterministic population skeleton (shared across shards).
+    pub plan: Arc<PopulationPlan>,
+    /// Which shard of the population this world simulates.
+    pub shard: ShardSpec,
+    /// Signed-up users *owned by this shard*, in signup order. The profile's
+    /// `handle` tracks the current handle through churn.
     pub users: Vec<UserProfile>,
     /// PDS fleet (Bluesky-operated + self-hosted).
     pub fleet: PdsFleet,
@@ -102,26 +165,48 @@ pub struct World {
     /// Current simulated day (start of day).
     pub today: Datetime,
 
-    signup_schedule: Vec<u32>,
+    /// Global user index → position in `users` (owned users only).
+    owned_local: BTreeMap<usize, usize>,
     labeler_plans: Vec<LabelerPlan>,
     feedgen_plans: Vec<FeedGenPlan>,
-    recent_posts: VecDeque<RecentPost>,
-    rng: SimRng,
-    rkey_counter: u64,
+    /// Cumulative like-attractiveness weights parallel to `feedgens`.
+    feed_like_cumsum: Vec<f64>,
     self_hosted_pds: Vec<String>,
     addresses: AddressPlan,
+    /// Firehose cursor of the world's own AppView subscription.
+    appview_cursor: u64,
     pub(crate) total_posts: u64,
     pub(crate) total_likes: u64,
 }
 
 impl World {
-    /// Build the world's static state. No activity has happened yet; call
+    /// Build the whole-population world. No activity has happened yet; call
     /// [`World::step_day`] (or [`World::run_to_end`]) to simulate.
     pub fn new(config: ScenarioConfig) -> World {
-        let root_rng = SimRng::new(config.seed);
-        let rng = root_rng.fork("world");
+        World::with_plan(
+            config,
+            Arc::new(PopulationPlan::build(&config)),
+            ShardSpec::whole(),
+        )
+    }
 
-        // PDS fleet: default servers plus a few self-hosted ones.
+    /// Build one population shard (DID-hash partition `index` of `count`).
+    pub fn new_shard(config: ScenarioConfig, index: usize, count: usize) -> World {
+        World::with_plan(
+            config,
+            Arc::new(PopulationPlan::build(&config)),
+            ShardSpec { index, count },
+        )
+    }
+
+    /// Build a shard over an already-computed population plan (the sharded
+    /// study runner builds the plan once and hands an [`Arc`] to each
+    /// worker).
+    pub fn with_plan(config: ScenarioConfig, plan: Arc<PopulationPlan>, shard: ShardSpec) -> World {
+        let root = SimRng::new(config.seed);
+
+        // PDS fleet: default servers plus a few self-hosted ones. Every
+        // shard sees the full fleet; accounts land only on the owner shard.
         let mut fleet = PdsFleet::with_default_servers(config.default_pds_count);
         let mut self_hosted_pds = Vec::new();
         for i in 0..3 {
@@ -130,34 +215,9 @@ impl World {
             self_hosted_pds.push(hostname);
         }
 
-        // Signup schedule: per-day counts per the growth epochs, normalised
-        // to the target population.
-        let total_days = config.total_days().max(1) as usize;
-        let mut raw = vec![0f64; total_days];
-        for (day_idx, raw_count) in raw.iter_mut().enumerate() {
-            let day = config.start.plus_days(day_idx as i64);
-            if let Some(epoch) = GROWTH_EPOCHS.iter().find(|e| {
-                let start = Datetime::from_ymd(e.start.0, e.start.1, e.start.2).unwrap();
-                let end = Datetime::from_ymd(e.end.0, e.end.1, e.end.2).unwrap();
-                day >= start && day < end
-            }) {
-                *raw_count = epoch.daily_signup_fraction;
-            }
-        }
-        let raw_total: f64 = raw.iter().sum();
-        let target = config.target_users() as f64;
-        let mut signup_schedule = Vec::with_capacity(total_days);
-        let mut carried = 0.0f64;
-        for value in &raw {
-            let exact = value / raw_total.max(1e-12) * target + carried;
-            let whole = exact.floor();
-            carried = exact - whole;
-            signup_schedule.push(whole as u32);
-        }
-
-        // Ecosystem plans.
-        let labeler_plans = build_labeler_plans(&config, &mut rng.fork("labelers"));
-        let feedgen_plans = build_feedgen_plans(&config, &mut rng.fork("feeds"));
+        // Ecosystem plans (identical in every shard).
+        let labeler_plans = build_labeler_plans(&config, &mut root.fork("world").fork("labelers"));
+        let feedgen_plans = build_feedgen_plans(&config, &mut root.fork("world").fork("feeds"));
 
         // Tranco list: famous domains rank inside the top 1M.
         let tranco = TrancoList::from_ranked(&[
@@ -190,18 +250,33 @@ impl World {
             tranco,
             psl: PublicSuffixList::embedded(),
             today: config.start,
-            signup_schedule,
+            owned_local: BTreeMap::new(),
             labeler_plans,
             feedgen_plans,
-            recent_posts: VecDeque::new(),
-            rng: rng.fork("activity"),
-            rkey_counter: 0,
+            feed_like_cumsum: Vec::new(),
             self_hosted_pds,
             addresses: AddressPlan::new(),
+            appview_cursor: 0,
             total_posts: 0,
             total_likes: 0,
+            plan,
+            shard,
             config,
         }
+    }
+
+    /// Whether this shard owns (simulates) the user with the given global
+    /// index.
+    pub fn owns_user(&self, index: usize) -> bool {
+        self.plan
+            .owned_by(index, self.shard.index, self.shard.count)
+    }
+
+    /// Whether this shard owns an arbitrary DID (used to emit global
+    /// singletons — labeler metadata — from exactly one shard).
+    pub fn owns_did(&self, did: &Did) -> bool {
+        self.shard.count <= 1
+            || crate::population::did_hash(did) % self.shard.count as u64 == self.shard.index as u64
     }
 
     /// Number of days simulated so far.
@@ -221,54 +296,107 @@ impl World {
         }
     }
 
-    fn next_rkey(&mut self) -> String {
-        self.rkey_counter += 1;
-        format!("k{:011}", self.rkey_counter)
+    /// Advance the simulation by one full day (single-chunk convenience
+    /// wrapper around [`World::begin_day`] / [`World::step_chunk`] /
+    /// [`World::end_day`]).
+    pub fn step_day(&mut self) {
+        let Some(mut cursor) = self.begin_day() else {
+            return;
+        };
+        while !self.step_chunk(&mut cursor, usize::MAX) {}
+        self.end_day(cursor);
     }
 
-    /// Advance the simulation by one day.
-    pub fn step_day(&mut self) {
+    /// Open the next simulated day: process signups, bring planned services
+    /// online, and plan the active-user list. Returns `None` when the
+    /// simulation already reached its end date.
+    pub fn begin_day(&mut self) -> Option<DayCursor> {
         if self.finished() {
-            return;
+            return None;
         }
-        let today = self.today;
-
-        // 1. New signups.
+        let day = self.today;
         let day_idx = self.days_elapsed() as usize;
-        let signups = self.signup_schedule.get(day_idx).copied().unwrap_or(0);
-        for _ in 0..signups {
-            self.sign_up_user(today);
+
+        // 1. New signups (owned indices only).
+        for index in self.plan.signups_on(day_idx) {
+            if self.owns_user(index) {
+                self.sign_up_user(index, day);
+            }
         }
 
-        // 2. Bring planned labelers and feed generators online.
-        self.activate_labelers(today);
-        self.activate_feedgens(today);
+        // 2. Bring planned labelers and feed generators online (all shards).
+        self.activate_labelers(day);
+        self.activate_feedgens(day, day_idx);
 
-        // 3. Daily activity of existing users.
-        self.simulate_activity(today);
+        // 3. Plan the day's activity: every owned, joined user flips their
+        //    independent per-(DID, day) activity coin.
+        let joined = self.plan.joined_count(day_idx);
+        let mut active = Vec::new();
+        for index in 0..joined {
+            if self.owns_user(index) && self.plan.is_active(index, day_idx) {
+                active.push(index);
+            }
+        }
 
-        // 4. Labelers publish due labels; the AppView ingests them.
-        self.poll_labelers(today);
+        Some(DayCursor {
+            day,
+            day_idx,
+            active,
+            pos: 0,
+        })
+    }
 
-        // 5. Relay crawl + AppView event processing + retention.
-        let cursor = self.relay.firehose().head_seq();
-        self.relay.crawl(&self.fleet, today.plus_seconds(86_399));
-        let new_events = self.relay.subscribe(cursor);
-        for event in &new_events.events {
+    /// Simulate active users until at least `chunk_events` relay events are
+    /// pending, then crawl the relay (bounding the number of events a
+    /// firehose reader sees per subscription read). Returns `true` when the
+    /// day's activity is exhausted.
+    pub fn step_chunk(&mut self, cursor: &mut DayCursor, chunk_events: usize) -> bool {
+        while cursor.pos < cursor.active.len() {
+            let user = cursor.active[cursor.pos];
+            cursor.pos += 1;
+            self.simulate_user_day(user, cursor.day_idx, cursor.day);
+            if self.pending_relay_events() >= chunk_events {
+                self.crawl_and_index(cursor.day);
+                return false;
+            }
+        }
+        self.crawl_and_index(cursor.day);
+        true
+    }
+
+    /// Close the day: labelers publish due labels, the AppView ingests
+    /// them, feeds enforce retention, and the clock advances.
+    pub fn end_day(&mut self, cursor: DayCursor) {
+        debug_assert!(cursor.pos >= cursor.active.len(), "day not exhausted");
+        let day = cursor.day;
+        self.poll_labelers(day);
+        for feed in &mut self.feedgens {
+            feed.enforce_retention(day);
+        }
+        self.today = day.plus_days(1);
+    }
+
+    /// Relay events produced by the fleet but not yet crawled.
+    fn pending_relay_events(&self) -> usize {
+        self.relay.pending_events(&self.fleet)
+    }
+
+    /// Crawl the relay and let the AppView process the newly ingested
+    /// events.
+    fn crawl_and_index(&mut self, day: Datetime) {
+        self.relay.crawl(&self.fleet, day.plus_seconds(86_399));
+        let sub = self.relay.subscribe(self.appview_cursor);
+        self.appview_cursor = sub.cursor;
+        for event in &sub.events {
             self.appview.index_mut().process_event(event);
         }
-        for feed in &mut self.feedgens {
-            feed.enforce_retention(today);
-        }
-
-        self.today = today.plus_days(1);
     }
 
-    fn sign_up_user(&mut self, today: Datetime) {
-        let index = self.users.len();
-        let registrar_count = default_catalogue().len();
-        let mut rng = self.rng.fork(&format!("user-{index}"));
-        let user = draw_user(index, today, &self.config, &mut rng, registrar_count);
+    fn sign_up_user(&mut self, index: usize, today: Datetime) {
+        let user = self.plan.profile(index).clone();
+        // Per-user signup decisions, derived from the seed and the index so
+        // they are identical no matter which shard executes them.
+        let mut rng = SimRng::new(self.config.seed).fork(&format!("signup-{index}"));
 
         // Pick a PDS: almost everyone lands on a default server; a handful
         // self-host (only possible since federation opened).
@@ -308,20 +436,24 @@ impl World {
             }
         }
         match user.proof {
-            ProofChoice::DnsTxt => publish::dns_proof(&mut self.dns, &user.handle, &user.did),
-            ProofChoice::WellKnown => {
+            crate::population::ProofChoice::DnsTxt => {
+                publish::dns_proof(&mut self.dns, &user.handle, &user.did)
+            }
+            crate::population::ProofChoice::WellKnown => {
                 publish::well_known_proof(&mut self.web, &user.handle, &user.did)
             }
         }
-        if let HandleChoice::SelfManaged {
-            domain,
-            registrar_index,
-            ..
-        } = &user.handle_choice
-        {
-            let registrar =
-                registrar_index.map(|i| default_catalogue()[i % default_catalogue().len()].clone());
-            self.whois.register(domain, registrar);
+        if let crate::population::HandleChoice::SelfManaged { domain, .. } = &user.handle_choice {
+            // The WHOIS record is a property of the *domain*, not of the
+            // registering user: famous domains are deliberately shared by
+            // several users (newsroom staff accounts), who may land on
+            // different shards. Deriving the registrar from the domain
+            // keeps `whois.register` idempotent, so every shard's WHOIS
+            // database answers identically for shared domains — a per-user
+            // draw here would let Table 2 diverge between the serial and
+            // sharded runs.
+            self.whois
+                .register(domain, whois_registrar_for(self.config.seed, domain));
         }
 
         // AppView learns about the actor and their profile record.
@@ -354,6 +486,7 @@ impl World {
             &profile,
             today,
         );
+        self.owned_local.insert(index, self.users.len());
         self.users.push(user);
     }
 
@@ -368,7 +501,10 @@ impl World {
             let index = self.labelers.announced_count();
             let did = Did::plc_from_seed(format!("labeler-{}", plan.name).as_bytes());
             let _addr = self.addresses.allocate(plan.hosting);
-            let rng = self.rng.fork(&format!("labeler-{index}"));
+            // The labeler's stream seed derives from the run seed and its
+            // index; the service itself re-forks per observed post, so its
+            // verdicts are shard-independent.
+            let rng = SimRng::new(self.config.seed).fork(&format!("labeler-{index}"));
             let service = LabelerService::new(
                 did,
                 plan.name.clone(),
@@ -387,30 +523,29 @@ impl World {
         }
     }
 
-    fn activate_feedgens(&mut self, today: Datetime) {
+    fn activate_feedgens(&mut self, today: Datetime, day_idx: usize) {
         let platforms = default_platforms();
-        let pending: Vec<FeedGenPlan> = self
+        let pending: Vec<(usize, FeedGenPlan)> = self
             .feedgen_plans
             .iter()
-            .filter(|p| p.created_at.day_index() == today.day_index())
-            .cloned()
+            .enumerate()
+            .filter(|(_, p)| p.created_at.day_index() == today.day_index())
+            .map(|(i, p)| (i, p.clone()))
             .collect();
-        for plan in pending {
-            if self.users.is_empty() {
+        for (plan_index, plan) in pending {
+            if self.plan.joined_count(day_idx) == 0 {
                 continue;
             }
             let index = self.feedgens.len();
-            // Bind the creator: rank 1 = most popular joined user.
-            let mut by_weight: Vec<usize> = (0..self.users.len()).collect();
-            by_weight.sort_by(|a, b| {
-                self.users[*b]
-                    .activity_weight
-                    .partial_cmp(&self.users[*a].activity_weight)
-                    .unwrap()
-            });
-            let rank = (plan.creator_popularity_rank as usize).min(by_weight.len());
-            let creator_index = by_weight[rank.saturating_sub(1)];
-            let creator = self.users[creator_index].did.clone();
+            // Bind the creator: rank 1 = most popular joined user, resolved
+            // against the plan so every shard binds identically.
+            let Some(creator_index) = self
+                .plan
+                .creator_for_rank(plan.creator_popularity_rank, day_idx)
+            else {
+                continue;
+            };
+            let creator = self.plan.profile(creator_index).did.clone();
 
             let (platform_name, service_did) = match plan.platform_index {
                 Some(i) => {
@@ -422,8 +557,11 @@ impl World {
                 }
                 None => (
                     "self-hosted".to_string(),
-                    Did::web(&format!("feeds.{}", self.users[creator_index].handle))
-                        .unwrap_or_else(|_| Did::web("selfhosted-feeds.example").expect("valid")),
+                    Did::web(&format!(
+                        "feeds.{}",
+                        self.plan.profile(creator_index).handle
+                    ))
+                    .unwrap_or_else(|_| Did::web("selfhosted-feeds.example").expect("valid")),
                 ),
             };
 
@@ -446,10 +584,14 @@ impl World {
                     })
                 }
             };
-            let retention = if self.rng.chance(0.45) {
-                RetentionPolicy::Days(self.rng.range(1..10i64) as u32)
-            } else if self.rng.chance(0.3) {
-                RetentionPolicy::Count(self.rng.range(50..500usize))
+            // Retention is a per-plan property, not a draw from shared
+            // state, so every shard instantiates the same policy.
+            let mut retention_rng =
+                SimRng::new(self.config.seed).fork(&format!("feed-retention-{plan_index}"));
+            let retention = if retention_rng.chance(0.45) {
+                RetentionPolicy::Days(retention_rng.range(1..10i64) as u32)
+            } else if retention_rng.chance(0.3) {
+                RetentionPolicy::Count(retention_rng.range(50..500usize))
             } else {
                 RetentionPolicy::All
             };
@@ -459,7 +601,9 @@ impl World {
                 description: plan.description.clone(),
                 created_at: plan.created_at,
             };
-            // The declaration record lives in the creator's repository.
+            // The declaration record lives in the creator's repository —
+            // which exists only on the creator's owning shard, so exactly
+            // one shard emits it.
             if let Some(pds) = self.fleet.pds_for_mut(&creator) {
                 let _ = pds.create_record(
                     &creator,
@@ -471,6 +615,10 @@ impl World {
             let generator =
                 FeedGenerator::new(creator, format!("feed{index:06}"), record, mode, retention);
             self.feedgens.push(generator);
+            self.feed_like_cumsum.push(
+                self.feed_like_cumsum.last().copied().unwrap_or(0.0)
+                    + 1.0 / (plan.creator_popularity_rank as f64 + 1.0),
+            );
             self.feedgen_info.push(FeedGenInfo {
                 index,
                 plan,
@@ -480,68 +628,34 @@ impl World {
         }
     }
 
-    /// Simulate one day of user activity.
-    fn simulate_activity(&mut self, today: Datetime) {
-        if self.users.is_empty() {
-            return;
-        }
-        let epoch = GROWTH_EPOCHS
-            .iter()
-            .find(|e| {
-                let start = Datetime::from_ymd(e.start.0, e.start.1, e.start.2).unwrap();
-                let end = Datetime::from_ymd(e.end.0, e.end.1, e.end.2).unwrap();
-                today >= start && today < end
-            })
-            .copied()
-            .unwrap_or(GROWTH_EPOCHS[GROWTH_EPOCHS.len() - 1]);
-
-        let joined: Vec<usize> = (0..self.users.len())
-            .filter(|&i| self.users[i].joined <= today)
-            .collect();
-        let target_active = ((joined.len() as f64) * epoch.daily_active_fraction).round() as usize;
-        if target_active == 0 {
-            return;
-        }
-        // Weighted sample of active users (heavy users are active more often).
-        let weights: Vec<f64> = joined
-            .iter()
-            .map(|&i| self.users[i].activity_weight)
-            .collect();
-        let mut active: Vec<usize> = Vec::with_capacity(target_active);
-        let mut seen = std::collections::BTreeSet::new();
-        let mut attempts = 0;
-        while active.len() < target_active && attempts < target_active * 8 {
-            attempts += 1;
-            if let Some(pick) = self.rng.pick_weighted(&weights) {
-                let user_index = joined[pick];
-                if seen.insert(user_index) {
-                    active.push(user_index);
-                }
-            }
-        }
-
-        for user_index in active {
-            self.simulate_user_day(user_index, today);
-        }
-    }
-
     /// One active user's actions for one day, applied as a single commit.
-    fn simulate_user_day(&mut self, user_index: usize, today: Datetime) {
-        let user = self.users[user_index].clone();
+    /// Consumes only the user's own per-day streams plus the read-only plan.
+    fn simulate_user_day(&mut self, index: usize, day_idx: usize, today: Datetime) {
+        let Some(&local) = self.owned_local.get(&index) else {
+            return; // signup failed (should not happen)
+        };
+        let user = self.users[local].clone();
         let mut writes: Vec<bsky_atproto::repo::Write> = Vec::new();
         let mut new_posts: Vec<(String, PostRecord)> = Vec::new();
         let mut indexed: Vec<(Nsid, String, Record)> = Vec::new();
 
-        let seconds_of_day = self.rng.range(0..80_000i64);
-        let when = today.plus_seconds(seconds_of_day);
+        let when = self.plan.when(index, day_idx);
+        let mut rng = self.plan.day_rng(index, day_idx, DayPurpose::Content);
+        // Non-post records share one per-day key sequence.
+        let mut record_seq = 0u32;
+        let next_rkey = |seq: &mut u32| {
+            let rkey = format!("r{day_idx:05}s{seq:03}");
+            *seq += 1;
+            rkey
+        };
 
         // Posts (≈1.8 per active user-day on average, weighted by the user).
-        let post_count = self
-            .rng
-            .poisson(1.8_f64.min(4.0 * user.activity_weight + 0.9));
-        for _ in 0..post_count {
-            let post = self.draw_post(&user, when);
-            let rkey = self.next_rkey();
+        // The count comes from its own stream so other shards can recompute
+        // it when targeting this user's posts.
+        let post_count = self.plan.posts_on(index, day_idx);
+        for slot in 0..post_count {
+            let post = draw_post(&user, &mut rng, when);
+            let rkey = PopulationPlan::post_rkey(day_idx, slot);
             new_posts.push((rkey.clone(), post.clone()));
             writes.push(bsky_atproto::repo::Write::Create {
                 collection: Nsid::parse(known::POST).unwrap(),
@@ -553,24 +667,25 @@ impl World {
         }
 
         // Likes (≈6 per active user-day): mostly on recent posts, sometimes
-        // on feed generators.
-        let like_count = self.rng.poisson(6.0);
+        // on feed generators. Targets are resolved against the plan, so a
+        // like can land on any shard's post.
+        let like_count = rng.poisson(6.0);
         for _ in 0..like_count {
-            let subject = if !self.feedgens.is_empty() && self.rng.chance(0.03) {
-                let weights: Vec<f64> = self
-                    .feedgen_info
-                    .iter()
-                    .map(|info| 1.0 / (info.plan.creator_popularity_rank as f64 + 1.0))
-                    .collect();
-                let idx = self.rng.pick_weighted(&weights).unwrap_or(0);
+            let subject = if !self.feedgens.is_empty() && rng.chance(0.03) {
+                let total = self.feed_like_cumsum.last().copied().unwrap_or(0.0);
+                let target = rng.unit() * total;
+                let idx = self
+                    .feed_like_cumsum
+                    .partition_point(|&c| c <= target)
+                    .min(self.feedgens.len() - 1);
                 self.feedgens[idx].add_like();
                 self.feedgens[idx].uri().clone()
-            } else if let Some(target) = self.pick_recent_post() {
+            } else if let Some(target) = self.plan.pick_recent_post(day_idx, &mut rng) {
                 target
             } else {
                 continue;
             };
-            let rkey = self.next_rkey();
+            let rkey = next_rkey(&mut record_seq);
             let record = Record::Like(LikeRecord {
                 subject,
                 created_at: when,
@@ -585,9 +700,9 @@ impl World {
         }
 
         // Reposts (≈0.6).
-        for _ in 0..self.rng.poisson(0.6) {
-            if let Some(target) = self.pick_recent_post() {
-                let rkey = self.next_rkey();
+        for _ in 0..rng.poisson(0.6) {
+            if let Some(target) = self.plan.pick_recent_post(day_idx, &mut rng) {
+                let rkey = next_rkey(&mut record_seq);
                 let record = Record::Repost(RepostRecord {
                     subject: target,
                     created_at: when,
@@ -602,9 +717,9 @@ impl World {
         }
 
         // Follows (≈1.3): preferential attachment towards popular users.
-        for _ in 0..self.rng.poisson(1.3) {
-            if let Some(target) = self.pick_popular_user(user_index) {
-                let rkey = self.next_rkey();
+        for _ in 0..rng.poisson(1.3) {
+            if let Some(target) = self.pick_popular_user(index, day_idx, &mut rng) {
+                let rkey = next_rkey(&mut record_seq);
                 let record = Record::Follow(FollowRecord {
                     subject: target,
                     created_at: when,
@@ -619,9 +734,9 @@ impl World {
         }
 
         // Blocks (≈0.09): concentrated on a couple of notorious accounts.
-        for _ in 0..self.rng.poisson(0.09) {
-            if let Some(target) = self.pick_block_target(user_index) {
-                let rkey = self.next_rkey();
+        for _ in 0..rng.poisson(0.09) {
+            if let Some(target) = self.pick_block_target(index, day_idx, &mut rng) {
+                let rkey = next_rkey(&mut record_seq);
                 let record = Record::Block(BlockRecord {
                     subject: target,
                     created_at: when,
@@ -636,8 +751,8 @@ impl World {
         }
 
         // Third-party (WhiteWind) records for the few users who use them.
-        if user.uses_whitewind && self.rng.chance(0.2) {
-            let rkey = self.next_rkey();
+        if user.uses_whitewind && rng.chance(0.2) {
+            let rkey = next_rkey(&mut record_seq);
             let record = Record::Unknown(UnknownRecord {
                 record_type: Nsid::parse(known::WHTWND_ENTRY).unwrap(),
                 value: cbor::Value::map([
@@ -680,140 +795,65 @@ impl World {
             for labeler in self.labelers.all_mut() {
                 labeler.observe_post(&uri, &post, when);
             }
-            self.recent_posts.push_back(RecentPost { uri });
-            if self.recent_posts.len() > 4_000 {
-                self.recent_posts.pop_front();
-            }
         }
 
         // Occasional identity churn: handle changes and account deletion.
-        self.simulate_identity_churn(user_index, today);
+        self.simulate_identity_churn(index, local, today, &mut rng);
     }
 
-    fn draw_post(&mut self, user: &UserProfile, when: Datetime) -> PostRecord {
-        const TOPICS: &[&str] = &[
-            "art",
-            "ramen",
-            "news",
-            "science",
-            "music",
-            "cats",
-            "football",
-            "politics",
-            "photography",
-            "nude study",
-        ];
-        let topic = *self.rng.pick(TOPICS);
-        let text = format!(
-            "{} post about {} #{}",
-            user.language,
-            topic,
-            topic.split(' ').next().unwrap_or(topic)
-        );
-        let mut tags = Vec::new();
-        if self.rng.chance(0.015) {
-            tags.push("aiart".to_string());
-        }
-        let embed = if self.rng.chance(user.media_probability) {
-            let kind_roll = self.rng.unit();
-            let kind = if kind_roll < user.adult_probability {
-                MediaKind::Adult
-            } else if kind_roll < user.adult_probability + 0.012 {
-                MediaKind::Graphic
-            } else if kind_roll < user.adult_probability + 0.07 {
-                MediaKind::GifTenor
-            } else if kind_roll < user.adult_probability + 0.10 {
-                MediaKind::ScreenshotTwitter
-            } else if kind_roll < user.adult_probability + 0.12 {
-                MediaKind::ScreenshotBluesky
-            } else if kind_roll < user.adult_probability + 0.16 {
-                MediaKind::AiGenerated
-            } else if kind_roll < user.adult_probability + 0.40 {
-                MediaKind::Artwork
-            } else {
-                MediaKind::Photo
-            };
-            let alt = if self.rng.chance(user.missing_alt_probability) {
-                None
-            } else {
-                Some(format!("an image about {topic}"))
-            };
-            Some(Embed::Images(vec![ImageEmbed { alt, kind }]))
-        } else {
-            None
-        };
-        // A tiny fraction of posts carry corrupted (pre-launch) timestamps,
-        // reproducing the client bug the paper reports (§7.1).
-        let created_at = if self.rng.chance(0.0001) {
-            Datetime::from_ymd(*self.rng.pick(&[1185, 1776, 1923]), 6, 1).unwrap()
-        } else {
-            when
-        };
-        PostRecord {
-            text,
-            created_at,
-            langs: vec![user.language.clone()],
-            reply_parent: None,
-            embed,
-            tags,
-        }
-    }
-
-    fn pick_recent_post(&mut self) -> Option<AtUri> {
-        if self.recent_posts.is_empty() {
-            return None;
-        }
-        let idx = self.rng.range(0..self.recent_posts.len());
-        Some(self.recent_posts[idx].uri.clone())
-    }
-
-    fn pick_popular_user(&mut self, exclude: usize) -> Option<Did> {
-        if self.users.len() < 2 {
+    fn pick_popular_user(&self, exclude: usize, day_idx: usize, rng: &mut SimRng) -> Option<Did> {
+        if self.plan.joined_count(day_idx) < 2 {
             return None;
         }
         for _ in 0..8 {
-            let weights: Vec<f64> = self.users.iter().map(|u| u.activity_weight).collect();
-            let idx = self.rng.pick_weighted(&weights)?;
-            if idx != exclude && self.users[idx].joined <= self.today {
-                return Some(self.users[idx].did.clone());
+            let idx = self.plan.pick_joined_weighted(day_idx, rng)?;
+            if idx != exclude {
+                return Some(self.plan.profile(idx).did.clone());
             }
         }
         None
     }
 
-    fn pick_block_target(&mut self, exclude: usize) -> Option<Did> {
-        if self.users.len() < 4 {
+    fn pick_block_target(&self, exclude: usize, day_idx: usize, rng: &mut SimRng) -> Option<Did> {
+        let joined = self.plan.joined_count(day_idx);
+        if joined < 4 {
             return None;
         }
         // Blocks concentrate on two notorious accounts (the impersonator and
         // the propagandist of §4), with a tail over everyone else.
         let notorious = [2usize, 3usize];
-        let idx = if self.rng.chance(0.6) {
-            notorious[self.rng.range(0..notorious.len())]
+        let idx = if rng.chance(0.6) {
+            notorious[rng.range(0..notorious.len())]
         } else {
-            self.rng.range(0..self.users.len())
+            rng.range(0..joined)
         };
         if idx == exclude {
             return None;
         }
-        Some(self.users[idx].did.clone())
+        Some(self.plan.profile(idx).did.clone())
     }
 
-    fn simulate_identity_churn(&mut self, user_index: usize, today: Datetime) {
+    fn simulate_identity_churn(
+        &mut self,
+        index: usize,
+        local: usize,
+        today: Datetime,
+        rng: &mut SimRng,
+    ) {
         // Handle updates: ≈0.8 % of accounts over the window ⇒ tiny daily
         // probability; 75 % of final handles end up under bsky.social (§5).
-        if self.rng.chance(0.00006) {
-            let user = self.users[user_index].clone();
-            let to_bsky = self.rng.chance(0.7574);
+        if rng.chance(0.00006) {
+            let user = self.users[local].clone();
+            let to_bsky = rng.chance(0.7574);
             let new_handle = if to_bsky {
                 Handle::parse(&format!(
                     "{}-new.bsky.social",
-                    crate::population::username(user_index)
+                    crate::population::username(index)
                 ))
             } else {
                 Handle::parse(&format!(
                     "{}.example.org",
-                    crate::population::username(user_index)
+                    crate::population::username(index)
                 ))
             };
             if let Ok(handle) = new_handle {
@@ -824,21 +864,21 @@ impl World {
                     doc.handle = handle.clone();
                 });
                 publish::dns_proof(&mut self.dns, &handle, &user.did);
-                self.users[user_index].handle = handle;
+                self.users[local].handle = handle;
             }
         }
         // Account deletions (tombstones): very rare.
-        if self.rng.chance(0.000_015) {
-            let user = self.users[user_index].clone();
+        if rng.chance(0.000_015) {
+            let user = self.users[local].clone();
             if let Some(pds) = self.fleet.pds_for_mut(&user.did) {
                 let _ = pds.delete_account(&user.did, today);
             }
             let _ = self.plc.tombstone(&user.did, today);
         }
         // PDS migrations (identity updates beyond creation): rare.
-        if self.rng.chance(0.00003) && !self.self_hosted_pds.is_empty() {
-            let user = self.users[user_index].clone();
-            let destination = self.self_hosted_pds[user_index % self.self_hosted_pds.len()].clone();
+        if rng.chance(0.00003) && !self.self_hosted_pds.is_empty() {
+            let user = self.users[local].clone();
+            let destination = self.self_hosted_pds[index % self.self_hosted_pds.len()].clone();
             let handle = user.handle.clone();
             if self
                 .fleet
@@ -878,9 +918,93 @@ impl World {
     }
 
     /// Ground-truth totals (used only by tests and sanity checks, never by
-    /// the measurement pipeline).
+    /// the measurement pipeline). Shard-local.
     pub fn ground_truth_totals(&self) -> (u64, u64) {
         (self.total_posts, self.total_likes)
+    }
+}
+
+/// The WHOIS registrar of a registered domain: a pure function of
+/// `(seed, domain)`, reproducing the study's coverage calibration (~83 % of
+/// domains have WHOIS data). Domain-keyed so that every shard — and every
+/// re-registration of a shared domain — derives the same record.
+pub fn whois_registrar_for(seed: u64, domain: &str) -> Option<bsky_identity::registrar::Registrar> {
+    let mut rng = SimRng::new(seed).fork(&format!("whois-{domain}"));
+    if rng.chance(0.83) {
+        let catalogue = default_catalogue();
+        Some(catalogue[rng.range(0..catalogue.len())].clone())
+    } else {
+        None
+    }
+}
+
+/// Draw one post's content from the user's content stream.
+fn draw_post(user: &UserProfile, rng: &mut SimRng, when: Datetime) -> PostRecord {
+    const TOPICS: &[&str] = &[
+        "art",
+        "ramen",
+        "news",
+        "science",
+        "music",
+        "cats",
+        "football",
+        "politics",
+        "photography",
+        "nude study",
+    ];
+    let topic = *rng.pick(TOPICS);
+    let text = format!(
+        "{} post about {} #{}",
+        user.language,
+        topic,
+        topic.split(' ').next().unwrap_or(topic)
+    );
+    let mut tags = Vec::new();
+    if rng.chance(0.015) {
+        tags.push("aiart".to_string());
+    }
+    let embed = if rng.chance(user.media_probability) {
+        let kind_roll = rng.unit();
+        let kind = if kind_roll < user.adult_probability {
+            MediaKind::Adult
+        } else if kind_roll < user.adult_probability + 0.012 {
+            MediaKind::Graphic
+        } else if kind_roll < user.adult_probability + 0.07 {
+            MediaKind::GifTenor
+        } else if kind_roll < user.adult_probability + 0.10 {
+            MediaKind::ScreenshotTwitter
+        } else if kind_roll < user.adult_probability + 0.12 {
+            MediaKind::ScreenshotBluesky
+        } else if kind_roll < user.adult_probability + 0.16 {
+            MediaKind::AiGenerated
+        } else if kind_roll < user.adult_probability + 0.40 {
+            MediaKind::Artwork
+        } else {
+            MediaKind::Photo
+        };
+        let alt = if rng.chance(user.missing_alt_probability) {
+            None
+        } else {
+            Some(format!("an image about {topic}"))
+        };
+        Some(Embed::Images(vec![ImageEmbed { alt, kind }]))
+    } else {
+        None
+    };
+    // A tiny fraction of posts carry corrupted (pre-launch) timestamps,
+    // reproducing the client bug the paper reports (§7.1).
+    let created_at = if rng.chance(0.0001) {
+        Datetime::from_ymd(*rng.pick(&[1185, 1776, 1923]), 6, 1).unwrap()
+    } else {
+        when
+    };
+    PostRecord {
+        text,
+        created_at,
+        langs: vec![user.language.clone()],
+        reply_parent: None,
+        embed,
+        tags,
     }
 }
 
@@ -888,13 +1012,17 @@ impl World {
 mod tests {
     use super::*;
 
-    fn small_world() -> World {
+    fn small_config() -> ScenarioConfig {
         let mut config = ScenarioConfig::test_scale(77);
         // Shorten the horizon so unit tests stay fast: start mid-2023.
         config.start = Datetime::from_ymd(2024, 1, 20).unwrap();
         config.end = Datetime::from_ymd(2024, 4, 30).unwrap();
         config.scale = 40_000;
-        World::new(config)
+        config
+    }
+
+    fn small_world() -> World {
+        World::new(small_config())
     }
 
     #[test]
@@ -994,5 +1122,150 @@ mod tests {
             b.step_day();
         }
         assert_ne!(a.ground_truth_totals(), b.ground_truth_totals());
+    }
+
+    #[test]
+    fn shards_partition_the_population_exactly() {
+        let config = small_config();
+        let mut whole = World::new(config);
+        whole.run_to_end();
+        let shards = 3usize;
+        let mut shard_users = 0usize;
+        let mut shard_posts = 0u64;
+        let mut shard_likes = 0u64;
+        let mut shard_events = 0u64;
+        for index in 0..shards {
+            let mut shard = World::new_shard(config, index, shards);
+            shard.run_to_end();
+            shard_users += shard.users.len();
+            let (p, l) = shard.ground_truth_totals();
+            shard_posts += p;
+            shard_likes += l;
+            shard_events += shard.relay.firehose().total_events();
+        }
+        // The union of the shards is exactly the serial world: same users,
+        // same posts, same likes, same firehose events.
+        assert_eq!(shard_users, whole.users.len());
+        assert_eq!(
+            (shard_posts, shard_likes),
+            whole.ground_truth_totals(),
+            "sharded activity must reproduce the serial run exactly"
+        );
+        assert_eq!(shard_events, whole.relay.firehose().total_events());
+    }
+
+    #[test]
+    fn whois_records_are_domain_derived_and_shard_independent() {
+        // Famous domains are shared by several users who can land on
+        // different shards; the WHOIS answer must not depend on which user
+        // (or shard) registered last.
+        let config = small_config();
+        for domain in ["nytimes.com", "cnn.com", "stanford.edu"] {
+            let a = whois_registrar_for(config.seed, domain);
+            let b = whois_registrar_for(config.seed, domain);
+            assert_eq!(
+                a.as_ref().map(|r| (r.iana_id, r.name.clone())),
+                b.as_ref().map(|r| (r.iana_id, r.name.clone()))
+            );
+        }
+        let mut whole = World::new(config);
+        whole.run_to_end();
+        for index in 0..2 {
+            let mut shard = World::new_shard(config, index, 2);
+            shard.run_to_end();
+            // Every domain the shard registered answers exactly as in the
+            // serial world.
+            for user in &shard.users {
+                if let crate::population::HandleChoice::SelfManaged { domain, .. } =
+                    &user.handle_choice
+                {
+                    let serial = whole
+                        .whois
+                        .query(domain)
+                        .and_then(|r| r.registrar.as_ref().map(|g| (g.iana_id, g.name.clone())));
+                    let sharded = shard
+                        .whois
+                        .query(domain)
+                        .and_then(|r| r.registrar.as_ref().map(|g| (g.iana_id, g.name.clone())));
+                    assert_eq!(serial, sharded, "domain {domain}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_reproduce_serial_label_streams() {
+        let config = small_config();
+        let mut whole = World::new(config);
+        whole.run_to_end();
+        let mut whole_labels: Vec<String> = whole
+            .labelers
+            .all()
+            .iter()
+            .flat_map(|l| l.subscribe_labels(0).0.iter())
+            .map(|l| {
+                format!(
+                    "{}|{}|{}|{}|{}",
+                    l.src,
+                    l.target.uri(),
+                    l.value,
+                    l.negated,
+                    l.created_at.to_iso8601()
+                )
+            })
+            .collect();
+        whole_labels.sort();
+
+        let shards = 3usize;
+        let mut sharded_labels: Vec<String> = Vec::new();
+        for index in 0..shards {
+            let mut shard = World::new_shard(config, index, shards);
+            shard.run_to_end();
+            sharded_labels.extend(
+                shard
+                    .labelers
+                    .all()
+                    .iter()
+                    .flat_map(|l| l.subscribe_labels(0).0.iter())
+                    .map(|l| {
+                        format!(
+                            "{}|{}|{}|{}|{}",
+                            l.src,
+                            l.target.uri(),
+                            l.value,
+                            l.negated,
+                            l.created_at.to_iso8601()
+                        )
+                    }),
+            );
+        }
+        sharded_labels.sort();
+        assert!(!whole_labels.is_empty());
+        assert_eq!(whole_labels, sharded_labels);
+    }
+
+    #[test]
+    fn chunked_day_steps_match_whole_day_steps() {
+        let config = small_config();
+        let mut coarse = World::new(config);
+        let mut fine = World::new(config);
+        for _ in 0..60 {
+            coarse.step_day();
+            let Some(mut cursor) = fine.begin_day() else {
+                break;
+            };
+            // Tiny chunks: crawl after every ~4 pending events.
+            while !fine.step_chunk(&mut cursor, 4) {}
+            fine.end_day(cursor);
+        }
+        assert_eq!(coarse.ground_truth_totals(), fine.ground_truth_totals());
+        assert_eq!(
+            coarse.relay.firehose().total_events(),
+            fine.relay.firehose().total_events()
+        );
+        assert_eq!(
+            coarse.appview.index().post_count(),
+            fine.appview.index().post_count()
+        );
     }
 }

@@ -29,12 +29,26 @@
 //!   through the public service interfaces.
 //!
 //! `bsky_study::StudyReport::run` computes the entire report in a single
-//! pass with bounded memory — firehose events are never retained — and
-//! `bsky_study::StudyBatch` runs whole seed × scale grids. The legacy batch
-//! representation survives as one optional materializing analyzer
-//! (`bsky_study::datasets::Materialize`), and the batch analysis functions
-//! replay materialized datasets through the same accumulators, so both
-//! paths agree exactly (see `tests/pipeline_equivalence.rs`).
+//! pass with bounded memory — firehose events are never retained; the
+//! producer reads the relay in constant-size chunks
+//! ([`bsky_workload::World::step_chunk`]) so peak in-flight is independent
+//! of daily volume — and `bsky_study::StudyBatch` runs whole seed × scale
+//! grids.
+//!
+//! ## The sharded engine
+//!
+//! Every stochastic decision in the workload derives from `(seed, DID,
+//! day)` ([`bsky_workload::PopulationPlan`]), so the population partitions
+//! exactly by DID hash: `bsky_study::StudyReport::run_sharded` (repro
+//! `--jobs N [--shards S]`) runs one producer + analyzer set per shard on
+//! worker threads and merges the per-shard states through the associative
+//! `bsky_study::Analyzer::merge` — producing a report **byte-identical** to
+//! the serial run for any shard count.
+//!
+//! The legacy batch representation survives as one optional materializing
+//! analyzer (`bsky_study::datasets::Materialize`), and the batch analysis
+//! functions replay materialized datasets through the same accumulators, so
+//! all paths agree exactly (see `tests/pipeline_equivalence.rs`).
 
 pub use bsky_appview;
 pub use bsky_atproto;

@@ -1,7 +1,8 @@
 //! Golden equivalence: the streaming engine's `StudyReport` must be
 //! identical — every table and figure field — to the batch
-//! `StudyReport::from_collected` computed over materialized `Datasets`, for
-//! multiple seeds.
+//! `StudyReport::from_collected` computed over materialized `Datasets`, and
+//! the sharded run (`--jobs 4`) must be **byte-identical** to the serial
+//! run, for multiple seeds.
 //!
 //! The rendered report covers every table/figure field of every section and
 //! the JSON export covers the headline numbers, so string equality over both
@@ -110,4 +111,44 @@ fn run_is_the_streaming_path() {
     let via_run = StudyReport::run(config);
     let (via_streaming, _) = StudyReport::run_streaming(config);
     assert_eq!(via_run.render(), via_streaming.render());
+}
+
+#[test]
+fn sharded_run_is_byte_identical_to_serial() {
+    for seed in [31u64, 32] {
+        let config = small_config(seed);
+        let (serial, _) = StudyReport::run_streaming(config);
+        // 4 shards on 4 worker threads: every stochastic decision derives
+        // from (seed, DID, day), so partitioning the population must not
+        // change a single byte of the rendered report or the JSON export.
+        let (sharded, summary) = StudyReport::run_sharded(config, 4, 4);
+        assert_eq!(summary.shards, 4);
+        assert_eq!(summary.per_shard.len(), 4);
+        assert_reports_identical(&sharded, &serial, seed);
+        assert_eq!(sharded.render(), serial.render(), "seed {seed}");
+        assert_eq!(
+            sharded.to_json().to_string_pretty(),
+            serial.to_json().to_string_pretty(),
+            "seed {seed}"
+        );
+        // The shard partition is real: more than one shard produced events.
+        let active_shards = summary
+            .per_shard
+            .iter()
+            .filter(|s| s.firehose_events > 0)
+            .count();
+        assert!(active_shards > 1, "seed {seed}: population not partitioned");
+    }
+}
+
+#[test]
+fn sharded_run_is_independent_of_worker_count() {
+    let config = small_config(34);
+    let (jobs1, _) = StudyReport::run_sharded(config, 3, 1);
+    let (jobs3, _) = StudyReport::run_sharded(config, 3, 3);
+    assert_eq!(jobs1.render(), jobs3.render());
+    assert_eq!(
+        jobs1.to_json().to_string_pretty(),
+        jobs3.to_json().to_string_pretty()
+    );
 }
