@@ -203,6 +203,32 @@ impl Mst {
         self.build().1
     }
 
+    /// The root CID and every node block in one materialisation (callers
+    /// needing both avoid building the tree twice).
+    pub fn root_and_blocks(&self) -> (Cid, Vec<MstNode>) {
+        self.build()
+    }
+
+    /// The MST diff walk at the node level: the tree node blocks of `self`
+    /// that are **not** nodes of `old`. Because nodes are content-addressed,
+    /// these are exactly the structural blocks a sync consumer is missing
+    /// after it has already fetched `old` — the node portion of a
+    /// `com.atproto.sync.getRepo(did, since)` delta. The empty diff (equal
+    /// trees) yields an empty vector.
+    ///
+    /// This is the *reference* form of the walk (it materialises both
+    /// trees, O(n)); the repository layer serves deltas from its O(churn)
+    /// per-commit node log instead, and a test in `repo.rs` pins the two
+    /// equal.
+    pub fn node_delta(&self, old: &Mst) -> Vec<MstNode> {
+        let old_cids: std::collections::BTreeSet<Cid> =
+            old.blocks().iter().map(|n| n.cid).collect();
+        self.blocks()
+            .into_iter()
+            .filter(|n| !old_cids.contains(&n.cid))
+            .collect()
+    }
+
     /// Total serialized size of all node blocks in bytes.
     pub fn structural_size(&self) -> usize {
         self.blocks().iter().map(|n| n.bytes.len()).sum()
@@ -426,6 +452,61 @@ mod tests {
             .collect();
         assert_eq!(likes, vec!["app.bsky.feed.like/aaa"]);
         assert_eq!(mst.iter_collection("app.bsky.feed").count(), 0);
+    }
+
+    #[test]
+    fn node_delta_of_identical_trees_is_empty() {
+        let mut mst = Mst::new();
+        for i in 0..100 {
+            mst.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        assert!(mst.node_delta(&mst.clone()).is_empty());
+        // The empty tree diffed against itself is also empty.
+        assert!(Mst::new().node_delta(&Mst::new()).is_empty());
+    }
+
+    #[test]
+    fn node_delta_for_single_record_add() {
+        let mut old = Mst::new();
+        for i in 0..200 {
+            old.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        let mut new = old.clone();
+        new.insert(&key_for(1_000), cid_for(1_000)).unwrap();
+        let delta = new.node_delta(&old);
+        // The add rewrites the path from the leaf to the root — a handful of
+        // nodes, far fewer than the whole tree.
+        assert!(!delta.is_empty());
+        assert!(delta.len() < new.blocks().len());
+        // Every delta node is a node of the new tree, and together with the
+        // old nodes they cover the new tree completely.
+        let new_cids: BTreeMap<Cid, ()> = new.blocks().iter().map(|n| (n.cid, ())).collect();
+        assert!(delta.iter().all(|n| new_cids.contains_key(&n.cid)));
+        let mut covered: std::collections::BTreeSet<Cid> =
+            old.blocks().iter().map(|n| n.cid).collect();
+        covered.extend(delta.iter().map(|n| n.cid));
+        assert!(new.blocks().iter().all(|n| covered.contains(&n.cid)));
+    }
+
+    #[test]
+    fn node_delta_after_delete_and_readd_under_same_key() {
+        let mut old = Mst::new();
+        for i in 0..50 {
+            old.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        // Delete + re-add with the *same* value: the tree is content-
+        // addressed, so the final state is identical and the delta is empty.
+        let mut same = old.clone();
+        same.remove(&key_for(7));
+        same.insert(&key_for(7), cid_for(7)).unwrap();
+        assert_eq!(same.root_cid(), old.root_cid());
+        assert!(same.node_delta(&old).is_empty());
+        // Delete + re-add with a *different* value rewrites the leaf path.
+        let mut changed = old.clone();
+        changed.remove(&key_for(7));
+        changed.insert(&key_for(7), cid_for(700)).unwrap();
+        assert_ne!(changed.root_cid(), old.root_cid());
+        assert!(!changed.node_delta(&old).is_empty());
     }
 
     #[test]

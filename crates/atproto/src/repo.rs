@@ -8,6 +8,12 @@
 //! the block store, which the paper's discussion section flags as a GDPR
 //! concern — we model that by keeping deleted blocks until an explicit
 //! garbage-collection call.
+//!
+//! Each commit additionally logs the blocks it introduced (records and MST
+//! nodes), so [`Repository::export_car_since`] can serve the
+//! `com.atproto.sync.getRepo(did, since=rev)` delta path — only the blocks
+//! created after a known revision — and [`Repository::apply_delta`] lets a
+//! mirror reassemble the full archive from a cached CAR plus such a delta.
 
 use crate::cbor::{self, Value};
 use crate::cid::Cid;
@@ -168,6 +174,44 @@ pub struct CommitResult {
 /// A parsed CAR archive: the root CIDs and the block store.
 pub type ParsedCar = (Vec<Cid>, BTreeMap<Cid, Vec<u8>>);
 
+/// What a `getRepo(since)` delta must carry.
+///
+/// The MST node blocks dominate delta size for chatty small repositories:
+/// every appended record rewrites its leaf-to-root path, so a weekly sync
+/// re-ships each touched path once even though the *records* of that week
+/// are much smaller. Consumers that maintain a verifiable block mirror (the
+/// Relay) need those nodes; consumers that maintain only decoded records
+/// (the §3 dataset mirror) can skip them and verify the head commit alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaScope {
+    /// Head commit + net MST node difference + record blocks: everything a
+    /// mirror needs to reassemble a full archive via
+    /// [`Repository::apply_delta`].
+    #[default]
+    Full,
+    /// Head commit + record blocks only: sufficient (and much smaller) for
+    /// consumers that keep decoded records rather than raw block stores.
+    Records,
+}
+
+/// Per-commit block accounting: which record blocks and which MST node
+/// blocks each commit introduced. This is what makes
+/// `com.atproto.sync.getRepo(did, since)` cheap — the delta for any known
+/// `since` revision is the union of the logged blocks of the commits after
+/// it, with no tree reconstruction at request time.
+#[derive(Debug, Clone, Default)]
+struct CommitBlocks {
+    /// Record blocks first written by this commit.
+    record_cids: Vec<Cid>,
+    /// MST node blocks this commit added to the live tree.
+    node_cids: Vec<Cid>,
+    /// MST node blocks this commit dropped from the live tree. Together
+    /// with `node_cids` this lets a delta export reconstruct the node set
+    /// at any past revision by backward replay — O(churn), never a tree
+    /// rebuild — and ship only the *net* node difference.
+    removed_node_cids: Vec<Cid>,
+}
+
 /// A user repository: block store + MST index + commit chain.
 #[derive(Debug, Clone)]
 pub struct Repository {
@@ -176,6 +220,14 @@ pub struct Repository {
     mst: Mst,
     blocks: BTreeMap<Cid, Vec<u8>>,
     commits: Vec<Commit>,
+    /// Aligned 1:1 with `commits`: the blocks each commit introduced.
+    log: Vec<CommitBlocks>,
+    /// Every MST node block ever materialised by a commit (content-
+    /// addressed, so stale nodes coexist with live ones). Backs delta
+    /// exports; the live tree's nodes are always a subset.
+    node_store: BTreeMap<Cid, Vec<u8>>,
+    /// Node CIDs of the live tree as of the latest commit.
+    current_node_cids: std::collections::BTreeSet<Cid>,
     clock: TidClock,
 }
 
@@ -193,6 +245,9 @@ impl Repository {
             mst: Mst::new(),
             blocks: BTreeMap::new(),
             commits: Vec::new(),
+            log: Vec::new(),
+            node_store: BTreeMap::new(),
+            current_node_cids: std::collections::BTreeSet::new(),
         }
     }
 
@@ -268,6 +323,61 @@ impl Repository {
             .collect()
     }
 
+    /// Apply one write, recording any freshly inserted block in
+    /// `fresh_blocks` so a failed batch can roll the store back.
+    fn apply_one_write(
+        &mut self,
+        write: &Write,
+        fresh_blocks: &mut Vec<Cid>,
+        bytes_written: &mut usize,
+    ) -> Result<()> {
+        match write {
+            Write::Create {
+                collection,
+                rkey,
+                record,
+            } => {
+                let key = format!("{collection}/{rkey}");
+                if self.mst.contains(&key) {
+                    return Err(AtError::RepoError(format!("record exists: {key}")));
+                }
+                let bytes = record.to_cbor();
+                let cid = Cid::for_cbor(&bytes);
+                *bytes_written += bytes.len();
+                if let std::collections::btree_map::Entry::Vacant(slot) = self.blocks.entry(cid) {
+                    fresh_blocks.push(cid);
+                    slot.insert(bytes);
+                }
+                self.mst.insert(&key, cid)?;
+            }
+            Write::Update {
+                collection,
+                rkey,
+                record,
+            } => {
+                let key = format!("{collection}/{rkey}");
+                if !self.mst.contains(&key) {
+                    return Err(AtError::RepoError(format!("record missing: {key}")));
+                }
+                let bytes = record.to_cbor();
+                let cid = Cid::for_cbor(&bytes);
+                *bytes_written += bytes.len();
+                if let std::collections::btree_map::Entry::Vacant(slot) = self.blocks.entry(cid) {
+                    fresh_blocks.push(cid);
+                    slot.insert(bytes);
+                }
+                self.mst.insert(&key, cid)?;
+            }
+            Write::Delete { collection, rkey } => {
+                let key = format!("{collection}/{rkey}");
+                if self.mst.remove(&key).is_none() {
+                    return Err(AtError::RepoError(format!("record missing: {key}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Apply a batch of writes, producing a new signed commit.
     pub fn apply_writes(&mut self, writes: &[Write], now: Datetime) -> Result<CommitResult> {
         if writes.is_empty() {
@@ -275,47 +385,17 @@ impl Repository {
         }
         let old_mst = self.mst.clone();
         let mut bytes_written = 0usize;
+        let mut fresh_blocks: Vec<Cid> = Vec::new();
         for write in writes {
-            match write {
-                Write::Create {
-                    collection,
-                    rkey,
-                    record,
-                } => {
-                    let key = format!("{collection}/{rkey}");
-                    if self.mst.contains(&key) {
-                        self.mst = old_mst;
-                        return Err(AtError::RepoError(format!("record exists: {key}")));
-                    }
-                    let bytes = record.to_cbor();
-                    let cid = Cid::for_cbor(&bytes);
-                    bytes_written += bytes.len();
-                    self.blocks.insert(cid, bytes);
-                    self.mst.insert(&key, cid)?;
+            if let Err(err) = self.apply_one_write(write, &mut fresh_blocks, &mut bytes_written) {
+                // Atomic batches: restore the index and drop the blocks this
+                // batch introduced, so the store holds exactly the blocks
+                // the commit log accounts for.
+                self.mst = old_mst;
+                for cid in &fresh_blocks {
+                    self.blocks.remove(cid);
                 }
-                Write::Update {
-                    collection,
-                    rkey,
-                    record,
-                } => {
-                    let key = format!("{collection}/{rkey}");
-                    if !self.mst.contains(&key) {
-                        self.mst = old_mst;
-                        return Err(AtError::RepoError(format!("record missing: {key}")));
-                    }
-                    let bytes = record.to_cbor();
-                    let cid = Cid::for_cbor(&bytes);
-                    bytes_written += bytes.len();
-                    self.blocks.insert(cid, bytes);
-                    self.mst.insert(&key, cid)?;
-                }
-                Write::Delete { collection, rkey } => {
-                    let key = format!("{collection}/{rkey}");
-                    if self.mst.remove(&key).is_none() {
-                        self.mst = old_mst;
-                        return Err(AtError::RepoError(format!("record missing: {key}")));
-                    }
-                }
+                return Err(err);
             }
         }
         let diff = self.mst.diff(&old_mst);
@@ -341,7 +421,25 @@ impl Repository {
             .collect();
 
         let rev = self.clock.next(now);
-        let data = self.mst.root_cid();
+        // One materialisation serves both the commit's `data` pointer and
+        // the per-commit node log: nodes not live before this commit are the
+        // structural blocks a `getRepo(since)` delta must carry.
+        let (data, nodes) = self.mst.root_and_blocks();
+        let mut node_cids = Vec::new();
+        let mut live_nodes = std::collections::BTreeSet::new();
+        for node in nodes {
+            live_nodes.insert(node.cid);
+            if !self.current_node_cids.contains(&node.cid) {
+                node_cids.push(node.cid);
+                self.node_store.entry(node.cid).or_insert(node.bytes);
+            }
+        }
+        let removed_node_cids: Vec<Cid> = self
+            .current_node_cids
+            .difference(&live_nodes)
+            .copied()
+            .collect();
+        self.current_node_cids = live_nodes;
         let prev = self.head().map(Commit::cid);
         let mut commit = Commit {
             did: self.did.clone(),
@@ -355,6 +453,11 @@ impl Repository {
         // Account for the MST root node and commit block.
         bytes_written += commit.to_cbor().len();
         self.commits.push(commit.clone());
+        self.log.push(CommitBlocks {
+            record_cids: fresh_blocks,
+            node_cids,
+            removed_node_cids,
+        });
         Ok(CommitResult {
             commit,
             ops,
@@ -394,28 +497,124 @@ impl Repository {
         for (cid, bytes) in &self.blocks {
             blocks.push((*cid, bytes.clone()));
         }
-        let header = Value::map([
-            ("version", Value::Int(1)),
-            (
-                "roots",
-                Value::Array(
-                    self.head()
-                        .map(|c| vec![Value::Link(c.cid())])
-                        .unwrap_or_default(),
-                ),
-            ),
-        ]);
-        let mut out = Vec::new();
-        let header_bytes = cbor::encode(&header);
-        write_varint(header_bytes.len() as u64, &mut out);
-        out.extend_from_slice(&header_bytes);
-        for (cid, bytes) in blocks {
-            let cid_bytes = cid.to_bytes();
-            write_varint((cid_bytes.len() + bytes.len()) as u64, &mut out);
-            out.extend_from_slice(&cid_bytes);
-            out.extend_from_slice(&bytes);
+        let roots: Vec<Cid> = self.head().map(|c| c.cid()).into_iter().collect();
+        encode_car(&roots, blocks.iter().map(|(c, b)| (*c, b.as_slice())), None)
+    }
+
+    /// `com.atproto.sync.getRepo(did, since=rev)`: export only what a
+    /// consumer synced to `since` is missing — the commits after `since`
+    /// ([`DeltaScope::Records`] trims this to the head commit alone, which
+    /// is all a decoded-record consumer verifies), the **net** MST node
+    /// difference between the live tree and the tree at `since`
+    /// (reconstructed by replaying the per-commit add/remove log backwards,
+    /// so transient nodes that appeared and vanished between the two
+    /// snapshots never travel; [`DeltaScope::Full`] only), and every record
+    /// block written after `since` (including intermediate versions, which
+    /// full exports also retain). A [`DeltaScope::Full`] delta applied to a
+    /// full archive at `since` therefore yields a superset of a fresh full
+    /// export: commit chain, live tree and record store all intact.
+    ///
+    /// Errors when `since` is not a revision of this repository (a rewound
+    /// or replaced repo, or a revision predating a takedown): the caller
+    /// must fall back to a full [`Repository::export_car`] fetch. A `since`
+    /// equal to the head revision yields an empty delta (header only).
+    pub fn export_car_since(&self, since: &Tid, scope: DeltaScope) -> Result<Vec<u8>> {
+        let head = self
+            .head()
+            .ok_or_else(|| AtError::RepoError("repository has no commits".into()))?;
+        let index = self
+            .commits
+            .binary_search_by(|c| c.rev.cmp(since))
+            .map_err(|_| {
+                AtError::RepoError(format!(
+                    "unknown revision {since} for {}: full fetch required",
+                    self.did
+                ))
+            })?;
+        let mut blocks: BTreeMap<Cid, Vec<u8>> = BTreeMap::new();
+        if index + 1 < self.commits.len() {
+            blocks.insert(head.cid(), head.to_cbor());
         }
-        out
+        if scope == DeltaScope::Full {
+            // The intermediate commits too, so the merged archive's `prev`
+            // chain never dangles.
+            for commit in &self.commits[index + 1..] {
+                blocks.insert(commit.cid(), commit.to_cbor());
+            }
+            // Node set at `since`, by backward replay of the per-commit
+            // churn log — O(churn), never a tree rebuild.
+            let mut nodes_at_since = self.current_node_cids.clone();
+            for entry in self.log[index + 1..].iter().rev() {
+                for cid in &entry.node_cids {
+                    nodes_at_since.remove(cid);
+                }
+                for cid in &entry.removed_node_cids {
+                    nodes_at_since.insert(*cid);
+                }
+            }
+            for cid in self.current_node_cids.difference(&nodes_at_since) {
+                if let Some(bytes) = self.node_store.get(cid) {
+                    blocks.insert(*cid, bytes.clone());
+                }
+            }
+        }
+        for entry in &self.log[index + 1..] {
+            for cid in &entry.record_cids {
+                // Blocks purged by a garbage collection are skipped — the
+                // full export no longer carries them either.
+                if let Some(bytes) = self.blocks.get(cid) {
+                    blocks.insert(*cid, bytes.clone());
+                }
+            }
+        }
+        Ok(encode_car(
+            &[head.cid()],
+            blocks.iter().map(|(c, b)| (*c, b.as_slice())),
+            Some(since),
+        ))
+    }
+
+    /// Reassemble a full archive from a previously fetched CAR plus a delta
+    /// produced by [`Repository::export_car_since`]. Every block is verified
+    /// against its CID during parsing; on top of that the merged store must
+    /// contain the delta's head commit, that commit's MST root node, and the
+    /// head revision must advance past the base's — otherwise the delta is
+    /// rejected and the caller should fall back to a full fetch.
+    pub fn apply_delta(base_car: &[u8], delta_car: &[u8]) -> Result<Vec<u8>> {
+        let (base_roots, mut blocks) = Repository::parse_car(base_car)?;
+        let (delta_roots, delta_blocks) = Repository::parse_car(delta_car)?;
+        let root = delta_roots
+            .first()
+            .copied()
+            .ok_or_else(|| AtError::RepoError("delta CAR has no root".into()))?;
+        let base_rev = base_roots
+            .first()
+            .and_then(|r| blocks.get(r))
+            .map(|bytes| commit_summary(bytes))
+            .transpose()?
+            .map(|(rev, _)| rev);
+        blocks.extend(delta_blocks);
+        let commit_bytes = blocks
+            .get(&root)
+            .ok_or_else(|| AtError::RepoError("delta head commit block missing".into()))?;
+        let (rev, data) = commit_summary(commit_bytes)?;
+        if let Some(base_rev) = base_rev {
+            if rev < base_rev {
+                return Err(AtError::RepoError(format!(
+                    "delta head revision {rev} rewinds past base {base_rev}"
+                )));
+            }
+        }
+        if !blocks.contains_key(&data) {
+            return Err(AtError::RepoError(
+                "delta MST root block missing from merged archive".into(),
+            ));
+        }
+        Ok(encode_car(
+            &delta_roots,
+            blocks.iter().map(|(c, b)| (*c, b.as_slice())),
+            None,
+        ))
     }
 
     /// Parse a CAR archive back into `(roots, blocks)`.
@@ -467,6 +666,52 @@ impl Repository {
         self.blocks.retain(|cid, _| live.contains(cid));
         before - self.store_size()
     }
+}
+
+/// Serialise a CAR archive: varint-framed header (`version`, `roots`, and —
+/// for deltas — the `since` revision) followed by varint-framed
+/// `CID ‖ bytes` blocks.
+fn encode_car<'a>(
+    roots: &[Cid],
+    blocks: impl Iterator<Item = (Cid, &'a [u8])>,
+    since: Option<&Tid>,
+) -> Vec<u8> {
+    let mut fields = vec![
+        ("version".to_string(), Value::Int(1)),
+        (
+            "roots".to_string(),
+            Value::Array(roots.iter().map(|c| Value::Link(*c)).collect()),
+        ),
+    ];
+    if let Some(since) = since {
+        fields.push(("since".to_string(), Value::text(since.to_string())));
+    }
+    let header_bytes = cbor::encode(&Value::map(fields));
+    let mut out = Vec::new();
+    write_varint(header_bytes.len() as u64, &mut out);
+    out.extend_from_slice(&header_bytes);
+    for (cid, bytes) in blocks {
+        let cid_bytes = cid.to_bytes();
+        write_varint((cid_bytes.len() + bytes.len()) as u64, &mut out);
+        out.extend_from_slice(&cid_bytes);
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Decode the `(rev, data)` summary of an encoded commit block, without
+/// needing the full [`Commit`] struct (delta consumers hold raw blocks).
+pub fn commit_summary(bytes: &[u8]) -> Result<(Tid, Cid)> {
+    let value = cbor::decode(bytes)?;
+    let rev = value
+        .get("rev")
+        .and_then(Value::as_text)
+        .ok_or_else(|| AtError::RepoError("commit block missing rev".into()))?;
+    let data = value
+        .get("data")
+        .and_then(Value::as_link)
+        .ok_or_else(|| AtError::RepoError("commit block missing data".into()))?;
+    Ok((Tid::parse(rev)?, *data))
 }
 
 fn write_varint(mut value: u64, out: &mut Vec<u8>) {
@@ -673,6 +918,275 @@ mod tests {
         }
         // The head commit block is present.
         assert!(blocks.contains_key(&roots[0]));
+    }
+
+    /// All blocks of a CAR that decode as records, in CID order — the view
+    /// the §3 repositories dataset takes of an archive.
+    fn decoded_records(car: &[u8]) -> Vec<Record> {
+        let (_, blocks) = Repository::parse_car(car).unwrap();
+        blocks
+            .values()
+            .filter_map(|b| Record::from_cbor(b).ok())
+            .collect()
+    }
+
+    #[test]
+    fn delta_since_head_is_empty() {
+        let mut repo = new_repo("judy");
+        repo.create_record(post_nsid(), post("only"), now())
+            .unwrap();
+        let head_rev = repo.rev().unwrap();
+        let delta = repo.export_car_since(&head_rev, DeltaScope::Full).unwrap();
+        let (roots, blocks) = Repository::parse_car(&delta).unwrap();
+        assert_eq!(roots, vec![repo.head().unwrap().cid()]);
+        assert!(blocks.is_empty(), "delta since head must carry no blocks");
+    }
+
+    #[test]
+    fn delta_since_unknown_rev_errors_for_full_refetch() {
+        let mut repo = new_repo("kate");
+        repo.create_record(post_nsid(), post("x"), now()).unwrap();
+        // A revision this repository never produced (e.g. the consumer's
+        // state predates a repo rewind or replacement).
+        let foreign = Tid::from_micros(1, 1);
+        let err = repo
+            .export_car_since(&foreign, DeltaScope::Full)
+            .unwrap_err();
+        assert!(err.to_string().contains("full fetch required"), "{err}");
+        // An empty repository cannot serve deltas at all.
+        let empty = new_repo("empty");
+        assert!(empty.export_car_since(&foreign, DeltaScope::Full).is_err());
+    }
+
+    #[test]
+    fn delta_applied_to_base_matches_full_export() {
+        let mut repo = new_repo("liam");
+        let mut rkeys = Vec::new();
+        for i in 0..8 {
+            let (rkey, _) = repo
+                .create_record(post_nsid(), post(&format!("v0 {i}")), now())
+                .unwrap();
+            rkeys.push(rkey);
+        }
+        let base_rev = repo.rev().unwrap();
+        let base_car = repo.export_car();
+
+        // Update the same record twice (the intermediate version must still
+        // reach the consumer: full exports carry every historical block),
+        // delete one record and re-add under the same key, and create new
+        // records.
+        for text in ["edit one", "edit two"] {
+            repo.apply_writes(
+                &[Write::Update {
+                    collection: post_nsid(),
+                    rkey: rkeys[0].clone(),
+                    record: post(text),
+                }],
+                now().plus_seconds(5),
+            )
+            .unwrap();
+        }
+        repo.apply_writes(
+            &[Write::Delete {
+                collection: post_nsid(),
+                rkey: rkeys[1].clone(),
+            }],
+            now().plus_seconds(10),
+        )
+        .unwrap();
+        repo.apply_writes(
+            &[Write::Create {
+                collection: post_nsid(),
+                rkey: rkeys[1].clone(),
+                record: post("readded"),
+            }],
+            now().plus_seconds(15),
+        )
+        .unwrap();
+        repo.create_record(post_nsid(), post("brand new"), now().plus_seconds(20))
+            .unwrap();
+
+        let full_car = repo.export_car();
+        let delta = repo.export_car_since(&base_rev, DeltaScope::Full).unwrap();
+        assert!(
+            delta.len() < full_car.len(),
+            "delta ({}) must be smaller than the full export ({})",
+            delta.len(),
+            full_car.len()
+        );
+        let merged = Repository::apply_delta(&base_car, &delta).unwrap();
+        // Same head, and the record view is byte-identical to a fresh full
+        // fetch — including the intermediate "edit one" version.
+        let (merged_roots, merged_blocks) = Repository::parse_car(&merged).unwrap();
+        assert_eq!(merged_roots, vec![repo.head().unwrap().cid()]);
+        assert_eq!(decoded_records(&merged), decoded_records(&full_car));
+        assert!(decoded_records(&merged).contains(&post("edit one")));
+        // The head commit and the whole live tree are reachable in the
+        // merged store (deltas ship the net node difference; the base
+        // supplied the unchanged nodes).
+        let (rev, data) = commit_summary(merged_blocks.get(&merged_roots[0]).unwrap()).unwrap();
+        assert_eq!(rev, repo.rev().unwrap());
+        assert!(merged_blocks.contains_key(&data));
+        // In fact the merged store covers everything a fresh full export
+        // carries — commit chain included, so `prev` links never dangle.
+        let (_, full_blocks) = Repository::parse_car(&full_car).unwrap();
+        for cid in full_blocks.keys() {
+            assert!(
+                merged_blocks.contains_key(cid),
+                "block {cid} missing from merged archive"
+            );
+        }
+    }
+
+    #[test]
+    fn log_replay_delta_matches_the_reference_node_diff_walk() {
+        // `export_car_since` derives its node section from the per-commit
+        // add/remove log (O(churn)); `Mst::node_delta` is the reference
+        // diff walk (O(n) tree builds). They must agree exactly.
+        let mut repo = new_repo("pia");
+        let mut rkeys = Vec::new();
+        for i in 0..30 {
+            let (rkey, _) = repo
+                .create_record(post_nsid(), post(&format!("base {i}")), now())
+                .unwrap();
+            rkeys.push(rkey);
+        }
+        let since = repo.rev().unwrap();
+        let base_mst = repo.mst.clone();
+        // A week of churn: creates, an update, a delete + re-add.
+        for i in 0..6 {
+            repo.create_record(
+                post_nsid(),
+                post(&format!("new {i}")),
+                now().plus_seconds(i),
+            )
+            .unwrap();
+        }
+        repo.apply_writes(
+            &[Write::Update {
+                collection: post_nsid(),
+                rkey: rkeys[3].clone(),
+                record: post("edited"),
+            }],
+            now().plus_seconds(10),
+        )
+        .unwrap();
+        repo.apply_writes(
+            &[Write::Delete {
+                collection: post_nsid(),
+                rkey: rkeys[4].clone(),
+            }],
+            now().plus_seconds(11),
+        )
+        .unwrap();
+        repo.apply_writes(
+            &[Write::Create {
+                collection: post_nsid(),
+                rkey: rkeys[4].clone(),
+                record: post("readded"),
+            }],
+            now().plus_seconds(12),
+        )
+        .unwrap();
+
+        let delta = repo.export_car_since(&since, DeltaScope::Full).unwrap();
+        let (_, blocks) = Repository::parse_car(&delta).unwrap();
+        let delta_nodes: std::collections::BTreeSet<Cid> = blocks
+            .iter()
+            .filter(|(_, bytes)| {
+                Record::from_cbor(bytes).is_err() && commit_summary(bytes).is_err()
+            })
+            .map(|(cid, _)| *cid)
+            .collect();
+        let reference: std::collections::BTreeSet<Cid> = repo
+            .mst
+            .node_delta(&base_mst)
+            .iter()
+            .map(|n| n.cid)
+            .collect();
+        assert!(!reference.is_empty());
+        assert_eq!(delta_nodes, reference);
+    }
+
+    #[test]
+    fn chained_deltas_across_three_snapshots() {
+        let mut repo = new_repo("mona");
+        repo.create_record(post_nsid(), post("one"), now()).unwrap();
+        let rev1 = repo.rev().unwrap();
+        let car1 = repo.export_car();
+        repo.create_record(post_nsid(), post("two"), now().plus_seconds(1))
+            .unwrap();
+        let rev2 = repo.rev().unwrap();
+        let car2 = Repository::apply_delta(
+            &car1,
+            &repo.export_car_since(&rev1, DeltaScope::Full).unwrap(),
+        )
+        .unwrap();
+        repo.create_record(post_nsid(), post("three"), now().plus_seconds(2))
+            .unwrap();
+        let car3 = Repository::apply_delta(
+            &car2,
+            &repo.export_car_since(&rev2, DeltaScope::Full).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(decoded_records(&car3), decoded_records(&repo.export_car()));
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_deltas() {
+        let mut repo = new_repo("nina");
+        repo.create_record(post_nsid(), post("a"), now()).unwrap();
+        let rev = repo.rev().unwrap();
+        let base = repo.export_car();
+        repo.create_record(post_nsid(), post("b"), now().plus_seconds(1))
+            .unwrap();
+        let delta = repo.export_car_since(&rev, DeltaScope::Full).unwrap();
+        // Corrupted delta: block hash check fails during parsing.
+        let mut corrupt = delta.clone();
+        let idx = corrupt.len() - 3;
+        corrupt[idx] ^= 0xff;
+        assert!(Repository::apply_delta(&base, &corrupt).is_err());
+        // A delta without roots is rejected.
+        let empty_repo = new_repo("empty2");
+        assert!(Repository::apply_delta(&base, &empty_repo.export_car()).is_err());
+        // Applying a stale base's delta in the wrong direction (new base,
+        // old head) is a rewind and is rejected.
+        let newer_base = repo.export_car();
+        let old_only = new_repo("nina"); // fresh: no commits
+        assert!(old_only.export_car_since(&rev, DeltaScope::Full).is_err());
+        let _ = newer_base;
+    }
+
+    #[test]
+    fn failed_batches_leave_the_store_unchanged() {
+        let mut repo = new_repo("olga");
+        let (rkey, _) = repo
+            .create_record(post_nsid(), post("keep"), now())
+            .unwrap();
+        let size_before = repo.store_size();
+        // The first write of this batch inserts a fresh block, then the
+        // second write fails: the whole batch must roll back, store
+        // included, so the commit log stays exact.
+        let err = repo.apply_writes(
+            &[
+                Write::Create {
+                    collection: post_nsid(),
+                    rkey: "fresh123".into(),
+                    record: post("should vanish"),
+                },
+                Write::Create {
+                    collection: post_nsid(),
+                    rkey: rkey.clone(),
+                    record: post("conflicts"),
+                },
+            ],
+            now(),
+        );
+        assert!(err.is_err());
+        assert_eq!(repo.store_size(), size_before);
+        assert_eq!(repo.commits().len(), 1);
+        let vanished = Cid::for_cbor(&post("should vanish").to_cbor());
+        assert!(repo.get_block(&vanished).is_none());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * **bounded moderation index** — the post-creation index is aged past
 //!   the labelers' reaction window, so its peak stays a fraction of the
 //!   total posts observed (asserted; this was the `--scale 100` ceiling).
+//! * **snapshot traffic** — the §3 repositories dataset collected with
+//!   rev-aware incremental syncs (`getRepo(since)` deltas) must fetch
+//!   strictly fewer bytes than the window-end full refetch (asserted; both
+//!   emit byte-identical snapshots).
 //!
 //! `--json` additionally writes `BENCH_streaming.json` next to the working
 //! directory so the perf trajectory can be tracked across PRs. `--smoke`
@@ -25,7 +29,7 @@ use bsky_bench::{smoke_mode, BenchGroup};
 use bsky_study::analysis::ModerationAnalyzer;
 use bsky_study::json::Json;
 use bsky_study::pipeline::{Analyzer, Observation, ObservationSink, StudyCtx};
-use bsky_study::{Collector, StudyReport};
+use bsky_study::{Collector, SnapshotMode, StudyReport};
 use bsky_workload::{ScenarioConfig, World};
 
 fn bench_config() -> ScenarioConfig {
@@ -141,6 +145,42 @@ fn main() {
         "streaming must retain strictly fewer events than the batch path"
     );
 
+    // Traffic: the §3 repositories dataset, full-refetch vs rev-aware
+    // incremental syncs. Both emit byte-identical snapshots (pinned by the
+    // golden equivalence test); this measures the bytes actually fetched.
+    let full_snap = {
+        let mut world = World::new(config);
+        Collector::new()
+            .snapshot_mode(SnapshotMode::FullRefetch)
+            .stream(&mut world, &mut NullSink)
+    };
+    let inc_snap = {
+        let mut world = World::new(config);
+        Collector::new()
+            .snapshot_mode(SnapshotMode::Incremental)
+            .stream(&mut world, &mut NullSink)
+    };
+    println!(
+        "repo snapshots: {} bytes full-refetch vs {} bytes incremental ({:.1} %; {} full + {} delta fetches, {} skips)",
+        full_snap.snapshot_bytes_fetched,
+        inc_snap.snapshot_bytes_fetched,
+        inc_snap.snapshot_bytes_fetched as f64 / full_snap.snapshot_bytes_fetched.max(1) as f64
+            * 100.0,
+        inc_snap.repo_full_fetches,
+        inc_snap.repo_delta_fetches,
+        inc_snap.repo_snapshot_skips,
+    );
+    assert!(
+        inc_snap.repo_delta_fetches > 0,
+        "incremental mode must exercise the getRepo(since) delta path"
+    );
+    assert!(
+        inc_snap.snapshot_bytes_fetched < full_snap.snapshot_bytes_fetched,
+        "incremental snapshots must fetch strictly fewer bytes ({} vs {})",
+        inc_snap.snapshot_bytes_fetched,
+        full_snap.snapshot_bytes_fetched,
+    );
+
     // Memory: the moderation post index is aged past the reaction window.
     let mut world = World::new(config);
     let mut probe = IndexProbe {
@@ -180,6 +220,16 @@ fn main() {
                 probe.analyzer.peak_post_index() as u64,
             )
             .with("moderation_total_posts", probe.total_posts as u64)
+            .with(
+                "snapshot_bytes_fetched_full",
+                full_snap.snapshot_bytes_fetched,
+            )
+            .with(
+                "snapshot_bytes_fetched_incremental",
+                inc_snap.snapshot_bytes_fetched,
+            )
+            .with("snapshot_full_fetches", inc_snap.repo_full_fetches)
+            .with("snapshot_delta_fetches", inc_snap.repo_delta_fetches)
             .with("serial_ns_per_day", serial.as_nanos() as u64 / days)
             .with("sharded4_ns_per_day", sharded.as_nanos() as u64 / days)
             .with("sharded_speedup", speedup);

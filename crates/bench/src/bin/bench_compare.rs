@@ -1,0 +1,231 @@
+//! Compare a fresh `BENCH_streaming.json` against the committed baseline
+//! and fail (exit 1) on perf regressions, so the bench trajectory is
+//! enforced — not just recorded — across PRs.
+//!
+//! Usage:
+//!   bench-compare <current.json> <baseline.json>
+//!
+//! Checks (each with a 20 % tolerance):
+//!   * `sharded_speedup` must not drop below 80 % of the baseline;
+//!   * `serial_ns_per_day` / `sharded4_ns_per_day` must not exceed 120 % of
+//!     the baseline.
+//!
+//! Timing comparisons are skipped gracefully when either side ran on fewer
+//! than 4 CPUs — the same hardware gate the streaming bench applies to its
+//! own speedup assertion — because single-digit-core container timings are
+//! not comparable. Structural fields (the incremental-vs-full snapshot
+//! traffic win) are always checked.
+
+use bsky_study::json::Json;
+
+/// Allowed regression: values may move 20 % in the bad direction.
+const TOLERANCE: f64 = 0.20;
+/// Timing comparisons need at least this many CPUs on both sides.
+const MIN_CPUS: u64 = 4;
+
+/// The outcome of one comparison run.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    /// All applicable checks passed (with possibly some skipped).
+    Pass { skipped: Vec<String> },
+    /// At least one regression beyond tolerance.
+    Fail { regressions: Vec<String> },
+}
+
+fn get_f64(doc: &Json, key: &str) -> Option<f64> {
+    doc[key].as_f64()
+}
+
+/// Compare `current` against `baseline`, returning the verdict and a log of
+/// every check performed.
+fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
+    let mut log = Vec::new();
+    let mut regressions = Vec::new();
+    let mut skipped = Vec::new();
+
+    // The incremental snapshot win must hold wherever the bench ran.
+    match (
+        get_f64(current, "snapshot_bytes_fetched_incremental"),
+        get_f64(current, "snapshot_bytes_fetched_full"),
+    ) {
+        (Some(inc), Some(full)) => {
+            log.push(format!(
+                "snapshot bytes: incremental {inc:.0} vs full {full:.0}"
+            ));
+            if inc >= full {
+                regressions.push(format!(
+                    "incremental snapshots fetched {inc:.0} bytes, not below the full refetch's {full:.0}"
+                ));
+            }
+        }
+        _ => skipped.push("snapshot byte fields missing from current export".to_string()),
+    }
+
+    let cpus_ok = |doc: &Json| doc["parallelism"].as_u64().unwrap_or(0) >= MIN_CPUS;
+    if !cpus_ok(current) || !cpus_ok(baseline) {
+        skipped.push(format!(
+            "timing checks: current ran on {} CPU(s), baseline on {} — both need >= {MIN_CPUS}",
+            current["parallelism"].as_u64().unwrap_or(0),
+            baseline["parallelism"].as_u64().unwrap_or(0),
+        ));
+    } else {
+        // Speedup: higher is better.
+        if let (Some(cur), Some(base)) = (
+            get_f64(current, "sharded_speedup"),
+            get_f64(baseline, "sharded_speedup"),
+        ) {
+            let floor = base * (1.0 - TOLERANCE);
+            log.push(format!(
+                "sharded_speedup: {cur:.2} vs baseline {base:.2} (floor {floor:.2})"
+            ));
+            if cur < floor {
+                regressions.push(format!(
+                    "sharded_speedup regressed: {cur:.2} < {floor:.2} (baseline {base:.2} - {}%)",
+                    (TOLERANCE * 100.0) as u64
+                ));
+            }
+        }
+        // ns/day: lower is better.
+        for key in ["serial_ns_per_day", "sharded4_ns_per_day"] {
+            if let (Some(cur), Some(base)) = (get_f64(current, key), get_f64(baseline, key)) {
+                let ceiling = base * (1.0 + TOLERANCE);
+                log.push(format!(
+                    "{key}: {cur:.0} vs baseline {base:.0} (ceiling {ceiling:.0})"
+                ));
+                if cur > ceiling {
+                    regressions.push(format!(
+                        "{key} regressed: {cur:.0} > {ceiling:.0} (baseline {base:.0} + {}%)",
+                        (TOLERANCE * 100.0) as u64
+                    ));
+                }
+            }
+        }
+    }
+
+    if regressions.is_empty() {
+        (Outcome::Pass { skipped }, log)
+    } else {
+        (Outcome::Fail { regressions }, log)
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("bench-compare: cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|err| {
+        eprintln!("bench-compare: cannot parse {path}: {err}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [current_path, baseline_path] = args.as_slice() else {
+        eprintln!("usage: bench-compare <current.json> <baseline.json>");
+        std::process::exit(2);
+    };
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+    let (outcome, log) = compare(&current, &baseline);
+    for line in &log {
+        println!("bench-compare: {line}");
+    }
+    match outcome {
+        Outcome::Pass { skipped } => {
+            for line in skipped {
+                println!("bench-compare: skipped — {line}");
+            }
+            println!("bench-compare: OK");
+        }
+        Outcome::Fail { regressions } => {
+            for line in regressions {
+                eprintln!("bench-compare: REGRESSION — {line}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn export(parallelism: u64, speedup: f64, serial_ns: u64, inc: u64, full: u64) -> Json {
+        Json::object()
+            .with("bench", "streaming")
+            .with("parallelism", parallelism)
+            .with("sharded_speedup", speedup)
+            .with("serial_ns_per_day", serial_ns)
+            .with("sharded4_ns_per_day", serial_ns / 2)
+            .with("snapshot_bytes_fetched_incremental", inc)
+            .with("snapshot_bytes_fetched_full", full)
+    }
+
+    #[test]
+    fn equal_exports_pass() {
+        let doc = export(8, 3.0, 1_000_000, 700, 1_000);
+        let (outcome, log) = compare(&doc, &doc);
+        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let baseline = export(8, 3.0, 1_000_000, 700, 1_000);
+        let current = export(8, 2.5, 1_150_000, 800, 1_000);
+        let (outcome, _) = compare(&current, &baseline);
+        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn speedup_regression_fails() {
+        let baseline = export(8, 3.0, 1_000_000, 700, 1_000);
+        let current = export(8, 2.0, 1_000_000, 700, 1_000);
+        let (outcome, _) = compare(&current, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(
+            regressions[0].contains("sharded_speedup"),
+            "{regressions:?}"
+        );
+    }
+
+    #[test]
+    fn ns_per_day_regression_fails() {
+        let baseline = export(8, 3.0, 1_000_000, 700, 1_000);
+        let current = export(8, 3.0, 1_500_000, 700, 1_000);
+        let (outcome, _) = compare(&current, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(
+            regressions.iter().any(|r| r.contains("serial_ns_per_day")),
+            "{regressions:?}"
+        );
+    }
+
+    #[test]
+    fn few_cpus_skip_timing_checks_gracefully() {
+        // A 10x slowdown on a 1-CPU container must not fail the build —
+        // the same hardware gate the bench's own speedup assertion uses.
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        let current = export(1, 0.5, 10_000_000, 700, 1_000);
+        let (outcome, _) = compare(&current, &baseline);
+        let Outcome::Pass { skipped } = outcome else {
+            panic!("expected graceful skip");
+        };
+        assert!(skipped.iter().any(|s| s.contains("timing checks")));
+    }
+
+    #[test]
+    fn snapshot_traffic_win_is_always_enforced() {
+        // Even on 1 CPU, losing the incremental-vs-full byte win fails.
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        let current = export(1, 0.9, 1_000_000, 1_200, 1_000);
+        let (outcome, _) = compare(&current, &baseline);
+        assert!(matches!(outcome, Outcome::Fail { .. }), "{outcome:?}");
+    }
+}

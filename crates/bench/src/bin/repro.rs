@@ -4,6 +4,7 @@
 //! Usage:
 //!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
 //!         [--jobs N] [--shards N] [--json] [--stream] [--batch]
+//!         [--incremental | --full-snapshots]
 //!
 //! `--scale` is the denominator applied to the live network's size
 //! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
@@ -16,13 +17,17 @@
 //! run. `--jobs` must be between 1 and the shard count.
 //! `--seeds`/`--scales` run a whole grid in one call via `StudyBatch` and
 //! print the comparison table instead of a single report.
+//! `--incremental` (the default) keeps the §3 repositories dataset through
+//! rev-aware weekly syncs with `getRepo(since)` deltas; `--full-snapshots`
+//! restores the window-end full refetch. The reports are byte-identical —
+//! only the fetch traffic in the `--stream` summary differs.
 //!
 //! Unknown flags and missing/malformed values are errors (exit code 2).
 
-use bsky_study::{StudyBatch, StudyReport};
+use bsky_study::{SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--json] [--stream] [--batch]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +41,7 @@ struct Options {
     json: bool,
     stream: bool,
     batch: bool,
+    snapshots: SnapshotMode,
 }
 
 impl Default for Options {
@@ -50,6 +56,7 @@ impl Default for Options {
             json: false,
             stream: false,
             batch: false,
+            snapshots: SnapshotMode::Incremental,
         }
     }
 }
@@ -77,11 +84,13 @@ fn parse_list(flag: &str, value: Option<&String>) -> Result<Vec<u64>, String> {
         .collect()
 }
 
-/// Parse and validate the full argument list (everything after argv[0]).
+/// Parse and validate the full argument list (everything after `argv[0]`).
 /// Returns `Ok(None)` for `--help`.
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options::default();
     let mut shards: Option<usize> = None;
+    let mut incremental_flag = false;
+    let mut full_snapshots_flag = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -112,6 +121,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--json" => opts.json = true,
             "--stream" => opts.stream = true,
             "--batch" => opts.batch = true,
+            "--incremental" => incremental_flag = true,
+            "--full-snapshots" => full_snapshots_flag = true,
             "--help" | "-h" => return Ok(None),
             unknown => return Err(format!("unknown argument {unknown:?}")),
         }
@@ -119,6 +130,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if opts.batch && opts.stream {
         return Err("--batch and --stream are mutually exclusive".into());
+    }
+    if incremental_flag && full_snapshots_flag {
+        return Err("--incremental and --full-snapshots are mutually exclusive".into());
+    }
+    if full_snapshots_flag {
+        opts.snapshots = SnapshotMode::FullRefetch;
+    }
+    if full_snapshots_flag && (opts.seeds.is_some() || opts.scales.is_some()) {
+        return Err("--full-snapshots cannot be combined with --seeds/--scales".into());
     }
     if opts.scale == 0 {
         return Err("--scale must be positive".into());
@@ -211,9 +231,10 @@ fn main() {
         opts.jobs,
     );
     let report = if opts.batch {
-        StudyReport::run_batch(config)
+        StudyReport::run_batch_with(config, opts.snapshots)
     } else {
-        let (report, summary) = StudyReport::run_sharded(config, opts.shards, opts.jobs);
+        let (report, summary) =
+            StudyReport::run_sharded_with(config, opts.shards, opts.jobs, opts.snapshots);
         if opts.stream {
             eprint!("{}", summary.render());
         }
@@ -279,6 +300,24 @@ mod tests {
         assert!(parse_args(&args(&["--batch", "--jobs", "2"])).is_err());
         assert!(parse_args(&args(&["--batch", "--seeds", "1,2"])).is_err());
         assert!(parse_args(&args(&["--jobs", "2", "--seeds", "1,2"])).is_err());
+        assert!(parse_args(&args(&["--incremental", "--full-snapshots"])).is_err());
+        assert!(parse_args(&args(&["--full-snapshots", "--seeds", "1,2"])).is_err());
+    }
+
+    #[test]
+    fn snapshot_mode_flags_parse() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opts.snapshots, SnapshotMode::Incremental);
+        let opts = parse_args(&args(&["--incremental"])).unwrap().unwrap();
+        assert_eq!(opts.snapshots, SnapshotMode::Incremental);
+        let opts = parse_args(&args(&["--full-snapshots"])).unwrap().unwrap();
+        assert_eq!(opts.snapshots, SnapshotMode::FullRefetch);
+        // The snapshot mode composes with sharding and batch mode.
+        let opts = parse_args(&args(&["--full-snapshots", "--jobs", "2"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.snapshots, SnapshotMode::FullRefetch);
+        assert!(parse_args(&args(&["--batch", "--full-snapshots"])).is_ok());
     }
 
     #[test]

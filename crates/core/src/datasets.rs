@@ -25,16 +25,52 @@
 //! [`Materialize`] analyzer — which folds the stream back into in-memory
 //! [`Datasets`] vectors — and returns its output, so existing callers and
 //! golden tests are untouched.
+//!
+//! ## The incremental snapshot protocol
+//!
+//! The repositories dataset supports two collection strategies, selected by
+//! [`SnapshotMode`]:
+//!
+//! * [`SnapshotMode::FullRefetch`] — the study's naive reading of §3: every
+//!   repository CAR is downloaded and decoded once, at the window end. Cost:
+//!   O(total repo bytes).
+//! * [`SnapshotMode::Incremental`] (the default) — how a real AT Protocol
+//!   mirror stays current. An [`IncrementalRepoMirror`] rides along with the
+//!   weekly `sync.listRepos` snapshots:
+//!
+//!   1. every `listRepos` page carries each repo's latest revision TID; the
+//!      mirror compares it with the revision its state is synced to;
+//!   2. an unchanged revision costs **zero** fetches; a changed one is
+//!      fetched as a `com.atproto.sync.getRepo(did, since=rev)` **delta** —
+//!      the head commit plus the record blocks created after the mirror's
+//!      revision (`DeltaScope::Records`: this mirror keeps decoded records,
+//!      so it skips the MST node blocks a full-fidelity block mirror such
+//!      as the Relay's would request — see `bsky_atproto::repo`);
+//!   3. new DIDs, revision rewinds, and failed or unverifiable deltas fall
+//!      back to a full CAR fetch; DIDs that vanish from `listRepos`
+//!      (deletions) drop their mirror state — exactly the repos the full
+//!      path fails to fetch at the window end;
+//!   4. at the window end the mirror syncs once more and emits one
+//!      [`Observation::Repo`] per DID in first-seen order — **byte-identical**
+//!      to the full-refetch emission (the golden test in
+//!      `tests/pipeline_equivalence.rs` pins this, serial and sharded).
+//!
+//!   Cost: O(changed bytes) across the window instead of O(total repo bytes
+//!   × snapshots); [`crate::pipeline::StreamSummary`] reports the bytes
+//!   actually fetched, the full/delta split, and any skipped repos.
 
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
+use bsky_atproto::cid::Cid;
 use bsky_atproto::firehose::Event;
 use bsky_atproto::label::Label;
 use bsky_atproto::record::Record;
-use bsky_atproto::repo::Repository;
-use bsky_atproto::{AtUri, Datetime, Did, Nsid};
+use bsky_atproto::repo::{commit_summary, DeltaScope, Repository};
+use bsky_atproto::{AtUri, Datetime, Did, Nsid, Tid};
 use bsky_feedgen::RetentionPolicy;
 use bsky_identity::DidDocument;
 use bsky_labeler::LabelerOperator;
+use bsky_pds::PdsFleet;
+use bsky_relay::Relay;
 use bsky_simnet::http::HttpResponse;
 use bsky_simnet::net::HostingClass;
 use bsky_workload::World;
@@ -185,10 +221,242 @@ pub struct Datasets {
 /// Default number of pending relay events per producer chunk.
 pub const DEFAULT_CHUNK_EVENTS: usize = 256;
 
+/// How the §3 repositories dataset is collected (see the module docs for
+/// the full protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Download and decode every repository CAR once, at the window end:
+    /// O(total repo bytes), the paper's naive reading of §3.
+    FullRefetch,
+    /// Rev-aware weekly syncs through an [`IncrementalRepoMirror`]: full
+    /// CARs only for new or rewound DIDs, `getRepo(since)` deltas otherwise.
+    /// O(changed bytes); emits byte-identical snapshots.
+    #[default]
+    Incremental,
+}
+
+/// Decoded repository state for one DID, synced to a known revision.
+#[derive(Debug, Clone, Default)]
+struct MirroredRepo {
+    /// The revision the state is synced to (`None`: no commits yet).
+    rev: Option<String>,
+    /// Every fetched block that decodes as a record, keyed by CID — the
+    /// same view [`Collector`] takes of a full CAR, so emitting these in
+    /// CID order reproduces the full-refetch snapshot exactly.
+    records: BTreeMap<Cid, Record>,
+}
+
+/// The incremental repository mirror: decoded per-DID repo state maintained
+/// across weekly `sync.listRepos` snapshots.
+///
+/// [`IncrementalRepoMirror::sync`] performs one rev-aware pass: repos whose
+/// revision is unchanged cost nothing, advanced repos are fetched as
+/// verified `getRepo(since)` deltas, and only new or rewound DIDs (or
+/// failed deltas) pay for a full CAR. The mirror deliberately speaks to
+/// [`Relay`] + [`PdsFleet`] rather than a whole world, so its fallback
+/// behaviour is unit-testable in isolation.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalRepoMirror {
+    repos: BTreeMap<String, MirroredRepo>,
+}
+
+impl IncrementalRepoMirror {
+    /// An empty mirror.
+    pub fn new() -> IncrementalRepoMirror {
+        IncrementalRepoMirror::default()
+    }
+
+    /// Number of repositories currently mirrored.
+    pub fn len(&self) -> usize {
+        self.repos.len()
+    }
+
+    /// Whether no repository is mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.repos.is_empty()
+    }
+
+    /// Drop all mirrored state.
+    pub fn clear(&mut self) {
+        self.repos.clear();
+    }
+
+    /// The revision a DID's state is synced to (`Some(None)`: mirrored but
+    /// the repo has no commits; `None`: not mirrored).
+    pub fn synced_rev(&self, did: &Did) -> Option<Option<&str>> {
+        self.repos.get(&did.to_string()).map(|m| m.rev.as_deref())
+    }
+
+    /// One rev-aware sync pass over the relay's `listRepos` view. Fetch
+    /// traffic and skips are accounted into `summary`.
+    pub fn sync(
+        &mut self,
+        relay: &mut Relay,
+        fleet: &mut PdsFleet,
+        now: Datetime,
+        summary: &mut StreamSummary,
+    ) {
+        let mut listed: BTreeSet<String> = BTreeSet::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            let (page, next) = relay.list_repos(cursor.as_deref(), 500);
+            for (did, rev) in page {
+                let key = did.to_string();
+                listed.insert(key.clone());
+                let current = rev.map(|t| t.to_string());
+                if let Some(entry) = self.repos.get(&key) {
+                    if entry.rev == current {
+                        continue; // unchanged since the last snapshot
+                    }
+                }
+                if !self.try_delta(relay, fleet, now, &did, current.as_deref(), summary) {
+                    self.full_fetch(relay, fleet, now, &did, current, summary);
+                }
+            }
+            match next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        // DIDs the relay no longer lists are deleted accounts: their repos
+        // are exactly the ones a window-end full refetch fails to download
+        // and counts as skips, so the mirror forgets them — and counts them
+        // the same way — here.
+        let before = self.repos.len();
+        self.repos.retain(|key, _| listed.contains(key));
+        summary.repo_snapshot_skips += (before - self.repos.len()) as u64;
+    }
+
+    /// Attempt a `getRepo(since)` delta sync; `false` means the caller must
+    /// fall back to a full fetch (no prior state, rev rewind, fetch error,
+    /// or a delta that fails verification).
+    fn try_delta(
+        &mut self,
+        relay: &mut Relay,
+        fleet: &mut PdsFleet,
+        now: Datetime,
+        did: &Did,
+        current: Option<&str>,
+        summary: &mut StreamSummary,
+    ) -> bool {
+        let Some(entry) = self.repos.get(&did.to_string()) else {
+            return false;
+        };
+        let Some(since) = entry.rev.as_deref().and_then(|r| Tid::parse(r).ok()) else {
+            return false;
+        };
+        // A revision that did not advance (rewind) cannot be a delta.
+        let Some(current) = current else {
+            return false;
+        };
+        if current <= since.to_string().as_str() {
+            return false;
+        }
+        let Ok(delta) = relay.get_repo_since(did, &since, DeltaScope::Records, fleet, now) else {
+            return false;
+        };
+        // The bytes were fetched whether or not the delta verifies — a
+        // rejected delta still travelled, and the full-fetch fallback adds
+        // its own bytes on top.
+        summary.snapshot_bytes_fetched += delta.len() as u64;
+        let Some(records) = decode_verified_delta(&delta, current) else {
+            return false;
+        };
+        summary.repo_delta_fetches += 1;
+        let entry = self
+            .repos
+            .get_mut(&did.to_string())
+            .expect("delta sync requires prior state");
+        entry.records.extend(records);
+        entry.rev = Some(current.to_string());
+        true
+    }
+
+    /// Full CAR fetch, replacing any previous state for the DID. A failed
+    /// fetch (account deleted / migrated away mid-snapshot) is counted as a
+    /// skip and drops the state.
+    fn full_fetch(
+        &mut self,
+        relay: &mut Relay,
+        fleet: &mut PdsFleet,
+        now: Datetime,
+        did: &Did,
+        current: Option<String>,
+        summary: &mut StreamSummary,
+    ) {
+        let key = did.to_string();
+        match relay.get_repo(did, fleet, now) {
+            Ok(car) => {
+                summary.snapshot_bytes_fetched += car.len() as u64;
+                summary.repo_full_fetches += 1;
+                let records = match Repository::parse_car(&car) {
+                    Ok((_, blocks)) => decode_record_blocks(&blocks),
+                    Err(_) => {
+                        summary.repo_snapshot_skips += 1;
+                        self.repos.remove(&key);
+                        return;
+                    }
+                };
+                self.repos.insert(
+                    key,
+                    MirroredRepo {
+                        rev: current,
+                        records,
+                    },
+                );
+            }
+            Err(_) => {
+                summary.repo_snapshot_skips += 1;
+                self.repos.remove(&key);
+            }
+        }
+    }
+
+    /// The decoded records of a mirrored DID in CID order — the exact
+    /// contents a full-refetch snapshot would decode — or `None` when the
+    /// DID is not mirrored.
+    pub fn records(&self, did: &Did) -> Option<Vec<(Nsid, String, Record)>> {
+        let entry = self.repos.get(&did.to_string())?;
+        Some(
+            entry
+                .records
+                .values()
+                .map(|record| (record.collection(), String::new(), record.clone()))
+                .collect(),
+        )
+    }
+}
+
+/// Decode a delta CAR after verifying it: every block must match its CID
+/// (checked by the parser), the head commit block must be present, and its
+/// revision must be the one `listRepos` reported. Returns the record blocks,
+/// or `None` when verification fails (the caller falls back to a full
+/// fetch).
+fn decode_verified_delta(delta: &[u8], expected_rev: &str) -> Option<BTreeMap<Cid, Record>> {
+    let (roots, blocks) = Repository::parse_car(delta).ok()?;
+    let root = roots.first()?;
+    let (rev, _data) = commit_summary(blocks.get(root)?).ok()?;
+    if rev.to_string() != expected_rev {
+        return None;
+    }
+    Some(decode_record_blocks(&blocks))
+}
+
+/// Every block that decodes as a record, keyed by CID. Commit and MST node
+/// blocks carry no `$type` and fall out naturally.
+fn decode_record_blocks(blocks: &BTreeMap<Cid, Vec<u8>>) -> BTreeMap<Cid, Record> {
+    blocks
+        .iter()
+        .filter_map(|(cid, bytes)| Record::from_cbor(bytes).ok().map(|r| (*cid, r)))
+        .collect()
+}
+
 /// Drives a [`World`] and emits the datasets as observations.
 #[derive(Debug)]
 pub struct Collector {
     chunk_events: usize,
+    mode: SnapshotMode,
+    mirror: IncrementalRepoMirror,
     firehose_cursor: u64,
     seen_identifiers: BTreeSet<String>,
     identifier_order: Vec<Did>,
@@ -217,6 +485,8 @@ impl Collector {
     pub fn with_chunk_size(chunk_events: usize) -> Collector {
         Collector {
             chunk_events: chunk_events.max(1),
+            mode: SnapshotMode::default(),
+            mirror: IncrementalRepoMirror::new(),
             firehose_cursor: 0,
             seen_identifiers: BTreeSet::new(),
             identifier_order: Vec::new(),
@@ -224,6 +494,17 @@ impl Collector {
             label_cursors: Vec::new(),
             observations: 0,
         }
+    }
+
+    /// Select how the repositories dataset is collected (builder style).
+    pub fn snapshot_mode(mut self, mode: SnapshotMode) -> Collector {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured snapshot mode.
+    pub fn mode(&self) -> SnapshotMode {
+        self.mode
     }
 
     fn emit<S: ObservationSink>(&mut self, sink: &mut S, obs: &Observation<'_>, world: &World) {
@@ -239,6 +520,7 @@ impl Collector {
         // Each stream is a complete, independent collection: reset the
         // per-run producer state so a reused collector starts fresh.
         self.firehose_cursor = 0;
+        self.mirror.clear();
         self.seen_identifiers.clear();
         self.identifier_order.clear();
         self.labelers_emitted = 0;
@@ -295,6 +577,14 @@ impl Collector {
                 };
                 if due {
                     self.snapshot_user_identifiers(world, sink);
+                    // The incremental mirror rides along with the weekly
+                    // identifier snapshot: the revs just listed tell it
+                    // which repos to delta-sync now instead of re-fetching
+                    // everything at the window end.
+                    if self.mode == SnapshotMode::Incremental {
+                        self.mirror
+                            .sync(&mut world.relay, &mut world.fleet, today, &mut summary);
+                    }
                     last_listrepos = Some(today);
                     summary.listrepos_snapshots += 1;
                 }
@@ -304,7 +594,7 @@ impl Collector {
         self.snapshot_user_identifiers(world, sink);
         self.snapshot_did_documents(world, sink);
         self.snapshot_feed_generators(world, sink);
-        self.snapshot_repositories(world, sink);
+        self.snapshot_repositories(world, sink, &mut summary);
         self.emit(sink, &Observation::WindowEnd { at: collection_end }, world);
         summary.observations = self.observations;
         summary
@@ -428,28 +718,59 @@ impl Collector {
         }
     }
 
-    fn snapshot_repositories<S: ObservationSink>(&mut self, world: &mut World, sink: &mut S) {
+    /// Emit the §3 repositories dataset at the window end: one snapshot per
+    /// collected DID in first-seen order, regardless of [`SnapshotMode`] —
+    /// the modes differ only in *when* and *how much* they fetched.
+    fn snapshot_repositories<S: ObservationSink>(
+        &mut self,
+        world: &mut World,
+        sink: &mut S,
+        summary: &mut StreamSummary,
+    ) {
         let end = world.config.end;
+        if self.mode == SnapshotMode::Incremental {
+            // Catch-up sync for anything that changed since the last weekly
+            // snapshot, then serve every emission from mirrored state.
+            self.mirror
+                .sync(&mut world.relay, &mut world.fleet, end, summary);
+        }
         // Take the order list out of `self` for the duration of the loop
         // (the body needs `&mut self` to emit) instead of cloning one DID
         // per collected user.
         let order = std::mem::take(&mut self.identifier_order);
         for did in &order {
-            let car = match world.relay.get_repo(did, &mut world.fleet, end) {
-                Ok(car) => car,
-                Err(_) => continue, // deleted / migrated away mid-snapshot
-            };
-            let Ok((_roots, blocks)) = Repository::parse_car(&car) else {
-                continue;
-            };
-            // Decode every block that parses as a known or unknown record.
-            let mut records = Vec::new();
-            for bytes in blocks.values() {
-                if let Ok(record) = Record::from_cbor(bytes) {
-                    let collection = record.collection();
-                    records.push((collection, String::new(), record));
+            let records = match self.mode {
+                SnapshotMode::Incremental => match self.mirror.records(did) {
+                    Some(records) => records,
+                    None => continue, // deleted mid-window; skip counted at sync
+                },
+                SnapshotMode::FullRefetch => {
+                    let car = match world.relay.get_repo(did, &mut world.fleet, end) {
+                        Ok(car) => car,
+                        Err(_) => {
+                            // Deleted / migrated away mid-snapshot.
+                            summary.repo_snapshot_skips += 1;
+                            continue;
+                        }
+                    };
+                    summary.snapshot_bytes_fetched += car.len() as u64;
+                    summary.repo_full_fetches += 1;
+                    let Ok((_roots, blocks)) = Repository::parse_car(&car) else {
+                        summary.repo_snapshot_skips += 1;
+                        continue;
+                    };
+                    // Decode every block that parses as a known or unknown
+                    // record.
+                    let mut records = Vec::new();
+                    for bytes in blocks.values() {
+                        if let Ok(record) = Record::from_cbor(bytes) {
+                            let collection = record.collection();
+                            records.push((collection, String::new(), record));
+                        }
+                    }
+                    records
                 }
-            }
+            };
             let snapshot = RepoSnapshot {
                 did: did.clone(),
                 records,
@@ -848,6 +1169,230 @@ mod tests {
             "peak {} not bounded by chunk",
             summary.peak_in_flight_events
         );
+    }
+
+    #[test]
+    fn incremental_and_full_refetch_repositories_are_identical() {
+        let mut config = ScenarioConfig::test_scale(7);
+        config.start = Datetime::from_ymd(2024, 2, 20).unwrap();
+        config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
+        config.firehose_collection_start = Datetime::from_ymd(2024, 3, 6).unwrap();
+        config.scale = 40_000;
+        let (full, full_summary) = {
+            let mut world = World::new(config);
+            let mut sink = Materialize::new();
+            let summary = Collector::new()
+                .snapshot_mode(SnapshotMode::FullRefetch)
+                .stream(&mut world, &mut sink);
+            (sink.finish(&StudyCtx::detached()), summary)
+        };
+        let (incremental, inc_summary) = {
+            let mut world = World::new(config);
+            let mut sink = Materialize::new();
+            let summary = Collector::new()
+                .snapshot_mode(SnapshotMode::Incremental)
+                .stream(&mut world, &mut sink);
+            (sink.finish(&StudyCtx::detached()), summary)
+        };
+        // The emitted repository snapshots are byte-identical: same DIDs in
+        // the same order, same decoded records.
+        assert_eq!(incremental.repositories.len(), full.repositories.len());
+        for (a, b) in incremental.repositories.iter().zip(&full.repositories) {
+            assert_eq!(a.did, b.did);
+            assert_eq!(a.records, b.records, "records diverge for {}", a.did);
+        }
+        // The incremental mode actually used deltas and fetched strictly
+        // fewer bytes than the window-end full refetch.
+        assert!(inc_summary.repo_delta_fetches > 0, "{inc_summary:?}");
+        assert!(full_summary.repo_full_fetches > 0);
+        assert_eq!(full_summary.repo_delta_fetches, 0);
+        assert!(
+            inc_summary.snapshot_bytes_fetched < full_summary.snapshot_bytes_fetched,
+            "incremental {} vs full {}",
+            inc_summary.snapshot_bytes_fetched,
+            full_summary.snapshot_bytes_fetched
+        );
+    }
+
+    mod mirror {
+        use super::*;
+        use bsky_atproto::nsid::known;
+        use bsky_atproto::record::PostRecord;
+        use bsky_atproto::Handle;
+        use bsky_pds::PdsFleet;
+        use bsky_relay::Relay;
+
+        fn now() -> Datetime {
+            Datetime::from_ymd_hms(2024, 4, 2, 9, 0, 0).unwrap()
+        }
+
+        fn post(text: &str) -> Record {
+            Record::Post(PostRecord::simple(text, "en", now()))
+        }
+
+        fn post_on(fleet: &mut PdsFleet, did: &Did, text: &str, at: Datetime) {
+            fleet
+                .pds_for_mut(did)
+                .unwrap()
+                .create_record(did, Nsid::parse(known::POST).unwrap(), post(text), at)
+                .unwrap();
+        }
+
+        fn setup(users: usize) -> (Relay, PdsFleet, Vec<Did>) {
+            let mut fleet = PdsFleet::with_default_servers(2);
+            let mut dids = Vec::new();
+            for i in 0..users {
+                let did = Did::plc_from_seed(format!("mirror-user{i}").as_bytes());
+                fleet
+                    .create_account_on(
+                        "pds001.host.bsky.network",
+                        did.clone(),
+                        Handle::parse(&format!("mu{i}.bsky.social")).unwrap(),
+                        now(),
+                    )
+                    .unwrap();
+                for p in 0..10 {
+                    post_on(&mut fleet, &did, &format!("u{i} post {p}"), now());
+                }
+                dids.push(did);
+            }
+            let mut relay = Relay::default();
+            relay.crawl(&fleet, now());
+            (relay, fleet, dids)
+        }
+
+        #[test]
+        fn unchanged_revs_cost_no_fetches() {
+            let (mut relay, mut fleet, dids) = setup(3);
+            let mut mirror = IncrementalRepoMirror::new();
+            let mut summary = StreamSummary::default();
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            assert_eq!(mirror.len(), 3);
+            assert_eq!(summary.repo_full_fetches, 3);
+            let after_first = summary;
+            // Nothing changed: the second weekly sync is free.
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            assert_eq!(summary, after_first);
+            assert!(mirror.records(&dids[0]).unwrap().len() >= 10);
+        }
+
+        #[test]
+        fn advanced_revs_sync_with_deltas() {
+            let (mut relay, mut fleet, dids) = setup(3);
+            let mut mirror = IncrementalRepoMirror::new();
+            let mut summary = StreamSummary::default();
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            let full_bytes = summary.snapshot_bytes_fetched;
+
+            // One user posts; only that repo is re-synced, as a delta.
+            post_on(&mut fleet, &dids[1], "fresh", now().plus_days(1));
+            relay.crawl(&fleet, now().plus_days(1));
+            mirror.sync(&mut relay, &mut fleet, now().plus_days(1), &mut summary);
+            assert_eq!(summary.repo_full_fetches, 3, "no extra full fetch");
+            assert_eq!(summary.repo_delta_fetches, 1);
+            let delta_bytes = summary.snapshot_bytes_fetched - full_bytes;
+            assert!(delta_bytes > 0);
+            assert!(delta_bytes < full_bytes / 3, "delta must be small");
+            // The mirrored state now includes the new record.
+            let records = mirror.records(&dids[1]).unwrap();
+            assert!(records.iter().any(|(_, _, r)| *r == post("fresh")));
+        }
+
+        #[test]
+        fn deleted_accounts_drop_mirrored_state() {
+            let (mut relay, mut fleet, dids) = setup(2);
+            let mut mirror = IncrementalRepoMirror::new();
+            let mut summary = StreamSummary::default();
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            assert_eq!(mirror.len(), 2);
+            fleet
+                .pds_for_mut(&dids[0])
+                .unwrap()
+                .delete_account(&dids[0], now().plus_days(1))
+                .unwrap();
+            relay.crawl(&fleet, now().plus_days(1));
+            mirror.sync(&mut relay, &mut fleet, now().plus_days(1), &mut summary);
+            assert_eq!(mirror.len(), 1);
+            assert!(mirror.records(&dids[0]).is_none());
+            assert!(mirror.records(&dids[1]).is_some());
+            // The dropped repo is a dataset gap, accounted exactly like the
+            // full-refetch path's failed window-end fetch.
+            assert_eq!(summary.repo_snapshot_skips, 1);
+        }
+
+        #[test]
+        fn replaced_repo_falls_back_to_full_refetch() {
+            let (mut relay, mut fleet, dids) = setup(2);
+            let did = dids[0].clone();
+            let mut mirror = IncrementalRepoMirror::new();
+            let mut summary = StreamSummary::default();
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            assert_eq!(summary.repo_full_fetches, 2);
+            let old_rev = mirror.synced_rev(&did).unwrap().unwrap().to_string();
+
+            // The account is deleted on pds001 and re-created from scratch
+            // on pds002 before the next snapshot: its repository history —
+            // and its revision sequence — restarts. pds001 sorts first, so
+            // the crawl sees the tombstone before the re-registration.
+            fleet
+                .pds_for_mut(&did)
+                .unwrap()
+                .delete_account(&did, now().plus_days(1))
+                .unwrap();
+            fleet
+                .create_account_on(
+                    "pds002.host.bsky.network",
+                    did.clone(),
+                    Handle::parse("mu0-reborn.bsky.social").unwrap(),
+                    now().plus_days(1),
+                )
+                .unwrap();
+            post_on(&mut fleet, &did, "rewound", now().plus_days(1));
+            relay.crawl(&fleet, now().plus_days(1));
+
+            mirror.sync(&mut relay, &mut fleet, now().plus_days(1), &mut summary);
+            // The mirror could not delta from a revision the new repo never
+            // had: it re-fetched the whole (new) repository.
+            assert_eq!(summary.repo_full_fetches, 3);
+            let new_rev = mirror.synced_rev(&did).unwrap().unwrap().to_string();
+            assert_ne!(new_rev, old_rev);
+            let records = mirror.records(&did).unwrap();
+            assert!(records.iter().any(|(_, _, r)| *r == post("rewound")));
+            assert!(
+                !records.iter().any(|(_, _, r)| *r == post("u0 post 0")),
+                "replaced repos must not retain pre-rewind records"
+            );
+        }
+
+        #[test]
+        fn repos_without_commits_are_mirrored_once() {
+            let mut fleet = PdsFleet::with_default_servers(1);
+            let did = Did::plc_from_seed(b"mirror-quiet");
+            fleet
+                .create_account_on(
+                    "pds001.host.bsky.network",
+                    did.clone(),
+                    Handle::parse("quiet.bsky.social").unwrap(),
+                    now(),
+                )
+                .unwrap();
+            let mut relay = Relay::default();
+            relay.crawl(&fleet, now());
+            let mut mirror = IncrementalRepoMirror::new();
+            let mut summary = StreamSummary::default();
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            assert_eq!(summary.repo_full_fetches, 1);
+            assert_eq!(mirror.synced_rev(&did), Some(None));
+            // No commits, no rev change: the next sync is free; the first
+            // commit then syncs as a full fetch (no `since` to delta from).
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            assert_eq!(summary.repo_full_fetches, 1);
+            post_on(&mut fleet, &did, "first", now().plus_days(1));
+            relay.crawl(&fleet, now().plus_days(1));
+            mirror.sync(&mut relay, &mut fleet, now().plus_days(1), &mut summary);
+            assert_eq!(summary.repo_full_fetches, 2);
+            assert_eq!(summary.repo_delta_fetches, 0);
+        }
     }
 
     #[test]

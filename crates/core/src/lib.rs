@@ -45,7 +45,7 @@ pub mod report;
 pub mod shard;
 pub mod stats;
 
-pub use datasets::{Collector, Datasets};
+pub use datasets::{Collector, Datasets, IncrementalRepoMirror, SnapshotMode};
 pub use pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx, StudyEngine};
 pub use report::{StudyBatch, StudyReport};
 pub use shard::{ShardedSummary, StudyAnalyzers};

@@ -328,18 +328,35 @@ pub struct StreamSummary {
     /// (the final end-of-window sweep is not counted, matching the study's
     /// weekly cadence).
     pub listrepos_snapshots: u32,
+    /// Bytes of repository data fetched for the §3 repositories dataset —
+    /// full CARs plus `getRepo(since)` deltas. The full-refetch mode pays
+    /// O(total repo bytes) here; the incremental mode O(changed bytes).
+    pub snapshot_bytes_fetched: u64,
+    /// Full repository CARs fetched (new / rewound DIDs, and every DID in
+    /// full-refetch mode).
+    pub repo_full_fetches: u64,
+    /// `getRepo(since)` delta fetches (incremental mode only).
+    pub repo_delta_fetches: u64,
+    /// Repositories skipped because `getRepo` failed mid-snapshot (account
+    /// deleted or migrated away); surfaced in the report footer so silent
+    /// dataset gaps are visible.
+    pub repo_snapshot_skips: u64,
 }
 
 impl StreamSummary {
     /// Render a one-line summary for CLI output.
     pub fn render(&self) -> String {
         format!(
-            "pipeline: {} days, {} observations, {} firehose events streamed, peak {} in flight (batch would retain all {})",
+            "pipeline: {} days, {} observations, {} firehose events streamed, peak {} in flight (batch would retain all {}); repo snapshots: {} bytes fetched ({} full, {} delta), {} skipped",
             self.days,
             self.observations,
             self.firehose_events,
             self.peak_in_flight_events,
             self.firehose_events,
+            self.snapshot_bytes_fetched,
+            self.repo_full_fetches,
+            self.repo_delta_fetches,
+            self.repo_snapshot_skips,
         )
     }
 
@@ -352,6 +369,10 @@ impl StreamSummary {
         self.firehose_events += other.firehose_events;
         self.peak_in_flight_events = self.peak_in_flight_events.max(other.peak_in_flight_events);
         self.listrepos_snapshots = self.listrepos_snapshots.max(other.listrepos_snapshots);
+        self.snapshot_bytes_fetched += other.snapshot_bytes_fetched;
+        self.repo_full_fetches += other.repo_full_fetches;
+        self.repo_delta_fetches += other.repo_delta_fetches;
+        self.repo_snapshot_skips += other.repo_snapshot_skips;
     }
 }
 

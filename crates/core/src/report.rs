@@ -20,10 +20,10 @@ use crate::analysis::{
     section4_accounts, table1_firehose_breakdown, table5_feature_matrix, ActivitySeries,
     FirehoseVolume, IdentityReport, ModerationReport, RecommendationReport, Section4, Table1,
 };
-use crate::datasets::{Collector, Datasets};
+use crate::datasets::{Collector, Datasets, SnapshotMode};
 use crate::json::Json;
 use crate::pipeline::{Analyzer, StreamSummary, StudyCtx};
-use crate::shard::{collect_sharded, ShardedSummary, StudyAnalyzers};
+use crate::shard::{collect_sharded_with, ShardedSummary, StudyAnalyzers};
 use bsky_workload::{ScenarioConfig, World};
 
 /// All analyses of the paper, computed for one simulated run.
@@ -75,7 +75,20 @@ impl StudyReport {
         shards: usize,
         jobs: usize,
     ) -> (StudyReport, ShardedSummary) {
-        let (analyzers, world, summary) = collect_sharded(config, shards, jobs);
+        StudyReport::run_sharded_with(config, shards, jobs, SnapshotMode::default())
+    }
+
+    /// [`StudyReport::run_sharded`] with an explicit repository
+    /// [`SnapshotMode`]. Incremental weekly syncs and the window-end full
+    /// refetch produce byte-identical reports — only the fetch traffic in
+    /// the summary differs; the golden equivalence test pins this.
+    pub fn run_sharded_with(
+        config: ScenarioConfig,
+        shards: usize,
+        jobs: usize,
+        mode: SnapshotMode,
+    ) -> (StudyReport, ShardedSummary) {
+        let (analyzers, world, summary) = collect_sharded_with(config, shards, jobs, mode);
         (
             StudyReport::from_analyzers(config, analyzers, &world),
             summary,
@@ -108,8 +121,14 @@ impl StudyReport {
     /// firehose for the whole run; use [`StudyReport::run`] unless the
     /// materialized [`Datasets`] are needed.
     pub fn run_batch(config: ScenarioConfig) -> StudyReport {
+        StudyReport::run_batch_with(config, SnapshotMode::default())
+    }
+
+    /// [`StudyReport::run_batch`] with an explicit repository
+    /// [`SnapshotMode`].
+    pub fn run_batch_with(config: ScenarioConfig, mode: SnapshotMode) -> StudyReport {
         let mut world = World::new(config);
-        let datasets = Collector::new().run(&mut world);
+        let datasets = Collector::new().snapshot_mode(mode).run(&mut world);
         StudyReport::from_collected(config, &world, &datasets)
     }
 

@@ -15,7 +15,7 @@ use crate::analysis::{
     ActivityAnalyzer, FirehoseVolumeAnalyzer, IdentityAnalyzer, ModerationAnalyzer,
     RecommendationAnalyzer, Section4Analyzer, Table1Analyzer,
 };
-use crate::datasets::Collector;
+use crate::datasets::{Collector, SnapshotMode};
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
 use bsky_workload::{PopulationPlan, ScenarioConfig, ShardSpec, World};
 use std::sync::{Arc, Mutex};
@@ -112,6 +112,7 @@ fn run_shard(
     plan: Arc<PopulationPlan>,
     index: usize,
     shards: usize,
+    mode: SnapshotMode,
 ) -> ShardResult {
     let mut world = World::with_plan(
         config,
@@ -122,7 +123,9 @@ fn run_shard(
         },
     );
     let mut analyzers = StudyAnalyzers::new();
-    let summary = Collector::new().stream(&mut world, &mut analyzers);
+    let summary = Collector::new()
+        .snapshot_mode(mode)
+        .stream(&mut world, &mut analyzers);
     ShardResult {
         analyzers,
         summary,
@@ -141,6 +144,18 @@ pub fn collect_sharded(
     shards: usize,
     jobs: usize,
 ) -> (StudyAnalyzers, World, ShardedSummary) {
+    collect_sharded_with(config, shards, jobs, SnapshotMode::default())
+}
+
+/// [`collect_sharded`] with an explicit repository [`SnapshotMode`]. The
+/// mode changes only how much repository data each shard's producer fetches
+/// — the emitted snapshots, and therefore the merged report, are identical.
+pub fn collect_sharded_with(
+    config: ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    mode: SnapshotMode,
+) -> (StudyAnalyzers, World, ShardedSummary) {
     assert!(shards >= 1, "shard count must be at least 1");
     assert!(
         (1..=shards).contains(&jobs),
@@ -152,7 +167,7 @@ pub fn collect_sharded(
     if jobs == 1 {
         // Serial path: no threads, same code.
         for index in 0..shards {
-            results.push(Some(run_shard(config, plan.clone(), index, shards)));
+            results.push(Some(run_shard(config, plan.clone(), index, shards, mode)));
         }
     } else {
         let slots: Arc<Mutex<Vec<Option<ShardResult>>>> =
@@ -168,7 +183,7 @@ pub fn collect_sharded(
                     if index >= shards {
                         break;
                     }
-                    let result = run_shard(config, plan.clone(), index, shards);
+                    let result = run_shard(config, plan.clone(), index, shards, mode);
                     slots.lock().expect("shard result lock")[index] = Some(result);
                 });
             }

@@ -2,14 +2,16 @@
 //!
 //! A PDS hosts the repositories of the accounts registered with it and
 //! exposes the `com.atproto.sync.*` endpoints the Relay crawls: `listRepos`
-//! (paginated DID + latest revision), `getRepo` (CAR export) and an event
-//! outbox that stands in for `subscribeRepos` at the PDS level (§2, §3).
+//! (paginated DID + latest revision), `getRepo` (CAR export, with a
+//! `since=rev` delta variant serving only the blocks created after a known
+//! revision) and an event outbox that stands in for `subscribeRepos` at the
+//! PDS level (§2, §3).
 
 use crate::account::{Account, AccountStatus};
 use bsky_atproto::error::{AtError, Result};
 use bsky_atproto::record::Record;
-use bsky_atproto::repo::{CommitResult, Repository, Write};
-use bsky_atproto::{Datetime, Did, Handle, Nsid};
+use bsky_atproto::repo::{CommitResult, DeltaScope, Repository, Write};
+use bsky_atproto::{Datetime, Did, Handle, Nsid, Tid};
 use std::collections::BTreeMap;
 
 /// Who operates a PDS (§2: Bluesky PBC runs the defaults, self-hosting is
@@ -294,6 +296,20 @@ impl Pds {
             .ok_or_else(|| AtError::RepoError(format!("{did} not hosted here")))
     }
 
+    /// `sync.getRepo` with `since`: a delta CAR carrying only the blocks
+    /// created after the given revision, at the requested [`DeltaScope`]
+    /// (full block fidelity for mirrors, records-only for dataset
+    /// consumers). Errors when the DID is not hosted here or the revision
+    /// is unknown (rewound / replaced repo), in which case the caller must
+    /// fall back to a full [`Pds::get_repo`].
+    pub fn get_repo_since(&mut self, did: &Did, since: &Tid, scope: DeltaScope) -> Result<Vec<u8>> {
+        self.sync_requests += 1;
+        self.repos
+            .get(&did.to_string())
+            .ok_or_else(|| AtError::RepoError(format!("{did} not hosted here")))?
+            .export_car_since(since, scope)
+    }
+
     /// Events recorded at or after the given outbox index (the Relay's
     /// per-PDS crawl cursor). Returns the slice and the next cursor.
     pub fn events_since(&self, cursor: usize) -> (&[PdsEvent], usize) {
@@ -450,6 +466,38 @@ mod tests {
         let (roots, blocks) = Repository::parse_car(&car).unwrap();
         assert_eq!(roots.len(), 1);
         assert!(!blocks.is_empty());
+    }
+
+    #[test]
+    fn delta_export_via_sync() {
+        let (mut pds, did) = pds_with_alice();
+        pds.create_record(&did, Nsid::parse(known::POST).unwrap(), post("v1"), now())
+            .unwrap();
+        let since = pds.repo(&did).unwrap().rev().unwrap();
+        let base = pds.get_repo(&did).unwrap();
+        pds.create_record(&did, Nsid::parse(known::POST).unwrap(), post("v2"), now())
+            .unwrap();
+        let delta = pds.get_repo_since(&did, &since, DeltaScope::Full).unwrap();
+        let records_delta = pds
+            .get_repo_since(&did, &since, DeltaScope::Records)
+            .unwrap();
+        assert!(records_delta.len() < delta.len());
+        assert!(delta.len() < pds.get_repo(&did).unwrap().len());
+        let merged = Repository::apply_delta(&base, &delta).unwrap();
+        let (roots, _) = Repository::parse_car(&merged).unwrap();
+        assert_eq!(roots, vec![pds.repo(&did).unwrap().head().unwrap().cid()]);
+        // Unknown revisions and unknown DIDs error (full-fetch fallback).
+        assert!(pds
+            .get_repo_since(
+                &did,
+                &bsky_atproto::Tid::from_micros(7, 7),
+                DeltaScope::Full
+            )
+            .is_err());
+        assert!(pds
+            .get_repo_since(&Did::plc_from_seed(b"stranger"), &since, DeltaScope::Full)
+            .is_err());
+        assert!(pds.sync_requests() >= 4);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::firehose::{FirehoseLog, Subscription};
 use crate::stats::RelayStats;
 use bsky_atproto::error::{AtError, Result};
 use bsky_atproto::firehose::{EventBody, Seq};
+use bsky_atproto::repo::{DeltaScope, Repository};
 use bsky_atproto::{Datetime, Did, Tid};
 use bsky_pds::{PdsEventDetail, PdsFleet};
 use std::collections::BTreeMap;
@@ -74,11 +75,12 @@ impl Relay {
             for event in events {
                 let body = match &event.detail {
                     PdsEventDetail::Commit(result) => {
-                        // Track latest known revision for listRepos.
+                        // Track latest known revision for listRepos. The
+                        // mirror entry (if any) is *kept*: it goes stale, and
+                        // the next `get_repo` refreshes it with a
+                        // `getRepo(since)` delta instead of a full refetch.
                         self.known_dids
                             .insert(event.did.to_string(), Some(result.commit.rev.to_string()));
-                        // Invalidate any stale mirror entry.
-                        self.mirror.remove(&event.did.to_string());
                         EventBody::Commit {
                             did: event.did.clone(),
                             commit: result.commit.cid(),
@@ -202,6 +204,12 @@ impl Relay {
     /// fetching from the hosting PDS (and caching the result). This is the
     /// recommended way for researchers to download repositories because it
     /// "reduces load elsewhere in the network" (§3).
+    ///
+    /// A stale mirror entry whose revision is known is refreshed with a
+    /// `getRepo(since)` delta from the PDS — only the blocks committed since
+    /// the cached revision travel — and reassembled via
+    /// [`Repository::apply_delta`]; a full fetch happens only for unknown
+    /// repos, rev rewinds, or delta failures.
     pub fn get_repo(&mut self, did: &Did, fleet: &mut PdsFleet, now: Datetime) -> Result<Vec<u8>> {
         let key = did.to_string();
         let current_rev = self.known_dids.get(&key).cloned().flatten();
@@ -214,6 +222,25 @@ impl Relay {
         let pds = fleet
             .pds_for_mut(did)
             .ok_or_else(|| AtError::RepoError(format!("{did} is not hosted on any known PDS")))?;
+        // Delta refresh: cached at a known revision, repo has advanced.
+        if let (Some(entry), Some(_)) = (self.mirror.get(&key), current_rev.as_deref()) {
+            if let Some(since) = entry.rev.as_deref().and_then(|r| Tid::parse(r).ok()) {
+                if let Ok(delta) = pds.get_repo_since(did, &since, DeltaScope::Full) {
+                    if let Ok(car) = Repository::apply_delta(&entry.car, &delta) {
+                        self.stats.record_delta_fetch(delta.len());
+                        self.mirror.insert(
+                            key,
+                            MirrorEntry {
+                                rev: current_rev,
+                                car: car.clone(),
+                                fetched_at: now,
+                            },
+                        );
+                        return Ok(car);
+                    }
+                }
+            }
+        }
         let car = pds.get_repo(did)?;
         self.stats.record_cache_miss(car.len());
         self.mirror.insert(
@@ -225,6 +252,29 @@ impl Relay {
             },
         );
         Ok(car)
+    }
+
+    /// `sync.getRepo` with `since`, for downstream incremental mirrors: the
+    /// delta is fetched from the hosting PDS and handed through. The
+    /// relay's own mirror entry is left untouched — it refreshes lazily
+    /// (and with its own delta) on the next full [`Relay::get_repo`], so
+    /// forwarding costs O(delta), never a re-verification of the cached
+    /// archive. Errors — unknown DID or unknown revision — mean the
+    /// consumer must fall back to a full fetch.
+    pub fn get_repo_since(
+        &mut self,
+        did: &Did,
+        since: &Tid,
+        scope: DeltaScope,
+        fleet: &mut PdsFleet,
+        _now: Datetime,
+    ) -> Result<Vec<u8>> {
+        let pds = fleet
+            .pds_for_mut(did)
+            .ok_or_else(|| AtError::RepoError(format!("{did} is not hosted on any known PDS")))?;
+        let delta = pds.get_repo_since(did, since, scope)?;
+        self.stats.record_delta_fetch(delta.len());
+        Ok(delta)
     }
 
     /// Number of repositories currently mirrored.
@@ -247,7 +297,7 @@ mod tests {
     use bsky_atproto::firehose::EventKind;
     use bsky_atproto::nsid::known;
     use bsky_atproto::record::{PostRecord, Record};
-    use bsky_atproto::repo::Repository;
+    use bsky_atproto::repo::{DeltaScope, Repository};
     use bsky_atproto::{Handle, Nsid};
     use bsky_pds::{Pds, PdsOperator};
 
@@ -373,7 +423,7 @@ mod tests {
     }
 
     #[test]
-    fn get_repo_caches_and_invalidates() {
+    fn get_repo_caches_and_refreshes_with_deltas() {
         let (mut fleet, dids) = fleet_with_users(2);
         let did = dids[0].clone();
         fleet
@@ -393,7 +443,8 @@ mod tests {
         let (_, blocks) = Repository::parse_car(&car1).unwrap();
         assert!(!blocks.is_empty());
 
-        // New activity invalidates the cache; the next fetch returns new data.
+        // New activity makes the entry stale; the next fetch refreshes it
+        // with a delta from the PDS instead of re-reading the whole repo.
         fleet
             .pds_for_mut(&did)
             .unwrap()
@@ -402,11 +453,78 @@ mod tests {
         relay.crawl(&fleet, now());
         let car3 = relay.get_repo(&did, &mut fleet, now()).unwrap();
         assert_ne!(car1, car3);
-        assert_eq!(relay.stats().cache_misses(), 2);
+        assert_eq!(relay.stats().cache_misses(), 1, "refresh must be a delta");
+        assert_eq!(relay.stats().delta_fetches(), 1);
+        assert!(relay.stats().delta_bytes_fetched() > 0);
+        assert!(relay.stats().delta_bytes_fetched() < car3.len() as u64);
+        // The reassembled archive carries both record versions.
+        let (_, blocks3) = Repository::parse_car(&car3).unwrap();
+        let records: Vec<Record> = blocks3
+            .values()
+            .filter_map(|b| Record::from_cbor(b).ok())
+            .collect();
+        assert!(records.contains(&post("v1")));
+        assert!(records.contains(&post("v2")));
+        // Serving from the refreshed mirror is a hit again.
+        relay.get_repo(&did, &mut fleet, now()).unwrap();
+        assert_eq!(relay.stats().cache_hits(), 2);
 
         // Unknown DIDs error.
         assert!(relay
             .get_repo(&Did::plc_from_seed(b"nobody"), &mut fleet, now())
+            .is_err());
+    }
+
+    #[test]
+    fn get_repo_since_serves_downstream_mirrors() {
+        let (mut fleet, dids) = fleet_with_users(1);
+        let did = dids[0].clone();
+        for i in 0..20 {
+            fleet
+                .pds_for_mut(&did)
+                .unwrap()
+                .create_record(
+                    &did,
+                    Nsid::parse(known::POST).unwrap(),
+                    post(&format!("v1 {i}")),
+                    now(),
+                )
+                .unwrap();
+        }
+        let mut relay = Relay::default();
+        relay.crawl(&fleet, now());
+        let base = relay.get_repo(&did, &mut fleet, now()).unwrap();
+        let since = relay.list_repos(None, 10).0[0].1.unwrap();
+
+        fleet
+            .pds_for_mut(&did)
+            .unwrap()
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("v2"), now())
+            .unwrap();
+        relay.crawl(&fleet, now());
+        let delta = relay
+            .get_repo_since(&did, &since, DeltaScope::Full, &mut fleet, now())
+            .unwrap();
+        assert!(delta.len() < base.len());
+        assert_eq!(relay.stats().delta_fetches(), 1);
+        let merged = Repository::apply_delta(&base, &delta).unwrap();
+        assert!(!merged.is_empty());
+        // The relay's own mirror entry went stale and refreshes lazily —
+        // with a delta of its own — on the next full read.
+        let car = relay.get_repo(&did, &mut fleet, now()).unwrap();
+        assert_eq!(relay.stats().delta_fetches(), 2);
+        assert_eq!(relay.stats().cache_misses(), 1, "no full refetch");
+        assert_eq!(car, merged);
+
+        // Unknown revisions propagate as errors (full-fetch fallback).
+        assert!(relay
+            .get_repo_since(
+                &did,
+                &Tid::from_micros(3, 3),
+                DeltaScope::Full,
+                &mut fleet,
+                now()
+            )
             .is_err());
     }
 

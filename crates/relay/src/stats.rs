@@ -16,7 +16,9 @@ pub struct RelayStats {
     bytes_per_day: BTreeMap<i64, u64>,
     cache_hits: u64,
     cache_misses: u64,
+    delta_fetches: u64,
     bytes_fetched_from_pds: u64,
+    delta_bytes_fetched: u64,
     highest_seq: u64,
 }
 
@@ -43,6 +45,15 @@ impl RelayStats {
     pub fn record_cache_miss(&mut self, bytes: usize) {
         self.cache_misses += 1;
         self.bytes_fetched_from_pds += bytes as u64;
+    }
+
+    /// Record a `getRepo(since)` delta fetched from a PDS — a stale mirror
+    /// entry refreshed (or a downstream consumer served) without re-reading
+    /// the whole repository.
+    pub fn record_delta_fetch(&mut self, bytes: usize) {
+        self.delta_fetches += 1;
+        self.bytes_fetched_from_pds += bytes as u64;
+        self.delta_bytes_fetched += bytes as u64;
     }
 
     /// Total events observed.
@@ -93,9 +104,19 @@ impl RelayStats {
         self.cache_misses
     }
 
-    /// Bytes fetched from PDSes due to cache misses.
+    /// Delta (`getRepo(since)`) fetches served from PDSes.
+    pub fn delta_fetches(&self) -> u64 {
+        self.delta_fetches
+    }
+
+    /// Bytes fetched from PDSes (full CARs and deltas combined).
     pub fn bytes_fetched_from_pds(&self) -> u64 {
         self.bytes_fetched_from_pds
+    }
+
+    /// Bytes of that total that were delta fetches.
+    pub fn delta_bytes_fetched(&self) -> u64 {
+        self.delta_bytes_fetched
     }
 
     /// Highest firehose sequence number observed.
@@ -135,9 +156,12 @@ mod tests {
         stats.record_cache_miss(1_000);
         stats.record_cache_hit();
         stats.record_cache_hit();
+        stats.record_delta_fetch(50);
         assert_eq!(stats.cache_hits(), 2);
         assert_eq!(stats.cache_misses(), 1);
-        assert_eq!(stats.bytes_fetched_from_pds(), 1_000);
+        assert_eq!(stats.delta_fetches(), 1);
+        assert_eq!(stats.bytes_fetched_from_pds(), 1_050);
+        assert_eq!(stats.delta_bytes_fetched(), 50);
     }
 
     #[test]

@@ -49,6 +49,17 @@
 //! analyzer (`bsky_study::datasets::Materialize`), and the batch analysis
 //! functions replay materialized datasets through the same accumulators, so
 //! all paths agree exactly (see `tests/pipeline_equivalence.rs`).
+//!
+//! ## Incremental repository snapshots
+//!
+//! The §3 repositories dataset is collected incrementally by default
+//! (`bsky_study::SnapshotMode`): repositories log the blocks each commit
+//! introduces, the PDS and relay serve `com.atproto.sync.getRepo(did,
+//! since=rev)` deltas, and `bsky_study::IncrementalRepoMirror` rides the
+//! weekly `sync.listRepos` snapshots — fetching full CARs only for new or
+//! rewound DIDs and record-scoped deltas otherwise — while emitting
+//! `Observation::Repo` snapshots byte-identical to the window-end full
+//! refetch (repro `--incremental` / `--full-snapshots`).
 
 pub use bsky_appview;
 pub use bsky_atproto;
