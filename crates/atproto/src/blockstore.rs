@@ -1,0 +1,1017 @@
+//! Pluggable, CID-addressed block storage.
+//!
+//! Every content-addressed byte blob in the system — repository record
+//! blocks, MST node blocks, the relay's mirrored CAR archives, the study
+//! mirror's decoded-record blocks — used to live in an ad-hoc
+//! `BTreeMap<Cid, Vec<u8>>`. Those maps are grow-only, which ROADMAP flagged
+//! as the `--scale` memory ceiling after the incremental-delta work. This
+//! module extracts the storage concern behind one trait with three backends:
+//!
+//! * [`MemStore`] — the original in-memory map, still the default.
+//! * [`PagedStore`] — blocks are appended to fixed-size *pages*; an LRU of
+//!   resident pages bounds memory and cold pages spill to a per-store
+//!   directory on disk. Every block read back from disk is re-hashed and
+//!   verified against its CID, so a corrupted spill file can never feed bad
+//!   bytes into the pipeline (corrupt blocks read as absent and are
+//!   counted).
+//! * [`CountingStore`] — a transparent wrapper that feeds shared
+//!   [`CountingTotals`], used by tests to prove invariants like "a rejected
+//!   write batch deletes every block it put" (no orphans).
+//!
+//! ## Contract
+//!
+//! A `BlockStore` is a set of `(Cid, bytes)` pairs where the CID is the
+//! content address of the bytes (DAG-CBOR or raw codec). `put` of an
+//! existing CID is a no-op (content-addressed stores are idempotent);
+//! `get` returns exactly the bytes that were put or nothing. Backends may
+//! move blocks between memory and disk freely but must never lose or
+//! reorder them: for any op sequence, every backend is observationally
+//! equivalent to [`MemStore`] (pinned by the oracle property test below).
+//!
+//! Stores are built from a [`StoreConfig`], which is what the study CLI
+//! (`repro --store mem|paged --page-size N --spill-dir DIR`) and the world
+//! builders plumb through the stack.
+
+use crate::cid::{Cid, CODEC_DAG_CBOR};
+use crate::error::{AtError, Result};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate statistics of one store (or a sum over many — see
+/// [`StoreStats::absorb`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of blocks held.
+    pub blocks: usize,
+    /// Logical bytes of all blocks (resident + spilled).
+    pub logical_bytes: usize,
+    /// Bytes of blocks currently resident in memory.
+    pub resident_bytes: usize,
+    /// Bytes of blocks currently spilled to disk.
+    pub spilled_bytes: usize,
+    /// Pages written to the spill directory.
+    pub spill_writes: u64,
+    /// Pages loaded back from the spill directory.
+    pub spill_loads: u64,
+    /// Blocks that failed CID verification on read-back.
+    pub corrupt_reads: u64,
+}
+
+impl StoreStats {
+    /// Fold another store's stats into this one (counters add).
+    pub fn absorb(&mut self, other: &StoreStats) {
+        self.blocks += other.blocks;
+        self.logical_bytes += other.logical_bytes;
+        self.resident_bytes += other.resident_bytes;
+        self.spilled_bytes += other.spilled_bytes;
+        self.spill_writes += other.spill_writes;
+        self.spill_loads += other.spill_loads;
+        self.corrupt_reads += other.corrupt_reads;
+    }
+}
+
+/// A CID-addressed block store.
+///
+/// See the module docs for the contract. The trait requires `Send` (stores
+/// travel into shard worker threads inside repositories) and `Debug`
+/// (repositories derive it).
+pub trait BlockStore: std::fmt::Debug + Send {
+    /// Fetch a block's bytes. Returns owned bytes because a disk-backed
+    /// store may have to page them in.
+    fn get(&self, cid: &Cid) -> Option<Vec<u8>>;
+
+    /// Insert a block. Returns `true` when the block was newly inserted,
+    /// `false` when the CID was already present (the bytes are dropped —
+    /// content addressing makes them identical).
+    fn put(&mut self, cid: Cid, bytes: Vec<u8>) -> bool;
+
+    /// Whether a block is present.
+    fn has(&self, cid: &Cid) -> bool;
+
+    /// Remove a block, returning its logical byte length (0 when absent).
+    fn delete(&mut self, cid: &Cid) -> usize;
+
+    /// Number of blocks held.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no blocks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total logical bytes of all blocks (resident + spilled).
+    fn bytes(&self) -> usize;
+
+    /// Residency/spill statistics.
+    fn stats(&self) -> StoreStats;
+
+    /// Clone into a fresh boxed store with identical contents.
+    fn boxed_clone(&self) -> Box<dyn BlockStore>;
+}
+
+impl Clone for Box<dyn BlockStore> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Which backend a [`StoreConfig`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Everything resident in memory ([`MemStore`]).
+    #[default]
+    Mem,
+    /// Paged with LRU disk spill ([`PagedStore`]).
+    Paged,
+}
+
+/// Configuration for building block stores — the value the CLI flags
+/// (`--store`, `--page-size`, `--spill-dir`) and the world builders carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Backend to build.
+    pub kind: StoreKind,
+    /// Page capacity in bytes before a page is sealed (paged backend).
+    pub page_size: usize,
+    /// Number of sealed pages kept resident before spilling (paged backend;
+    /// the open page is always resident on top of this).
+    pub resident_pages: usize,
+    /// Spill root directory (paged backend). `None` uses the system temp
+    /// directory; each store instance creates its own subdirectory lazily
+    /// on first spill and removes it on drop.
+    pub spill_dir: Option<String>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig::mem()
+    }
+}
+
+impl StoreConfig {
+    /// The in-memory backend.
+    pub fn mem() -> StoreConfig {
+        StoreConfig {
+            kind: StoreKind::Mem,
+            page_size: 16 * 1024,
+            resident_pages: 4,
+            spill_dir: None,
+        }
+    }
+
+    /// The paged disk-spill backend with default page geometry.
+    pub fn paged() -> StoreConfig {
+        StoreConfig {
+            kind: StoreKind::Paged,
+            ..StoreConfig::mem()
+        }
+    }
+
+    /// Override the page size in bytes (builder style).
+    pub fn page_size(mut self, bytes: usize) -> StoreConfig {
+        self.page_size = bytes.max(1);
+        self
+    }
+
+    /// Override the resident-page LRU capacity (builder style).
+    pub fn resident_pages(mut self, pages: usize) -> StoreConfig {
+        self.resident_pages = pages.max(1);
+        self
+    }
+
+    /// Override the spill root directory (builder style).
+    pub fn spill_dir(mut self, dir: impl Into<String>) -> StoreConfig {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Build a fresh, empty store of the configured kind.
+    pub fn build(&self) -> Box<dyn BlockStore> {
+        match self.kind {
+            StoreKind::Mem => Box::new(MemStore::new()),
+            StoreKind::Paged => Box::new(PagedStore::new(self)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+/// The original backend: a plain in-memory map. Also the oracle the paged
+/// backend is property-tested against.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    blocks: BTreeMap<Cid, Vec<u8>>,
+    bytes: usize,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl BlockStore for MemStore {
+    fn get(&self, cid: &Cid) -> Option<Vec<u8>> {
+        self.blocks.get(cid).cloned()
+    }
+
+    fn put(&mut self, cid: Cid, bytes: Vec<u8>) -> bool {
+        match self.blocks.entry(cid) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                self.bytes += bytes.len();
+                slot.insert(bytes);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    fn has(&self, cid: &Cid) -> bool {
+        self.blocks.contains_key(cid)
+    }
+
+    fn delete(&mut self, cid: &Cid) -> usize {
+        match self.blocks.remove(cid) {
+            Some(bytes) => {
+                self.bytes -= bytes.len();
+                bytes.len()
+            }
+            None => 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            blocks: self.blocks.len(),
+            logical_bytes: self.bytes,
+            resident_bytes: self.bytes,
+            ..StoreStats::default()
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn BlockStore> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PagedStore
+// ---------------------------------------------------------------------------
+
+/// Global sequence so every paged store instance gets its own spill
+/// subdirectory, even across clones.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Where a block lives.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    page: u32,
+    len: u32,
+}
+
+/// One page of blocks: resident (`blocks` is `Some`) or spilled to disk.
+#[derive(Debug)]
+struct Page {
+    /// Live blocks while resident; `None` once spilled.
+    blocks: Option<BTreeMap<Cid, Vec<u8>>>,
+    /// Logical bytes of the page's *live* blocks (index-reachable).
+    live_bytes: usize,
+    /// Bytes of block payloads in the on-disk file (`0`: no file). May
+    /// exceed `live_bytes` when blocks were deleted after the spill — the
+    /// garbage stays on disk until [`PagedStore::compact`].
+    file_bytes: usize,
+    /// Whether the on-disk file covers every live block of this page.
+    on_disk: bool,
+}
+
+impl Page {
+    /// A fresh, resident, empty page.
+    fn fresh() -> Page {
+        Page {
+            blocks: Some(BTreeMap::new()),
+            live_bytes: 0,
+            file_bytes: 0,
+            on_disk: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Paged {
+    page_size: usize,
+    resident_cap: usize,
+    spill_root: PathBuf,
+    /// Created lazily on first spill; removed on drop.
+    dir: Option<PathBuf>,
+    store_id: u64,
+    index: BTreeMap<Cid, Loc>,
+    pages: BTreeMap<u32, Page>,
+    /// Id of the open (append) page — always resident, outside the LRU.
+    open: u32,
+    /// Sealed resident pages, least recently used at the front.
+    lru: VecDeque<u32>,
+    logical_bytes: usize,
+    spill_writes: u64,
+    spill_loads: u64,
+    corrupt_reads: u64,
+}
+
+/// The paged disk-spill backend: blocks append to an open page; sealed
+/// pages rotate through a bounded LRU and spill to disk when evicted. Reads
+/// of spilled blocks page the whole page back in (verified by CID).
+///
+/// Reads take `&self` like every other backend, so the paging machinery
+/// lives behind a [`RefCell`]; the store is `Send` (one shard owns it) but
+/// deliberately not `Sync`.
+#[derive(Debug)]
+pub struct PagedStore {
+    inner: RefCell<Paged>,
+}
+
+impl PagedStore {
+    /// An empty paged store; the spill directory is created only when the
+    /// first page actually spills.
+    pub fn new(config: &StoreConfig) -> PagedStore {
+        let spill_root = match &config.spill_dir {
+            Some(dir) => PathBuf::from(dir),
+            None => std::env::temp_dir().join("bsky-blockstore"),
+        };
+        let mut pages = BTreeMap::new();
+        pages.insert(0, Page::fresh());
+        PagedStore {
+            inner: RefCell::new(Paged {
+                page_size: config.page_size.max(1),
+                resident_cap: config.resident_pages.max(1),
+                spill_root,
+                dir: None,
+                store_id: STORE_SEQ.fetch_add(1, Ordering::Relaxed),
+                index: BTreeMap::new(),
+                pages,
+                open: 0,
+                lru: VecDeque::new(),
+                logical_bytes: 0,
+                spill_writes: 0,
+                spill_loads: 0,
+                corrupt_reads: 0,
+            }),
+        }
+    }
+
+    /// Rewrite spill files that accumulated dead blocks (deleted after the
+    /// spill), dropping the garbage. Returns the on-disk bytes reclaimed.
+    pub fn compact(&mut self) -> usize {
+        let inner = self.inner.get_mut();
+        let mut reclaimed = 0usize;
+        let ids: Vec<u32> = inner.pages.keys().copied().collect();
+        for id in ids {
+            let (spilled, live, file) = {
+                let page = &inner.pages[&id];
+                (page.blocks.is_none(), page.live_bytes, page.file_bytes)
+            };
+            if !spilled || live >= file {
+                continue;
+            }
+            if live == 0 {
+                let _ = std::fs::remove_file(inner.page_path(id));
+                reclaimed += file;
+                if let Some(page) = inner.pages.get_mut(&id) {
+                    page.file_bytes = 0;
+                    page.on_disk = false;
+                    page.blocks = Some(BTreeMap::new());
+                }
+                continue;
+            }
+            // Load (verified), filter to live blocks, rewrite in place.
+            let blocks = inner.load_page(id);
+            let page = inner.pages.get_mut(&id).expect("page exists");
+            page.blocks = Some(blocks);
+            page.on_disk = false;
+            reclaimed += file - live;
+            inner.spill(id);
+        }
+        reclaimed
+    }
+}
+
+impl Paged {
+    /// The one canonical spill directory for this store instance. `dir`
+    /// caches it once `ensure_dir` has created it on disk.
+    fn dir_path(&self) -> PathBuf {
+        self.spill_root
+            .join(format!("store-{}-{}", std::process::id(), self.store_id))
+    }
+
+    fn page_path(&self, id: u32) -> PathBuf {
+        self.dir
+            .clone()
+            .unwrap_or_else(|| self.dir_path())
+            .join(format!("page-{id:08}.bin"))
+    }
+
+    fn ensure_dir(&mut self) -> PathBuf {
+        if self.dir.is_none() {
+            let dir = self.dir_path();
+            std::fs::create_dir_all(&dir).expect("create block-store spill directory");
+            self.dir = Some(dir);
+        }
+        self.dir.clone().expect("spill dir set")
+    }
+
+    /// Write a resident sealed page to disk and drop its in-memory blocks.
+    fn spill(&mut self, id: u32) {
+        self.ensure_dir();
+        let path = self.page_path(id);
+        let page = self.pages.get_mut(&id).expect("page exists");
+        let blocks = page.blocks.take().expect("spilling a resident page");
+        if !page.on_disk {
+            let mut out = Vec::new();
+            let mut payload = 0usize;
+            for (cid, bytes) in &blocks {
+                out.extend_from_slice(&cid.to_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+                payload += bytes.len();
+            }
+            std::fs::write(&path, &out).expect("write block-store spill page");
+            page.file_bytes = payload;
+            page.on_disk = true;
+            self.spill_writes += 1;
+        }
+    }
+
+    /// Read a spilled page back, verifying every block against its CID.
+    /// Corrupt blocks are dropped (and counted); only index-live blocks are
+    /// reinstated.
+    fn load_page(&mut self, id: u32) -> BTreeMap<Cid, Vec<u8>> {
+        let path = self.page_path(id);
+        let raw = std::fs::read(&path).unwrap_or_default();
+        self.spill_loads += 1;
+        let mut blocks = BTreeMap::new();
+        let mut pos = 0usize;
+        while pos + 40 <= raw.len() {
+            let Ok(cid) = Cid::from_bytes(&raw[pos..pos + 36]) else {
+                self.corrupt_reads += 1;
+                break;
+            };
+            let len =
+                u32::from_le_bytes([raw[pos + 36], raw[pos + 37], raw[pos + 38], raw[pos + 39]])
+                    as usize;
+            pos += 40;
+            if pos + len > raw.len() {
+                self.corrupt_reads += 1;
+                break;
+            }
+            let data = raw[pos..pos + len].to_vec();
+            pos += len;
+            let expected = if cid.codec() == CODEC_DAG_CBOR {
+                Cid::for_cbor(&data)
+            } else {
+                Cid::for_raw(&data)
+            };
+            if expected != cid {
+                // Read-back verification: a flipped bit in the spill file
+                // must never surface as block contents.
+                self.corrupt_reads += 1;
+                continue;
+            }
+            if matches!(self.index.get(&cid), Some(loc) if loc.page == id) {
+                blocks.insert(cid, data);
+            }
+        }
+        blocks
+    }
+
+    /// Evict sealed resident pages past the LRU capacity.
+    fn enforce_cap(&mut self) {
+        while self.lru.len() > self.resident_cap {
+            let victim = self.lru.pop_front().expect("lru non-empty");
+            self.spill(victim);
+        }
+    }
+
+    /// Mark a sealed page as most recently used.
+    fn touch(&mut self, id: u32) {
+        if let Some(pos) = self.lru.iter().position(|&p| p == id) {
+            self.lru.remove(pos);
+            self.lru.push_back(id);
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut resident = 0usize;
+        let mut spilled = 0usize;
+        for page in self.pages.values() {
+            if page.blocks.is_some() {
+                resident += page.live_bytes;
+            } else {
+                spilled += page.live_bytes;
+            }
+        }
+        StoreStats {
+            blocks: self.index.len(),
+            logical_bytes: self.logical_bytes,
+            resident_bytes: resident,
+            spilled_bytes: spilled,
+            spill_writes: self.spill_writes,
+            spill_loads: self.spill_loads,
+            corrupt_reads: self.corrupt_reads,
+        }
+    }
+}
+
+impl Drop for Paged {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+impl BlockStore for PagedStore {
+    fn get(&self, cid: &Cid) -> Option<Vec<u8>> {
+        let mut inner = self.inner.borrow_mut();
+        let loc = *inner.index.get(cid)?;
+        let resident = inner.pages[&loc.page].blocks.is_some();
+        if !resident {
+            let blocks = inner.load_page(loc.page);
+            inner.pages.get_mut(&loc.page).expect("page exists").blocks = Some(blocks);
+            inner.lru.push_back(loc.page);
+            inner.enforce_cap();
+        } else if loc.page != inner.open {
+            inner.touch(loc.page);
+        }
+        let bytes = inner.pages[&loc.page]
+            .blocks
+            .as_ref()
+            .and_then(|b| b.get(cid).cloned());
+        bytes
+    }
+
+    fn put(&mut self, cid: Cid, bytes: Vec<u8>) -> bool {
+        let inner = self.inner.get_mut();
+        if inner.index.contains_key(&cid) {
+            return false;
+        }
+        let len = bytes.len();
+        let open = inner.open;
+        inner.index.insert(
+            cid,
+            Loc {
+                page: open,
+                len: len as u32,
+            },
+        );
+        let page = inner.pages.get_mut(&open).expect("open page exists");
+        page.blocks
+            .as_mut()
+            .expect("open page is resident")
+            .insert(cid, bytes);
+        page.live_bytes += len;
+        inner.logical_bytes += len;
+        if inner.pages[&open].live_bytes >= inner.page_size {
+            // Seal the open page into the LRU and start a fresh one.
+            inner.lru.push_back(open);
+            inner.open = open + 1;
+            inner.pages.insert(inner.open, Page::fresh());
+            inner.enforce_cap();
+        }
+        true
+    }
+
+    fn has(&self, cid: &Cid) -> bool {
+        self.inner.borrow().index.contains_key(cid)
+    }
+
+    fn delete(&mut self, cid: &Cid) -> usize {
+        let inner = self.inner.get_mut();
+        let Some(loc) = inner.index.remove(cid) else {
+            return 0;
+        };
+        let page = inner.pages.get_mut(&loc.page).expect("page exists");
+        page.live_bytes -= loc.len as usize;
+        if let Some(blocks) = page.blocks.as_mut() {
+            blocks.remove(cid);
+        }
+        inner.logical_bytes -= loc.len as usize;
+        loc.len as usize
+    }
+
+    fn len(&self) -> usize {
+        self.inner.borrow().index.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.inner.borrow().logical_bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.borrow().stats()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn BlockStore> {
+        // A clone is a fresh store (own spill directory) with identical
+        // contents. Reading through `get` pages spilled blocks in via the
+        // normal verified path.
+        let (config, cids) = {
+            let inner = self.inner.borrow();
+            (
+                StoreConfig {
+                    kind: StoreKind::Paged,
+                    page_size: inner.page_size,
+                    resident_pages: inner.resident_cap,
+                    spill_dir: Some(inner.spill_root.to_string_lossy().into_owned()),
+                },
+                inner.index.keys().copied().collect::<Vec<Cid>>(),
+            )
+        };
+        let mut clone = PagedStore::new(&config);
+        for cid in cids {
+            if let Some(bytes) = self.get(&cid) {
+                clone.put(cid, bytes);
+            }
+        }
+        Box::new(clone)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CountingStore
+// ---------------------------------------------------------------------------
+
+/// Shared operation counters fed by a [`CountingStore`].
+#[derive(Debug, Default)]
+pub struct CountingTotals {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    deletes: AtomicU64,
+    bytes_put: AtomicU64,
+    bytes_deleted: AtomicU64,
+}
+
+impl CountingTotals {
+    /// Blocks newly inserted.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Successful block reads.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Blocks removed.
+    pub fn deletes(&self) -> u64 {
+        self.deletes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of newly inserted blocks.
+    pub fn bytes_put(&self) -> u64 {
+        self.bytes_put.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of removed blocks.
+    pub fn bytes_deleted(&self) -> u64 {
+        self.bytes_deleted.load(Ordering::Relaxed)
+    }
+}
+
+/// A transparent wrapper that counts operations into shared
+/// [`CountingTotals`] — the handle stays with the caller while the store
+/// disappears into a repository.
+#[derive(Debug)]
+pub struct CountingStore {
+    inner: Box<dyn BlockStore>,
+    totals: Arc<CountingTotals>,
+}
+
+impl CountingStore {
+    /// Wrap a store; returns the wrapper and the shared totals handle.
+    pub fn new(inner: Box<dyn BlockStore>) -> (CountingStore, Arc<CountingTotals>) {
+        let totals = Arc::new(CountingTotals::default());
+        (
+            CountingStore {
+                inner,
+                totals: totals.clone(),
+            },
+            totals,
+        )
+    }
+}
+
+impl BlockStore for CountingStore {
+    fn get(&self, cid: &Cid) -> Option<Vec<u8>> {
+        let out = self.inner.get(cid);
+        if out.is_some() {
+            self.totals.gets.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    fn put(&mut self, cid: Cid, bytes: Vec<u8>) -> bool {
+        let len = bytes.len() as u64;
+        let fresh = self.inner.put(cid, bytes);
+        if fresh {
+            self.totals.puts.fetch_add(1, Ordering::Relaxed);
+            self.totals.bytes_put.fetch_add(len, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    fn has(&self, cid: &Cid) -> bool {
+        self.inner.has(cid)
+    }
+
+    fn delete(&mut self, cid: &Cid) -> usize {
+        let removed = self.inner.delete(cid);
+        if removed > 0 {
+            self.totals.deletes.fetch_add(1, Ordering::Relaxed);
+            self.totals
+                .bytes_deleted
+                .fetch_add(removed as u64, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.inner.bytes()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn BlockStore> {
+        // The clone shares the totals handle: a cloned repository keeps
+        // feeding the same counters.
+        Box::new(CountingStore {
+            inner: self.inner.clone(),
+            totals: self.totals.clone(),
+        })
+    }
+}
+
+/// Verify a CAR-shaped store invariant used by callers that treat stores as
+/// opaque: the block either round-trips exactly or is absent.
+pub fn verify_roundtrip(store: &dyn BlockStore, cid: &Cid, expected: &[u8]) -> Result<()> {
+    match store.get(cid) {
+        Some(bytes) if bytes == expected => Ok(()),
+        Some(_) => Err(AtError::RepoError(format!(
+            "store returned different bytes for {cid}"
+        ))),
+        None => Err(AtError::RepoError(format!("store lost block {cid}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testrand::TestRng;
+
+    fn tmp_root() -> String {
+        std::env::temp_dir()
+            .join("bsky-blockstore-test")
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn paged_config() -> StoreConfig {
+        // Tiny pages and a 1-page LRU so a handful of blocks already spill.
+        StoreConfig::paged()
+            .page_size(64)
+            .resident_pages(1)
+            .spill_dir(tmp_root())
+    }
+
+    fn block(n: u64, len: usize) -> (Cid, Vec<u8>) {
+        let mut bytes = n.to_be_bytes().to_vec();
+        bytes.resize(len.max(8), (n % 251) as u8);
+        (Cid::for_raw(&bytes), bytes)
+    }
+
+    #[test]
+    fn mem_store_basics() {
+        let mut store = MemStore::new();
+        let (cid, bytes) = block(1, 10);
+        assert!(store.put(cid, bytes.clone()));
+        assert!(!store.put(cid, bytes.clone()), "put is idempotent");
+        assert!(store.has(&cid));
+        assert_eq!(store.get(&cid), Some(bytes.clone()));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), bytes.len());
+        assert_eq!(store.stats().resident_bytes, bytes.len());
+        assert_eq!(store.delete(&cid), bytes.len());
+        assert_eq!(store.delete(&cid), 0);
+        assert!(store.is_empty());
+        verify_roundtrip(&MemStore::new(), &cid, &bytes).unwrap_err();
+    }
+
+    #[test]
+    fn paged_store_spills_and_reads_back() {
+        let mut store = PagedStore::new(&paged_config());
+        let mut blocks = Vec::new();
+        for n in 0..40u64 {
+            let (cid, bytes) = block(n, 24);
+            assert!(store.put(cid, bytes.clone()));
+            blocks.push((cid, bytes));
+        }
+        let stats = store.stats();
+        assert!(stats.spilled_bytes > 0, "small LRU must spill: {stats:?}");
+        assert!(stats.spill_writes > 0);
+        assert_eq!(
+            stats.logical_bytes,
+            stats.resident_bytes + stats.spilled_bytes
+        );
+        // Every block reads back exactly, paging cold pages in.
+        for (cid, bytes) in &blocks {
+            verify_roundtrip(&store, cid, bytes).unwrap();
+        }
+        assert!(store.stats().spill_loads > 0);
+        assert_eq!(store.len(), blocks.len());
+    }
+
+    #[test]
+    fn paged_store_clone_is_independent() {
+        let mut store = PagedStore::new(&paged_config());
+        let mut blocks = Vec::new();
+        for n in 0..30u64 {
+            let (cid, bytes) = block(n, 24);
+            store.put(cid, bytes.clone());
+            blocks.push((cid, bytes));
+        }
+        let clone = store.boxed_clone();
+        let (gone, _) = blocks[0].clone();
+        store.delete(&gone);
+        assert!(store.get(&gone).is_none());
+        assert_eq!(clone.get(&gone), Some(blocks[0].1.clone()));
+        for (cid, bytes) in &blocks {
+            verify_roundtrip(clone.as_ref(), cid, bytes).unwrap();
+        }
+    }
+
+    #[test]
+    fn paged_store_detects_corruption_on_read_back() {
+        let mut store = PagedStore::new(&paged_config());
+        let mut blocks = Vec::new();
+        for n in 0..40u64 {
+            let (cid, bytes) = block(n, 24);
+            store.put(cid, bytes.clone());
+            blocks.push((cid, bytes));
+        }
+        assert!(store.stats().spilled_bytes > 0);
+        // Flip one byte in every spill file: the affected blocks must read
+        // as absent, never as wrong bytes.
+        let dir = store.inner.borrow().dir.clone().expect("spilled");
+        let mut flipped = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut raw = std::fs::read(&path).unwrap();
+            if raw.len() > 45 {
+                raw[44] ^= 0xff; // inside the first block's payload
+                std::fs::write(&path, &raw).unwrap();
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 0);
+        let mut missing = 0;
+        for (cid, bytes) in &blocks {
+            match store.get(cid) {
+                Some(read) => assert_eq!(&read, bytes, "corrupt bytes surfaced"),
+                None => missing += 1,
+            }
+        }
+        assert!(missing > 0, "corruption must be detected");
+        assert!(store.stats().corrupt_reads > 0);
+    }
+
+    #[test]
+    fn paged_store_compact_reclaims_dead_spilled_blocks() {
+        let mut store = PagedStore::new(&paged_config());
+        let mut blocks = Vec::new();
+        for n in 0..60u64 {
+            let (cid, bytes) = block(n, 24);
+            store.put(cid, bytes.clone());
+            blocks.push((cid, bytes));
+        }
+        assert!(store.stats().spilled_bytes > 0);
+        // Delete a spilled block (index-only removal: the file keeps it).
+        let spilled_cid = {
+            let inner = store.inner.borrow();
+            *inner
+                .index
+                .iter()
+                .find(|(_, loc)| inner.pages[&loc.page].blocks.is_none())
+                .expect("a spilled block exists")
+                .0
+        };
+        assert!(store.delete(&spilled_cid) > 0);
+        let reclaimed = store.compact();
+        assert!(reclaimed > 0, "compaction must rewrite the dirty page");
+        assert!(store.get(&spilled_cid).is_none());
+        // Everything else still round-trips.
+        for (cid, bytes) in &blocks {
+            if cid != &spilled_cid {
+                verify_roundtrip(&store, cid, bytes).unwrap();
+            }
+        }
+        // A second pass has nothing left to do.
+        assert_eq!(store.compact(), 0);
+    }
+
+    #[test]
+    fn counting_store_counts_and_shares_totals() {
+        let (mut store, totals) = CountingStore::new(Box::new(MemStore::new()));
+        let (cid, bytes) = block(9, 16);
+        assert!(store.put(cid, bytes.clone()));
+        assert!(!store.put(cid, bytes.clone()), "re-put not counted");
+        assert_eq!(totals.puts(), 1);
+        assert_eq!(totals.bytes_put(), bytes.len() as u64);
+        assert_eq!(store.get(&cid), Some(bytes.clone()));
+        assert_eq!(totals.gets(), 1);
+        let clone = store.boxed_clone();
+        assert_eq!(clone.get(&cid), Some(bytes.clone()));
+        assert_eq!(totals.gets(), 2, "clones share the totals handle");
+        assert_eq!(store.delete(&cid), bytes.len());
+        assert_eq!(totals.deletes(), 1);
+        assert_eq!(totals.bytes_deleted(), bytes.len() as u64);
+        assert_eq!(store.delete(&cid), 0);
+        assert_eq!(totals.deletes(), 1, "missing delete not counted");
+    }
+
+    #[test]
+    fn store_config_builds_each_kind() {
+        assert_eq!(StoreConfig::default().kind, StoreKind::Mem);
+        let mem = StoreConfig::mem().build();
+        assert_eq!(mem.len(), 0);
+        let paged = paged_config().build();
+        assert!(paged.is_empty());
+        let cfg = StoreConfig::paged().page_size(0).resident_pages(0);
+        assert_eq!(cfg.page_size, 1, "page size clamps to 1");
+        assert_eq!(cfg.resident_pages, 1, "LRU cap clamps to 1");
+    }
+
+    /// The oracle property test: any interleaving of put / get / delete /
+    /// forced-eviction pressure / compact on a tiny-paged store behaves
+    /// exactly like the in-memory oracle.
+    #[test]
+    fn paged_store_matches_mem_oracle_under_random_ops() {
+        let mut rng = TestRng::new(0x0009_a6ed);
+        for round in 0..15 {
+            let config = StoreConfig::paged()
+                .page_size(32 + rng.below(96) as usize)
+                .resident_pages(1 + rng.below(3) as usize)
+                .spill_dir(tmp_root());
+            let mut paged = PagedStore::new(&config);
+            let mut oracle = MemStore::new();
+            // A bounded universe of blocks so deletes and re-puts collide.
+            let universe: Vec<(Cid, Vec<u8>)> = (0..24)
+                .map(|i| block(round * 1_000 + i, 8 + rng.below(40) as usize))
+                .collect();
+            for _ in 0..400 {
+                let (cid, bytes) = &universe[rng.below(universe.len() as u64) as usize];
+                match rng.below(10) {
+                    0..=3 => {
+                        assert_eq!(
+                            paged.put(*cid, bytes.clone()),
+                            oracle.put(*cid, bytes.clone()),
+                            "put disagrees"
+                        );
+                    }
+                    4..=6 => {
+                        assert_eq!(paged.get(cid), oracle.get(cid), "get disagrees");
+                    }
+                    7..=8 => {
+                        assert_eq!(paged.delete(cid), oracle.delete(cid), "delete disagrees");
+                    }
+                    _ => {
+                        paged.compact();
+                    }
+                }
+                assert_eq!(paged.len(), oracle.len());
+                assert_eq!(paged.bytes(), oracle.bytes());
+            }
+            // Full final sweep: identical contents, block by block.
+            for (cid, _) in &universe {
+                assert_eq!(paged.get(cid), oracle.get(cid));
+                assert_eq!(paged.has(cid), oracle.has(cid));
+            }
+        }
+    }
+}

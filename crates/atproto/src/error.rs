@@ -29,6 +29,10 @@ pub enum AtError {
     InvalidRecord(String),
     /// A repository operation referenced a missing key or commit.
     RepoError(String),
+    /// A delta was requested since a revision that a compaction pass has
+    /// dropped from the delta-serving window: the caller must fall back to
+    /// a full CAR fetch (and should surface the fallback, not hide it).
+    RevisionCompacted(String),
     /// A signature did not verify against the signer's key.
     BadSignature(String),
     /// A datetime string or component was out of range.
@@ -50,6 +54,9 @@ impl fmt::Display for AtError {
             AtError::CborDecode(s) => write!(f, "CBOR decode error: {s}"),
             AtError::InvalidRecord(s) => write!(f, "invalid record: {s}"),
             AtError::RepoError(s) => write!(f, "repository error: {s}"),
+            AtError::RevisionCompacted(s) => {
+                write!(f, "revision compacted (full fetch required): {s}")
+            }
             AtError::BadSignature(s) => write!(f, "bad signature: {s}"),
             AtError::InvalidDatetime(s) => write!(f, "invalid datetime: {s}"),
             AtError::InvalidLabel(s) => write!(f, "invalid label: {s}"),

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod aturi;
+pub mod blockstore;
 pub mod cbor;
 pub mod cid;
 pub mod crypto;
@@ -48,6 +49,7 @@ pub(crate) mod testrand;
 pub mod tid;
 
 pub use aturi::AtUri;
+pub use blockstore::{BlockStore, StoreConfig, StoreKind};
 pub use cid::Cid;
 pub use datetime::Datetime;
 pub use did::{Did, DidMethod};

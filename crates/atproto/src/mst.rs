@@ -12,6 +12,15 @@
 //! is a pure function of the mapping, the crucial MST property (identical
 //! contents ⇒ identical root CID) holds by construction, and the rebuild cost
 //! is linear in the number of keys, which is ample for simulation scale.
+//!
+//! Node entries are **prefix-compressed on the wire**, as in the reference
+//! implementation: within a node, each entry carries `p` (the number of key
+//! bytes shared with the previous entry's key) and `k` (the remaining
+//! suffix). Sibling record keys share long `<collection>/<rkey>` prefixes,
+//! so this shrinks every node block — and with them full CAR exports and the
+//! structural section of `getRepo(since)` deltas. [`decode_node`] undoes the
+//! compression; [`Mst::structural_size_uncompressed`] measures the legacy
+//! full-key encoding so the streaming bench can assert the byte win.
 
 use crate::cbor::Value;
 use crate::cid::Cid;
@@ -229,13 +238,26 @@ impl Mst {
             .collect()
     }
 
-    /// Total serialized size of all node blocks in bytes.
+    /// Total serialized size of all node blocks in bytes (prefix-compressed
+    /// wire encoding).
     pub fn structural_size(&self) -> usize {
         self.blocks().iter().map(|n| n.bytes.len()).sum()
     }
 
+    /// What the node blocks would occupy under the legacy full-key encoding
+    /// (every entry carries its whole key, no `p` field). Kept purely as the
+    /// measurement baseline for the prefix-compression win; nothing encodes
+    /// this form on the wire anymore.
+    pub fn structural_size_uncompressed(&self) -> usize {
+        self.build_with(false).1.iter().map(|n| n.bytes.len()).sum()
+    }
+
     /// Build the tree: returns the root CID and every node block.
     fn build(&self) -> (Cid, Vec<MstNode>) {
+        self.build_with(true)
+    }
+
+    fn build_with(&self, compress: bool) -> (Cid, Vec<MstNode>) {
         let mut blocks = Vec::new();
         let items: Vec<(&String, &Cid, u32)> = self
             .entries
@@ -243,18 +265,26 @@ impl Mst {
             .map(|(k, v)| (k, v, key_layer(k)))
             .collect();
         let top_layer = items.iter().map(|(_, _, l)| *l).max().unwrap_or(0);
-        let root = Self::build_node(&items, top_layer, &mut blocks);
+        let root = Self::build_node(&items, top_layer, &mut blocks, compress);
         (root, blocks)
     }
 
     /// Recursively build the node covering `items` at `layer`.
-    fn build_node(items: &[(&String, &Cid, u32)], layer: u32, blocks: &mut Vec<MstNode>) -> Cid {
+    fn build_node(
+        items: &[(&String, &Cid, u32)],
+        layer: u32,
+        blocks: &mut Vec<MstNode>,
+        compress: bool,
+    ) -> Cid {
         // Entries at this layer, in order; the gaps between them (and at both
         // ends) become child subtrees at layer - 1.
         let mut node_entries: Vec<Value> = Vec::new();
         let mut segment_start = 0usize;
         let mut left_child: Option<Cid> = None;
         let mut first_entry_seen = false;
+        // Prefix compression state: the previous entry's full key within
+        // *this* node (compression never crosses node boundaries).
+        let mut prev_key: Option<&str> = None;
 
         let flush_segment = |start: usize, end: usize, blocks: &mut Vec<MstNode>| -> Option<Cid> {
             if start >= end {
@@ -265,7 +295,12 @@ impl Mst {
                 // entry, which the layer computation guarantees.
                 return None;
             }
-            Some(Self::build_node(&items[start..end], layer - 1, blocks))
+            Some(Self::build_node(
+                &items[start..end],
+                layer - 1,
+                blocks,
+                compress,
+            ))
         };
 
         for (idx, (key, cid, item_layer)) in items.iter().enumerate() {
@@ -281,10 +316,22 @@ impl Mst {
                     }
                 }
                 first_entry_seen = true;
-                node_entries.push(Value::map([
-                    ("k", Value::text(key.as_str())),
-                    ("v", Value::Link(**cid)),
-                ]));
+                if compress {
+                    let shared = prev_key
+                        .map(|prev| common_prefix_len(prev, key))
+                        .unwrap_or(0);
+                    node_entries.push(Value::map([
+                        ("p", Value::Int(shared as i64)),
+                        ("k", Value::text(&key[shared..])),
+                        ("v", Value::Link(**cid)),
+                    ]));
+                } else {
+                    node_entries.push(Value::map([
+                        ("k", Value::text(key.as_str())),
+                        ("v", Value::Link(**cid)),
+                    ]));
+                }
+                prev_key = Some(key.as_str());
                 segment_start = idx + 1;
             }
         }
@@ -314,6 +361,80 @@ impl Mst {
         blocks.push(MstNode { cid, bytes });
         cid
     }
+}
+
+/// Number of leading bytes two keys share. Keys are ASCII (enforced by
+/// [`validate_key`]), so a byte index is always a char boundary.
+fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count()
+}
+
+/// One entry of a decoded node, with the full key reconstructed from the
+/// prefix compression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MstNodeEntry {
+    /// The full record key.
+    pub key: String,
+    /// The record block CID.
+    pub value: Cid,
+    /// Link to the subtree between this entry and the next, if any.
+    pub tree: Option<Cid>,
+}
+
+/// A decoded MST node block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedMstNode {
+    /// Link to the subtree left of the first entry.
+    pub left: Option<Cid>,
+    /// The node's layer.
+    pub layer: u32,
+    /// Entries in key order.
+    pub entries: Vec<MstNodeEntry>,
+}
+
+/// Decode a node block, undoing the per-entry key prefix compression. An
+/// entry without a `p` field decodes as an uncompressed (full-key) entry,
+/// so both wire forms parse.
+pub fn decode_node(bytes: &[u8]) -> Result<DecodedMstNode> {
+    let value = crate::cbor::decode(bytes)?;
+    let raw_entries = value
+        .get("e")
+        .and_then(Value::as_array)
+        .ok_or_else(|| AtError::RepoError("MST node missing entry array".into()))?;
+    let left = value.get("l").and_then(Value::as_link).copied();
+    let layer = value.get("layer").and_then(Value::as_int).unwrap_or(0) as u32;
+    let mut entries = Vec::with_capacity(raw_entries.len());
+    let mut prev = String::new();
+    for entry in raw_entries {
+        let prefix = entry.get("p").and_then(Value::as_int).unwrap_or(0) as usize;
+        let suffix = entry
+            .get("k")
+            .and_then(Value::as_text)
+            .ok_or_else(|| AtError::RepoError("MST entry missing key".into()))?;
+        if prefix > prev.len() {
+            return Err(AtError::RepoError(format!(
+                "MST entry prefix {prefix} exceeds previous key length {}",
+                prev.len()
+            )));
+        }
+        let key = format!("{}{}", &prev[..prefix], suffix);
+        let value_cid = *entry
+            .get("v")
+            .and_then(Value::as_link)
+            .ok_or_else(|| AtError::RepoError("MST entry missing value".into()))?;
+        let tree = entry.get("t").and_then(Value::as_link).copied();
+        prev.clone_from(&key);
+        entries.push(MstNodeEntry {
+            key,
+            value: value_cid,
+            tree,
+        });
+    }
+    Ok(DecodedMstNode {
+        left,
+        layer,
+        entries,
+    })
 }
 
 impl FromIterator<(String, Cid)> for Mst {
@@ -507,6 +628,77 @@ mod tests {
         changed.insert(&key_for(7), cid_for(700)).unwrap();
         assert_ne!(changed.root_cid(), old.root_cid());
         assert!(!changed.node_delta(&old).is_empty());
+    }
+
+    #[test]
+    fn node_decode_reconstructs_prefix_compressed_keys() {
+        let mut mst = Mst::new();
+        for i in 0..300 {
+            mst.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        mst.insert("app.bsky.feed.like/aaa111", cid_for(9_001))
+            .unwrap();
+        mst.insert("app.bsky.graph.follow/zz9", cid_for(9_002))
+            .unwrap();
+        // Decode every node and collect all (key, value) pairs: the tree's
+        // full mapping must come back exactly, despite the compression.
+        let mut decoded: BTreeMap<String, Cid> = BTreeMap::new();
+        for node in mst.blocks() {
+            let parsed = decode_node(&node.bytes).unwrap();
+            for entry in parsed.entries {
+                assert!(validate_key(&entry.key).is_ok(), "bad key {}", entry.key);
+                decoded.insert(entry.key, entry.value);
+            }
+        }
+        let expected: BTreeMap<String, Cid> =
+            mst.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn prefix_compression_shrinks_node_blocks() {
+        let mut mst = Mst::new();
+        for i in 0..500 {
+            mst.insert(&key_for(i), cid_for(i)).unwrap();
+        }
+        let compressed = mst.structural_size();
+        let uncompressed = mst.structural_size_uncompressed();
+        assert!(
+            compressed < uncompressed,
+            "prefix compression must shrink nodes: {compressed} vs {uncompressed}"
+        );
+        // Sibling keys share `app.bsky.feed.post/rkey…`, so the win is
+        // substantial, not marginal.
+        assert!(
+            (compressed as f64) < 0.9 * uncompressed as f64,
+            "expected a >10% structural win, got {compressed} vs {uncompressed}"
+        );
+        // Both encodings represent the same mapping.
+        assert_eq!(mst.blocks().len(), mst.build_with(false).1.len());
+    }
+
+    #[test]
+    fn decode_node_rejects_malformed_blocks() {
+        assert!(decode_node(b"junk").is_err());
+        // A map without the entry array.
+        let no_entries = crate::cbor::encode(&Value::map([("l", Value::Null)]));
+        assert!(decode_node(&no_entries).is_err());
+        // A prefix longer than the previous key is corrupt.
+        let bad_prefix = crate::cbor::encode(&Value::map([
+            ("l", Value::Null),
+            (
+                "e",
+                Value::Array(vec![Value::map([
+                    ("p", Value::Int(5)),
+                    ("k", Value::text("x/y")),
+                    ("v", Value::Link(cid_for(1))),
+                ])]),
+            ),
+            ("layer", Value::Int(0)),
+        ]));
+        assert!(decode_node(&bad_prefix).is_err());
+        assert_eq!(common_prefix_len("abc/def", "abc/xyz"), 4);
+        assert_eq!(common_prefix_len("", "abc"), 0);
     }
 
     #[test]

@@ -14,7 +14,29 @@
 //! `com.atproto.sync.getRepo(did, since=rev)` delta path — only the blocks
 //! created after a known revision — and [`Repository::apply_delta`] lets a
 //! mirror reassemble the full archive from a cached CAR plus such a delta.
+//!
+//! ## Storage and the delta-serving window
+//!
+//! All record and MST node blocks live behind the pluggable
+//! [`crate::blockstore::BlockStore`] trait ([`Repository::with_store`]): the
+//! in-memory default, or a paged store that spills cold pages to disk and
+//! verifies every read-back by CID. The repository itself keeps only the CID
+//! indexes (`record_cids`, the live/stored node sets and the per-commit
+//! log) resident, so its memory footprint is governed by the store backend.
+//!
+//! [`Repository::compact_before`] bounds the grow-only history: commits (and
+//! their log entries) older than a cutoff revision leave the delta-serving
+//! window, record blocks unreachable from the head that aged out are
+//! deleted, and MST node blocks superseded by the live tree are always
+//! reclaimable (deltas only ever ship *current* nodes — the per-commit churn
+//! log reconstructs historical node *sets* without their bytes). The
+//! invariant: [`Repository::export_car_since`] still serves every retained
+//! revision exactly; a request since a compacted revision fails with
+//! [`AtError::RevisionCompacted`] so the caller can fall back to a full CAR
+//! fetch *visibly* (the study pipeline surfaces these fallbacks in its
+//! stream summary rather than hiding them).
 
+use crate::blockstore::{BlockStore, MemStore, StoreStats};
 use crate::cbor::{self, Value};
 use crate::cid::Cid;
 use crate::crypto::{Signature, SigningKey};
@@ -212,30 +234,67 @@ struct CommitBlocks {
     removed_node_cids: Vec<Cid>,
 }
 
+/// What one [`Repository::compact_before`] pass reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Commits (and their log entries) dropped from the delta window.
+    pub commits_dropped: usize,
+    /// Aged-out record blocks unreachable from the head that were deleted.
+    pub records_dropped: usize,
+    /// Superseded MST node blocks deleted.
+    pub nodes_dropped: usize,
+    /// Logical bytes reclaimed from the block store.
+    pub bytes_reclaimed: usize,
+}
+
+impl CompactionStats {
+    /// Fold another pass's stats into this one.
+    pub fn absorb(&mut self, other: &CompactionStats) {
+        self.commits_dropped += other.commits_dropped;
+        self.records_dropped += other.records_dropped;
+        self.nodes_dropped += other.nodes_dropped;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+    }
+}
+
 /// A user repository: block store + MST index + commit chain.
 #[derive(Debug, Clone)]
 pub struct Repository {
     did: Did,
     signing_key: SigningKey,
     mst: Mst,
-    blocks: BTreeMap<Cid, Vec<u8>>,
+    /// All record and MST node blocks, behind the pluggable store.
+    store: Box<dyn BlockStore>,
+    /// CIDs (and total bytes) of the record blocks currently in the store —
+    /// the iteration index for exports and GC, kept resident because it is
+    /// small compared to the blocks themselves.
+    record_cids: std::collections::BTreeSet<Cid>,
+    record_bytes: usize,
+    /// Retained commits (oldest first). Compaction drops the front.
     commits: Vec<Commit>,
     /// Aligned 1:1 with `commits`: the blocks each commit introduced.
     log: Vec<CommitBlocks>,
-    /// Every MST node block ever materialised by a commit (content-
-    /// addressed, so stale nodes coexist with live ones). Backs delta
-    /// exports; the live tree's nodes are always a subset.
-    node_store: BTreeMap<Cid, Vec<u8>>,
+    /// Revision of the newest commit a compaction pass dropped; deltas since
+    /// revisions at or below it must fall back to a full fetch.
+    compacted_through: Option<Tid>,
+    /// Every MST node CID currently in the store (live nodes plus nodes
+    /// superseded since the last compaction).
+    stored_node_cids: std::collections::BTreeSet<Cid>,
     /// Node CIDs of the live tree as of the latest commit.
     current_node_cids: std::collections::BTreeSet<Cid>,
     clock: TidClock,
 }
 
 impl Repository {
-    /// Create an empty repository for a DID. The signing key is derived from
-    /// the DID plus provided key seed (the identity layer stores the same key
-    /// in the DID document).
+    /// Create an empty repository for a DID over the default in-memory
+    /// store. The signing key is derived from the DID plus provided key seed
+    /// (the identity layer stores the same key in the DID document).
     pub fn new(did: Did, key_seed: &[u8]) -> Repository {
+        Repository::with_store(did, key_seed, Box::new(MemStore::new()))
+    }
+
+    /// Create an empty repository over an explicit block store backend.
+    pub fn with_store(did: Did, key_seed: &[u8], store: Box<dyn BlockStore>) -> Repository {
         let mut seed = did.to_string().into_bytes();
         seed.extend_from_slice(key_seed);
         Repository {
@@ -243,10 +302,13 @@ impl Repository {
             clock: TidClock::new((seed.len() as u16) & 0x3ff),
             did,
             mst: Mst::new(),
-            blocks: BTreeMap::new(),
+            store,
+            record_cids: std::collections::BTreeSet::new(),
+            record_bytes: 0,
             commits: Vec::new(),
             log: Vec::new(),
-            node_store: BTreeMap::new(),
+            compacted_through: None,
+            stored_node_cids: std::collections::BTreeSet::new(),
             current_node_cids: std::collections::BTreeSet::new(),
         }
     }
@@ -271,9 +333,17 @@ impl Repository {
         self.head().map(|c| c.rev)
     }
 
-    /// Full commit history, oldest first.
+    /// Retained commit history, oldest first (compaction may have dropped a
+    /// prefix — see [`Repository::compacted_through`]).
     pub fn commits(&self) -> &[Commit] {
         &self.commits
+    }
+
+    /// Revision of the newest commit dropped by compaction, if any pass has
+    /// run. Deltas since revisions at or below it error with
+    /// [`AtError::RevisionCompacted`].
+    pub fn compacted_through(&self) -> Option<Tid> {
+        self.compacted_through
     }
 
     /// Number of live records.
@@ -281,22 +351,29 @@ impl Repository {
         self.mst.len()
     }
 
-    /// Total size of all stored blocks in bytes (live and historical).
+    /// Total size of all stored record blocks in bytes (live and
+    /// historical).
     pub fn store_size(&self) -> usize {
-        self.blocks.values().map(Vec::len).sum()
+        self.record_bytes
+    }
+
+    /// Residency/spill statistics of the backing block store (records and
+    /// MST nodes combined).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// Fetch a record by collection and rkey.
     pub fn get_record(&self, collection: &Nsid, rkey: &str) -> Option<Record> {
         let key = format!("{collection}/{rkey}");
         let cid = self.mst.get(&key)?;
-        let bytes = self.blocks.get(cid)?;
-        Record::from_cbor(bytes).ok()
+        let bytes = self.store.get(cid)?;
+        Record::from_cbor(&bytes).ok()
     }
 
-    /// Fetch a raw block by CID.
-    pub fn get_block(&self, cid: &Cid) -> Option<&[u8]> {
-        self.blocks.get(cid).map(Vec::as_slice)
+    /// Fetch a raw block by CID (owned: a disk-backed store may page it in).
+    pub fn get_block(&self, cid: &Cid) -> Option<Vec<u8>> {
+        self.store.get(cid)
     }
 
     /// List `(rkey, record)` pairs of a collection, in rkey order.
@@ -305,7 +382,7 @@ impl Repository {
             .iter_collection(collection.as_str())
             .filter_map(|(key, cid)| {
                 let rkey = key.rsplit('/').next()?.to_string();
-                let record = Record::from_cbor(self.blocks.get(cid)?).ok()?;
+                let record = Record::from_cbor(&self.store.get(cid)?).ok()?;
                 Some((rkey, record))
             })
             .collect()
@@ -317,7 +394,7 @@ impl Repository {
             .iter()
             .filter_map(|(key, cid)| {
                 let (collection, rkey) = key.split_once('/')?;
-                let record = Record::from_cbor(self.blocks.get(cid)?).ok()?;
+                let record = Record::from_cbor(&self.store.get(cid)?).ok()?;
                 Some((Nsid::parse(collection).ok()?, rkey.to_string(), record))
             })
             .collect()
@@ -344,9 +421,11 @@ impl Repository {
                 let bytes = record.to_cbor();
                 let cid = Cid::for_cbor(&bytes);
                 *bytes_written += bytes.len();
-                if let std::collections::btree_map::Entry::Vacant(slot) = self.blocks.entry(cid) {
+                let len = bytes.len();
+                if self.store.put(cid, bytes) {
                     fresh_blocks.push(cid);
-                    slot.insert(bytes);
+                    self.record_cids.insert(cid);
+                    self.record_bytes += len;
                 }
                 self.mst.insert(&key, cid)?;
             }
@@ -362,9 +441,11 @@ impl Repository {
                 let bytes = record.to_cbor();
                 let cid = Cid::for_cbor(&bytes);
                 *bytes_written += bytes.len();
-                if let std::collections::btree_map::Entry::Vacant(slot) = self.blocks.entry(cid) {
+                let len = bytes.len();
+                if self.store.put(cid, bytes) {
                     fresh_blocks.push(cid);
-                    slot.insert(bytes);
+                    self.record_cids.insert(cid);
+                    self.record_bytes += len;
                 }
                 self.mst.insert(&key, cid)?;
             }
@@ -390,10 +471,12 @@ impl Repository {
             if let Err(err) = self.apply_one_write(write, &mut fresh_blocks, &mut bytes_written) {
                 // Atomic batches: restore the index and drop the blocks this
                 // batch introduced, so the store holds exactly the blocks
-                // the commit log accounts for.
+                // the commit log accounts for (no orphans — pinned by the
+                // CountingStore test below).
                 self.mst = old_mst;
                 for cid in &fresh_blocks {
-                    self.blocks.remove(cid);
+                    self.record_bytes -= self.store.delete(cid);
+                    self.record_cids.remove(cid);
                 }
                 return Err(err);
             }
@@ -431,7 +514,8 @@ impl Repository {
             live_nodes.insert(node.cid);
             if !self.current_node_cids.contains(&node.cid) {
                 node_cids.push(node.cid);
-                self.node_store.entry(node.cid).or_insert(node.bytes);
+                self.store.put(node.cid, node.bytes);
+                self.stored_node_cids.insert(node.cid);
             }
         }
         let removed_node_cids: Vec<Cid> = self
@@ -484,8 +568,10 @@ impl Repository {
         Ok((rkey, result))
     }
 
-    /// Export the full repository as a CAR-like archive: header + every block
-    /// (commits, MST nodes, records). Used by `com.atproto.sync.getRepo`.
+    /// Export the full repository as a CAR-like archive: header + every
+    /// retained block (commits, MST nodes, records). Used by
+    /// `com.atproto.sync.getRepo`. Commits and record versions dropped by a
+    /// compaction pass are gone from full exports too.
     pub fn export_car(&self) -> Vec<u8> {
         let mut blocks: Vec<(Cid, Vec<u8>)> = Vec::new();
         for commit in &self.commits {
@@ -494,8 +580,10 @@ impl Repository {
         for node in self.mst.blocks() {
             blocks.push((node.cid, node.bytes));
         }
-        for (cid, bytes) in &self.blocks {
-            blocks.push((*cid, bytes.clone()));
+        for cid in &self.record_cids {
+            if let Some(bytes) = self.store.get(cid) {
+                blocks.push((*cid, bytes));
+            }
         }
         let roots: Vec<Cid> = self.head().map(|c| c.cid()).into_iter().collect();
         encode_car(&roots, blocks.iter().map(|(c, b)| (*c, b.as_slice())), None)
@@ -515,9 +603,11 @@ impl Repository {
     /// export: commit chain, live tree and record store all intact.
     ///
     /// Errors when `since` is not a revision of this repository (a rewound
-    /// or replaced repo, or a revision predating a takedown): the caller
-    /// must fall back to a full [`Repository::export_car`] fetch. A `since`
-    /// equal to the head revision yields an empty delta (header only).
+    /// or replaced repo, or a revision predating a takedown) — or, as
+    /// [`AtError::RevisionCompacted`], when a compaction pass dropped it
+    /// from the delta-serving window: either way the caller must fall back
+    /// to a full [`Repository::export_car`] fetch. A `since` equal to the
+    /// head revision yields an empty delta (header only).
     pub fn export_car_since(&self, since: &Tid, scope: DeltaScope) -> Result<Vec<u8>> {
         let head = self
             .head()
@@ -525,11 +615,17 @@ impl Repository {
         let index = self
             .commits
             .binary_search_by(|c| c.rev.cmp(since))
-            .map_err(|_| {
-                AtError::RepoError(format!(
+            .map_err(|_| match self.compacted_through {
+                // Any revision at or below the compaction floor is gone from
+                // the window; a revision above it was simply never ours.
+                Some(floor) if *since <= floor => AtError::RevisionCompacted(format!(
+                    "revision {since} of {} left the delta window (compacted through {floor})",
+                    self.did
+                )),
+                _ => AtError::RepoError(format!(
                     "unknown revision {since} for {}: full fetch required",
                     self.did
-                ))
+                )),
             })?;
         let mut blocks: BTreeMap<Cid, Vec<u8>> = BTreeMap::new();
         if index + 1 < self.commits.len() {
@@ -553,8 +649,8 @@ impl Repository {
                 }
             }
             for cid in self.current_node_cids.difference(&nodes_at_since) {
-                if let Some(bytes) = self.node_store.get(cid) {
-                    blocks.insert(*cid, bytes.clone());
+                if let Some(bytes) = self.store.get(cid) {
+                    blocks.insert(*cid, bytes);
                 }
             }
         }
@@ -562,8 +658,8 @@ impl Repository {
             for cid in &entry.record_cids {
                 // Blocks purged by a garbage collection are skipped — the
                 // full export no longer carries them either.
-                if let Some(bytes) = self.blocks.get(cid) {
-                    blocks.insert(*cid, bytes.clone());
+                if let Some(bytes) = self.store.get(cid) {
+                    blocks.insert(*cid, bytes);
                 }
             }
         }
@@ -662,9 +758,89 @@ impl Repository {
     /// of bytes reclaimed.
     pub fn garbage_collect(&mut self) -> usize {
         let live: std::collections::BTreeSet<Cid> = self.mst.iter().map(|(_, c)| *c).collect();
-        let before = self.store_size();
-        self.blocks.retain(|cid, _| live.contains(cid));
-        before - self.store_size()
+        let before = self.record_bytes;
+        let victims: Vec<Cid> = self
+            .record_cids
+            .iter()
+            .filter(|cid| !live.contains(cid))
+            .copied()
+            .collect();
+        for cid in victims {
+            self.record_bytes -= self.store.delete(&cid);
+            self.record_cids.remove(&cid);
+        }
+        before - self.record_bytes
+    }
+
+    /// The compaction pass: garbage-collect everything that aged out of the
+    /// delta-serving window ending at `cutoff`.
+    ///
+    /// * **MST nodes** — every node block superseded by the live tree is
+    ///   deleted unconditionally: deltas only ever ship *current* nodes (the
+    ///   per-commit churn log reconstructs historical node sets without
+    ///   needing their bytes), so stale nodes serve no retained revision.
+    /// * **Commits + log entries** — commits with `rev < cutoff` leave the
+    ///   window (the head commit is always retained). Subsequent
+    ///   [`Repository::export_car_since`] calls for a dropped revision fail
+    ///   with [`AtError::RevisionCompacted`] instead of silently serving a
+    ///   wrong delta.
+    /// * **Records** — record blocks introduced by dropped commits that are
+    ///   neither live in the MST nor re-introduced by a retained commit are
+    ///   deleted (old versions past the window).
+    ///
+    /// Idempotent: a second pass with the same cutoff reclaims nothing.
+    pub fn compact_before(&mut self, cutoff: &Tid) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        // Stale node GC (cutoff-independent, see above).
+        let stale: Vec<Cid> = self
+            .stored_node_cids
+            .difference(&self.current_node_cids)
+            .copied()
+            .collect();
+        for cid in stale {
+            stats.bytes_reclaimed += self.store.delete(&cid);
+            stats.nodes_dropped += 1;
+            self.stored_node_cids.remove(&cid);
+        }
+        // Commit-window compaction.
+        if self.commits.len() > 1 {
+            let floor = self
+                .commits
+                .partition_point(|c| c.rev < *cutoff)
+                .min(self.commits.len() - 1);
+            if floor > 0 {
+                let live: std::collections::BTreeSet<Cid> =
+                    self.mst.iter().map(|(_, c)| *c).collect();
+                let retained: std::collections::BTreeSet<Cid> = self.log[floor..]
+                    .iter()
+                    .flat_map(|e| e.record_cids.iter().copied())
+                    .collect();
+                let dropped: Vec<Cid> = self.log[..floor]
+                    .iter()
+                    .flat_map(|e| e.record_cids.iter().copied())
+                    .collect();
+                for cid in dropped {
+                    if !live.contains(&cid)
+                        && !retained.contains(&cid)
+                        && self.record_cids.remove(&cid)
+                    {
+                        let removed = self.store.delete(&cid);
+                        self.record_bytes -= removed;
+                        stats.bytes_reclaimed += removed;
+                        stats.records_dropped += 1;
+                    }
+                }
+                let last_dropped = self.commits[floor - 1].rev;
+                self.compacted_through = Some(match self.compacted_through {
+                    Some(prev) => prev.max(last_dropped),
+                    None => last_dropped,
+                });
+                self.commits.drain(..floor);
+                self.log.drain(..floor);
+                stats.commits_dropped = floor;
+            }
+        }
+        stats
     }
 }
 
@@ -1187,6 +1363,184 @@ mod tests {
         assert_eq!(repo.commits().len(), 1);
         let vanished = Cid::for_cbor(&post("should vanish").to_cbor());
         assert!(repo.get_block(&vanished).is_none());
+    }
+
+    #[test]
+    fn failed_batches_leave_a_counted_store_byte_identical() {
+        // Satellite regression: the rollback path must delete exactly the
+        // blocks the failed batch put — no orphans — which the CountingStore
+        // wrapper proves without peeking inside the repository.
+        use crate::blockstore::{CountingStore, MemStore};
+        let did = Did::plc_from_seed(b"counted");
+        let (store, totals) = CountingStore::new(Box::new(MemStore::new()));
+        let mut repo = Repository::with_store(did, b"network-secret", Box::new(store));
+        let (rkey, _) = repo
+            .create_record(post_nsid(), post("keep"), now())
+            .unwrap();
+        let car_before = repo.export_car();
+        let size_before = repo.store_size();
+        let puts_before = totals.puts();
+        let deletes_before = totals.deletes();
+        let bytes_put_before = totals.bytes_put();
+        let bytes_deleted_before = totals.bytes_deleted();
+        let err = repo.apply_writes(
+            &[
+                Write::Create {
+                    collection: post_nsid(),
+                    rkey: "fresh456".into(),
+                    record: post("orphan candidate"),
+                },
+                Write::Create {
+                    collection: post_nsid(),
+                    rkey,
+                    record: post("conflicts"),
+                },
+            ],
+            now(),
+        );
+        assert!(err.is_err());
+        // The batch really wrote before failing, and every write was undone.
+        let puts = totals.puts() - puts_before;
+        let deletes = totals.deletes() - deletes_before;
+        assert!(puts >= 1, "the first write must have hit the store");
+        assert_eq!(puts, deletes, "orphaned blocks left behind");
+        assert_eq!(
+            totals.bytes_put() - bytes_put_before,
+            totals.bytes_deleted() - bytes_deleted_before,
+            "rolled-back bytes must match the bytes written"
+        );
+        // And the store is byte-identical: the full export round-trips.
+        assert_eq!(repo.export_car(), car_before);
+        assert_eq!(repo.store_size(), size_before);
+    }
+
+    #[test]
+    fn paged_store_repository_exports_identically_to_mem() {
+        use crate::blockstore::StoreConfig;
+        let did = Did::plc_from_seed(b"paged-repo");
+        let mut mem = Repository::new(did.clone(), b"network-secret");
+        let paged_config = StoreConfig::paged().page_size(256).resident_pages(1);
+        let mut paged = Repository::with_store(did, b"network-secret", paged_config.build());
+        for i in 0..40 {
+            let t = now().plus_seconds(i);
+            mem.create_record(post_nsid(), post(&format!("post {i}")), t)
+                .unwrap();
+            paged
+                .create_record(post_nsid(), post(&format!("post {i}")), t)
+                .unwrap();
+        }
+        let stats = paged.store_stats();
+        assert!(stats.spilled_bytes > 0, "paged repo must spill: {stats:?}");
+        assert!(stats.resident_bytes < mem.store_stats().resident_bytes);
+        // Byte-identical exports, full and delta.
+        assert_eq!(paged.export_car(), mem.export_car());
+        let since = mem.commits()[10].rev;
+        assert_eq!(
+            paged.export_car_since(&since, DeltaScope::Full).unwrap(),
+            mem.export_car_since(&since, DeltaScope::Full).unwrap()
+        );
+        assert_eq!(paged.all_records(), mem.all_records());
+    }
+
+    #[test]
+    fn compaction_reclaims_nodes_and_aged_records() {
+        let mut repo = new_repo("quinn");
+        let mut rkeys = Vec::new();
+        for i in 0..20 {
+            let (rkey, _) = repo
+                .create_record(post_nsid(), post(&format!("v{i}")), now().plus_seconds(i))
+                .unwrap();
+            rkeys.push(rkey);
+        }
+        // Replace a record twice: two unreachable historical versions.
+        for (offset, text) in [(100, "edit a"), (101, "edit b")] {
+            repo.apply_writes(
+                &[Write::Update {
+                    collection: post_nsid(),
+                    rkey: rkeys[0].clone(),
+                    record: post(text),
+                }],
+                now().plus_seconds(offset),
+            )
+            .unwrap();
+        }
+        let store_bytes_before = repo.store_stats().logical_bytes;
+        let commits_before = repo.commits().len();
+        let mid_rev = repo.commits()[commits_before - 2].rev;
+        let head_rev = repo.rev().unwrap();
+        let delta_before = repo.export_car_since(&mid_rev, DeltaScope::Full).unwrap();
+        let expected_floor = repo.commits()[commits_before - 3].rev;
+
+        // Compact everything older than the last two commits.
+        let cutoff = mid_rev;
+        let stats = repo.compact_before(&cutoff);
+        assert!(stats.commits_dropped > 0);
+        assert!(stats.nodes_dropped > 0, "stale nodes must be reclaimed");
+        assert!(
+            stats.records_dropped >= 1,
+            "the superseded original version must be reclaimed: {stats:?}"
+        );
+        assert!(repo.store_stats().logical_bytes < store_bytes_before);
+        assert_eq!(repo.commits().len(), commits_before - stats.commits_dropped);
+        assert_eq!(repo.compacted_through(), Some(expected_floor));
+
+        // Retained revisions still serve byte-identical deltas.
+        assert_eq!(
+            repo.export_car_since(&mid_rev, DeltaScope::Full).unwrap(),
+            delta_before
+        );
+        let empty = repo.export_car_since(&head_rev, DeltaScope::Full).unwrap();
+        let (_, blocks) = Repository::parse_car(&empty).unwrap();
+        assert!(blocks.is_empty());
+
+        // Compacted revisions fail loudly with the dedicated error, so the
+        // caller falls back to a full fetch *visibly*.
+        let old_rev = rkeys[1].parse::<Tid>().unwrap();
+        let err = repo
+            .export_car_since(&old_rev, DeltaScope::Full)
+            .unwrap_err();
+        assert!(
+            matches!(err, AtError::RevisionCompacted(_)),
+            "expected RevisionCompacted, got {err}"
+        );
+        // A foreign revision *newer* than the floor is still a plain
+        // unknown-revision error.
+        let foreign = Tid::from_micros(u64::MAX >> 12, 1);
+        assert!(matches!(
+            repo.export_car_since(&foreign, DeltaScope::Full)
+                .unwrap_err(),
+            AtError::RepoError(_)
+        ));
+        // The full export still parses and carries the live tree.
+        let (roots, full_blocks) = Repository::parse_car(&repo.export_car()).unwrap();
+        let (_, data) = commit_summary(full_blocks.get(&roots[0]).unwrap()).unwrap();
+        assert!(full_blocks.contains_key(&data));
+        // Idempotent: a second pass reclaims nothing.
+        assert_eq!(repo.compact_before(&cutoff), CompactionStats::default());
+    }
+
+    #[test]
+    fn compaction_keeps_live_old_records() {
+        // A record created long ago but still live must survive compaction
+        // and still reach consumers through full exports.
+        let mut repo = new_repo("rosa");
+        repo.create_record(post_nsid(), post("ancient but live"), now())
+            .unwrap();
+        for i in 0..10 {
+            repo.create_record(
+                post_nsid(),
+                post(&format!("later {i}")),
+                now().plus_days(30 + i),
+            )
+            .unwrap();
+        }
+        let cutoff = repo.commits()[8].rev;
+        let stats = repo.compact_before(&cutoff);
+        assert!(stats.commits_dropped > 0);
+        assert_eq!(stats.records_dropped, 0, "live records must be retained");
+        let records = decoded_records(&repo.export_car());
+        assert!(records.contains(&post("ancient but live")));
+        assert_eq!(records.len(), 11);
     }
 
     #[test]

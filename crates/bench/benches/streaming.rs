@@ -18,6 +18,14 @@
 //!   rev-aware incremental syncs (`getRepo(since)` deltas) must fetch
 //!   strictly fewer bytes than the window-end full refetch (asserted; both
 //!   emit byte-identical snapshots).
+//! * **paged block store** — the same collection with `--store paged`
+//!   (repos, relay mirror and producer mirror over the disk-spill store)
+//!   must end the run with strictly fewer resident block bytes than the
+//!   in-memory store, with the difference spilled (asserted; the reports
+//!   are byte-identical, pinned by the golden equivalence test).
+//! * **MST prefix compression** — node blocks encode prefix-compressed
+//!   entry keys; at a realistic tree size the structural bytes must beat
+//!   the legacy full-key encoding (asserted).
 //!
 //! `--json` additionally writes `BENCH_streaming.json` next to the working
 //! directory so the perf trajectory can be tracked across PRs. `--smoke`
@@ -181,6 +189,66 @@ fn main() {
         full_snap.snapshot_bytes_fetched,
     );
 
+    // Storage: the same run over the in-memory vs the paged disk-spill
+    // block store. The paged backend must end the window with strictly
+    // fewer resident block bytes — the rest spilled to disk — while the
+    // golden test pins the reports byte-identical.
+    use bsky_atproto::blockstore::StoreConfig;
+    let run_with_store = |store: StoreConfig| {
+        let mut world = World::new_store(config, store.clone());
+        Collector::new()
+            .store(store)
+            .stream(&mut world, &mut NullSink)
+    };
+    let mem_store = run_with_store(StoreConfig::mem());
+    let paged_store = run_with_store(StoreConfig::paged().page_size(8 * 1024).resident_pages(2));
+    println!(
+        "block store: {} bytes resident (mem) vs {} resident + {} spilled (paged); {} reclaimed by compaction",
+        mem_store.resident_block_bytes,
+        paged_store.resident_block_bytes,
+        paged_store.spilled_block_bytes,
+        paged_store.store_bytes_reclaimed,
+    );
+    assert!(
+        paged_store.spilled_block_bytes > 0,
+        "the paged store must actually spill at bench scale"
+    );
+    assert!(
+        paged_store.resident_block_bytes < mem_store.resident_block_bytes,
+        "paged resident bytes ({}) must be strictly below mem ({})",
+        paged_store.resident_block_bytes,
+        mem_store.resident_block_bytes,
+    );
+    assert!(
+        mem_store.store_bytes_reclaimed > 0,
+        "the weekly compaction pass must reclaim history"
+    );
+
+    // Wire: MST node entries are prefix-compressed; measure the structural
+    // bytes against the legacy full-key encoding at a realistic tree size.
+    let (mst_compressed, mst_uncompressed) = {
+        use bsky_atproto::cid::Cid;
+        use bsky_atproto::mst::Mst;
+        let mut mst = Mst::new();
+        for user in 0..40 {
+            for day in 0..50 {
+                let key = format!("app.bsky.feed.post/u{user:03}d{day:05}");
+                mst.insert(&key, Cid::for_cbor(key.as_bytes())).unwrap();
+            }
+        }
+        (mst.structural_size(), mst.structural_size_uncompressed())
+    };
+    println!(
+        "mst structural bytes: {} prefix-compressed vs {} legacy ({:.1} %)",
+        mst_compressed,
+        mst_uncompressed,
+        mst_compressed as f64 / mst_uncompressed.max(1) as f64 * 100.0,
+    );
+    assert!(
+        mst_compressed < mst_uncompressed,
+        "prefix compression must shrink node blocks ({mst_compressed} vs {mst_uncompressed})"
+    );
+
     // Memory: the moderation post index is aged past the reaction window.
     let mut world = World::new(config);
     let mut probe = IndexProbe {
@@ -230,6 +298,18 @@ fn main() {
             )
             .with("snapshot_full_fetches", inc_snap.repo_full_fetches)
             .with("snapshot_delta_fetches", inc_snap.repo_delta_fetches)
+            .with("resident_block_bytes_mem", mem_store.resident_block_bytes)
+            .with(
+                "resident_block_bytes_paged",
+                paged_store.resident_block_bytes,
+            )
+            .with("spilled_bytes_paged", paged_store.spilled_block_bytes)
+            .with(
+                "compaction_bytes_reclaimed",
+                mem_store.store_bytes_reclaimed,
+            )
+            .with("mst_structural_bytes", mst_compressed as u64)
+            .with("mst_structural_bytes_uncompressed", mst_uncompressed as u64)
             .with("serial_ns_per_day", serial.as_nanos() as u64 / days)
             .with("sharded4_ns_per_day", sharded.as_nanos() as u64 / days)
             .with("sharded_speedup", speedup);

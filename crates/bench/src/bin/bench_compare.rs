@@ -14,7 +14,8 @@
 //! than 4 CPUs — the same hardware gate the streaming bench applies to its
 //! own speedup assertion — because single-digit-core container timings are
 //! not comparable. Structural fields (the incremental-vs-full snapshot
-//! traffic win) are always checked.
+//! traffic win, the paged-vs-mem resident-block-bytes win, and the MST
+//! prefix-compression win) are always checked.
 
 use bsky_study::json::Json;
 
@@ -59,6 +60,42 @@ fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
             }
         }
         _ => skipped.push("snapshot byte fields missing from current export".to_string()),
+    }
+
+    // The paged store's resident-bytes win must hold wherever the bench ran.
+    match (
+        get_f64(current, "resident_block_bytes_paged"),
+        get_f64(current, "resident_block_bytes_mem"),
+    ) {
+        (Some(paged), Some(mem)) => {
+            log.push(format!(
+                "resident block bytes: paged {paged:.0} vs mem {mem:.0}"
+            ));
+            if paged >= mem {
+                regressions.push(format!(
+                    "paged store kept {paged:.0} resident bytes, not below the mem store's {mem:.0}"
+                ));
+            }
+        }
+        _ => skipped.push("resident block byte fields missing from current export".to_string()),
+    }
+
+    // And so must the MST prefix-compression win.
+    match (
+        get_f64(current, "mst_structural_bytes"),
+        get_f64(current, "mst_structural_bytes_uncompressed"),
+    ) {
+        (Some(compressed), Some(full)) => {
+            log.push(format!(
+                "mst structural bytes: {compressed:.0} compressed vs {full:.0} legacy"
+            ));
+            if compressed >= full {
+                regressions.push(format!(
+                    "MST prefix compression regressed: {compressed:.0} not below {full:.0}"
+                ));
+            }
+        }
+        _ => skipped.push("mst structural byte fields missing from current export".to_string()),
     }
 
     let cpus_ok = |doc: &Json| doc["parallelism"].as_u64().unwrap_or(0) >= MIN_CPUS;
@@ -227,5 +264,42 @@ mod tests {
         let current = export(1, 0.9, 1_000_000, 1_200, 1_000);
         let (outcome, _) = compare(&current, &baseline);
         assert!(matches!(outcome, Outcome::Fail { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn resident_bytes_win_is_always_enforced() {
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        // Paged resident below mem: passes (fields present in current only).
+        let good = export(1, 0.9, 1_000_000, 700, 1_000)
+            .with("resident_block_bytes_mem", 10_000u64)
+            .with("resident_block_bytes_paged", 4_000u64);
+        let (outcome, log) = compare(&good, &baseline);
+        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
+        assert!(log.iter().any(|l| l.contains("resident block bytes")));
+        // Paged resident at or above mem: fails even on 1 CPU.
+        let bad = export(1, 0.9, 1_000_000, 700, 1_000)
+            .with("resident_block_bytes_mem", 10_000u64)
+            .with("resident_block_bytes_paged", 10_000u64);
+        let (outcome, _) = compare(&bad, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(regressions[0].contains("resident"), "{regressions:?}");
+    }
+
+    #[test]
+    fn mst_compression_win_is_always_enforced() {
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        let bad = export(1, 0.9, 1_000_000, 700, 1_000)
+            .with("mst_structural_bytes", 5_000u64)
+            .with("mst_structural_bytes_uncompressed", 5_000u64);
+        let (outcome, _) = compare(&bad, &baseline);
+        assert!(matches!(outcome, Outcome::Fail { .. }), "{outcome:?}");
+        // Absent fields skip gracefully (older exports remain comparable).
+        let (outcome, _) = compare(&baseline, &baseline);
+        let Outcome::Pass { skipped } = outcome else {
+            panic!("expected pass");
+        };
+        assert!(skipped.iter().any(|s| s.contains("mst structural")));
     }
 }

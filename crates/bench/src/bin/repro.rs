@@ -5,6 +5,7 @@
 //!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
 //!         [--jobs N] [--shards N] [--json] [--stream] [--batch]
 //!         [--incremental | --full-snapshots]
+//!         [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]
 //!
 //! `--scale` is the denominator applied to the live network's size
 //! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
@@ -21,13 +22,19 @@
 //! rev-aware weekly syncs with `getRepo(since)` deltas; `--full-snapshots`
 //! restores the window-end full refetch. The reports are byte-identical —
 //! only the fetch traffic in the `--stream` summary differs.
+//! `--store paged` backs every repository, the relay's CAR mirror and the
+//! producer's repo mirror with the paged disk-spill block store (`--page-size`
+//! sets the page capacity in bytes, `--spill-dir` the spill root); the
+//! report is byte-identical to `--store mem` (the default) — only the
+//! resident/spilled byte split in the `--stream` summary differs.
 //!
 //! Unknown flags and missing/malformed values are errors (exit code 2).
 
+use bsky_atproto::blockstore::{StoreConfig, StoreKind};
 use bsky_study::{SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +49,7 @@ struct Options {
     stream: bool,
     batch: bool,
     snapshots: SnapshotMode,
+    store: StoreConfig,
 }
 
 impl Default for Options {
@@ -57,6 +65,7 @@ impl Default for Options {
             stream: false,
             batch: false,
             snapshots: SnapshotMode::Incremental,
+            store: StoreConfig::mem(),
         }
     }
 }
@@ -91,6 +100,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut shards: Option<usize> = None;
     let mut incremental_flag = false;
     let mut full_snapshots_flag = false;
+    let mut store_kind: Option<StoreKind> = None;
+    let mut page_size: Option<usize> = None;
+    let mut spill_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -116,6 +128,27 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--shards" => {
                 shards = Some(parse_value("--shards", args.get(i + 1))?);
+                i += 1;
+            }
+            "--store" => {
+                let value: String = parse_value("--store", args.get(i + 1))?;
+                store_kind = Some(match value.as_str() {
+                    "mem" => StoreKind::Mem,
+                    "paged" => StoreKind::Paged,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --store: {other:?} (expected mem or paged)"
+                        ))
+                    }
+                });
+                i += 1;
+            }
+            "--page-size" => {
+                page_size = Some(parse_value("--page-size", args.get(i + 1))?);
+                i += 1;
+            }
+            "--spill-dir" => {
+                spill_dir = Some(parse_value("--spill-dir", args.get(i + 1))?);
                 i += 1;
             }
             "--json" => opts.json = true,
@@ -173,6 +206,33 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if (opts.seeds.is_some() || opts.scales.is_some()) && (opts.jobs > 1 || opts.shards > 1) {
         return Err("--jobs/--shards cannot be combined with --seeds/--scales".into());
     }
+    // Block-store selection: page geometry only makes sense for the paged
+    // backend, and grid runs always use the in-memory default.
+    let kind = store_kind.unwrap_or(StoreKind::Mem);
+    if kind == StoreKind::Mem && (page_size.is_some() || spill_dir.is_some()) {
+        return Err("--page-size/--spill-dir require --store paged".into());
+    }
+    if kind == StoreKind::Paged && (opts.seeds.is_some() || opts.scales.is_some()) {
+        return Err("--store paged cannot be combined with --seeds/--scales".into());
+    }
+    if let Some(bytes) = page_size {
+        if bytes == 0 {
+            return Err("--page-size must be positive".into());
+        }
+    }
+    opts.store = match kind {
+        StoreKind::Mem => StoreConfig::mem(),
+        StoreKind::Paged => {
+            let mut store = StoreConfig::paged();
+            if let Some(bytes) = page_size {
+                store = store.page_size(bytes);
+            }
+            if let Some(dir) = spill_dir {
+                store = store.spill_dir(dir);
+            }
+            store
+        }
+    };
     Ok(Some(opts))
 }
 
@@ -231,10 +291,15 @@ fn main() {
         opts.jobs,
     );
     let report = if opts.batch {
-        StudyReport::run_batch_with(config, opts.snapshots)
+        StudyReport::run_batch_store(config, opts.snapshots, &opts.store)
     } else {
-        let (report, summary) =
-            StudyReport::run_sharded_with(config, opts.shards, opts.jobs, opts.snapshots);
+        let (report, summary) = StudyReport::run_sharded_store(
+            config,
+            opts.shards,
+            opts.jobs,
+            opts.snapshots,
+            &opts.store,
+        );
         if opts.stream {
             eprint!("{}", summary.render());
         }
@@ -318,6 +383,41 @@ mod tests {
             .unwrap();
         assert_eq!(opts.snapshots, SnapshotMode::FullRefetch);
         assert!(parse_args(&args(&["--batch", "--full-snapshots"])).is_ok());
+    }
+
+    #[test]
+    fn store_flags_parse() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opts.store.kind, StoreKind::Mem);
+        let opts = parse_args(&args(&["--store", "paged"])).unwrap().unwrap();
+        assert_eq!(opts.store.kind, StoreKind::Paged);
+        let opts = parse_args(&args(&[
+            "--store",
+            "paged",
+            "--page-size",
+            "4096",
+            "--spill-dir",
+            "/tmp/spill",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.store.page_size, 4096);
+        assert_eq!(opts.store.spill_dir.as_deref(), Some("/tmp/spill"));
+        // The store composes with sharding, snapshot modes and batch mode.
+        assert!(parse_args(&args(&["--store", "paged", "--jobs", "2"])).is_ok());
+        assert!(parse_args(&args(&["--store", "paged", "--batch"])).is_ok());
+        assert!(parse_args(&args(&["--store", "paged", "--full-snapshots"])).is_ok());
+    }
+
+    #[test]
+    fn bad_store_flags_are_errors() {
+        assert!(parse_args(&args(&["--store", "redis"])).is_err());
+        assert!(parse_args(&args(&["--store"])).is_err());
+        assert!(parse_args(&args(&["--page-size", "4096"])).is_err());
+        assert!(parse_args(&args(&["--spill-dir", "/tmp/x"])).is_err());
+        assert!(parse_args(&args(&["--store", "paged", "--page-size", "0"])).is_err());
+        assert!(parse_args(&args(&["--store", "paged", "--seeds", "1,2"])).is_err());
+        assert!(parse_args(&args(&["--store", "mem", "--page-size", "4096"])).is_err());
     }
 
     #[test]

@@ -60,7 +60,9 @@
 //!   actually fetched, the full/delta split, and any skipped repos.
 
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
+use bsky_atproto::blockstore::{BlockStore, StoreConfig, StoreStats};
 use bsky_atproto::cid::Cid;
+use bsky_atproto::error::AtError;
 use bsky_atproto::firehose::Event;
 use bsky_atproto::label::Label;
 use bsky_atproto::record::Record;
@@ -235,35 +237,63 @@ pub enum SnapshotMode {
     Incremental,
 }
 
-/// Decoded repository state for one DID, synced to a known revision.
+/// Mirrored repository state for one DID, synced to a known revision. The
+/// record block bytes live in the mirror's shared [`BlockStore`]; the entry
+/// keeps only their CIDs.
 #[derive(Debug, Clone, Default)]
 struct MirroredRepo {
     /// The revision the state is synced to (`None`: no commits yet).
     rev: Option<String>,
-    /// Every fetched block that decodes as a record, keyed by CID — the
-    /// same view [`Collector`] takes of a full CAR, so emitting these in
-    /// CID order reproduces the full-refetch snapshot exactly.
-    records: BTreeMap<Cid, Record>,
+    /// CIDs of every fetched block that decodes as a record — the same
+    /// view [`Collector`] takes of a full CAR, so decoding these in CID
+    /// order reproduces the full-refetch snapshot exactly.
+    record_cids: BTreeSet<Cid>,
 }
 
-/// The incremental repository mirror: decoded per-DID repo state maintained
-/// across weekly `sync.listRepos` snapshots.
+/// The incremental repository mirror: per-DID repo state maintained across
+/// weekly `sync.listRepos` snapshots, with the record blocks in a pluggable
+/// [`BlockStore`] (in-memory by default; the paged backend bounds the
+/// mirror's resident footprint by spilling cold blocks to disk).
 ///
 /// [`IncrementalRepoMirror::sync`] performs one rev-aware pass: repos whose
 /// revision is unchanged cost nothing, advanced repos are fetched as
 /// verified `getRepo(since)` deltas, and only new or rewound DIDs (or
-/// failed deltas) pay for a full CAR. The mirror deliberately speaks to
-/// [`Relay`] + [`PdsFleet`] rather than a whole world, so its fallback
-/// behaviour is unit-testable in isolation.
-#[derive(Debug, Clone, Default)]
+/// failed deltas) pay for a full CAR. A delta rejected because the PDS
+/// *compacted* the mirror's revision out of its window is counted into
+/// [`StreamSummary::repo_compaction_fallbacks`] before the full refetch —
+/// never silently. The mirror deliberately speaks to [`Relay`] +
+/// [`PdsFleet`] rather than a whole world, so its fallback behaviour is
+/// unit-testable in isolation.
+#[derive(Debug, Clone)]
 pub struct IncrementalRepoMirror {
     repos: BTreeMap<String, MirroredRepo>,
+    /// Record blocks, CID-addressed and shared across DIDs.
+    store: Box<dyn BlockStore>,
+    /// Per-block reference counts: identical records fetched from different
+    /// repositories share one block, which must survive until the last
+    /// referencing DID is dropped.
+    refs: BTreeMap<Cid, u32>,
+}
+
+impl Default for IncrementalRepoMirror {
+    fn default() -> IncrementalRepoMirror {
+        IncrementalRepoMirror::new()
+    }
 }
 
 impl IncrementalRepoMirror {
-    /// An empty mirror.
+    /// An empty mirror over the default in-memory store.
     pub fn new() -> IncrementalRepoMirror {
-        IncrementalRepoMirror::default()
+        IncrementalRepoMirror::with_store(StoreConfig::default().build())
+    }
+
+    /// An empty mirror over an explicit block store.
+    pub fn with_store(store: Box<dyn BlockStore>) -> IncrementalRepoMirror {
+        IncrementalRepoMirror {
+            repos: BTreeMap::new(),
+            store,
+            refs: BTreeMap::new(),
+        }
     }
 
     /// Number of repositories currently mirrored.
@@ -276,9 +306,42 @@ impl IncrementalRepoMirror {
         self.repos.is_empty()
     }
 
-    /// Drop all mirrored state.
+    /// Drop all mirrored state (the backing store empties with it).
     pub fn clear(&mut self) {
-        self.repos.clear();
+        let keys: Vec<String> = self.repos.keys().cloned().collect();
+        for key in keys {
+            self.drop_state(&key);
+        }
+    }
+
+    /// Residency/spill statistics of the mirror's block store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Reference-counted insert of one DID's freshly fetched record blocks.
+    fn insert_records(&mut self, key: &str, records: Vec<(Cid, Vec<u8>)>) {
+        let entry = self.repos.entry(key.to_string()).or_default();
+        for (cid, bytes) in records {
+            if entry.record_cids.insert(cid) {
+                *self.refs.entry(cid).or_insert(0) += 1;
+                self.store.put(cid, bytes);
+            }
+        }
+    }
+
+    /// Drop one DID's state, deleting blocks that became unreferenced.
+    fn drop_state(&mut self, key: &str) {
+        if let Some(entry) = self.repos.remove(key) {
+            for cid in entry.record_cids {
+                let refs = self.refs.entry(cid).or_insert(1);
+                *refs -= 1;
+                if *refs == 0 {
+                    self.refs.remove(&cid);
+                    self.store.delete(&cid);
+                }
+            }
+        }
     }
 
     /// The revision a DID's state is synced to (`Some(None)`: mirrored but
@@ -322,9 +385,16 @@ impl IncrementalRepoMirror {
         // are exactly the ones a window-end full refetch fails to download
         // and counts as skips, so the mirror forgets them — and counts them
         // the same way — here.
-        let before = self.repos.len();
-        self.repos.retain(|key, _| listed.contains(key));
-        summary.repo_snapshot_skips += (before - self.repos.len()) as u64;
+        let vanished: Vec<String> = self
+            .repos
+            .keys()
+            .filter(|key| !listed.contains(*key))
+            .cloned()
+            .collect();
+        summary.repo_snapshot_skips += vanished.len() as u64;
+        for key in vanished {
+            self.drop_state(&key);
+        }
     }
 
     /// Attempt a `getRepo(since)` delta sync; `false` means the caller must
@@ -352,8 +422,16 @@ impl IncrementalRepoMirror {
         if current <= since.to_string().as_str() {
             return false;
         }
-        let Ok(delta) = relay.get_repo_since(did, &since, DeltaScope::Records, fleet, now) else {
-            return false;
+        let delta = match relay.get_repo_since(did, &since, DeltaScope::Records, fleet, now) {
+            Ok(delta) => delta,
+            Err(AtError::RevisionCompacted(_)) => {
+                // The PDS compacted our revision out of its delta window;
+                // the caller falls back to a full fetch and the summary
+                // records that it happened — never silently.
+                summary.repo_compaction_fallbacks += 1;
+                return false;
+            }
+            Err(_) => return false,
         };
         // The bytes were fetched whether or not the delta verifies — a
         // rejected delta still travelled, and the full-fetch fallback adds
@@ -363,12 +441,12 @@ impl IncrementalRepoMirror {
             return false;
         };
         summary.repo_delta_fetches += 1;
-        let entry = self
-            .repos
-            .get_mut(&did.to_string())
-            .expect("delta sync requires prior state");
-        entry.records.extend(records);
-        entry.rev = Some(current.to_string());
+        let key = did.to_string();
+        self.insert_records(&key, records);
+        self.repos
+            .get_mut(&key)
+            .expect("delta sync requires prior state")
+            .rev = Some(current.to_string());
         true
     }
 
@@ -390,38 +468,40 @@ impl IncrementalRepoMirror {
                 summary.snapshot_bytes_fetched += car.len() as u64;
                 summary.repo_full_fetches += 1;
                 let records = match Repository::parse_car(&car) {
-                    Ok((_, blocks)) => decode_record_blocks(&blocks),
+                    Ok((_, blocks)) => record_blocks(&blocks),
                     Err(_) => {
                         summary.repo_snapshot_skips += 1;
-                        self.repos.remove(&key);
+                        self.drop_state(&key);
                         return;
                     }
                 };
-                self.repos.insert(
-                    key,
-                    MirroredRepo {
-                        rev: current,
-                        records,
-                    },
-                );
+                // Replace: a full fetch supersedes any previous state
+                // (rewound repos must not retain pre-rewind records).
+                self.drop_state(&key);
+                self.insert_records(&key, records);
+                self.repos.get_mut(&key).expect("just inserted").rev = current;
             }
             Err(_) => {
                 summary.repo_snapshot_skips += 1;
-                self.repos.remove(&key);
+                self.drop_state(&key);
             }
         }
     }
 
     /// The decoded records of a mirrored DID in CID order — the exact
     /// contents a full-refetch snapshot would decode — or `None` when the
-    /// DID is not mirrored.
+    /// DID is not mirrored. Reads go through the block store, paging in and
+    /// CID-verifying any spilled blocks.
     pub fn records(&self, did: &Did) -> Option<Vec<(Nsid, String, Record)>> {
         let entry = self.repos.get(&did.to_string())?;
         Some(
             entry
-                .records
-                .values()
-                .map(|record| (record.collection(), String::new(), record.clone()))
+                .record_cids
+                .iter()
+                .filter_map(|cid| {
+                    let record = Record::from_cbor(&self.store.get(cid)?).ok()?;
+                    Some((record.collection(), String::new(), record))
+                })
                 .collect(),
         )
     }
@@ -429,33 +509,45 @@ impl IncrementalRepoMirror {
 
 /// Decode a delta CAR after verifying it: every block must match its CID
 /// (checked by the parser), the head commit block must be present, and its
-/// revision must be the one `listRepos` reported. Returns the record blocks,
-/// or `None` when verification fails (the caller falls back to a full
-/// fetch).
-fn decode_verified_delta(delta: &[u8], expected_rev: &str) -> Option<BTreeMap<Cid, Record>> {
+/// revision must be the one `listRepos` reported. Returns the record
+/// blocks, or `None` when verification fails (the caller falls back to a
+/// full fetch).
+fn decode_verified_delta(delta: &[u8], expected_rev: &str) -> Option<Vec<(Cid, Vec<u8>)>> {
     let (roots, blocks) = Repository::parse_car(delta).ok()?;
     let root = roots.first()?;
     let (rev, _data) = commit_summary(blocks.get(root)?).ok()?;
     if rev.to_string() != expected_rev {
         return None;
     }
-    Some(decode_record_blocks(&blocks))
+    Some(record_blocks(&blocks))
 }
 
-/// Every block that decodes as a record, keyed by CID. Commit and MST node
-/// blocks carry no `$type` and fall out naturally.
-fn decode_record_blocks(blocks: &BTreeMap<Cid, Vec<u8>>) -> BTreeMap<Cid, Record> {
+/// Every block that decodes as a record, with its raw bytes, in CID order.
+/// Commit and MST node blocks carry no `$type` and fall out naturally.
+fn record_blocks(blocks: &BTreeMap<Cid, Vec<u8>>) -> Vec<(Cid, Vec<u8>)> {
     blocks
         .iter()
-        .filter_map(|(cid, bytes)| Record::from_cbor(bytes).ok().map(|r| (*cid, r)))
+        .filter(|(_, bytes)| Record::from_cbor(bytes).is_ok())
+        .map(|(cid, bytes)| (*cid, bytes.clone()))
         .collect()
 }
+
+/// Days of history the weekly compaction pass keeps in every repository's
+/// delta-serving window. Two weekly `listRepos` snapshots fit comfortably,
+/// so the incremental mirror's deltas (at most one week old) never hit the
+/// fallback in steady state.
+pub const COMPACTION_WINDOW_DAYS: i64 = 14;
 
 /// Drives a [`World`] and emits the datasets as observations.
 #[derive(Debug)]
 pub struct Collector {
     chunk_events: usize,
     mode: SnapshotMode,
+    /// Backend for the mirror's record-block store (rebuilt per stream).
+    store_config: StoreConfig,
+    /// Days of delta-window history repositories retain; `None` disables
+    /// the weekly compaction pass.
+    compaction_window: Option<i64>,
     mirror: IncrementalRepoMirror,
     firehose_cursor: u64,
     seen_identifiers: BTreeSet<String>,
@@ -486,6 +578,8 @@ impl Collector {
         Collector {
             chunk_events: chunk_events.max(1),
             mode: SnapshotMode::default(),
+            store_config: StoreConfig::default(),
+            compaction_window: Some(COMPACTION_WINDOW_DAYS),
             mirror: IncrementalRepoMirror::new(),
             firehose_cursor: 0,
             seen_identifiers: BTreeSet::new(),
@@ -499,6 +593,23 @@ impl Collector {
     /// Select how the repositories dataset is collected (builder style).
     pub fn snapshot_mode(mut self, mode: SnapshotMode) -> Collector {
         self.mode = mode;
+        self
+    }
+
+    /// Select the block-store backend for the producer's repo mirror
+    /// (builder style). The world's own stores are chosen when the world is
+    /// built — see [`World::new_store`].
+    pub fn store(mut self, store: StoreConfig) -> Collector {
+        self.store_config = store;
+        self
+    }
+
+    /// Override (or with `None` disable) the weekly repository compaction
+    /// window (builder style). Cadence and cutoff derive only from
+    /// simulated time, so shards and snapshot modes compact identically and
+    /// reports stay byte-identical.
+    pub fn compaction_window(mut self, days: Option<i64>) -> Collector {
+        self.compaction_window = days.map(|d| d.max(1));
         self
     }
 
@@ -520,7 +631,7 @@ impl Collector {
         // Each stream is a complete, independent collection: reset the
         // per-run producer state so a reused collector starts fresh.
         self.firehose_cursor = 0;
-        self.mirror.clear();
+        self.mirror = IncrementalRepoMirror::with_store(self.store_config.build());
         self.seen_identifiers.clear();
         self.identifier_order.clear();
         self.labelers_emitted = 0;
@@ -585,6 +696,29 @@ impl Collector {
                         self.mirror
                             .sync(&mut world.relay, &mut world.fleet, today, &mut summary);
                     }
+                    // Weekly compaction pass: repositories drop history
+                    // that aged out of the delta window. Runs in *both*
+                    // snapshot modes on the same simulated-time cadence, so
+                    // the emitted snapshots (and the reports) stay
+                    // byte-identical across modes, shards and backends.
+                    //
+                    // Caveat this relies on: the workload only ever
+                    // *creates* records (account deletion drops whole
+                    // repos), so compaction never removes a record version
+                    // the incremental mirror already fetched. If the
+                    // workload ever gains record updates/deletes, full
+                    // exports would shrink below the mirror's accumulated
+                    // view and the two snapshot modes would diverge — the
+                    // golden equivalence test recomputes both modes every
+                    // run and will fail loudly the moment that happens (at
+                    // which point deltas need to carry purged-CID lists).
+                    if let Some(window) = self.compaction_window {
+                        let cutoff_day = today.plus_days(-window);
+                        let cutoff =
+                            Tid::from_micros(cutoff_day.timestamp().max(0) as u64 * 1_000_000, 0);
+                        let stats = world.compact_repos(&cutoff);
+                        summary.store_bytes_reclaimed += stats.bytes_reclaimed as u64;
+                    }
                     last_listrepos = Some(today);
                     summary.listrepos_snapshots += 1;
                 }
@@ -597,6 +731,16 @@ impl Collector {
         self.snapshot_repositories(world, sink, &mut summary);
         self.emit(sink, &Observation::WindowEnd { at: collection_end }, world);
         summary.observations = self.observations;
+        // End-of-run storage accounting: fleet repos + relay CAR mirror +
+        // the producer's own repo mirror.
+        let mut store_stats = world.store_stats();
+        store_stats.absorb(&self.mirror.store_stats());
+        summary.resident_block_bytes = store_stats.resident_bytes as u64;
+        summary.spilled_block_bytes = store_stats.spilled_bytes as u64;
+        // Corrupt spill-file blocks read as absent (the store verifies
+        // every read-back by CID); any such loss would make the emitted
+        // snapshots incomplete, so the count is surfaced — never silent.
+        summary.store_corrupt_reads = store_stats.corrupt_reads;
         summary
     }
 
@@ -1362,6 +1506,66 @@ mod tests {
                 !records.iter().any(|(_, _, r)| *r == post("u0 post 0")),
                 "replaced repos must not retain pre-rewind records"
             );
+        }
+
+        #[test]
+        fn compacted_source_revisions_fall_back_to_full_fetch_counted() {
+            let (mut relay, mut fleet, dids) = setup(2);
+            let mut mirror = IncrementalRepoMirror::new();
+            let mut summary = StreamSummary::default();
+            mirror.sync(&mut relay, &mut fleet, now(), &mut summary);
+            assert_eq!(summary.repo_full_fetches, 2);
+
+            // One repo advances, then the source compacts the mirror's
+            // synced revision out of its delta-serving window.
+            let later = now().plus_days(30);
+            post_on(&mut fleet, &dids[0], "after window", later);
+            let head = fleet
+                .pds_for(&dids[0])
+                .unwrap()
+                .repo(&dids[0])
+                .unwrap()
+                .rev()
+                .unwrap();
+            let cutoff = Tid::from_micros(head.timestamp_micros(), 0);
+            let stats = fleet.compact_all(&cutoff);
+            assert!(stats.commits_dropped > 0);
+            relay.crawl(&fleet, later);
+
+            mirror.sync(&mut relay, &mut fleet, later, &mut summary);
+            // The delta attempt failed because of compaction — counted,
+            // then satisfied by a full fetch.
+            assert_eq!(summary.repo_compaction_fallbacks, 1, "{summary:?}");
+            assert_eq!(summary.repo_delta_fetches, 0);
+            assert_eq!(summary.repo_full_fetches, 3);
+            let records = mirror.records(&dids[0]).unwrap();
+            assert!(records.iter().any(|(_, _, r)| *r == post("after window")));
+        }
+
+        #[test]
+        fn paged_mirror_serves_identical_records_while_spilling() {
+            use bsky_atproto::blockstore::StoreConfig;
+            let (mut relay, mut fleet, dids) = setup(4);
+            let mut mem = IncrementalRepoMirror::new();
+            let paged_config = StoreConfig::paged().page_size(512).resident_pages(1);
+            let mut paged = IncrementalRepoMirror::with_store(paged_config.build());
+            let mut s1 = StreamSummary::default();
+            let mut s2 = StreamSummary::default();
+            mem.sync(&mut relay, &mut fleet, now(), &mut s1);
+            paged.sync(&mut relay, &mut fleet, now(), &mut s2);
+            assert!(
+                paged.store_stats().spilled_bytes > 0,
+                "mirror must spill: {:?}",
+                paged.store_stats()
+            );
+            assert!(paged.store_stats().resident_bytes < mem.store_stats().resident_bytes);
+            for did in &dids {
+                assert_eq!(paged.records(did), mem.records(did), "{did}");
+            }
+            // Dropping every DID empties the store (refcounts balance).
+            paged.clear();
+            assert_eq!(paged.store_stats().blocks, 0);
+            assert_eq!(paged.store_stats().logical_bytes, 0);
         }
 
         #[test]

@@ -341,13 +341,33 @@ pub struct StreamSummary {
     /// deleted or migrated away); surfaced in the report footer so silent
     /// dataset gaps are visible.
     pub repo_snapshot_skips: u64,
+    /// Delta syncs that fell back to a full CAR fetch because the PDS
+    /// compacted the mirror's revision out of its delta-serving window —
+    /// surfaced here, never silent.
+    pub repo_compaction_fallbacks: u64,
+    /// Block-store bytes reclaimed by the weekly repository compaction
+    /// passes (aged-out commits, superseded MST nodes, unreachable record
+    /// versions).
+    pub store_bytes_reclaimed: u64,
+    /// Block bytes resident in memory at the end of the run (fleet repos +
+    /// relay CAR mirror + the producer's repo mirror).
+    pub resident_block_bytes: u64,
+    /// Block bytes spilled to disk at the end of the run (paged stores
+    /// only; zero for the in-memory backend).
+    pub spilled_block_bytes: u64,
+    /// Blocks that failed CID verification when paged back in from disk,
+    /// across every store in the run (repos, relay mirror, producer
+    /// mirror). Corrupt blocks read as absent — any non-zero count here
+    /// means data was lost to spill-file corruption and the run's snapshots
+    /// may be incomplete; surfaced so that loss is never silent.
+    pub store_corrupt_reads: u64,
 }
 
 impl StreamSummary {
     /// Render a one-line summary for CLI output.
     pub fn render(&self) -> String {
-        format!(
-            "pipeline: {} days, {} observations, {} firehose events streamed, peak {} in flight (batch would retain all {}); repo snapshots: {} bytes fetched ({} full, {} delta), {} skipped",
+        let mut out = format!(
+            "pipeline: {} days, {} observations, {} firehose events streamed, peak {} in flight (batch would retain all {}); repo snapshots: {} bytes fetched ({} full, {} delta), {} skipped, {} compaction fallback(s); store: {} bytes resident, {} spilled, {} reclaimed by compaction",
             self.days,
             self.observations,
             self.firehose_events,
@@ -357,7 +377,18 @@ impl StreamSummary {
             self.repo_full_fetches,
             self.repo_delta_fetches,
             self.repo_snapshot_skips,
-        )
+            self.repo_compaction_fallbacks,
+            self.resident_block_bytes,
+            self.spilled_block_bytes,
+            self.store_bytes_reclaimed,
+        );
+        if self.store_corrupt_reads > 0 {
+            out.push_str(&format!(
+                ", {} corrupt read(s) — snapshots may be incomplete",
+                self.store_corrupt_reads
+            ));
+        }
+        out
     }
 
     /// Fold another producer's summary into this one (used when merging
@@ -373,6 +404,11 @@ impl StreamSummary {
         self.repo_full_fetches += other.repo_full_fetches;
         self.repo_delta_fetches += other.repo_delta_fetches;
         self.repo_snapshot_skips += other.repo_snapshot_skips;
+        self.repo_compaction_fallbacks += other.repo_compaction_fallbacks;
+        self.store_bytes_reclaimed += other.store_bytes_reclaimed;
+        self.resident_block_bytes += other.resident_block_bytes;
+        self.spilled_block_bytes += other.spilled_block_bytes;
+        self.store_corrupt_reads += other.store_corrupt_reads;
     }
 }
 

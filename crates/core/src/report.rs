@@ -23,7 +23,8 @@ use crate::analysis::{
 use crate::datasets::{Collector, Datasets, SnapshotMode};
 use crate::json::Json;
 use crate::pipeline::{Analyzer, StreamSummary, StudyCtx};
-use crate::shard::{collect_sharded_with, ShardedSummary, StudyAnalyzers};
+use crate::shard::{collect_sharded_store, ShardedSummary, StudyAnalyzers};
+use bsky_atproto::blockstore::StoreConfig;
 use bsky_workload::{ScenarioConfig, World};
 
 /// All analyses of the paper, computed for one simulated run.
@@ -88,7 +89,22 @@ impl StudyReport {
         jobs: usize,
         mode: SnapshotMode,
     ) -> (StudyReport, ShardedSummary) {
-        let (analyzers, world, summary) = collect_sharded_with(config, shards, jobs, mode);
+        StudyReport::run_sharded_store(config, shards, jobs, mode, &StoreConfig::default())
+    }
+
+    /// [`StudyReport::run_sharded_with`] with an explicit block-store
+    /// backend (repro `--store mem|paged`): every shard's repositories,
+    /// relay mirror and producer mirror use it. Backends change only where
+    /// blocks reside, never a byte of the report — the golden equivalence
+    /// test pins mem == paged, serial and sharded.
+    pub fn run_sharded_store(
+        config: ScenarioConfig,
+        shards: usize,
+        jobs: usize,
+        mode: SnapshotMode,
+        store: &StoreConfig,
+    ) -> (StudyReport, ShardedSummary) {
+        let (analyzers, world, summary) = collect_sharded_store(config, shards, jobs, mode, store);
         (
             StudyReport::from_analyzers(config, analyzers, &world),
             summary,
@@ -127,8 +143,21 @@ impl StudyReport {
     /// [`StudyReport::run_batch`] with an explicit repository
     /// [`SnapshotMode`].
     pub fn run_batch_with(config: ScenarioConfig, mode: SnapshotMode) -> StudyReport {
-        let mut world = World::new(config);
-        let datasets = Collector::new().snapshot_mode(mode).run(&mut world);
+        StudyReport::run_batch_store(config, mode, &StoreConfig::default())
+    }
+
+    /// [`StudyReport::run_batch_with`] with an explicit block-store
+    /// backend.
+    pub fn run_batch_store(
+        config: ScenarioConfig,
+        mode: SnapshotMode,
+        store: &StoreConfig,
+    ) -> StudyReport {
+        let mut world = World::new_store(config, store.clone());
+        let datasets = Collector::new()
+            .snapshot_mode(mode)
+            .store(store.clone())
+            .run(&mut world);
         StudyReport::from_collected(config, &world, &datasets)
     }
 

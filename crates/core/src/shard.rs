@@ -17,6 +17,7 @@ use crate::analysis::{
 };
 use crate::datasets::{Collector, SnapshotMode};
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
+use bsky_atproto::blockstore::StoreConfig;
 use bsky_workload::{PopulationPlan, ScenarioConfig, ShardSpec, World};
 use std::sync::{Arc, Mutex};
 
@@ -113,18 +114,21 @@ fn run_shard(
     index: usize,
     shards: usize,
     mode: SnapshotMode,
+    store: &StoreConfig,
 ) -> ShardResult {
-    let mut world = World::with_plan(
+    let mut world = World::with_plan_store(
         config,
         plan,
         ShardSpec {
             index,
             count: shards,
         },
+        store.clone(),
     );
     let mut analyzers = StudyAnalyzers::new();
     let summary = Collector::new()
         .snapshot_mode(mode)
+        .store(store.clone())
         .stream(&mut world, &mut analyzers);
     ShardResult {
         analyzers,
@@ -156,6 +160,20 @@ pub fn collect_sharded_with(
     jobs: usize,
     mode: SnapshotMode,
 ) -> (StudyAnalyzers, World, ShardedSummary) {
+    collect_sharded_store(config, shards, jobs, mode, &StoreConfig::default())
+}
+
+/// [`collect_sharded_with`] with an explicit block-store backend for every
+/// shard's world (repositories + relay mirror) and producer mirror. The
+/// backend changes only *where* blocks reside — memory vs paged disk spill
+/// — never a byte of the merged report.
+pub fn collect_sharded_store(
+    config: ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    mode: SnapshotMode,
+    store: &StoreConfig,
+) -> (StudyAnalyzers, World, ShardedSummary) {
     assert!(shards >= 1, "shard count must be at least 1");
     assert!(
         (1..=shards).contains(&jobs),
@@ -167,7 +185,14 @@ pub fn collect_sharded_with(
     if jobs == 1 {
         // Serial path: no threads, same code.
         for index in 0..shards {
-            results.push(Some(run_shard(config, plan.clone(), index, shards, mode)));
+            results.push(Some(run_shard(
+                config,
+                plan.clone(),
+                index,
+                shards,
+                mode,
+                store,
+            )));
         }
     } else {
         let slots: Arc<Mutex<Vec<Option<ShardResult>>>> =
@@ -178,12 +203,13 @@ pub fn collect_sharded_with(
                 let plan = plan.clone();
                 let slots = slots.clone();
                 let next = next.clone();
+                let store = store.clone();
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     if index >= shards {
                         break;
                     }
-                    let result = run_shard(config, plan.clone(), index, shards, mode);
+                    let result = run_shard(config, plan.clone(), index, shards, mode, &store);
                     slots.lock().expect("shard result lock")[index] = Some(result);
                 });
             }

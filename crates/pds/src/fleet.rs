@@ -7,8 +7,10 @@
 //! which account — the piece of state a Relay crawler walks.
 
 use crate::server::{Pds, PdsOperator};
+use bsky_atproto::blockstore::{StoreConfig, StoreStats};
 use bsky_atproto::error::{AtError, Result};
-use bsky_atproto::{Datetime, Did, Handle};
+use bsky_atproto::repo::CompactionStats;
+use bsky_atproto::{Datetime, Did, Handle, Tid};
 use std::collections::BTreeMap;
 
 /// A collection of PDS instances plus the DID → PDS routing table.
@@ -24,13 +26,21 @@ impl PdsFleet {
         PdsFleet::default()
     }
 
-    /// Create a fleet with `n` default Bluesky-operated PDSes.
+    /// Create a fleet with `n` default Bluesky-operated PDSes over the
+    /// default in-memory block store.
     pub fn with_default_servers(n: usize) -> PdsFleet {
+        PdsFleet::with_default_servers_store(n, &StoreConfig::default())
+    }
+
+    /// Create a fleet with `n` default Bluesky-operated PDSes whose
+    /// repositories use an explicit block-store backend.
+    pub fn with_default_servers_store(n: usize, store: &StoreConfig) -> PdsFleet {
         let mut fleet = PdsFleet::new();
         for i in 0..n.max(1) {
-            fleet.add_server(Pds::new(
+            fleet.add_server(Pds::with_store(
                 format!("pds{:03}.host.bsky.network", i + 1),
                 PdsOperator::BlueskyPbc,
+                store.clone(),
             ));
         }
         fleet
@@ -145,6 +155,25 @@ impl PdsFleet {
     /// Total number of hosted accounts across all servers.
     pub fn total_accounts(&self) -> usize {
         self.routing.len()
+    }
+
+    /// Run the repository compaction pass on every server (the study
+    /// pipeline calls this on its weekly snapshot cadence).
+    pub fn compact_all(&mut self, cutoff: &Tid) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        for server in self.servers.values_mut() {
+            stats.absorb(&server.compact_repos(cutoff));
+        }
+        stats
+    }
+
+    /// Aggregate block-store statistics across every server's repositories.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for server in self.servers.values() {
+            stats.absorb(&server.store_stats());
+        }
+        stats
     }
 }
 

@@ -8,9 +8,10 @@
 //! PDS level (§2, §3).
 
 use crate::account::{Account, AccountStatus};
+use bsky_atproto::blockstore::{StoreConfig, StoreStats};
 use bsky_atproto::error::{AtError, Result};
 use bsky_atproto::record::Record;
-use bsky_atproto::repo::{CommitResult, DeltaScope, Repository, Write};
+use bsky_atproto::repo::{CommitResult, CompactionStats, DeltaScope, Repository, Write};
 use bsky_atproto::{Datetime, Did, Handle, Nsid, Tid};
 use std::collections::BTreeMap;
 
@@ -57,11 +58,24 @@ pub struct Pds {
     repos: BTreeMap<String, Repository>,
     outbox: Vec<PdsEvent>,
     sync_requests: u64,
+    /// Block-store backend every hosted repository is created over.
+    store_config: StoreConfig,
 }
 
 impl Pds {
-    /// Create a PDS with a hostname like `pds001.host.bsky.network`.
+    /// Create a PDS with a hostname like `pds001.host.bsky.network`, backed
+    /// by the default in-memory block store.
     pub fn new(hostname: impl Into<String>, operator: PdsOperator) -> Pds {
+        Pds::with_store(hostname, operator, StoreConfig::default())
+    }
+
+    /// Create a PDS whose hosted repositories use an explicit block-store
+    /// backend (e.g. the paged disk-spill store).
+    pub fn with_store(
+        hostname: impl Into<String>,
+        operator: PdsOperator,
+        store_config: StoreConfig,
+    ) -> Pds {
         Pds {
             hostname: hostname.into(),
             operator,
@@ -69,6 +83,7 @@ impl Pds {
             repos: BTreeMap::new(),
             outbox: Vec::new(),
             sync_requests: 0,
+            store_config,
         }
     }
 
@@ -102,7 +117,11 @@ impl Pds {
             .insert(key.clone(), Account::new(did.clone(), handle, at));
         self.repos.insert(
             key.clone(),
-            Repository::new(did.clone(), self.hostname.as_bytes()),
+            Repository::with_store(
+                did.clone(),
+                self.hostname.as_bytes(),
+                self.store_config.build(),
+            ),
         );
         self.outbox.push(PdsEvent {
             at,
@@ -320,6 +339,26 @@ impl Pds {
     /// Number of sync API requests served (crawler-load accounting).
     pub fn sync_requests(&self) -> u64 {
         self.sync_requests
+    }
+
+    /// Run the compaction pass over every hosted repository: blocks that
+    /// aged out of the delta-serving window ending at `cutoff` are
+    /// reclaimed (see [`Repository::compact_before`]).
+    pub fn compact_repos(&mut self, cutoff: &Tid) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        for repo in self.repos.values_mut() {
+            stats.absorb(&repo.compact_before(cutoff));
+        }
+        stats
+    }
+
+    /// Aggregate block-store statistics over every hosted repository.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for repo in self.repos.values() {
+            stats.absorb(&repo.store_stats());
+        }
+        stats
     }
 
     /// All hosted DIDs.

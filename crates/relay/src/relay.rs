@@ -8,6 +8,8 @@
 
 use crate::firehose::{FirehoseLog, Subscription};
 use crate::stats::RelayStats;
+use bsky_atproto::blockstore::{BlockStore, StoreConfig, StoreStats};
+use bsky_atproto::cid::Cid;
 use bsky_atproto::error::{AtError, Result};
 use bsky_atproto::firehose::{EventBody, Seq};
 use bsky_atproto::repo::{DeltaScope, Repository};
@@ -15,11 +17,14 @@ use bsky_atproto::{Datetime, Did, Tid};
 use bsky_pds::{PdsEventDetail, PdsFleet};
 use std::collections::BTreeMap;
 
-/// A cached repository mirror entry.
+/// A cached repository mirror entry. The CAR bytes themselves live in the
+/// relay's [`BlockStore`], addressed by their content CID, so a paged store
+/// can spill cold archives to disk.
 #[derive(Debug, Clone)]
 struct MirrorEntry {
     rev: Option<String>,
-    car: Vec<u8>,
+    car_cid: Cid,
+    car_len: usize,
     fetched_at: Datetime,
 }
 
@@ -32,6 +37,12 @@ pub struct Relay {
     mirror: BTreeMap<String, MirrorEntry>,
     known_dids: BTreeMap<String, Option<String>>,
     stats: RelayStats,
+    /// Mirrored CAR archives, CID-addressed.
+    store: Box<dyn BlockStore>,
+    /// Reference counts per CAR block: distinct DIDs can share identical
+    /// archive bytes (e.g. two empty repositories), and a shared block must
+    /// survive until the last referencing entry is gone.
+    car_refs: BTreeMap<Cid, u32>,
 }
 
 impl Default for Relay {
@@ -42,8 +53,13 @@ impl Default for Relay {
 
 impl Relay {
     /// Create a relay with a hostname (the default network relay is
-    /// `bsky.network`).
+    /// `bsky.network`), backed by the default in-memory mirror store.
     pub fn new(hostname: impl Into<String>) -> Relay {
+        Relay::with_store(hostname, &StoreConfig::default())
+    }
+
+    /// Create a relay whose CAR mirror uses an explicit block-store backend.
+    pub fn with_store(hostname: impl Into<String>, store: &StoreConfig) -> Relay {
         Relay {
             hostname: hostname.into(),
             firehose: FirehoseLog::new(),
@@ -51,6 +67,38 @@ impl Relay {
             mirror: BTreeMap::new(),
             known_dids: BTreeMap::new(),
             stats: RelayStats::new(),
+            store: store.build(),
+            car_refs: BTreeMap::new(),
+        }
+    }
+
+    /// Insert or replace a mirror entry, storing the CAR in the block store
+    /// with reference counting.
+    fn cache_car(&mut self, key: String, rev: Option<String>, car: &[u8], now: Datetime) {
+        let car_cid = Cid::for_raw(car);
+        self.drop_entry(&key);
+        *self.car_refs.entry(car_cid).or_insert(0) += 1;
+        self.store.put(car_cid, car.to_vec());
+        self.mirror.insert(
+            key,
+            MirrorEntry {
+                rev,
+                car_cid,
+                car_len: car.len(),
+                fetched_at: now,
+            },
+        );
+    }
+
+    /// Remove a mirror entry, deleting its CAR block once unreferenced.
+    fn drop_entry(&mut self, key: &str) {
+        if let Some(entry) = self.mirror.remove(key) {
+            let refs = self.car_refs.entry(entry.car_cid).or_insert(1);
+            *refs -= 1;
+            if *refs == 0 {
+                self.car_refs.remove(&entry.car_cid);
+                self.store.delete(&entry.car_cid);
+            }
         }
     }
 
@@ -102,7 +150,7 @@ impl Relay {
                     }
                     PdsEventDetail::AccountDelete => {
                         self.known_dids.remove(&event.did.to_string());
-                        self.mirror.remove(&event.did.to_string());
+                        self.drop_entry(&event.did.to_string());
                         EventBody::Tombstone {
                             did: event.did.clone(),
                         }
@@ -215,8 +263,12 @@ impl Relay {
         let current_rev = self.known_dids.get(&key).cloned().flatten();
         if let Some(entry) = self.mirror.get(&key) {
             if entry.rev == current_rev {
-                self.stats.record_cache_hit();
-                return Ok(entry.car.clone());
+                // The store verifies read-backs by CID; a block it cannot
+                // return (corrupt spill) degrades to a refetch below.
+                if let Some(car) = self.store.get(&entry.car_cid) {
+                    self.stats.record_cache_hit();
+                    return Ok(car);
+                }
             }
         }
         let pds = fleet
@@ -225,32 +277,27 @@ impl Relay {
         // Delta refresh: cached at a known revision, repo has advanced.
         if let (Some(entry), Some(_)) = (self.mirror.get(&key), current_rev.as_deref()) {
             if let Some(since) = entry.rev.as_deref().and_then(|r| Tid::parse(r).ok()) {
-                if let Ok(delta) = pds.get_repo_since(did, &since, DeltaScope::Full) {
-                    if let Ok(car) = Repository::apply_delta(&entry.car, &delta) {
-                        self.stats.record_delta_fetch(delta.len());
-                        self.mirror.insert(
-                            key,
-                            MirrorEntry {
-                                rev: current_rev,
-                                car: car.clone(),
-                                fetched_at: now,
-                            },
-                        );
-                        return Ok(car);
+                let cached = self.store.get(&entry.car_cid);
+                match (cached, pds.get_repo_since(did, &since, DeltaScope::Full)) {
+                    (Some(base), Ok(delta)) => {
+                        if let Ok(car) = Repository::apply_delta(&base, &delta) {
+                            self.stats.record_delta_fetch(delta.len());
+                            self.cache_car(key, current_rev, &car, now);
+                            return Ok(car);
+                        }
                     }
+                    (_, Err(AtError::RevisionCompacted(_))) => {
+                        // The PDS compacted our revision out of its delta
+                        // window: fall back to a full fetch, visibly.
+                        self.stats.record_compaction_fallback();
+                    }
+                    _ => {}
                 }
             }
         }
         let car = pds.get_repo(did)?;
         self.stats.record_cache_miss(car.len());
-        self.mirror.insert(
-            key,
-            MirrorEntry {
-                rev: current_rev,
-                car: car.clone(),
-                fetched_at: now,
-            },
-        );
+        self.cache_car(key, current_rev, &car, now);
         Ok(car)
     }
 
@@ -288,6 +335,16 @@ impl Relay {
             .values()
             .map(|e| now.timestamp() - e.fetched_at.timestamp())
             .max()
+    }
+
+    /// Total logical bytes of mirrored CAR archives.
+    pub fn mirror_bytes(&self) -> usize {
+        self.mirror.values().map(|e| e.car_len).sum()
+    }
+
+    /// Residency/spill statistics of the mirror's block store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 }
 
@@ -526,6 +583,109 @@ mod tests {
                 now()
             )
             .is_err());
+    }
+
+    #[test]
+    fn mirror_is_store_backed_with_refcounted_cars() {
+        use bsky_atproto::blockstore::StoreConfig;
+        // A paged mirror store spills cold archives and still serves them
+        // byte-identically.
+        let (mut fleet, dids) = fleet_with_users(6);
+        for did in &dids {
+            for i in 0..5 {
+                fleet
+                    .pds_for_mut(did)
+                    .unwrap()
+                    .create_record(
+                        did,
+                        Nsid::parse(known::POST).unwrap(),
+                        post(&format!("{did} {i}")),
+                        now(),
+                    )
+                    .unwrap();
+            }
+        }
+        let paged = StoreConfig::paged().page_size(512).resident_pages(1);
+        let mut relay = Relay::with_store("bsky.network", &paged);
+        relay.crawl(&fleet, now());
+        let mut cars = Vec::new();
+        for did in &dids {
+            cars.push(relay.get_repo(did, &mut fleet, now()).unwrap());
+        }
+        let stats = relay.store_stats();
+        assert!(stats.spilled_bytes > 0, "mirror must spill: {stats:?}");
+        assert_eq!(stats.logical_bytes, relay.mirror_bytes());
+        // Cache hits page spilled archives back in, byte-identical.
+        for (did, car) in dids.iter().zip(&cars) {
+            assert_eq!(&relay.get_repo(did, &mut fleet, now()).unwrap(), car);
+        }
+        // Deleting an account drops its entry and its store block.
+        let blocks_before = relay.store_stats().blocks;
+        fleet
+            .pds_for_mut(&dids[0])
+            .unwrap()
+            .delete_account(&dids[0], now())
+            .unwrap();
+        relay.crawl(&fleet, now());
+        assert_eq!(relay.mirrored_repos(), dids.len() - 1);
+        assert_eq!(relay.store_stats().blocks, blocks_before - 1);
+    }
+
+    #[test]
+    fn compacted_revisions_fall_back_to_full_fetch_visibly() {
+        let (mut fleet, dids) = fleet_with_users(1);
+        let did = dids[0].clone();
+        for i in 0..10 {
+            fleet
+                .pds_for_mut(&did)
+                .unwrap()
+                .create_record(
+                    &did,
+                    Nsid::parse(known::POST).unwrap(),
+                    post(&format!("old {i}")),
+                    now(),
+                )
+                .unwrap();
+        }
+        let mut relay = Relay::default();
+        relay.crawl(&fleet, now());
+        relay.get_repo(&did, &mut fleet, now()).unwrap();
+        assert_eq!(relay.stats().cache_misses(), 1);
+
+        // The repo advances, then the PDS compacts the relay's cached
+        // revision out of its delta window.
+        let later = now().plus_days(30);
+        fleet
+            .pds_for_mut(&did)
+            .unwrap()
+            .create_record(&did, Nsid::parse(known::POST).unwrap(), post("new"), later)
+            .unwrap();
+        let head = fleet
+            .pds_for(&did)
+            .unwrap()
+            .repo(&did)
+            .unwrap()
+            .rev()
+            .unwrap();
+        let cutoff = bsky_atproto::Tid::from_micros(head.timestamp_micros(), 0);
+        let stats = fleet.compact_all(&cutoff);
+        assert!(stats.commits_dropped > 0, "{stats:?}");
+        relay.crawl(&fleet, later);
+
+        // The refresh cannot be a delta anymore: the fallback is a full
+        // fetch and it is *counted*, never silent.
+        let car = relay.get_repo(&did, &mut fleet, later).unwrap();
+        assert_eq!(relay.stats().compaction_fallbacks(), 1);
+        assert_eq!(relay.stats().delta_fetches(), 0);
+        assert_eq!(relay.stats().cache_misses(), 2);
+        let records: Vec<Record> = Repository::parse_car(&car)
+            .unwrap()
+            .1
+            .values()
+            .filter_map(|b| Record::from_cbor(b).ok())
+            .collect();
+        assert!(records.contains(&post("new")));
+        assert_eq!(records.len(), 11, "live records all survive compaction");
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub struct RelayStats {
     cache_hits: u64,
     cache_misses: u64,
     delta_fetches: u64,
+    compaction_fallbacks: u64,
     bytes_fetched_from_pds: u64,
     delta_bytes_fetched: u64,
     highest_seq: u64,
@@ -104,9 +105,22 @@ impl RelayStats {
         self.cache_misses
     }
 
+    /// Record a delta attempt that failed because the PDS compacted the
+    /// cached revision out of its delta-serving window (a full fetch
+    /// follows) — surfaced so fallbacks never happen silently.
+    pub fn record_compaction_fallback(&mut self) {
+        self.compaction_fallbacks += 1;
+    }
+
     /// Delta (`getRepo(since)`) fetches served from PDSes.
     pub fn delta_fetches(&self) -> u64 {
         self.delta_fetches
+    }
+
+    /// Delta attempts that fell back to a full fetch because the revision
+    /// was compacted away.
+    pub fn compaction_fallbacks(&self) -> u64 {
+        self.compaction_fallbacks
     }
 
     /// Bytes fetched from PDSes (full CARs and deltas combined).

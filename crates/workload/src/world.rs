@@ -39,11 +39,14 @@ use crate::ecosystem::{
 };
 use crate::population::{DayPurpose, PopulationPlan, UserProfile};
 use bsky_appview::AppView;
+use bsky_atproto::blockstore::{StoreConfig, StoreStats};
 use bsky_atproto::nsid::known;
 use bsky_atproto::record::{
     BlockRecord, Embed, FeedGeneratorRecord, FollowRecord, ImageEmbed, LikeRecord, MediaKind,
     PostRecord, ProfileRecord, Record, RepostRecord, UnknownRecord,
 };
+use bsky_atproto::repo::CompactionStats;
+use bsky_atproto::Tid;
 use bsky_atproto::{cbor, AtUri, Datetime, Did, Handle, Nsid};
 use bsky_feedgen::faas::default_platforms;
 use bsky_feedgen::{
@@ -183,10 +186,17 @@ impl World {
     /// Build the whole-population world. No activity has happened yet; call
     /// [`World::step_day`] (or [`World::run_to_end`]) to simulate.
     pub fn new(config: ScenarioConfig) -> World {
-        World::with_plan(
+        World::new_store(config, StoreConfig::default())
+    }
+
+    /// [`World::new`] with an explicit block-store backend for every
+    /// repository and the relay's CAR mirror (repro `--store mem|paged`).
+    pub fn new_store(config: ScenarioConfig, store: StoreConfig) -> World {
+        World::with_plan_store(
             config,
             Arc::new(PopulationPlan::build(&config)),
             ShardSpec::whole(),
+            store,
         )
     }
 
@@ -203,15 +213,32 @@ impl World {
     /// study runner builds the plan once and hands an [`Arc`] to each
     /// worker).
     pub fn with_plan(config: ScenarioConfig, plan: Arc<PopulationPlan>, shard: ShardSpec) -> World {
+        World::with_plan_store(config, plan, shard, StoreConfig::default())
+    }
+
+    /// [`World::with_plan`] with an explicit block-store backend. The
+    /// backend changes only *where* blocks reside (memory vs paged disk
+    /// spill) — every simulated byte and therefore every report is
+    /// identical across backends.
+    pub fn with_plan_store(
+        config: ScenarioConfig,
+        plan: Arc<PopulationPlan>,
+        shard: ShardSpec,
+        store: StoreConfig,
+    ) -> World {
         let root = SimRng::new(config.seed);
 
         // PDS fleet: default servers plus a few self-hosted ones. Every
         // shard sees the full fleet; accounts land only on the owner shard.
-        let mut fleet = PdsFleet::with_default_servers(config.default_pds_count);
+        let mut fleet = PdsFleet::with_default_servers_store(config.default_pds_count, &store);
         let mut self_hosted_pds = Vec::new();
         for i in 0..3 {
             let hostname = format!("pds.selfhosted{i:02}.example");
-            fleet.add_server(Pds::new(hostname.clone(), PdsOperator::SelfHosted));
+            fleet.add_server(Pds::with_store(
+                hostname.clone(),
+                PdsOperator::SelfHosted,
+                store.clone(),
+            ));
             self_hosted_pds.push(hostname);
         }
 
@@ -240,7 +267,7 @@ impl World {
             plc: PlcDirectory::new(),
             dns: DnsZoneStore::new(),
             web: WebSpace::new(),
-            relay: Relay::default(),
+            relay: Relay::with_store("bsky.network", &store),
             appview: AppView::new(),
             labelers: LabelerRegistry::new(),
             labeler_info: Vec::new(),
@@ -921,6 +948,23 @@ impl World {
     /// the measurement pipeline). Shard-local.
     pub fn ground_truth_totals(&self) -> (u64, u64) {
         (self.total_posts, self.total_likes)
+    }
+
+    /// Aggregate block-store statistics over every repository in the fleet
+    /// plus the relay's CAR mirror (resident vs spilled bytes).
+    pub fn store_stats(&self) -> StoreStats {
+        let mut stats = self.fleet.store_stats();
+        stats.absorb(&self.relay.store_stats());
+        stats
+    }
+
+    /// Run the repository compaction pass over the whole fleet: blocks
+    /// older than `cutoff` that left the delta-serving window are
+    /// reclaimed. The study producer calls this on its weekly snapshot
+    /// cadence; cadence and cutoff derive only from simulated time, so
+    /// every shard (and every snapshot mode) compacts identically.
+    pub fn compact_repos(&mut self, cutoff: &Tid) -> CompactionStats {
+        self.fleet.compact_all(cutoff)
     }
 }
 

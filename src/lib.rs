@@ -60,6 +60,33 @@
 //! rewound DIDs and record-scoped deltas otherwise — while emitting
 //! `Observation::Repo` snapshots byte-identical to the window-end full
 //! refetch (repro `--incremental` / `--full-snapshots`).
+//!
+//! ## Pluggable block storage and compaction
+//!
+//! Every CID-addressed byte blob — repository record and MST node blocks,
+//! the relay's mirrored CAR archives, the study mirror's record blocks —
+//! lives behind the `bsky_atproto::blockstore::BlockStore` trait. Three
+//! backends: `MemStore` (the default), `PagedStore` (fixed-size pages with
+//! an LRU of resident pages; cold pages spill to a per-store disk
+//! directory and every read-back is re-hashed and verified against its
+//! CID), and `CountingStore` (a stats-feeding wrapper for invariants like
+//! "a rejected write batch leaves no orphan blocks"). The backend is
+//! chosen when a world is built (`bsky_workload::World::new_store`, repro
+//! `--store mem|paged --page-size N --spill-dir DIR`) and changes only
+//! *where* blocks reside — the golden equivalence test pins mem == paged
+//! byte-identical, serial and sharded.
+//!
+//! On the wire, MST node entries are prefix-compressed exactly like the
+//! reference implementation (`p` shared-prefix length + `k` suffix),
+//! shrinking full CARs and structural deltas alike. On the storage side,
+//! the study producer runs a weekly compaction pass
+//! (`bsky_atproto::repo::Repository::compact_before`): commits that aged
+//! out of the delta-serving window are dropped with their unreachable
+//! record versions, and superseded MST nodes are reclaimed. A delta
+//! requested since a compacted revision fails with
+//! `AtError::RevisionCompacted`, and both the relay and the incremental
+//! mirror fall back to a full fetch *visibly* — the fallback count is
+//! surfaced in `bsky_study::StreamSummary`, never swallowed.
 
 pub use bsky_appview;
 pub use bsky_atproto;

@@ -9,6 +9,7 @@
 //! pins the full surface. A few structured fields are compared directly as
 //! well so a failure points at the diverging section.
 
+use bluesky_repro::bsky_atproto::blockstore::StoreConfig;
 use bluesky_repro::bsky_atproto::Datetime;
 use bluesky_repro::bsky_study::{Collector, SnapshotMode, StudyReport};
 use bluesky_repro::bsky_workload::{ScenarioConfig, World};
@@ -177,6 +178,50 @@ fn incremental_snapshots_equal_full_refetch_serial_and_sharded() {
         assert!(
             sharded_summary.merged.repo_delta_fetches > 0,
             "seed {seed}: sharded run used no deltas"
+        );
+    }
+}
+
+#[test]
+fn paged_store_is_byte_identical_to_mem_store_serial_and_sharded() {
+    for seed in [31u64, 32] {
+        let config = small_config(seed);
+        // Baseline: the in-memory block store (the default everywhere).
+        let (mem, mem_summary) = StudyReport::run_sharded_store(
+            config,
+            1,
+            1,
+            SnapshotMode::Incremental,
+            &StoreConfig::mem(),
+        );
+        // Paged: tiny pages and a 2-page LRU so repositories, the relay
+        // mirror and the producer mirror all actually spill to disk.
+        let paged_config = StoreConfig::paged().page_size(4096).resident_pages(2);
+        let (paged, paged_summary) =
+            StudyReport::run_sharded_store(config, 1, 1, SnapshotMode::Incremental, &paged_config);
+        assert_reports_identical(&paged, &mem, seed);
+        // The paged run really went through the spill path, and ended the
+        // window with strictly fewer resident block bytes.
+        assert!(
+            paged_summary.merged.spilled_block_bytes > 0,
+            "seed {seed}: paged store never spilled"
+        );
+        assert!(
+            paged_summary.merged.resident_block_bytes < mem_summary.merged.resident_block_bytes,
+            "seed {seed}: paged resident {} vs mem {}",
+            paged_summary.merged.resident_block_bytes,
+            mem_summary.merged.resident_block_bytes,
+        );
+        assert_eq!(mem_summary.merged.spilled_block_bytes, 0, "seed {seed}");
+
+        // And the paged backend composes with the sharded engine: 4 shards
+        // on 4 workers, still byte-identical to the serial mem run.
+        let (paged_sharded, sharded_summary) =
+            StudyReport::run_sharded_store(config, 4, 4, SnapshotMode::Incremental, &paged_config);
+        assert_reports_identical(&paged_sharded, &mem, seed);
+        assert!(
+            sharded_summary.merged.spilled_block_bytes > 0,
+            "seed {seed}: sharded paged run never spilled"
         );
     }
 }
