@@ -6,7 +6,9 @@
 //! generator's skeleton with the post index. There is one Bluesky AppView,
 //! operated by Bluesky PBC; the study crawls exactly these endpoints (§3).
 
-use crate::index::{AppViewIndex, PostInfo};
+use crate::index::PostInfo;
+use crate::shards::AppViewShards;
+use bsky_atproto::blockstore::{StoreConfig, StoreStats};
 use bsky_atproto::error::{AtError, Result};
 use bsky_atproto::{AtUri, Did, Handle};
 use bsky_feedgen::FeedGenerator;
@@ -49,27 +51,43 @@ pub struct ProfileView {
     pub posts: u64,
 }
 
-/// The AppView service: the index plus API methods.
+/// The AppView service: the (entity-sharded) index plus API methods.
 #[derive(Debug, Clone, Default)]
 pub struct AppView {
-    index: AppViewIndex,
+    index: AppViewShards,
     api_requests: u64,
 }
 
 impl AppView {
-    /// Create an empty AppView.
+    /// Create an empty AppView (one in-memory entity shard).
     pub fn new() -> AppView {
         AppView::default()
     }
 
-    /// The underlying index (ingestion surface).
-    pub fn index(&self) -> &AppViewIndex {
+    /// Create an AppView with `shards` entity shards, each over its own
+    /// block store built from `store` — the NUMA-scale configuration (repro
+    /// `--appview-shards N --store paged`). Queries and ingestion behave
+    /// identically for every shard count; only residency changes.
+    pub fn with_shards(shards: usize, store: &StoreConfig) -> AppView {
+        AppView {
+            index: AppViewShards::with_shards(shards, store),
+            api_requests: 0,
+        }
+    }
+
+    /// The underlying sharded index (ingestion surface).
+    pub fn index(&self) -> &AppViewShards {
         &self.index
     }
 
-    /// Mutable access to the underlying index (ingestion surface).
-    pub fn index_mut(&mut self) -> &mut AppViewIndex {
+    /// Mutable access to the underlying sharded index (ingestion surface).
+    pub fn index_mut(&mut self) -> &mut AppViewShards {
         &mut self.index
+    }
+
+    /// Aggregate block-store statistics over every entity shard.
+    pub fn store_stats(&self) -> StoreStats {
+        self.index.store_stats()
     }
 
     /// `app.bsky.actor.getProfile`.
@@ -83,8 +101,8 @@ impl AppView {
             return Err(AtError::RepoError(format!("actor {did} deleted")));
         }
         Ok(ProfileView {
-            did: actor.did.clone(),
-            handle: actor.handle.clone(),
+            did: actor.did,
+            handle: actor.handle,
             display_name: actor.profile.as_ref().map(|p| p.display_name.clone()),
             description: actor.profile.as_ref().map(|p| p.description.clone()),
             followers: actor.followers,
@@ -120,7 +138,7 @@ impl AppView {
         generator
             .get_feed(limit, viewer)
             .into_iter()
-            .filter_map(|entry| self.index.post(&entry.uri).cloned())
+            .filter_map(|entry| self.index.post(&entry.uri))
             .collect()
     }
 
@@ -246,6 +264,130 @@ mod tests {
         assert_eq!(view.display_name, "everything");
         assert!(view.is_online && view.is_valid);
         assert_eq!(view.creator, alice);
+    }
+
+    /// Build the same timeline fixture at several entity-shard counts: bob
+    /// follows alice, alice has three posts — two sharing one `created_at`
+    /// (the tie the canonical order must break on URI) and one newer.
+    fn timeline_fixture(shards: usize) -> (AppView, Did, Did, Vec<AtUri>) {
+        let mut appview =
+            AppView::with_shards(shards, &bsky_atproto::blockstore::StoreConfig::mem());
+        let alice = did("alice");
+        let bob = did("bob");
+        for (d, h) in [(&alice, "alice.bsky.social"), (&bob, "bob.bsky.social")] {
+            appview
+                .index_mut()
+                .upsert_actor(d, &Handle::parse(h).unwrap());
+        }
+        // rkeys chosen so URI order differs from insertion order.
+        let tied = now();
+        let newer = now().plus_seconds(60);
+        let posts = [
+            ("zzz00000001", tied),
+            ("aaa00000001", tied),
+            ("mmm00000001", newer),
+        ];
+        let mut uris = Vec::new();
+        for (rkey, at) in posts {
+            appview.index_mut().index_record(
+                &alice,
+                &Nsid::parse(known::POST).unwrap(),
+                rkey,
+                &Record::Post(PostRecord::simple(rkey, "en", at)),
+                at,
+            );
+            uris.push(AtUri::record(
+                alice.clone(),
+                Nsid::parse(known::POST).unwrap(),
+                rkey,
+            ));
+        }
+        appview.index_mut().index_record(
+            &bob,
+            &Nsid::parse(known::FOLLOW).unwrap(),
+            "f1",
+            &Record::Follow(bsky_atproto::record::FollowRecord {
+                subject: alice.clone(),
+                created_at: now(),
+            }),
+            now(),
+        );
+        (appview, alice, bob, uris)
+    }
+
+    #[test]
+    fn following_timeline_with_zero_limit_is_empty() {
+        for shards in [1, 4] {
+            let (appview, _alice, bob, _uris) = timeline_fixture(shards);
+            assert!(
+                appview.index().following_timeline(&bob, 0).is_empty(),
+                "{shards} shard(s): limit 0 must serve nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn viewer_with_no_follow_edges_gets_an_empty_timeline() {
+        for shards in [1, 4] {
+            let (appview, alice, _bob, _uris) = timeline_fixture(shards);
+            // Alice follows nobody; an entirely unknown viewer follows
+            // nobody either — both see empty timelines, no panic.
+            assert!(appview.index().following_timeline(&alice, 10).is_empty());
+            assert!(appview
+                .index()
+                .following_timeline(&did("stranger"), 10)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn timeline_ties_on_created_at_break_on_uri() {
+        for shards in [1, 4] {
+            let (appview, _alice, bob, uris) = timeline_fixture(shards);
+            let timeline = appview.index().following_timeline(&bob, 10);
+            // Newest first; the two tied posts then order by URI ascending
+            // (aaa… before zzz…), regardless of insertion order or shard
+            // placement.
+            let got: Vec<String> = timeline.iter().map(|p| p.uri.to_string()).collect();
+            let want = vec![
+                uris[2].to_string(),
+                uris[1].to_string(),
+                uris[0].to_string(),
+            ];
+            assert_eq!(got, want, "{shards} shard(s)");
+            // The limit truncates *after* the canonical sort, so a limit of
+            // 2 keeps the newest post plus the URI-smaller tied post.
+            let top2: Vec<String> = appview
+                .index()
+                .following_timeline(&bob, 2)
+                .iter()
+                .map(|p| p.uri.to_string())
+                .collect();
+            assert_eq!(top2, want[..2].to_vec(), "{shards} shard(s)");
+        }
+    }
+
+    #[test]
+    fn timeline_crosses_a_remove_post_deletion() {
+        for shards in [1, 4] {
+            let (mut appview, alice, bob, uris) = timeline_fixture(shards);
+            assert_eq!(appview.index().following_timeline(&bob, 10).len(), 3);
+            // Delete the newest post: the timeline drops it, keeps the
+            // canonical order of the remainder, and the author's post
+            // counter debits — whichever shards the post and the author
+            // live on.
+            appview.index_mut().remove_post(&uris[2]);
+            let timeline = appview.index().following_timeline(&bob, 10);
+            let got: Vec<String> = timeline.iter().map(|p| p.uri.to_string()).collect();
+            assert_eq!(got, vec![uris[1].to_string(), uris[0].to_string()]);
+            assert_eq!(appview.index().actor(&alice).unwrap().posts, 2);
+            assert!(!appview.index().has_post(&uris[2]));
+            // Deleting the rest empties the timeline.
+            appview.index_mut().remove_post(&uris[0]);
+            appview.index_mut().remove_post(&uris[1]);
+            assert!(appview.index().following_timeline(&bob, 10).is_empty());
+            assert_eq!(appview.index().actor(&alice).unwrap().posts, 0);
+        }
     }
 
     #[test]

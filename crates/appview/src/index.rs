@@ -4,7 +4,39 @@
 //! in queryable indices, and serves the client-facing API (§2). These indices
 //! are also what the measurement pipeline's AppView-based endpoints
 //! (`getFeedGenerator`, `getFeed`) read from.
+//!
+//! ## Store-backed entity state
+//!
+//! Per-entity state — one [`PostInfo`] per indexed post, one [`ActorInfo`]
+//! per known account — is not held in plain maps: each entity is encoded as
+//! a DAG-CBOR block and kept in a pluggable
+//! [`bsky_atproto::blockstore::BlockStore`], with only a `key → CID` index
+//! (plus the graph edge sets and counters) resident in memory. With the
+//! default [`MemStore`](bsky_atproto::blockstore::MemStore) this behaves
+//! like the old in-memory maps; with the paged backend cold entities spill
+//! to disk and are CID-verified on read-back, which removes the AppView from
+//! the per-shard memory ceiling (see the crate docs). Because the entity key
+//! (AT-URI or DID) is embedded in every block, block CIDs are unique per
+//! entity and read-modify-write updates (`delete` old CID, `put` new) can
+//! never clobber another entity's block.
+//!
+//! ## Ingestion primitives
+//!
+//! A single logical ingestion step can touch several entities — indexing a
+//! follow record updates the edge set, the follower's `follows` counter and
+//! the target's `followers` counter. [`AppViewIndex`] therefore exposes the
+//! per-entity *primitives* ([`AppViewIndex::insert_post`],
+//! [`AppViewIndex::credit_follows`], …) alongside the composed entry points
+//! ([`AppViewIndex::index_record`], [`AppViewIndex::process_event`]). The
+//! entity-sharded [`crate::shards::AppViewShards`] routes each primitive to
+//! the shard owning the touched entity; because the monolithic entry points
+//! are implemented *in terms of* the same primitives, the sharded index is
+//! equivalent to the monolithic one by construction (and pinned by the
+//! property test in `shards.rs`).
 
+use bsky_atproto::blockstore::{BlockStore, StoreConfig, StoreStats};
+use bsky_atproto::cbor::{self, Value};
+use bsky_atproto::cid::Cid;
 use bsky_atproto::firehose::{Event, EventBody};
 use bsky_atproto::label::{Label, LabelTarget};
 use bsky_atproto::record::{PostRecord, ProfileRecord, Record};
@@ -30,6 +62,41 @@ pub struct PostInfo {
     pub labels: Vec<(Did, String)>,
 }
 
+impl PostInfo {
+    /// Encode as a DAG-CBOR block (the AppView's storage representation).
+    pub fn to_block(&self) -> Vec<u8> {
+        cbor::encode(&Value::map([
+            ("uri", Value::text(self.uri.to_string())),
+            ("author", Value::text(self.author.to_string())),
+            ("record", Record::Post(self.record.clone()).to_value()),
+            ("indexedAt", Value::Int(self.indexed_at.timestamp())),
+            ("likes", Value::Int(self.like_count as i64)),
+            ("reposts", Value::Int(self.repost_count as i64)),
+            ("labels", labels_to_value(&self.labels)),
+        ]))
+    }
+
+    /// Decode from a DAG-CBOR block. `None` on any mismatch — the store
+    /// contract already maps corrupt blocks to "absent", and the index
+    /// treats an undecodable entity the same way.
+    pub fn from_block(bytes: &[u8]) -> Option<PostInfo> {
+        let value = cbor::decode(bytes).ok()?;
+        let record = match Record::from_value(value.get("record")?).ok()? {
+            Record::Post(post) => post,
+            _ => return None,
+        };
+        Some(PostInfo {
+            uri: AtUri::parse(value.get("uri")?.as_text()?).ok()?,
+            author: Did::parse(value.get("author")?.as_text()?).ok()?,
+            record,
+            indexed_at: Datetime(value.get("indexedAt")?.as_int()?),
+            like_count: value.get("likes")?.as_int()? as u64,
+            repost_count: value.get("reposts")?.as_int()? as u64,
+            labels: labels_from_value(value.get("labels")?)?,
+        })
+    }
+}
+
 /// Indexed information about an actor (account).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ActorInfo {
@@ -53,45 +120,327 @@ pub struct ActorInfo {
     pub deleted: bool,
 }
 
-/// The AppView's combined index.
-#[derive(Debug, Clone, Default)]
+impl ActorInfo {
+    fn fresh(did: &Did, handle: &Handle) -> ActorInfo {
+        ActorInfo {
+            did: did.clone(),
+            handle: handle.clone(),
+            profile: None,
+            follows: 0,
+            followers: 0,
+            posts: 0,
+            blocked_by: 0,
+            account_labels: Vec::new(),
+            deleted: false,
+        }
+    }
+
+    /// Encode as a DAG-CBOR block (the AppView's storage representation).
+    pub fn to_block(&self) -> Vec<u8> {
+        cbor::encode(&Value::map([
+            ("did", Value::text(self.did.to_string())),
+            ("handle", Value::text(self.handle.as_str())),
+            (
+                "profile",
+                match &self.profile {
+                    Some(profile) => Record::Profile(profile.clone()).to_value(),
+                    None => Value::Null,
+                },
+            ),
+            ("follows", Value::Int(self.follows as i64)),
+            ("followers", Value::Int(self.followers as i64)),
+            ("posts", Value::Int(self.posts as i64)),
+            ("blockedBy", Value::Int(self.blocked_by as i64)),
+            ("accountLabels", labels_to_value(&self.account_labels)),
+            ("deleted", Value::Bool(self.deleted)),
+        ]))
+    }
+
+    /// Decode from a DAG-CBOR block (`None` on any mismatch).
+    pub fn from_block(bytes: &[u8]) -> Option<ActorInfo> {
+        let value = cbor::decode(bytes).ok()?;
+        let profile = match value.get("profile")? {
+            Value::Null => None,
+            profile => match Record::from_value(profile).ok()? {
+                Record::Profile(profile) => Some(profile),
+                _ => return None,
+            },
+        };
+        Some(ActorInfo {
+            did: Did::parse(value.get("did")?.as_text()?).ok()?,
+            handle: Handle::parse(value.get("handle")?.as_text()?).ok()?,
+            profile,
+            follows: value.get("follows")?.as_int()? as u64,
+            followers: value.get("followers")?.as_int()? as u64,
+            posts: value.get("posts")?.as_int()? as u64,
+            blocked_by: value.get("blockedBy")?.as_int()? as u64,
+            account_labels: labels_from_value(value.get("accountLabels")?)?,
+            deleted: value.get("deleted")?.as_bool()?,
+        })
+    }
+}
+
+fn labels_to_value(labels: &[(Did, String)]) -> Value {
+    Value::Array(
+        labels
+            .iter()
+            .map(|(src, value)| {
+                Value::Array(vec![Value::text(src.to_string()), Value::text(value)])
+            })
+            .collect(),
+    )
+}
+
+fn labels_from_value(value: &Value) -> Option<Vec<(Did, String)>> {
+    value
+        .as_array()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array()?;
+            Some((
+                Did::parse(pair.first()?.as_text()?).ok()?,
+                pair.get(1)?.as_text()?.to_string(),
+            ))
+        })
+        .collect()
+}
+
+/// Canonical timeline order: newest first by the post's self-reported
+/// creation time, ties broken by URI (ascending). Every query surface —
+/// monolithic and sharded fan-out alike — sorts with exactly this
+/// comparator, so shard counts can never reorder a timeline.
+pub(crate) fn sort_timeline(posts: &mut [PostInfo]) {
+    posts.sort_by(|a, b| {
+        b.record
+            .created_at
+            .cmp(&a.record.created_at)
+            .then_with(|| a.uri.cmp(&b.uri))
+    });
+}
+
+/// The AppView's combined index (one entity shard of it, when owned by
+/// [`crate::shards::AppViewShards`]).
+///
+/// Entity state lives as CBOR blocks in the backing store; see the module
+/// docs for the storage layout and the primitive/composed ingestion split.
+#[derive(Debug, Clone)]
 pub struct AppViewIndex {
-    posts: BTreeMap<String, PostInfo>,
-    actors: BTreeMap<String, ActorInfo>,
+    /// Post key (AT-URI string) → block CID.
+    posts: BTreeMap<String, Cid>,
+    /// Actor key (DID string) → block CID.
+    actors: BTreeMap<String, Cid>,
+    store: Box<dyn BlockStore>,
+    /// `(follower, followed)` DID pairs, keyed by the follower.
     follow_edges: BTreeSet<(String, String)>,
+    /// `(blocker, blocked)` DID pairs, keyed by the blocker.
     block_edges: BTreeSet<(String, String)>,
     events_processed: u64,
     records_indexed: u64,
     labels_ingested: u64,
+    labels_preindex: u64,
+    lost_entities: u64,
+}
+
+impl Default for AppViewIndex {
+    fn default() -> AppViewIndex {
+        AppViewIndex::new()
+    }
 }
 
 impl AppViewIndex {
-    /// Create an empty index.
+    /// Create an empty index over the in-memory block store.
     pub fn new() -> AppViewIndex {
-        AppViewIndex::default()
+        AppViewIndex::with_store(&StoreConfig::default())
     }
 
-    /// Register an account (from an identity event or backfill).
+    /// Create an empty index over an explicit block-store backend. The
+    /// backend changes only where entity blocks reside (memory vs paged
+    /// disk spill), never a query result.
+    pub fn with_store(store: &StoreConfig) -> AppViewIndex {
+        AppViewIndex {
+            posts: BTreeMap::new(),
+            actors: BTreeMap::new(),
+            store: store.build(),
+            follow_edges: BTreeSet::new(),
+            block_edges: BTreeSet::new(),
+            events_processed: 0,
+            records_indexed: 0,
+            labels_ingested: 0,
+            labels_preindex: 0,
+            lost_entities: 0,
+        }
+    }
+
+    // -- block plumbing ----------------------------------------------------
+
+    fn load_post_key(&self, key: &str) -> Option<PostInfo> {
+        let cid = self.posts.get(key)?;
+        PostInfo::from_block(&self.store.get(cid)?)
+    }
+
+    fn save_post(&mut self, info: &PostInfo) {
+        let bytes = info.to_block();
+        let cid = Cid::for_cbor(&bytes);
+        if let Some(old) = self.posts.insert(info.uri.to_string(), cid) {
+            if old != cid {
+                self.store.delete(&old);
+            }
+        }
+        self.store.put(cid, bytes);
+    }
+
+    fn load_actor_key(&self, key: &str) -> Option<ActorInfo> {
+        let cid = self.actors.get(key)?;
+        ActorInfo::from_block(&self.store.get(cid)?)
+    }
+
+    fn save_actor(&mut self, info: &ActorInfo) {
+        let bytes = info.to_block();
+        let cid = Cid::for_cbor(&bytes);
+        if let Some(old) = self.actors.insert(info.did.to_string(), cid) {
+            if old != cid {
+                self.store.delete(&old);
+            }
+        }
+        self.store.put(cid, bytes);
+    }
+
+    fn update_post(&mut self, key: &str, apply: impl FnOnce(&mut PostInfo)) {
+        if let Some(mut info) = self.load_post_key(key) {
+            apply(&mut info);
+            self.save_post(&info);
+        }
+    }
+
+    fn update_actor(&mut self, key: &str, apply: impl FnOnce(&mut ActorInfo)) {
+        if let Some(mut info) = self.load_actor_key(key) {
+            apply(&mut info);
+            self.save_actor(&info);
+        }
+    }
+
+    // -- ingestion primitives (the shard router's surface) -----------------
+
+    /// Register an account (from an identity event or backfill). Targets
+    /// the actor entity only.
     pub fn upsert_actor(&mut self, did: &Did, handle: &Handle) {
         let key = did.to_string();
-        self.actors
-            .entry(key)
-            .and_modify(|a| a.handle = handle.clone())
-            .or_insert_with(|| ActorInfo {
-                did: did.clone(),
-                handle: handle.clone(),
-                profile: None,
-                follows: 0,
-                followers: 0,
-                posts: 0,
-                blocked_by: 0,
-                account_labels: Vec::new(),
-                deleted: false,
-            });
+        let mut info = self
+            .load_actor_key(&key)
+            .unwrap_or_else(|| ActorInfo::fresh(did, handle));
+        info.handle = handle.clone();
+        self.save_actor(&info);
     }
 
+    /// Count one indexed record (part of every [`AppViewIndex::index_record`]).
+    pub fn count_record(&mut self) {
+        self.records_indexed += 1;
+    }
+
+    /// Insert (or replace) a post entity. Targets the post entity only —
+    /// the author's post counter is [`AppViewIndex::credit_author_post`].
+    pub fn insert_post(&mut self, info: PostInfo) {
+        self.save_post(&info);
+    }
+
+    /// Credit one post to an author's counter (no-op for unknown actors,
+    /// like the live AppView's denormalized counts).
+    pub fn credit_author_post(&mut self, author: &Did) {
+        self.update_actor(&author.to_string(), |a| a.posts += 1);
+    }
+
+    /// Debit one post from an author's counter (saturating).
+    pub fn debit_author_post(&mut self, author: &Did) {
+        self.update_actor(&author.to_string(), |a| a.posts = a.posts.saturating_sub(1));
+    }
+
+    /// Count a like on a post (no-op when the post is unknown).
+    pub fn apply_like(&mut self, subject: &AtUri) {
+        self.update_post(&subject.to_string(), |p| p.like_count += 1);
+    }
+
+    /// Count a repost (no-op when the post is unknown).
+    pub fn apply_repost(&mut self, subject: &AtUri) {
+        self.update_post(&subject.to_string(), |p| p.repost_count += 1);
+    }
+
+    /// Insert a follow edge (keyed by the follower). Returns `true` when
+    /// the edge is new — the caller then credits both endpoint counters.
+    pub fn insert_follow_edge(&mut self, follower: &Did, followed: &Did) -> bool {
+        self.follow_edges
+            .insert((follower.to_string(), followed.to_string()))
+    }
+
+    /// Credit one follow to the follower's counter (no-op when unknown).
+    pub fn credit_follows(&mut self, follower: &Did) {
+        self.update_actor(&follower.to_string(), |a| a.follows += 1);
+    }
+
+    /// Credit one follower to the followed account's counter.
+    pub fn credit_followers(&mut self, followed: &Did) {
+        self.update_actor(&followed.to_string(), |a| a.followers += 1);
+    }
+
+    /// Insert a block edge (keyed by the blocker). Returns `true` when new.
+    pub fn insert_block_edge(&mut self, blocker: &Did, blocked: &Did) -> bool {
+        self.block_edges
+            .insert((blocker.to_string(), blocked.to_string()))
+    }
+
+    /// Credit one block against the blocked account's counter.
+    pub fn credit_blocked_by(&mut self, blocked: &Did) {
+        self.update_actor(&blocked.to_string(), |a| a.blocked_by += 1);
+    }
+
+    /// Attach a profile record to an actor (no-op when unknown).
+    pub fn set_profile(&mut self, author: &Did, profile: &ProfileRecord) {
+        let profile = profile.clone();
+        self.update_actor(&author.to_string(), move |a| a.profile = Some(profile));
+    }
+
+    /// Remove a post entity, returning it (the caller debits the author's
+    /// counter, which may live on another shard).
+    pub fn take_post(&mut self, uri: &AtUri) -> Option<PostInfo> {
+        let key = uri.to_string();
+        let info = self.load_post_key(&key);
+        if let Some(cid) = self.posts.remove(&key) {
+            self.store.delete(&cid);
+        }
+        info
+    }
+
+    /// Count one firehose event (part of every
+    /// [`AppViewIndex::process_event`]).
+    pub fn count_event(&mut self) {
+        self.events_processed += 1;
+    }
+
+    /// Mark an account tombstoned (no-op when unknown).
+    pub fn mark_deleted(&mut self, did: &Did) {
+        self.update_actor(&did.to_string(), |a| a.deleted = true);
+    }
+
+    /// Purge every post authored by `did` from this index's post map
+    /// (tombstone handling; post counters are deliberately untouched, like
+    /// the monolithic path).
+    pub fn purge_posts_of(&mut self, did: &Did) {
+        let prefix = format!("at://{did}/");
+        let keys: Vec<String> = self
+            .posts
+            .range(prefix.clone()..format!("{prefix}\u{10FFFF}"))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in keys {
+            if let Some(cid) = self.posts.remove(&key) {
+                self.store.delete(&cid);
+            }
+        }
+    }
+
+    // -- composed ingestion (the monolithic entry points) ------------------
+
     /// Index a record authored by `author` (the content counterpart of a
-    /// firehose commit op).
+    /// firehose commit op). Composed from the per-entity primitives above.
     pub fn index_record(
         &mut self,
         author: &Did,
@@ -100,61 +449,35 @@ impl AppViewIndex {
         record: &Record,
         at: Datetime,
     ) {
-        self.records_indexed += 1;
-        let author_key = author.to_string();
+        self.count_record();
         match record {
             Record::Post(post) => {
                 let uri = AtUri::record(author.clone(), collection.clone(), rkey);
-                self.posts.insert(
-                    uri.to_string(),
-                    PostInfo {
-                        uri,
-                        author: author.clone(),
-                        record: post.clone(),
-                        indexed_at: at,
-                        like_count: 0,
-                        repost_count: 0,
-                        labels: Vec::new(),
-                    },
-                );
-                if let Some(actor) = self.actors.get_mut(&author_key) {
-                    actor.posts += 1;
-                }
+                self.insert_post(PostInfo {
+                    uri,
+                    author: author.clone(),
+                    record: post.clone(),
+                    indexed_at: at,
+                    like_count: 0,
+                    repost_count: 0,
+                    labels: Vec::new(),
+                });
+                self.credit_author_post(author);
             }
-            Record::Like(like) => {
-                if let Some(post) = self.posts.get_mut(&like.subject.to_string()) {
-                    post.like_count += 1;
-                }
-            }
-            Record::Repost(repost) => {
-                if let Some(post) = self.posts.get_mut(&repost.subject.to_string()) {
-                    post.repost_count += 1;
-                }
-            }
+            Record::Like(like) => self.apply_like(&like.subject),
+            Record::Repost(repost) => self.apply_repost(&repost.subject),
             Record::Follow(follow) => {
-                let edge = (author_key.clone(), follow.subject.to_string());
-                if self.follow_edges.insert(edge) {
-                    if let Some(actor) = self.actors.get_mut(&author_key) {
-                        actor.follows += 1;
-                    }
-                    if let Some(target) = self.actors.get_mut(&follow.subject.to_string()) {
-                        target.followers += 1;
-                    }
+                if self.insert_follow_edge(author, &follow.subject) {
+                    self.credit_follows(author);
+                    self.credit_followers(&follow.subject);
                 }
             }
             Record::Block(block) => {
-                let edge = (author_key.clone(), block.subject.to_string());
-                if self.block_edges.insert(edge) {
-                    if let Some(target) = self.actors.get_mut(&block.subject.to_string()) {
-                        target.blocked_by += 1;
-                    }
+                if self.insert_block_edge(author, &block.subject) {
+                    self.credit_blocked_by(&block.subject);
                 }
             }
-            Record::Profile(profile) => {
-                if let Some(actor) = self.actors.get_mut(&author_key) {
-                    actor.profile = Some(profile.clone());
-                }
-            }
+            Record::Profile(profile) => self.set_profile(author, profile),
             // Feed generator and labeler declarations are tracked by their
             // dedicated registries; unknown lexicons are not indexed by the
             // Bluesky AppView (it cannot decode them, §4).
@@ -164,74 +487,82 @@ impl AppViewIndex {
 
     /// Remove a post from the index (a delete op).
     pub fn remove_post(&mut self, uri: &AtUri) {
-        if let Some(info) = self.posts.remove(&uri.to_string()) {
-            if let Some(actor) = self.actors.get_mut(&info.author.to_string()) {
-                actor.posts = actor.posts.saturating_sub(1);
-            }
+        if let Some(info) = self.take_post(uri) {
+            self.debit_author_post(&info.author);
         }
     }
 
     /// Process a firehose event's non-content effects (handle changes,
     /// identity updates, tombstones).
     pub fn process_event(&mut self, event: &Event) {
-        self.events_processed += 1;
+        self.count_event();
         match &event.body {
             EventBody::HandleChange { did, handle } => {
                 self.upsert_actor(did, handle);
             }
             EventBody::Tombstone { did } => {
-                if let Some(actor) = self.actors.get_mut(&did.to_string()) {
-                    actor.deleted = true;
-                }
-                // Purge the account's posts.
-                let prefix = format!("at://{did}/");
-                let to_remove: Vec<String> = self
-                    .posts
-                    .range(prefix.clone()..format!("{prefix}\u{10FFFF}"))
-                    .map(|(k, _)| k.clone())
-                    .collect();
-                for key in to_remove {
-                    self.posts.remove(&key);
-                }
+                self.mark_deleted(did);
+                self.purge_posts_of(did);
             }
             EventBody::Commit { .. } | EventBody::Identity { .. } | EventBody::Info { .. } => {}
         }
     }
 
     /// Ingest a label from a labeler stream, applying or rescinding it.
+    ///
+    /// A label whose target the AppView has not indexed (it arrived before
+    /// the post, or the post was deleted) cannot be applied; it is counted
+    /// into [`AppViewIndex::labels_preindex`] instead of vanishing silently.
     pub fn ingest_label(&mut self, label: &Label) {
         self.labels_ingested += 1;
         let entry = (label.src.clone(), label.value.clone());
+        let negated = label.negated;
+        let apply = move |labels: &mut Vec<(Did, String)>| {
+            if negated {
+                labels.retain(|e| e != &entry);
+            } else if !labels.contains(&entry) {
+                labels.push(entry);
+            }
+        };
         match &label.target {
             LabelTarget::Record(uri) => {
-                if let Some(post) = self.posts.get_mut(&uri.to_string()) {
-                    if label.negated {
-                        post.labels.retain(|e| e != &entry);
-                    } else if !post.labels.contains(&entry) {
-                        post.labels.push(entry);
+                let key = uri.to_string();
+                match self.load_post_key(&key) {
+                    Some(mut post) => {
+                        apply(&mut post.labels);
+                        self.save_post(&post);
                     }
+                    None => self.labels_preindex += 1,
                 }
             }
             LabelTarget::Account(did) | LabelTarget::ProfileMedia(did) => {
-                if let Some(actor) = self.actors.get_mut(&did.to_string()) {
-                    if label.negated {
-                        actor.account_labels.retain(|e| e != &entry);
-                    } else if !actor.account_labels.contains(&entry) {
-                        actor.account_labels.push(entry);
+                let key = did.to_string();
+                match self.load_actor_key(&key) {
+                    Some(mut actor) => {
+                        apply(&mut actor.account_labels);
+                        self.save_actor(&actor);
                     }
+                    None => self.labels_preindex += 1,
                 }
             }
         }
     }
 
-    /// Look up a post.
-    pub fn post(&self, uri: &AtUri) -> Option<&PostInfo> {
-        self.posts.get(&uri.to_string())
+    // -- queries -----------------------------------------------------------
+
+    /// Look up a post (decodes its block; spilled blocks page in verified).
+    pub fn post(&self, uri: &AtUri) -> Option<PostInfo> {
+        self.load_post_key(&uri.to_string())
+    }
+
+    /// Whether a post is indexed — a key-index probe, no block decode.
+    pub fn has_post(&self, uri: &AtUri) -> bool {
+        self.posts.contains_key(&uri.to_string())
     }
 
     /// Look up an actor.
-    pub fn actor(&self, did: &Did) -> Option<&ActorInfo> {
-        self.actors.get(&did.to_string())
+    pub fn actor(&self, did: &Did) -> Option<ActorInfo> {
+        self.load_actor_key(&did.to_string())
     }
 
     /// Whether `a` follows `b`.
@@ -259,19 +590,39 @@ impl AppViewIndex {
         self.follow_edges.len()
     }
 
-    /// Iterate all posts.
-    pub fn posts(&self) -> impl Iterator<Item = &PostInfo> {
-        self.posts.values()
+    /// All posts, decoded, in key (URI) order.
+    pub fn posts(&self) -> Vec<PostInfo> {
+        self.posts
+            .keys()
+            .filter_map(|key| self.load_post_key(key))
+            .collect()
     }
 
-    /// Iterate all actors.
-    pub fn actors(&self) -> impl Iterator<Item = &ActorInfo> {
-        self.actors.values()
+    /// All actors, decoded, in key (DID) order.
+    pub fn actors(&self) -> Vec<ActorInfo> {
+        self.actors
+            .keys()
+            .filter_map(|key| self.load_actor_key(key))
+            .collect()
     }
 
     /// Total labels ingested (including negations).
     pub fn labels_ingested(&self) -> u64 {
         self.labels_ingested
+    }
+
+    /// Labels that arrived before the entity they target was indexed (or
+    /// after it was deleted) and could not be applied — counted, never
+    /// silently dropped.
+    pub fn labels_preindex(&self) -> u64 {
+        self.labels_preindex
+    }
+
+    /// Entities dropped during [`AppViewIndex::merge`] because the source
+    /// store had lost their block (corrupt spill files read as absent) —
+    /// counted, never silent.
+    pub fn lost_entities(&self) -> u64 {
+        self.lost_entities
     }
 
     /// Total records indexed.
@@ -284,17 +635,92 @@ impl AppViewIndex {
         self.events_processed
     }
 
+    /// The DIDs `viewer` follows (string form), from this index's edge set.
+    pub fn follow_targets(&self, viewer: &Did) -> BTreeSet<String> {
+        let key = viewer.to_string();
+        self.follow_edges
+            .range((key.clone(), String::new())..)
+            .take_while(|(follower, _)| follower == &key)
+            .map(|(_, followed)| followed.clone())
+            .collect()
+    }
+
+    /// Every indexed post whose author is in `authors` (string DIDs).
+    /// Author-prefix ranges over the URI key index, so only matching posts
+    /// are decoded.
+    pub fn posts_by_authors(&self, authors: &BTreeSet<String>) -> Vec<PostInfo> {
+        let mut out = Vec::new();
+        for author in authors {
+            let prefix = format!("at://{author}/");
+            for (key, _) in self
+                .posts
+                .range(prefix.clone()..format!("{prefix}\u{10FFFF}"))
+            {
+                if let Some(info) = self.load_post_key(key) {
+                    out.push(info);
+                }
+            }
+        }
+        out
+    }
+
     /// The most recent posts by accounts `viewer` follows (a simple
-    /// "following" timeline).
-    pub fn following_timeline(&self, viewer: &Did, limit: usize) -> Vec<&PostInfo> {
-        let mut posts: Vec<&PostInfo> = self
-            .posts
-            .values()
-            .filter(|p| self.follows(viewer, &p.author))
-            .collect();
-        posts.sort_by_key(|p| std::cmp::Reverse(p.record.created_at));
+    /// "following" timeline), in canonical order — newest `created_at`
+    /// first, ties broken by URI.
+    pub fn following_timeline(&self, viewer: &Did, limit: usize) -> Vec<PostInfo> {
+        let mut posts = self.posts_by_authors(&self.follow_targets(viewer));
+        sort_timeline(&mut posts);
         posts.truncate(limit);
         posts
+    }
+
+    /// Residency/spill statistics of the backing block store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Merge another index's state into this one (the associative merge the
+    /// entity-sharded [`crate::shards::AppViewShards`] and the engine-shard
+    /// worlds rely on). Entity sets must be disjoint — shards partition
+    /// entities by hash, so they always are; counters add and edge sets
+    /// union.
+    pub fn merge(&mut self, other: AppViewIndex) {
+        for (key, cid) in &other.posts {
+            debug_assert!(
+                !self.posts.contains_key(key),
+                "post shards must be disjoint"
+            );
+            match other.store.get(cid) {
+                Some(bytes) => {
+                    self.posts.insert(key.clone(), *cid);
+                    self.store.put(*cid, bytes);
+                }
+                // The source store lost the block (spill-file corruption
+                // reads as absent): the entity cannot travel, but the loss
+                // is counted — never silent.
+                None => self.lost_entities += 1,
+            }
+        }
+        for (key, cid) in &other.actors {
+            debug_assert!(
+                !self.actors.contains_key(key),
+                "actor shards must be disjoint"
+            );
+            match other.store.get(cid) {
+                Some(bytes) => {
+                    self.actors.insert(key.clone(), *cid);
+                    self.store.put(*cid, bytes);
+                }
+                None => self.lost_entities += 1,
+            }
+        }
+        self.follow_edges.extend(other.follow_edges);
+        self.block_edges.extend(other.block_edges);
+        self.events_processed += other.events_processed;
+        self.records_indexed += other.records_indexed;
+        self.labels_ingested += other.labels_ingested;
+        self.labels_preindex += other.labels_preindex;
+        self.lost_entities += other.lost_entities;
     }
 }
 
@@ -412,6 +838,7 @@ mod tests {
         index.ingest_label(&label.negation(now()));
         assert!(index.post(&uri).unwrap().labels.is_empty());
         assert_eq!(index.labels_ingested(), 3);
+        assert_eq!(index.labels_preindex(), 0);
 
         // Account-level labels.
         let account_label =
@@ -473,5 +900,78 @@ mod tests {
         assert_eq!(index.post_count(), 0);
         assert_eq!(index.actor(&alice).unwrap().posts, 0);
         assert!(index.following_timeline(&bob, 10).is_empty());
+    }
+
+    #[test]
+    fn entity_blocks_roundtrip() {
+        let (index, alice, _bob, uri) = setup();
+        let post = index.post(&uri).unwrap();
+        assert_eq!(PostInfo::from_block(&post.to_block()), Some(post.clone()));
+        let mut labeled = post;
+        labeled.labels.push((did("labeler"), "spam".into()));
+        labeled.like_count = 7;
+        assert_eq!(PostInfo::from_block(&labeled.to_block()), Some(labeled));
+        let actor = index.actor(&alice).unwrap();
+        assert_eq!(ActorInfo::from_block(&actor.to_block()), Some(actor));
+        assert!(PostInfo::from_block(b"garbage").is_none());
+        assert!(ActorInfo::from_block(b"garbage").is_none());
+    }
+
+    #[test]
+    fn paged_store_backend_answers_identically() {
+        use bsky_atproto::blockstore::StoreConfig;
+        let build = |store: &StoreConfig| {
+            let mut index = AppViewIndex::with_store(store);
+            let alice = did("alice");
+            index.upsert_actor(&alice, &Handle::parse("alice.bsky.social").unwrap());
+            for i in 0..40 {
+                index.index_record(
+                    &alice,
+                    &post_nsid(),
+                    &format!("post{i:08}"),
+                    &Record::Post(PostRecord::simple(
+                        format!("post number {i}"),
+                        "en",
+                        now().plus_seconds(i),
+                    )),
+                    now(),
+                );
+            }
+            index
+        };
+        let mem = build(&StoreConfig::mem());
+        let paged = build(&StoreConfig::paged().page_size(256).resident_pages(1));
+        assert!(
+            paged.store_stats().spilled_bytes > 0,
+            "tiny pages must spill: {:?}",
+            paged.store_stats()
+        );
+        assert!(paged.store_stats().resident_bytes < mem.store_stats().resident_bytes);
+        assert_eq!(mem.posts(), paged.posts());
+        assert_eq!(mem.actors(), paged.actors());
+    }
+
+    #[test]
+    fn merge_combines_disjoint_indices() {
+        let (index, alice, bob, uri) = setup();
+        let mut other = AppViewIndex::new();
+        let carol = did("carol");
+        other.upsert_actor(&carol, &Handle::parse("carol.bsky.social").unwrap());
+        other.index_record(
+            &carol,
+            &post_nsid(),
+            "post00000009",
+            &Record::Post(PostRecord::simple("from carol", "en", now())),
+            now(),
+        );
+        let mut merged = index.clone();
+        merged.merge(other);
+        assert_eq!(merged.post_count(), 2);
+        assert_eq!(merged.actor_count(), 3);
+        assert_eq!(merged.records_indexed(), 2);
+        assert!(merged.post(&uri).is_some());
+        assert_eq!(merged.actor(&carol).unwrap().posts, 1);
+        assert_eq!(merged.lost_entities(), 0, "no blocks lost in a mem merge");
+        let _ = (alice, bob);
     }
 }

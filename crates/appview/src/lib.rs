@@ -4,12 +4,26 @@
 //! client-usable form (§2 of the paper).
 //!
 //! * [`index`] — post/actor/graph indices fed by the firehose and label
-//!   streams.
+//!   streams. Per-entity state ([`PostInfo`], [`ActorInfo`]) is encoded as
+//!   DAG-CBOR blocks in a pluggable
+//!   [`bsky_atproto::blockstore::BlockStore`]; only the `key → CID` maps,
+//!   graph edge sets and counters stay resident, so the paged backend
+//!   bounds the AppView's memory like it already bounds repositories and
+//!   the relay mirror.
+//! * [`shards`] — [`AppViewShards`]: the indices sharded by *entity hash*
+//!   (posts by AT-URI hash, actors and their outgoing graph edges by
+//!   [`bsky_atproto::Did::shard_hash`] — the same hash the workload plan
+//!   partitions the population by). Ingestion decomposes into per-entity
+//!   primitives routed to the owning shard; queries fan out and re-merge
+//!   under the canonical `(created_at desc, uri)` order; an associative
+//!   merge (mirroring the study pipeline's `Analyzer::merge`) collapses
+//!   shard sets back into a monolithic index. A property test pins
+//!   sharded == monolithic for random event/label interleavings.
 //! * [`moderation`] — combining labels with per-user preferences into
 //!   show/warn/hide decisions, including reserved-label and adult-content
 //!   hardcoded behaviour.
 //! * [`api`] — the public API surface the study crawls: `getProfile`,
-//!   `getFeedGenerator`, `getFeed`.
+//!   `getFeedGenerator`, `getFeed` — served from the sharded indices.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,7 +31,9 @@
 pub mod api;
 pub mod index;
 pub mod moderation;
+pub mod shards;
 
 pub use api::{AppView, FeedGeneratorView, ProfileView};
 pub use index::{ActorInfo, AppViewIndex, PostInfo};
 pub use moderation::{decide_post_visibility, summarize_feed_visibility, Visibility};
+pub use shards::AppViewShards;

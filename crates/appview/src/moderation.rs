@@ -211,6 +211,129 @@ mod tests {
         );
     }
 
+    /// Ingestion-to-decision coverage: how labels reach the index drives
+    /// what the moderation layer can decide, so the ingestion edge cases
+    /// are pinned here against the visibility outcome, at 1 and 4 entity
+    /// shards.
+    mod ingestion {
+        use super::*;
+        use crate::api::AppView;
+        use bsky_atproto::blockstore::StoreConfig;
+        use bsky_atproto::label::{Label, LabelTarget};
+        use bsky_atproto::nsid::known;
+        use bsky_atproto::record::Record;
+        use bsky_atproto::{AtUri, Nsid};
+
+        fn now() -> Datetime {
+            Datetime::from_ymd_hms(2024, 4, 10, 10, 0, 0).unwrap()
+        }
+
+        fn seeded(shards: usize) -> (AppView, AtUri) {
+            let mut appview = AppView::with_shards(shards, &StoreConfig::mem());
+            let author = Did::plc_from_seed(b"author");
+            appview.index_mut().index_record(
+                &author,
+                &Nsid::parse(known::POST).unwrap(),
+                "rkey000000001",
+                &Record::Post(PostRecord::simple("content", "en", now())),
+                now(),
+            );
+            let uri = AtUri::record(author, Nsid::parse(known::POST).unwrap(), "rkey000000001");
+            (appview, uri)
+        }
+
+        fn spam(uri: &AtUri) -> Label {
+            Label::new(official(), LabelTarget::Record(uri.clone()), "spam", now()).unwrap()
+        }
+
+        #[test]
+        fn duplicate_label_delivery_is_idempotent() {
+            for shards in [1, 4] {
+                let (mut appview, uri) = seeded(shards);
+                // The same stream entry delivered three times (a labeler
+                // replaying its stream) applies exactly once.
+                for _ in 0..3 {
+                    appview.index_mut().ingest_label(&spam(&uri));
+                }
+                let post = appview.index().post(&uri).unwrap();
+                assert_eq!(post.labels.len(), 1, "{shards} shard(s)");
+                assert_eq!(appview.index().labels_ingested(), 3);
+                assert_eq!(appview.index().labels_preindex(), 0);
+                // The decision reflects one warning-grade label, not three.
+                let mut prefs = ModerationPreferences::default();
+                prefs.label_actions.insert("spam".into(), LabelAction::Warn);
+                assert_eq!(
+                    decide_post_visibility(&post, &prefs, &official()),
+                    Visibility::Warn
+                );
+            }
+        }
+
+        #[test]
+        fn rescinded_label_clears_the_earlier_application() {
+            for shards in [1, 4] {
+                let (mut appview, uri) = seeded(shards);
+                appview.index_mut().ingest_label(&spam(&uri));
+                appview
+                    .index_mut()
+                    .ingest_label(&spam(&uri).negation(now().plus_seconds(60)));
+                let post = appview.index().post(&uri).unwrap();
+                assert!(post.labels.is_empty(), "{shards} shard(s)");
+                let mut prefs = ModerationPreferences::default();
+                prefs.label_actions.insert("spam".into(), LabelAction::Hide);
+                assert_eq!(
+                    decide_post_visibility(&post, &prefs, &official()),
+                    Visibility::Show,
+                    "a rescinded label must not hide the post"
+                );
+            }
+        }
+
+        #[test]
+        fn labels_racing_their_post_are_counted_not_silently_dropped() {
+            for shards in [1, 4] {
+                let mut appview = AppView::with_shards(shards, &StoreConfig::mem());
+                let author = Did::plc_from_seed(b"author");
+                let uri = AtUri::record(
+                    author.clone(),
+                    Nsid::parse(known::POST).unwrap(),
+                    "rkey000000001",
+                );
+                // The label stream races ahead of the firehose: the label
+                // arrives before the post is indexed. It cannot apply —
+                // but the gap is counted, like `repo_snapshot_skips`.
+                appview.index_mut().ingest_label(&spam(&uri));
+                assert_eq!(appview.index().labels_ingested(), 1);
+                assert_eq!(
+                    appview.index().labels_preindex(),
+                    1,
+                    "{shards} shard(s): early label must be counted"
+                );
+                // Account-level labels for unknown actors count the same way.
+                let account_label = Label::new(
+                    official(),
+                    LabelTarget::Account(Did::plc_from_seed(b"nobody-yet")),
+                    "spam",
+                    now(),
+                )
+                .unwrap();
+                appview.index_mut().ingest_label(&account_label);
+                assert_eq!(appview.index().labels_preindex(), 2);
+                // Once the post lands, later deliveries apply normally.
+                appview.index_mut().index_record(
+                    &author,
+                    &Nsid::parse(known::POST).unwrap(),
+                    "rkey000000001",
+                    &Record::Post(PostRecord::simple("content", "en", now())),
+                    now(),
+                );
+                appview.index_mut().ingest_label(&spam(&uri));
+                assert_eq!(appview.index().post(&uri).unwrap().labels.len(), 1);
+                assert_eq!(appview.index().labels_preindex(), 2, "no new gap");
+            }
+        }
+    }
+
     #[test]
     fn feed_summary_counts() {
         let prefs = ModerationPreferences::default();

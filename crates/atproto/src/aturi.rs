@@ -105,6 +105,24 @@ impl AtUri {
             _ => None,
         }
     }
+
+    /// FNV-1a hash of the URI's canonical string form (`at://…`), computed
+    /// without materializing the string — the AppView's post-shard routing
+    /// hash, on the per-like/per-label hot path.
+    pub fn shard_hash(&self) -> u64 {
+        use crate::did::{fnv1a_64, FNV_OFFSET};
+        let hash = fnv1a_64(b"at://", FNV_OFFSET);
+        let mut hash = self.did.fold_shard_hash(hash);
+        if let Some(c) = &self.collection {
+            hash = fnv1a_64(b"/", hash);
+            hash = fnv1a_64(c.as_str().as_bytes(), hash);
+        }
+        if let Some(r) = &self.rkey {
+            hash = fnv1a_64(b"/", hash);
+            hash = fnv1a_64(r.as_bytes(), hash);
+        }
+        hash
+    }
 }
 
 impl fmt::Display for AtUri {
@@ -199,5 +217,25 @@ mod tests {
         );
         let parsed = AtUri::parse(&uri.to_string()).unwrap();
         assert_eq!(parsed.did().to_string(), "did:web:blog.example.org");
+    }
+
+    #[test]
+    fn shard_hash_is_the_fnv1a_of_the_string_form() {
+        use crate::did::{fnv1a_64, FNV_OFFSET};
+        for uri in [
+            AtUri::repo(did()),
+            AtUri::record(did(), Nsid::parse(known::POST).unwrap(), "3kdgeujwlq32y"),
+            AtUri::record(
+                Did::web("blog.example.org").unwrap(),
+                Nsid::parse(known::WHTWND_ENTRY).unwrap(),
+                "entry1",
+            ),
+        ] {
+            assert_eq!(
+                uri.shard_hash(),
+                fnv1a_64(uri.to_string().as_bytes(), FNV_OFFSET),
+                "{uri}"
+            );
+        }
     }
 }

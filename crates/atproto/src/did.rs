@@ -135,6 +135,39 @@ impl Did {
     pub fn as_string(&self) -> String {
         format!("did:{}:{}", self.method.as_str(), self.identifier)
     }
+
+    /// FNV-1a hash of the full DID string — the canonical entity-sharding
+    /// hash: the workload plan partitions the population by it, and the
+    /// AppView routes actors and graph edges by it, so both layers agree on
+    /// which shard owns a DID.
+    pub fn shard_hash(&self) -> u64 {
+        self.fold_shard_hash(FNV_OFFSET)
+    }
+
+    /// Continue an FNV-1a fold over this DID's canonical string bytes
+    /// (`did:<method>:<identifier>`) without materializing the string —
+    /// this sits on the AppView's per-record routing hot path.
+    pub fn fold_shard_hash(&self, hash: u64) -> u64 {
+        let hash = fnv1a_64(b"did:", hash);
+        let hash = fnv1a_64(self.method.as_str().as_bytes(), hash);
+        let hash = fnv1a_64(b":", hash);
+        fnv1a_64(self.identifier.as_bytes(), hash)
+    }
+}
+
+/// FNV-1a offset basis (the hash of the empty string).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a folding step over a byte slice, continuing from `hash`
+/// (start from [`FNV_OFFSET`]). Shared by every entity-sharding surface —
+/// DIDs ([`Did::shard_hash`]) and AT-URIs (the AppView's post shards) — so
+/// shard assignment is a stable pure function of the entity string.
+pub fn fnv1a_64(bytes: &[u8], mut hash: u64) -> u64 {
+    for byte in bytes {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 impl fmt::Display for Did {
@@ -258,5 +291,22 @@ mod proptests {
             let s = rng.junk_string(64);
             let _ = Did::parse(&s);
         }
+    }
+
+    #[test]
+    fn shard_hash_is_the_fnv1a_of_the_string_form() {
+        let mut rng = TestRng::new(0xd1d3);
+        for _ in 0..100 {
+            let did = Did::plc_from_seed(&rng.bytes(32));
+            assert_eq!(
+                did.shard_hash(),
+                fnv1a_64(did.to_string().as_bytes(), FNV_OFFSET)
+            );
+        }
+        let web = Did::web("example.com").unwrap();
+        assert_eq!(
+            web.shard_hash(),
+            fnv1a_64(b"did:web:example.com", FNV_OFFSET)
+        );
     }
 }

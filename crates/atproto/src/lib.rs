@@ -44,8 +44,7 @@ pub mod mst;
 pub mod nsid;
 pub mod record;
 pub mod repo;
-#[cfg(test)]
-pub(crate) mod testrand;
+pub mod testrand;
 pub mod tid;
 
 pub use aturi::AtUri;

@@ -23,6 +23,11 @@
 //!   must end the run with strictly fewer resident block bytes than the
 //!   in-memory store, with the difference spilled (asserted; the reports
 //!   are byte-identical, pinned by the golden equivalence test).
+//! * **paged AppView entity shards** — the same comparison for the
+//!   AppView's own CBOR entity blocks (`--appview-shards 4 --store paged`
+//!   vs the monolithic in-memory default): the sharded paged AppView must
+//!   spill and end with strictly fewer resident bytes (asserted; exported
+//!   as `appview_resident_bytes_{mem,paged}`).
 //! * **MST prefix compression** — node blocks encode prefix-compressed
 //!   entry keys; at a realistic tree size the structural bytes must beat
 //!   the legacy full-key encoding (asserted).
@@ -190,24 +195,35 @@ fn main() {
     );
 
     // Storage: the same run over the in-memory vs the paged disk-spill
-    // block store. The paged backend must end the window with strictly
+    // block store — the paged run with the NUMA-scale AppView layout (4
+    // entity shards). The paged backend must end the window with strictly
     // fewer resident block bytes — the rest spilled to disk — while the
-    // golden test pins the reports byte-identical.
+    // golden test pins the reports byte-identical; the AppView's own
+    // entity blocks are tracked separately so its ceiling is visible in
+    // the trajectory.
     use bsky_atproto::blockstore::StoreConfig;
-    let run_with_store = |store: StoreConfig| {
-        let mut world = World::new_store(config, store.clone());
-        Collector::new()
+    let run_with_store = |store: StoreConfig, appview_shards: usize| {
+        let mut world = World::new_store_appview(config, store.clone(), appview_shards);
+        let summary = Collector::new()
             .store(store)
-            .stream(&mut world, &mut NullSink)
+            .stream(&mut world, &mut NullSink);
+        (summary, world.appview_store_stats())
     };
-    let mem_store = run_with_store(StoreConfig::mem());
-    let paged_store = run_with_store(StoreConfig::paged().page_size(8 * 1024).resident_pages(2));
+    let (mem_store, mem_appview) = run_with_store(StoreConfig::mem(), 1);
+    let (paged_store, paged_appview) = run_with_store(
+        StoreConfig::paged().page_size(8 * 1024).resident_pages(2),
+        4,
+    );
     println!(
         "block store: {} bytes resident (mem) vs {} resident + {} spilled (paged); {} reclaimed by compaction",
         mem_store.resident_block_bytes,
         paged_store.resident_block_bytes,
         paged_store.spilled_block_bytes,
         paged_store.store_bytes_reclaimed,
+    );
+    println!(
+        "appview entity blocks: {} bytes resident (mem, 1 shard) vs {} resident + {} spilled (paged, 4 shards)",
+        mem_appview.resident_bytes, paged_appview.resident_bytes, paged_appview.spilled_bytes,
     );
     assert!(
         paged_store.spilled_block_bytes > 0,
@@ -218,6 +234,16 @@ fn main() {
         "paged resident bytes ({}) must be strictly below mem ({})",
         paged_store.resident_block_bytes,
         mem_store.resident_block_bytes,
+    );
+    assert!(
+        paged_appview.spilled_bytes > 0,
+        "the sharded paged AppView must actually spill at bench scale"
+    );
+    assert!(
+        paged_appview.resident_bytes < mem_appview.resident_bytes,
+        "paged appview resident bytes ({}) must be strictly below mem ({})",
+        paged_appview.resident_bytes,
+        mem_appview.resident_bytes,
     );
     assert!(
         mem_store.store_bytes_reclaimed > 0,
@@ -304,6 +330,18 @@ fn main() {
                 paged_store.resident_block_bytes,
             )
             .with("spilled_bytes_paged", paged_store.spilled_block_bytes)
+            .with(
+                "appview_resident_bytes_mem",
+                mem_appview.resident_bytes as u64,
+            )
+            .with(
+                "appview_resident_bytes_paged",
+                paged_appview.resident_bytes as u64,
+            )
+            .with(
+                "appview_spilled_bytes_paged",
+                paged_appview.spilled_bytes as u64,
+            )
             .with(
                 "compaction_bytes_reclaimed",
                 mem_store.store_bytes_reclaimed,

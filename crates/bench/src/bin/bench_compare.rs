@@ -13,9 +13,18 @@
 //! Timing comparisons are skipped gracefully when either side ran on fewer
 //! than 4 CPUs — the same hardware gate the streaming bench applies to its
 //! own speedup assertion — because single-digit-core container timings are
-//! not comparable. Structural fields (the incremental-vs-full snapshot
-//! traffic win, the paged-vs-mem resident-block-bytes win, and the MST
+//! not comparable. Structural wins (the incremental-vs-full snapshot
+//! traffic win, the paged-vs-mem resident-block-bytes win for both the
+//! repo/relay stores and the AppView's entity shards, and the MST
 //! prefix-compression win) are always checked.
+//!
+//! First-run and stale-baseline behaviour is explicit, never a confusing
+//! JSON error: a *missing* baseline file fails with instructions to run the
+//! bench and commit the export (exit 2 — a setup problem, not a
+//! regression), and a baseline that *lacks a metric the current export
+//! enforces* fails with a "regenerate the baseline" message (exit 1 — the
+//! committed trajectory predates the metric and must be refreshed in the
+//! same PR that adds it).
 
 use bsky_study::json::Json;
 
@@ -23,6 +32,41 @@ use bsky_study::json::Json;
 const TOLERANCE: f64 = 0.20;
 /// Timing comparisons need at least this many CPUs on both sides.
 const MIN_CPUS: u64 = 4;
+
+/// One always-enforced structural win: `better` must stay strictly below
+/// `worse` in the current export.
+struct StructuralWin {
+    better: &'static str,
+    worse: &'static str,
+    what: &'static str,
+}
+
+/// The structural wins the trajectory enforces on every run, regardless of
+/// CPU count. Adding an entry here requires regenerating the committed
+/// baseline in the same PR — [`compare`] fails on baselines that lack a
+/// key the current export carries.
+const STRUCTURAL_WINS: &[StructuralWin] = &[
+    StructuralWin {
+        better: "snapshot_bytes_fetched_incremental",
+        worse: "snapshot_bytes_fetched_full",
+        what: "incremental snapshot bytes",
+    },
+    StructuralWin {
+        better: "resident_block_bytes_paged",
+        worse: "resident_block_bytes_mem",
+        what: "paged resident block bytes",
+    },
+    StructuralWin {
+        better: "appview_resident_bytes_paged",
+        worse: "appview_resident_bytes_mem",
+        what: "paged appview resident bytes",
+    },
+    StructuralWin {
+        better: "mst_structural_bytes",
+        worse: "mst_structural_bytes_uncompressed",
+        what: "MST prefix compression bytes",
+    },
+];
 
 /// The outcome of one comparison run.
 #[derive(Debug, PartialEq)]
@@ -37,6 +81,25 @@ fn get_f64(doc: &Json, key: &str) -> Option<f64> {
     doc[key].as_f64()
 }
 
+/// The failure message for a committed baseline that predates a metric the
+/// current export enforces.
+fn stale_baseline_message(key: &str) -> String {
+    format!(
+        "baseline lacks {key:?} — the committed BENCH_streaming.json predates this metric; \
+         regenerate it (`cargo bench --bench streaming -- --json`) and commit the result"
+    )
+}
+
+/// The failure message for a baseline file that does not exist at all (the
+/// bench trajectory has not been started yet).
+fn missing_baseline_message(path: &str) -> String {
+    format!(
+        "baseline {path} does not exist — no bench trajectory has been committed yet. \
+         Run `cargo bench --bench streaming -- --json` and commit BENCH_streaming.json; \
+         bench-compare needs that baseline before it can enforce regressions"
+    )
+}
+
 /// Compare `current` against `baseline`, returning the verdict and a log of
 /// every check performed.
 fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
@@ -44,58 +107,26 @@ fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
     let mut regressions = Vec::new();
     let mut skipped = Vec::new();
 
-    // The incremental snapshot win must hold wherever the bench ran.
-    match (
-        get_f64(current, "snapshot_bytes_fetched_incremental"),
-        get_f64(current, "snapshot_bytes_fetched_full"),
-    ) {
-        (Some(inc), Some(full)) => {
-            log.push(format!(
-                "snapshot bytes: incremental {inc:.0} vs full {full:.0}"
-            ));
-            if inc >= full {
-                regressions.push(format!(
-                    "incremental snapshots fetched {inc:.0} bytes, not below the full refetch's {full:.0}"
-                ));
+    // Structural wins hold wherever the bench ran; a baseline missing a key
+    // the current export carries is itself a failure (stale trajectory).
+    for win in STRUCTURAL_WINS {
+        match (get_f64(current, win.better), get_f64(current, win.worse)) {
+            (Some(better), Some(worse)) => {
+                log.push(format!("{}: {better:.0} vs {worse:.0}", win.what));
+                if better >= worse {
+                    regressions.push(format!(
+                        "{} regressed: {better:.0} not below {worse:.0}",
+                        win.what
+                    ));
+                }
+                for key in [win.better, win.worse] {
+                    if get_f64(baseline, key).is_none() {
+                        regressions.push(stale_baseline_message(key));
+                    }
+                }
             }
+            _ => skipped.push(format!("{} fields missing from current export", win.what)),
         }
-        _ => skipped.push("snapshot byte fields missing from current export".to_string()),
-    }
-
-    // The paged store's resident-bytes win must hold wherever the bench ran.
-    match (
-        get_f64(current, "resident_block_bytes_paged"),
-        get_f64(current, "resident_block_bytes_mem"),
-    ) {
-        (Some(paged), Some(mem)) => {
-            log.push(format!(
-                "resident block bytes: paged {paged:.0} vs mem {mem:.0}"
-            ));
-            if paged >= mem {
-                regressions.push(format!(
-                    "paged store kept {paged:.0} resident bytes, not below the mem store's {mem:.0}"
-                ));
-            }
-        }
-        _ => skipped.push("resident block byte fields missing from current export".to_string()),
-    }
-
-    // And so must the MST prefix-compression win.
-    match (
-        get_f64(current, "mst_structural_bytes"),
-        get_f64(current, "mst_structural_bytes_uncompressed"),
-    ) {
-        (Some(compressed), Some(full)) => {
-            log.push(format!(
-                "mst structural bytes: {compressed:.0} compressed vs {full:.0} legacy"
-            ));
-            if compressed >= full {
-                regressions.push(format!(
-                    "MST prefix compression regressed: {compressed:.0} not below {full:.0}"
-                ));
-            }
-        }
-        _ => skipped.push("mst structural byte fields missing from current export".to_string()),
     }
 
     let cpus_ok = |doc: &Json| doc["parallelism"].as_u64().unwrap_or(0) >= MIN_CPUS;
@@ -146,11 +177,18 @@ fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
     }
 }
 
-fn load(path: &str) -> Json {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
-        eprintln!("bench-compare: cannot read {path}: {err}");
-        std::process::exit(2);
-    });
+fn load(path: &str, is_baseline: bool) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if is_baseline && err.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!("bench-compare: {}", missing_baseline_message(path));
+            std::process::exit(2);
+        }
+        Err(err) => {
+            eprintln!("bench-compare: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
     Json::parse(&text).unwrap_or_else(|err| {
         eprintln!("bench-compare: cannot parse {path}: {err}");
         std::process::exit(2);
@@ -163,8 +201,8 @@ fn main() {
         eprintln!("usage: bench-compare <current.json> <baseline.json>");
         std::process::exit(2);
     };
-    let current = load(current_path);
-    let baseline = load(baseline_path);
+    let current = load(current_path, false);
+    let baseline = load(baseline_path, true);
     let (outcome, log) = compare(&current, &baseline);
     for line in &log {
         println!("bench-compare: {line}");
@@ -189,6 +227,8 @@ fn main() {
 mod tests {
     use super::*;
 
+    /// A complete export carrying every enforced metric (the shape the
+    /// streaming bench writes today).
     fn export(parallelism: u64, speedup: f64, serial_ns: u64, inc: u64, full: u64) -> Json {
         Json::object()
             .with("bench", "streaming")
@@ -198,6 +238,12 @@ mod tests {
             .with("sharded4_ns_per_day", serial_ns / 2)
             .with("snapshot_bytes_fetched_incremental", inc)
             .with("snapshot_bytes_fetched_full", full)
+            .with("resident_block_bytes_mem", 10_000u64)
+            .with("resident_block_bytes_paged", 4_000u64)
+            .with("appview_resident_bytes_mem", 5_000u64)
+            .with("appview_resident_bytes_paged", 900u64)
+            .with("mst_structural_bytes", 4_000u64)
+            .with("mst_structural_bytes_uncompressed", 5_000u64)
     }
 
     #[test]
@@ -269,17 +315,9 @@ mod tests {
     #[test]
     fn resident_bytes_win_is_always_enforced() {
         let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
-        // Paged resident below mem: passes (fields present in current only).
-        let good = export(1, 0.9, 1_000_000, 700, 1_000)
-            .with("resident_block_bytes_mem", 10_000u64)
-            .with("resident_block_bytes_paged", 4_000u64);
-        let (outcome, log) = compare(&good, &baseline);
-        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
-        assert!(log.iter().any(|l| l.contains("resident block bytes")));
         // Paged resident at or above mem: fails even on 1 CPU.
-        let bad = export(1, 0.9, 1_000_000, 700, 1_000)
-            .with("resident_block_bytes_mem", 10_000u64)
-            .with("resident_block_bytes_paged", 10_000u64);
+        let bad =
+            export(1, 0.9, 1_000_000, 700, 1_000).with("resident_block_bytes_paged", 10_000u64);
         let (outcome, _) = compare(&bad, &baseline);
         let Outcome::Fail { regressions } = outcome else {
             panic!("expected failure");
@@ -288,18 +326,77 @@ mod tests {
     }
 
     #[test]
+    fn appview_resident_bytes_win_is_always_enforced() {
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        let bad =
+            export(1, 0.9, 1_000_000, 700, 1_000).with("appview_resident_bytes_paged", 5_000u64);
+        let (outcome, _) = compare(&bad, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(regressions[0].contains("appview"), "{regressions:?}");
+    }
+
+    #[test]
     fn mst_compression_win_is_always_enforced() {
         let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
-        let bad = export(1, 0.9, 1_000_000, 700, 1_000)
-            .with("mst_structural_bytes", 5_000u64)
-            .with("mst_structural_bytes_uncompressed", 5_000u64);
+        let bad = export(1, 0.9, 1_000_000, 700, 1_000).with("mst_structural_bytes", 5_000u64);
         let (outcome, _) = compare(&bad, &baseline);
         assert!(matches!(outcome, Outcome::Fail { .. }), "{outcome:?}");
-        // Absent fields skip gracefully (older exports remain comparable).
-        let (outcome, _) = compare(&baseline, &baseline);
+    }
+
+    #[test]
+    fn current_export_missing_fields_skips_gracefully() {
+        // Older exports (no appview/mst fields) stay comparable: a current
+        // export that lacks a structural pair skips that check instead of
+        // failing — only *stale baselines* fail, below.
+        let slim = Json::object()
+            .with("parallelism", 1u64)
+            .with("snapshot_bytes_fetched_incremental", 700u64)
+            .with("snapshot_bytes_fetched_full", 1_000u64);
+        let (outcome, _) = compare(&slim, &slim);
         let Outcome::Pass { skipped } = outcome else {
             panic!("expected pass");
         };
-        assert!(skipped.iter().any(|s| s.contains("mst structural")));
+        assert!(skipped.iter().any(|s| s.contains("appview")));
+        assert!(skipped.iter().any(|s| s.contains("MST")));
+    }
+
+    #[test]
+    fn baseline_lacking_a_newly_added_key_fails_with_a_clear_message() {
+        // The PR that adds a metric must regenerate the committed baseline:
+        // a baseline without `appview_resident_bytes_*` against a current
+        // export that enforces them is a loud, actionable failure — not a
+        // silent skip and not a confusing JSON error.
+        let current = export(1, 0.9, 1_000_000, 700, 1_000);
+        let stale = Json::object()
+            .with("parallelism", 1u64)
+            .with("snapshot_bytes_fetched_incremental", 700u64)
+            .with("snapshot_bytes_fetched_full", 1_000u64)
+            .with("resident_block_bytes_mem", 10_000u64)
+            .with("resident_block_bytes_paged", 4_000u64)
+            .with("mst_structural_bytes", 4_000u64)
+            .with("mst_structural_bytes_uncompressed", 5_000u64);
+        let (outcome, _) = compare(&current, &stale);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected stale-baseline failure");
+        };
+        assert!(
+            regressions
+                .iter()
+                .any(|r| r.contains("appview_resident_bytes_paged") && r.contains("regenerate")),
+            "{regressions:?}"
+        );
+    }
+
+    #[test]
+    fn missing_baseline_file_message_is_actionable() {
+        let message = missing_baseline_message("BENCH_streaming.json");
+        assert!(message.contains("BENCH_streaming.json"));
+        assert!(message.contains("cargo bench --bench streaming -- --json"));
+        assert!(message.contains("commit"));
+        let stale = stale_baseline_message("appview_resident_bytes_mem");
+        assert!(stale.contains("appview_resident_bytes_mem"));
+        assert!(stale.contains("regenerate"));
     }
 }

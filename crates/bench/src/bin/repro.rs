@@ -3,8 +3,8 @@
 //!
 //! Usage:
 //!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
-//!         [--jobs N] [--shards N] [--json] [--stream] [--batch]
-//!         [--incremental | --full-snapshots]
+//!         [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream]
+//!         [--batch] [--incremental | --full-snapshots]
 //!         [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]
 //!
 //! `--scale` is the denominator applied to the live network's size
@@ -22,11 +22,15 @@
 //! rev-aware weekly syncs with `getRepo(since)` deltas; `--full-snapshots`
 //! restores the window-end full refetch. The reports are byte-identical —
 //! only the fetch traffic in the `--stream` summary differs.
-//! `--store paged` backs every repository, the relay's CAR mirror and the
-//! producer's repo mirror with the paged disk-spill block store (`--page-size`
-//! sets the page capacity in bytes, `--spill-dir` the spill root); the
-//! report is byte-identical to `--store mem` (the default) — only the
-//! resident/spilled byte split in the `--stream` summary differs.
+//! `--store paged` backs every repository, the relay's CAR mirror, the
+//! producer's repo mirror and the AppView's entity blocks with the paged
+//! disk-spill block store (`--page-size` sets the page capacity in bytes,
+//! `--spill-dir` the spill root); the report is byte-identical to
+//! `--store mem` (the default) — only the resident/spilled byte split in
+//! the `--stream` summary differs.
+//! `--appview-shards N` partitions the AppView's post/actor indices by
+//! entity hash into `N` store-backed shards (the NUMA-scale configuration
+//! alongside `--store paged`); the report is byte-identical for any count.
 //!
 //! Unknown flags and missing/malformed values are errors (exit code 2).
 
@@ -34,7 +38,7 @@ use bsky_atproto::blockstore::{StoreConfig, StoreKind};
 use bsky_study::{SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +49,7 @@ struct Options {
     scales: Option<Vec<u64>>,
     jobs: usize,
     shards: usize,
+    appview_shards: usize,
     json: bool,
     stream: bool,
     batch: bool,
@@ -61,6 +66,7 @@ impl Default for Options {
             scales: None,
             jobs: 1,
             shards: 1,
+            appview_shards: 1,
             json: false,
             stream: false,
             batch: false,
@@ -130,6 +136,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 shards = Some(parse_value("--shards", args.get(i + 1))?);
                 i += 1;
             }
+            "--appview-shards" => {
+                opts.appview_shards = parse_value("--appview-shards", args.get(i + 1))?;
+                i += 1;
+            }
             "--store" => {
                 let value: String = parse_value("--store", args.get(i + 1))?;
                 store_kind = Some(match value.as_str() {
@@ -183,6 +193,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if opts.jobs == 0 {
         return Err("--jobs must be at least 1".into());
+    }
+    if opts.appview_shards == 0 {
+        return Err("--appview-shards must be at least 1".into());
+    }
+    if opts.appview_shards > 1 && (opts.seeds.is_some() || opts.scales.is_some()) {
+        return Err("--appview-shards cannot be combined with --seeds/--scales".into());
     }
     // The shard count defaults to one shard per worker; an explicit
     // `--shards` may exceed the worker count (more shards than threads is
@@ -291,14 +307,15 @@ fn main() {
         opts.jobs,
     );
     let report = if opts.batch {
-        StudyReport::run_batch_store(config, opts.snapshots, &opts.store)
+        StudyReport::run_batch_appview(config, opts.snapshots, &opts.store, opts.appview_shards)
     } else {
-        let (report, summary) = StudyReport::run_sharded_store(
+        let (report, summary) = StudyReport::run_sharded_appview(
             config,
             opts.shards,
             opts.jobs,
             opts.snapshots,
             &opts.store,
+            opts.appview_shards,
         );
         if opts.stream {
             eprint!("{}", summary.render());
@@ -367,6 +384,34 @@ mod tests {
         assert!(parse_args(&args(&["--jobs", "2", "--seeds", "1,2"])).is_err());
         assert!(parse_args(&args(&["--incremental", "--full-snapshots"])).is_err());
         assert!(parse_args(&args(&["--full-snapshots", "--seeds", "1,2"])).is_err());
+    }
+
+    #[test]
+    fn appview_shards_flag_parses() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opts.appview_shards, 1);
+        let opts = parse_args(&args(&["--appview-shards", "4"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.appview_shards, 4);
+        // Composes with the engine shards, store backends and batch mode.
+        let opts = parse_args(&args(&[
+            "--appview-shards",
+            "4",
+            "--jobs",
+            "2",
+            "--store",
+            "paged",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.appview_shards, 4);
+        assert!(parse_args(&args(&["--appview-shards", "2", "--batch"])).is_ok());
+        // Errors: zero, missing/garbage values, grid runs.
+        assert!(parse_args(&args(&["--appview-shards", "0"])).is_err());
+        assert!(parse_args(&args(&["--appview-shards"])).is_err());
+        assert!(parse_args(&args(&["--appview-shards", "x"])).is_err());
+        assert!(parse_args(&args(&["--appview-shards", "2", "--seeds", "1,2"])).is_err());
     }
 
     #[test]

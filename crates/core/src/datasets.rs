@@ -741,6 +741,10 @@ impl Collector {
         // every read-back by CID); any such loss would make the emitted
         // snapshots incomplete, so the count is surfaced — never silent.
         summary.store_corrupt_reads = store_stats.corrupt_reads;
+        // Labels the AppView could not apply because their target was not
+        // indexed (post deleted, or label raced the post) — counted like
+        // `repo_snapshot_skips`, never silently dropped.
+        summary.appview_labels_preindex = world.appview.index().labels_preindex();
         summary
     }
 
@@ -933,15 +937,17 @@ impl Collector {
             let generator = &world.feedgens[index];
             // Hydrate the retained entries against the post index, as
             // `getFeed` does on the live network: URIs the AppView cannot
-            // resolve are silently dropped. Personalised feeds serve
-            // nothing to the study's anonymous crawler.
+            // resolve are silently dropped. `has_post` probes the sharded
+            // key index without decoding (or paging in) the post blocks.
+            // Personalised feeds serve nothing to the study's anonymous
+            // crawler.
             let posts: Vec<FeedPost> = if generator.is_personalized() {
                 Vec::new()
             } else {
                 generator
                     .entries()
                     .iter()
-                    .filter(|entry| world.appview.index().post(&entry.uri).is_some())
+                    .filter(|entry| world.appview.index().has_post(&entry.uri))
                     .map(|entry| FeedPost {
                         uri: entry.uri.clone(),
                         created_at: entry.post_created_at,

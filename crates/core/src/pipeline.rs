@@ -361,6 +361,11 @@ pub struct StreamSummary {
     /// means data was lost to spill-file corruption and the run's snapshots
     /// may be incomplete; surfaced so that loss is never silent.
     pub store_corrupt_reads: u64,
+    /// Labels the AppView could not apply because their target entity was
+    /// not indexed when they arrived (the post was deleted, or the label
+    /// raced the post). Counted like `repo_snapshot_skips` — a visible
+    /// dataset gap, never a silent drop.
+    pub appview_labels_preindex: u64,
 }
 
 impl StreamSummary {
@@ -388,6 +393,12 @@ impl StreamSummary {
                 self.store_corrupt_reads
             ));
         }
+        if self.appview_labels_preindex > 0 {
+            out.push_str(&format!(
+                "; appview: {} label(s) targeted unindexed entities",
+                self.appview_labels_preindex
+            ));
+        }
         out
     }
 
@@ -409,6 +420,7 @@ impl StreamSummary {
         self.resident_block_bytes += other.resident_block_bytes;
         self.spilled_block_bytes += other.spilled_block_bytes;
         self.store_corrupt_reads += other.store_corrupt_reads;
+        self.appview_labels_preindex += other.appview_labels_preindex;
     }
 }
 

@@ -23,7 +23,7 @@ use crate::analysis::{
 use crate::datasets::{Collector, Datasets, SnapshotMode};
 use crate::json::Json;
 use crate::pipeline::{Analyzer, StreamSummary, StudyCtx};
-use crate::shard::{collect_sharded_store, ShardedSummary, StudyAnalyzers};
+use crate::shard::{collect_sharded_appview, ShardedSummary, StudyAnalyzers};
 use bsky_atproto::blockstore::StoreConfig;
 use bsky_workload::{ScenarioConfig, World};
 
@@ -104,7 +104,26 @@ impl StudyReport {
         mode: SnapshotMode,
         store: &StoreConfig,
     ) -> (StudyReport, ShardedSummary) {
-        let (analyzers, world, summary) = collect_sharded_store(config, shards, jobs, mode, store);
+        StudyReport::run_sharded_appview(config, shards, jobs, mode, store, 1)
+    }
+
+    /// [`StudyReport::run_sharded_store`] with an explicit AppView
+    /// entity-shard count (repro `--appview-shards N`): every engine
+    /// shard's world partitions its AppView indices by entity hash across
+    /// `appview_shards` store-backed shards. Entity sharding changes only
+    /// residency — the golden equivalence test pins the report byte-
+    /// identical across appview shard counts × store backends, serial and
+    /// sharded.
+    pub fn run_sharded_appview(
+        config: ScenarioConfig,
+        shards: usize,
+        jobs: usize,
+        mode: SnapshotMode,
+        store: &StoreConfig,
+        appview_shards: usize,
+    ) -> (StudyReport, ShardedSummary) {
+        let (analyzers, world, summary) =
+            collect_sharded_appview(config, shards, jobs, mode, store, appview_shards);
         (
             StudyReport::from_analyzers(config, analyzers, &world),
             summary,
@@ -153,7 +172,18 @@ impl StudyReport {
         mode: SnapshotMode,
         store: &StoreConfig,
     ) -> StudyReport {
-        let mut world = World::new_store(config, store.clone());
+        StudyReport::run_batch_appview(config, mode, store, 1)
+    }
+
+    /// [`StudyReport::run_batch_store`] with an explicit AppView
+    /// entity-shard count.
+    pub fn run_batch_appview(
+        config: ScenarioConfig,
+        mode: SnapshotMode,
+        store: &StoreConfig,
+        appview_shards: usize,
+    ) -> StudyReport {
+        let mut world = World::new_store_appview(config, store.clone(), appview_shards);
         let datasets = Collector::new()
             .snapshot_mode(mode)
             .store(store.clone())

@@ -115,8 +115,9 @@ fn run_shard(
     shards: usize,
     mode: SnapshotMode,
     store: &StoreConfig,
+    appview_shards: usize,
 ) -> ShardResult {
-    let mut world = World::with_plan_store(
+    let mut world = World::with_plan_store_appview(
         config,
         plan,
         ShardSpec {
@@ -124,6 +125,7 @@ fn run_shard(
             count: shards,
         },
         store.clone(),
+        appview_shards,
     );
     let mut analyzers = StudyAnalyzers::new();
     let summary = Collector::new()
@@ -174,6 +176,21 @@ pub fn collect_sharded_store(
     mode: SnapshotMode,
     store: &StoreConfig,
 ) -> (StudyAnalyzers, World, ShardedSummary) {
+    collect_sharded_appview(config, shards, jobs, mode, store, 1)
+}
+
+/// [`collect_sharded_store`] with an explicit AppView entity-shard count
+/// for every engine shard's world (repro `--appview-shards N`). Entity
+/// sharding changes only where AppView state resides — queries, and
+/// therefore the merged report, are byte-identical for any count.
+pub fn collect_sharded_appview(
+    config: ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    mode: SnapshotMode,
+    store: &StoreConfig,
+    appview_shards: usize,
+) -> (StudyAnalyzers, World, ShardedSummary) {
     assert!(shards >= 1, "shard count must be at least 1");
     assert!(
         (1..=shards).contains(&jobs),
@@ -192,6 +209,7 @@ pub fn collect_sharded_store(
                 shards,
                 mode,
                 store,
+                appview_shards,
             )));
         }
     } else {
@@ -209,7 +227,15 @@ pub fn collect_sharded_store(
                     if index >= shards {
                         break;
                     }
-                    let result = run_shard(config, plan.clone(), index, shards, mode, &store);
+                    let result = run_shard(
+                        config,
+                        plan.clone(),
+                        index,
+                        shards,
+                        mode,
+                        &store,
+                        appview_shards,
+                    );
                     slots.lock().expect("shard result lock")[index] = Some(result);
                 });
             }

@@ -313,14 +313,11 @@ pub struct PopulationPlan {
     popularity_order: Vec<u32>,
 }
 
-/// FNV-1a over a DID string; the per-DID shard assignment hash.
+/// FNV-1a over a DID string; the per-DID shard assignment hash. This is
+/// [`Did::shard_hash`] — the same hash the AppView's entity shards route
+/// actors by — re-exported under the name the plan has always used.
 pub fn did_hash(did: &Did) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in did.to_string().bytes() {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
+    did.shard_hash()
 }
 
 impl PopulationPlan {

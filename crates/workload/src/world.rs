@@ -216,6 +216,25 @@ impl World {
         World::with_plan_store(config, plan, shard, StoreConfig::default())
     }
 
+    /// [`World::new_store`] with an explicit AppView entity-shard count
+    /// (repro `--appview-shards N`): the AppView's post/actor indices are
+    /// partitioned by entity hash across `appview_shards` store-backed
+    /// shards. Shard count and backend change only residency, never an
+    /// answer — and therefore never a report byte.
+    pub fn new_store_appview(
+        config: ScenarioConfig,
+        store: StoreConfig,
+        appview_shards: usize,
+    ) -> World {
+        World::with_plan_store_appview(
+            config,
+            Arc::new(PopulationPlan::build(&config)),
+            ShardSpec::whole(),
+            store,
+            appview_shards,
+        )
+    }
+
     /// [`World::with_plan`] with an explicit block-store backend. The
     /// backend changes only *where* blocks reside (memory vs paged disk
     /// spill) — every simulated byte and therefore every report is
@@ -225,6 +244,21 @@ impl World {
         plan: Arc<PopulationPlan>,
         shard: ShardSpec,
         store: StoreConfig,
+    ) -> World {
+        World::with_plan_store_appview(config, plan, shard, store, 1)
+    }
+
+    /// [`World::with_plan_store`] with an explicit AppView entity-shard
+    /// count — the full builder every other constructor delegates to. The
+    /// AppView reuses the world's block-store backend for its entity
+    /// blocks, so `--store paged` bounds AppView residency exactly like it
+    /// bounds repositories and the relay mirror.
+    pub fn with_plan_store_appview(
+        config: ScenarioConfig,
+        plan: Arc<PopulationPlan>,
+        shard: ShardSpec,
+        store: StoreConfig,
+        appview_shards: usize,
     ) -> World {
         let root = SimRng::new(config.seed);
 
@@ -268,7 +302,7 @@ impl World {
             dns: DnsZoneStore::new(),
             web: WebSpace::new(),
             relay: Relay::with_store("bsky.network", &store),
-            appview: AppView::new(),
+            appview: AppView::with_shards(appview_shards, &store),
             labelers: LabelerRegistry::new(),
             labeler_info: Vec::new(),
             feedgens: Vec::new(),
@@ -950,12 +984,20 @@ impl World {
         (self.total_posts, self.total_likes)
     }
 
-    /// Aggregate block-store statistics over every repository in the fleet
-    /// plus the relay's CAR mirror (resident vs spilled bytes).
+    /// Aggregate block-store statistics over every repository in the fleet,
+    /// the relay's CAR mirror, and the AppView's entity shards (resident vs
+    /// spilled bytes).
     pub fn store_stats(&self) -> StoreStats {
         let mut stats = self.fleet.store_stats();
         stats.absorb(&self.relay.store_stats());
+        stats.absorb(&self.appview.store_stats());
         stats
+    }
+
+    /// Block-store statistics of the AppView's entity shards alone (the
+    /// bench tracks these as `appview_resident_bytes_*`).
+    pub fn appview_store_stats(&self) -> StoreStats {
+        self.appview.store_stats()
     }
 
     /// Run the repository compaction pass over the whole fleet: blocks
@@ -1286,6 +1328,45 @@ mod tests {
         sharded_labels.sort();
         assert!(!whole_labels.is_empty());
         assert_eq!(whole_labels, sharded_labels);
+    }
+
+    #[test]
+    fn appview_shards_and_store_do_not_change_the_world() {
+        let config = small_config();
+        let mut baseline = World::new(config);
+        // 4 entity shards over tiny paged stores: the AppView must spill
+        // while answering every query exactly like the monolithic default.
+        let mut sharded = World::new_store_appview(
+            config,
+            StoreConfig::paged().page_size(2048).resident_pages(1),
+            4,
+        );
+        for _ in 0..45 {
+            baseline.step_day();
+            sharded.step_day();
+        }
+        assert_eq!(sharded.appview.index().shard_count(), 4);
+        let (a, b) = (baseline.appview.index(), sharded.appview.index());
+        assert_eq!(a.post_count(), b.post_count());
+        assert_eq!(a.actor_count(), b.actor_count());
+        assert_eq!(a.follow_edge_count(), b.follow_edge_count());
+        assert_eq!(a.labels_ingested(), b.labels_ingested());
+        assert_eq!(a.records_indexed(), b.records_indexed());
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert!(a.post_count() > 0, "the window must index posts");
+        // Point queries and timelines agree for every signed-up user.
+        for user in baseline.users.iter().take(25) {
+            assert_eq!(a.actor(&user.did), b.actor(&user.did));
+            assert_eq!(
+                a.following_timeline(&user.did, 20),
+                b.following_timeline(&user.did, 20)
+            );
+        }
+        // The paged AppView really spilled, and holds fewer resident bytes.
+        let paged = sharded.appview_store_stats();
+        let mem = baseline.appview_store_stats();
+        assert!(paged.spilled_bytes > 0, "appview never spilled: {paged:?}");
+        assert!(paged.resident_bytes < mem.resident_bytes);
     }
 
     #[test]

@@ -64,17 +64,41 @@
 //! ## Pluggable block storage and compaction
 //!
 //! Every CID-addressed byte blob — repository record and MST node blocks,
-//! the relay's mirrored CAR archives, the study mirror's record blocks —
-//! lives behind the `bsky_atproto::blockstore::BlockStore` trait. Three
-//! backends: `MemStore` (the default), `PagedStore` (fixed-size pages with
-//! an LRU of resident pages; cold pages spill to a per-store disk
-//! directory and every read-back is re-hashed and verified against its
-//! CID), and `CountingStore` (a stats-feeding wrapper for invariants like
-//! "a rejected write batch leaves no orphan blocks"). The backend is
-//! chosen when a world is built (`bsky_workload::World::new_store`, repro
+//! the relay's mirrored CAR archives, the study mirror's record blocks,
+//! and the AppView's per-entity state — lives behind the
+//! `bsky_atproto::blockstore::BlockStore` trait. Three backends:
+//! `MemStore` (the default), `PagedStore` (fixed-size pages with an LRU of
+//! resident pages; cold pages spill to a per-store disk directory and
+//! every read-back is re-hashed and verified against its CID), and
+//! `CountingStore` (a stats-feeding wrapper for invariants like "a
+//! rejected write batch leaves no orphan blocks"). The backend is chosen
+//! when a world is built (`bsky_workload::World::new_store`, repro
 //! `--store mem|paged --page-size N --spill-dir DIR`) and changes only
 //! *where* blocks reside — the golden equivalence test pins mem == paged
 //! byte-identical, serial and sharded.
+//!
+//! ## Entity-sharded, store-backed AppView
+//!
+//! The AppView's own indices were the last monolithic in-memory state:
+//! `bsky_appview::AppViewShards` partitions them by *entity hash* — posts
+//! by the FNV-1a hash of their AT-URI, actors and their outgoing graph
+//! edges by `bsky_atproto::Did::shard_hash`, the same hash the workload
+//! plan partitions the population by — and each shard keeps its
+//! `PostInfo`/`ActorInfo` entities as DAG-CBOR blocks in its own
+//! `BlockStore` (only key→CID maps, edge sets and counters stay
+//! resident). Ingestion decomposes into per-entity primitives routed to
+//! the owning shard; queries (`following_timeline`, `getProfile`,
+//! `getFeed` hydration) fan out and re-merge under a canonical
+//! `(created_at desc, uri)` order; an associative merge mirrors the
+//! pipeline's `Analyzer::merge`. Configured end to end via
+//! `bsky_workload::World::new_store_appview` /
+//! `bsky_study::StudyReport::run_sharded_appview` (repro
+//! `--appview-shards N`); a property test pins sharded == monolithic for
+//! random event/label interleavings, and the golden equivalence test pins
+//! the report byte-identical across appview shard counts × store
+//! backends. Labels that arrive before the entity they target are counted
+//! (`StreamSummary::appview_labels_preindex`) instead of silently
+//! dropped.
 //!
 //! On the wire, MST node entries are prefix-compressed exactly like the
 //! reference implementation (`p` shared-prefix length + `k` suffix),
