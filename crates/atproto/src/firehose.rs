@@ -427,6 +427,139 @@ mod tests {
         assert!(small.wire_size() >= small.encode().len());
     }
 
+    fn single_op_commit(collection: &str, action: WriteAction) -> Event {
+        Event {
+            seq: 7,
+            time: now(),
+            body: EventBody::Commit {
+                did: did(),
+                commit: Cid::for_cbor(b"commit"),
+                rev: Tid::from_micros(1_000_000, 1),
+                ops: vec![RecordOp {
+                    action,
+                    key: format!("{collection}/3kabcdefgh234"),
+                    cid: match action {
+                        WriteAction::Delete => None,
+                        _ => Some(Cid::for_cbor(b"record")),
+                    },
+                }],
+                blocks_bytes: 512,
+                too_big: false,
+            },
+        }
+    }
+
+    #[test]
+    fn wire_size_is_pinned_per_event_variant() {
+        // One case per event variant the workload emits, with the exact
+        // frame size pinned. The §10 observatory attributes padding deltas
+        // to these accounting numbers; if an encoding change moves them,
+        // this table must move with it — knowingly.
+        let labels_batch = Event {
+            seq: 7,
+            time: now(),
+            body: EventBody::Commit {
+                did: did(),
+                commit: Cid::for_cbor(b"commit"),
+                rev: Tid::from_micros(1_000_000, 1),
+                ops: (0..3)
+                    .map(|i| RecordOp {
+                        action: WriteAction::Create,
+                        key: format!("{}/3kabcdefgh23{i}", known::LABELER_SERVICE),
+                        cid: Some(Cid::for_cbor(&[i])),
+                    })
+                    .collect(),
+                blocks_bytes: 2048,
+                too_big: false,
+            },
+        };
+        let cases: Vec<(&str, Event, usize)> = vec![
+            (
+                "post create",
+                single_op_commit(known::POST, WriteAction::Create),
+                288,
+            ),
+            (
+                "like create",
+                single_op_commit(known::LIKE, WriteAction::Create),
+                288,
+            ),
+            (
+                "follow create",
+                single_op_commit(known::FOLLOW, WriteAction::Create),
+                291,
+            ),
+            (
+                "repost create",
+                single_op_commit(known::REPOST, WriteAction::Create),
+                290,
+            ),
+            (
+                "post delete",
+                single_op_commit(known::POST, WriteAction::Delete),
+                248,
+            ),
+            (
+                "profile update",
+                single_op_commit(known::PROFILE, WriteAction::Update),
+                292,
+            ),
+            ("labels batch", labels_batch, 504),
+            (
+                "identity",
+                Event {
+                    seq: 7,
+                    time: now(),
+                    body: EventBody::Identity { did: did() },
+                },
+                96,
+            ),
+            (
+                "handle change",
+                Event {
+                    seq: 7,
+                    time: now(),
+                    body: EventBody::HandleChange {
+                        did: did(),
+                        handle: Handle::parse("alice.example.com").unwrap(),
+                    },
+                },
+                119,
+            ),
+            (
+                "tombstone",
+                Event {
+                    seq: 7,
+                    time: now(),
+                    body: EventBody::Tombstone { did: did() },
+                },
+                97,
+            ),
+            (
+                "info",
+                Event {
+                    seq: 7,
+                    time: now(),
+                    body: EventBody::Info {
+                        name: "OutdatedCursor".into(),
+                    },
+                },
+                74,
+            ),
+        ];
+        let got: Vec<(&str, usize)> = cases
+            .iter()
+            .map(|(name, event, _)| (*name, event.wire_size()))
+            .collect();
+        let want: Vec<(&str, usize)> = cases.iter().map(|(name, _, size)| (*name, *size)).collect();
+        assert_eq!(got, want);
+        // The canonical size is the variable encoding with the seq counted
+        // at its fixed 9-byte width (seq 7 encodes in 1 byte).
+        for (name, event, _) in &cases {
+            assert_eq!(event.wire_size(), event.encode().len() + 8, "{name}");
+        }
+    }
+
     #[test]
     fn kinds_match_table1_rows() {
         assert_eq!(EventKind::Commit.display_name(), "Repo Commit");

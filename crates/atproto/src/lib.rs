@@ -17,8 +17,9 @@
 //! * **Repositories** — a Merkle Search Tree ([`mst`]), signed commits and CAR
 //!   export ([`repo`]), and the lexicon record types of the `app.bsky` and
 //!   `com.atproto` namespaces ([`record`]).
-//! * **Streaming** — firehose event frames ([`firehose`]) and moderation
-//!   labels ([`label`]).
+//! * **Streaming** — firehose event frames ([`firehose`]), moderation
+//!   labels ([`label`]), and wire-framing mitigations ([`framing`]:
+//!   padding and batching policies for the §10 traffic observatory).
 //! * **Time** — a dependency-free civil datetime ([`datetime`]) so that the
 //!   whole workspace shares one notion of simulated wall-clock time.
 //!
@@ -38,6 +39,7 @@ pub mod datetime;
 pub mod did;
 pub mod error;
 pub mod firehose;
+pub mod framing;
 pub mod handle;
 pub mod label;
 pub mod mst;
@@ -53,6 +55,7 @@ pub use cid::Cid;
 pub use datetime::Datetime;
 pub use did::{Did, DidMethod};
 pub use error::{AtError, Result};
+pub use framing::{BatchPolicy, FramingPolicy, PaddingPolicy};
 pub use handle::Handle;
 pub use nsid::Nsid;
 pub use record::Record;

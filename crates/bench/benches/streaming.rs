@@ -31,6 +31,12 @@
 //! * **MST prefix compression** — node blocks encode prefix-compressed
 //!   entry keys; at a realistic tree size the structural bytes must beat
 //!   the legacy full-key encoding (asserted).
+//! * **wire observatory** — the §10 traffic-analysis sweep: classifier
+//!   accuracy and framing overhead with no mitigation vs 128-byte bucket
+//!   padding, plus the active policy's wire accounting (bucket padding
+//!   must cost strictly more overhead than bare framing; asserted and
+//!   exported as `observer_accuracy_{none,bucketed}` /
+//!   `padding_overhead_{none_,}bytes`).
 //!
 //! `--json` additionally writes `BENCH_streaming.json` next to the working
 //! directory so the perf trajectory can be tracked across PRs. `--smoke`
@@ -296,6 +302,48 @@ fn main() {
         probe.total_posts
     );
 
+    // Observatory: one framed run (128-byte buckets, 2 s batch windows)
+    // yields both the §10 mitigation sweep — computed counterfactually from
+    // the raw captures, so it matches every other run of this config — and
+    // the active policy's wire accounting in the summary.
+    use bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
+    let (framed_report, framed_summary) = StudyReport::run_sharded_framed(
+        config,
+        1,
+        1,
+        SnapshotMode::default(),
+        &StoreConfig::mem(),
+        1,
+        FramingPolicy::new(PaddingPolicy::Buckets, 2),
+    );
+    let observatory = &framed_report.observatory;
+    let accuracy_none = observatory.cell_accuracy("none").unwrap_or(0.0);
+    let accuracy_bucketed = observatory.cell_accuracy("pad128").unwrap_or(0.0);
+    let overhead_none = observatory.cell_overhead("none").unwrap_or(0);
+    let overhead_bucketed = observatory.cell_overhead("pad128").unwrap_or(0);
+    println!(
+        "observatory: {:.1}% classifier accuracy unmitigated vs {:.1}% under pad128 (chance {:.1}%); framing overhead {} bytes unmitigated vs {} pad128; active wire overhead {} bytes on {} frames",
+        accuracy_none * 100.0,
+        accuracy_bucketed * 100.0,
+        observatory.chance_accuracy * 100.0,
+        overhead_none,
+        overhead_bucketed,
+        framed_summary.merged.padding_overhead_bytes,
+        framed_summary.merged.wire_frames,
+    );
+    assert!(
+        observatory.traced_days > 0,
+        "the wire tap must capture traces at bench scale"
+    );
+    assert!(
+        overhead_bucketed > overhead_none,
+        "bucket padding must cost strictly more overhead than bare framing ({overhead_bucketed} vs {overhead_none})"
+    );
+    assert!(
+        framed_summary.merged.padding_overhead_bytes > 0 && framed_summary.merged.wire_frames > 0,
+        "the active bucketed policy must account overhead on the producer's wire"
+    );
+
     group.finish();
 
     if json {
@@ -348,6 +396,11 @@ fn main() {
             )
             .with("mst_structural_bytes", mst_compressed as u64)
             .with("mst_structural_bytes_uncompressed", mst_uncompressed as u64)
+            .with("padding_overhead_none_bytes", overhead_none)
+            .with("padding_overhead_bytes", overhead_bucketed)
+            .with("observer_accuracy_none", accuracy_none)
+            .with("observer_accuracy_bucketed", accuracy_bucketed)
+            .with("observer_chance_accuracy", observatory.chance_accuracy)
             .with("serial_ns_per_day", serial.as_nanos() as u64 / days)
             .with("sharded4_ns_per_day", sharded.as_nanos() as u64 / days)
             .with("sharded_speedup", speedup);

@@ -15,8 +15,9 @@
 //! own speedup assertion — because single-digit-core container timings are
 //! not comparable. Structural wins (the incremental-vs-full snapshot
 //! traffic win, the paged-vs-mem resident-block-bytes win for both the
-//! repo/relay stores and the AppView's entity shards, and the MST
-//! prefix-compression win) are always checked.
+//! repo/relay stores and the AppView's entity shards, the MST
+//! prefix-compression win, and the observatory's framing-overhead win) are
+//! always checked.
 //!
 //! First-run and stale-baseline behaviour is explicit, never a confusing
 //! JSON error: a *missing* baseline file fails with instructions to run the
@@ -65,6 +66,14 @@ const STRUCTURAL_WINS: &[StructuralWin] = &[
         better: "mst_structural_bytes",
         worse: "mst_structural_bytes_uncompressed",
         what: "MST prefix compression bytes",
+    },
+    // Lower overhead is "better" here in the comparator's sense only: bare
+    // framing must always cost strictly fewer bytes than bucket padding,
+    // i.e. the mitigation's overhead must remain measurable.
+    StructuralWin {
+        better: "padding_overhead_none_bytes",
+        worse: "padding_overhead_bytes",
+        what: "unmitigated framing overhead bytes",
     },
 ];
 
@@ -244,6 +253,10 @@ mod tests {
             .with("appview_resident_bytes_paged", 900u64)
             .with("mst_structural_bytes", 4_000u64)
             .with("mst_structural_bytes_uncompressed", 5_000u64)
+            .with("padding_overhead_none_bytes", 1_200u64)
+            .with("padding_overhead_bytes", 9_000u64)
+            .with("observer_accuracy_none", 0.8f64)
+            .with("observer_accuracy_bucketed", 0.5f64)
     }
 
     #[test]
@@ -335,6 +348,22 @@ mod tests {
             panic!("expected failure");
         };
         assert!(regressions[0].contains("appview"), "{regressions:?}");
+    }
+
+    #[test]
+    fn padding_overhead_win_is_always_enforced() {
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        // Bucket padding no longer costing more than bare framing means the
+        // mitigation accounting broke: fails even on 1 CPU.
+        let bad = export(1, 0.9, 1_000_000, 700, 1_000).with("padding_overhead_bytes", 1_000u64);
+        let (outcome, _) = compare(&bad, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(
+            regressions[0].contains("framing overhead"),
+            "{regressions:?}"
+        );
     }
 
     #[test]

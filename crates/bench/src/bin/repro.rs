@@ -6,6 +6,7 @@
 //!         [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream]
 //!         [--batch] [--incremental | --full-snapshots]
 //!         [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]
+//!         [--padding none|buckets|constant] [--batch-window SECS]
 //!
 //! `--scale` is the denominator applied to the live network's size
 //! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
@@ -31,14 +32,21 @@
 //! `--appview-shards N` partitions the AppView's post/actor indices by
 //! entity hash into `N` store-backed shards (the NUMA-scale configuration
 //! alongside `--store paged`); the report is byte-identical for any count.
+//! `--padding` and `--batch-window` select the wire framing mitigations
+//! (§10): frame padding to 128-byte buckets or a 4096-byte constant, and
+//! coalescing of a connection's events within a window into one frame. The
+//! observatory report sweeps every mitigation cell counterfactually from
+//! the raw captures, so these knobs move only the `--stream` summary's wire
+//! accounting — the report is byte-identical for any policy.
 //!
 //! Unknown flags and missing/malformed values are errors (exit code 2).
 
 use bsky_atproto::blockstore::{StoreConfig, StoreKind};
+use bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
 use bsky_study::{SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +63,7 @@ struct Options {
     batch: bool,
     snapshots: SnapshotMode,
     store: StoreConfig,
+    framing: FramingPolicy,
 }
 
 impl Default for Options {
@@ -72,6 +81,7 @@ impl Default for Options {
             batch: false,
             snapshots: SnapshotMode::Incremental,
             store: StoreConfig::mem(),
+            framing: FramingPolicy::default(),
         }
     }
 }
@@ -109,6 +119,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut store_kind: Option<StoreKind> = None;
     let mut page_size: Option<usize> = None;
     let mut spill_dir: Option<String> = None;
+    let mut padding: Option<PaddingPolicy> = None;
+    let mut batch_window: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -159,6 +171,19 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--spill-dir" => {
                 spill_dir = Some(parse_value("--spill-dir", args.get(i + 1))?);
+                i += 1;
+            }
+            "--padding" => {
+                let value: String = parse_value("--padding", args.get(i + 1))?;
+                padding = Some(PaddingPolicy::parse(&value).ok_or_else(|| {
+                    format!(
+                        "invalid value for --padding: {value:?} (expected none, buckets or constant)"
+                    )
+                })?);
+                i += 1;
+            }
+            "--batch-window" => {
+                batch_window = Some(parse_value("--batch-window", args.get(i + 1))?);
                 i += 1;
             }
             "--json" => opts.json = true,
@@ -236,6 +261,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             return Err("--page-size must be positive".into());
         }
     }
+    // Wire framing mitigations: compose with every single-scenario mode;
+    // grid runs always use the unmitigated default.
+    opts.framing = FramingPolicy::new(padding.unwrap_or_default(), batch_window.unwrap_or(0));
+    if opts.framing.is_mitigating() && (opts.seeds.is_some() || opts.scales.is_some()) {
+        return Err("--padding/--batch-window cannot be combined with --seeds/--scales".into());
+    }
     opts.store = match kind {
         StoreKind::Mem => StoreConfig::mem(),
         StoreKind::Paged => {
@@ -307,15 +338,22 @@ fn main() {
         opts.jobs,
     );
     let report = if opts.batch {
-        StudyReport::run_batch_appview(config, opts.snapshots, &opts.store, opts.appview_shards)
+        StudyReport::run_batch_framed(
+            config,
+            opts.snapshots,
+            &opts.store,
+            opts.appview_shards,
+            opts.framing,
+        )
     } else {
-        let (report, summary) = StudyReport::run_sharded_appview(
+        let (report, summary) = StudyReport::run_sharded_framed(
             config,
             opts.shards,
             opts.jobs,
             opts.snapshots,
             &opts.store,
             opts.appview_shards,
+            opts.framing,
         );
         if opts.stream {
             eprint!("{}", summary.render());
@@ -463,6 +501,48 @@ mod tests {
         assert!(parse_args(&args(&["--store", "paged", "--page-size", "0"])).is_err());
         assert!(parse_args(&args(&["--store", "paged", "--seeds", "1,2"])).is_err());
         assert!(parse_args(&args(&["--store", "mem", "--page-size", "4096"])).is_err());
+    }
+
+    #[test]
+    fn framing_flags_parse() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opts.framing, FramingPolicy::default());
+        assert!(!opts.framing.is_mitigating());
+        let opts = parse_args(&args(&["--padding", "buckets", "--batch-window", "60"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.framing.padding, PaddingPolicy::Buckets);
+        assert_eq!(opts.framing.batch.window_secs, 60);
+        let opts = parse_args(&args(&["--padding", "constant"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.framing.padding, PaddingPolicy::Constant);
+        assert_eq!(opts.framing.batch.window_secs, 0);
+        // Composes with sharding, stores, snapshot modes and batch mode.
+        assert!(parse_args(&args(&[
+            "--padding",
+            "buckets",
+            "--batch-window",
+            "2",
+            "--jobs",
+            "2",
+            "--store",
+            "paged",
+            "--appview-shards",
+            "4",
+        ]))
+        .is_ok());
+        assert!(parse_args(&args(&["--padding", "buckets", "--batch"])).is_ok());
+        assert!(parse_args(&args(&["--batch-window", "60", "--full-snapshots"])).is_ok());
+        // Errors: bad/missing values, grid runs.
+        assert!(parse_args(&args(&["--padding", "bubblewrap"])).is_err());
+        assert!(parse_args(&args(&["--padding"])).is_err());
+        assert!(parse_args(&args(&["--batch-window", "x"])).is_err());
+        assert!(parse_args(&args(&["--batch-window"])).is_err());
+        assert!(parse_args(&args(&["--padding", "buckets", "--seeds", "1,2"])).is_err());
+        assert!(parse_args(&args(&["--batch-window", "60", "--scales", "40000"])).is_err());
+        // An explicit no-op policy is fine alongside grids.
+        assert!(parse_args(&args(&["--padding", "none", "--seeds", "1,2"])).is_ok());
     }
 
     #[test]

@@ -2060,5 +2060,10 @@ mod tests {
         assert_split_merge_equals_fold(ModerationAnalyzer::new, &world, &datasets);
         assert_split_merge_equals_fold(RecommendationAnalyzer::new, &world, &datasets);
         assert_split_merge_equals_fold(FirehoseVolumeAnalyzer::new, &world, &datasets);
+        assert_split_merge_equals_fold(
+            crate::observatory::ObservatoryAnalyzer::new,
+            &world,
+            &datasets,
+        );
     }
 }

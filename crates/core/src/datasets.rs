@@ -59,11 +59,13 @@
 //!   × snapshots); [`crate::pipeline::StreamSummary`] reports the bytes
 //!   actually fetched, the full/delta split, and any skipped repos.
 
+use crate::observatory::{cell_trace, ActivityClass, TraceKind, WireTraceDay};
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
 use bsky_atproto::blockstore::{BlockStore, StoreConfig, StoreStats};
 use bsky_atproto::cid::Cid;
 use bsky_atproto::error::AtError;
 use bsky_atproto::firehose::Event;
+use bsky_atproto::framing::FramingPolicy;
 use bsky_atproto::label::Label;
 use bsky_atproto::record::Record;
 use bsky_atproto::repo::{commit_summary, DeltaScope, Repository};
@@ -214,6 +216,8 @@ pub struct Datasets {
     pub feed_generators: Vec<FeedGenEntry>,
     /// Labeling-services dataset.
     pub labelers: Vec<LabelerEntry>,
+    /// Per-connection, per-day wire traces from the §10 observatory tap.
+    pub wire_traces: Vec<WireTraceDay>,
     /// When continuous firehose collection started.
     pub firehose_collection_start: Datetime,
     /// When collection ended.
@@ -557,6 +561,13 @@ pub struct Collector {
     /// Per-labeler `subscribeLabels` cursors.
     label_cursors: Vec<usize>,
     observations: u64,
+    /// Active wire framing policy (padding × batching) for this run's
+    /// firehose wire. Accounted in the summary; the §10 report sweeps every
+    /// mitigation cell counterfactually regardless of this setting.
+    framing: FramingPolicy,
+    /// Observatory ground truth: DID → (handle, activity class), built from
+    /// the population plan at stream start.
+    identity_map: BTreeMap<String, (String, ActivityClass)>,
 }
 
 impl Default for Collector {
@@ -587,6 +598,8 @@ impl Collector {
             labelers_emitted: 0,
             label_cursors: Vec::new(),
             observations: 0,
+            framing: FramingPolicy::default(),
+            identity_map: BTreeMap::new(),
         }
     }
 
@@ -610,6 +623,16 @@ impl Collector {
     /// reports stay byte-identical.
     pub fn compaction_window(mut self, days: Option<i64>) -> Collector {
         self.compaction_window = days.map(|d| d.max(1));
+        self
+    }
+
+    /// Select the active wire framing policy (builder style): the padding
+    /// and batching mitigations applied to this run's own firehose wire
+    /// (repro `--padding` / `--batch-window`). Deterministic functions of
+    /// the frame content, accounted into the summary's wire counters; §4–§10
+    /// report bytes are invariant under this knob by construction.
+    pub fn framing(mut self, framing: FramingPolicy) -> Collector {
+        self.framing = framing;
         self
     }
 
@@ -637,6 +660,21 @@ impl Collector {
         self.labelers_emitted = 0;
         self.label_cursors.clear();
         self.observations = 0;
+        // Observatory ground truth: the plan's activity weights classify
+        // every planned DID; labeler/feed-generator service DIDs fall back
+        // to `Lurking` at lookup time.
+        self.identity_map = (0..world.plan.len())
+            .map(|index| {
+                let profile = world.plan.profile(index);
+                (
+                    profile.did.to_string(),
+                    (
+                        profile.handle.as_str().to_string(),
+                        ActivityClass::of_weight(profile.activity_weight),
+                    ),
+                )
+            })
+            .collect();
         let mut summary = StreamSummary::default();
         let firehose_start = world.config.firehose_collection_start;
         let collection_end = world.config.end;
@@ -675,6 +713,12 @@ impl Collector {
                 }
             }
             world.end_day(cursor);
+            // Drain the relay's passive wire tap at the day boundary: one
+            // observatory record per traced connection per day. Day-end
+            // flushing makes each record a pure function of the day's
+            // (time, size) multiset — independent of chunking — and bounds
+            // tap memory to a single day of connections.
+            self.flush_wire_traces(world, sink, &mut summary, firehose_start);
             // Labeler metadata for services announced today (exactly one
             // shard owns each labeler DID), then today's label batches from
             // every stream.
@@ -687,7 +731,7 @@ impl Collector {
                     Some(prev) => today.days_since(prev) >= 7,
                 };
                 if due {
-                    self.snapshot_user_identifiers(world, sink);
+                    self.snapshot_user_identifiers(world, sink, &mut summary);
                     // The incremental mirror rides along with the weekly
                     // identifier snapshot: the revs just listed tell it
                     // which repos to delta-sync now instead of re-fetching
@@ -725,7 +769,7 @@ impl Collector {
             }
         }
         // Final snapshots at the end of the window.
-        self.snapshot_user_identifiers(world, sink);
+        self.snapshot_user_identifiers(world, sink, &mut summary);
         self.snapshot_did_documents(world, sink);
         self.snapshot_feed_generators(world, sink);
         self.snapshot_repositories(world, sink, &mut summary);
@@ -800,12 +844,81 @@ impl Collector {
         }
     }
 
-    fn snapshot_user_identifiers<S: ObservationSink>(&mut self, world: &World, sink: &mut S) {
+    /// Drain the relay's passive wire tap and emit one
+    /// [`Observation::WireTrace`] per connection that carried in-window
+    /// traffic today. Also accounts the *active* framing policy's wire into
+    /// the summary — the one knob-dependent surface; the §10 report itself
+    /// sweeps every mitigation cell from the raw captures.
+    fn flush_wire_traces<S: ObservationSink>(
+        &mut self,
+        world: &mut World,
+        sink: &mut S,
+        summary: &mut StreamSummary,
+        firehose_start: Datetime,
+    ) {
+        let start = firehose_start.timestamp();
+        for (conn, trace) in world.relay.take_wire_traces() {
+            // Dropped frames are surfaced even when the day itself falls
+            // outside the collection window — never silent.
+            summary.observer_trace_drops += trace.dropped;
+            // Warmup traffic before the firehose window is not collected;
+            // drop it exactly as the firehose reader does.
+            let frames: Vec<(i64, u64)> = trace
+                .frames
+                .iter()
+                .copied()
+                .filter(|&(time, _)| time >= start)
+                .collect();
+            if frames.is_empty() {
+                continue;
+            }
+            let Ok(did) = Did::parse(&conn) else {
+                continue;
+            };
+            let day = frames[0].0.div_euclid(86_400);
+            let class = self
+                .identity_map
+                .get(&conn)
+                .map(|(_, class)| *class)
+                .unwrap_or(ActivityClass::Lurking);
+            let record =
+                WireTraceDay::from_frames(TraceKind::Repo, did, day, class, &frames, trace.dropped);
+            let active = cell_trace(
+                &frames,
+                self.framing.padding,
+                self.framing.batch.window_secs,
+            );
+            summary.wire_frames += active.frames;
+            summary.padding_overhead_bytes +=
+                active.wire_bytes.saturating_sub(record.payload_bytes);
+            self.emit(sink, &Observation::WireTrace(&record), world);
+        }
+    }
+
+    fn snapshot_user_identifiers<S: ObservationSink>(
+        &mut self,
+        world: &World,
+        sink: &mut S,
+        summary: &mut StreamSummary,
+    ) {
+        // Identity resolution rides along with the listRepos snapshot: for
+        // each newly listed planned DID the study client resolves the
+        // `_atproto.<handle>` TXT record, like the paper's handle-ownership
+        // checks. The lookups form one DNS wire trace per snapshot.
+        let mut lookup_frames: Vec<(i64, u64)> = Vec::new();
+        let when = world.today.timestamp();
         let mut cursor: Option<String> = None;
         loop {
             let (page, next) = world.relay.list_repos(cursor.as_deref(), 500);
             for (did, rev) in page {
                 if self.seen_identifiers.insert(did.to_string()) {
+                    if let Some((handle, _)) = self.identity_map.get(&did.to_string()) {
+                        let _ = world.dns.lookup_atproto_did(handle);
+                        summary.identity_lookups += 1;
+                        // Modeled DNS query + response bytes for the
+                        // `_atproto.<handle>` TXT lookup.
+                        lookup_frames.push((when, 64 + 9 + handle.len() as u64));
+                    }
                     self.identifier_order.push(did.clone());
                     let rev = rev.map(|t| t.to_string());
                     self.emit(
@@ -822,6 +935,17 @@ impl Collector {
                 Some(c) => cursor = Some(c),
                 None => break,
             }
+        }
+        if !lookup_frames.is_empty() {
+            let record = WireTraceDay::from_frames(
+                TraceKind::Dns,
+                Did::plc_from_seed(b"dns-resolver-client"),
+                when.div_euclid(86_400),
+                ActivityClass::Lurking,
+                &lookup_frames,
+                0,
+            );
+            self.emit(sink, &Observation::WireTrace(&record), world);
         }
     }
 
@@ -1066,6 +1190,9 @@ impl Analyzer for Materialize {
             Observation::Repo(snapshot) => {
                 self.datasets.repositories.push((*snapshot).clone());
             }
+            Observation::WireTrace(trace) => {
+                self.datasets.wire_traces.push((*trace).clone());
+            }
             Observation::WindowEnd { .. } => {}
         }
     }
@@ -1188,6 +1315,28 @@ impl Analyzer for Materialize {
             .enumerate()
             .map(|(i, e)| (e.uri.to_string(), i))
             .collect();
+        // Wire traces: keyed by (kind, did, day). Repo connections are
+        // disjoint across shards; the shared DNS resolver client's per-shard
+        // halves of the same snapshot day absorb into one record.
+        let mut traces = std::mem::take(&mut self.datasets.wire_traces);
+        traces.extend(other_data.wire_traces);
+        traces.sort_by(|a, b| {
+            (a.kind, a.did.to_string(), a.day).cmp(&(b.kind, b.did.to_string(), b.day))
+        });
+        let mut merged: Vec<WireTraceDay> = Vec::with_capacity(traces.len());
+        for trace in traces {
+            match merged.last_mut() {
+                Some(last)
+                    if last.kind == trace.kind
+                        && last.did == trace.did
+                        && last.day == trace.day =>
+                {
+                    last.absorb(&trace);
+                }
+                _ => merged.push(trace),
+            }
+        }
+        self.datasets.wire_traces = merged;
     }
 
     fn finish(self, _ctx: &StudyCtx<'_>) -> Datasets {

@@ -21,6 +21,10 @@
 //! * [`analysis`] — every table and figure of §4–§9 as incremental
 //!   analyzers; the batch functions replay materialized datasets through the
 //!   same accumulators, so both paths agree by construction.
+//! * [`observatory`] — §10, the wire-level traffic observatory: a passive
+//!   per-connection `(size, gap)` capture feeds a closed-world 1-NN
+//!   activity classifier, swept across padding/batching mitigation cells
+//!   evaluated counterfactually from the raw traces.
 //! * [`shard`] — the sharded engine: the population is partitioned by DID
 //!   hash, one producer + analyzer set runs per shard on worker threads,
 //!   and the per-shard states are merged (every analyzer implements an
@@ -40,12 +44,14 @@ pub mod analysis;
 pub mod datasets;
 pub mod json;
 pub mod langdetect;
+pub mod observatory;
 pub mod pipeline;
 pub mod report;
 pub mod shard;
 pub mod stats;
 
 pub use datasets::{Collector, Datasets, IncrementalRepoMirror, SnapshotMode};
+pub use observatory::{ActivityClass, ObservatoryAnalyzer, ObservatoryReport, WireTraceDay};
 pub use pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx, StudyEngine};
 pub use report::{StudyBatch, StudyReport};
 pub use shard::{ShardedSummary, StudyAnalyzers};

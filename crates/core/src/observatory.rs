@@ -1,0 +1,898 @@
+//! §10 — the wire-level traffic observatory.
+//!
+//! The study engine carries everything an on-path adversary would see —
+//! observer-independent frame sizes, a simulated clock, per-DID firehose
+//! subscriptions and identity-resolution lookups — and this module turns
+//! that into the measurement the FOCI'20 encrypted-DNS study ("Padding
+//! Ain't Enough") ran: can a **passive** observer, seeing only `(size,
+//! inter-arrival gap)` sequences, classify what kind of user produced a
+//! day of traffic? And at what bandwidth cost do padding and batching
+//! mitigations defeat it?
+//!
+//! ## The counterfactual sweep
+//!
+//! The producer captures each connection's *raw* per-day `(time, size)`
+//! trace once, and every mitigation cell in [`MITIGATION_CELLS`] is
+//! evaluated from that capture as a counterfactual: "what would this day's
+//! wire have looked like under pad-to-128 + 60 s batching?" is a pure
+//! function of the raw trace ([`WireTraceDay::from_frames`]). §10 therefore
+//! never depends on which `--padding` / `--batch-window` the run was
+//! *configured* with — the observer is passive by construction, the whole
+//! report is invariant under the active framing policy, and a sharded run
+//! reproduces the serial bytes exactly.
+//!
+//! ## The closed-world classifier
+//!
+//! Ground truth comes from the population plan: each user's long-run
+//! activity weight maps to one of three [`ActivityClass`]es (posting-heavy,
+//! feed-fetching, lurking). Each traced `(did, week)` is one instance —
+//! a week of a connection's wire accumulates enough (size, gap) structure
+//! to be worth classifying, where single days mostly carry one commit
+//! frame. Even absolute weeks train, odd weeks test, and both sides are
+//! class-balanced
+//! (equal instances per class, so chance is ~1/classes and a lurker-heavy
+//! population cannot make majority-vote look like an attack). A
+//! 1-nearest-neighbour over z-scored per-week features (frame count, wire
+//! bytes, mean frame size, span, mean gap) predicts the class. Accuracy is
+//! reported per mitigation cell next to the cell's bandwidth overhead,
+//! against the majority-class chance baseline of the balanced test set.
+
+use crate::datasets::Datasets;
+use crate::json::Json;
+use crate::pipeline::{replay, Analyzer, Observation, StudyCtx};
+use bsky_atproto::framing::PaddingPolicy;
+use bsky_atproto::Did;
+use std::collections::BTreeMap;
+
+/// Number of mitigation cells in the sweep.
+pub const CELL_COUNT: usize = 5;
+
+/// The fixed (padding, batch-window-seconds) sweep evaluated
+/// counterfactually for every captured trace. The first cell is always the
+/// unmitigated wire.
+pub const MITIGATION_CELLS: [(&str, PaddingPolicy, u64); CELL_COUNT] = [
+    ("none", PaddingPolicy::None, 0),
+    ("pad128", PaddingPolicy::Buckets, 0),
+    ("pad128+batch60", PaddingPolicy::Buckets, 60),
+    ("pad128+batch1h", PaddingPolicy::Buckets, 3600),
+    ("const4096+batch1h", PaddingPolicy::Constant, 3600),
+];
+
+/// Deterministic cap on 1-NN training instances (class-balanced and
+/// stride-subsampled; the sampled and total counts are both reported, never
+/// silently).
+pub const TRAIN_CAP: usize = 2000;
+
+/// Deterministic cap on 1-NN test instances.
+pub const TEST_CAP: usize = 1000;
+
+/// Ground-truth user activity class, derived from the population plan's
+/// long-run activity weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActivityClass {
+    /// High-weight accounts whose days are dominated by their own writes.
+    PostingHeavy,
+    /// Mid-weight accounts: mostly consuming feeds, posting occasionally.
+    FeedFetching,
+    /// Low-weight accounts that are rarely active at all.
+    Lurking,
+}
+
+impl ActivityClass {
+    /// Map an activity weight (`1/rank^0.6`, in `(0, 1]`) to its class.
+    pub fn of_weight(weight: f64) -> ActivityClass {
+        if weight >= 0.6 {
+            ActivityClass::PostingHeavy
+        } else if weight >= 0.15 {
+            ActivityClass::FeedFetching
+        } else {
+            ActivityClass::Lurking
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActivityClass::PostingHeavy => "posting-heavy",
+            ActivityClass::FeedFetching => "feed-fetching",
+            ActivityClass::Lurking => "lurking",
+        }
+    }
+
+    /// All classes, in display order.
+    pub fn all() -> [ActivityClass; 3] {
+        [
+            ActivityClass::PostingHeavy,
+            ActivityClass::FeedFetching,
+            ActivityClass::Lurking,
+        ]
+    }
+}
+
+/// Which wire a trace was captured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceKind {
+    /// A per-DID firehose subscription (relay → subscriber).
+    Repo,
+    /// The identity-resolution client (DNS `_atproto` lookups).
+    Dns,
+}
+
+/// One mitigation cell's view of one day of one connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellTrace {
+    /// Frames on the wire after batching.
+    pub frames: u64,
+    /// Total wire bytes after padding (headers included).
+    pub wire_bytes: u64,
+    /// First frame time (unix seconds).
+    pub first: i64,
+    /// Last frame time (unix seconds).
+    pub last: i64,
+}
+
+impl CellTrace {
+    /// Fold another cell trace of the same key into this one.
+    fn absorb(&mut self, other: &CellTrace) {
+        if other.frames == 0 {
+            return;
+        }
+        if self.frames == 0 {
+            *self = *other;
+            return;
+        }
+        self.frames += other.frames;
+        self.wire_bytes += other.wire_bytes;
+        self.first = self.first.min(other.first);
+        self.last = self.last.max(other.last);
+    }
+}
+
+/// One day of passively observed traffic on one connection, with the raw
+/// totals and every mitigation cell's counterfactual view. This is the
+/// atomic §10 observation: it is emitted once per `(connection, day)` by
+/// the producer, so analyzer merges only ever combine records for
+/// *different* keys (or per-shard halves of the shared DNS client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTraceDay {
+    /// Which wire this trace was captured on.
+    pub kind: TraceKind,
+    /// The connection's subject DID (the traced account for firehose
+    /// wires; a fixed synthetic DID for the DNS client).
+    pub did: Did,
+    /// Absolute day index (unix seconds / 86 400).
+    pub day: i64,
+    /// Ground-truth class of the traced account.
+    pub class: ActivityClass,
+    /// Raw events observed (before batching).
+    pub events: u64,
+    /// Raw payload bytes (canonical event wire sizes, no framing).
+    pub payload_bytes: u64,
+    /// Frames the bounded capture buffer dropped (counted, never silent).
+    pub dropped: u64,
+    /// Counterfactual wire view per [`MITIGATION_CELLS`] cell.
+    pub cells: [CellTrace; CELL_COUNT],
+}
+
+impl WireTraceDay {
+    /// Build a trace record from one connection-day's raw `(time, size)`
+    /// frames, evaluating every mitigation cell counterfactually.
+    ///
+    /// For [`TraceKind::Repo`] wires a batching cell coalesces all events
+    /// in the same window into one frame flushed at the window edge. The
+    /// [`TraceKind::Dns`] wire is request/response, not a stream: each
+    /// lookup is always its own (padded) frame — batching it would also
+    /// make the accounting depend on how the population is sharded, since
+    /// every shard's resolver shares one connection key.
+    pub fn from_frames(
+        kind: TraceKind,
+        did: Did,
+        day: i64,
+        class: ActivityClass,
+        frames: &[(i64, u64)],
+        dropped: u64,
+    ) -> WireTraceDay {
+        let events = frames.len() as u64;
+        let payload_bytes: u64 = frames.iter().map(|&(_, size)| size).sum();
+        let mut cells = [CellTrace::default(); CELL_COUNT];
+        for (slot, &(_, padding, window)) in cells.iter_mut().zip(MITIGATION_CELLS.iter()) {
+            let window = if kind == TraceKind::Dns { 0 } else { window };
+            *slot = cell_trace(frames, padding, window);
+        }
+        WireTraceDay {
+            kind,
+            did,
+            day,
+            class,
+            events,
+            payload_bytes,
+            dropped,
+            cells,
+        }
+    }
+
+    /// Fold another record with the same `(kind, did, day)` key into this
+    /// one (per-shard halves of the shared DNS client's day).
+    pub fn absorb(&mut self, other: &WireTraceDay) {
+        self.class = self.class.min(other.class);
+        self.events += other.events;
+        self.payload_bytes += other.payload_bytes;
+        self.dropped += other.dropped;
+        for (slot, cell) in self.cells.iter_mut().zip(other.cells.iter()) {
+            slot.absorb(cell);
+        }
+    }
+}
+
+/// Evaluate one `(padding, batch window)` cell over a raw frame sequence.
+///
+/// `window == 0` means no batching: each event is its own frame at its own
+/// time. Otherwise events sharing `time.div_euclid(window)` coalesce into
+/// one frame flushed at the window's trailing edge. Both are pure functions
+/// of the `(time, size)` list, so the result is independent of how the
+/// producer chunked the underlying day.
+pub fn cell_trace(frames: &[(i64, u64)], padding: PaddingPolicy, window: u64) -> CellTrace {
+    let mut out = CellTrace::default();
+    let mut push = |time: i64, events: usize, payload: u64| {
+        let wire = padding.frame_wire_size(events, payload as usize) as u64;
+        if out.frames == 0 {
+            out.first = time;
+            out.last = time;
+        } else {
+            out.first = out.first.min(time);
+            out.last = out.last.max(time);
+        }
+        out.frames += 1;
+        out.wire_bytes += wire;
+    };
+    if window == 0 {
+        for &(time, size) in frames {
+            push(time, 1, size);
+        }
+    } else {
+        // Group by window id. Frame times within a drained day arrive in
+        // relay-append order per connection; aggregate via a BTreeMap so
+        // the result is a pure function of the (time, size) multiset.
+        let mut windows: BTreeMap<i64, (usize, u64)> = BTreeMap::new();
+        for &(time, size) in frames {
+            let entry = windows.entry(time.div_euclid(window as i64)).or_default();
+            entry.0 += 1;
+            entry.1 += size;
+        }
+        let batch = bsky_atproto::framing::BatchPolicy::window(window);
+        for (wid, (events, payload)) in windows {
+            push(batch.flush_at(wid), events, payload);
+        }
+    }
+    out
+}
+
+/// Internal classifier instance: one `(did, day)` record's features under
+/// one mitigation cell.
+struct Instance {
+    class: ActivityClass,
+    features: [f64; 5],
+}
+
+fn features(cell: &CellTrace) -> [f64; 5] {
+    let frames = cell.frames as f64;
+    let span = (cell.last - cell.first) as f64;
+    [
+        frames,
+        cell.wire_bytes as f64,
+        cell.wire_bytes as f64 / frames.max(1.0),
+        span,
+        if cell.frames > 1 {
+            span / (frames - 1.0)
+        } else {
+            0.0
+        },
+    ]
+}
+
+/// One mitigation cell's §10 results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Cell name from [`MITIGATION_CELLS`].
+    pub name: &'static str,
+    /// Closed-world 1-NN accuracy on the held-out (odd) days.
+    pub accuracy: f64,
+    /// Total firehose wire bytes under this cell.
+    pub wire_bytes: u64,
+    /// Wire bytes above the raw event payload (headers + padding).
+    pub overhead_bytes: u64,
+}
+
+/// The §10 report: classifier accuracy × bandwidth overhead per mitigation
+/// cell, plus the capture totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObservatoryReport {
+    /// Per-cell accuracy and overhead, in [`MITIGATION_CELLS`] order.
+    pub cells: Vec<CellReport>,
+    /// `(did, day)` firehose traces captured.
+    pub traced_days: u64,
+    /// Raw firehose payload bytes across all traces.
+    pub payload_bytes: u64,
+    /// Identity-resolution lookups observed on the DNS wire.
+    pub dns_lookups: u64,
+    /// Modeled bytes on the DNS wire (unpadded).
+    pub dns_payload_bytes: u64,
+    /// Capture-buffer drops across all connections (never silent).
+    pub trace_drops: u64,
+    /// Training instances used (class-balanced, stride-subsampled past
+    /// [`TRAIN_CAP`]).
+    pub train_sampled: usize,
+    /// Training instances available (`(did, week)` pairs on even weeks).
+    pub train_total: usize,
+    /// Test instances used / available.
+    pub test_sampled: usize,
+    /// Test instances available (`(did, week)` pairs on odd weeks).
+    pub test_total: usize,
+    /// Majority-class share of the balanced, sampled test set — the chance
+    /// baseline (~1/classes).
+    pub chance_accuracy: f64,
+}
+
+impl ObservatoryReport {
+    /// Render the §10 section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## §10 Wire-level traffic observatory\n\n");
+        if self.traced_days == 0 {
+            out.push_str("No wire traces captured (window too short?).\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "Passive per-connection capture: {} (did, day) firehose traces, {} raw payload bytes; \
+             identity resolution: {} lookups, {} modeled bytes.\n",
+            self.traced_days, self.payload_bytes, self.dns_lookups, self.dns_payload_bytes
+        ));
+        if self.trace_drops > 0 {
+            out.push_str(&format!(
+                "WARNING: {} frame(s) dropped by full capture buffers — traces truncated.\n",
+                self.trace_drops
+            ));
+        }
+        out.push_str(&format!(
+            "Closed-world 1-NN over per-week (size, gap) features, class-balanced: train {} of {} \
+             even-week traces, test {} of {} odd-week traces; chance (majority class) {:.3}.\n\n",
+            self.train_sampled,
+            self.train_total,
+            self.test_sampled,
+            self.test_total,
+            self.chance_accuracy
+        ));
+        out.push_str("| mitigation cell | accuracy | wire bytes | overhead bytes | overhead |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for cell in &self.cells {
+            let pct = if self.payload_bytes > 0 {
+                100.0 * cell.overhead_bytes as f64 / self.payload_bytes as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "| {} | {:.3} | {} | {} | +{:.1}% |\n",
+                cell.name, cell.accuracy, cell.wire_bytes, cell.overhead_bytes, pct
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The headline numbers for the JSON export.
+    pub fn to_json(&self) -> Json {
+        let mut cells = Json::object();
+        for cell in &self.cells {
+            cells = cells.with(
+                cell.name,
+                Json::object()
+                    .with("accuracy", cell.accuracy)
+                    .with("wire_bytes", cell.wire_bytes)
+                    .with("overhead_bytes", cell.overhead_bytes),
+            );
+        }
+        Json::object()
+            .with("traced_days", self.traced_days)
+            .with("dns_lookups", self.dns_lookups)
+            .with("chance_accuracy", self.chance_accuracy)
+            .with("cells", cells)
+    }
+
+    /// The accuracy of one named cell (used by the bench export).
+    pub fn cell_accuracy(&self, name: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.accuracy)
+    }
+
+    /// The overhead of one named cell.
+    pub fn cell_overhead(&self, name: &str) -> Option<u64> {
+        self.cells
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.overhead_bytes)
+    }
+}
+
+/// Map key identifying one connection-day. The DID enters by its stable
+/// shard hash so per-shard analyzer states merge on identical keys without
+/// retaining every DID string.
+type TraceKey = (TraceKind, u64, i64);
+
+/// Accumulated state for one `(kind, did, day)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TraceAgg {
+    class: ActivityClass,
+    events: u64,
+    payload_bytes: u64,
+    dropped: u64,
+    cells: [CellTrace; CELL_COUNT],
+}
+
+/// The §10 analyzer: folds [`Observation::WireTrace`] records into per-key
+/// aggregates, merges per-shard states by key union, and runs the
+/// closed-world classifier sweep at finish.
+#[derive(Debug, Default)]
+pub struct ObservatoryAnalyzer {
+    records: BTreeMap<TraceKey, TraceAgg>,
+}
+
+impl ObservatoryAnalyzer {
+    /// A fresh analyzer.
+    pub fn new() -> ObservatoryAnalyzer {
+        ObservatoryAnalyzer::default()
+    }
+
+    fn fold(&mut self, trace: &WireTraceDay) {
+        let key = (trace.kind, trace.did.shard_hash(), trace.day);
+        match self.records.get_mut(&key) {
+            Some(agg) => {
+                agg.class = agg.class.min(trace.class);
+                agg.events += trace.events;
+                agg.payload_bytes += trace.payload_bytes;
+                agg.dropped += trace.dropped;
+                for (slot, cell) in agg.cells.iter_mut().zip(trace.cells.iter()) {
+                    slot.absorb(cell);
+                }
+            }
+            None => {
+                self.records.insert(
+                    key,
+                    TraceAgg {
+                        class: trace.class,
+                        events: trace.events,
+                        payload_bytes: trace.payload_bytes,
+                        dropped: trace.dropped,
+                        cells: trace.cells,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Analyzer for ObservatoryAnalyzer {
+    type Output = ObservatoryReport;
+
+    fn observe(&mut self, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+        if let Observation::WireTrace(trace) = obs {
+            self.fold(trace);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (key, agg) in other.records {
+            match self.records.get_mut(&key) {
+                Some(mine) => {
+                    mine.class = mine.class.min(agg.class);
+                    mine.events += agg.events;
+                    mine.payload_bytes += agg.payload_bytes;
+                    mine.dropped += agg.dropped;
+                    for (slot, cell) in mine.cells.iter_mut().zip(agg.cells.iter()) {
+                        slot.absorb(cell);
+                    }
+                }
+                None => {
+                    self.records.insert(key, agg);
+                }
+            }
+        }
+    }
+
+    // No active measurements: `finish` must work on a detached context so
+    // the batch replay produces identical bytes.
+    fn finish(self, _ctx: &StudyCtx<'_>) -> ObservatoryReport {
+        let mut report = ObservatoryReport::default();
+        // Capture totals, and one classifier instance per `(did, week)`.
+        // DNS records feed the totals only; the classifier sees firehose
+        // wires. Single days are too noisy an instance (most carry one
+        // commit frame); a week of a connection's (size, gap) structure —
+        // how often it transmits and how much — is what a passive observer
+        // actually accumulates. Even absolute weeks train, odd weeks test,
+        // so every user's history sits on both sides of the split.
+        struct WeekAgg {
+            class: ActivityClass,
+            week: i64,
+            cells: [CellTrace; CELL_COUNT],
+        }
+        let mut repo: Vec<WeekAgg> = Vec::new();
+        let mut slot_of: BTreeMap<(u64, i64), usize> = BTreeMap::new();
+        let mut train_idx: Vec<usize> = Vec::new();
+        let mut test_idx: Vec<usize> = Vec::new();
+        for ((kind, did_hash, day), agg) in &self.records {
+            report.trace_drops += agg.dropped;
+            match kind {
+                TraceKind::Repo => {
+                    report.traced_days += 1;
+                    report.payload_bytes += agg.payload_bytes;
+                    let week = day.div_euclid(7);
+                    let slot = *slot_of.entry((*did_hash, week)).or_insert_with(|| {
+                        repo.push(WeekAgg {
+                            class: agg.class,
+                            week,
+                            cells: [CellTrace::default(); CELL_COUNT],
+                        });
+                        repo.len() - 1
+                    });
+                    repo[slot].class = repo[slot].class.min(agg.class);
+                    for (acc, cell) in repo[slot].cells.iter_mut().zip(agg.cells.iter()) {
+                        acc.absorb(cell);
+                    }
+                }
+                TraceKind::Dns => {
+                    report.dns_lookups += agg.events;
+                    report.dns_payload_bytes += agg.payload_bytes;
+                }
+            }
+        }
+        for (slot, agg) in repo.iter().enumerate() {
+            if agg.week.rem_euclid(2) == 0 {
+                train_idx.push(slot);
+            } else {
+                test_idx.push(slot);
+            }
+        }
+        report.train_total = train_idx.len();
+        report.test_total = test_idx.len();
+        // Class-balanced evaluation sets (the closed-world protocol): every
+        // class contributes equally many train and test instances, so the
+        // chance baseline is ~1/classes and a population skewed toward
+        // lurkers cannot make majority-vote look like an attack. A class
+        // missing from either side drops out of the evaluation entirely.
+        let mut by_class_train: BTreeMap<ActivityClass, Vec<usize>> = BTreeMap::new();
+        let mut by_class_test: BTreeMap<ActivityClass, Vec<usize>> = BTreeMap::new();
+        for &i in &train_idx {
+            by_class_train.entry(repo[i].class).or_default().push(i);
+        }
+        for &i in &test_idx {
+            by_class_test.entry(repo[i].class).or_default().push(i);
+        }
+        let classes: Vec<ActivityClass> = by_class_train
+            .keys()
+            .copied()
+            .filter(|class| by_class_test.contains_key(class))
+            .collect();
+        let mut train_idx: Vec<usize> = Vec::new();
+        let mut test_idx: Vec<usize> = Vec::new();
+        if !classes.is_empty() {
+            let smallest = |sets: &BTreeMap<ActivityClass, Vec<usize>>| {
+                classes
+                    .iter()
+                    .map(|class| sets[class].len())
+                    .min()
+                    .unwrap_or(0)
+            };
+            let train_quota = (TRAIN_CAP / classes.len()).min(smallest(&by_class_train));
+            let test_quota = (TEST_CAP / classes.len()).min(smallest(&by_class_test));
+            for class in &classes {
+                train_idx.extend(stride_sample(&by_class_train[class], train_quota));
+                test_idx.extend(stride_sample(&by_class_test[class], test_quota));
+            }
+        }
+        report.train_sampled = train_idx.len();
+        report.test_sampled = test_idx.len();
+        // Chance baseline: majority class share of the sampled test set
+        // (= ~1/classes after balancing).
+        if !test_idx.is_empty() {
+            let mut counts: BTreeMap<ActivityClass, usize> = BTreeMap::new();
+            for &i in &test_idx {
+                *counts.entry(repo[i].class).or_default() += 1;
+            }
+            let majority = counts.values().copied().max().unwrap_or(0);
+            report.chance_accuracy = majority as f64 / test_idx.len() as f64;
+        }
+        for (cell_index, &(name, _, _)) in MITIGATION_CELLS.iter().enumerate() {
+            let wire_bytes: u64 = repo
+                .iter()
+                .map(|agg| agg.cells[cell_index].wire_bytes)
+                .sum();
+            let overhead_bytes = wire_bytes.saturating_sub(report.payload_bytes);
+            let accuracy = if train_idx.is_empty() || test_idx.is_empty() {
+                0.0
+            } else {
+                let train: Vec<Instance> = train_idx
+                    .iter()
+                    .map(|&i| Instance {
+                        class: repo[i].class,
+                        features: features(&repo[i].cells[cell_index]),
+                    })
+                    .collect();
+                let test: Vec<Instance> = test_idx
+                    .iter()
+                    .map(|&i| Instance {
+                        class: repo[i].class,
+                        features: features(&repo[i].cells[cell_index]),
+                    })
+                    .collect();
+                nearest_neighbor_accuracy(&train, &test)
+            };
+            report.cells.push(CellReport {
+                name,
+                accuracy,
+                wire_bytes,
+                overhead_bytes,
+            });
+        }
+        report
+    }
+}
+
+/// Deterministic stride subsampling to at most `cap` items, spread evenly
+/// over the input order.
+fn stride_sample(indices: &[usize], cap: usize) -> Vec<usize> {
+    if indices.len() <= cap {
+        return indices.to_vec();
+    }
+    // Evenly spaced positions, first-biased: floor(k * len / cap).
+    (0..cap).map(|k| indices[k * indices.len() / cap]).collect()
+}
+
+/// 1-NN with per-feature z-scoring (statistics from the training set) and
+/// deterministic tie-breaking (the earliest training instance wins).
+fn nearest_neighbor_accuracy(train: &[Instance], test: &[Instance]) -> f64 {
+    let n = train.len() as f64;
+    let mut mean = [0.0f64; 5];
+    let mut var = [0.0f64; 5];
+    for instance in train {
+        for (m, f) in mean.iter_mut().zip(&instance.features) {
+            *m += f;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    for instance in train {
+        for ((v, f), m) in var.iter_mut().zip(&instance.features).zip(&mean) {
+            let delta = f - m;
+            *v += delta * delta;
+        }
+    }
+    let scale: Vec<f64> = var
+        .iter()
+        .map(|v| {
+            let sd = (v / n).sqrt();
+            if sd > 0.0 {
+                1.0 / sd
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let zscore = |instance: &Instance| -> [f64; 5] {
+        let mut out = [0.0f64; 5];
+        for (d, slot) in out.iter_mut().enumerate() {
+            *slot = (instance.features[d] - mean[d]) * scale[d];
+        }
+        out
+    };
+    let train_z: Vec<([f64; 5], ActivityClass)> =
+        train.iter().map(|i| (zscore(i), i.class)).collect();
+    let mut correct = 0usize;
+    for probe in test {
+        let z = zscore(probe);
+        let mut best = f64::INFINITY;
+        let mut best_class = train_z[0].1;
+        for (tz, class) in &train_z {
+            let mut dist = 0.0;
+            for (a, b) in z.iter().zip(tz) {
+                let delta = a - b;
+                dist += delta * delta;
+            }
+            if dist < best {
+                best = dist;
+                best_class = *class;
+            }
+        }
+        if best_class == probe.class {
+            correct += 1;
+        }
+    }
+    correct as f64 / test.len() as f64
+}
+
+/// Batch-path §10: replay materialized wire traces through the same
+/// analyzer on a detached context.
+pub fn observatory_report(datasets: &Datasets) -> ObservatoryReport {
+    replay(ObservatoryAnalyzer::new(), datasets, &StudyCtx::detached())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsky_atproto::framing::{EVENT_HEADER_BYTES, FRAME_HEADER_BYTES};
+
+    fn did(seed: &[u8]) -> Did {
+        Did::plc_from_seed(seed)
+    }
+
+    #[test]
+    fn classes_partition_the_weight_axis() {
+        assert_eq!(ActivityClass::of_weight(1.0), ActivityClass::PostingHeavy);
+        assert_eq!(ActivityClass::of_weight(0.6), ActivityClass::PostingHeavy);
+        assert_eq!(ActivityClass::of_weight(0.3), ActivityClass::FeedFetching);
+        assert_eq!(ActivityClass::of_weight(0.1), ActivityClass::Lurking);
+        assert_eq!(ActivityClass::all().len(), 3);
+    }
+
+    #[test]
+    fn cell_trace_unbatched_counts_each_event() {
+        let frames = [(100i64, 200u64), (160, 300), (220, 100)];
+        let cell = cell_trace(&frames, PaddingPolicy::None, 0);
+        assert_eq!(cell.frames, 3);
+        assert_eq!(
+            cell.wire_bytes,
+            (3 * (FRAME_HEADER_BYTES + EVENT_HEADER_BYTES) + 600) as u64
+        );
+        assert_eq!((cell.first, cell.last), (100, 220));
+    }
+
+    #[test]
+    fn cell_trace_batching_coalesces_windows() {
+        let frames = [(100i64, 200u64), (110, 300), (220, 100)];
+        // 60 s windows: events at 100 and 110 share window 1 (flush 120);
+        // the event at 220 is alone in window 3 (flush 240).
+        let cell = cell_trace(&frames, PaddingPolicy::None, 60);
+        assert_eq!(cell.frames, 2);
+        assert_eq!((cell.first, cell.last), (120, 240));
+        let batched_payload = (FRAME_HEADER_BYTES + 2 * EVENT_HEADER_BYTES + 500) as u64;
+        let single = (FRAME_HEADER_BYTES + EVENT_HEADER_BYTES + 100) as u64;
+        assert_eq!(cell.wire_bytes, batched_payload + single);
+        // Batching strictly saves header bytes relative to per-event frames.
+        let unbatched = cell_trace(&frames, PaddingPolicy::None, 0);
+        assert!(cell.wire_bytes < unbatched.wire_bytes);
+    }
+
+    #[test]
+    fn cell_trace_is_chunking_independent() {
+        // Splitting a day's frames anywhere and absorbing the two halves
+        // must equal evaluating the whole day — with batching, only when
+        // the split respects window boundaries, which the producer's
+        // day-end flush guarantees; without batching, for any split.
+        let frames: Vec<(i64, u64)> = (0..40).map(|i| (i * 7, 100 + i as u64)).collect();
+        for split in [1usize, 10, 25, 39] {
+            let whole = cell_trace(&frames, PaddingPolicy::Buckets, 0);
+            let mut left = cell_trace(&frames[..split], PaddingPolicy::Buckets, 0);
+            let right = cell_trace(&frames[split..], PaddingPolicy::Buckets, 0);
+            left.absorb(&right);
+            assert_eq!(left, whole, "split {split}");
+        }
+    }
+
+    #[test]
+    fn padding_never_shrinks_a_wire() {
+        let frames = [(0i64, 150u64), (30, 700), (3700, 90)];
+        let none = cell_trace(&frames, PaddingPolicy::None, 0);
+        let buckets = cell_trace(&frames, PaddingPolicy::Buckets, 0);
+        let constant = cell_trace(&frames, PaddingPolicy::Constant, 0);
+        assert!(buckets.wire_bytes >= none.wire_bytes);
+        assert!(constant.wire_bytes >= buckets.wire_bytes);
+    }
+
+    #[test]
+    fn merge_equals_single_fold_over_any_record_split() {
+        let ctx = StudyCtx::detached();
+        let records: Vec<WireTraceDay> = (0..30)
+            .map(|i| {
+                let frames: Vec<(i64, u64)> = (0..(1 + i % 5))
+                    .map(|j| ((i * 86_400 + j * 100) as i64, 200 + (i * j) as u64))
+                    .collect();
+                WireTraceDay::from_frames(
+                    if i % 7 == 0 {
+                        TraceKind::Dns
+                    } else {
+                        TraceKind::Repo
+                    },
+                    did(&[i as u8]),
+                    i as i64,
+                    ActivityClass::of_weight(1.0 / (1.0 + i as f64)),
+                    &frames,
+                    0,
+                )
+            })
+            .collect();
+        let mut whole = ObservatoryAnalyzer::new();
+        for record in &records {
+            whole.observe(&Observation::WireTrace(record), &ctx);
+        }
+        for split in [0usize, 7, 15, 30] {
+            let mut a = ObservatoryAnalyzer::new();
+            let mut b = ObservatoryAnalyzer::new();
+            for (i, record) in records.iter().enumerate() {
+                let target = if i < split { &mut a } else { &mut b };
+                target.observe(&Observation::WireTrace(record), &ctx);
+            }
+            a.merge(b);
+            assert_eq!(a.records, whole.records, "split {split}");
+        }
+        let report = whole.finish(&ctx);
+        assert_eq!(report.cells.len(), CELL_COUNT);
+        assert!(report.traced_days > 0);
+        assert!(report.dns_lookups > 0);
+    }
+
+    #[test]
+    fn classifier_separates_separable_classes() {
+        // Synthetic but separable: posting-heavy days carry an order of
+        // magnitude more payload than lurking days. The unmitigated cell
+        // must classify well above chance; the constant-pad + 1 h batch
+        // cell collapses every day to one 4096-byte frame and must fall to
+        // the chance baseline.
+        let ctx = StudyCtx::detached();
+        let mut analyzer = ObservatoryAnalyzer::new();
+        let mut fold = |record: WireTraceDay| {
+            analyzer.observe(&Observation::WireTrace(&record), &ctx);
+        };
+        for user in 0..30u8 {
+            let (class, size) = match user % 3 {
+                0 => (ActivityClass::PostingHeavy, 2_000u64),
+                1 => (ActivityClass::FeedFetching, 700),
+                _ => (ActivityClass::Lurking, 250),
+            };
+            for day in 0..10i64 {
+                let base = day * 86_400 + 40_000 + user as i64;
+                fold(WireTraceDay::from_frames(
+                    TraceKind::Repo,
+                    did(&[user, day as u8]),
+                    day,
+                    class,
+                    &[(base, size), (base + 60, size / 2)],
+                    0,
+                ));
+            }
+        }
+        let report = analyzer.finish(&ctx);
+        let none = report.cell_accuracy("none").unwrap();
+        let collapsed = report.cell_accuracy("const4096+batch1h").unwrap();
+        assert!(
+            none > report.chance_accuracy + 0.2,
+            "none cell {none} vs chance {}",
+            report.chance_accuracy
+        );
+        assert!(
+            collapsed <= report.chance_accuracy + 1e-9,
+            "collapsed cell {collapsed} vs chance {}",
+            report.chance_accuracy
+        );
+        // Overheads are monotone along the sweep's padding axis.
+        assert!(report.cell_overhead("pad128").unwrap() > report.cell_overhead("none").unwrap());
+        assert!(
+            report.cell_overhead("const4096+batch1h").unwrap()
+                > report.cell_overhead("pad128+batch1h").unwrap()
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("§10"));
+        assert!(rendered.contains("| none |"));
+        let json = report.to_json().to_string_pretty();
+        assert!(json.contains("chance_accuracy"));
+    }
+
+    #[test]
+    fn stride_sampling_is_deterministic_and_counted() {
+        let indices: Vec<usize> = (0..100).collect();
+        let sampled = stride_sample(&indices, 10);
+        assert_eq!(sampled.len(), 10);
+        assert_eq!(sampled, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        assert_eq!(stride_sample(&indices, 200), indices);
+    }
+}

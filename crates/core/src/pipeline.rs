@@ -50,6 +50,7 @@
 //! and streaming results are identical by construction.
 
 use crate::datasets::{Datasets, FeedGenEntry, LabelerEntry, RepoSnapshot};
+use crate::observatory::WireTraceDay;
 use bsky_atproto::firehose::Event;
 use bsky_atproto::label::Label;
 use bsky_atproto::{Datetime, Did};
@@ -110,6 +111,10 @@ pub enum Observation<'a> {
     FeedGenerator(&'a FeedGenEntry),
     /// One decoded repository snapshot.
     Repo(&'a RepoSnapshot),
+    /// One day of passively observed wire traffic on one connection (a
+    /// per-DID firehose subscription or the identity-resolution client),
+    /// with every §10 mitigation cell evaluated counterfactually.
+    WireTrace(&'a WireTraceDay),
     /// Collection has ended; `finish` will be called next.
     WindowEnd {
         /// The end of the collection window.
@@ -366,6 +371,21 @@ pub struct StreamSummary {
     /// raced the post). Counted like `repo_snapshot_skips` — a visible
     /// dataset gap, never a silent drop.
     pub appview_labels_preindex: u64,
+    /// Identity-resolution lookups the producer issued against the DNS
+    /// zone store (`_atproto.<handle>` TXT) while riding the weekly
+    /// `sync.listRepos` snapshots.
+    pub identity_lookups: u64,
+    /// Frames put on the firehose wire under the run's *active* framing
+    /// policy (`--padding` / `--batch-window`). The §10 report sweeps all
+    /// mitigation cells counterfactually; these counters describe the one
+    /// wire this run actually produced.
+    pub wire_frames: u64,
+    /// Bytes the active framing policy spent above the raw event payload
+    /// (frame headers plus padding, minus what batching reclaimed).
+    pub padding_overhead_bytes: u64,
+    /// Frames dropped by full per-connection capture buffers — a visible
+    /// trace truncation, never silent.
+    pub observer_trace_drops: u64,
 }
 
 impl StreamSummary {
@@ -387,6 +407,16 @@ impl StreamSummary {
             self.spilled_block_bytes,
             self.store_bytes_reclaimed,
         );
+        out.push_str(&format!(
+            "; observatory: {} frames on the wire, {} overhead bytes, {} identity lookups",
+            self.wire_frames, self.padding_overhead_bytes, self.identity_lookups
+        ));
+        if self.observer_trace_drops > 0 {
+            out.push_str(&format!(
+                ", {} trace frame(s) dropped by full capture buffers",
+                self.observer_trace_drops
+            ));
+        }
         if self.store_corrupt_reads > 0 {
             out.push_str(&format!(
                 ", {} corrupt read(s) — snapshots may be incomplete",
@@ -421,13 +451,18 @@ impl StreamSummary {
         self.spilled_block_bytes += other.spilled_block_bytes;
         self.store_corrupt_reads += other.store_corrupt_reads;
         self.appview_labels_preindex += other.appview_labels_preindex;
+        self.identity_lookups += other.identity_lookups;
+        self.wire_frames += other.wire_frames;
+        self.padding_overhead_bytes += other.padding_overhead_bytes;
+        self.observer_trace_drops += other.observer_trace_drops;
     }
 }
 
 /// Walk an already-collected [`Datasets`] in the canonical *category* order
 /// the live producer uses (window start, firehose, user identifiers, DID
 /// documents, labelers with their label streams, feed generators,
-/// repositories, window end), invoking `emit` for each observation.
+/// repositories, wire traces, window end), invoking `emit` for each
+/// observation.
 pub fn for_each_observation<'a, F: FnMut(Observation<'a>)>(datasets: &'a Datasets, mut emit: F) {
     emit(Observation::WindowStart {
         firehose_collection_start: datasets.firehose_collection_start,
@@ -470,6 +505,9 @@ pub fn for_each_observation<'a, F: FnMut(Observation<'a>)>(datasets: &'a Dataset
     }
     for repo in &datasets.repositories {
         emit(Observation::Repo(repo));
+    }
+    for trace in &datasets.wire_traces {
+        emit(Observation::WireTrace(trace));
     }
     emit(Observation::WindowEnd {
         at: datasets.collection_end,

@@ -3,7 +3,7 @@
 //! serialise the results.
 //!
 //! [`StudyReport::run`] is built on the streaming pipeline: it drives the
-//! world once with [`Collector::stream`] into the seven incremental
+//! world once with [`Collector::stream`] into the eight incremental
 //! analyzers and assembles the report from their outputs — firehose events
 //! are never retained. [`StudyReport::run_sharded`] partitions the
 //! population by DID hash, runs one producer + analyzer set per shard on
@@ -22,9 +22,11 @@ use crate::analysis::{
 };
 use crate::datasets::{Collector, Datasets, SnapshotMode};
 use crate::json::Json;
+use crate::observatory::{observatory_report, ObservatoryReport};
 use crate::pipeline::{Analyzer, StreamSummary, StudyCtx};
-use crate::shard::{collect_sharded_appview, ShardedSummary, StudyAnalyzers};
+use crate::shard::{collect_sharded_framed, ShardedSummary, StudyAnalyzers};
 use bsky_atproto::blockstore::StoreConfig;
+use bsky_atproto::framing::FramingPolicy;
 use bsky_workload::{ScenarioConfig, World};
 
 /// All analyses of the paper, computed for one simulated run.
@@ -46,6 +48,8 @@ pub struct StudyReport {
     pub recommendation: RecommendationReport,
     /// §9 firehose volume.
     pub firehose_volume: FirehoseVolume,
+    /// §10 wire-traffic observatory (classifier × mitigation sweep).
+    pub observatory: ObservatoryReport,
 }
 
 impl StudyReport {
@@ -122,8 +126,36 @@ impl StudyReport {
         store: &StoreConfig,
         appview_shards: usize,
     ) -> (StudyReport, ShardedSummary) {
+        StudyReport::run_sharded_framed(
+            config,
+            shards,
+            jobs,
+            mode,
+            store,
+            appview_shards,
+            FramingPolicy::default(),
+        )
+    }
+
+    /// [`StudyReport::run_sharded_appview`] with an explicit wire
+    /// [`FramingPolicy`] (repro `--padding` / `--batch-window`): every
+    /// shard's producer pads and batches its own firehose wire under the
+    /// policy. The §10 observatory evaluates its whole mitigation sweep
+    /// counterfactually from the raw captures, so the report is
+    /// byte-identical for any policy — only the summary's wire accounting
+    /// moves; the golden equivalence test pins this.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded_framed(
+        config: ScenarioConfig,
+        shards: usize,
+        jobs: usize,
+        mode: SnapshotMode,
+        store: &StoreConfig,
+        appview_shards: usize,
+        framing: FramingPolicy,
+    ) -> (StudyReport, ShardedSummary) {
         let (analyzers, world, summary) =
-            collect_sharded_appview(config, shards, jobs, mode, store, appview_shards);
+            collect_sharded_framed(config, shards, jobs, mode, store, appview_shards, framing);
         (
             StudyReport::from_analyzers(config, analyzers, &world),
             summary,
@@ -148,6 +180,7 @@ impl StudyReport {
             moderation: analyzers.moderation.finish(&ctx),
             recommendation: analyzers.recommendation.finish(&ctx),
             firehose_volume: analyzers.volume.finish(&ctx),
+            observatory: analyzers.observatory.finish(&ctx),
         }
     }
 
@@ -183,10 +216,29 @@ impl StudyReport {
         store: &StoreConfig,
         appview_shards: usize,
     ) -> StudyReport {
+        StudyReport::run_batch_framed(
+            config,
+            mode,
+            store,
+            appview_shards,
+            FramingPolicy::default(),
+        )
+    }
+
+    /// [`StudyReport::run_batch_appview`] with an explicit wire
+    /// [`FramingPolicy`] for the producer's firehose wire.
+    pub fn run_batch_framed(
+        config: ScenarioConfig,
+        mode: SnapshotMode,
+        store: &StoreConfig,
+        appview_shards: usize,
+        framing: FramingPolicy,
+    ) -> StudyReport {
         let mut world = World::new_store_appview(config, store.clone(), appview_shards);
         let datasets = Collector::new()
             .snapshot_mode(mode)
             .store(store.clone())
+            .framing(framing)
             .run(&mut world);
         StudyReport::from_collected(config, &world, &datasets)
     }
@@ -206,6 +258,7 @@ impl StudyReport {
             moderation: moderation_report(datasets, world),
             recommendation: recommendation_report(datasets, world),
             firehose_volume: firehose_volume(datasets, world),
+            observatory: observatory_report(datasets),
         }
     }
 
@@ -236,6 +289,8 @@ impl StudyReport {
         out.push_str(&table5_feature_matrix());
         out.push('\n');
         out.push_str(&self.firehose_volume.render());
+        out.push('\n');
+        out.push_str(&self.observatory.render());
         out
     }
 
@@ -321,6 +376,7 @@ impl StudyReport {
                     self.firehose_volume.extrapolated_full_network / 1e9,
                 ),
             )
+            .with("section10", self.observatory.to_json())
     }
 }
 
@@ -441,6 +497,8 @@ mod tests {
             "Figure 12",
             "Table 5",
             "firehose volume",
+            "§10 Wire-level traffic observatory",
+            "mitigation cell",
         ] {
             assert!(text.contains(needle), "report missing {needle}");
         }

@@ -16,12 +16,14 @@ use crate::analysis::{
     RecommendationAnalyzer, Section4Analyzer, Table1Analyzer,
 };
 use crate::datasets::{Collector, SnapshotMode};
+use crate::observatory::ObservatoryAnalyzer;
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
 use bsky_atproto::blockstore::StoreConfig;
+use bsky_atproto::framing::FramingPolicy;
 use bsky_workload::{PopulationPlan, ScenarioConfig, ShardSpec, World};
 use std::sync::{Arc, Mutex};
 
-/// The report's seven analyzers as one concrete, mergeable set.
+/// The report's eight analyzers as one concrete, mergeable set.
 #[derive(Debug, Default)]
 pub struct StudyAnalyzers {
     /// Table 1.
@@ -38,6 +40,8 @@ pub struct StudyAnalyzers {
     pub recommendation: RecommendationAnalyzer,
     /// §9 firehose volume.
     pub volume: FirehoseVolumeAnalyzer,
+    /// §10 wire-traffic observatory.
+    pub observatory: ObservatoryAnalyzer,
 }
 
 impl StudyAnalyzers {
@@ -55,6 +59,7 @@ impl StudyAnalyzers {
         self.moderation.merge(other.moderation);
         self.recommendation.merge(other.recommendation);
         self.volume.merge(other.volume);
+        self.observatory.merge(other.observatory);
     }
 }
 
@@ -67,6 +72,7 @@ impl ObservationSink for StudyAnalyzers {
         self.moderation.observe(obs, ctx);
         self.recommendation.observe(obs, ctx);
         self.volume.observe(obs, ctx);
+        self.observatory.observe(obs, ctx);
     }
 }
 
@@ -108,6 +114,7 @@ impl ShardedSummary {
 
 /// Run one shard: build its world, stream it through a fresh analyzer set,
 /// and hand back the state.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     config: ScenarioConfig,
     plan: Arc<PopulationPlan>,
@@ -116,6 +123,7 @@ fn run_shard(
     mode: SnapshotMode,
     store: &StoreConfig,
     appview_shards: usize,
+    framing: FramingPolicy,
 ) -> ShardResult {
     let mut world = World::with_plan_store_appview(
         config,
@@ -131,6 +139,7 @@ fn run_shard(
     let summary = Collector::new()
         .snapshot_mode(mode)
         .store(store.clone())
+        .framing(framing)
         .stream(&mut world, &mut analyzers);
     ShardResult {
         analyzers,
@@ -191,6 +200,32 @@ pub fn collect_sharded_appview(
     store: &StoreConfig,
     appview_shards: usize,
 ) -> (StudyAnalyzers, World, ShardedSummary) {
+    collect_sharded_framed(
+        config,
+        shards,
+        jobs,
+        mode,
+        store,
+        appview_shards,
+        FramingPolicy::default(),
+    )
+}
+
+/// [`collect_sharded_appview`] with an explicit wire [`FramingPolicy`] for
+/// every shard's producer (repro `--padding` / `--batch-window`). Framing
+/// changes only the summary's wire accounting — the §10 observatory sweeps
+/// every mitigation cell counterfactually from the raw captures, so the
+/// merged report is byte-identical for any policy.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_sharded_framed(
+    config: ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    mode: SnapshotMode,
+    store: &StoreConfig,
+    appview_shards: usize,
+    framing: FramingPolicy,
+) -> (StudyAnalyzers, World, ShardedSummary) {
     assert!(shards >= 1, "shard count must be at least 1");
     assert!(
         (1..=shards).contains(&jobs),
@@ -210,6 +245,7 @@ pub fn collect_sharded_appview(
                 mode,
                 store,
                 appview_shards,
+                framing,
             )));
         }
     } else {
@@ -235,6 +271,7 @@ pub fn collect_sharded_appview(
                         mode,
                         &store,
                         appview_shards,
+                        framing,
                     );
                     slots.lock().expect("shard result lock")[index] = Some(result);
                 });

@@ -15,6 +15,7 @@ use bsky_atproto::firehose::{EventBody, Seq};
 use bsky_atproto::repo::{DeltaScope, Repository};
 use bsky_atproto::{Datetime, Did, Tid};
 use bsky_pds::{PdsEventDetail, PdsFleet};
+use bsky_simnet::observer::{ConnTrace, WireObserver};
 use std::collections::BTreeMap;
 
 /// A cached repository mirror entry. The CAR bytes themselves live in the
@@ -43,6 +44,10 @@ pub struct Relay {
     /// archive bytes (e.g. two empty repositories), and a shared block must
     /// survive until the last referencing entry is gone.
     car_refs: BTreeMap<Cid, u32>,
+    /// Passive wire tap: per-DID firehose `(time, size)` traces for the §10
+    /// traffic observatory. Always on — recording is a couple of integer
+    /// pushes per event — and drained by the study producer at day ends.
+    wire_tap: WireObserver,
 }
 
 impl Default for Relay {
@@ -69,6 +74,7 @@ impl Relay {
             stats: RelayStats::new(),
             store: store.build(),
             car_refs: BTreeMap::new(),
+            wire_tap: WireObserver::new(),
         }
     }
 
@@ -162,15 +168,17 @@ impl Relay {
                     event.at
                 };
                 let seq = self.firehose.append(time, body);
-                self.stats.record_event(
-                    time,
-                    self.firehose
-                        .iter()
-                        .last()
-                        .map(|e| e.wire_size())
-                        .unwrap_or(0),
-                    seq,
-                );
+                let wire_size = self
+                    .firehose
+                    .iter()
+                    .last()
+                    .map(|e| e.wire_size())
+                    .unwrap_or(0);
+                self.stats.record_event(time, wire_size, seq);
+                // Feed the passive tap: a firehose subscriber's wire carries
+                // this frame at this instant, keyed by the subject DID.
+                self.wire_tap
+                    .record(&event.did.to_string(), time.timestamp(), wire_size as u64);
                 ingested += 1;
             }
             self.crawl_cursors.insert(hostname, next_cursor);
@@ -182,6 +190,12 @@ impl Relay {
     /// The firehose log (read access for subscribers and stats).
     pub fn firehose(&self) -> &FirehoseLog {
         &self.firehose
+    }
+
+    /// Drain the passive wire tap: per-DID `(time, size)` traces of every
+    /// firehose frame appended since the last drain, in DID-sorted order.
+    pub fn take_wire_traces(&mut self) -> BTreeMap<String, ConnTrace> {
+        self.wire_tap.drain()
     }
 
     /// Number of PDS outbox events produced but not yet crawled. Producers

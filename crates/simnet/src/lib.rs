@@ -18,6 +18,8 @@
 //! * [`event`] — a discrete-event scheduler for time-ordered simulation.
 //! * [`metrics`] — counters and streaming histograms used by services and by
 //!   the measurement pipeline.
+//! * [`observer`] — a passive per-connection `(size, gap)` wire tap for the
+//!   §10 traffic observatory.
 //!
 //! Everything is synchronous and poll-driven (the smoltcp idiom): the
 //! workload driver advances [`clock::SimClock`] and services react.
@@ -31,6 +33,7 @@ pub mod event;
 pub mod http;
 pub mod metrics;
 pub mod net;
+pub mod observer;
 pub mod rng;
 
 pub use clock::SimClock;

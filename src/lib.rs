@@ -111,6 +111,41 @@
 //! `AtError::RevisionCompacted`, and both the relay and the incremental
 //! mirror fall back to a full fetch *visibly* — the fallback count is
 //! surfaced in `bsky_study::StreamSummary`, never swallowed.
+//!
+//! ## The wire-level traffic observatory
+//!
+//! A passive adversary watching the encrypted links sees only frame sizes
+//! and inter-arrival gaps — and, per the FOCI'20 encrypted-DNS
+//! fingerprinting literature, that is often enough. The observatory models
+//! this end to end:
+//!
+//! * **Capture** — `bsky_simnet::observer::WireObserver` is a bounded
+//!   per-connection tap (overflow counted, never silent); the relay feeds
+//!   it every firehose frame from `Event::wire_size` and the simulated
+//!   clock, and the collector's identity snapshots route handle resolution
+//!   through the simulated DNS (`bsky_simnet::dns`), producing a
+//!   resolver-side lookup trace.
+//! * **Mitigation** — `bsky_atproto::framing::FramingPolicy` shapes the
+//!   wire: `PaddingPolicy` pads frames to 128-byte buckets or a constant
+//!   size, and a batching window coalesces a connection's events into one
+//!   frame per window. Framing derives purely from (event bytes, event
+//!   time), so the sharded engine splits and merges it exactly (repro
+//!   `--padding none|buckets|constant --batch-window SECS`).
+//! * **Study** — `bsky_study::ObservatoryAnalyzer` folds the traces into
+//!   the §10 report section: a closed-world 1-NN classifier over
+//!   per-(DID, week) (size, gap) features, trained on even weeks and
+//!   tested on odd weeks with class-balanced sampling, against ground
+//!   truth from the `bsky_workload::PopulationPlan` activity weights. The
+//!   whole mitigation sweep is evaluated *counterfactually* from the raw
+//!   captured traces, so every cell — accuracy × bandwidth overhead for
+//!   none / bucketed / batched / constant-size framing — appears in one
+//!   report, and the report stays byte-identical whatever policy is
+//!   active on the wire (the golden tests pin this, serial and sharded,
+//!   mem and paged stores).
+//!
+//! The active policy's real cost *is* visible where it belongs:
+//! `bsky_study::StreamSummary` counts wire frames, padding overhead
+//! bytes, identity lookups, and observer drops.
 
 pub use bsky_appview;
 pub use bsky_atproto;

@@ -272,6 +272,137 @@ fn appview_sharding_is_byte_identical_across_backends() {
 }
 
 #[test]
+fn observatory_mitigations_never_change_the_report() {
+    use bluesky_repro::bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
+    for seed in [31u64, 32] {
+        let config = small_config(seed);
+        // Baseline: the plain streaming run (implicitly FramingPolicy::none()).
+        let (baseline, _) = StudyReport::run_streaming(config);
+        // Explicit no-op framing: the observatory tap is always on, but with
+        // no padding and no batching it must not change a single report byte
+        // — §4–§9 and the §10 mitigation sweep alike.
+        let none = FramingPolicy::none();
+        let (unpadded, unpadded_summary) = StudyReport::run_sharded_framed(
+            config,
+            1,
+            1,
+            SnapshotMode::default(),
+            &StoreConfig::mem(),
+            1,
+            none,
+        );
+        assert_reports_identical(&unpadded, &baseline, seed);
+        // Mitigations on the wire: 128-byte padding buckets plus a 2-second
+        // batching window. The §10 sweep is counterfactual (every cell is
+        // evaluated from the captured raw traces), so the active policy may
+        // only move StreamSummary counters — never a report byte.
+        let mitigated = FramingPolicy::new(PaddingPolicy::Buckets, 2);
+        let (padded, padded_summary) = StudyReport::run_sharded_framed(
+            config,
+            1,
+            1,
+            SnapshotMode::default(),
+            &StoreConfig::mem(),
+            1,
+            mitigated,
+        );
+        assert_reports_identical(&padded, &baseline, seed);
+        // The capture layer really ran and the mitigation layer really cost
+        // bytes: bucketed frames carry strictly more overhead than bare ones,
+        // and the identity snapshots performed real DNS-backed lookups.
+        assert!(
+            padded_summary.merged.wire_frames > 0,
+            "seed {seed}: no wire frames captured"
+        );
+        assert!(
+            padded_summary.merged.padding_overhead_bytes
+                > unpadded_summary.merged.padding_overhead_bytes,
+            "seed {seed}: buckets overhead {} not above bare {}",
+            padded_summary.merged.padding_overhead_bytes,
+            unpadded_summary.merged.padding_overhead_bytes,
+        );
+        assert!(
+            padded_summary.merged.identity_lookups > 0,
+            "seed {seed}: no identity lookups recorded"
+        );
+        assert_eq!(
+            padded_summary.merged.observer_trace_drops, 0,
+            "seed {seed}: observer dropped frames at test scale"
+        );
+        // And the mitigated wire composes with the 4×4 sharded engine: the
+        // report stays byte-identical and the wire accounting merges to the
+        // exact serial totals (frame boundaries derive from (DID, time), so
+        // partitioning the population cannot move them).
+        let (sharded, sharded_summary) = StudyReport::run_sharded_framed(
+            config,
+            4,
+            4,
+            SnapshotMode::default(),
+            &StoreConfig::mem(),
+            4,
+            mitigated,
+        );
+        assert_reports_identical(&sharded, &baseline, seed);
+        assert_eq!(
+            sharded_summary.merged.wire_frames, padded_summary.merged.wire_frames,
+            "seed {seed}"
+        );
+        assert_eq!(
+            sharded_summary.merged.padding_overhead_bytes,
+            padded_summary.merged.padding_overhead_bytes,
+            "seed {seed}"
+        );
+        assert_eq!(
+            sharded_summary.merged.identity_lookups, padded_summary.merged.identity_lookups,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn observatory_is_byte_identical_across_store_backends() {
+    use bluesky_repro::bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
+    let seed = 31u64;
+    let config = small_config(seed);
+    let mitigated = FramingPolicy::new(PaddingPolicy::Buckets, 2);
+    // Mitigated wire over the in-memory store...
+    let (mem, mem_summary) = StudyReport::run_sharded_framed(
+        config,
+        1,
+        1,
+        SnapshotMode::Incremental,
+        &StoreConfig::mem(),
+        1,
+        mitigated,
+    );
+    // ...and over the paged disk-spill store: where blocks live is invisible
+    // to the wire, so the report and the wire accounting are identical.
+    let paged_config = StoreConfig::paged().page_size(4096).resident_pages(2);
+    let (paged, paged_summary) = StudyReport::run_sharded_framed(
+        config,
+        1,
+        1,
+        SnapshotMode::Incremental,
+        &paged_config,
+        1,
+        mitigated,
+    );
+    assert_reports_identical(&paged, &mem, seed);
+    assert_eq!(
+        paged_summary.merged.wire_frames,
+        mem_summary.merged.wire_frames
+    );
+    assert_eq!(
+        paged_summary.merged.padding_overhead_bytes,
+        mem_summary.merged.padding_overhead_bytes
+    );
+    assert!(
+        paged_summary.merged.spilled_block_bytes > 0,
+        "paged store never spilled"
+    );
+}
+
+#[test]
 fn sharded_run_is_independent_of_worker_count() {
     let config = small_config(34);
     let (jobs1, _) = StudyReport::run_sharded(config, 3, 1);
