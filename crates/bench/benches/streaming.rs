@@ -344,6 +344,61 @@ fn main() {
         "the active bucketed policy must account overhead on the producer's wire"
     );
 
+    // Chaos: one combined fault scenario (host outage + mass migration,
+    // flaky fetches, a label storm, cursor gaps) through the faulted
+    // terminal. The golden tests pin faulted reports byte-identical serial
+    // vs sharded and mem vs paged; this leg tracks the *recovery* costs —
+    // retries, backfill full fetches, storm volume — in the trajectory and
+    // asserts the never-silent contract: injected faults must surface as
+    // nonzero named counters.
+    use bsky_study::faults::FaultSpec;
+    let chaos_spec = FaultSpec {
+        outage_day: Some(0.5),
+        flaky_fetch: 0.3,
+        label_storm_day: Some(0.6),
+        label_storm_prob: 0.5,
+        cursor_gap: 0.05,
+        ..FaultSpec::default()
+    };
+    let (_, chaos_summary) = StudyReport::run_sharded_faulted(
+        config,
+        1,
+        1,
+        SnapshotMode::default(),
+        &StoreConfig::mem(),
+        1,
+        FramingPolicy::default(),
+        &chaos_spec,
+        Some("chaos"),
+    );
+    let chaos = &chaos_summary.merged;
+    println!(
+        "chaos scenario: {} retries ({} ms simulated backoff, {} give-ups), {} outage migrations, {} backfill full fetches, {} storm labels, {} gap drops",
+        chaos.retry_attempts,
+        chaos.retry_backoff_ms,
+        chaos.fetch_retry_giveups,
+        chaos.outage_migrations,
+        chaos.backfill_full_fetches,
+        chaos.storm_labels_applied,
+        chaos.cursor_gap_drops,
+    );
+    assert!(
+        chaos.retry_attempts > 0,
+        "flaky fetches must surface as counted retries"
+    );
+    assert!(
+        chaos.outage_migrations > 0 && chaos.backfill_full_fetches > 0,
+        "the outage must migrate accounts and force counted backfills"
+    );
+    assert!(
+        chaos.storm_labels_applied > 0,
+        "the label storm must apply counted labels"
+    );
+    assert!(
+        chaos.cursor_gap_drops > 0,
+        "cursor gaps must surface as counted drops"
+    );
+
     group.finish();
 
     if json {
@@ -401,6 +456,12 @@ fn main() {
             .with("observer_accuracy_none", accuracy_none)
             .with("observer_accuracy_bucketed", accuracy_bucketed)
             .with("observer_chance_accuracy", observatory.chance_accuracy)
+            .with("retry_attempts", chaos.retry_attempts)
+            .with("retry_backoff_ms", chaos.retry_backoff_ms)
+            .with("backfill_full_fetches", chaos.backfill_full_fetches)
+            .with("outage_migrations", chaos.outage_migrations)
+            .with("label_storm_peak", chaos.storm_labels_applied)
+            .with("cursor_gap_drops", chaos.cursor_gap_drops)
             .with("serial_ns_per_day", serial.as_nanos() as u64 / days)
             .with("sharded4_ns_per_day", sharded.as_nanos() as u64 / days)
             .with("sharded_speedup", speedup);

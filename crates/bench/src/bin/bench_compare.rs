@@ -419,6 +419,25 @@ mod tests {
     }
 
     #[test]
+    fn unknown_keys_in_either_export_are_tolerated() {
+        // New informational counters (the chaos scenario's retry/backfill/
+        // storm exports, and whatever lands next) must not break comparison
+        // in either direction: a current export carrying keys the baseline
+        // lacks — or vice versa — passes as long as the enforced metrics
+        // hold. Only STRUCTURAL_WINS entries require baseline regeneration.
+        let baseline = export(8, 3.0, 1_000_000, 700, 1_000);
+        let current = export(8, 3.0, 1_000_000, 700, 1_000)
+            .with("retry_attempts", 1_234u64)
+            .with("backfill_full_fetches", 56u64)
+            .with("label_storm_peak", 789u64)
+            .with("cursor_gap_drops", 42u64);
+        let (outcome, _) = compare(&current, &baseline);
+        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
+        let (outcome, _) = compare(&baseline, &current);
+        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
+    }
+
+    #[test]
     fn missing_baseline_file_message_is_actionable() {
         let message = missing_baseline_message("BENCH_streaming.json");
         assert!(message.contains("BENCH_streaming.json"));

@@ -7,6 +7,7 @@
 //!         [--batch] [--incremental | --full-snapshots]
 //!         [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]
 //!         [--padding none|buckets|constant] [--batch-window SECS]
+//!         [--scenario NAME | --faults SPEC]
 //!
 //! `--scale` is the denominator applied to the live network's size
 //! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
@@ -38,15 +39,23 @@
 //! observatory report sweeps every mitigation cell counterfactually from
 //! the raw captures, so these knobs move only the `--stream` summary's wire
 //! accounting — the report is byte-identical for any policy.
+//! `--scenario NAME` runs one of the named fault scenarios (PDS outage and
+//! mass migration, flaky fetches, DNS flaps, cursor gaps/rewinds, spam
+//! waves, label storms, tombstone storms); `--faults SPEC` injects a custom
+//! `key=value,...` fault specification. Every injected decision is a pure
+//! function of `(seed, DID, day)`, so faulted reports stay byte-identical
+//! serial vs. sharded; the report gains a scenario-impact section with the
+//! named recovery counters.
 //!
 //! Unknown flags and missing/malformed values are errors (exit code 2).
 
 use bsky_atproto::blockstore::{StoreConfig, StoreKind};
 use bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
+use bsky_study::faults::{FaultSpec, SCENARIO_NAMES};
 use bsky_study::{SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS] [--scenario NAME | --faults SPEC]";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +73,8 @@ struct Options {
     snapshots: SnapshotMode,
     store: StoreConfig,
     framing: FramingPolicy,
+    faults: FaultSpec,
+    scenario: Option<String>,
 }
 
 impl Default for Options {
@@ -82,6 +93,8 @@ impl Default for Options {
             snapshots: SnapshotMode::Incremental,
             store: StoreConfig::mem(),
             framing: FramingPolicy::default(),
+            faults: FaultSpec::default(),
+            scenario: None,
         }
     }
 }
@@ -121,6 +134,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut spill_dir: Option<String> = None;
     let mut padding: Option<PaddingPolicy> = None;
     let mut batch_window: Option<u64> = None;
+    let mut scenario: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -184,6 +199,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--batch-window" => {
                 batch_window = Some(parse_value("--batch-window", args.get(i + 1))?);
+                i += 1;
+            }
+            "--scenario" => {
+                scenario = Some(parse_value("--scenario", args.get(i + 1))?);
+                i += 1;
+            }
+            "--faults" => {
+                faults_spec = Some(parse_value("--faults", args.get(i + 1))?);
                 i += 1;
             }
             "--json" => opts.json = true,
@@ -267,6 +290,31 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if opts.framing.is_mitigating() && (opts.seeds.is_some() || opts.scales.is_some()) {
         return Err("--padding/--batch-window cannot be combined with --seeds/--scales".into());
     }
+    // Fault injection: one source of faults per run (a named scenario or a
+    // custom spec), single-scenario streaming engine only — the batch path
+    // and grid runs stay quiet by construction.
+    if scenario.is_some() && faults_spec.is_some() {
+        return Err("--scenario and --faults are mutually exclusive".into());
+    }
+    if let Some(name) = &scenario {
+        opts.faults = FaultSpec::scenario(name).ok_or_else(|| {
+            format!(
+                "unknown scenario {name:?} (expected one of: {})",
+                SCENARIO_NAMES.join(", ")
+            )
+        })?;
+        opts.scenario = Some(name.clone());
+    }
+    if let Some(spec) = &faults_spec {
+        opts.faults = FaultSpec::parse(spec).map_err(|e| format!("invalid --faults spec: {e}"))?;
+    }
+    let faulted = scenario.is_some() || faults_spec.is_some();
+    if faulted && opts.batch {
+        return Err("--scenario/--faults cannot be combined with --batch".into());
+    }
+    if faulted && (opts.seeds.is_some() || opts.scales.is_some()) {
+        return Err("--scenario/--faults cannot be combined with --seeds/--scales".into());
+    }
     opts.store = match kind {
         StoreKind::Mem => StoreConfig::mem(),
         StoreKind::Paged => {
@@ -346,7 +394,7 @@ fn main() {
             opts.framing,
         )
     } else {
-        let (report, summary) = StudyReport::run_sharded_framed(
+        let (report, summary) = StudyReport::run_sharded_faulted(
             config,
             opts.shards,
             opts.jobs,
@@ -354,6 +402,8 @@ fn main() {
             &opts.store,
             opts.appview_shards,
             opts.framing,
+            &opts.faults,
+            opts.scenario.as_deref(),
         );
         if opts.stream {
             eprint!("{}", summary.render());
@@ -543,6 +593,48 @@ mod tests {
         assert!(parse_args(&args(&["--batch-window", "60", "--scales", "40000"])).is_err());
         // An explicit no-op policy is fine alongside grids.
         assert!(parse_args(&args(&["--padding", "none", "--seeds", "1,2"])).is_ok());
+    }
+
+    #[test]
+    fn scenario_and_faults_flags_parse() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert!(opts.faults.is_quiet());
+        assert_eq!(opts.scenario, None);
+        let opts = parse_args(&args(&["--scenario", "pds-migration"]))
+            .unwrap()
+            .unwrap();
+        assert!(!opts.faults.is_quiet());
+        assert_eq!(opts.scenario.as_deref(), Some("pds-migration"));
+        let opts = parse_args(&args(&["--faults", "flaky=0.2,gap=0.05"]))
+            .unwrap()
+            .unwrap();
+        assert!(!opts.faults.is_quiet());
+        assert_eq!(opts.scenario, None);
+        // Composes with sharding, stores, snapshot modes and framing.
+        assert!(parse_args(&args(&[
+            "--scenario",
+            "label-storm",
+            "--jobs",
+            "2",
+            "--store",
+            "paged",
+            "--appview-shards",
+            "4",
+            "--full-snapshots",
+        ]))
+        .is_ok());
+        // Errors: unknown scenario (must list the valid names), bad spec,
+        // missing values, conflicting modes.
+        let err = parse_args(&args(&["--scenario", "earthquake"])).unwrap_err();
+        assert!(err.contains("pds-migration"), "{err}");
+        assert!(parse_args(&args(&["--scenario"])).is_err());
+        assert!(parse_args(&args(&["--faults", "flaky=2.0"])).is_err());
+        assert!(parse_args(&args(&["--faults", "frobnicate=1"])).is_err());
+        assert!(parse_args(&args(&["--faults"])).is_err());
+        assert!(parse_args(&args(&["--scenario", "dns-flap", "--faults", "flaky=0.1"])).is_err());
+        assert!(parse_args(&args(&["--scenario", "spam-wave", "--batch"])).is_err());
+        assert!(parse_args(&args(&["--scenario", "cursor-gap", "--seeds", "1,2"])).is_err());
+        assert!(parse_args(&args(&["--faults", "spam=0.1", "--scales", "40000"])).is_err());
     }
 
     #[test]

@@ -64,7 +64,7 @@ use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, Stu
 use bsky_atproto::blockstore::{BlockStore, StoreConfig, StoreStats};
 use bsky_atproto::cid::Cid;
 use bsky_atproto::error::AtError;
-use bsky_atproto::firehose::Event;
+use bsky_atproto::firehose::{Event, EventBody};
 use bsky_atproto::framing::FramingPolicy;
 use bsky_atproto::label::Label;
 use bsky_atproto::record::Record;
@@ -75,10 +75,13 @@ use bsky_identity::DidDocument;
 use bsky_labeler::LabelerOperator;
 use bsky_pds::PdsFleet;
 use bsky_relay::Relay;
+use bsky_simnet::dns::AtprotoResolution;
+use bsky_simnet::faults::{FaultPlan, RetryPolicy, TimeoutClass};
 use bsky_simnet::http::HttpResponse;
 use bsky_simnet::net::HostingClass;
 use bsky_workload::World;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A decoded repository snapshot.
 #[derive(Debug, Clone)]
@@ -252,6 +255,10 @@ struct MirroredRepo {
     /// view [`Collector`] takes of a full CAR, so decoding these in CID
     /// order reproduces the full-refetch snapshot exactly.
     record_cids: BTreeSet<Cid>,
+    /// The PDS hostname the state was fetched from. A repo that re-homes
+    /// (account migration) is backfilled with a full fetch: deltas across
+    /// a host change are not trusted.
+    host: Option<String>,
 }
 
 /// The incremental repository mirror: per-DID repo state maintained across
@@ -277,6 +284,12 @@ pub struct IncrementalRepoMirror {
     /// repositories share one block, which must survive until the last
     /// referencing DID is dropped.
     refs: BTreeMap<Cid, u32>,
+    /// The deterministic fault schedule (quiet by default).
+    faults: Arc<FaultPlan>,
+    /// Retry policy for full `getRepo` fetches.
+    retry_full: RetryPolicy,
+    /// Retry policy for `getRepo(since)` delta fetches.
+    retry_delta: RetryPolicy,
 }
 
 impl Default for IncrementalRepoMirror {
@@ -293,10 +306,31 @@ impl IncrementalRepoMirror {
 
     /// An empty mirror over an explicit block store.
     pub fn with_store(store: Box<dyn BlockStore>) -> IncrementalRepoMirror {
+        IncrementalRepoMirror::with_store_faults(
+            store,
+            Arc::new(FaultPlan::quiet()),
+            RetryPolicy::for_class(TimeoutClass::RepoFetch),
+            RetryPolicy::for_class(TimeoutClass::DeltaFetch),
+        )
+    }
+
+    /// An empty mirror with an explicit [`FaultPlan`] and per-class retry
+    /// policies. Faults resolve as pure functions of `(seed, DID, day)`
+    /// before any wire traffic; retries, backoff and give-ups are counted
+    /// into the sync summary — never silent.
+    pub fn with_store_faults(
+        store: Box<dyn BlockStore>,
+        faults: Arc<FaultPlan>,
+        retry_full: RetryPolicy,
+        retry_delta: RetryPolicy,
+    ) -> IncrementalRepoMirror {
         IncrementalRepoMirror {
             repos: BTreeMap::new(),
             store,
             refs: BTreeMap::new(),
+            faults,
+            retry_full,
+            retry_delta,
         }
     }
 
@@ -371,13 +405,28 @@ impl IncrementalRepoMirror {
                 let key = did.to_string();
                 listed.insert(key.clone());
                 let current = rev.map(|t| t.to_string());
-                if let Some(entry) = self.repos.get(&key) {
+                let host = fleet.locate(&did).map(str::to_string);
+                // A repo whose hosting PDS changed since the last sync
+                // (mass migration after a host outage, or organic churn)
+                // is backfilled with a full fetch even when its revision
+                // is unchanged: deltas across a host change are not
+                // trusted. Counted — never a silent code path.
+                let host_changed = self
+                    .repos
+                    .get(&key)
+                    .map(|entry| entry.host != host)
+                    .unwrap_or(false);
+                if host_changed {
+                    summary.backfill_full_fetches += 1;
+                } else if let Some(entry) = self.repos.get(&key) {
                     if entry.rev == current {
                         continue; // unchanged since the last snapshot
                     }
                 }
-                if !self.try_delta(relay, fleet, now, &did, current.as_deref(), summary) {
-                    self.full_fetch(relay, fleet, now, &did, current, summary);
+                if host_changed
+                    || !self.try_delta(relay, fleet, now, &did, current.as_deref(), summary)
+                {
+                    self.full_fetch(relay, fleet, now, &did, current, host, summary);
                 }
             }
             match next {
@@ -426,6 +475,19 @@ impl IncrementalRepoMirror {
         if current <= since.to_string().as_str() {
             return false;
         }
+        // Injected flakiness resolves before any wire traffic. A permanent
+        // give-up abandons the delta; the caller's full fetch retries
+        // independently (its own operation class draws its own failures).
+        if !resolve_retries(
+            &self.faults,
+            self.retry_delta,
+            "delta",
+            &did.to_string(),
+            now,
+            summary,
+        ) {
+            return false;
+        }
         let delta = match relay.get_repo_since(did, &since, DeltaScope::Records, fleet, now) {
             Ok(delta) => delta,
             Err(AtError::RevisionCompacted(_)) => {
@@ -457,6 +519,7 @@ impl IncrementalRepoMirror {
     /// Full CAR fetch, replacing any previous state for the DID. A failed
     /// fetch (account deleted / migrated away mid-snapshot) is counted as a
     /// skip and drops the state.
+    #[allow(clippy::too_many_arguments)]
     fn full_fetch(
         &mut self,
         relay: &mut Relay,
@@ -464,9 +527,17 @@ impl IncrementalRepoMirror {
         now: Datetime,
         did: &Did,
         current: Option<String>,
+        host: Option<String>,
         summary: &mut StreamSummary,
     ) {
         let key = did.to_string();
+        // Injected flakiness: a full fetch abandoned after the retry
+        // budget is a counted skip, exactly like a vanished account.
+        if !resolve_retries(&self.faults, self.retry_full, "full", &key, now, summary) {
+            summary.repo_snapshot_skips += 1;
+            self.drop_state(&key);
+            return;
+        }
         match relay.get_repo(did, fleet, now) {
             Ok(car) => {
                 summary.snapshot_bytes_fetched += car.len() as u64;
@@ -483,7 +554,9 @@ impl IncrementalRepoMirror {
                 // (rewound repos must not retain pre-rewind records).
                 self.drop_state(&key);
                 self.insert_records(&key, records);
-                self.repos.get_mut(&key).expect("just inserted").rev = current;
+                let entry = self.repos.get_mut(&key).expect("just inserted");
+                entry.rev = current;
+                entry.host = host;
             }
             Err(_) => {
                 summary.repo_snapshot_skips += 1;
@@ -509,6 +582,35 @@ impl IncrementalRepoMirror {
                 .collect(),
         )
     }
+}
+
+/// Resolve the injected-failure/retry sequence for one `(op, key, day)`
+/// request before it touches the wire: retries and their simulated backoff
+/// are counted into the summary; `false` means the retry budget was
+/// exhausted (a counted permanent give-up — the caller must not issue the
+/// real request, so fetched-byte accounting can never double-count).
+fn resolve_retries(
+    faults: &FaultPlan,
+    policy: RetryPolicy,
+    op: &str,
+    key: &str,
+    now: Datetime,
+    summary: &mut StreamSummary,
+) -> bool {
+    let day = now.timestamp().div_euclid(86_400) as u64;
+    let failures = faults.fetch_failures(op, key, day);
+    if failures == 0 {
+        return true;
+    }
+    let mut rng = faults.retry_rng(op, key, day);
+    let outcome = policy.outcome(failures, &mut rng);
+    summary.retry_attempts += u64::from(outcome.retries);
+    summary.retry_backoff_ms += outcome.backoff_ms;
+    if outcome.gave_up {
+        summary.fetch_retry_giveups += 1;
+        return false;
+    }
+    true
 }
 
 /// Decode a delta CAR after verifying it: every block must match its CID
@@ -565,6 +667,14 @@ pub struct Collector {
     /// firehose wire. Accounted in the summary; the §10 report sweeps every
     /// mitigation cell counterfactually regardless of this setting.
     framing: FramingPolicy,
+    /// Injected-fault plan for the client side of this run (flaky fetches,
+    /// DNS failures, cursor gaps/rewinds). The quiet plan draws no
+    /// randomness and counts nothing.
+    faults: Arc<FaultPlan>,
+    /// Retry/backoff policy per timeout class.
+    retry_full: RetryPolicy,
+    retry_delta: RetryPolicy,
+    retry_dns: RetryPolicy,
     /// Observatory ground truth: DID → (handle, activity class), built from
     /// the population plan at stream start.
     identity_map: BTreeMap<String, (String, ActivityClass)>,
@@ -599,6 +709,10 @@ impl Collector {
             label_cursors: Vec::new(),
             observations: 0,
             framing: FramingPolicy::default(),
+            faults: Arc::new(FaultPlan::quiet()),
+            retry_full: RetryPolicy::for_class(TimeoutClass::RepoFetch),
+            retry_delta: RetryPolicy::for_class(TimeoutClass::DeltaFetch),
+            retry_dns: RetryPolicy::for_class(TimeoutClass::DnsLookup),
             identity_map: BTreeMap::new(),
         }
     }
@@ -636,6 +750,29 @@ impl Collector {
         self
     }
 
+    /// Select the injected-fault plan driving the *client* side of this run
+    /// (builder style): flaky/timed-out repo fetches, DNS failures on the
+    /// identity path, firehose cursor gaps and rewinds. Every decision is a
+    /// pure function of `(seed, key, day)` — recomputable on any shard —
+    /// and every retry, give-up, or dropped event is a named counter in the
+    /// [`StreamSummary`], never silent. The quiet plan leaves the stream
+    /// byte-identical to a collector built without this call.
+    pub fn faults(mut self, faults: Arc<FaultPlan>) -> Collector {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the retry/backoff policy for one timeout class (builder
+    /// style). Defaults come from [`RetryPolicy::for_class`].
+    pub fn retry(mut self, class: TimeoutClass, policy: RetryPolicy) -> Collector {
+        match class {
+            TimeoutClass::RepoFetch => self.retry_full = policy,
+            TimeoutClass::DeltaFetch => self.retry_delta = policy,
+            TimeoutClass::DnsLookup => self.retry_dns = policy,
+        }
+        self
+    }
+
     /// The configured snapshot mode.
     pub fn mode(&self) -> SnapshotMode {
         self.mode
@@ -654,7 +791,12 @@ impl Collector {
         // Each stream is a complete, independent collection: reset the
         // per-run producer state so a reused collector starts fresh.
         self.firehose_cursor = 0;
-        self.mirror = IncrementalRepoMirror::with_store(self.store_config.build());
+        self.mirror = IncrementalRepoMirror::with_store_faults(
+            self.store_config.build(),
+            self.faults.clone(),
+            self.retry_full,
+            self.retry_delta,
+        );
         self.seen_identifiers.clear();
         self.identifier_order.clear();
         self.labelers_emitted = 0;
@@ -692,6 +834,8 @@ impl Collector {
                 break;
             };
             let today = cursor.day();
+            let day_abs = today.timestamp().div_euclid(86_400) as u64;
+            let day_start_cursor = self.firehose_cursor;
             summary.days += 1;
             self.emit(sink, &Observation::DayBoundary { day: today }, world);
             // Interleave chunked simulation with subscription reads: the
@@ -704,6 +848,22 @@ impl Collector {
                 self.firehose_cursor = sub.cursor;
                 summary.peak_in_flight_events = summary.peak_in_flight_events.max(sub.events.len());
                 for event in sub.events.iter().filter(|e| e.time >= firehose_start) {
+                    // Injected cursor gap: the subscriber's cursor skips
+                    // over this commit, so the event never reaches the
+                    // analyzers. Counted, never silent; Table 1's
+                    // firehose-event total counts only *observed* events,
+                    // exactly like a real consumer that lost frames. A
+                    // pure function of `(seed, DID, event-day)`, so every
+                    // shard drops the same events.
+                    if !self.faults.is_quiet() {
+                        if let EventBody::Commit { did, .. } = &event.body {
+                            let event_day = event.time.timestamp().div_euclid(86_400) as u64;
+                            if self.faults.drops_commit(&did.to_string(), event_day) {
+                                summary.cursor_gap_drops += 1;
+                                continue;
+                            }
+                        }
+                    }
                     summary.firehose_events += 1;
                     self.observations += 1;
                     sink.observe(&Observation::Firehose(event), &StudyCtx::new(world));
@@ -713,6 +873,21 @@ impl Collector {
                 }
             }
             world.end_day(cursor);
+            // Injected cursor rewind: the relay re-serves today's frames
+            // from the day-start cursor (as a restarted subscriber would
+            // request). The replayed events are counted — they model the
+            // duplicate wire traffic a real rewind costs — but not
+            // re-observed: the analyzers already consumed them, and
+            // idempotent re-observation is exactly what a consumer's dedup
+            // layer provides. The real cursor is untouched.
+            if !self.faults.is_quiet() && self.faults.rewinds_cursor(day_abs) {
+                let replay = world.relay.subscribe(day_start_cursor);
+                summary.cursor_rewind_replays += replay
+                    .events
+                    .iter()
+                    .filter(|e| e.time >= firehose_start)
+                    .count() as u64;
+            }
             // Drain the relay's passive wire tap at the day boundary: one
             // observatory record per traced connection per day. Day-end
             // flushing makes each record a pure function of the day's
@@ -770,7 +945,7 @@ impl Collector {
         }
         // Final snapshots at the end of the window.
         self.snapshot_user_identifiers(world, sink, &mut summary);
-        self.snapshot_did_documents(world, sink);
+        self.snapshot_did_documents(world, sink, &mut summary);
         self.snapshot_feed_generators(world, sink);
         self.snapshot_repositories(world, sink, &mut summary);
         self.emit(sink, &Observation::WindowEnd { at: collection_end }, world);
@@ -789,6 +964,15 @@ impl Collector {
         // indexed (post deleted, or label raced the post) — counted like
         // `repo_snapshot_skips`, never silently dropped.
         summary.appview_labels_preindex = world.appview.index().labels_preindex();
+        // Workload-side injected-fault accounting (outage migrations, spam
+        // waves, label/tombstone storms) flows into the same summary so
+        // every injected fault in a scenario run shows up as a named
+        // counter. All zero under the quiet plan.
+        let fault_counters = world.fault_counters();
+        summary.outage_migrations = fault_counters.outage_migrations;
+        summary.spam_posts_injected = fault_counters.spam_posts_injected;
+        summary.storm_labels_applied = fault_counters.storm_labels_applied;
+        summary.storm_tombstones = fault_counters.storm_tombstones;
         summary
     }
 
@@ -913,10 +1097,37 @@ impl Collector {
             for (did, rev) in page {
                 if self.seen_identifiers.insert(did.to_string()) {
                     if let Some((handle, _)) = self.identity_map.get(&did.to_string()) {
-                        let _ = world.dns.lookup_atproto_did(handle);
+                        // Injected DNS flakiness resolves before the real
+                        // lookup: transient SERVFAILs are retried under the
+                        // DnsLookup policy; a give-up leaves the handle
+                        // unverified this snapshot (counted, never silent).
+                        // Real resolver SERVFAILs (zone marked failed) are
+                        // counted distinctly from healthy lookups too.
+                        let day = when.div_euclid(86_400) as u64;
+                        let failures = self.faults.dns_failures(handle, day);
+                        if failures > 0 {
+                            let mut rng = self.faults.retry_rng("dns", handle, day);
+                            let outcome = self.retry_dns.outcome(failures, &mut rng);
+                            summary.retry_attempts += u64::from(outcome.retries);
+                            summary.retry_backoff_ms += outcome.backoff_ms;
+                            summary.dns_servfails += u64::from(outcome.retries);
+                            if outcome.gave_up {
+                                summary.dns_servfails += 1;
+                                summary.dns_retry_giveups += 1;
+                            } else if world.dns.resolve_atproto(handle)
+                                == AtprotoResolution::ServFail
+                            {
+                                summary.dns_servfails += 1;
+                            }
+                        } else if world.dns.resolve_atproto(handle) == AtprotoResolution::ServFail {
+                            summary.dns_servfails += 1;
+                        }
                         summary.identity_lookups += 1;
                         // Modeled DNS query + response bytes for the
-                        // `_atproto.<handle>` TXT lookup.
+                        // `_atproto.<handle>` TXT lookup (one frame per
+                        // lookup regardless of injected retries: the
+                        // retried queries are simulated-time stalls, not
+                        // extra observed wire records).
                         lookup_frames.push((when, 64 + 9 + handle.len() as u64));
                     }
                     self.identifier_order.push(did.clone());
@@ -949,7 +1160,12 @@ impl Collector {
         }
     }
 
-    fn snapshot_did_documents<S: ObservationSink>(&mut self, world: &World, sink: &mut S) {
+    fn snapshot_did_documents<S: ObservationSink>(
+        &mut self,
+        world: &World,
+        sink: &mut S,
+        summary: &mut StreamSummary,
+    ) {
         // Full PLC export (paginated).
         let mut cursor: Option<String> = None;
         loop {
@@ -975,17 +1191,24 @@ impl Collector {
                 continue;
             };
             let url = format!("https://{domain}/.well-known/did.json");
-            if let HttpResponse::Ok(body) = world.web.get(&url) {
-                if let Ok(doc) = DidDocument::from_wire(&body) {
-                    self.emit(
-                        sink,
-                        &Observation::DidDocument {
-                            doc: &doc,
-                            via_web: true,
-                        },
-                        world,
-                    );
-                }
+            // A non-OK response or an unparseable document leaves this
+            // did:web user without a document in the dataset — counted,
+            // never a silent `if let` fall-through.
+            match world.web.get(&url) {
+                HttpResponse::Ok(body) => match DidDocument::from_wire(&body) {
+                    Ok(doc) => {
+                        self.emit(
+                            sink,
+                            &Observation::DidDocument {
+                                doc: &doc,
+                                via_web: true,
+                            },
+                            world,
+                        );
+                    }
+                    Err(_) => summary.did_doc_fetch_failures += 1,
+                },
+                _ => summary.did_doc_fetch_failures += 1,
             }
         }
     }
@@ -1017,6 +1240,20 @@ impl Collector {
                     None => continue, // deleted mid-window; skip counted at sync
                 },
                 SnapshotMode::FullRefetch => {
+                    // Injected flakiness applies to the window-end bulk
+                    // download too: a repo abandoned after the retry budget
+                    // is a counted skip.
+                    if !resolve_retries(
+                        &self.faults,
+                        self.retry_full,
+                        "full",
+                        &did.to_string(),
+                        end,
+                        summary,
+                    ) {
+                        summary.repo_snapshot_skips += 1;
+                        continue;
+                    }
                     let car = match world.relay.get_repo(did, &mut world.fleet, end) {
                         Ok(car) => car,
                         Err(_) => {

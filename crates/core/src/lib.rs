@@ -36,6 +36,34 @@
 //! * [`stats`] — quantiles, Pearson correlation, share tables.
 //! * [`langdetect`] — the language detector used on feed descriptions.
 //! * [`json`] — a dependency-free JSON tree for the headline-number export.
+//!
+//! ## Faults & scenarios
+//!
+//! The pipeline composes with the deterministic fault-injection layer in
+//! [`bsky_simnet::faults`] (re-exported here as [`faults`]). A
+//! [`faults::FaultSpec`] — one of the named scenarios (`repro --scenario
+//! pds-migration`, `label-storm`, `cursor-gap`, …) or a custom
+//! `key=value` spec (`repro --faults flaky=0.2,gap=0.05`) — is compiled
+//! into a [`faults::FaultPlan`] for the run's day window and shared by
+//! every shard's world and producer
+//! ([`StudyReport::run_sharded_faulted`]).
+//!
+//! Two invariants make faulted runs first-class citizens of the
+//! equivalence suite rather than a separate mode:
+//!
+//! 1. **Determinism by derivation** — every injected failure (host
+//!    outages and mass migrations, flaky `getRepo`/`getRepoSince`, DNS
+//!    SERVFAILs, firehose cursor gaps and rewinds, spam waves, label and
+//!    tombstone storms) is a pure function of `(seed, key, day)` drawn
+//!    from dedicated RNG forks. Fault placement never consumes workload
+//!    randomness, so the quiet plan is byte-inert, and every shard
+//!    recomputes the same decisions — faulted reports are byte-identical
+//!    serial vs. sharded and mem vs. paged (pinned by
+//!    `tests/fault_scenarios.rs`).
+//! 2. **Never silent** — every retry, backoff, give-up, fallback, and
+//!    dropped event lands in a named [`pipeline::StreamSummary`] counter,
+//!    and scenario runs render a dedicated [`report::FaultImpact`]
+//!    section. Graceful degradation is always visible in the output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +78,7 @@ pub mod report;
 pub mod shard;
 pub mod stats;
 
+pub use bsky_simnet::faults;
 pub use datasets::{Collector, Datasets, IncrementalRepoMirror, SnapshotMode};
 pub use observatory::{ActivityClass, ObservatoryAnalyzer, ObservatoryReport, WireTraceDay};
 pub use pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx, StudyEngine};

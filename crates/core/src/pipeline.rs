@@ -386,6 +386,42 @@ pub struct StreamSummary {
     /// Frames dropped by full per-connection capture buffers — a visible
     /// trace truncation, never silent.
     pub observer_trace_drops: u64,
+    /// Retries the producer's [`bsky_simnet::faults::RetryPolicy`] issued
+    /// beyond first attempts (repo fetches, delta fetches, DNS lookups).
+    pub retry_attempts: u64,
+    /// Total simulated milliseconds spent in per-attempt timeouts and
+    /// exponential backoff across those retries.
+    pub retry_backoff_ms: u64,
+    /// Repo/delta fetch sequences abandoned after the retry budget was
+    /// exhausted — each a permanent, counted give-up (the repo is skipped
+    /// or falls back to a full fetch), never a silent drop.
+    pub fetch_retry_giveups: u64,
+    /// DNS resolutions abandoned after the retry budget was exhausted.
+    pub dns_retry_giveups: u64,
+    /// `_atproto.` TXT resolutions that returned SERVFAIL — injected flaps
+    /// plus genuinely broken delegations, counted distinctly from generic
+    /// lookup failure.
+    pub dns_servfails: u64,
+    /// Mirror repos re-fetched in full because their hosting PDS changed
+    /// (mass migration after a host outage, or organic churn migration).
+    pub backfill_full_fetches: u64,
+    /// Commit events lost to injected firehose cursor gaps (the slow
+    /// consumer missed them); a visible stream gap, never silent.
+    pub cursor_gap_drops: u64,
+    /// Events re-read after injected cursor rewinds (the consumer replays
+    /// from the day-start cursor without re-observing).
+    pub cursor_rewind_replays: u64,
+    /// did:web documents whose well-known fetch failed or did not parse
+    /// during the end-of-window DID-document sweep.
+    pub did_doc_fetch_failures: u64,
+    /// Accounts mass-migrated by the injected PDS host outage.
+    pub outage_migrations: u64,
+    /// Spam-wave posts injected on top of planned content.
+    pub spam_posts_injected: u64,
+    /// Posts flagged by the injected label storm.
+    pub storm_labels_applied: u64,
+    /// Accounts deleted by the injected tombstone storm.
+    pub storm_tombstones: u64,
 }
 
 impl StreamSummary {
@@ -429,6 +465,49 @@ impl StreamSummary {
                 self.appview_labels_preindex
             ));
         }
+        if self.retry_attempts > 0 || self.fetch_retry_giveups > 0 || self.dns_retry_giveups > 0 {
+            out.push_str(&format!(
+                "; retries: {} attempts over {} ms backoff, {} fetch give-up(s), {} dns give-up(s)",
+                self.retry_attempts,
+                self.retry_backoff_ms,
+                self.fetch_retry_giveups,
+                self.dns_retry_giveups
+            ));
+        }
+        if self.dns_servfails > 0 {
+            out.push_str(&format!("; dns: {} servfail(s)", self.dns_servfails));
+        }
+        if self.backfill_full_fetches > 0 {
+            out.push_str(&format!(
+                "; backfill: {} host-change full fetch(es)",
+                self.backfill_full_fetches
+            ));
+        }
+        if self.cursor_gap_drops > 0 || self.cursor_rewind_replays > 0 {
+            out.push_str(&format!(
+                "; cursor: {} commit(s) lost to gaps, {} event(s) replayed on rewinds",
+                self.cursor_gap_drops, self.cursor_rewind_replays
+            ));
+        }
+        if self.did_doc_fetch_failures > 0 {
+            out.push_str(&format!(
+                "; did docs: {} fetch failure(s)",
+                self.did_doc_fetch_failures
+            ));
+        }
+        if self.outage_migrations > 0
+            || self.spam_posts_injected > 0
+            || self.storm_labels_applied > 0
+            || self.storm_tombstones > 0
+        {
+            out.push_str(&format!(
+                "; injected: {} outage migration(s), {} spam post(s), {} storm label(s), {} storm tombstone(s)",
+                self.outage_migrations,
+                self.spam_posts_injected,
+                self.storm_labels_applied,
+                self.storm_tombstones
+            ));
+        }
         out
     }
 
@@ -455,6 +534,19 @@ impl StreamSummary {
         self.wire_frames += other.wire_frames;
         self.padding_overhead_bytes += other.padding_overhead_bytes;
         self.observer_trace_drops += other.observer_trace_drops;
+        self.retry_attempts += other.retry_attempts;
+        self.retry_backoff_ms += other.retry_backoff_ms;
+        self.fetch_retry_giveups += other.fetch_retry_giveups;
+        self.dns_retry_giveups += other.dns_retry_giveups;
+        self.dns_servfails += other.dns_servfails;
+        self.backfill_full_fetches += other.backfill_full_fetches;
+        self.cursor_gap_drops += other.cursor_gap_drops;
+        self.cursor_rewind_replays += other.cursor_rewind_replays;
+        self.did_doc_fetch_failures += other.did_doc_fetch_failures;
+        self.outage_migrations += other.outage_migrations;
+        self.spam_posts_injected += other.spam_posts_injected;
+        self.storm_labels_applied += other.storm_labels_applied;
+        self.storm_tombstones += other.storm_tombstones;
     }
 }
 

@@ -24,10 +24,124 @@ use crate::datasets::{Collector, Datasets, SnapshotMode};
 use crate::json::Json;
 use crate::observatory::{observatory_report, ObservatoryReport};
 use crate::pipeline::{Analyzer, StreamSummary, StudyCtx};
-use crate::shard::{collect_sharded_framed, ShardedSummary, StudyAnalyzers};
+use crate::shard::{
+    collect_sharded_faulted, collect_sharded_framed, ShardedSummary, StudyAnalyzers,
+};
 use bsky_atproto::blockstore::StoreConfig;
 use bsky_atproto::framing::FramingPolicy;
+use bsky_simnet::faults::{FaultPlan, FaultSpec};
 use bsky_workload::{ScenarioConfig, World};
+use std::sync::Arc;
+
+/// The injected-fault impact section of a scenario run's report: the named
+/// recovery-path counters from the merged [`StreamSummary`], rendered as
+/// their own report section. Present only on runs launched with a non-quiet
+/// [`FaultSpec`] (repro `--scenario` / `--faults`) — quiet runs carry
+/// `None` and their reports stay byte-identical to pre-fault-layer output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// Scenario name (or `custom` for a `--faults` spec).
+    pub scenario: String,
+    /// Retries issued across all timeout classes.
+    pub retry_attempts: u64,
+    /// Simulated milliseconds spent in timeouts + backoff.
+    pub retry_backoff_ms: u64,
+    /// Repo fetches abandoned after the retry budget.
+    pub fetch_retry_giveups: u64,
+    /// DNS lookups abandoned after the retry budget.
+    pub dns_retry_giveups: u64,
+    /// SERVFAIL responses observed on the identity path.
+    pub dns_servfails: u64,
+    /// Full fetches forced by a repo re-homing to another PDS.
+    pub backfill_full_fetches: u64,
+    /// Firehose commits lost to injected cursor gaps.
+    pub cursor_gap_drops: u64,
+    /// Events re-served by injected cursor rewinds.
+    pub cursor_rewind_replays: u64,
+    /// did:web documents that failed to fetch or parse.
+    pub did_doc_fetch_failures: u64,
+    /// Repositories skipped at snapshot time (vanished or given up).
+    pub repo_snapshot_skips: u64,
+    /// Accounts migrated off a failed host by the outage.
+    pub outage_migrations: u64,
+    /// Spam-wave posts injected into the workload.
+    pub spam_posts_injected: u64,
+    /// Labels applied by the label storm.
+    pub storm_labels_applied: u64,
+    /// Accounts deleted + tombstoned by the tombstone storm.
+    pub storm_tombstones: u64,
+}
+
+impl FaultImpact {
+    /// Extract the impact counters from a merged summary.
+    pub fn from_summary(scenario: &str, summary: &StreamSummary) -> FaultImpact {
+        FaultImpact {
+            scenario: scenario.to_string(),
+            retry_attempts: summary.retry_attempts,
+            retry_backoff_ms: summary.retry_backoff_ms,
+            fetch_retry_giveups: summary.fetch_retry_giveups,
+            dns_retry_giveups: summary.dns_retry_giveups,
+            dns_servfails: summary.dns_servfails,
+            backfill_full_fetches: summary.backfill_full_fetches,
+            cursor_gap_drops: summary.cursor_gap_drops,
+            cursor_rewind_replays: summary.cursor_rewind_replays,
+            did_doc_fetch_failures: summary.did_doc_fetch_failures,
+            repo_snapshot_skips: summary.repo_snapshot_skips,
+            outage_migrations: summary.outage_migrations,
+            spam_posts_injected: summary.spam_posts_injected,
+            storm_labels_applied: summary.storm_labels_applied,
+            storm_tombstones: summary.storm_tombstones,
+        }
+    }
+
+    /// Render the scenario-impact section.
+    pub fn render(&self) -> String {
+        let mut out = format!("== Scenario impact: {} ==\n", self.scenario);
+        let rows: [(&str, u64); 14] = [
+            ("retry attempts", self.retry_attempts),
+            ("retry backoff (simulated ms)", self.retry_backoff_ms),
+            ("fetch give-ups", self.fetch_retry_giveups),
+            ("dns give-ups", self.dns_retry_giveups),
+            ("dns servfails", self.dns_servfails),
+            (
+                "host-change backfill full fetches",
+                self.backfill_full_fetches,
+            ),
+            ("cursor-gap commit drops", self.cursor_gap_drops),
+            ("cursor-rewind replayed events", self.cursor_rewind_replays),
+            ("did-doc fetch failures", self.did_doc_fetch_failures),
+            ("repo snapshot skips", self.repo_snapshot_skips),
+            ("outage migrations", self.outage_migrations),
+            ("spam posts injected", self.spam_posts_injected),
+            ("storm labels applied", self.storm_labels_applied),
+            ("storm tombstones", self.storm_tombstones),
+        ];
+        for (name, value) in rows {
+            out.push_str(&format!("{name:>34}: {value}\n"));
+        }
+        out
+    }
+
+    /// Serialise the impact counters.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("scenario", self.scenario.as_str())
+            .with("retry_attempts", self.retry_attempts)
+            .with("retry_backoff_ms", self.retry_backoff_ms)
+            .with("fetch_retry_giveups", self.fetch_retry_giveups)
+            .with("dns_retry_giveups", self.dns_retry_giveups)
+            .with("dns_servfails", self.dns_servfails)
+            .with("backfill_full_fetches", self.backfill_full_fetches)
+            .with("cursor_gap_drops", self.cursor_gap_drops)
+            .with("cursor_rewind_replays", self.cursor_rewind_replays)
+            .with("did_doc_fetch_failures", self.did_doc_fetch_failures)
+            .with("repo_snapshot_skips", self.repo_snapshot_skips)
+            .with("outage_migrations", self.outage_migrations)
+            .with("spam_posts_injected", self.spam_posts_injected)
+            .with("storm_labels_applied", self.storm_labels_applied)
+            .with("storm_tombstones", self.storm_tombstones)
+    }
+}
 
 /// All analyses of the paper, computed for one simulated run.
 #[derive(Debug, Clone)]
@@ -50,6 +164,9 @@ pub struct StudyReport {
     pub firehose_volume: FirehoseVolume,
     /// §10 wire-traffic observatory (classifier × mitigation sweep).
     pub observatory: ObservatoryReport,
+    /// Injected-fault impact (scenario runs only; `None` keeps quiet runs'
+    /// rendered/serialised output byte-identical to pre-fault-layer runs).
+    pub faults: Option<FaultImpact>,
 }
 
 impl StudyReport {
@@ -162,6 +279,50 @@ impl StudyReport {
         )
     }
 
+    /// [`StudyReport::run_sharded_framed`] with an injected [`FaultSpec`]
+    /// (repro `--scenario NAME` / `--faults SPEC`): builds the
+    /// [`FaultPlan`] for the run's day window, shares it across every
+    /// shard's world and producer, and — for non-quiet specs — attaches a
+    /// [`FaultImpact`] section built from the merged summary. Fault
+    /// placement derives purely from `(seed, DID, day)`, so the report is
+    /// byte-identical serial vs. sharded and mem vs. paged for any spec;
+    /// the quiet spec produces output byte-identical to
+    /// [`StudyReport::run_sharded_framed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded_faulted(
+        config: ScenarioConfig,
+        shards: usize,
+        jobs: usize,
+        mode: SnapshotMode,
+        store: &StoreConfig,
+        appview_shards: usize,
+        framing: FramingPolicy,
+        spec: &FaultSpec,
+        scenario: Option<&str>,
+    ) -> (StudyReport, ShardedSummary) {
+        let total_days = config.end.days_since(config.start).max(0) as usize;
+        let faults = Arc::new(FaultPlan::build(config.seed, total_days, spec.clone()));
+        let quiet = faults.spec().is_quiet();
+        let (analyzers, world, summary) = collect_sharded_faulted(
+            config,
+            shards,
+            jobs,
+            mode,
+            store,
+            appview_shards,
+            framing,
+            &faults,
+        );
+        let mut report = StudyReport::from_analyzers(config, analyzers, &world);
+        if !quiet {
+            report.faults = Some(FaultImpact::from_summary(
+                scenario.unwrap_or("custom"),
+                &summary.merged,
+            ));
+        }
+        (report, summary)
+    }
+
     /// Assemble the report from a (merged) analyzer set. The world provides
     /// the finish-time context (scenario constants such as the scale
     /// factor); any shard's world is equivalent.
@@ -181,6 +342,7 @@ impl StudyReport {
             recommendation: analyzers.recommendation.finish(&ctx),
             firehose_volume: analyzers.volume.finish(&ctx),
             observatory: analyzers.observatory.finish(&ctx),
+            faults: None,
         }
     }
 
@@ -259,6 +421,7 @@ impl StudyReport {
             recommendation: recommendation_report(datasets, world),
             firehose_volume: firehose_volume(datasets, world),
             observatory: observatory_report(datasets),
+            faults: None,
         }
     }
 
@@ -291,12 +454,16 @@ impl StudyReport {
         out.push_str(&self.firehose_volume.render());
         out.push('\n');
         out.push_str(&self.observatory.render());
+        if let Some(faults) = &self.faults {
+            out.push('\n');
+            out.push_str(&faults.render());
+        }
         out
     }
 
     /// Serialise headline numbers as JSON for EXPERIMENTS.md tooling.
     pub fn to_json(&self) -> Json {
-        Json::object()
+        let json = Json::object()
             .with("seed", self.config.seed)
             .with("scale", self.config.scale)
             .with(
@@ -376,7 +543,11 @@ impl StudyReport {
                     self.firehose_volume.extrapolated_full_network / 1e9,
                 ),
             )
-            .with("section10", self.observatory.to_json())
+            .with("section10", self.observatory.to_json());
+        match &self.faults {
+            Some(faults) => json.with("faults", faults.to_json()),
+            None => json,
+        }
     }
 }
 

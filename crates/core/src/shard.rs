@@ -20,6 +20,7 @@ use crate::observatory::ObservatoryAnalyzer;
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
 use bsky_atproto::blockstore::StoreConfig;
 use bsky_atproto::framing::FramingPolicy;
+use bsky_simnet::faults::FaultPlan;
 use bsky_workload::{PopulationPlan, ScenarioConfig, ShardSpec, World};
 use std::sync::{Arc, Mutex};
 
@@ -124,8 +125,9 @@ fn run_shard(
     store: &StoreConfig,
     appview_shards: usize,
     framing: FramingPolicy,
+    faults: Arc<FaultPlan>,
 ) -> ShardResult {
-    let mut world = World::with_plan_store_appview(
+    let mut world = World::with_plan_store_appview_faults(
         config,
         plan,
         ShardSpec {
@@ -134,12 +136,14 @@ fn run_shard(
         },
         store.clone(),
         appview_shards,
+        faults.clone(),
     );
     let mut analyzers = StudyAnalyzers::new();
     let summary = Collector::new()
         .snapshot_mode(mode)
         .store(store.clone())
         .framing(framing)
+        .faults(faults)
         .stream(&mut world, &mut analyzers);
     ShardResult {
         analyzers,
@@ -226,6 +230,37 @@ pub fn collect_sharded_framed(
     appview_shards: usize,
     framing: FramingPolicy,
 ) -> (StudyAnalyzers, World, ShardedSummary) {
+    collect_sharded_faulted(
+        config,
+        shards,
+        jobs,
+        mode,
+        store,
+        appview_shards,
+        framing,
+        &Arc::new(FaultPlan::quiet()),
+    )
+}
+
+/// [`collect_sharded_framed`] with an explicit injected [`FaultPlan`]
+/// shared by every shard's world and producer (repro `--scenario` /
+/// `--faults`). Every injected decision is a pure function of
+/// `(seed, DID, day)`, so fault placement is identical across shard
+/// counts and the merged report stays byte-identical serial vs. sharded
+/// for *any* plan; the quiet plan additionally leaves the report
+/// byte-identical to a run without fault machinery at all. Pinned by
+/// `tests/fault_scenarios.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_sharded_faulted(
+    config: ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    mode: SnapshotMode,
+    store: &StoreConfig,
+    appview_shards: usize,
+    framing: FramingPolicy,
+    faults: &Arc<FaultPlan>,
+) -> (StudyAnalyzers, World, ShardedSummary) {
     assert!(shards >= 1, "shard count must be at least 1");
     assert!(
         (1..=shards).contains(&jobs),
@@ -246,6 +281,7 @@ pub fn collect_sharded_framed(
                 store,
                 appview_shards,
                 framing,
+                faults.clone(),
             )));
         }
     } else {
@@ -258,6 +294,7 @@ pub fn collect_sharded_framed(
                 let slots = slots.clone();
                 let next = next.clone();
                 let store = store.clone();
+                let faults = faults.clone();
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     if index >= shards {
@@ -272,6 +309,7 @@ pub fn collect_sharded_framed(
                         &store,
                         appview_shards,
                         framing,
+                        faults.clone(),
                     );
                     slots.lock().expect("shard result lock")[index] = Some(result);
                 });

@@ -278,10 +278,14 @@ impl Relay {
         if let Some(entry) = self.mirror.get(&key) {
             if entry.rev == current_rev {
                 // The store verifies read-backs by CID; a block it cannot
-                // return (corrupt spill) degrades to a refetch below.
-                if let Some(car) = self.store.get(&entry.car_cid) {
-                    self.stats.record_cache_hit();
-                    return Ok(car);
+                // return (corrupt spill) degrades to a refetch below —
+                // counted, never silent.
+                match self.store.get(&entry.car_cid) {
+                    Some(car) => {
+                        self.stats.record_cache_hit();
+                        return Ok(car);
+                    }
+                    None => self.stats.record_mirror_read_failure(),
                 }
             }
         }
@@ -293,19 +297,26 @@ impl Relay {
             if let Some(since) = entry.rev.as_deref().and_then(|r| Tid::parse(r).ok()) {
                 let cached = self.store.get(&entry.car_cid);
                 match (cached, pds.get_repo_since(did, &since, DeltaScope::Full)) {
-                    (Some(base), Ok(delta)) => {
-                        if let Ok(car) = Repository::apply_delta(&base, &delta) {
+                    (Some(base), Ok(delta)) => match Repository::apply_delta(&base, &delta) {
+                        Ok(car) => {
                             self.stats.record_delta_fetch(delta.len());
                             self.cache_car(key, current_rev, &car, now);
                             return Ok(car);
                         }
-                    }
+                        // A delta that will not apply to the cached base
+                        // degrades to a full refetch, visibly.
+                        Err(_) => self.stats.record_delta_apply_failure(),
+                    },
+                    // The cached base could not be read back from the store.
+                    (None, Ok(_)) => self.stats.record_mirror_read_failure(),
                     (_, Err(AtError::RevisionCompacted(_))) => {
                         // The PDS compacted our revision out of its delta
                         // window: fall back to a full fetch, visibly.
                         self.stats.record_compaction_fallback();
                     }
-                    _ => {}
+                    // Any other delta error also falls back to a full
+                    // fetch — counted, never silent.
+                    (_, Err(_)) => self.stats.record_delta_fetch_error(),
                 }
             }
         }

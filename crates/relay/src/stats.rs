@@ -18,6 +18,9 @@ pub struct RelayStats {
     cache_misses: u64,
     delta_fetches: u64,
     compaction_fallbacks: u64,
+    mirror_read_failures: u64,
+    delta_apply_failures: u64,
+    delta_fetch_errors: u64,
     bytes_fetched_from_pds: u64,
     delta_bytes_fetched: u64,
     highest_seq: u64,
@@ -110,6 +113,42 @@ impl RelayStats {
     /// follows) — surfaced so fallbacks never happen silently.
     pub fn record_compaction_fallback(&mut self) {
         self.compaction_fallbacks += 1;
+    }
+
+    /// Record a mirror cache entry whose blocks could not be read back
+    /// from the store (the fetch degrades to a refetch from the PDS) —
+    /// previously a silent fall-through.
+    pub fn record_mirror_read_failure(&mut self) {
+        self.mirror_read_failures += 1;
+    }
+
+    /// Record a fetched delta that failed to apply to the cached base
+    /// (the fetch degrades to a full refetch) — previously a silent
+    /// fall-through.
+    pub fn record_delta_apply_failure(&mut self) {
+        self.delta_apply_failures += 1;
+    }
+
+    /// Record a `getRepo(since)` request that errored for a reason other
+    /// than revision compaction (the fetch degrades to a full refetch) —
+    /// previously a silent `_ => {}` arm.
+    pub fn record_delta_fetch_error(&mut self) {
+        self.delta_fetch_errors += 1;
+    }
+
+    /// Mirror cache entries whose stored blocks could not be read back.
+    pub fn mirror_read_failures(&self) -> u64 {
+        self.mirror_read_failures
+    }
+
+    /// Fetched deltas that failed to apply to the cached base.
+    pub fn delta_apply_failures(&self) -> u64 {
+        self.delta_apply_failures
+    }
+
+    /// Delta fetch errors other than revision compaction.
+    pub fn delta_fetch_errors(&self) -> u64 {
+        self.delta_fetch_errors
     }
 
     /// Delta (`getRepo(since)`) fetches served from PDSes.

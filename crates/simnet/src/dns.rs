@@ -29,6 +29,20 @@ impl TxtLookup {
     }
 }
 
+/// Outcome of an `_atproto.` handle-ownership resolution, with every
+/// failure mode kept distinct so callers can count them separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtprotoResolution {
+    /// A valid `did=` proof was found.
+    Did(String),
+    /// The name exists but carries no `did=` proof.
+    NoProof,
+    /// The name does not exist.
+    NxDomain,
+    /// The name is marked failed (broken delegation / timeout).
+    ServFail,
+}
+
 /// An authoritative store of TXT records plus per-name failure marks.
 #[derive(Debug, Clone, Default)]
 pub struct DnsZoneStore {
@@ -89,6 +103,24 @@ impl DnsZoneStore {
             .find_map(|r| r.strip_prefix("did=").map(str::to_string))
     }
 
+    /// Outcome-preserving `_atproto.` resolution: like
+    /// [`lookup_atproto_did`](DnsZoneStore::lookup_atproto_did) but a name
+    /// marked failed surfaces as a distinct [`AtprotoResolution::ServFail`]
+    /// instead of folding into generic lookup failure, so identity-path
+    /// callers can count it separately.
+    pub fn resolve_atproto(&self, handle: &str) -> AtprotoResolution {
+        let name = format!("_atproto.{}", handle.to_ascii_lowercase());
+        match self.lookup_txt(&name) {
+            TxtLookup::ServFail => AtprotoResolution::ServFail,
+            TxtLookup::NxDomain => AtprotoResolution::NxDomain,
+            TxtLookup::Found(records) => records
+                .iter()
+                .find_map(|r| r.strip_prefix("did=").map(str::to_string))
+                .map(AtprotoResolution::Did)
+                .unwrap_or(AtprotoResolution::NoProof),
+        }
+    }
+
     /// Number of names with at least one TXT record.
     pub fn zone_count(&self) -> usize {
         self.txt.len()
@@ -137,6 +169,15 @@ mod tests {
             TxtLookup::ServFail
         );
         assert_eq!(dns.lookup_atproto_did("broken.example"), None);
+        // The outcome-preserving resolver keeps the failure mode distinct.
+        assert_eq!(
+            dns.resolve_atproto("broken.example"),
+            AtprotoResolution::ServFail
+        );
+        assert_eq!(
+            dns.resolve_atproto("missing.example"),
+            AtprotoResolution::NxDomain
+        );
         dns.remove("_atproto.broken.example");
         assert_eq!(
             dns.lookup_txt("_atproto.broken.example"),
@@ -161,5 +202,14 @@ mod tests {
         let mut dns = DnsZoneStore::new();
         dns.add_txt("_atproto.nodid.example", "verification=xyz");
         assert_eq!(dns.lookup_atproto_did("nodid.example"), None);
+        assert_eq!(
+            dns.resolve_atproto("nodid.example"),
+            AtprotoResolution::NoProof
+        );
+        dns.add_txt("_atproto.good.example", "did=did:plc:ok");
+        assert_eq!(
+            dns.resolve_atproto("good.example"),
+            AtprotoResolution::Did("did:plc:ok".into())
+        );
     }
 }

@@ -16,6 +16,8 @@
 //! * [`net`] — endpoint address plan, hosting classification (cloud,
 //!   residential, dead) and availability/fault modelling.
 //! * [`event`] — a discrete-event scheduler for time-ordered simulation.
+//! * [`faults`] — the deterministic fault-injection plan and the bounded
+//!   [`faults::RetryPolicy`] used by study clients to recover from it.
 //! * [`metrics`] — counters and streaming histograms used by services and by
 //!   the measurement pipeline.
 //! * [`observer`] — a passive per-connection `(size, gap)` wire tap for the
@@ -30,6 +32,7 @@
 pub mod clock;
 pub mod dns;
 pub mod event;
+pub mod faults;
 pub mod http;
 pub mod metrics;
 pub mod net;

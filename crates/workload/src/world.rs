@@ -40,6 +40,7 @@ use crate::ecosystem::{
 use crate::population::{DayPurpose, PopulationPlan, UserProfile};
 use bsky_appview::AppView;
 use bsky_atproto::blockstore::{StoreConfig, StoreStats};
+use bsky_atproto::label::LabelTarget;
 use bsky_atproto::nsid::known;
 use bsky_atproto::record::{
     BlockRecord, Embed, FeedGeneratorRecord, FollowRecord, ImageEmbed, LikeRecord, MediaKind,
@@ -55,10 +56,11 @@ use bsky_feedgen::{
 use bsky_identity::registrar::default_catalogue;
 use bsky_identity::resolver::publish;
 use bsky_identity::{DidDocument, PlcDirectory, PublicSuffixList, TrancoList, WhoisDatabase};
-use bsky_labeler::{LabelerRegistry, LabelerService};
+use bsky_labeler::{LabelerOperator, LabelerRegistry, LabelerService};
 use bsky_pds::{Pds, PdsFleet, PdsOperator};
 use bsky_relay::Relay;
 use bsky_simnet::dns::DnsZoneStore;
+use bsky_simnet::faults::{FaultCounters, FaultPlan, LABEL_STORM_LOOKBACK_DAYS};
 use bsky_simnet::http::WebSpace;
 use bsky_simnet::net::AddressPlan;
 use bsky_simnet::SimRng;
@@ -180,6 +182,10 @@ pub struct World {
     appview_cursor: u64,
     pub(crate) total_posts: u64,
     pub(crate) total_likes: u64,
+    /// The deterministic fault schedule (quiet by default).
+    faults: Arc<FaultPlan>,
+    /// Workload-side fault accounting, drained by the study collector.
+    fault_counters: FaultCounters,
 }
 
 impl World {
@@ -260,6 +266,29 @@ impl World {
         store: StoreConfig,
         appview_shards: usize,
     ) -> World {
+        World::with_plan_store_appview_faults(
+            config,
+            plan,
+            shard,
+            store,
+            appview_shards,
+            Arc::new(FaultPlan::quiet()),
+        )
+    }
+
+    /// [`World::with_plan_store_appview`] with an explicit [`FaultPlan`].
+    /// Every injected fault is a pure function of `(seed, DID, day)` — the
+    /// plan consumes no randomness from the content/churn streams, so a
+    /// quiet plan leaves the run byte-identical to one built without it,
+    /// and a faulted run stays byte-identical serial vs. sharded.
+    pub fn with_plan_store_appview_faults(
+        config: ScenarioConfig,
+        plan: Arc<PopulationPlan>,
+        shard: ShardSpec,
+        store: StoreConfig,
+        appview_shards: usize,
+        faults: Arc<FaultPlan>,
+    ) -> World {
         let root = SimRng::new(config.seed);
 
         // PDS fleet: default servers plus a few self-hosted ones. Every
@@ -320,10 +349,23 @@ impl World {
             appview_cursor: 0,
             total_posts: 0,
             total_likes: 0,
+            faults,
+            fault_counters: FaultCounters::default(),
             plan,
             shard,
             config,
         }
+    }
+
+    /// The fault plan this world runs under.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Workload-side fault accounting so far (drained by the collector
+    /// into the run summary — injected faults are never silent).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
     }
 
     /// Whether this shard owns (simulates) the user with the given global
@@ -385,11 +427,19 @@ impl World {
             }
         }
 
-        // 2. Bring planned labelers and feed generators online (all shards).
+        // 2. Scheduled faults: on the outage day the doomed host's owned
+        //    accounts mass-migrate before any of the day's activity.
+        if let Some((outage_day, host_index)) = self.faults.outage() {
+            if outage_day == day_idx {
+                self.apply_host_outage(host_index, day);
+            }
+        }
+
+        // 3. Bring planned labelers and feed generators online (all shards).
         self.activate_labelers(day);
         self.activate_feedgens(day, day_idx);
 
-        // 3. Plan the day's activity: every owned, joined user flips their
+        // 4. Plan the day's activity: every owned, joined user flips their
         //    independent per-(DID, day) activity coin.
         let joined = self.plan.joined_count(day_idx);
         let mut active = Vec::new();
@@ -430,6 +480,12 @@ impl World {
     pub fn end_day(&mut self, cursor: DayCursor) {
         debug_assert!(cursor.pos >= cursor.active.len(), "day not exhausted");
         let day = cursor.day;
+        if self.faults.label_storm_day() == Some(cursor.day_idx) {
+            self.apply_label_storm(day, cursor.day_idx);
+        }
+        if self.faults.tombstone_day() == Some(cursor.day_idx) {
+            self.apply_tombstone_storm(day);
+        }
         self.poll_labelers(day);
         for feed in &mut self.feedgens {
             feed.enforce_retention(day);
@@ -727,6 +783,30 @@ impl World {
             self.total_posts += 1;
         }
 
+        // Spam wave (fault injection): conscripted accounts pile a burst of
+        // spam posts on top of their planned content. Count and content come
+        // from dedicated fault forks — never from the user's content stream
+        // — so a quiet plan leaves this path byte-inert, and the distinct
+        // `f`-prefixed rkeys never collide with planned (`p`/`r`) keys.
+        let spam_count = self.faults.spam_posts(&user.did.to_string(), day_idx);
+        for slot in 0..spam_count {
+            let post = PostRecord::simple(
+                format!("fresh followers fast, link in bio #{slot}"),
+                &user.language,
+                when,
+            );
+            let rkey = format!("f{day_idx:05}s{slot:02}");
+            new_posts.push((rkey.clone(), post.clone()));
+            writes.push(bsky_atproto::repo::Write::Create {
+                collection: Nsid::parse(known::POST).unwrap(),
+                rkey: rkey.clone(),
+                record: Record::Post(post.clone()),
+            });
+            indexed.push((Nsid::parse(known::POST).unwrap(), rkey, Record::Post(post)));
+            self.total_posts += 1;
+            self.fault_counters.spam_posts_injected += 1;
+        }
+
         // Likes (≈6 per active user-day): mostly on recent posts, sometimes
         // on feed generators. Targets are resolved against the plan, so a
         // like can land on any shard's post.
@@ -958,6 +1038,106 @@ impl World {
                         &endpoint,
                     );
                 });
+            }
+        }
+    }
+
+    /// The scheduled PDS host outage: every owned account still on the
+    /// doomed default host re-homes to a surviving default host — a
+    /// deterministic per-DID draw — with a full account migration and a
+    /// PLC service update, exactly like organic churn migration. The
+    /// collector's incremental mirror sees the host change and backfills
+    /// each displaced repo with a counted full fetch.
+    fn apply_host_outage(&mut self, host_index: usize, today: Datetime) {
+        let defaults = self.fleet.default_hostnames();
+        if defaults.len() < 2 {
+            return;
+        }
+        let doomed = defaults[host_index % defaults.len()].clone();
+        let survivors: Vec<String> = defaults.into_iter().filter(|h| *h != doomed).collect();
+        let displaced: Vec<(Did, Handle)> = self
+            .users
+            .iter()
+            .filter(|u| self.fleet.locate(&u.did) == Some(doomed.as_str()))
+            .map(|u| (u.did.clone(), u.handle.clone()))
+            .collect();
+        for (did, handle) in displaced {
+            let slot = self.faults.rehome_slot(&did.to_string()) as usize % survivors.len();
+            let destination = survivors[slot].clone();
+            if self
+                .fleet
+                .migrate_account(&did, &destination, handle, today)
+                .is_ok()
+            {
+                let endpoint = self
+                    .fleet
+                    .server(&destination)
+                    .map(|p| p.endpoint())
+                    .unwrap_or_default();
+                let _ = self.plc.update(&did, "update_pds", today, |doc| {
+                    doc.set_service(
+                        bsky_identity::diddoc::SERVICE_PDS,
+                        "AtprotoPersonalDataServer",
+                        &endpoint,
+                    );
+                });
+                self.fault_counters.outage_migrations += 1;
+            }
+        }
+    }
+
+    /// The scheduled label storm: the official labeler flags a large batch
+    /// of recent posts in one day. Post existence is resolved against the
+    /// plan (each shard enumerates its own users' posts) and the flag coin
+    /// is keyed by post URI, so the union of per-shard storms equals the
+    /// serial storm exactly.
+    fn apply_label_storm(&mut self, today: Datetime, day_idx: usize) {
+        let Some(labeler_index) = self
+            .labelers
+            .all()
+            .iter()
+            .position(|l| l.operator() == LabelerOperator::BlueskyOfficial)
+            .or_else(|| (!self.labelers.all().is_empty()).then_some(0))
+        else {
+            return;
+        };
+        let from = day_idx.saturating_sub(LABEL_STORM_LOOKBACK_DAYS - 1);
+        let owned: Vec<usize> = self.owned_local.keys().copied().collect();
+        for index in owned {
+            for past in from..=day_idx {
+                for slot in 0..self.plan.posts_on(index, past) {
+                    let uri = self.plan.post_uri(index, past, slot);
+                    if self.faults.storm_label(&uri.to_string())
+                        && self.labelers.all_mut()[labeler_index]
+                            .apply_label(LabelTarget::Record(uri), "spam", today)
+                            .is_ok()
+                    {
+                        self.fault_counters.storm_labels_applied += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The scheduled account-deletion storm: a per-DID coin deletes a
+    /// fraction of this shard's accounts at the end of the day (tombstone
+    /// in PLC, `AccountDelete` on the firehose). The relay drops each
+    /// deleted repo from its mirror on the next crawl, and the collector's
+    /// mirror counts the vanished repos as snapshot skips.
+    fn apply_tombstone_storm(&mut self, today: Datetime) {
+        let dids: Vec<Did> = self.users.iter().map(|u| u.did.clone()).collect();
+        for did in dids {
+            if !self.faults.storm_tombstone(&did.to_string()) {
+                continue;
+            }
+            let deleted = self
+                .fleet
+                .pds_for_mut(&did)
+                .map(|pds| pds.delete_account(&did, today).is_ok())
+                .unwrap_or(false);
+            if deleted {
+                let _ = self.plc.tombstone(&did, today);
+                self.fault_counters.storm_tombstones += 1;
             }
         }
     }

@@ -146,6 +146,29 @@
 //! The active policy's real cost *is* visible where it belongs:
 //! `bsky_study::StreamSummary` counts wire frames, padding overhead
 //! bytes, identity lookups, and observer drops.
+//!
+//! ## Deterministic fault injection & scenarios
+//!
+//! `bsky_simnet::faults` extends determinism-by-derivation to failure:
+//! a `FaultPlan` derives every injected fault — PDS host outages with
+//! mass account re-homing, flaky or timed-out `getRepo`/`getRepoSince`
+//! calls, DNS lookup failures, firehose cursor gaps and rewinds, spam
+//! waves, label storms, tombstone storms — as a pure function of
+//! `(seed, key, day)` from dedicated RNG forks, so an injected outage
+//! hits the same DIDs on the same day in every shard layout and store
+//! backend. The collector recovers through
+//! `bsky_simnet::faults::RetryPolicy` (bounded retries, deterministic
+//! exponential backoff, per-class timeouts), and the established
+//! never-silent rule applies to recovery too: every retry, backoff,
+//! give-up, host-change backfill, dropped event, and replayed event is
+//! a named `bsky_study::StreamSummary` counter, rolled up into a
+//! `Scenario impact` report section (`bsky_study::FaultImpact`).
+//! Scenarios are selected with repro `--scenario NAME` (pds-migration,
+//! flaky-fetch, dns-flap, cursor-gap, spam-wave, label-storm,
+//! tombstone-storm) or composed ad hoc with `--faults SPEC`; the
+//! golden tests in `tests/fault_scenarios.rs` pin every scenario
+//! byte-identical serial vs. sharded and mem vs. paged, and the quiet
+//! plan byte-inert against the plain streaming path.
 
 pub use bsky_appview;
 pub use bsky_atproto;
