@@ -66,13 +66,21 @@ impl AppView {
 
     /// Create an AppView with `shards` entity shards, each over its own
     /// block store built from `store` — the NUMA-scale configuration (repro
-    /// `--appview-shards N --store paged`). Queries and ingestion behave
-    /// identically for every shard count; only residency changes.
-    pub fn with_shards(shards: usize, store: &StoreConfig) -> AppView {
+    /// `--appview-shards N --store paged`) — with or without the write-back
+    /// cache (`write_back`). Queries and ingestion behave identically for
+    /// every shard count and cache setting; only residency and backend op
+    /// counts change.
+    pub fn with_shards(shards: usize, store: &StoreConfig, write_back: bool) -> AppView {
         AppView {
-            index: AppViewShards::with_shards(shards, store),
+            index: AppViewShards::with_shards(shards, store, write_back),
             api_requests: 0,
         }
+    }
+
+    /// Flush dirty counter state and write-back buffers on every shard
+    /// (called at day boundaries).
+    pub fn flush(&mut self) {
+        self.index.flush();
     }
 
     /// The underlying sharded index (ingestion surface).
@@ -271,7 +279,7 @@ mod tests {
     /// (the tie the canonical order must break on URI) and one newer.
     fn timeline_fixture(shards: usize) -> (AppView, Did, Did, Vec<AtUri>) {
         let mut appview =
-            AppView::with_shards(shards, &bsky_atproto::blockstore::StoreConfig::mem());
+            AppView::with_shards(shards, &bsky_atproto::blockstore::StoreConfig::mem(), true);
         let alice = did("alice");
         let bob = did("bob");
         for (d, h) in [(&alice, "alice.bsky.social"), (&bob, "bob.bsky.social")] {

@@ -5,20 +5,41 @@
 //! are also what the measurement pipeline's AppView-based endpoints
 //! (`getFeedGenerator`, `getFeed`) read from.
 //!
-//! ## Store-backed entity state
+//! ## Store-backed entity state: the hot/cold split
 //!
 //! Per-entity state — one [`PostInfo`] per indexed post, one [`ActorInfo`]
-//! per known account — is not held in plain maps: each entity is encoded as
-//! a DAG-CBOR block and kept in a pluggable
-//! [`bsky_atproto::blockstore::BlockStore`], with only a `key → CID` index
-//! (plus the graph edge sets and counters) resident in memory. With the
-//! default [`MemStore`](bsky_atproto::blockstore::MemStore) this behaves
-//! like the old in-memory maps; with the paged backend cold entities spill
-//! to disk and are CID-verified on read-back, which removes the AppView from
-//! the per-shard memory ceiling (see the crate docs). Because the entity key
-//! (AT-URI or DID) is embedded in every block, block CIDs are unique per
-//! entity and read-modify-write updates (`delete` old CID, `put` new) can
-//! never clobber another entity's block.
+//! per known account — is not held in plain maps. Each entity is split into
+//! two halves with very different mutation rates:
+//!
+//! * **Cold content blocks.** The record payload, identity fields and
+//!   labels encode as a DAG-CBOR *content block* in a pluggable
+//!   [`bsky_atproto::blockstore::BlockStore`]. Content blocks are rewritten
+//!   only by rare events (label changes, handle changes, profile updates,
+//!   tombstones); the bulk ingestion volume never touches them. With the
+//!   default [`MemStore`](bsky_atproto::blockstore::MemStore) they behave
+//!   like the old in-memory maps; with the paged backend cold entities
+//!   spill to disk and are CID-verified on read-back.
+//! * **Hot counter state.** Likes, reposts and the actor graph counters —
+//!   the fields that used to force a full decode → mutate → re-encode →
+//!   re-hash → delete+put cycle per event — live in small resident dirty
+//!   maps ([`PostCounters`] / [`ActorCounters`]). A counter bump is a map
+//!   update; [`AppViewIndex::flush`] (called at day boundaries) encodes
+//!   each dirty entity's counters *once* into a compact counter block, so
+//!   N same-day bumps cost one encode+put instead of N full-block cycles.
+//!   The dirty maps are bounded by one day's touched entities and empty
+//!   again after every flush, so steady-state residency does not grow.
+//!
+//! Queries always overlay the freshest counter state (dirty map first, then
+//! the flushed counter block), so readers never observe flush boundaries.
+//! Because the entity key (AT-URI or DID) is embedded in every content
+//! block, content CIDs are unique per entity; counter blocks embed the
+//! key's FNV-1a hash (falling back to the full key on a hash-and-value
+//! collision), so read-modify-write updates (`delete` old CID, `put` new)
+//! can never clobber another entity's block. On top of this the store
+//! itself is wrapped in a
+//! [`WriteBackStore`] (the
+//! `write_back` knob), which coalesces the remaining same-day content-block
+//! rewrites into single backend puts at flush time.
 //!
 //! ## Ingestion primitives
 //!
@@ -34,9 +55,10 @@
 //! equivalent to the monolithic one by construction (and pinned by the
 //! property test in `shards.rs`).
 
-use bsky_atproto::blockstore::{BlockStore, StoreConfig, StoreStats};
+use bsky_atproto::blockstore::{BlockStore, StoreConfig, StoreStats, WriteBackStore};
 use bsky_atproto::cbor::{self, Value};
 use bsky_atproto::cid::Cid;
+use bsky_atproto::did::{fnv1a_64, FNV_OFFSET};
 use bsky_atproto::firehose::{Event, EventBody};
 use bsky_atproto::label::{Label, LabelTarget};
 use bsky_atproto::record::{PostRecord, ProfileRecord, Record};
@@ -63,38 +85,160 @@ pub struct PostInfo {
 }
 
 impl PostInfo {
-    /// Encode as a DAG-CBOR block (the AppView's storage representation).
-    pub fn to_block(&self) -> Vec<u8> {
-        cbor::encode(&Value::map([
-            ("uri", Value::text(self.uri.to_string())),
-            ("author", Value::text(self.author.to_string())),
-            ("record", Record::Post(self.record.clone()).to_value()),
-            ("indexedAt", Value::Int(self.indexed_at.timestamp())),
-            ("likes", Value::Int(self.like_count as i64)),
-            ("reposts", Value::Int(self.repost_count as i64)),
-            ("labels", labels_to_value(&self.labels)),
+    /// Encode the cold half as a DAG-CBOR content block — everything except
+    /// the hot counters, which live in [`PostCounters`] state. The block is
+    /// the positional array `[uri, record, indexedAt, labels]`: positional
+    /// fields drop the per-block key overhead of a string-keyed map, and
+    /// the author is not stored at all — a post's author *is* the DID
+    /// authority of its `at://` URI, so decode derives it.
+    pub fn content_block(&self) -> Vec<u8> {
+        cbor::encode(&Value::Array(vec![
+            Value::text(self.uri.to_string()),
+            Record::Post(self.record.clone()).to_value(),
+            Value::Int(self.indexed_at.timestamp()),
+            labels_to_value(&self.labels),
         ]))
     }
 
-    /// Decode from a DAG-CBOR block. `None` on any mismatch — the store
-    /// contract already maps corrupt blocks to "absent", and the index
-    /// treats an undecodable entity the same way.
-    pub fn from_block(bytes: &[u8]) -> Option<PostInfo> {
+    /// Decode a content block; the counters come back zeroed and the caller
+    /// overlays [`PostInfo::with_counters`]. `None` on any mismatch — the
+    /// store contract already maps corrupt blocks to "absent", and the
+    /// index treats an undecodable entity the same way.
+    pub fn from_content(bytes: &[u8]) -> Option<PostInfo> {
         let value = cbor::decode(bytes).ok()?;
-        let record = match Record::from_value(value.get("record")?).ok()? {
+        let [uri, record, indexed_at, labels] = value.as_array()? else {
+            return None;
+        };
+        let record = match Record::from_value(record).ok()? {
             Record::Post(post) => post,
             _ => return None,
         };
+        let uri = AtUri::parse(uri.as_text()?).ok()?;
+        let author = uri.did().clone();
         Some(PostInfo {
-            uri: AtUri::parse(value.get("uri")?.as_text()?).ok()?,
-            author: Did::parse(value.get("author")?.as_text()?).ok()?,
+            uri,
+            author,
             record,
-            indexed_at: Datetime(value.get("indexedAt")?.as_int()?),
-            like_count: value.get("likes")?.as_int()? as u64,
-            repost_count: value.get("reposts")?.as_int()? as u64,
-            labels: labels_from_value(value.get("labels")?)?,
+            indexed_at: Datetime(indexed_at.as_int()?),
+            like_count: 0,
+            repost_count: 0,
+            labels: labels_from_value(labels)?,
         })
     }
+
+    /// Overlay hot counter state onto a decoded content block.
+    pub fn with_counters(mut self, counters: PostCounters) -> PostInfo {
+        self.like_count = counters.like_count;
+        self.repost_count = counters.repost_count;
+        self
+    }
+
+    /// The hot half of this info.
+    pub fn counters(&self) -> PostCounters {
+        PostCounters {
+            like_count: self.like_count,
+            repost_count: self.repost_count,
+        }
+    }
+}
+
+/// Hot mutable counters of a post — the per-entity counter state split out
+/// of the immutable content block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostCounters {
+    /// Likes counted so far.
+    pub like_count: u64,
+    /// Reposts counted so far.
+    pub repost_count: u64,
+}
+
+impl PostCounters {
+    /// Whether every counter is at its default — such state needs no
+    /// counter block at all.
+    pub fn is_default(&self) -> bool {
+        *self == PostCounters::default()
+    }
+
+    /// Encode as a compact DAG-CBOR counter block: the positional array
+    /// `[tag, likes, reposts]`. `tag` disambiguates the owning entity (the
+    /// key's FNV-1a hash); it is ignored on decode. Positional encoding keeps
+    /// the hot, endlessly-rewritten counter blocks around a dozen bytes
+    /// where a string-keyed map would more than double that.
+    pub fn to_block(&self, tag: Value) -> Vec<u8> {
+        cbor::encode(&Value::Array(vec![
+            tag,
+            Value::Int(self.like_count as i64),
+            Value::Int(self.repost_count as i64),
+        ]))
+    }
+
+    /// Decode from a counter block (`None` on any mismatch).
+    pub fn from_block(bytes: &[u8]) -> Option<PostCounters> {
+        let value = cbor::decode(bytes).ok()?;
+        match value.as_array()? {
+            [_tag, likes, reposts] => Some(PostCounters {
+                like_count: likes.as_int()? as u64,
+                repost_count: reposts.as_int()? as u64,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Hot mutable counters of an actor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActorCounters {
+    /// Number of accounts this actor follows.
+    pub follows: u64,
+    /// Number of accounts following this actor.
+    pub followers: u64,
+    /// Number of posts indexed for this actor.
+    pub posts: u64,
+    /// Number of block operations targeting this actor.
+    pub blocked_by: u64,
+}
+
+impl ActorCounters {
+    /// Whether every counter is at its default.
+    pub fn is_default(&self) -> bool {
+        *self == ActorCounters::default()
+    }
+
+    /// Encode as a compact DAG-CBOR counter block: the positional array
+    /// `[tag, follows, followers, posts, blockedBy]` (`tag` as in
+    /// [`PostCounters::to_block`]).
+    pub fn to_block(&self, tag: Value) -> Vec<u8> {
+        cbor::encode(&Value::Array(vec![
+            tag,
+            Value::Int(self.follows as i64),
+            Value::Int(self.followers as i64),
+            Value::Int(self.posts as i64),
+            Value::Int(self.blocked_by as i64),
+        ]))
+    }
+
+    /// Decode from a counter block (`None` on any mismatch).
+    pub fn from_block(bytes: &[u8]) -> Option<ActorCounters> {
+        let value = cbor::decode(bytes).ok()?;
+        match value.as_array()? {
+            [_tag, follows, followers, posts, blocked_by] => Some(ActorCounters {
+                follows: follows.as_int()? as u64,
+                followers: followers.as_int()? as u64,
+                posts: posts.as_int()? as u64,
+                blocked_by: blocked_by.as_int()? as u64,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The compact entity tag embedded in counter blocks: the FNV-1a hash of
+/// the entity key, as the sharding layers already use. Embedding the full
+/// AT-URI would several-fold a counter block's size; the hash keeps
+/// blocks ~a dozen bytes while [`AppViewIndex`] falls back to the full key
+/// on the (hash, counters) collisions that would otherwise share a CID.
+fn counter_tag(key: &str) -> Value {
+    Value::Int(fnv1a_64(key.as_bytes(), FNV_OFFSET) as i64)
 }
 
 /// Indexed information about an actor (account).
@@ -135,31 +279,31 @@ impl ActorInfo {
         }
     }
 
-    /// Encode as a DAG-CBOR block (the AppView's storage representation).
-    pub fn to_block(&self) -> Vec<u8> {
-        cbor::encode(&Value::map([
-            ("did", Value::text(self.did.to_string())),
-            ("handle", Value::text(self.handle.as_str())),
-            (
-                "profile",
-                match &self.profile {
-                    Some(profile) => Record::Profile(profile.clone()).to_value(),
-                    None => Value::Null,
-                },
-            ),
-            ("follows", Value::Int(self.follows as i64)),
-            ("followers", Value::Int(self.followers as i64)),
-            ("posts", Value::Int(self.posts as i64)),
-            ("blockedBy", Value::Int(self.blocked_by as i64)),
-            ("accountLabels", labels_to_value(&self.account_labels)),
-            ("deleted", Value::Bool(self.deleted)),
+    /// Encode the cold half as a DAG-CBOR content block (identity fields,
+    /// profile, labels, tombstone flag — not the hot graph counters): the
+    /// positional array `[did, handle, profile, accountLabels, deleted]`,
+    /// as in [`PostInfo::content_block`].
+    pub fn content_block(&self) -> Vec<u8> {
+        cbor::encode(&Value::Array(vec![
+            Value::text(self.did.to_string()),
+            Value::text(self.handle.as_str()),
+            match &self.profile {
+                Some(profile) => Record::Profile(profile.clone()).to_value(),
+                None => Value::Null,
+            },
+            labels_to_value(&self.account_labels),
+            Value::Bool(self.deleted),
         ]))
     }
 
-    /// Decode from a DAG-CBOR block (`None` on any mismatch).
-    pub fn from_block(bytes: &[u8]) -> Option<ActorInfo> {
+    /// Decode a content block; counters come back zeroed for
+    /// [`ActorInfo::with_counters`] to overlay (`None` on any mismatch).
+    pub fn from_content(bytes: &[u8]) -> Option<ActorInfo> {
         let value = cbor::decode(bytes).ok()?;
-        let profile = match value.get("profile")? {
+        let [did, handle, profile, account_labels, deleted] = value.as_array()? else {
+            return None;
+        };
+        let profile = match profile {
             Value::Null => None,
             profile => match Record::from_value(profile).ok()? {
                 Record::Profile(profile) => Some(profile),
@@ -167,16 +311,35 @@ impl ActorInfo {
             },
         };
         Some(ActorInfo {
-            did: Did::parse(value.get("did")?.as_text()?).ok()?,
-            handle: Handle::parse(value.get("handle")?.as_text()?).ok()?,
+            did: Did::parse(did.as_text()?).ok()?,
+            handle: Handle::parse(handle.as_text()?).ok()?,
             profile,
-            follows: value.get("follows")?.as_int()? as u64,
-            followers: value.get("followers")?.as_int()? as u64,
-            posts: value.get("posts")?.as_int()? as u64,
-            blocked_by: value.get("blockedBy")?.as_int()? as u64,
-            account_labels: labels_from_value(value.get("accountLabels")?)?,
-            deleted: value.get("deleted")?.as_bool()?,
+            follows: 0,
+            followers: 0,
+            posts: 0,
+            blocked_by: 0,
+            account_labels: labels_from_value(account_labels)?,
+            deleted: deleted.as_bool()?,
         })
+    }
+
+    /// Overlay hot counter state onto a decoded content block.
+    pub fn with_counters(mut self, counters: ActorCounters) -> ActorInfo {
+        self.follows = counters.follows;
+        self.followers = counters.followers;
+        self.posts = counters.posts;
+        self.blocked_by = counters.blocked_by;
+        self
+    }
+
+    /// The hot half of this info.
+    pub fn counters(&self) -> ActorCounters {
+        ActorCounters {
+            follows: self.follows,
+            followers: self.followers,
+            posts: self.posts,
+            blocked_by: self.blocked_by,
+        }
     }
 }
 
@@ -218,18 +381,43 @@ pub(crate) fn sort_timeline(posts: &mut [PostInfo]) {
     });
 }
 
+/// Where one entity's blocks live: the cold content block plus the
+/// optional flushed counter block (absent while counters are default or
+/// only dirty in memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EntityRef {
+    content: Cid,
+    counters: Option<Cid>,
+}
+
+impl EntityRef {
+    fn content_only(content: Cid) -> EntityRef {
+        EntityRef {
+            content,
+            counters: None,
+        }
+    }
+}
+
 /// The AppView's combined index (one entity shard of it, when owned by
 /// [`crate::shards::AppViewShards`]).
 ///
-/// Entity state lives as CBOR blocks in the backing store; see the module
-/// docs for the storage layout and the primitive/composed ingestion split.
+/// Entity state lives as CBOR blocks in the backing store, split hot/cold;
+/// see the module docs for the storage layout and the primitive/composed
+/// ingestion split. Counter mutations accumulate in resident dirty maps
+/// until [`AppViewIndex::flush`] — call it at epoch (day) boundaries and
+/// before reading [`AppViewIndex::store_stats`] or merging.
 #[derive(Debug, Clone)]
 pub struct AppViewIndex {
-    /// Post key (AT-URI string) → block CID.
-    posts: BTreeMap<String, Cid>,
-    /// Actor key (DID string) → block CID.
-    actors: BTreeMap<String, Cid>,
+    /// Post key (AT-URI string) → block CIDs.
+    posts: BTreeMap<String, EntityRef>,
+    /// Actor key (DID string) → block CIDs.
+    actors: BTreeMap<String, EntityRef>,
     store: Box<dyn BlockStore>,
+    /// Post counter state dirtied since the last flush.
+    dirty_posts: BTreeMap<String, PostCounters>,
+    /// Actor counter state dirtied since the last flush.
+    dirty_actors: BTreeMap<String, ActorCounters>,
     /// `(follower, followed)` DID pairs, keyed by the follower.
     follow_edges: BTreeSet<(String, String)>,
     /// `(blocker, blocked)` DID pairs, keyed by the blocker.
@@ -239,6 +427,7 @@ pub struct AppViewIndex {
     labels_ingested: u64,
     labels_preindex: u64,
     lost_entities: u64,
+    counter_coalesced_writes: u64,
 }
 
 impl Default for AppViewIndex {
@@ -248,19 +437,28 @@ impl Default for AppViewIndex {
 }
 
 impl AppViewIndex {
-    /// Create an empty index over the in-memory block store.
+    /// Create an empty index over the in-memory block store with the
+    /// write-back cache on (the standard configuration).
     pub fn new() -> AppViewIndex {
-        AppViewIndex::with_store(&StoreConfig::default())
+        AppViewIndex::with_store(&StoreConfig::default(), true)
     }
 
-    /// Create an empty index over an explicit block-store backend. The
-    /// backend changes only where entity blocks reside (memory vs paged
-    /// disk spill), never a query result.
-    pub fn with_store(store: &StoreConfig) -> AppViewIndex {
+    /// Create an empty index over an explicit block-store backend,
+    /// optionally wrapped in a [`WriteBackStore`] (`write_back`). Neither
+    /// the backend nor the cache changes a query result — only where bytes
+    /// reside and how many backend ops a day of mutations costs.
+    pub fn with_store(store: &StoreConfig, write_back: bool) -> AppViewIndex {
+        let store = if write_back {
+            Box::new(WriteBackStore::new(store.build()))
+        } else {
+            store.build()
+        };
         AppViewIndex {
             posts: BTreeMap::new(),
             actors: BTreeMap::new(),
-            store: store.build(),
+            store,
+            dirty_posts: BTreeMap::new(),
+            dirty_actors: BTreeMap::new(),
             follow_edges: BTreeSet::new(),
             block_edges: BTreeSet::new(),
             events_processed: 0,
@@ -268,55 +466,223 @@ impl AppViewIndex {
             labels_ingested: 0,
             labels_preindex: 0,
             lost_entities: 0,
+            counter_coalesced_writes: 0,
         }
     }
 
     // -- block plumbing ----------------------------------------------------
 
-    fn load_post_key(&self, key: &str) -> Option<PostInfo> {
-        let cid = self.posts.get(key)?;
-        PostInfo::from_block(&self.store.get(cid)?)
+    /// The freshest counter state for a post: dirty map first, then the
+    /// flushed counter block, then defaults.
+    fn post_counters_for(&self, key: &str, entry: &EntityRef) -> PostCounters {
+        if let Some(counters) = self.dirty_posts.get(key) {
+            return *counters;
+        }
+        entry
+            .counters
+            .and_then(|cid| self.store.get(&cid))
+            .and_then(|bytes| PostCounters::from_block(&bytes))
+            .unwrap_or_default()
     }
 
-    fn save_post(&mut self, info: &PostInfo) {
-        let bytes = info.to_block();
-        let cid = Cid::for_cbor(&bytes);
-        if let Some(old) = self.posts.insert(info.uri.to_string(), cid) {
-            if old != cid {
-                self.store.delete(&old);
-            }
+    fn actor_counters_for(&self, key: &str, entry: &EntityRef) -> ActorCounters {
+        if let Some(counters) = self.dirty_actors.get(key) {
+            return *counters;
         }
-        self.store.put(cid, bytes);
+        entry
+            .counters
+            .and_then(|cid| self.store.get(&cid))
+            .and_then(|bytes| ActorCounters::from_block(&bytes))
+            .unwrap_or_default()
+    }
+
+    fn load_post_key(&self, key: &str) -> Option<PostInfo> {
+        let entry = self.posts.get(key)?;
+        let info = PostInfo::from_content(&self.store.get(&entry.content)?)?;
+        Some(info.with_counters(self.post_counters_for(key, entry)))
     }
 
     fn load_actor_key(&self, key: &str) -> Option<ActorInfo> {
-        let cid = self.actors.get(key)?;
-        ActorInfo::from_block(&self.store.get(cid)?)
+        let entry = self.actors.get(key)?;
+        let info = ActorInfo::from_content(&self.store.get(&entry.content)?)?;
+        Some(info.with_counters(self.actor_counters_for(key, entry)))
     }
 
-    fn save_actor(&mut self, info: &ActorInfo) {
-        let bytes = info.to_block();
+    /// Write (or rewrite) a post's cold content block. Counter state is
+    /// deliberately untouched.
+    fn save_post_content(&mut self, info: &PostInfo) {
+        let key = info.uri.to_string();
+        let bytes = info.content_block();
         let cid = Cid::for_cbor(&bytes);
-        if let Some(old) = self.actors.insert(info.did.to_string(), cid) {
+        if let Some(entry) = self.posts.get_mut(&key) {
+            let old = entry.content;
             if old != cid {
+                entry.content = cid;
                 self.store.delete(&old);
+                self.store.put(cid, bytes);
             }
+        } else {
+            self.posts.insert(key, EntityRef::content_only(cid));
+            self.store.put(cid, bytes);
+        }
+    }
+
+    fn save_actor_content(&mut self, info: &ActorInfo) {
+        let key = info.did.to_string();
+        let bytes = info.content_block();
+        let cid = Cid::for_cbor(&bytes);
+        if let Some(entry) = self.actors.get_mut(&key) {
+            let old = entry.content;
+            if old != cid {
+                entry.content = cid;
+                self.store.delete(&old);
+                self.store.put(cid, bytes);
+            }
+        } else {
+            self.actors.insert(key, EntityRef::content_only(cid));
+            self.store.put(cid, bytes);
+        }
+    }
+
+    /// Mutate a post's hot counters — a resident map update, no block
+    /// traffic (no-op for unknown posts, like every counter primitive).
+    fn update_post_counters(&mut self, key: &str, apply: impl FnOnce(&mut PostCounters)) {
+        let Some(entry) = self.posts.get(key).copied() else {
+            return;
+        };
+        if let Some(counters) = self.dirty_posts.get_mut(key) {
+            apply(counters);
+            self.counter_coalesced_writes += 1;
+            return;
+        }
+        let mut counters = entry
+            .counters
+            .and_then(|cid| self.store.get(&cid))
+            .and_then(|bytes| PostCounters::from_block(&bytes))
+            .unwrap_or_default();
+        apply(&mut counters);
+        self.dirty_posts.insert(key.to_string(), counters);
+    }
+
+    fn update_actor_counters(&mut self, key: &str, apply: impl FnOnce(&mut ActorCounters)) {
+        let Some(entry) = self.actors.get(key).copied() else {
+            return;
+        };
+        if let Some(counters) = self.dirty_actors.get_mut(key) {
+            apply(counters);
+            self.counter_coalesced_writes += 1;
+            return;
+        }
+        let mut counters = entry
+            .counters
+            .and_then(|cid| self.store.get(&cid))
+            .and_then(|bytes| ActorCounters::from_block(&bytes))
+            .unwrap_or_default();
+        apply(&mut counters);
+        self.dirty_actors.insert(key.to_string(), counters);
+    }
+
+    /// Replace a post's counter state wholesale (the insert/replace path).
+    fn set_post_counters(&mut self, key: &str, counters: PostCounters) {
+        if counters.is_default()
+            && !self.dirty_posts.contains_key(key)
+            && self.posts.get(key).is_none_or(|e| e.counters.is_none())
+        {
+            return; // fresh default state needs no tracking at all
+        }
+        self.dirty_posts.insert(key.to_string(), counters);
+    }
+
+    /// Rewrite a post's cold content (labels are the only mutable cold
+    /// field) through a full load/apply/save — the rare path.
+    fn update_post_content(&mut self, key: &str, apply: impl FnOnce(&mut PostInfo)) -> bool {
+        match self.load_post_key(key) {
+            Some(mut info) => {
+                apply(&mut info);
+                self.save_post_content(&info);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn update_actor_content(&mut self, key: &str, apply: impl FnOnce(&mut ActorInfo)) -> bool {
+        match self.load_actor_key(key) {
+            Some(mut info) => {
+                apply(&mut info);
+                self.save_actor_content(&info);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Write one entity's flushed counter block, replacing `old`; returns
+    /// the stored CID. Blocks embed the key's FNV-1a hash tag; when another
+    /// entity already owns an identical block (a hash *and* counter-value
+    /// collision), fall back to embedding the full key, so counter CIDs
+    /// stay unique per entity and a later rewrite's delete can never
+    /// clobber a neighbour.
+    fn put_counter_block(
+        &mut self,
+        key: &str,
+        old: Option<Cid>,
+        encode: impl Fn(Value) -> Vec<u8>,
+    ) -> Option<Cid> {
+        let bytes = encode(counter_tag(key));
+        let cid = Cid::for_cbor(&bytes);
+        if old == Some(cid) {
+            return old;
+        }
+        let (cid, bytes) = if self.store.has(&cid) {
+            let bytes = encode(Value::text(key));
+            (Cid::for_cbor(&bytes), bytes)
+        } else {
+            (cid, bytes)
+        };
+        if let Some(old) = old {
+            self.store.delete(&old);
         }
         self.store.put(cid, bytes);
+        Some(cid)
     }
 
-    fn update_post(&mut self, key: &str, apply: impl FnOnce(&mut PostInfo)) {
-        if let Some(mut info) = self.load_post_key(key) {
-            apply(&mut info);
-            self.save_post(&info);
+    /// Flush all dirty counter state into compact counter blocks and drain
+    /// the write-back cache. Called at day boundaries (and before merge /
+    /// store-stats reads); queries are flush-transparent either way.
+    pub fn flush(&mut self) {
+        for (key, counters) in std::mem::take(&mut self.dirty_posts) {
+            let Some(entry) = self.posts.get(&key).copied() else {
+                continue;
+            };
+            let new = if counters.is_default() {
+                if let Some(old) = entry.counters {
+                    self.store.delete(&old);
+                }
+                None
+            } else {
+                self.put_counter_block(&key, entry.counters, |tag| counters.to_block(tag))
+            };
+            self.posts.get_mut(&key).expect("entry exists").counters = new;
         }
-    }
-
-    fn update_actor(&mut self, key: &str, apply: impl FnOnce(&mut ActorInfo)) {
-        if let Some(mut info) = self.load_actor_key(key) {
-            apply(&mut info);
-            self.save_actor(&info);
+        for (key, counters) in std::mem::take(&mut self.dirty_actors) {
+            let Some(entry) = self.actors.get(&key).copied() else {
+                continue;
+            };
+            let new = if counters.is_default() {
+                if let Some(old) = entry.counters {
+                    self.store.delete(&old);
+                }
+                None
+            } else {
+                self.put_counter_block(&key, entry.counters, |tag| counters.to_block(tag))
+            };
+            self.actors.get_mut(&key).expect("entry exists").counters = new;
         }
+        self.store.flush();
+        // The day boundary ends the hot window: demote sealed pages so
+        // steady-state residency is the open page plus the dirty maps.
+        self.store.evict_cold();
     }
 
     // -- ingestion primitives (the shard router's surface) -----------------
@@ -325,11 +691,10 @@ impl AppViewIndex {
     /// the actor entity only.
     pub fn upsert_actor(&mut self, did: &Did, handle: &Handle) {
         let key = did.to_string();
-        let mut info = self
-            .load_actor_key(&key)
-            .unwrap_or_else(|| ActorInfo::fresh(did, handle));
-        info.handle = handle.clone();
-        self.save_actor(&info);
+        let handle_for_update = handle.clone();
+        if !self.update_actor_content(&key, move |a| a.handle = handle_for_update) {
+            self.save_actor_content(&ActorInfo::fresh(did, handle));
+        }
     }
 
     /// Count one indexed record (part of every [`AppViewIndex::index_record`]).
@@ -340,28 +705,31 @@ impl AppViewIndex {
     /// Insert (or replace) a post entity. Targets the post entity only —
     /// the author's post counter is [`AppViewIndex::credit_author_post`].
     pub fn insert_post(&mut self, info: PostInfo) {
-        self.save_post(&info);
+        let key = info.uri.to_string();
+        let counters = info.counters();
+        self.save_post_content(&info);
+        self.set_post_counters(&key, counters);
     }
 
     /// Credit one post to an author's counter (no-op for unknown actors,
     /// like the live AppView's denormalized counts).
     pub fn credit_author_post(&mut self, author: &Did) {
-        self.update_actor(&author.to_string(), |a| a.posts += 1);
+        self.update_actor_counters(&author.to_string(), |a| a.posts += 1);
     }
 
     /// Debit one post from an author's counter (saturating).
     pub fn debit_author_post(&mut self, author: &Did) {
-        self.update_actor(&author.to_string(), |a| a.posts = a.posts.saturating_sub(1));
+        self.update_actor_counters(&author.to_string(), |a| a.posts = a.posts.saturating_sub(1));
     }
 
     /// Count a like on a post (no-op when the post is unknown).
     pub fn apply_like(&mut self, subject: &AtUri) {
-        self.update_post(&subject.to_string(), |p| p.like_count += 1);
+        self.update_post_counters(&subject.to_string(), |p| p.like_count += 1);
     }
 
     /// Count a repost (no-op when the post is unknown).
     pub fn apply_repost(&mut self, subject: &AtUri) {
-        self.update_post(&subject.to_string(), |p| p.repost_count += 1);
+        self.update_post_counters(&subject.to_string(), |p| p.repost_count += 1);
     }
 
     /// Insert a follow edge (keyed by the follower). Returns `true` when
@@ -373,12 +741,12 @@ impl AppViewIndex {
 
     /// Credit one follow to the follower's counter (no-op when unknown).
     pub fn credit_follows(&mut self, follower: &Did) {
-        self.update_actor(&follower.to_string(), |a| a.follows += 1);
+        self.update_actor_counters(&follower.to_string(), |a| a.follows += 1);
     }
 
     /// Credit one follower to the followed account's counter.
     pub fn credit_followers(&mut self, followed: &Did) {
-        self.update_actor(&followed.to_string(), |a| a.followers += 1);
+        self.update_actor_counters(&followed.to_string(), |a| a.followers += 1);
     }
 
     /// Insert a block edge (keyed by the blocker). Returns `true` when new.
@@ -389,13 +757,13 @@ impl AppViewIndex {
 
     /// Credit one block against the blocked account's counter.
     pub fn credit_blocked_by(&mut self, blocked: &Did) {
-        self.update_actor(&blocked.to_string(), |a| a.blocked_by += 1);
+        self.update_actor_counters(&blocked.to_string(), |a| a.blocked_by += 1);
     }
 
     /// Attach a profile record to an actor (no-op when unknown).
     pub fn set_profile(&mut self, author: &Did, profile: &ProfileRecord) {
         let profile = profile.clone();
-        self.update_actor(&author.to_string(), move |a| a.profile = Some(profile));
+        self.update_actor_content(&author.to_string(), move |a| a.profile = Some(profile));
     }
 
     /// Remove a post entity, returning it (the caller debits the author's
@@ -403,8 +771,12 @@ impl AppViewIndex {
     pub fn take_post(&mut self, uri: &AtUri) -> Option<PostInfo> {
         let key = uri.to_string();
         let info = self.load_post_key(&key);
-        if let Some(cid) = self.posts.remove(&key) {
-            self.store.delete(&cid);
+        self.dirty_posts.remove(&key);
+        if let Some(entry) = self.posts.remove(&key) {
+            self.store.delete(&entry.content);
+            if let Some(cid) = entry.counters {
+                self.store.delete(&cid);
+            }
         }
         info
     }
@@ -417,12 +789,12 @@ impl AppViewIndex {
 
     /// Mark an account tombstoned (no-op when unknown).
     pub fn mark_deleted(&mut self, did: &Did) {
-        self.update_actor(&did.to_string(), |a| a.deleted = true);
+        self.update_actor_content(&did.to_string(), |a| a.deleted = true);
     }
 
     /// Purge every post authored by `did` from this index's post map
-    /// (tombstone handling; post counters are deliberately untouched, like
-    /// the monolithic path).
+    /// (tombstone handling; the author's post counter is deliberately
+    /// untouched, like the monolithic path).
     pub fn purge_posts_of(&mut self, did: &Did) {
         let prefix = format!("at://{did}/");
         let keys: Vec<String> = self
@@ -431,8 +803,12 @@ impl AppViewIndex {
             .map(|(k, _)| k.clone())
             .collect();
         for key in keys {
-            if let Some(cid) = self.posts.remove(&key) {
-                self.store.delete(&cid);
+            self.dirty_posts.remove(&key);
+            if let Some(entry) = self.posts.remove(&key) {
+                self.store.delete(&entry.content);
+                if let Some(cid) = entry.counters {
+                    self.store.delete(&cid);
+                }
             }
         }
     }
@@ -526,23 +902,15 @@ impl AppViewIndex {
         };
         match &label.target {
             LabelTarget::Record(uri) => {
-                let key = uri.to_string();
-                match self.load_post_key(&key) {
-                    Some(mut post) => {
-                        apply(&mut post.labels);
-                        self.save_post(&post);
-                    }
-                    None => self.labels_preindex += 1,
+                if !self.update_post_content(&uri.to_string(), |post| apply(&mut post.labels)) {
+                    self.labels_preindex += 1;
                 }
             }
             LabelTarget::Account(did) | LabelTarget::ProfileMedia(did) => {
-                let key = did.to_string();
-                match self.load_actor_key(&key) {
-                    Some(mut actor) => {
-                        apply(&mut actor.account_labels);
-                        self.save_actor(&actor);
-                    }
-                    None => self.labels_preindex += 1,
+                if !self.update_actor_content(&did.to_string(), |actor| {
+                    apply(&mut actor.account_labels)
+                }) {
+                    self.labels_preindex += 1;
                 }
             }
         }
@@ -674,45 +1042,104 @@ impl AppViewIndex {
         posts
     }
 
-    /// Residency/spill statistics of the backing block store.
+    /// Residency/spill statistics of the backing block store. Call
+    /// [`AppViewIndex::flush`] first for steady-state numbers — dirty
+    /// counters and write-back-buffered blocks are resident until flushed.
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// Counter mutations that landed on an already-dirty entity — block
+    /// writes the hot/cold split coalesced away relative to the old
+    /// one-block-per-entity design.
+    pub fn counter_coalesced_writes(&self) -> u64 {
+        self.counter_coalesced_writes
     }
 
     /// Merge another index's state into this one (the associative merge the
     /// entity-sharded [`crate::shards::AppViewShards`] and the engine-shard
     /// worlds rely on). Entity sets must be disjoint — shards partition
     /// entities by hash, so they always are; counters add and edge sets
-    /// union.
-    pub fn merge(&mut self, other: AppViewIndex) {
-        for (key, cid) in &other.posts {
+    /// union. Both sides are flushed first, so only flushed blocks travel.
+    pub fn merge(&mut self, mut other: AppViewIndex) {
+        self.flush();
+        other.flush();
+        for (key, entry) in &other.posts {
             debug_assert!(
                 !self.posts.contains_key(key),
                 "post shards must be disjoint"
             );
-            match other.store.get(cid) {
-                Some(bytes) => {
-                    self.posts.insert(key.clone(), *cid);
-                    self.store.put(*cid, bytes);
-                }
-                // The source store lost the block (spill-file corruption
-                // reads as absent): the entity cannot travel, but the loss
-                // is counted — never silent.
-                None => self.lost_entities += 1,
-            }
+            // The source store lost the content block (spill-file corruption
+            // reads as absent): the entity cannot travel, but the loss is
+            // counted — never silent.
+            let Some(bytes) = other.store.get(&entry.content) else {
+                self.lost_entities += 1;
+                continue;
+            };
+            self.store.put(entry.content, bytes);
+            // Counter blocks are re-encoded through the collision-aware
+            // writer: two source shards may hold hash-colliding blocks that
+            // only clash once they share a store. A lost counter block
+            // keeps the entity (zeroed) and counts the loss.
+            let counters = match entry.counters {
+                Some(cid) => match other
+                    .store
+                    .get(&cid)
+                    .as_deref()
+                    .and_then(PostCounters::from_block)
+                {
+                    Some(counters) => {
+                        self.put_counter_block(key, None, |tag| counters.to_block(tag))
+                    }
+                    None => {
+                        self.lost_entities += 1;
+                        None
+                    }
+                },
+                None => None,
+            };
+            self.posts.insert(
+                key.clone(),
+                EntityRef {
+                    content: entry.content,
+                    counters,
+                },
+            );
         }
-        for (key, cid) in &other.actors {
+        for (key, entry) in &other.actors {
             debug_assert!(
                 !self.actors.contains_key(key),
                 "actor shards must be disjoint"
             );
-            match other.store.get(cid) {
-                Some(bytes) => {
-                    self.actors.insert(key.clone(), *cid);
-                    self.store.put(*cid, bytes);
-                }
-                None => self.lost_entities += 1,
-            }
+            let Some(bytes) = other.store.get(&entry.content) else {
+                self.lost_entities += 1;
+                continue;
+            };
+            self.store.put(entry.content, bytes);
+            let counters = match entry.counters {
+                Some(cid) => match other
+                    .store
+                    .get(&cid)
+                    .as_deref()
+                    .and_then(ActorCounters::from_block)
+                {
+                    Some(counters) => {
+                        self.put_counter_block(key, None, |tag| counters.to_block(tag))
+                    }
+                    None => {
+                        self.lost_entities += 1;
+                        None
+                    }
+                },
+                None => None,
+            };
+            self.actors.insert(
+                key.clone(),
+                EntityRef {
+                    content: entry.content,
+                    counters,
+                },
+            );
         }
         self.follow_edges.extend(other.follow_edges);
         self.block_edges.extend(other.block_edges);
@@ -721,6 +1148,7 @@ impl AppViewIndex {
         self.labels_ingested += other.labels_ingested;
         self.labels_preindex += other.labels_preindex;
         self.lost_entities += other.lost_entities;
+        self.counter_coalesced_writes += other.counter_coalesced_writes;
     }
 }
 
@@ -906,22 +1334,104 @@ mod tests {
     fn entity_blocks_roundtrip() {
         let (index, alice, _bob, uri) = setup();
         let post = index.post(&uri).unwrap();
-        assert_eq!(PostInfo::from_block(&post.to_block()), Some(post.clone()));
+        assert_eq!(
+            PostInfo::from_content(&post.content_block()).map(|p| p.with_counters(post.counters())),
+            Some(post.clone())
+        );
         let mut labeled = post;
         labeled.labels.push((did("labeler"), "spam".into()));
         labeled.like_count = 7;
-        assert_eq!(PostInfo::from_block(&labeled.to_block()), Some(labeled));
+        // Counters round-trip through their own compact block, content
+        // through its own; together they reconstruct the full info.
+        let counters = PostCounters::from_block(
+            &labeled
+                .counters()
+                .to_block(counter_tag(&labeled.uri.to_string())),
+        )
+        .unwrap();
+        assert_eq!(
+            PostInfo::from_content(&labeled.content_block()).map(|p| p.with_counters(counters)),
+            Some(labeled)
+        );
         let actor = index.actor(&alice).unwrap();
-        assert_eq!(ActorInfo::from_block(&actor.to_block()), Some(actor));
-        assert!(PostInfo::from_block(b"garbage").is_none());
-        assert!(ActorInfo::from_block(b"garbage").is_none());
+        let actor_counters = ActorCounters::from_block(
+            &actor
+                .counters()
+                .to_block(counter_tag(&actor.did.to_string())),
+        )
+        .unwrap();
+        assert_eq!(
+            ActorInfo::from_content(&actor.content_block())
+                .map(|a| a.with_counters(actor_counters)),
+            Some(actor)
+        );
+        assert!(PostInfo::from_content(b"garbage").is_none());
+        assert!(ActorInfo::from_content(b"garbage").is_none());
+        assert!(PostCounters::from_block(b"garbage").is_none());
+        assert!(ActorCounters::from_block(b"garbage").is_none());
+    }
+
+    #[test]
+    fn counter_flush_writes_compact_blocks_and_coalesces() {
+        let (mut index, _alice, bob, uri) = setup();
+        // Default counters, never bumped: no counter block exists even
+        // after a flush.
+        index.flush();
+        assert!(index.posts.values().all(|e| e.counters.is_none()));
+        // Same-day bumps coalesce in the dirty map: first bump dirties,
+        // the rest are pure map updates.
+        for _ in 0..5 {
+            index.apply_like(&uri);
+        }
+        assert_eq!(index.counter_coalesced_writes(), 4);
+        assert_eq!(index.post(&uri).unwrap().like_count, 5, "dirty overlay");
+        index.flush();
+        assert!(index.dirty_posts.is_empty());
+        let entry = index.posts.get(&uri.to_string()).copied().unwrap();
+        let block = index.store.get(&entry.counters.unwrap()).unwrap();
+        assert!(
+            block.len() < 40,
+            "counter blocks stay compact ({} bytes)",
+            block.len()
+        );
+        assert_eq!(index.post(&uri).unwrap().like_count, 5, "flushed overlay");
+        // Counters that return to default drop their block at flush.
+        index.update_post_counters(&uri.to_string(), |c| *c = PostCounters::default());
+        index.flush();
+        let entry = index.posts.get(&uri.to_string()).copied().unwrap();
+        assert!(entry.counters.is_none(), "default state needs no block");
+        let _ = bob;
+    }
+
+    #[test]
+    fn counter_tag_collision_falls_back_to_full_key() {
+        let (mut index, _alice, _bob, uri) = setup();
+        index.apply_like(&uri);
+        // Forge another entity's counter block that collides byte-for-byte
+        // with what the hash-tagged encoding would produce for `uri`.
+        let counters = PostCounters {
+            like_count: 1,
+            repost_count: 0,
+        };
+        let forged = counters.to_block(counter_tag(&uri.to_string()));
+        let forged_cid = Cid::for_cbor(&forged);
+        index.store.put(forged_cid, forged);
+        index.flush();
+        let entry = index.posts.get(&uri.to_string()).copied().unwrap();
+        let cid = entry.counters.unwrap();
+        assert_ne!(cid, forged_cid, "collision must divert to the full key");
+        assert_eq!(
+            PostCounters::from_block(&index.store.get(&cid).unwrap()),
+            Some(counters)
+        );
+        assert_eq!(index.post(&uri).unwrap().like_count, 1);
     }
 
     #[test]
     fn paged_store_backend_answers_identically() {
         use bsky_atproto::blockstore::StoreConfig;
-        let build = |store: &StoreConfig| {
-            let mut index = AppViewIndex::with_store(store);
+        let build = |store: &StoreConfig, write_back: bool| {
+            let mut index = AppViewIndex::with_store(store, write_back);
             let alice = did("alice");
             index.upsert_actor(&alice, &Handle::parse("alice.bsky.social").unwrap());
             for i in 0..40 {
@@ -937,10 +1447,11 @@ mod tests {
                     now(),
                 );
             }
+            index.flush();
             index
         };
-        let mem = build(&StoreConfig::mem());
-        let paged = build(&StoreConfig::paged().page_size(256).resident_pages(1));
+        let mem = build(&StoreConfig::mem(), true);
+        let paged = build(&StoreConfig::paged().page_size(256).resident_pages(1), true);
         assert!(
             paged.store_stats().spilled_bytes > 0,
             "tiny pages must spill: {:?}",
@@ -949,6 +1460,19 @@ mod tests {
         assert!(paged.store_stats().resident_bytes < mem.store_stats().resident_bytes);
         assert_eq!(mem.posts(), paged.posts());
         assert_eq!(mem.actors(), paged.actors());
+        // The write-back cache is observationally transparent per backend.
+        for store in [
+            StoreConfig::mem(),
+            StoreConfig::paged().page_size(256).resident_pages(1),
+        ] {
+            let cached = build(&store, true);
+            let raw = build(&store, false);
+            assert_eq!(cached.posts(), raw.posts());
+            assert_eq!(cached.actors(), raw.actors());
+            let stats = cached.store_stats();
+            assert_eq!(stats.writeback_flushes, 1, "one flush drained the cache");
+            assert_eq!(raw.store_stats().writeback_flushes, 0);
+        }
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod moderation;
 pub mod shards;
 
 pub use api::{AppView, FeedGeneratorView, ProfileView};
-pub use index::{ActorInfo, AppViewIndex, PostInfo};
+pub use index::{ActorCounters, ActorInfo, AppViewIndex, PostCounters, PostInfo};
 pub use moderation::{decide_post_visibility, summarize_feed_visibility, Visibility};
 pub use shards::AppViewShards;

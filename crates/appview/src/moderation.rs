@@ -229,7 +229,7 @@ mod tests {
         }
 
         fn seeded(shards: usize) -> (AppView, AtUri) {
-            let mut appview = AppView::with_shards(shards, &StoreConfig::mem());
+            let mut appview = AppView::with_shards(shards, &StoreConfig::mem(), true);
             let author = Did::plc_from_seed(b"author");
             appview.index_mut().index_record(
                 &author,
@@ -292,7 +292,7 @@ mod tests {
         #[test]
         fn labels_racing_their_post_are_counted_not_silently_dropped() {
             for shards in [1, 4] {
-                let mut appview = AppView::with_shards(shards, &StoreConfig::mem());
+                let mut appview = AppView::with_shards(shards, &StoreConfig::mem(), true);
                 let author = Did::plc_from_seed(b"author");
                 let uri = AtUri::record(
                     author.clone(),

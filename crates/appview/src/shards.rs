@@ -53,18 +53,28 @@ impl Default for AppViewShards {
 }
 
 impl AppViewShards {
-    /// A single in-memory shard (the monolithic default).
+    /// A single in-memory shard (the monolithic default), write-back cache
+    /// on.
     pub fn new() -> AppViewShards {
-        AppViewShards::with_shards(1, &StoreConfig::default())
+        AppViewShards::with_shards(1, &StoreConfig::default(), true)
     }
 
     /// `count` shards (clamped to at least 1), each over its own block
-    /// store built from `store`.
-    pub fn with_shards(count: usize, store: &StoreConfig) -> AppViewShards {
+    /// store built from `store`, each wrapped in a write-back cache when
+    /// `write_back` is set.
+    pub fn with_shards(count: usize, store: &StoreConfig, write_back: bool) -> AppViewShards {
         AppViewShards {
             shards: (0..count.max(1))
-                .map(|_| AppViewIndex::with_store(store))
+                .map(|_| AppViewIndex::with_store(store, write_back))
                 .collect(),
+        }
+    }
+
+    /// Flush every shard's dirty counter state and write-back buffer (see
+    /// [`AppViewIndex::flush`]); called at day boundaries.
+    pub fn flush(&mut self) {
+        for shard in &mut self.shards {
+            shard.flush();
         }
     }
 
@@ -311,6 +321,15 @@ impl AppViewShards {
         let mut out: Vec<ActorInfo> = self.shards.iter().flat_map(AppViewIndex::actors).collect();
         out.sort_by(|a, b| a.did.cmp(&b.did));
         out
+    }
+
+    /// Counter mutations coalesced into already-dirty entities, summed
+    /// across shards (see [`AppViewIndex::counter_coalesced_writes`]).
+    pub fn counter_coalesced_writes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(AppViewIndex::counter_coalesced_writes)
+            .sum()
     }
 
     /// Aggregate block-store statistics over every shard.
@@ -585,7 +604,10 @@ mod tests {
 
     /// The tentpole property: random event/label interleavings applied to
     /// sharded sets (1, 2, 4, 7 shards) are indistinguishable from the
-    /// monolithic oracle — live queries and the merged index alike.
+    /// monolithic oracle — live queries and the merged index alike. Flushes
+    /// run at *different* cadences on the two sides and the write-back
+    /// cache alternates per round, pinning that both are observationally
+    /// transparent.
     #[test]
     fn sharded_interleavings_match_monolithic_oracle() {
         for round in 0..6u64 {
@@ -595,8 +617,11 @@ mod tests {
 
             let mut oracle = AppViewIndex::new();
             let mut seq = 1u64;
-            for op in &ops {
+            for (i, op) in ops.iter().enumerate() {
                 apply_op!(&mut oracle, op, &mut seq);
+                if i % 100 == 99 {
+                    oracle.flush();
+                }
             }
 
             for count in [1usize, 2, 4, 7] {
@@ -607,10 +632,14 @@ mod tests {
                 } else {
                     StoreConfig::paged().page_size(512).resident_pages(1)
                 };
-                let mut shards = AppViewShards::with_shards(count, &store);
+                let write_back = round % 3 != 0;
+                let mut shards = AppViewShards::with_shards(count, &store, write_back);
                 let mut seq = 1u64;
-                for op in &ops {
+                for (i, op) in ops.iter().enumerate() {
                     apply_op!(&mut shards, op, &mut seq);
+                    if i % 60 == 59 {
+                        shards.flush();
+                    }
                 }
                 assert_same_state(&oracle, &shards);
                 // And the associative merge collapses to the oracle.
@@ -641,11 +670,11 @@ mod tests {
     #[test]
     fn shard_sets_merge_associatively() {
         let store = StoreConfig::mem();
-        let mut whole = AppViewShards::with_shards(4, &store);
+        let mut whole = AppViewShards::with_shards(4, &store, true);
         let mut parts = [
-            AppViewShards::with_shards(4, &store),
-            AppViewShards::with_shards(4, &store),
-            AppViewShards::with_shards(4, &store),
+            AppViewShards::with_shards(4, &store, true),
+            AppViewShards::with_shards(4, &store, false),
+            AppViewShards::with_shards(4, &store, true),
         ];
         let mut rng = TestRng::new(0x117_c0de);
         let mut minted = Vec::new();

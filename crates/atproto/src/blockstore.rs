@@ -17,6 +17,13 @@
 //! * [`CountingStore`] — a transparent wrapper that feeds shared
 //!   [`CountingTotals`], used by tests to prove invariants like "a rejected
 //!   write batch deletes every block it put" (no orphans).
+//! * [`WriteBackStore`] — a write-back cache wrapper: `put`s buffer in a
+//!   resident dirty map until [`BlockStore::flush`], and a `delete` of a
+//!   still-buffered block cancels the write before it ever reaches the
+//!   backend. A read-modify-write chain that rewrites an entity N times
+//!   between flushes therefore costs the backend a single `put` instead of
+//!   N `put`/`delete` pairs. The AppView wraps its entity store in one and
+//!   flushes at day boundaries (the `--writeback` knob).
 //!
 //! ## Contract
 //!
@@ -34,7 +41,7 @@
 
 use crate::cid::{Cid, CODEC_DAG_CBOR};
 use crate::error::{AtError, Result};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,6 +65,16 @@ pub struct StoreStats {
     pub spill_loads: u64,
     /// Blocks that failed CID verification on read-back.
     pub corrupt_reads: u64,
+    /// Reads served from a write-back cache's dirty buffer.
+    pub writeback_hits: u64,
+    /// Reads that fell through a write-back cache to its backend.
+    pub writeback_misses: u64,
+    /// Write-back cache drains that pushed at least one buffered block to
+    /// the backend.
+    pub writeback_flushes: u64,
+    /// Buffered writes cancelled by a delete before reaching the backend
+    /// (the same-day put/delete pairs the cache coalesces away).
+    pub writeback_coalesced: u64,
 }
 
 impl StoreStats {
@@ -70,6 +87,10 @@ impl StoreStats {
         self.spill_writes += other.spill_writes;
         self.spill_loads += other.spill_loads;
         self.corrupt_reads += other.corrupt_reads;
+        self.writeback_hits += other.writeback_hits;
+        self.writeback_misses += other.writeback_misses;
+        self.writeback_flushes += other.writeback_flushes;
+        self.writeback_coalesced += other.writeback_coalesced;
     }
 }
 
@@ -107,6 +128,23 @@ pub trait BlockStore: std::fmt::Debug + Send {
 
     /// Residency/spill statistics.
     fn stats(&self) -> StoreStats;
+
+    /// Push any buffered writes through to durable state. A no-op for every
+    /// backend except [`WriteBackStore`], whose dirty buffer drains here;
+    /// callers that batch mutations (the AppView's day loop) flush at their
+    /// epoch boundaries.
+    fn flush(&mut self) {}
+
+    /// Demote cold resident data to backing storage. A no-op for fully
+    /// resident backends; [`PagedStore`] spills every sealed resident page,
+    /// leaving only the open page in memory. Callers with an epoch rhythm
+    /// (the AppView's day loop) invoke this right after [`flush`]: a day
+    /// boundary ends the hot window, so sealed pages are overwhelmingly
+    /// cold and any block that *is* re-read pages back in through the
+    /// normal verified path.
+    ///
+    /// [`flush`]: BlockStore::flush
+    fn evict_cold(&mut self) {}
 
     /// Clone into a fresh boxed store with identical contents.
     fn boxed_clone(&self) -> Box<dyn BlockStore>;
@@ -529,6 +567,7 @@ impl Paged {
             spill_writes: self.spill_writes,
             spill_loads: self.spill_loads,
             corrupt_reads: self.corrupt_reads,
+            ..StoreStats::default()
         }
     }
 }
@@ -608,6 +647,16 @@ impl BlockStore for PagedStore {
         }
         inner.logical_bytes -= loc.len as usize;
         loc.len as usize
+    }
+
+    fn evict_cold(&mut self) {
+        // Every sealed resident page sits in the LRU; spill them all. The
+        // open page stays resident — it is the only page still taking
+        // appends.
+        let inner = self.inner.get_mut();
+        while let Some(id) = inner.lru.pop_front() {
+            inner.spill(id);
+        }
     }
 
     fn len(&self) -> usize {
@@ -768,6 +817,137 @@ impl BlockStore for CountingStore {
     }
 }
 
+// ---------------------------------------------------------------------------
+// WriteBackStore
+// ---------------------------------------------------------------------------
+
+/// A write-back cache in front of any [`BlockStore`].
+///
+/// `put` lands in a resident dirty buffer; [`BlockStore::flush`] drains the
+/// buffer to the backend. A `delete` of a still-buffered block removes it
+/// from the buffer without the backend ever seeing it — that cancellation is
+/// the *coalescing*: an entity rewritten N times between flushes (each
+/// rewrite a `delete` of the old CID plus a `put` of the new) reaches the
+/// backend as exactly one `put`.
+///
+/// The wrapper is observationally transparent: `get`/`has` consult the
+/// buffer first, so readers always see buffered state, and any op sequence
+/// interleaved with `flush`es behaves exactly like the unwrapped backend
+/// (pinned by the oracle property test below). Stats report the buffer as
+/// resident bytes plus the `writeback_*` counters.
+#[derive(Debug)]
+pub struct WriteBackStore {
+    inner: Box<dyn BlockStore>,
+    dirty: BTreeMap<Cid, Vec<u8>>,
+    dirty_bytes: usize,
+    /// Reads take `&self` like every backend, so the hit/miss tally lives
+    /// behind `Cell`s (the store is `Send`, not `Sync` — one shard owns it).
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    flushes: u64,
+    coalesced: u64,
+}
+
+impl WriteBackStore {
+    /// Wrap a backend with an empty dirty buffer.
+    pub fn new(inner: Box<dyn BlockStore>) -> WriteBackStore {
+        WriteBackStore {
+            inner,
+            dirty: BTreeMap::new(),
+            dirty_bytes: 0,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            flushes: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// Number of blocks currently buffered (unflushed).
+    pub fn pending(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+impl BlockStore for WriteBackStore {
+    fn get(&self, cid: &Cid) -> Option<Vec<u8>> {
+        if let Some(bytes) = self.dirty.get(cid) {
+            self.hits.set(self.hits.get() + 1);
+            return Some(bytes.clone());
+        }
+        self.misses.set(self.misses.get() + 1);
+        self.inner.get(cid)
+    }
+
+    fn put(&mut self, cid: Cid, bytes: Vec<u8>) -> bool {
+        if self.dirty.contains_key(&cid) || self.inner.has(&cid) {
+            return false;
+        }
+        self.dirty_bytes += bytes.len();
+        self.dirty.insert(cid, bytes);
+        true
+    }
+
+    fn has(&self, cid: &Cid) -> bool {
+        self.dirty.contains_key(cid) || self.inner.has(cid)
+    }
+
+    fn delete(&mut self, cid: &Cid) -> usize {
+        if let Some(bytes) = self.dirty.remove(cid) {
+            self.dirty_bytes -= bytes.len();
+            self.coalesced += 1;
+            return bytes.len();
+        }
+        self.inner.delete(cid)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len() + self.dirty.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.inner.bytes() + self.dirty_bytes
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut stats = self.inner.stats();
+        stats.blocks += self.dirty.len();
+        stats.logical_bytes += self.dirty_bytes;
+        stats.resident_bytes += self.dirty_bytes;
+        stats.writeback_hits += self.hits.get();
+        stats.writeback_misses += self.misses.get();
+        stats.writeback_flushes += self.flushes;
+        stats.writeback_coalesced += self.coalesced;
+        stats
+    }
+
+    fn flush(&mut self) {
+        if !self.dirty.is_empty() {
+            self.flushes += 1;
+            for (cid, bytes) in std::mem::take(&mut self.dirty) {
+                self.inner.put(cid, bytes);
+            }
+            self.dirty_bytes = 0;
+        }
+        self.inner.flush();
+    }
+
+    fn evict_cold(&mut self) {
+        self.inner.evict_cold();
+    }
+
+    fn boxed_clone(&self) -> Box<dyn BlockStore> {
+        Box::new(WriteBackStore {
+            inner: self.inner.clone(),
+            dirty: self.dirty.clone(),
+            dirty_bytes: self.dirty_bytes,
+            hits: self.hits.clone(),
+            misses: self.misses.clone(),
+            flushes: self.flushes,
+            coalesced: self.coalesced,
+        })
+    }
+}
+
 /// Verify a CAR-shaped store invariant used by callers that treat stores as
 /// opaque: the block either round-trips exactly or is absent.
 pub fn verify_roundtrip(store: &dyn BlockStore, cid: &Cid, expected: &[u8]) -> Result<()> {
@@ -845,6 +1025,55 @@ mod tests {
         }
         assert!(store.stats().spill_loads > 0);
         assert_eq!(store.len(), blocks.len());
+    }
+
+    #[test]
+    fn evict_cold_demotes_sealed_pages_and_keeps_blocks_readable() {
+        // A generous LRU keeps several sealed pages resident...
+        let config = StoreConfig::paged()
+            .page_size(64)
+            .resident_pages(8)
+            .spill_dir(tmp_root());
+        let mut store = PagedStore::new(&config);
+        let mut blocks = Vec::new();
+        for n in 0..40u64 {
+            let (cid, bytes) = block(n, 24);
+            store.put(cid, bytes.clone());
+            blocks.push((cid, bytes));
+        }
+        let before = store.stats();
+        assert!(
+            before.resident_bytes > before.logical_bytes / 2,
+            "sealed pages should still be resident: {before:?}"
+        );
+        // ...until an epoch boundary demotes them: only the open page stays.
+        store.evict_cold();
+        let after = store.stats();
+        assert!(
+            after.resident_bytes < before.resident_bytes,
+            "evict_cold must shrink residency: {before:?} -> {after:?}"
+        );
+        assert_eq!(
+            after.logical_bytes,
+            after.resident_bytes + after.spilled_bytes
+        );
+        // Nothing is lost: every block pages back in through the verified
+        // read path, and a second eviction after the reads is also safe.
+        for (cid, bytes) in &blocks {
+            verify_roundtrip(&store, cid, bytes).unwrap();
+        }
+        store.evict_cold();
+        for (cid, bytes) in &blocks {
+            verify_roundtrip(&store, cid, bytes).unwrap();
+        }
+        // MemStore and WriteBackStore pass the hint through harmlessly.
+        let mut mem = MemStore::new();
+        mem.evict_cold();
+        let mut wb = WriteBackStore::new(Box::new(PagedStore::new(&config)));
+        let (cid, bytes) = block(99, 24);
+        wb.put(cid, bytes.clone());
+        wb.evict_cold();
+        assert_eq!(wb.get(&cid), Some(bytes), "dirty buffer survives eviction");
     }
 
     #[test]
@@ -965,6 +1194,115 @@ mod tests {
         let cfg = StoreConfig::paged().page_size(0).resident_pages(0);
         assert_eq!(cfg.page_size, 1, "page size clamps to 1");
         assert_eq!(cfg.resident_pages, 1, "LRU cap clamps to 1");
+    }
+
+    #[test]
+    fn writeback_store_buffers_coalesces_and_flushes() {
+        let mut store = WriteBackStore::new(Box::new(MemStore::new()));
+        let (cid1, bytes1) = block(1, 16);
+        let (cid2, bytes2) = block(2, 16);
+        assert!(store.put(cid1, bytes1.clone()));
+        assert!(
+            !store.put(cid1, bytes1.clone()),
+            "buffered put is idempotent"
+        );
+        assert_eq!(store.pending(), 1);
+        // Buffered reads hit the dirty map, not the backend.
+        assert_eq!(store.get(&cid1), Some(bytes1.clone()));
+        assert!(store.has(&cid1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), bytes1.len());
+        // The same-day rewrite pattern: delete the buffered block before a
+        // flush and the backend never sees it.
+        assert_eq!(store.delete(&cid1), bytes1.len());
+        assert!(store.put(cid2, bytes2.clone()));
+        store.flush();
+        assert_eq!(store.pending(), 0);
+        let stats = store.stats();
+        assert_eq!(stats.writeback_coalesced, 1);
+        assert_eq!(stats.writeback_flushes, 1);
+        assert_eq!(stats.writeback_hits, 1);
+        assert_eq!(stats.blocks, 1, "only the surviving block was flushed");
+        // Post-flush reads come from the backend and count as misses.
+        assert_eq!(store.get(&cid2), Some(bytes2));
+        assert!(store.stats().writeback_misses >= 1);
+        // Re-putting a flushed block is still idempotent; deleting it
+        // reaches through to the backend.
+        assert!(!store.put(cid2, vec![0; 16]));
+        assert!(store.delete(&cid2) > 0);
+        assert!(store.is_empty());
+        // An empty flush is not counted.
+        store.flush();
+        assert_eq!(store.stats().writeback_flushes, 1);
+    }
+
+    #[test]
+    fn writeback_store_clone_carries_the_buffer() {
+        let mut store = WriteBackStore::new(Box::new(MemStore::new()));
+        let (cid, bytes) = block(7, 24);
+        store.put(cid, bytes.clone());
+        let mut clone = store.boxed_clone();
+        store.delete(&cid);
+        assert!(store.get(&cid).is_none());
+        assert_eq!(
+            clone.get(&cid),
+            Some(bytes.clone()),
+            "clone keeps its buffer"
+        );
+        clone.flush();
+        verify_roundtrip(clone.as_ref(), &cid, &bytes).unwrap();
+    }
+
+    /// Write-back oracle: any interleaving of put / get / delete / flush —
+    /// over either backend — is observationally identical to the bare
+    /// in-memory oracle.
+    #[test]
+    fn writeback_store_matches_mem_oracle_under_random_ops() {
+        let mut rng = TestRng::new(0x00b1_0c4e);
+        for round in 0..15 {
+            let inner: Box<dyn BlockStore> = if round % 2 == 0 {
+                Box::new(MemStore::new())
+            } else {
+                Box::new(PagedStore::new(
+                    &StoreConfig::paged()
+                        .page_size(32 + rng.below(96) as usize)
+                        .resident_pages(1 + rng.below(3) as usize)
+                        .spill_dir(tmp_root()),
+                ))
+            };
+            let mut cached = WriteBackStore::new(inner);
+            let mut oracle = MemStore::new();
+            let universe: Vec<(Cid, Vec<u8>)> = (0..24)
+                .map(|i| block(round * 1_000 + i, 8 + rng.below(40) as usize))
+                .collect();
+            for _ in 0..400 {
+                let (cid, bytes) = &universe[rng.below(universe.len() as u64) as usize];
+                match rng.below(10) {
+                    0..=3 => {
+                        assert_eq!(
+                            cached.put(*cid, bytes.clone()),
+                            oracle.put(*cid, bytes.clone()),
+                            "put disagrees"
+                        );
+                    }
+                    4..=6 => {
+                        assert_eq!(cached.get(cid), oracle.get(cid), "get disagrees");
+                    }
+                    7..=8 => {
+                        assert_eq!(cached.delete(cid), oracle.delete(cid), "delete disagrees");
+                    }
+                    _ => {
+                        cached.flush();
+                    }
+                }
+                assert_eq!(cached.len(), oracle.len());
+                assert_eq!(cached.bytes(), oracle.bytes());
+            }
+            for (cid, _) in &universe {
+                assert_eq!(cached.get(cid), oracle.get(cid));
+                assert_eq!(cached.has(cid), oracle.has(cid));
+            }
+        }
     }
 
     /// The oracle property test: any interleaving of put / get / delete /

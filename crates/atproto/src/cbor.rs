@@ -204,6 +204,50 @@ fn encode_into(value: &Value, out: &mut Vec<u8>) {
     }
 }
 
+/// Raw streaming writers for encoders that emit a fixed, known map shape
+/// (the MST node encoder) without building a [`Value`] tree first. Callers
+/// are responsible for emitting map keys in DAG-CBOR canonical order
+/// (shorter first, then bytewise) — exactly what [`encode`] produces for
+/// the equivalent `Value`, byte for byte.
+pub(crate) mod raw {
+    use super::*;
+
+    /// Map head for `len` pairs.
+    pub fn map_head(len: u64, out: &mut Vec<u8>) {
+        write_head(MAJOR_MAP, len, out);
+    }
+
+    /// Array head for `len` items.
+    pub fn array_head(len: u64, out: &mut Vec<u8>) {
+        write_head(MAJOR_ARRAY, len, out);
+    }
+
+    /// Text string.
+    pub fn text(s: &str, out: &mut Vec<u8>) {
+        write_head(MAJOR_TEXT, s.len() as u64, out);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// Non-negative integer.
+    pub fn uint(value: u64, out: &mut Vec<u8>) {
+        write_head(MAJOR_UINT, value, out);
+    }
+
+    /// Null.
+    pub fn null(out: &mut Vec<u8>) {
+        out.push((MAJOR_SIMPLE << 5) | 22);
+    }
+
+    /// A tagged IPLD link (CID), identical to `Value::Link`.
+    pub fn link(cid: &Cid, out: &mut Vec<u8>) {
+        write_head(MAJOR_TAG, TAG_CID, out);
+        let bytes = cid.to_bytes();
+        write_head(MAJOR_BYTES, (bytes.len() + 1) as u64, out);
+        out.push(0x00);
+        out.extend_from_slice(&bytes);
+    }
+}
+
 /// Decode DAG-CBOR bytes into a value, requiring that the whole input is
 /// consumed.
 pub fn decode(bytes: &[u8]) -> Result<Value> {

@@ -145,7 +145,18 @@ impl Sha256 {
         debug_assert_eq!(self.buffer_len, 56);
     }
 
+    #[allow(unsafe_code)] // dispatch into the audited `shani` fast path
     fn process_block(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // SAFETY: `available()` confirmed the sha/ssse3/sse4.1 features.
+            unsafe { shani::process_block(&mut self.state, block) };
+            return;
+        }
+        self.process_block_scalar(block);
+    }
+
+    fn process_block_scalar(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -187,6 +198,113 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Hardware SHA-256 block compression via the x86 SHA extensions, used when
+/// the CPU advertises them (every block run through here produces exactly
+/// the state transition of [`Sha256::process_block_scalar`] — pinned by the
+/// `hardware_and_scalar_compression_agree` test). Round-constant vectors are
+/// loaded from the same `K` table as the scalar path. Layout follows the
+/// standard ABEF/CDGH register scheme of the extension.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // the one audited exception to the crate-wide deny
+mod shani {
+    use super::K;
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+
+    /// One-time runtime feature probe.
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            is_x86_feature_detected!("sha")
+                && is_x86_feature_detected!("ssse3")
+                && is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    #[inline]
+    unsafe fn load_k(round: usize) -> __m128i {
+        _mm_loadu_si128(K.as_ptr().add(round).cast())
+    }
+
+    /// # Safety
+    /// Requires the `sha`, `ssse3` and `sse4.1` CPU features (checked by
+    /// [`available`]).
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn process_block(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Big-endian 32-bit lane loads of the message block.
+        let byte_swap = _mm_set_epi64x(0x0c0d0e0f08090a0bu64 as i64, 0x0405060700010203u64 as i64);
+
+        // Repack [a,b,c,d] / [e,f,g,h] into the ABEF / CDGH working pair.
+        let mut tmp = _mm_loadu_si128(state.as_ptr().cast());
+        let mut state1 = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        tmp = _mm_shuffle_epi32(tmp, 0xB1);
+        state1 = _mm_shuffle_epi32(state1, 0x1B);
+        let mut state0 = _mm_alignr_epi8(tmp, state1, 8);
+        state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        // Four-round step: feed W[i..i+4]+K[i..i+4] through both halves of
+        // the state.
+        macro_rules! rounds4 {
+            ($wk:expr) => {{
+                let mut msg = $wk;
+                state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                msg = _mm_shuffle_epi32(msg, 0x0E);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+            }};
+        }
+
+        let mut msgs = [
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), byte_swap),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), byte_swap),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), byte_swap),
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), byte_swap),
+        ];
+
+        // Rounds 0-11: the schedule only needs the msg1 half so far.
+        rounds4!(_mm_add_epi32(msgs[0], load_k(0)));
+        rounds4!(_mm_add_epi32(msgs[1], load_k(4)));
+        msgs[0] = _mm_sha256msg1_epu32(msgs[0], msgs[1]);
+        rounds4!(_mm_add_epi32(msgs[2], load_k(8)));
+        msgs[1] = _mm_sha256msg1_epu32(msgs[1], msgs[2]);
+
+        // Rounds 12-51: full rotating schedule. In group `g` the vector
+        // `msgs[g % 4]` carries W[4g..4g+4]; the next vector absorbs the
+        // alignr/msg2 recurrence and the previous one starts msg1.
+        for g in 3..=12 {
+            let a = g % 4;
+            rounds4!(_mm_add_epi32(msgs[a], load_k(4 * g)));
+            let shifted = _mm_alignr_epi8(msgs[a], msgs[(a + 3) % 4], 4);
+            msgs[(a + 1) % 4] = _mm_add_epi32(msgs[(a + 1) % 4], shifted);
+            msgs[(a + 1) % 4] = _mm_sha256msg2_epu32(msgs[(a + 1) % 4], msgs[a]);
+            msgs[(a + 3) % 4] = _mm_sha256msg1_epu32(msgs[(a + 3) % 4], msgs[a]);
+        }
+
+        // Rounds 52-63: drain the schedule (no further msg1 feeding needed).
+        for g in 13..=14 {
+            let a = g % 4;
+            rounds4!(_mm_add_epi32(msgs[a], load_k(4 * g)));
+            let shifted = _mm_alignr_epi8(msgs[a], msgs[(a + 3) % 4], 4);
+            msgs[(a + 1) % 4] = _mm_add_epi32(msgs[(a + 1) % 4], shifted);
+            msgs[(a + 1) % 4] = _mm_sha256msg2_epu32(msgs[(a + 1) % 4], msgs[a]);
+        }
+        rounds4!(_mm_add_epi32(msgs[3], load_k(60)));
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+
+        // Unpack ABEF/CDGH back to [a,b,c,d] / [e,f,g,h].
+        tmp = _mm_shuffle_epi32(state0, 0x1B);
+        state1 = _mm_shuffle_epi32(state1, 0xB1);
+        state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+        state1 = _mm_alignr_epi8(state1, tmp, 8);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), state0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), state1);
     }
 }
 
@@ -334,6 +452,36 @@ pub fn verify(key: &SigningKey, message: &[u8], sig: &Signature) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// On machines with the SHA extensions the hardware compression must
+    /// reproduce the scalar path bit for bit — every CID and signature in
+    /// the study depends on it. On machines without them, this degenerates
+    /// to scalar-vs-scalar and passes trivially.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)] // exercises the audited `shani` fast path directly
+    #[test]
+    fn hardware_and_scalar_compression_agree() {
+        if !shani::available() {
+            return;
+        }
+        let mut state = H0;
+        let mut scalar = Sha256::new();
+        // A few hundred deterministic pseudo-random blocks, chained so state
+        // divergence at any block propagates to the end.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        for _ in 0..256 {
+            let mut block = [0u8; 64];
+            for chunk in block.chunks_exact_mut(8) {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                chunk.copy_from_slice(&seed.to_le_bytes());
+            }
+            unsafe { shani::process_block(&mut state, &block) };
+            scalar.process_block_scalar(&block);
+            assert_eq!(state, scalar.state);
+        }
+    }
 
     // FIPS 180-4 / NIST test vectors.
     #[test]

@@ -27,7 +27,11 @@
 //! the smoltcp idiom of the networking guides: plain data structures, explicit
 //! state machines, and no hidden global state.
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide with one audited exception: the SHA-NI
+// hardware compression path in `crypto::shani`, which is pure `core::arch`
+// intrinsics behind a runtime CPU-feature probe and is pinned bit-for-bit
+// against the safe scalar implementation by test.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aturi;

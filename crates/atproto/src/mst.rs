@@ -12,6 +12,12 @@
 //! is a pure function of the mapping, the crucial MST property (identical
 //! contents ⇒ identical root CID) holds by construction, and the rebuild cost
 //! is linear in the number of keys, which is ample for simulation scale.
+//! Two memos keep the commit hot path off the hash function: each key's
+//! layer is computed once at insertion (not per build), and the last
+//! materialisation is cached until the next mutation, so back-to-back reads
+//! (commit, then CAR export) rebuild nothing. Node blocks are encoded
+//! directly to bytes with [`crate::cbor`]'s raw writers — byte-identical to
+//! the generic `Value` encoder, without allocating a value tree per node.
 //!
 //! Node entries are **prefix-compressed on the wire**, as in the reference
 //! implementation: within a node, each entry carries `p` (the number of key
@@ -64,11 +70,46 @@ pub fn validate_key(key: &str) -> Result<()> {
     Ok(())
 }
 
-/// A content-addressed key→CID index.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Mst {
-    entries: BTreeMap<String, Cid>,
+/// One key's stored state: its record CID plus the key's MST layer. The
+/// layer is a pure function of the key (`sha256` leading zeros), so it is
+/// computed once at insertion instead of on every materialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EntryState {
+    cid: Cid,
+    layer: u32,
 }
+
+/// A content-addressed key→CID index.
+///
+/// The authoritative state is the ordered `entries` map; the tree shape is
+/// a pure function of it. The last materialisation (root CID plus every
+/// node block) is memoised in `built` and invalidated by any mutation, so
+/// repeated reads — a CAR export right after a commit, a root probe — cost
+/// a copy instead of a rebuild.
+#[derive(Debug, Default)]
+pub struct Mst {
+    entries: BTreeMap<String, EntryState>,
+    built: std::cell::RefCell<Option<(Cid, Vec<MstNode>)>>,
+}
+
+impl Clone for Mst {
+    fn clone(&self) -> Mst {
+        Mst {
+            entries: self.entries.clone(),
+            built: std::cell::RefCell::new(self.built.borrow().clone()),
+        }
+    }
+}
+
+impl PartialEq for Mst {
+    fn eq(&self, other: &Mst) -> bool {
+        // The memo is derived state; two trees are equal iff their
+        // contents are.
+        self.entries == other.entries
+    }
+}
+
+impl Eq for Mst {}
 
 /// A single change between two MST states.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,17 +178,31 @@ impl Mst {
     /// Insert or replace a key, returning the previous value if any.
     pub fn insert(&mut self, key: &str, cid: Cid) -> Result<Option<Cid>> {
         validate_key(key)?;
-        Ok(self.entries.insert(key.to_string(), cid))
+        if let Some(state) = self.entries.get_mut(key) {
+            if state.cid == cid {
+                return Ok(Some(cid)); // no-op replace: the memo stays valid
+            }
+            let old = std::mem::replace(&mut state.cid, cid);
+            *self.built.get_mut() = None;
+            return Ok(Some(old));
+        }
+        let layer = key_layer(key);
+        self.entries
+            .insert(key.to_string(), EntryState { cid, layer });
+        *self.built.get_mut() = None;
+        Ok(None)
     }
 
     /// Remove a key, returning its value if it was present.
     pub fn remove(&mut self, key: &str) -> Option<Cid> {
-        self.entries.remove(key)
+        let removed = self.entries.remove(key)?;
+        *self.built.get_mut() = None;
+        Some(removed.cid)
     }
 
     /// Look up a key.
     pub fn get(&self, key: &str) -> Option<&Cid> {
-        self.entries.get(key)
+        self.entries.get(key).map(|state| &state.cid)
     }
 
     /// Whether a key is present.
@@ -157,7 +212,7 @@ impl Mst {
 
     /// Iterate all `(key, cid)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Cid)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+        self.entries.iter().map(|(k, v)| (k.as_str(), &v.cid))
     }
 
     /// Iterate the keys of a single collection (keys beginning with
@@ -170,31 +225,31 @@ impl Mst {
         let end = format!("{collection}0"); // '0' sorts just after '/'
         self.entries
             .range(prefix..end)
-            .map(|(k, v)| (k.as_str(), v))
+            .map(|(k, v)| (k.as_str(), &v.cid))
     }
 
     /// Compute the differences needed to go from `old` to `self`.
     pub fn diff(&self, old: &Mst) -> Vec<MstDiffOp> {
         let mut ops = Vec::new();
-        for (key, cid) in &self.entries {
+        for (key, state) in &self.entries {
             match old.entries.get(key) {
                 None => ops.push(MstDiffOp::Created {
                     key: key.clone(),
-                    cid: *cid,
+                    cid: state.cid,
                 }),
-                Some(prev) if prev != cid => ops.push(MstDiffOp::Updated {
+                Some(prev) if prev.cid != state.cid => ops.push(MstDiffOp::Updated {
                     key: key.clone(),
-                    old: *prev,
-                    new: *cid,
+                    old: prev.cid,
+                    new: state.cid,
                 }),
                 Some(_) => {}
             }
         }
-        for (key, cid) in &old.entries {
+        for (key, state) in &old.entries {
             if !self.entries.contains_key(key) {
                 ops.push(MstDiffOp::Deleted {
                     key: key.clone(),
-                    cid: *cid,
+                    cid: state.cid,
                 });
             }
         }
@@ -252,17 +307,23 @@ impl Mst {
         self.build_with(false).1.iter().map(|n| n.bytes.len()).sum()
     }
 
-    /// Build the tree: returns the root CID and every node block.
+    /// Build the tree: returns the root CID and every node block, serving
+    /// repeats from the memo until the next mutation.
     fn build(&self) -> (Cid, Vec<MstNode>) {
-        self.build_with(true)
+        if let Some(cached) = self.built.borrow().as_ref() {
+            return cached.clone();
+        }
+        let out = self.build_with(true);
+        *self.built.borrow_mut() = Some(out.clone());
+        out
     }
 
     fn build_with(&self, compress: bool) -> (Cid, Vec<MstNode>) {
         let mut blocks = Vec::new();
-        let items: Vec<(&String, &Cid, u32)> = self
+        let items: Vec<(&str, Cid, u32)> = self
             .entries
             .iter()
-            .map(|(k, v)| (k, v, key_layer(k)))
+            .map(|(k, v)| (k.as_str(), v.cid, v.layer))
             .collect();
         let top_layer = items.iter().map(|(_, _, l)| *l).max().unwrap_or(0);
         let root = Self::build_node(&items, top_layer, &mut blocks, compress);
@@ -271,14 +332,14 @@ impl Mst {
 
     /// Recursively build the node covering `items` at `layer`.
     fn build_node(
-        items: &[(&String, &Cid, u32)],
+        items: &[(&str, Cid, u32)],
         layer: u32,
         blocks: &mut Vec<MstNode>,
         compress: bool,
     ) -> Cid {
         // Entries at this layer, in order; the gaps between them (and at both
         // ends) become child subtrees at layer - 1.
-        let mut node_entries: Vec<Value> = Vec::new();
+        let mut node_entries: Vec<PendingEntry<'_>> = Vec::new();
         let mut segment_start = 0usize;
         let mut left_child: Option<Cid> = None;
         let mut first_entry_seen = false;
@@ -303,35 +364,33 @@ impl Mst {
             ))
         };
 
-        for (idx, (key, cid, item_layer)) in items.iter().enumerate() {
-            if *item_layer >= layer {
+        for (idx, &(key, cid, item_layer)) in items.iter().enumerate() {
+            if item_layer >= layer {
                 // Subtree of everything since the previous entry.
                 let subtree = flush_segment(segment_start, idx, blocks);
                 if !first_entry_seen {
                     left_child = subtree;
                 } else if let Some(sub) = subtree {
                     // Attach as the "tree" of the previous entry.
-                    if let Some(Value::Map(prev)) = node_entries.last_mut() {
-                        prev.insert("t".to_string(), Value::Link(sub));
+                    if let Some(prev) = node_entries.last_mut() {
+                        prev.subtree = Some(sub);
                     }
                 }
                 first_entry_seen = true;
-                if compress {
-                    let shared = prev_key
+                let shared = if compress {
+                    prev_key
                         .map(|prev| common_prefix_len(prev, key))
-                        .unwrap_or(0);
-                    node_entries.push(Value::map([
-                        ("p", Value::Int(shared as i64)),
-                        ("k", Value::text(&key[shared..])),
-                        ("v", Value::Link(**cid)),
-                    ]));
+                        .unwrap_or(0)
                 } else {
-                    node_entries.push(Value::map([
-                        ("k", Value::text(key.as_str())),
-                        ("v", Value::Link(**cid)),
-                    ]));
-                }
-                prev_key = Some(key.as_str());
+                    0
+                };
+                node_entries.push(PendingEntry {
+                    prefix: shared,
+                    key,
+                    value: cid,
+                    subtree: None,
+                });
+                prev_key = Some(key);
                 segment_start = idx + 1;
             }
         }
@@ -340,27 +399,69 @@ impl Mst {
         if !first_entry_seen {
             left_child = trailing;
         } else if let Some(sub) = trailing {
-            if let Some(Value::Map(prev)) = node_entries.last_mut() {
-                prev.insert("t".to_string(), Value::Link(sub));
+            if let Some(prev) = node_entries.last_mut() {
+                prev.subtree = Some(sub);
             }
         }
 
-        let node = Value::map([
-            (
-                "l",
-                match left_child {
-                    Some(c) => Value::Link(c),
-                    None => Value::Null,
-                },
-            ),
-            ("e", Value::Array(node_entries)),
-            ("layer", Value::Int(layer as i64)),
-        ]);
-        let bytes = crate::cbor::encode(&node);
+        let bytes = encode_node(left_child, &node_entries, layer, compress);
         let cid = Cid::for_cbor(&bytes);
         blocks.push(MstNode { cid, bytes });
         cid
     }
+}
+
+/// A node entry awaiting encoding: the full key plus the prefix length
+/// shared with the previous entry (0 and unused when uncompressed).
+struct PendingEntry<'a> {
+    prefix: usize,
+    key: &'a str,
+    value: Cid,
+    subtree: Option<Cid>,
+}
+
+/// Encode one MST node block directly, without building an intermediate
+/// [`Value`] tree — byte-identical to encoding the equivalent `Value`
+/// (map keys emitted in DAG-CBOR canonical order: length first, then
+/// bytewise), pinned by the `direct_encoding_matches_value_encoding` test.
+fn encode_node(
+    left_child: Option<Cid>,
+    entries: &[PendingEntry<'_>],
+    layer: u32,
+    compress: bool,
+) -> Vec<u8> {
+    use crate::cbor::raw;
+    let mut out = Vec::with_capacity(64 + entries.len() * 64);
+    raw::map_head(3, &mut out);
+    // "e" < "l" < "layer" in canonical order.
+    raw::text("e", &mut out);
+    raw::array_head(entries.len() as u64, &mut out);
+    for entry in entries {
+        // Entry keys are all one byte, so canonical order is bytewise:
+        // "k" < "p" < "t" < "v" (no "p" when uncompressed).
+        let fields = 2 + usize::from(compress) + usize::from(entry.subtree.is_some());
+        raw::map_head(fields as u64, &mut out);
+        raw::text("k", &mut out);
+        raw::text(&entry.key[entry.prefix..], &mut out);
+        if compress {
+            raw::text("p", &mut out);
+            raw::uint(entry.prefix as u64, &mut out);
+        }
+        if let Some(subtree) = entry.subtree {
+            raw::text("t", &mut out);
+            raw::link(&subtree, &mut out);
+        }
+        raw::text("v", &mut out);
+        raw::link(&entry.value, &mut out);
+    }
+    raw::text("l", &mut out);
+    match left_child {
+        Some(cid) => raw::link(&cid, &mut out),
+        None => raw::null(&mut out),
+    }
+    raw::text("layer", &mut out);
+    raw::uint(layer as u64, &mut out);
+    out
 }
 
 /// Number of leading bytes two keys share. Keys are ASCII (enforced by
@@ -440,7 +541,14 @@ pub fn decode_node(bytes: &[u8]) -> Result<DecodedMstNode> {
 impl FromIterator<(String, Cid)> for Mst {
     fn from_iter<T: IntoIterator<Item = (String, Cid)>>(iter: T) -> Self {
         Mst {
-            entries: iter.into_iter().collect(),
+            entries: iter
+                .into_iter()
+                .map(|(key, cid)| {
+                    let layer = key_layer(&key);
+                    (key, EntryState { cid, layer })
+                })
+                .collect(),
+            built: std::cell::RefCell::new(None),
         }
     }
 }
@@ -451,6 +559,81 @@ mod tests {
 
     fn cid_for(n: u32) -> Cid {
         Cid::for_cbor(&n.to_be_bytes())
+    }
+
+    /// The direct node encoder must emit exactly what encoding the
+    /// equivalent `Value` tree emits — the wire bytes (and so every node
+    /// CID and repo commit) must not shift with the encoding fast path.
+    #[test]
+    fn direct_encoding_matches_value_encoding() {
+        let mut mst = Mst::new();
+        for n in 0..300u32 {
+            mst.insert(&key_for(n), cid_for(n)).unwrap();
+        }
+        for compress in [true, false] {
+            for node in mst.build_with(compress).1 {
+                let decoded = decode_node(&node.bytes).unwrap();
+                let mut prev: Option<String> = None;
+                let entries: Vec<Value> = decoded
+                    .entries
+                    .iter()
+                    .map(|entry| {
+                        let shared = if compress {
+                            prev.as_deref()
+                                .map(|p| common_prefix_len(p, &entry.key))
+                                .unwrap_or(0)
+                        } else {
+                            0
+                        };
+                        let mut pairs = vec![
+                            ("k".to_string(), Value::text(&entry.key[shared..])),
+                            ("v".to_string(), Value::Link(entry.value)),
+                        ];
+                        if compress {
+                            pairs.push(("p".to_string(), Value::Int(shared as i64)));
+                        }
+                        if let Some(tree) = entry.tree {
+                            pairs.push(("t".to_string(), Value::Link(tree)));
+                        }
+                        prev = Some(entry.key.clone());
+                        Value::map(pairs)
+                    })
+                    .collect();
+                let value = Value::map([
+                    (
+                        "l",
+                        match decoded.left {
+                            Some(cid) => Value::Link(cid),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("e", Value::Array(entries)),
+                    ("layer", Value::Int(decoded.layer as i64)),
+                ]);
+                assert_eq!(
+                    crate::cbor::encode(&value),
+                    node.bytes,
+                    "direct encoding diverged (compress: {compress})"
+                );
+            }
+        }
+    }
+
+    /// Mutations invalidate the materialisation memo; reads after a
+    /// mutation see the new tree, and a no-op replace keeps the memo.
+    #[test]
+    fn build_memo_tracks_mutations() {
+        let mut mst = Mst::new();
+        mst.insert(&key_for(1), cid_for(1)).unwrap();
+        let root1 = mst.root_cid();
+        assert_eq!(mst.root_cid(), root1, "memoised read is stable");
+        mst.insert(&key_for(1), cid_for(1)).unwrap(); // no-op replace
+        assert_eq!(mst.root_cid(), root1);
+        mst.insert(&key_for(2), cid_for(2)).unwrap();
+        let root2 = mst.root_cid();
+        assert_ne!(root2, root1, "insert invalidates the memo");
+        mst.remove(&key_for(2)).unwrap();
+        assert_eq!(mst.root_cid(), root1, "remove invalidates the memo");
     }
 
     fn key_for(n: u32) -> String {

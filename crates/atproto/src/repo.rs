@@ -43,7 +43,7 @@ use crate::crypto::{Signature, SigningKey};
 use crate::datetime::Datetime;
 use crate::did::Did;
 use crate::error::{AtError, Result};
-use crate::mst::{Mst, MstDiffOp};
+use crate::mst::Mst;
 use crate::nsid::Nsid;
 use crate::record::Record;
 use crate::tid::{Tid, TidClock};
@@ -90,14 +90,24 @@ impl Commit {
         cbor::encode(&Value::map(fields))
     }
 
-    /// Full signed encoding.
+    /// Full signed encoding. The encoder canonicalises map key order, so
+    /// assembling the signed map directly produces exactly the bytes the
+    /// old decode-unsigned-then-insert-sig path did, without the round trip.
     pub fn to_cbor(&self) -> Vec<u8> {
-        let mut fields: BTreeMap<String, Value> = match cbor::decode(&self.unsigned_bytes()) {
-            Ok(Value::Map(m)) => m,
-            _ => unreachable!("unsigned bytes are a map"),
-        };
-        fields.insert("sig".to_string(), Value::Bytes(self.sig.0.to_vec()));
-        cbor::encode(&Value::Map(fields))
+        cbor::encode(&Value::map([
+            ("did".to_string(), Value::text(self.did.to_string())),
+            ("version".to_string(), Value::Int(self.version as i64)),
+            ("data".to_string(), Value::Link(self.data)),
+            ("rev".to_string(), Value::text(self.rev.to_string())),
+            (
+                "prev".to_string(),
+                match self.prev {
+                    Some(c) => Value::Link(c),
+                    None => Value::Null,
+                },
+            ),
+            ("sig".to_string(), Value::Bytes(self.sig.0.to_vec())),
+        ]))
     }
 
     /// Verify the signature with the owner's signing key.
@@ -187,6 +197,9 @@ pub enum Write {
 pub struct CommitResult {
     /// The newly created commit.
     pub commit: Commit,
+    /// The commit's CID (precomputed so firehose producers need not re-hash
+    /// the signed encoding per event).
+    pub commit_cid: Cid,
     /// The operations included in it.
     pub ops: Vec<RecordOp>,
     /// Approximate number of bytes of new blocks written.
@@ -274,6 +287,9 @@ pub struct Repository {
     commits: Vec<Commit>,
     /// Aligned 1:1 with `commits`: the blocks each commit introduced.
     log: Vec<CommitBlocks>,
+    /// CID of the head commit, cached so each new commit's `prev` pointer
+    /// costs nothing (compaction only drops from the front, never the head).
+    head_cid: Option<Cid>,
     /// Revision of the newest commit a compaction pass dropped; deltas since
     /// revisions at or below it must fall back to a full fetch.
     compacted_through: Option<Tid>,
@@ -307,6 +323,7 @@ impl Repository {
             record_bytes: 0,
             commits: Vec::new(),
             log: Vec::new(),
+            head_cid: None,
             compacted_through: None,
             stored_node_cids: std::collections::BTreeSet::new(),
             current_node_cids: std::collections::BTreeSet::new(),
@@ -401,12 +418,16 @@ impl Repository {
     }
 
     /// Apply one write, recording any freshly inserted block in
-    /// `fresh_blocks` so a failed batch can roll the store back.
+    /// `fresh_blocks` so a failed batch can roll the store back, and the
+    /// key's pre-batch value in `touched` so the batch's net record ops can
+    /// be derived (and the index restored on error) without snapshotting the
+    /// whole tree.
     fn apply_one_write(
         &mut self,
         write: &Write,
         fresh_blocks: &mut Vec<Cid>,
         bytes_written: &mut usize,
+        touched: &mut BTreeMap<String, (Option<Cid>, Option<Cid>)>,
     ) -> Result<()> {
         match write {
             Write::Create {
@@ -427,7 +448,9 @@ impl Repository {
                     self.record_cids.insert(cid);
                     self.record_bytes += len;
                 }
+                let initial = self.mst.get(&key).copied();
                 self.mst.insert(&key, cid)?;
+                touched.entry(key).or_insert((initial, initial)).1 = Some(cid);
             }
             Write::Update {
                 collection,
@@ -447,13 +470,17 @@ impl Repository {
                     self.record_cids.insert(cid);
                     self.record_bytes += len;
                 }
+                let initial = self.mst.get(&key).copied();
                 self.mst.insert(&key, cid)?;
+                touched.entry(key).or_insert((initial, initial)).1 = Some(cid);
             }
             Write::Delete { collection, rkey } => {
                 let key = format!("{collection}/{rkey}");
+                let initial = self.mst.get(&key).copied();
                 if self.mst.remove(&key).is_none() {
                     return Err(AtError::RepoError(format!("record missing: {key}")));
                 }
+                touched.entry(key).or_insert((initial, initial)).1 = None;
             }
         }
         Ok(())
@@ -464,16 +491,32 @@ impl Repository {
         if writes.is_empty() {
             return Err(AtError::RepoError("empty write batch".into()));
         }
-        let old_mst = self.mst.clone();
         let mut bytes_written = 0usize;
         let mut fresh_blocks: Vec<Cid> = Vec::new();
+        // Net per-key change across the batch: key → (value before the
+        // batch, value now). Tracking only the touched keys replaces the
+        // old snapshot-the-tree-then-diff scheme, which cloned every key on
+        // every commit; the ordered map keeps the derived ops key-sorted
+        // exactly as `Mst::diff` reported them.
+        let mut touched: BTreeMap<String, (Option<Cid>, Option<Cid>)> = BTreeMap::new();
         for write in writes {
-            if let Err(err) = self.apply_one_write(write, &mut fresh_blocks, &mut bytes_written) {
+            if let Err(err) =
+                self.apply_one_write(write, &mut fresh_blocks, &mut bytes_written, &mut touched)
+            {
                 // Atomic batches: restore the index and drop the blocks this
                 // batch introduced, so the store holds exactly the blocks
                 // the commit log accounts for (no orphans — pinned by the
                 // CountingStore test below).
-                self.mst = old_mst;
+                for (key, (initial, _)) in &touched {
+                    match initial {
+                        Some(cid) => {
+                            let _ = self.mst.insert(key, *cid);
+                        }
+                        None => {
+                            self.mst.remove(key);
+                        }
+                    }
+                }
                 for cid in &fresh_blocks {
                     self.record_bytes -= self.store.delete(cid);
                     self.record_cids.remove(cid);
@@ -481,25 +524,25 @@ impl Repository {
                 return Err(err);
             }
         }
-        let diff = self.mst.diff(&old_mst);
-        let ops: Vec<RecordOp> = diff
+        let ops: Vec<RecordOp> = touched
             .iter()
-            .map(|op| match op {
-                MstDiffOp::Created { key, cid } => RecordOp {
+            .filter_map(|(key, (initial, current))| match (initial, current) {
+                (None, Some(cid)) => Some(RecordOp {
                     action: WriteAction::Create,
                     key: key.clone(),
                     cid: Some(*cid),
-                },
-                MstDiffOp::Updated { key, new, .. } => RecordOp {
+                }),
+                (Some(old), Some(new)) if old != new => Some(RecordOp {
                     action: WriteAction::Update,
                     key: key.clone(),
                     cid: Some(*new),
-                },
-                MstDiffOp::Deleted { key, .. } => RecordOp {
+                }),
+                (Some(_), None) => Some(RecordOp {
                     action: WriteAction::Delete,
                     key: key.clone(),
                     cid: None,
-                },
+                }),
+                _ => None,
             })
             .collect();
 
@@ -524,18 +567,21 @@ impl Repository {
             .copied()
             .collect();
         self.current_node_cids = live_nodes;
-        let prev = self.head().map(Commit::cid);
         let mut commit = Commit {
             did: self.did.clone(),
             version: 3,
             data,
             rev,
-            prev,
+            prev: self.head_cid,
             sig: Signature([0u8; 32]),
         };
         commit.sig = self.signing_key.sign(&commit.unsigned_bytes());
-        // Account for the MST root node and commit block.
-        bytes_written += commit.to_cbor().len();
+        // Account for the MST root node and commit block; one encoding
+        // serves both the byte count and the commit CID.
+        let commit_bytes = commit.to_cbor();
+        bytes_written += commit_bytes.len();
+        let commit_cid = Cid::for_cbor(&commit_bytes);
+        self.head_cid = Some(commit_cid);
         self.commits.push(commit.clone());
         self.log.push(CommitBlocks {
             record_cids: fresh_blocks,
@@ -544,6 +590,7 @@ impl Repository {
         });
         Ok(CommitResult {
             commit,
+            commit_cid,
             ops,
             bytes_written,
         })
@@ -575,7 +622,8 @@ impl Repository {
     pub fn export_car(&self) -> Vec<u8> {
         let mut blocks: Vec<(Cid, Vec<u8>)> = Vec::new();
         for commit in &self.commits {
-            blocks.push((commit.cid(), commit.to_cbor()));
+            let bytes = commit.to_cbor();
+            blocks.push((Cid::for_cbor(&bytes), bytes));
         }
         for node in self.mst.blocks() {
             blocks.push((node.cid, node.bytes));
@@ -585,7 +633,7 @@ impl Repository {
                 blocks.push((*cid, bytes));
             }
         }
-        let roots: Vec<Cid> = self.head().map(|c| c.cid()).into_iter().collect();
+        let roots: Vec<Cid> = self.head_cid.into_iter().collect();
         encode_car(&roots, blocks.iter().map(|(c, b)| (*c, b.as_slice())), None)
     }
 
@@ -612,6 +660,7 @@ impl Repository {
         let head = self
             .head()
             .ok_or_else(|| AtError::RepoError("repository has no commits".into()))?;
+        let head_cid = self.head_cid.expect("head commit implies cached head CID");
         let index = self
             .commits
             .binary_search_by(|c| c.rev.cmp(since))
@@ -629,13 +678,14 @@ impl Repository {
             })?;
         let mut blocks: BTreeMap<Cid, Vec<u8>> = BTreeMap::new();
         if index + 1 < self.commits.len() {
-            blocks.insert(head.cid(), head.to_cbor());
+            blocks.insert(head_cid, head.to_cbor());
         }
         if scope == DeltaScope::Full {
             // The intermediate commits too, so the merged archive's `prev`
             // chain never dangles.
             for commit in &self.commits[index + 1..] {
-                blocks.insert(commit.cid(), commit.to_cbor());
+                let bytes = commit.to_cbor();
+                blocks.insert(Cid::for_cbor(&bytes), bytes);
             }
             // Node set at `since`, by backward replay of the per-commit
             // churn log — O(churn), never a tree rebuild.
@@ -664,7 +714,7 @@ impl Repository {
             }
         }
         Ok(encode_car(
-            &[head.cid()],
+            &[head_cid],
             blocks.iter().map(|(c, b)| (*c, b.as_slice())),
             Some(since),
         ))

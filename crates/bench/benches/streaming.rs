@@ -48,8 +48,8 @@ use bsky_bench::{smoke_mode, BenchGroup};
 use bsky_study::analysis::ModerationAnalyzer;
 use bsky_study::json::Json;
 use bsky_study::pipeline::{Analyzer, Observation, ObservationSink, StudyCtx};
-use bsky_study::{Collector, SnapshotMode, StudyReport};
-use bsky_workload::{ScenarioConfig, World};
+use bsky_study::{Collector, RunSpec, SnapshotMode, StudyReport};
+use bsky_workload::{ScenarioConfig, World, WorldSpec};
 
 fn bench_config() -> ScenarioConfig {
     let mut config = ScenarioConfig::test_scale(17);
@@ -95,8 +95,12 @@ fn main() {
     group.sample_size(5);
 
     // Wall clock: serial single pass vs 4 shards on 4 worker threads.
-    let serial = group.measure("serial_single_pass", || StudyReport::run(config));
-    let sharded = group.measure("sharded_4x4", || StudyReport::run_sharded(config, 4, 4));
+    let serial_spec = RunSpec::new(config);
+    let sharded_spec = RunSpec::new(config).shards(4).jobs(4);
+    let serial = group.measure("serial_single_pass", || {
+        StudyReport::run_serial(&serial_spec)
+    });
+    let sharded = group.measure("sharded_4x4", || StudyReport::run(&sharded_spec));
     let speedup = serial.as_secs_f64() / sharded.as_secs_f64().max(1e-12);
     println!(
         "sharded speedup: {speedup:.2}x over serial ({} CPU(s) available, {:.0} ns/day serial, {:.0} ns/day sharded)",
@@ -209,7 +213,11 @@ fn main() {
     // the trajectory.
     use bsky_atproto::blockstore::StoreConfig;
     let run_with_store = |store: StoreConfig, appview_shards: usize| {
-        let mut world = World::new_store_appview(config, store.clone(), appview_shards);
+        let mut world = World::from_spec(
+            WorldSpec::new(config)
+                .store(store.clone())
+                .appview_shards(appview_shards),
+        );
         let summary = Collector::new()
             .store(store)
             .stream(&mut world, &mut NullSink);
@@ -254,6 +262,30 @@ fn main() {
     assert!(
         mem_store.store_bytes_reclaimed > 0,
         "the weekly compaction pass must reclaim history"
+    );
+
+    // Hot/cold split + write-back cache: same-day counter bumps must
+    // coalesce into single counter-block writes, and the write-back buffer
+    // must absorb repeat touches before the day-boundary flush. The golden
+    // test pins the reports byte-identical with the cache on vs off; this
+    // leg tracks how much write traffic the cache actually saves.
+    let writeback_hit_rate = mem_store.writeback_hits as f64
+        / (mem_store.writeback_hits + mem_store.writeback_misses).max(1) as f64;
+    println!(
+        "write-back cache: {} counter write(s) coalesced, {} flush(es), {:.1} % buffer hit rate ({} hits / {} misses)",
+        mem_store.counter_coalesced_writes,
+        mem_store.writeback_flushes,
+        writeback_hit_rate * 100.0,
+        mem_store.writeback_hits,
+        mem_store.writeback_misses,
+    );
+    assert!(
+        mem_store.counter_coalesced_writes > 0,
+        "the hot/cold split must coalesce counter writes at bench scale"
+    );
+    assert!(
+        mem_store.writeback_flushes > 0 && mem_store.writeback_hits > 0,
+        "the write-back cache must buffer and flush dirty entities at bench scale"
     );
 
     // Wire: MST node entries are prefix-compressed; measure the structural
@@ -307,15 +339,8 @@ fn main() {
     // the raw captures, so it matches every other run of this config — and
     // the active policy's wire accounting in the summary.
     use bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
-    let (framed_report, framed_summary) = StudyReport::run_sharded_framed(
-        config,
-        1,
-        1,
-        SnapshotMode::default(),
-        &StoreConfig::mem(),
-        1,
-        FramingPolicy::new(PaddingPolicy::Buckets, 2),
-    );
+    let framed_spec = RunSpec::new(config).framing(FramingPolicy::new(PaddingPolicy::Buckets, 2));
+    let (framed_report, framed_summary) = StudyReport::run(&framed_spec);
     let observatory = &framed_report.observatory;
     let accuracy_none = observatory.cell_accuracy("none").unwrap_or(0.0);
     let accuracy_bucketed = observatory.cell_accuracy("pad128").unwrap_or(0.0);
@@ -360,17 +385,8 @@ fn main() {
         cursor_gap: 0.05,
         ..FaultSpec::default()
     };
-    let (_, chaos_summary) = StudyReport::run_sharded_faulted(
-        config,
-        1,
-        1,
-        SnapshotMode::default(),
-        &StoreConfig::mem(),
-        1,
-        FramingPolicy::default(),
-        &chaos_spec,
-        Some("chaos"),
-    );
+    let chaos_run = RunSpec::new(config).faults(chaos_spec).scenario("chaos");
+    let (_, chaos_summary) = StudyReport::run(&chaos_run);
     let chaos = &chaos_summary.merged;
     println!(
         "chaos scenario: {} retries ({} ms simulated backoff, {} give-ups), {} outage migrations, {} backfill full fetches, {} storm labels, {} gap drops",
@@ -456,6 +472,12 @@ fn main() {
             .with("observer_accuracy_none", accuracy_none)
             .with("observer_accuracy_bucketed", accuracy_bucketed)
             .with("observer_chance_accuracy", observatory.chance_accuracy)
+            .with(
+                "counter_coalesced_writes",
+                mem_store.counter_coalesced_writes,
+            )
+            .with("writeback_flushes", mem_store.writeback_flushes)
+            .with("writeback_hit_rate", writeback_hit_rate)
             .with("retry_attempts", chaos.retry_attempts)
             .with("retry_backoff_ms", chaos.retry_backoff_ms)
             .with("backfill_full_fetches", chaos.backfill_full_fetches)

@@ -3,98 +3,75 @@
 //!
 //! Usage:
 //!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
-//!         [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream]
-//!         [--batch] [--incremental | --full-snapshots]
+//!         [--jobs N] [--shards N] [--appview-shards N] [--writeback on|off]
+//!         [--json] [--stream] [--batch] [--incremental | --full-snapshots]
 //!         [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]
 //!         [--padding none|buckets|constant] [--batch-window SECS]
 //!         [--scenario NAME | --faults SPEC]
 //!
+//! Every flag maps onto one field of [`bsky_study::RunSpec`] — the single
+//! run description all library entry points take — except the three output
+//! modes: `--json` additionally prints the headline numbers as JSON (the
+//! format EXPERIMENTS.md records), `--stream` prints the streaming
+//! pipeline's summary (observations, peak in-flight events) after the
+//! report, and `--batch` forces the legacy materializing collector.
+//!
 //! `--scale` is the denominator applied to the live network's size
-//! (default 2000 ⇒ ≈2,760 users). `--json` additionally prints the headline
-//! numbers as JSON (the format EXPERIMENTS.md records). `--stream` prints
-//! the streaming pipeline's summary (observations, peak in-flight events)
-//! after the report; `--batch` forces the legacy materializing collector.
-//! `--jobs N` runs the collection sharded: the population is partitioned by
-//! DID hash into `--shards` shards (default: one per job) simulated on `N`
-//! worker threads and merged — the report is byte-identical to the serial
-//! run. `--jobs` must be between 1 and the shard count.
-//! `--seeds`/`--scales` run a whole grid in one call via `StudyBatch` and
-//! print the comparison table instead of a single report.
+//! (default 2000 ⇒ ≈2,760 users). `--jobs N` runs the collection sharded:
+//! the population is partitioned by DID hash into `--shards` shards
+//! (default: one per job) simulated on `N` worker threads and merged — the
+//! report is byte-identical to the serial run. `--seeds`/`--scales` run a
+//! whole grid in one call via `StudyBatch` and print the comparison table
+//! instead of a single report.
 //! `--incremental` (the default) keeps the §3 repositories dataset through
 //! rev-aware weekly syncs with `getRepo(since)` deltas; `--full-snapshots`
-//! restores the window-end full refetch. The reports are byte-identical —
-//! only the fetch traffic in the `--stream` summary differs.
+//! restores the window-end full refetch.
 //! `--store paged` backs every repository, the relay's CAR mirror, the
 //! producer's repo mirror and the AppView's entity blocks with the paged
 //! disk-spill block store (`--page-size` sets the page capacity in bytes,
-//! `--spill-dir` the spill root); the report is byte-identical to
-//! `--store mem` (the default) — only the resident/spilled byte split in
-//! the `--stream` summary differs.
+//! `--spill-dir` the spill root).
 //! `--appview-shards N` partitions the AppView's post/actor indices by
-//! entity hash into `N` store-backed shards (the NUMA-scale configuration
-//! alongside `--store paged`); the report is byte-identical for any count.
+//! entity hash into `N` store-backed shards; `--writeback off` disables the
+//! write-back cache in front of those entity stores (on by default).
 //! `--padding` and `--batch-window` select the wire framing mitigations
-//! (§10): frame padding to 128-byte buckets or a 4096-byte constant, and
-//! coalescing of a connection's events within a window into one frame. The
-//! observatory report sweeps every mitigation cell counterfactually from
-//! the raw captures, so these knobs move only the `--stream` summary's wire
-//! accounting — the report is byte-identical for any policy.
-//! `--scenario NAME` runs one of the named fault scenarios (PDS outage and
-//! mass migration, flaky fetches, DNS flaps, cursor gaps/rewinds, spam
-//! waves, label storms, tombstone storms); `--faults SPEC` injects a custom
-//! `key=value,...` fault specification. Every injected decision is a pure
-//! function of `(seed, DID, day)`, so faulted reports stay byte-identical
-//! serial vs. sharded; the report gains a scenario-impact section with the
-//! named recovery counters.
+//! (§10). `--scenario NAME` runs one of the named fault scenarios;
+//! `--faults SPEC` injects a custom `key=value,...` specification.
 //!
-//! Unknown flags and missing/malformed values are errors (exit code 2).
+//! All of these knobs are observationally transparent: snapshots, stores,
+//! AppView sharding, the write-back cache and framing move only the
+//! `--stream` summary's accounting, and fault placement is a pure function
+//! of `(seed, DID, day)` — the rendered report is byte-identical across
+//! every combination (scenario runs add an impact section).
+//!
+//! Unknown flags, missing/malformed values, and conflicting flags are
+//! errors (exit code 2); flag conflicts are checked centrally by
+//! [`RunSpec::validate`].
 
 use bsky_atproto::blockstore::{StoreConfig, StoreKind};
 use bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
 use bsky_study::faults::{FaultSpec, SCENARIO_NAMES};
-use bsky_study::{SnapshotMode, StudyBatch, StudyReport};
+use bsky_study::{RunSpec, SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS] [--scenario NAME | --faults SPEC]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--writeback on|off] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS] [--scenario NAME | --faults SPEC]";
 
-/// Parsed command line.
+/// Parsed command line: the library [`RunSpec`] plus the CLI-only output
+/// modes.
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
-    seed: u64,
-    scale: u64,
-    seeds: Option<Vec<u64>>,
-    scales: Option<Vec<u64>>,
-    jobs: usize,
-    shards: usize,
-    appview_shards: usize,
+    spec: RunSpec,
     json: bool,
     stream: bool,
     batch: bool,
-    snapshots: SnapshotMode,
-    store: StoreConfig,
-    framing: FramingPolicy,
-    faults: FaultSpec,
-    scenario: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Options {
         Options {
-            seed: 42,
-            scale: 2_000,
-            seeds: None,
-            scales: None,
-            jobs: 1,
-            shards: 1,
-            appview_shards: 1,
+            spec: RunSpec::new(ScenarioConfig::repro_scale(42)),
             json: false,
             stream: false,
             batch: false,
-            snapshots: SnapshotMode::Incremental,
-            store: StoreConfig::mem(),
-            framing: FramingPolicy::default(),
-            faults: FaultSpec::default(),
-            scenario: None,
         }
     }
 }
@@ -123,7 +100,9 @@ fn parse_list(flag: &str, value: Option<&String>) -> Result<Vec<u64>, String> {
 }
 
 /// Parse and validate the full argument list (everything after `argv[0]`).
-/// Returns `Ok(None)` for `--help`.
+/// Returns `Ok(None)` for `--help`. Flag syntax (unknown flags, malformed
+/// values, flags requiring other flags) is checked here; every cross-knob
+/// conflict is delegated to [`RunSpec::validate`].
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options::default();
     let mut shards: Option<usize> = None;
@@ -140,23 +119,23 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
-                opts.seed = parse_value("--seed", args.get(i + 1))?;
+                opts.spec.config.seed = parse_value("--seed", args.get(i + 1))?;
                 i += 1;
             }
             "--scale" => {
-                opts.scale = parse_value("--scale", args.get(i + 1))?;
+                opts.spec.config.scale = parse_value("--scale", args.get(i + 1))?;
                 i += 1;
             }
             "--seeds" => {
-                opts.seeds = Some(parse_list("--seeds", args.get(i + 1))?);
+                opts.spec.seeds = parse_list("--seeds", args.get(i + 1))?;
                 i += 1;
             }
             "--scales" => {
-                opts.scales = Some(parse_list("--scales", args.get(i + 1))?);
+                opts.spec.scales = parse_list("--scales", args.get(i + 1))?;
                 i += 1;
             }
             "--jobs" => {
-                opts.jobs = parse_value("--jobs", args.get(i + 1))?;
+                opts.spec.jobs = parse_value("--jobs", args.get(i + 1))?;
                 i += 1;
             }
             "--shards" => {
@@ -164,7 +143,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 i += 1;
             }
             "--appview-shards" => {
-                opts.appview_shards = parse_value("--appview-shards", args.get(i + 1))?;
+                opts.spec.appview_shards = parse_value("--appview-shards", args.get(i + 1))?;
+                i += 1;
+            }
+            "--writeback" => {
+                let value: String = parse_value("--writeback", args.get(i + 1))?;
+                opts.spec.write_back = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --writeback: {other:?} (expected on or off)"
+                        ))
+                    }
+                };
                 i += 1;
             }
             "--store" => {
@@ -226,96 +218,52 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         return Err("--incremental and --full-snapshots are mutually exclusive".into());
     }
     if full_snapshots_flag {
-        opts.snapshots = SnapshotMode::FullRefetch;
-    }
-    if full_snapshots_flag && (opts.seeds.is_some() || opts.scales.is_some()) {
-        return Err("--full-snapshots cannot be combined with --seeds/--scales".into());
-    }
-    if opts.scale == 0 {
-        return Err("--scale must be positive".into());
-    }
-    if let Some(scales) = &opts.scales {
-        if scales.contains(&0) {
-            return Err("--scales entries must be positive".into());
-        }
-    }
-    if opts.jobs == 0 {
-        return Err("--jobs must be at least 1".into());
-    }
-    if opts.appview_shards == 0 {
-        return Err("--appview-shards must be at least 1".into());
-    }
-    if opts.appview_shards > 1 && (opts.seeds.is_some() || opts.scales.is_some()) {
-        return Err("--appview-shards cannot be combined with --seeds/--scales".into());
+        opts.spec.snapshots = SnapshotMode::FullRefetch;
     }
     // The shard count defaults to one shard per worker; an explicit
     // `--shards` may exceed the worker count (more shards than threads is
-    // fine — they queue) but never the other way around.
-    opts.shards = shards.unwrap_or(opts.jobs);
-    if opts.shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
-    if opts.jobs > opts.shards {
-        return Err(format!(
-            "--jobs ({}) exceeds the shard count ({}); use --shards {} or fewer jobs",
-            opts.jobs, opts.shards, opts.jobs
-        ));
-    }
-    if opts.batch && (opts.jobs > 1 || opts.shards > 1) {
+    // fine — they queue) but never the other way around (validate checks).
+    opts.spec.shards = shards.unwrap_or(opts.spec.jobs);
+    if opts.batch && (opts.spec.jobs > 1 || opts.spec.shards > 1) {
         return Err("--batch cannot be combined with --jobs/--shards".into());
     }
-    if (opts.seeds.is_some() || opts.scales.is_some()) && opts.batch {
+    if opts.batch && opts.spec.is_grid() {
         return Err("--batch cannot be combined with --seeds/--scales".into());
     }
-    if (opts.seeds.is_some() || opts.scales.is_some()) && (opts.jobs > 1 || opts.shards > 1) {
-        return Err("--jobs/--shards cannot be combined with --seeds/--scales".into());
-    }
     // Block-store selection: page geometry only makes sense for the paged
-    // backend, and grid runs always use the in-memory default.
+    // backend.
     let kind = store_kind.unwrap_or(StoreKind::Mem);
     if kind == StoreKind::Mem && (page_size.is_some() || spill_dir.is_some()) {
         return Err("--page-size/--spill-dir require --store paged".into());
-    }
-    if kind == StoreKind::Paged && (opts.seeds.is_some() || opts.scales.is_some()) {
-        return Err("--store paged cannot be combined with --seeds/--scales".into());
     }
     if let Some(bytes) = page_size {
         if bytes == 0 {
             return Err("--page-size must be positive".into());
         }
     }
-    // Wire framing mitigations: compose with every single-scenario mode;
-    // grid runs always use the unmitigated default.
-    opts.framing = FramingPolicy::new(padding.unwrap_or_default(), batch_window.unwrap_or(0));
-    if opts.framing.is_mitigating() && (opts.seeds.is_some() || opts.scales.is_some()) {
-        return Err("--padding/--batch-window cannot be combined with --seeds/--scales".into());
-    }
+    opts.spec.framing = FramingPolicy::new(padding.unwrap_or_default(), batch_window.unwrap_or(0));
     // Fault injection: one source of faults per run (a named scenario or a
-    // custom spec), single-scenario streaming engine only — the batch path
-    // and grid runs stay quiet by construction.
+    // custom spec); the batch path stays quiet by construction.
     if scenario.is_some() && faults_spec.is_some() {
         return Err("--scenario and --faults are mutually exclusive".into());
     }
     if let Some(name) = &scenario {
-        opts.faults = FaultSpec::scenario(name).ok_or_else(|| {
+        opts.spec.faults = FaultSpec::scenario(name).ok_or_else(|| {
             format!(
                 "unknown scenario {name:?} (expected one of: {})",
                 SCENARIO_NAMES.join(", ")
             )
         })?;
-        opts.scenario = Some(name.clone());
+        opts.spec.scenario = Some(name.clone());
     }
     if let Some(spec) = &faults_spec {
-        opts.faults = FaultSpec::parse(spec).map_err(|e| format!("invalid --faults spec: {e}"))?;
+        opts.spec.faults =
+            FaultSpec::parse(spec).map_err(|e| format!("invalid --faults spec: {e}"))?;
     }
-    let faulted = scenario.is_some() || faults_spec.is_some();
-    if faulted && opts.batch {
+    if opts.batch && !opts.spec.faults.is_quiet() {
         return Err("--scenario/--faults cannot be combined with --batch".into());
     }
-    if faulted && (opts.seeds.is_some() || opts.scales.is_some()) {
-        return Err("--scenario/--faults cannot be combined with --seeds/--scales".into());
-    }
-    opts.store = match kind {
+    opts.spec.store = match kind {
         StoreKind::Mem => StoreConfig::mem(),
         StoreKind::Paged => {
             let mut store = StoreConfig::paged();
@@ -328,6 +276,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             store
         }
     };
+    // Every remaining conflict rule lives in one place for the CLI and
+    // library callers alike.
+    opts.spec.validate()?;
     Ok(Some(opts))
 }
 
@@ -347,12 +298,11 @@ fn main() {
         }
         Err(message) => usage_error(&message),
     };
+    let spec = &opts.spec;
 
     // Grid mode: N seeds × M scales through the StudyBatch runner.
-    if opts.seeds.is_some() || opts.scales.is_some() {
-        let seeds = opts.seeds.clone().unwrap_or_else(|| vec![opts.seed]);
-        let scales = opts.scales.clone().unwrap_or_else(|| vec![opts.scale]);
-        let grid = StudyBatch::grid(ScenarioConfig::repro_scale(opts.seed), &seeds, &scales);
+    if spec.is_grid() {
+        let grid = StudyBatch::from_spec(spec);
         eprintln!("running study batch: {} scenarios...", grid.len());
         let runs = grid.run();
         if opts.stream {
@@ -374,37 +324,19 @@ fn main() {
         return;
     }
 
-    let mut config = ScenarioConfig::repro_scale(opts.seed);
-    config.scale = opts.scale;
     eprintln!(
         "running study: seed {}, scale 1:{} (≈{} users, {} simulated days, {} shard(s) on {} thread(s))...",
-        opts.seed,
-        opts.scale,
-        config.target_users(),
-        config.total_days(),
-        opts.shards,
-        opts.jobs,
+        spec.config.seed,
+        spec.config.scale,
+        spec.config.target_users(),
+        spec.config.total_days(),
+        spec.shards,
+        spec.jobs,
     );
     let report = if opts.batch {
-        StudyReport::run_batch_framed(
-            config,
-            opts.snapshots,
-            &opts.store,
-            opts.appview_shards,
-            opts.framing,
-        )
+        StudyReport::run_batch(spec)
     } else {
-        let (report, summary) = StudyReport::run_sharded_faulted(
-            config,
-            opts.shards,
-            opts.jobs,
-            opts.snapshots,
-            &opts.store,
-            opts.appview_shards,
-            opts.framing,
-            &opts.faults,
-            opts.scenario.as_deref(),
-        );
+        let (report, summary) = StudyReport::run(spec);
         if opts.stream {
             eprint!("{}", summary.render());
         }
@@ -428,18 +360,21 @@ mod tests {
     fn defaults_parse() {
         let opts = parse_args(&[]).unwrap().unwrap();
         assert_eq!(opts, Options::default());
+        assert_eq!(opts.spec.config.seed, 42);
+        assert_eq!(opts.spec.config.scale, 2_000);
+        assert!(opts.spec.write_back);
     }
 
     #[test]
     fn jobs_and_shards_parse() {
         let opts = parse_args(&args(&["--jobs", "4"])).unwrap().unwrap();
-        assert_eq!(opts.jobs, 4);
-        assert_eq!(opts.shards, 4, "shards default to one per job");
+        assert_eq!(opts.spec.jobs, 4);
+        assert_eq!(opts.spec.shards, 4, "shards default to one per job");
         let opts = parse_args(&args(&["--jobs", "2", "--shards", "8"]))
             .unwrap()
             .unwrap();
-        assert_eq!(opts.jobs, 2);
-        assert_eq!(opts.shards, 8);
+        assert_eq!(opts.spec.jobs, 2);
+        assert_eq!(opts.spec.shards, 8);
     }
 
     #[test]
@@ -477,11 +412,11 @@ mod tests {
     #[test]
     fn appview_shards_flag_parses() {
         let opts = parse_args(&[]).unwrap().unwrap();
-        assert_eq!(opts.appview_shards, 1);
+        assert_eq!(opts.spec.appview_shards, 1);
         let opts = parse_args(&args(&["--appview-shards", "4"]))
             .unwrap()
             .unwrap();
-        assert_eq!(opts.appview_shards, 4);
+        assert_eq!(opts.spec.appview_shards, 4);
         // Composes with the engine shards, store backends and batch mode.
         let opts = parse_args(&args(&[
             "--appview-shards",
@@ -493,7 +428,7 @@ mod tests {
         ]))
         .unwrap()
         .unwrap();
-        assert_eq!(opts.appview_shards, 4);
+        assert_eq!(opts.spec.appview_shards, 4);
         assert!(parse_args(&args(&["--appview-shards", "2", "--batch"])).is_ok());
         // Errors: zero, missing/garbage values, grid runs.
         assert!(parse_args(&args(&["--appview-shards", "0"])).is_err());
@@ -503,27 +438,53 @@ mod tests {
     }
 
     #[test]
+    fn writeback_flag_parses() {
+        let opts = parse_args(&args(&["--writeback", "on"])).unwrap().unwrap();
+        assert!(opts.spec.write_back);
+        let opts = parse_args(&args(&["--writeback", "off"])).unwrap().unwrap();
+        assert!(!opts.spec.write_back);
+        // Composes with sharding, stores and batch mode.
+        let opts = parse_args(&args(&[
+            "--writeback",
+            "off",
+            "--appview-shards",
+            "4",
+            "--store",
+            "paged",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert!(!opts.spec.write_back);
+        assert!(parse_args(&args(&["--writeback", "off", "--batch"])).is_ok());
+        // Errors: bad/missing values.
+        assert!(parse_args(&args(&["--writeback", "maybe"])).is_err());
+        assert!(parse_args(&args(&["--writeback"])).is_err());
+    }
+
+    #[test]
     fn snapshot_mode_flags_parse() {
         let opts = parse_args(&[]).unwrap().unwrap();
-        assert_eq!(opts.snapshots, SnapshotMode::Incremental);
+        assert_eq!(opts.spec.snapshots, SnapshotMode::Incremental);
         let opts = parse_args(&args(&["--incremental"])).unwrap().unwrap();
-        assert_eq!(opts.snapshots, SnapshotMode::Incremental);
+        assert_eq!(opts.spec.snapshots, SnapshotMode::Incremental);
         let opts = parse_args(&args(&["--full-snapshots"])).unwrap().unwrap();
-        assert_eq!(opts.snapshots, SnapshotMode::FullRefetch);
+        assert_eq!(opts.spec.snapshots, SnapshotMode::FullRefetch);
         // The snapshot mode composes with sharding and batch mode.
         let opts = parse_args(&args(&["--full-snapshots", "--jobs", "2"]))
             .unwrap()
             .unwrap();
-        assert_eq!(opts.snapshots, SnapshotMode::FullRefetch);
+        assert_eq!(opts.spec.snapshots, SnapshotMode::FullRefetch);
         assert!(parse_args(&args(&["--batch", "--full-snapshots"])).is_ok());
     }
 
     #[test]
     fn store_flags_parse() {
         let opts = parse_args(&[]).unwrap().unwrap();
-        assert_eq!(opts.store.kind, StoreKind::Mem);
+        assert_eq!(opts.spec.store.kind, StoreKind::Mem);
         let opts = parse_args(&args(&["--store", "paged"])).unwrap().unwrap();
-        assert_eq!(opts.store.kind, StoreKind::Paged);
+        assert_eq!(opts.spec.store.kind, StoreKind::Paged);
         let opts = parse_args(&args(&[
             "--store",
             "paged",
@@ -534,8 +495,8 @@ mod tests {
         ]))
         .unwrap()
         .unwrap();
-        assert_eq!(opts.store.page_size, 4096);
-        assert_eq!(opts.store.spill_dir.as_deref(), Some("/tmp/spill"));
+        assert_eq!(opts.spec.store.page_size, 4096);
+        assert_eq!(opts.spec.store.spill_dir.as_deref(), Some("/tmp/spill"));
         // The store composes with sharding, snapshot modes and batch mode.
         assert!(parse_args(&args(&["--store", "paged", "--jobs", "2"])).is_ok());
         assert!(parse_args(&args(&["--store", "paged", "--batch"])).is_ok());
@@ -556,18 +517,18 @@ mod tests {
     #[test]
     fn framing_flags_parse() {
         let opts = parse_args(&[]).unwrap().unwrap();
-        assert_eq!(opts.framing, FramingPolicy::default());
-        assert!(!opts.framing.is_mitigating());
+        assert_eq!(opts.spec.framing, FramingPolicy::default());
+        assert!(!opts.spec.framing.is_mitigating());
         let opts = parse_args(&args(&["--padding", "buckets", "--batch-window", "60"]))
             .unwrap()
             .unwrap();
-        assert_eq!(opts.framing.padding, PaddingPolicy::Buckets);
-        assert_eq!(opts.framing.batch.window_secs, 60);
+        assert_eq!(opts.spec.framing.padding, PaddingPolicy::Buckets);
+        assert_eq!(opts.spec.framing.batch.window_secs, 60);
         let opts = parse_args(&args(&["--padding", "constant"]))
             .unwrap()
             .unwrap();
-        assert_eq!(opts.framing.padding, PaddingPolicy::Constant);
-        assert_eq!(opts.framing.batch.window_secs, 0);
+        assert_eq!(opts.spec.framing.padding, PaddingPolicy::Constant);
+        assert_eq!(opts.spec.framing.batch.window_secs, 0);
         // Composes with sharding, stores, snapshot modes and batch mode.
         assert!(parse_args(&args(&[
             "--padding",
@@ -598,18 +559,18 @@ mod tests {
     #[test]
     fn scenario_and_faults_flags_parse() {
         let opts = parse_args(&[]).unwrap().unwrap();
-        assert!(opts.faults.is_quiet());
-        assert_eq!(opts.scenario, None);
+        assert!(opts.spec.faults.is_quiet());
+        assert_eq!(opts.spec.scenario, None);
         let opts = parse_args(&args(&["--scenario", "pds-migration"]))
             .unwrap()
             .unwrap();
-        assert!(!opts.faults.is_quiet());
-        assert_eq!(opts.scenario.as_deref(), Some("pds-migration"));
+        assert!(!opts.spec.faults.is_quiet());
+        assert_eq!(opts.spec.scenario.as_deref(), Some("pds-migration"));
         let opts = parse_args(&args(&["--faults", "flaky=0.2,gap=0.05"]))
             .unwrap()
             .unwrap();
-        assert!(!opts.faults.is_quiet());
-        assert_eq!(opts.scenario, None);
+        assert!(!opts.spec.faults.is_quiet());
+        assert_eq!(opts.spec.scenario, None);
         // Composes with sharding, stores, snapshot modes and framing.
         assert!(parse_args(&args(&[
             "--scenario",

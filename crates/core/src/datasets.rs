@@ -725,7 +725,7 @@ impl Collector {
 
     /// Select the block-store backend for the producer's repo mirror
     /// (builder style). The world's own stores are chosen when the world is
-    /// built — see [`World::new_store`].
+    /// built — see [`bsky_workload::WorldSpec`] / [`crate::RunSpec::store`].
     pub fn store(mut self, store: StoreConfig) -> Collector {
         self.store_config = store;
         self
@@ -964,6 +964,14 @@ impl Collector {
         // indexed (post deleted, or label raced the post) — counted like
         // `repo_snapshot_skips`, never silently dropped.
         summary.appview_labels_preindex = world.appview.index().labels_preindex();
+        // Hot/cold-split accounting: counter writes the dirty maps
+        // coalesced, and the write-back caches' hit/flush traffic (the
+        // AppView's stores are the only write-back-wrapped ones, so the
+        // absorbed totals are AppView totals).
+        summary.counter_coalesced_writes = world.appview_counter_coalesced_writes();
+        summary.writeback_flushes = store_stats.writeback_flushes;
+        summary.writeback_hits = store_stats.writeback_hits;
+        summary.writeback_misses = store_stats.writeback_misses;
         // Workload-side injected-fault accounting (outage migrations, spam
         // waves, label/tombstone storms) flows into the same summary so
         // every injected fault in a scenario run shows up as a named

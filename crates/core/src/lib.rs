@@ -29,10 +29,18 @@
 //!   hash, one producer + analyzer set runs per shard on worker threads,
 //!   and the per-shard states are merged (every analyzer implements an
 //!   associative `merge`) into a report byte-identical to the serial run's.
-//! * [`report`] — [`StudyReport::run`] computes the full report in **one
-//!   pass with bounded memory** (firehose events are never retained),
-//!   [`StudyReport::run_sharded`] does the same across worker threads, and
-//!   [`report::StudyBatch`] runs whole seed × scale grids.
+//! * [`spec`] — [`RunSpec`], the one builder every run flows through:
+//!   seeds, scales, engine shards and worker threads, snapshot mode,
+//!   block-store backend, AppView entity shards, the write-back cache,
+//!   wire framing, and fault scenario all live on it, and
+//!   [`RunSpec::validate`] rejects inconsistent combinations up front.
+//! * [`report`] — the entry points, all taking a `&RunSpec`:
+//!   [`StudyReport::run`] computes the full report across worker threads
+//!   in **one pass with bounded memory** (firehose events are never
+//!   retained), [`StudyReport::run_serial`] produces the byte-identical
+//!   report on one thread, [`StudyReport::run_batch`] drives the legacy
+//!   materializing collector, and [`report::StudyBatch`] runs whole
+//!   seed × scale grids.
 //! * [`stats`] — quantiles, Pearson correlation, share tables.
 //! * [`langdetect`] — the language detector used on feed descriptions.
 //! * [`json`] — a dependency-free JSON tree for the headline-number export.
@@ -43,10 +51,10 @@
 //! [`bsky_simnet::faults`] (re-exported here as [`faults`]). A
 //! [`faults::FaultSpec`] — one of the named scenarios (`repro --scenario
 //! pds-migration`, `label-storm`, `cursor-gap`, …) or a custom
-//! `key=value` spec (`repro --faults flaky=0.2,gap=0.05`) — is compiled
-//! into a [`faults::FaultPlan`] for the run's day window and shared by
-//! every shard's world and producer
-//! ([`StudyReport::run_sharded_faulted`]).
+//! `key=value` spec (`repro --faults flaky=0.2,gap=0.05`) — is attached
+//! via [`RunSpec::scenario`] / [`RunSpec::faults`], compiled into a
+//! [`faults::FaultPlan`] for the run's day window, and shared by every
+//! shard's world and producer.
 //!
 //! Two invariants make faulted runs first-class citizens of the
 //! equivalence suite rather than a separate mode:
@@ -76,6 +84,7 @@ pub mod observatory;
 pub mod pipeline;
 pub mod report;
 pub mod shard;
+pub mod spec;
 pub mod stats;
 
 pub use bsky_simnet::faults;
@@ -83,4 +92,5 @@ pub use datasets::{Collector, Datasets, IncrementalRepoMirror, SnapshotMode};
 pub use observatory::{ActivityClass, ObservatoryAnalyzer, ObservatoryReport, WireTraceDay};
 pub use pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx, StudyEngine};
 pub use report::{StudyBatch, StudyReport};
-pub use shard::{ShardedSummary, StudyAnalyzers};
+pub use shard::{collect_sharded, ShardSink, ShardedSummary, StudyAnalyzers};
+pub use spec::RunSpec;

@@ -371,6 +371,18 @@ pub struct StreamSummary {
     /// raced the post). Counted like `repo_snapshot_skips` — a visible
     /// dataset gap, never a silent drop.
     pub appview_labels_preindex: u64,
+    /// AppView counter mutations coalesced into an already-dirty entity by
+    /// the hot/cold split — entity-block rewrite cycles the run did *not*
+    /// pay compared to the one-block-per-entity design.
+    pub counter_coalesced_writes: u64,
+    /// Write-back cache drains across the AppView's entity stores (one per
+    /// shard per day boundary with a non-empty buffer). Zero when the cache
+    /// is off (`--writeback off`).
+    pub writeback_flushes: u64,
+    /// Block reads served out of the write-back cache's dirty buffer.
+    pub writeback_hits: u64,
+    /// Block reads that fell through the write-back buffer to the backend.
+    pub writeback_misses: u64,
     /// Identity-resolution lookups the producer issued against the DNS
     /// zone store (`_atproto.<handle>` TXT) while riding the weekly
     /// `sync.listRepos` snapshots.
@@ -465,6 +477,15 @@ impl StreamSummary {
                 self.appview_labels_preindex
             ));
         }
+        if self.counter_coalesced_writes > 0 || self.writeback_flushes > 0 {
+            out.push_str(&format!(
+                "; hot/cold: {} counter write(s) coalesced, write-back {} flush(es), {} hit(s), {} miss(es)",
+                self.counter_coalesced_writes,
+                self.writeback_flushes,
+                self.writeback_hits,
+                self.writeback_misses
+            ));
+        }
         if self.retry_attempts > 0 || self.fetch_retry_giveups > 0 || self.dns_retry_giveups > 0 {
             out.push_str(&format!(
                 "; retries: {} attempts over {} ms backoff, {} fetch give-up(s), {} dns give-up(s)",
@@ -530,6 +551,10 @@ impl StreamSummary {
         self.spilled_block_bytes += other.spilled_block_bytes;
         self.store_corrupt_reads += other.store_corrupt_reads;
         self.appview_labels_preindex += other.appview_labels_preindex;
+        self.counter_coalesced_writes += other.counter_coalesced_writes;
+        self.writeback_flushes += other.writeback_flushes;
+        self.writeback_hits += other.writeback_hits;
+        self.writeback_misses += other.writeback_misses;
         self.identity_lookups += other.identity_lookups;
         self.wire_frames += other.wire_frames;
         self.padding_overhead_bytes += other.padding_overhead_bytes;

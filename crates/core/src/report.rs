@@ -2,42 +2,37 @@
 //! pass — serially or sharded across worker threads — and render or
 //! serialise the results.
 //!
-//! [`StudyReport::run`] is built on the streaming pipeline: it drives the
-//! world once with [`Collector::stream`] into the eight incremental
-//! analyzers and assembles the report from their outputs — firehose events
-//! are never retained. [`StudyReport::run_sharded`] partitions the
-//! population by DID hash, runs one producer + analyzer set per shard on
-//! worker threads, and merges the states in shard order; the result is
-//! byte-identical to the serial run for any shard count. The legacy batch
-//! path is kept as [`StudyReport::run_batch`] / [`StudyReport::from_collected`],
-//! which materialize [`Datasets`] first; all paths produce identical
-//! reports (the golden equivalence test in `tests/` pins this).
-//! [`StudyBatch`] runs a whole grid of scenarios (N seeds × M scales) in one
-//! call.
+//! Every entry point takes one [`RunSpec`]: [`StudyReport::run`] drives the
+//! sharded streaming engine ([`crate::shard::collect_sharded`]) and
+//! assembles the report from the merged analyzer states — firehose events
+//! are never retained, and the result is byte-identical to the serial
+//! run's for any `(shards, jobs)`. [`StudyReport::run_serial`] is the
+//! single-shard convenience (report + [`StreamSummary`]).
+//! [`StudyReport::run_batch`] is the legacy materializing path: collect
+//! [`Datasets`] first, then compute every analysis from the vectors — all
+//! paths produce identical reports (the golden equivalence test in
+//! `tests/` pins this). [`StudyBatch::from_spec`] expands a spec's
+//! seed × scale grid and runs every cell through the streaming engine.
 
 use crate::analysis::{
     activity_series, firehose_volume, identity_report, moderation_report, recommendation_report,
     section4_accounts, table1_firehose_breakdown, table5_feature_matrix, ActivitySeries,
     FirehoseVolume, IdentityReport, ModerationReport, RecommendationReport, Section4, Table1,
 };
-use crate::datasets::{Collector, Datasets, SnapshotMode};
+use crate::datasets::{Collector, Datasets};
 use crate::json::Json;
 use crate::observatory::{observatory_report, ObservatoryReport};
 use crate::pipeline::{Analyzer, StreamSummary, StudyCtx};
-use crate::shard::{
-    collect_sharded_faulted, collect_sharded_framed, ShardedSummary, StudyAnalyzers,
-};
-use bsky_atproto::blockstore::StoreConfig;
-use bsky_atproto::framing::FramingPolicy;
-use bsky_simnet::faults::{FaultPlan, FaultSpec};
-use bsky_workload::{ScenarioConfig, World};
-use std::sync::Arc;
+use crate::shard::{collect_sharded, ShardedSummary, StudyAnalyzers};
+use crate::spec::RunSpec;
+use bsky_workload::{ScenarioConfig, World, WorldSpec};
 
 /// The injected-fault impact section of a scenario run's report: the named
 /// recovery-path counters from the merged [`StreamSummary`], rendered as
 /// their own report section. Present only on runs launched with a non-quiet
-/// [`FaultSpec`] (repro `--scenario` / `--faults`) — quiet runs carry
-/// `None` and their reports stay byte-identical to pre-fault-layer output.
+/// [`RunSpec::faults`] spec (repro `--scenario` / `--faults`) — quiet runs
+/// carry `None` and their reports stay byte-identical to pre-fault-layer
+/// output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultImpact {
     /// Scenario name (or `custom` for a `--faults` spec).
@@ -170,157 +165,40 @@ pub struct StudyReport {
 }
 
 impl StudyReport {
-    /// Run the full pipeline in streaming mode: build the world, fold every
-    /// observation into the incremental analyzers, and compute the whole
-    /// report in a single pass without retaining the firehose.
-    pub fn run(config: ScenarioConfig) -> StudyReport {
-        StudyReport::run_streaming(config).0
-    }
-
-    /// [`StudyReport::run`] plus the producer's [`StreamSummary`] (days,
-    /// observation counts, peak in-flight events).
-    pub fn run_streaming(config: ScenarioConfig) -> (StudyReport, StreamSummary) {
-        let (report, summary) = StudyReport::run_sharded(config, 1, 1);
-        (report, summary.merged)
-    }
-
-    /// Run the collection sharded: the population is split into `shards`
+    /// Run the full pipeline described by `spec` through the sharded
+    /// streaming engine: the population is split into [`RunSpec::shards`]
     /// DID-hash partitions, each simulated and analyzed independently (at
-    /// most `jobs` on worker threads at once), and the analyzer states are
-    /// merged in shard order. Produces a report **byte-identical** to the
-    /// serial run for any `(shards, jobs)` — the golden equivalence test
-    /// pins this — while the wall clock scales with the worker count.
+    /// most [`RunSpec::jobs`] on worker threads at once), and the analyzer
+    /// states are merged in shard order. Every observation folds into the
+    /// incremental analyzers — the firehose is never retained — and the
+    /// report is **byte-identical** to the serial run's for any
+    /// `(shards, jobs)`, store backend, AppView sharding, write-back
+    /// setting, or framing policy; the golden equivalence test pins this.
     ///
-    /// Panics unless `1 <= jobs <= shards`.
-    pub fn run_sharded(
-        config: ScenarioConfig,
-        shards: usize,
-        jobs: usize,
-    ) -> (StudyReport, ShardedSummary) {
-        StudyReport::run_sharded_with(config, shards, jobs, SnapshotMode::default())
-    }
-
-    /// [`StudyReport::run_sharded`] with an explicit repository
-    /// [`SnapshotMode`]. Incremental weekly syncs and the window-end full
-    /// refetch produce byte-identical reports — only the fetch traffic in
-    /// the summary differs; the golden equivalence test pins this.
-    pub fn run_sharded_with(
-        config: ScenarioConfig,
-        shards: usize,
-        jobs: usize,
-        mode: SnapshotMode,
-    ) -> (StudyReport, ShardedSummary) {
-        StudyReport::run_sharded_store(config, shards, jobs, mode, &StoreConfig::default())
-    }
-
-    /// [`StudyReport::run_sharded_with`] with an explicit block-store
-    /// backend (repro `--store mem|paged`): every shard's repositories,
-    /// relay mirror and producer mirror use it. Backends change only where
-    /// blocks reside, never a byte of the report — the golden equivalence
-    /// test pins mem == paged, serial and sharded.
-    pub fn run_sharded_store(
-        config: ScenarioConfig,
-        shards: usize,
-        jobs: usize,
-        mode: SnapshotMode,
-        store: &StoreConfig,
-    ) -> (StudyReport, ShardedSummary) {
-        StudyReport::run_sharded_appview(config, shards, jobs, mode, store, 1)
-    }
-
-    /// [`StudyReport::run_sharded_store`] with an explicit AppView
-    /// entity-shard count (repro `--appview-shards N`): every engine
-    /// shard's world partitions its AppView indices by entity hash across
-    /// `appview_shards` store-backed shards. Entity sharding changes only
-    /// residency — the golden equivalence test pins the report byte-
-    /// identical across appview shard counts × store backends, serial and
-    /// sharded.
-    pub fn run_sharded_appview(
-        config: ScenarioConfig,
-        shards: usize,
-        jobs: usize,
-        mode: SnapshotMode,
-        store: &StoreConfig,
-        appview_shards: usize,
-    ) -> (StudyReport, ShardedSummary) {
-        StudyReport::run_sharded_framed(
-            config,
-            shards,
-            jobs,
-            mode,
-            store,
-            appview_shards,
-            FramingPolicy::default(),
-        )
-    }
-
-    /// [`StudyReport::run_sharded_appview`] with an explicit wire
-    /// [`FramingPolicy`] (repro `--padding` / `--batch-window`): every
-    /// shard's producer pads and batches its own firehose wire under the
-    /// policy. The §10 observatory evaluates its whole mitigation sweep
-    /// counterfactually from the raw captures, so the report is
-    /// byte-identical for any policy — only the summary's wire accounting
-    /// moves; the golden equivalence test pins this.
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_sharded_framed(
-        config: ScenarioConfig,
-        shards: usize,
-        jobs: usize,
-        mode: SnapshotMode,
-        store: &StoreConfig,
-        appview_shards: usize,
-        framing: FramingPolicy,
-    ) -> (StudyReport, ShardedSummary) {
-        let (analyzers, world, summary) =
-            collect_sharded_framed(config, shards, jobs, mode, store, appview_shards, framing);
-        (
-            StudyReport::from_analyzers(config, analyzers, &world),
-            summary,
-        )
-    }
-
-    /// [`StudyReport::run_sharded_framed`] with an injected [`FaultSpec`]
-    /// (repro `--scenario NAME` / `--faults SPEC`): builds the
-    /// [`FaultPlan`] for the run's day window, shares it across every
-    /// shard's world and producer, and — for non-quiet specs — attaches a
-    /// [`FaultImpact`] section built from the merged summary. Fault
-    /// placement derives purely from `(seed, DID, day)`, so the report is
-    /// byte-identical serial vs. sharded and mem vs. paged for any spec;
-    /// the quiet spec produces output byte-identical to
-    /// [`StudyReport::run_sharded_framed`].
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_sharded_faulted(
-        config: ScenarioConfig,
-        shards: usize,
-        jobs: usize,
-        mode: SnapshotMode,
-        store: &StoreConfig,
-        appview_shards: usize,
-        framing: FramingPolicy,
-        spec: &FaultSpec,
-        scenario: Option<&str>,
-    ) -> (StudyReport, ShardedSummary) {
-        let total_days = config.end.days_since(config.start).max(0) as usize;
-        let faults = Arc::new(FaultPlan::build(config.seed, total_days, spec.clone()));
-        let quiet = faults.spec().is_quiet();
-        let (analyzers, world, summary) = collect_sharded_faulted(
-            config,
-            shards,
-            jobs,
-            mode,
-            store,
-            appview_shards,
-            framing,
-            &faults,
-        );
-        let mut report = StudyReport::from_analyzers(config, analyzers, &world);
-        if !quiet {
+    /// Non-quiet [`RunSpec::faults`] specs attach a [`FaultImpact`] section
+    /// labelled by [`RunSpec::scenario`] (`custom` when unlabelled).
+    ///
+    /// Panics on an invalid or grid spec (see [`RunSpec::validate`]; run
+    /// grids via [`StudyBatch::from_spec`]).
+    pub fn run(spec: &RunSpec) -> (StudyReport, ShardedSummary) {
+        let (analyzers, world, summary) = collect_sharded(spec, StudyAnalyzers::new());
+        let mut report = StudyReport::from_analyzers(spec.config, analyzers, &world);
+        if !spec.faults.is_quiet() {
             report.faults = Some(FaultImpact::from_summary(
-                scenario.unwrap_or("custom"),
+                spec.scenario.as_deref().unwrap_or("custom"),
                 &summary.merged,
             ));
         }
         (report, summary)
+    }
+
+    /// [`StudyReport::run`] coerced to one shard on one thread, returning
+    /// the producer's plain [`StreamSummary`] (days, observation counts,
+    /// peak in-flight events) instead of the sharded wrapper.
+    pub fn run_serial(spec: &RunSpec) -> (StudyReport, StreamSummary) {
+        let serial = spec.clone().shards(1).jobs(1);
+        let (report, summary) = StudyReport::run(&serial);
+        (report, summary.merged)
     }
 
     /// Assemble the report from a (merged) analyzer set. The world provides
@@ -346,63 +224,33 @@ impl StudyReport {
         }
     }
 
-    /// Run the legacy batch pipeline: materialize all six datasets in
-    /// memory, then compute every analysis from the vectors. Retains the
+    /// Run the legacy batch pipeline for `spec`: materialize all six
+    /// datasets in memory, then compute every analysis from the vectors.
+    /// Runs serially (the spec's `shards`/`jobs`/`faults` are the streaming
+    /// engine's concerns) but honors the snapshot mode, store backend,
+    /// AppView sharding, write-back cache, and framing policy. Retains the
     /// firehose for the whole run; use [`StudyReport::run`] unless the
     /// materialized [`Datasets`] are needed.
-    pub fn run_batch(config: ScenarioConfig) -> StudyReport {
-        StudyReport::run_batch_with(config, SnapshotMode::default())
-    }
-
-    /// [`StudyReport::run_batch`] with an explicit repository
-    /// [`SnapshotMode`].
-    pub fn run_batch_with(config: ScenarioConfig, mode: SnapshotMode) -> StudyReport {
-        StudyReport::run_batch_store(config, mode, &StoreConfig::default())
-    }
-
-    /// [`StudyReport::run_batch_with`] with an explicit block-store
-    /// backend.
-    pub fn run_batch_store(
-        config: ScenarioConfig,
-        mode: SnapshotMode,
-        store: &StoreConfig,
-    ) -> StudyReport {
-        StudyReport::run_batch_appview(config, mode, store, 1)
-    }
-
-    /// [`StudyReport::run_batch_store`] with an explicit AppView
-    /// entity-shard count.
-    pub fn run_batch_appview(
-        config: ScenarioConfig,
-        mode: SnapshotMode,
-        store: &StoreConfig,
-        appview_shards: usize,
-    ) -> StudyReport {
-        StudyReport::run_batch_framed(
-            config,
-            mode,
-            store,
-            appview_shards,
-            FramingPolicy::default(),
-        )
-    }
-
-    /// [`StudyReport::run_batch_appview`] with an explicit wire
-    /// [`FramingPolicy`] for the producer's firehose wire.
-    pub fn run_batch_framed(
-        config: ScenarioConfig,
-        mode: SnapshotMode,
-        store: &StoreConfig,
-        appview_shards: usize,
-        framing: FramingPolicy,
-    ) -> StudyReport {
-        let mut world = World::new_store_appview(config, store.clone(), appview_shards);
+    pub fn run_batch(spec: &RunSpec) -> StudyReport {
+        if let Err(err) = spec.validate() {
+            panic!("invalid RunSpec: {err}");
+        }
+        assert!(
+            !spec.is_grid(),
+            "run_batch runs a single cell; expand grids via StudyBatch::from_spec"
+        );
+        let mut world = World::from_spec(
+            WorldSpec::new(spec.config)
+                .store(spec.store.clone())
+                .appview_shards(spec.appview_shards)
+                .write_back(spec.write_back),
+        );
         let datasets = Collector::new()
-            .snapshot_mode(mode)
-            .store(store.clone())
-            .framing(framing)
+            .snapshot_mode(spec.snapshots)
+            .store(spec.store.clone())
+            .framing(spec.framing)
             .run(&mut world);
-        StudyReport::from_collected(config, &world, &datasets)
+        StudyReport::from_collected(spec.config, &world, &datasets)
     }
 
     /// Compute the analyses from already-collected datasets.
@@ -580,20 +428,17 @@ impl StudyBatch {
         StudyBatch { configs }
     }
 
-    /// The full grid `seeds × scales` over a base configuration (seed and
-    /// scale of the base are overridden per cell; everything else is kept).
-    pub fn grid(base: ScenarioConfig, seeds: &[u64], scales: &[u64]) -> StudyBatch {
-        let mut configs = Vec::with_capacity(seeds.len() * scales.len());
-        for &seed in seeds {
-            for &scale in scales {
-                configs.push(ScenarioConfig {
-                    seed,
-                    scale,
-                    ..base
-                });
-            }
+    /// The spec's full seed × scale grid (see [`RunSpec::grid_configs`]):
+    /// seed-major order, the base config's own seed/scale filling an empty
+    /// axis. The spec must be valid — grid specs pin every other knob to
+    /// its default, so each cell runs through the plain streaming engine.
+    pub fn from_spec(spec: &RunSpec) -> StudyBatch {
+        if let Err(err) = spec.validate() {
+            panic!("invalid RunSpec: {err}");
         }
-        StudyBatch { configs }
+        StudyBatch {
+            configs: spec.grid_configs(),
+        }
     }
 
     /// Number of scenarios in the batch.
@@ -611,7 +456,7 @@ impl StudyBatch {
         self.configs
             .iter()
             .map(|config| {
-                let (report, summary) = StudyReport::run_streaming(*config);
+                let (report, summary) = StudyReport::run_serial(&RunSpec::new(*config));
                 StudyRun { report, summary }
             })
             .collect()
@@ -654,7 +499,7 @@ mod tests {
     #[test]
     fn full_report_runs_and_serialises() {
         let config = small_config(21);
-        let report = StudyReport::run(config);
+        let (report, _) = StudyReport::run_serial(&RunSpec::new(config));
         let text = report.render();
         for needle in [
             "Table 1",
@@ -681,7 +526,7 @@ mod tests {
 
     #[test]
     fn streaming_summary_shows_bounded_memory() {
-        let (report, summary) = StudyReport::run_streaming(small_config(22));
+        let (report, summary) = StudyReport::run_serial(&RunSpec::new(small_config(22)));
         assert_eq!(summary.firehose_events, report.table1.total);
         assert!(summary.peak_in_flight_events > 0);
         assert!((summary.peak_in_flight_events as u64) < summary.firehose_events);
@@ -689,7 +534,10 @@ mod tests {
 
     #[test]
     fn batch_runner_covers_the_grid() {
-        let batch = StudyBatch::grid(small_config(1), &[1, 2], &[40_000, 80_000]);
+        let spec = RunSpec::new(small_config(1))
+            .seeds(vec![1, 2])
+            .scales(vec![40_000, 80_000]);
+        let batch = StudyBatch::from_spec(&spec);
         assert_eq!(batch.len(), 4);
         let runs = batch.run();
         assert_eq!(runs.len(), 4);

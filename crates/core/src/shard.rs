@@ -1,28 +1,46 @@
 //! The sharded study engine: partition the population by DID hash, run one
-//! producer + analyzer set per shard on worker threads, and merge the
-//! per-shard analyzer states into one report.
+//! producer + sink per shard on worker threads, and merge the per-shard
+//! sink states into one result.
 //!
 //! The correctness contract is exact: because every stochastic decision in
-//! the [`World`] derives from `(seed, DID, day)` and every analyzer
-//! implements the merge law (see [`crate::pipeline`]), the merged report is
+//! the [`World`] derives from `(seed, DID, day)` and every sink implements
+//! the merge law (see [`crate::pipeline`]), the merged result is
 //! **byte-identical** to the serial run's for any shard count — pinned by
 //! the golden test in `tests/pipeline_equivalence.rs`. Shards are merged in
 //! shard-index order on the coordinating thread, so thread scheduling never
-//! influences the result; `jobs` only bounds how many shards are in flight
-//! at once.
+//! influences the result; [`RunSpec::jobs`] only bounds how many shards are
+//! in flight at once.
+//!
+//! Every run knob rides in on the [`RunSpec`]: snapshot mode changes only
+//! how much repository data each producer fetches, the store backend only
+//! where blocks reside, AppView entity shards and the write-back cache only
+//! where hot counters live, framing only the wire accounting, and fault
+//! plans inject identically across shard counts — none of them moves a byte
+//! of the merged report.
 
 use crate::analysis::{
     ActivityAnalyzer, FirehoseVolumeAnalyzer, IdentityAnalyzer, ModerationAnalyzer,
     RecommendationAnalyzer, Section4Analyzer, Table1Analyzer,
 };
-use crate::datasets::{Collector, SnapshotMode};
+use crate::datasets::Collector;
 use crate::observatory::ObservatoryAnalyzer;
 use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
-use bsky_atproto::blockstore::StoreConfig;
-use bsky_atproto::framing::FramingPolicy;
+use crate::spec::RunSpec;
 use bsky_simnet::faults::FaultPlan;
-use bsky_workload::{PopulationPlan, ScenarioConfig, ShardSpec, World};
+use bsky_workload::{PopulationPlan, ShardSpec, World, WorldSpec};
 use std::sync::{Arc, Mutex};
+
+/// An observation sink that can run sharded: each shard folds observations
+/// into a fresh [`Default`] instance on its worker thread, and the
+/// coordinating thread absorbs the per-shard states in shard-index order.
+///
+/// `absorb` must be associative and agree with serial observation order —
+/// the same merge law every [`Analyzer`] obeys — so that the sharded result
+/// is byte-identical to the serial one.
+pub trait ShardSink: ObservationSink + Default + Send {
+    /// Fold another instance's state into this one.
+    fn absorb(&mut self, other: Self);
+}
 
 /// The report's eight analyzers as one concrete, mergeable set.
 #[derive(Debug, Default)]
@@ -77,9 +95,15 @@ impl ObservationSink for StudyAnalyzers {
     }
 }
 
+impl ShardSink for StudyAnalyzers {
+    fn absorb(&mut self, other: Self) {
+        self.merge(other);
+    }
+}
+
 /// Result of one shard's collection pass.
-struct ShardResult {
-    analyzers: StudyAnalyzers,
+struct ShardResult<S> {
+    sink: S,
     summary: StreamSummary,
     /// Only shard 0 returns its world (the finish context).
     world: Option<World>,
@@ -113,179 +137,81 @@ impl ShardedSummary {
     }
 }
 
-/// Run one shard: build its world, stream it through a fresh analyzer set,
-/// and hand back the state.
-#[allow(clippy::too_many_arguments)]
-fn run_shard(
-    config: ScenarioConfig,
+/// Run one shard: build its world from the spec, stream it through a fresh
+/// sink, and hand back the state.
+fn run_shard<S: ShardSink>(
+    spec: &RunSpec,
     plan: Arc<PopulationPlan>,
     index: usize,
-    shards: usize,
-    mode: SnapshotMode,
-    store: &StoreConfig,
-    appview_shards: usize,
-    framing: FramingPolicy,
     faults: Arc<FaultPlan>,
-) -> ShardResult {
-    let mut world = World::with_plan_store_appview_faults(
-        config,
-        plan,
-        ShardSpec {
-            index,
-            count: shards,
-        },
-        store.clone(),
-        appview_shards,
-        faults.clone(),
+) -> ShardResult<S> {
+    let mut world = World::from_spec(
+        WorldSpec::new(spec.config)
+            .plan(plan)
+            .shard(ShardSpec {
+                index,
+                count: spec.shards,
+            })
+            .store(spec.store.clone())
+            .appview_shards(spec.appview_shards)
+            .write_back(spec.write_back)
+            .faults(faults.clone()),
     );
-    let mut analyzers = StudyAnalyzers::new();
-    let summary = Collector::new()
-        .snapshot_mode(mode)
-        .store(store.clone())
-        .framing(framing)
-        .faults(faults)
-        .stream(&mut world, &mut analyzers);
+    let mut sink = S::default();
+    let mut collector = Collector::new()
+        .snapshot_mode(spec.snapshots)
+        .store(spec.store.clone())
+        .framing(spec.framing)
+        .faults(faults);
+    for (class, policy) in &spec.retries {
+        collector = collector.retry(*class, *policy);
+    }
+    let summary = collector.stream(&mut world, &mut sink);
     ShardResult {
-        analyzers,
+        sink,
         summary,
         world: (index == 0).then_some(world),
     }
 }
 
-/// Run the full collection over `shards` population shards with at most
-/// `jobs` worker threads, merge the per-shard analyzer states in shard
-/// order, and return the merged set plus the finish-context world (shard 0)
-/// and the run summary.
+/// Run the full collection described by `spec` — [`RunSpec::shards`]
+/// population shards on at most [`RunSpec::jobs`] worker threads — folding
+/// each shard's observations into a fresh sink and absorbing the per-shard
+/// states into `sink` in shard-index order. Returns the merged sink, the
+/// finish-context world (shard 0), and the run summary.
 ///
-/// Panics if `jobs` is zero or exceeds `shards` (the CLI validates first).
-pub fn collect_sharded(
-    config: ScenarioConfig,
-    shards: usize,
-    jobs: usize,
-) -> (StudyAnalyzers, World, ShardedSummary) {
-    collect_sharded_with(config, shards, jobs, SnapshotMode::default())
-}
-
-/// [`collect_sharded`] with an explicit repository [`SnapshotMode`]. The
-/// mode changes only how much repository data each shard's producer fetches
-/// — the emitted snapshots, and therefore the merged report, are identical.
-pub fn collect_sharded_with(
-    config: ScenarioConfig,
-    shards: usize,
-    jobs: usize,
-    mode: SnapshotMode,
-) -> (StudyAnalyzers, World, ShardedSummary) {
-    collect_sharded_store(config, shards, jobs, mode, &StoreConfig::default())
-}
-
-/// [`collect_sharded_with`] with an explicit block-store backend for every
-/// shard's world (repositories + relay mirror) and producer mirror. The
-/// backend changes only *where* blocks reside — memory vs paged disk spill
-/// — never a byte of the merged report.
-pub fn collect_sharded_store(
-    config: ScenarioConfig,
-    shards: usize,
-    jobs: usize,
-    mode: SnapshotMode,
-    store: &StoreConfig,
-) -> (StudyAnalyzers, World, ShardedSummary) {
-    collect_sharded_appview(config, shards, jobs, mode, store, 1)
-}
-
-/// [`collect_sharded_store`] with an explicit AppView entity-shard count
-/// for every engine shard's world (repro `--appview-shards N`). Entity
-/// sharding changes only where AppView state resides — queries, and
-/// therefore the merged report, are byte-identical for any count.
-pub fn collect_sharded_appview(
-    config: ScenarioConfig,
-    shards: usize,
-    jobs: usize,
-    mode: SnapshotMode,
-    store: &StoreConfig,
-    appview_shards: usize,
-) -> (StudyAnalyzers, World, ShardedSummary) {
-    collect_sharded_framed(
-        config,
-        shards,
-        jobs,
-        mode,
-        store,
-        appview_shards,
-        FramingPolicy::default(),
-    )
-}
-
-/// [`collect_sharded_appview`] with an explicit wire [`FramingPolicy`] for
-/// every shard's producer (repro `--padding` / `--batch-window`). Framing
-/// changes only the summary's wire accounting — the §10 observatory sweeps
-/// every mitigation cell counterfactually from the raw captures, so the
-/// merged report is byte-identical for any policy.
-#[allow(clippy::too_many_arguments)]
-pub fn collect_sharded_framed(
-    config: ScenarioConfig,
-    shards: usize,
-    jobs: usize,
-    mode: SnapshotMode,
-    store: &StoreConfig,
-    appview_shards: usize,
-    framing: FramingPolicy,
-) -> (StudyAnalyzers, World, ShardedSummary) {
-    collect_sharded_faulted(
-        config,
-        shards,
-        jobs,
-        mode,
-        store,
-        appview_shards,
-        framing,
-        &Arc::new(FaultPlan::quiet()),
-    )
-}
-
-/// [`collect_sharded_framed`] with an explicit injected [`FaultPlan`]
-/// shared by every shard's world and producer (repro `--scenario` /
-/// `--faults`). Every injected decision is a pure function of
-/// `(seed, DID, day)`, so fault placement is identical across shard
-/// counts and the merged report stays byte-identical serial vs. sharded
-/// for *any* plan; the quiet plan additionally leaves the report
-/// byte-identical to a run without fault machinery at all. Pinned by
-/// `tests/fault_scenarios.rs`.
-#[allow(clippy::too_many_arguments)]
-pub fn collect_sharded_faulted(
-    config: ScenarioConfig,
-    shards: usize,
-    jobs: usize,
-    mode: SnapshotMode,
-    store: &StoreConfig,
-    appview_shards: usize,
-    framing: FramingPolicy,
-    faults: &Arc<FaultPlan>,
-) -> (StudyAnalyzers, World, ShardedSummary) {
-    assert!(shards >= 1, "shard count must be at least 1");
+/// The fault plan is resolved here from [`RunSpec::faults`] over the
+/// config's day window and shared by every shard's world and producer.
+///
+/// Panics on an invalid spec (see [`RunSpec::validate`]) or a grid spec
+/// (expand grids via [`RunSpec::grid_configs`] and run each cell).
+pub fn collect_sharded<S: ShardSink>(spec: &RunSpec, mut sink: S) -> (S, World, ShardedSummary) {
+    if let Err(err) = spec.validate() {
+        panic!("invalid RunSpec: {err}");
+    }
     assert!(
-        (1..=shards).contains(&jobs),
-        "jobs must be in 1..=shards (got {jobs} for {shards} shards)"
+        !spec.is_grid(),
+        "collect_sharded runs a single cell; expand grids via RunSpec::grid_configs"
     );
+    let config = spec.config;
+    let shards = spec.shards;
+    let jobs = spec.jobs;
+    let total_days = config.end.days_since(config.start).max(0) as usize;
+    let faults = Arc::new(FaultPlan::build(
+        config.seed,
+        total_days,
+        spec.faults.clone(),
+    ));
     let plan = Arc::new(PopulationPlan::build(&config));
 
-    let mut results: Vec<Option<ShardResult>> = Vec::new();
+    let mut results: Vec<Option<ShardResult<S>>> = Vec::new();
     if jobs == 1 {
         // Serial path: no threads, same code.
         for index in 0..shards {
-            results.push(Some(run_shard(
-                config,
-                plan.clone(),
-                index,
-                shards,
-                mode,
-                store,
-                appview_shards,
-                framing,
-                faults.clone(),
-            )));
+            results.push(Some(run_shard(spec, plan.clone(), index, faults.clone())));
         }
     } else {
-        let slots: Arc<Mutex<Vec<Option<ShardResult>>>> =
+        let slots: Arc<Mutex<Vec<Option<ShardResult<S>>>>> =
             Arc::new(Mutex::new((0..shards).map(|_| None).collect()));
         let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         std::thread::scope(|scope| {
@@ -293,24 +219,13 @@ pub fn collect_sharded_faulted(
                 let plan = plan.clone();
                 let slots = slots.clone();
                 let next = next.clone();
-                let store = store.clone();
                 let faults = faults.clone();
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     if index >= shards {
                         break;
                     }
-                    let result = run_shard(
-                        config,
-                        plan.clone(),
-                        index,
-                        shards,
-                        mode,
-                        &store,
-                        appview_shards,
-                        framing,
-                        faults.clone(),
-                    );
+                    let result = run_shard(spec, plan.clone(), index, faults.clone());
                     slots.lock().expect("shard result lock")[index] = Some(result);
                 });
             }
@@ -321,8 +236,7 @@ pub fn collect_sharded_faulted(
             .expect("shard result lock");
     }
 
-    // Deterministic reduction: merge strictly in shard-index order.
-    let mut merged_analyzers: Option<StudyAnalyzers> = None;
+    // Deterministic reduction: absorb strictly in shard-index order.
     let mut world0: Option<World> = None;
     let mut per_shard = Vec::with_capacity(shards);
     let mut merged_summary = StreamSummary::default();
@@ -333,16 +247,10 @@ pub fn collect_sharded_faulted(
         if let Some(world) = result.world {
             world0 = Some(world);
         }
-        merged_analyzers = Some(match merged_analyzers {
-            None => result.analyzers,
-            Some(mut acc) => {
-                acc.merge(result.analyzers);
-                acc
-            }
-        });
+        sink.absorb(result.sink);
     }
     (
-        merged_analyzers.expect("at least one shard"),
+        sink,
         world0.expect("shard 0 returns its world"),
         ShardedSummary {
             shards,
@@ -357,6 +265,7 @@ pub fn collect_sharded_faulted(
 mod tests {
     use super::*;
     use bsky_atproto::Datetime;
+    use bsky_workload::ScenarioConfig;
 
     fn small_config(seed: u64) -> ScenarioConfig {
         let mut config = ScenarioConfig::test_scale(seed);
@@ -368,7 +277,8 @@ mod tests {
 
     #[test]
     fn sharded_collection_merges_summaries() {
-        let (analyzers, world, summary) = collect_sharded(small_config(51), 3, 2);
+        let spec = RunSpec::new(small_config(51)).shards(3).jobs(2);
+        let (analyzers, world, summary) = collect_sharded(&spec, StudyAnalyzers::new());
         assert_eq!(summary.shards, 3);
         assert_eq!(summary.jobs, 2);
         assert_eq!(summary.per_shard.len(), 3);
@@ -386,8 +296,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "jobs must be in 1..=shards")]
+    #[should_panic(expected = "exceeds the shard count")]
     fn rejects_more_jobs_than_shards() {
-        let _ = collect_sharded(small_config(51), 2, 3);
+        let spec = RunSpec::new(small_config(51)).shards(2).jobs(3);
+        let _ = collect_sharded(&spec, StudyAnalyzers::new());
     }
 }

@@ -1,0 +1,331 @@
+//! [`RunSpec`]: one declarative description of a study run.
+//!
+//! Every knob the pipeline understands — scenario seed/scale (or a whole
+//! seed × scale grid), engine shards and worker threads, repository
+//! [`SnapshotMode`], block-store backend, AppView entity shards and the
+//! write-back cache, wire [`FramingPolicy`], fault injection and retry
+//! policies — lives in one builder. The entry points
+//! ([`crate::report::StudyReport::run`],
+//! [`crate::report::StudyReport::run_serial`],
+//! [`crate::report::StudyReport::run_batch`],
+//! [`crate::shard::collect_sharded`], [`crate::report::StudyBatch`]) all
+//! take a `&RunSpec`, so a new knob is one field + one builder method —
+//! never a new suffix-combinated function variant.
+//!
+//! [`RunSpec::validate`] centralizes the cross-knob conflict rules the
+//! repro CLI used to scatter across `parse_args` (grid runs exclude
+//! scenarios, paged stores, framing mitigations, sharding and AppView
+//! sharding; `jobs <= shards`; positive scales). The CLI maps a
+//! `validate()` error to exit code 2; library callers get the same checks
+//! for free.
+
+use crate::datasets::SnapshotMode;
+use bsky_atproto::blockstore::StoreConfig;
+use bsky_atproto::framing::FramingPolicy;
+use bsky_simnet::faults::{FaultSpec, RetryPolicy, TimeoutClass};
+use bsky_workload::ScenarioConfig;
+
+/// A full, validated-on-demand description of one study run (or one grid
+/// of runs). Construct with [`RunSpec::new`], refine with the builder
+/// methods, hand to an entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// The base scenario (seed, dates, scale, mix). Grid runs override
+    /// `seed`/`scale` per cell from [`RunSpec::seeds`]/[`RunSpec::scales`].
+    pub config: ScenarioConfig,
+    /// Grid seeds; empty means a single run at `config.seed`.
+    pub seeds: Vec<u64>,
+    /// Grid scales; empty means a single run at `config.scale`.
+    pub scales: Vec<u64>,
+    /// Engine shards: the population is partitioned by DID hash into this
+    /// many independently simulated shards.
+    pub shards: usize,
+    /// Worker threads simulating shards concurrently (`1..=shards`).
+    pub jobs: usize,
+    /// Repository snapshot strategy for the §3 dataset.
+    pub snapshots: SnapshotMode,
+    /// Block-store backend for every repository, relay mirror, producer
+    /// mirror and AppView entity store.
+    pub store: StoreConfig,
+    /// AppView entity-shard count per engine shard.
+    pub appview_shards: usize,
+    /// Wrap the AppView's entity stores in a write-back cache (repro
+    /// `--writeback on|off`; on by default). Observationally transparent —
+    /// reports are byte-identical either way.
+    pub write_back: bool,
+    /// Wire framing policy (padding / batching mitigations, §10).
+    pub framing: FramingPolicy,
+    /// Fault injection spec (quiet by default).
+    pub faults: FaultSpec,
+    /// Scenario label for the report's fault-impact section (`None` renders
+    /// a non-quiet custom spec as `custom`).
+    pub scenario: Option<String>,
+    /// Per-timeout-class retry policies for the producer's fetch/DNS paths
+    /// (empty keeps the defaults).
+    pub retries: Vec<(TimeoutClass, RetryPolicy)>,
+}
+
+impl RunSpec {
+    /// A single serial run of `config` with every default: one shard, one
+    /// job, incremental snapshots, in-memory store, monolithic AppView with
+    /// the write-back cache on, unmitigated wire, quiet faults.
+    pub fn new(config: ScenarioConfig) -> RunSpec {
+        RunSpec {
+            config,
+            seeds: Vec::new(),
+            scales: Vec::new(),
+            shards: 1,
+            jobs: 1,
+            snapshots: SnapshotMode::default(),
+            store: StoreConfig::default(),
+            appview_shards: 1,
+            write_back: true,
+            framing: FramingPolicy::default(),
+            faults: FaultSpec::default(),
+            scenario: None,
+            retries: Vec::new(),
+        }
+    }
+
+    /// Run a grid over these seeds (with [`RunSpec::scales`], the full
+    /// cross product).
+    pub fn seeds(mut self, seeds: Vec<u64>) -> RunSpec {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Run a grid over these scales.
+    pub fn scales(mut self, scales: Vec<u64>) -> RunSpec {
+        self.scales = scales;
+        self
+    }
+
+    /// Partition the population into `shards` engine shards.
+    pub fn shards(mut self, shards: usize) -> RunSpec {
+        self.shards = shards;
+        self
+    }
+
+    /// Simulate up to `jobs` shards concurrently.
+    pub fn jobs(mut self, jobs: usize) -> RunSpec {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Select the repository snapshot strategy.
+    pub fn snapshots(mut self, mode: SnapshotMode) -> RunSpec {
+        self.snapshots = mode;
+        self
+    }
+
+    /// Select the block-store backend.
+    pub fn store(mut self, store: StoreConfig) -> RunSpec {
+        self.store = store;
+        self
+    }
+
+    /// Select the AppView entity-shard count.
+    pub fn appview_shards(mut self, shards: usize) -> RunSpec {
+        self.appview_shards = shards;
+        self
+    }
+
+    /// Toggle the AppView write-back cache.
+    pub fn write_back(mut self, write_back: bool) -> RunSpec {
+        self.write_back = write_back;
+        self
+    }
+
+    /// Select the wire framing policy.
+    pub fn framing(mut self, framing: FramingPolicy) -> RunSpec {
+        self.framing = framing;
+        self
+    }
+
+    /// Inject faults (optionally labelled via [`RunSpec::scenario`]).
+    pub fn faults(mut self, faults: FaultSpec) -> RunSpec {
+        self.faults = faults;
+        self
+    }
+
+    /// Label the fault spec for the report's scenario-impact section.
+    pub fn scenario(mut self, name: impl Into<String>) -> RunSpec {
+        self.scenario = Some(name.into());
+        self
+    }
+
+    /// Override the retry policy for one timeout class.
+    pub fn retry(mut self, class: TimeoutClass, policy: RetryPolicy) -> RunSpec {
+        self.retries.push((class, policy));
+        self
+    }
+
+    /// Whether this spec describes a seed × scale grid rather than a single
+    /// run.
+    pub fn is_grid(&self) -> bool {
+        !self.seeds.is_empty() || !self.scales.is_empty()
+    }
+
+    /// The grid cells this spec expands to: `seeds × scales` over the base
+    /// config (the base's own seed/scale fill in an empty axis).
+    pub fn grid_configs(&self) -> Vec<ScenarioConfig> {
+        let seeds = if self.seeds.is_empty() {
+            vec![self.config.seed]
+        } else {
+            self.seeds.clone()
+        };
+        let scales = if self.scales.is_empty() {
+            vec![self.config.scale]
+        } else {
+            self.scales.clone()
+        };
+        let mut configs = Vec::with_capacity(seeds.len() * scales.len());
+        for &seed in &seeds {
+            for &scale in &scales {
+                configs.push(ScenarioConfig {
+                    seed,
+                    scale,
+                    ..self.config
+                });
+            }
+        }
+        configs
+    }
+
+    /// Check every cross-knob conflict rule. The repro CLI maps an error to
+    /// exit code 2 (the messages name the CLI flags); library callers get
+    /// the identical rules. Entry points assert a valid spec.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.config.scale == 0 {
+            return Err("--scale must be positive".into());
+        }
+        if self.scales.contains(&0) {
+            return Err("--scales entries must be positive".into());
+        }
+        if self.jobs == 0 {
+            return Err("--jobs must be at least 1".into());
+        }
+        if self.shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        if self.jobs > self.shards {
+            return Err(format!(
+                "--jobs ({}) exceeds the shard count ({}); use --shards {} or fewer jobs",
+                self.jobs, self.shards, self.jobs
+            ));
+        }
+        if self.appview_shards == 0 {
+            return Err("--appview-shards must be at least 1".into());
+        }
+        if self.is_grid() {
+            // Grid runs sweep seed × scale through the plain streaming
+            // engine; every other knob must stay at its default.
+            if self.appview_shards > 1 {
+                return Err("--appview-shards cannot be combined with --seeds/--scales".into());
+            }
+            if self.snapshots != SnapshotMode::default() {
+                return Err("--full-snapshots cannot be combined with --seeds/--scales".into());
+            }
+            if self.shards > 1 || self.jobs > 1 {
+                return Err("--jobs/--shards cannot be combined with --seeds/--scales".into());
+            }
+            if self.store != StoreConfig::mem() {
+                return Err("--store paged cannot be combined with --seeds/--scales".into());
+            }
+            if self.framing.is_mitigating() {
+                return Err(
+                    "--padding/--batch-window cannot be combined with --seeds/--scales".into(),
+                );
+            }
+            if !self.faults.is_quiet() {
+                return Err("--scenario/--faults cannot be combined with --seeds/--scales".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> RunSpec {
+        RunSpec::new(ScenarioConfig::test_scale(7))
+    }
+
+    #[test]
+    fn defaults_are_valid_and_serial() {
+        let spec = base();
+        assert!(spec.validate().is_ok());
+        assert!(!spec.is_grid());
+        assert_eq!(spec.shards, 1);
+        assert_eq!(spec.jobs, 1);
+        assert!(spec.write_back);
+        assert!(spec.faults.is_quiet());
+    }
+
+    #[test]
+    fn grid_expansion_is_seed_major() {
+        let spec = base().seeds(vec![1, 2]).scales(vec![40_000, 80_000]);
+        assert!(spec.is_grid());
+        let cells = spec.grid_configs();
+        assert_eq!(cells.len(), 4);
+        assert_eq!((cells[0].seed, cells[0].scale), (1, 40_000));
+        assert_eq!((cells[1].seed, cells[1].scale), (1, 80_000));
+        assert_eq!((cells[3].seed, cells[3].scale), (2, 80_000));
+        // A missing axis falls back to the base config's value.
+        let cells = base().seeds(vec![5, 6]).grid_configs();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].scale, ScenarioConfig::test_scale(7).scale);
+    }
+
+    #[test]
+    fn sharding_bounds_are_enforced() {
+        assert!(base().shards(4).jobs(2).validate().is_ok());
+        assert!(base().shards(2).jobs(2).validate().is_ok());
+        let err = base().shards(2).jobs(4).validate().unwrap_err();
+        assert!(err.contains("exceeds the shard count"), "{err}");
+        assert!(base().jobs(0).validate().is_err());
+        assert!(base().shards(0).jobs(0).validate().is_err());
+        assert!(base().appview_shards(0).validate().is_err());
+    }
+
+    #[test]
+    fn zero_scales_are_rejected() {
+        let mut spec = base();
+        spec.config.scale = 0;
+        assert!(spec.validate().is_err());
+        assert!(base().scales(vec![40_000, 0]).validate().is_err());
+    }
+
+    #[test]
+    fn grids_reject_every_non_default_knob() {
+        let grid = || base().seeds(vec![1, 2]);
+        assert!(grid().validate().is_ok());
+        let err = grid().appview_shards(2).validate().unwrap_err();
+        assert!(err.contains("--appview-shards"), "{err}");
+        let err = grid()
+            .snapshots(SnapshotMode::FullRefetch)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("--full-snapshots"), "{err}");
+        let err = grid().shards(2).jobs(2).validate().unwrap_err();
+        assert!(err.contains("--jobs/--shards"), "{err}");
+        let err = grid().store(StoreConfig::paged()).validate().unwrap_err();
+        assert!(err.contains("--store paged"), "{err}");
+        let err = grid()
+            .faults(FaultSpec::scenario("label-storm").unwrap())
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("--scenario/--faults"), "{err}");
+        // The same knobs are fine outside a grid.
+        assert!(base()
+            .appview_shards(4)
+            .snapshots(SnapshotMode::FullRefetch)
+            .store(StoreConfig::paged())
+            .faults(FaultSpec::scenario("label-storm").unwrap())
+            .scenario("label-storm")
+            .validate()
+            .is_ok());
+    }
+}

@@ -137,7 +137,7 @@ impl Relay {
                             .insert(event.did.to_string(), Some(result.commit.rev.to_string()));
                         EventBody::Commit {
                             did: event.did.clone(),
-                            commit: result.commit.cid(),
+                            commit: result.commit_cid,
                             rev: result.commit.rev,
                             ops: result.ops.clone(),
                             blocks_bytes: result.bytes_written,

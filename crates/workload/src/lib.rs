@@ -17,4 +17,4 @@ pub mod world;
 
 pub use config::ScenarioConfig;
 pub use population::{did_hash, HandleChoice, PopulationPlan, ProofChoice, UserProfile};
-pub use world::{DayCursor, FeedGenInfo, LabelerInfo, ShardSpec, World};
+pub use world::{DayCursor, FeedGenInfo, LabelerInfo, ShardSpec, World, WorldSpec};

@@ -188,107 +188,121 @@ pub struct World {
     fault_counters: FaultCounters,
 }
 
+/// Everything [`World::from_spec`] needs to build a world: scenario,
+/// optional pre-computed population plan, engine-shard slice, storage
+/// backend, AppView layout and fault schedule. One spec replaces the old
+/// ladder of suffix-combinated constructors
+/// (`new_store`/`with_plan_store_appview_faults`/…); callers set only the
+/// fields that differ from the defaults.
+///
+/// None of the knobs below changes a simulated byte — backend, cache,
+/// AppView shard count and a quiet fault plan all leave every report
+/// byte-identical; only residency, op counts and (for a non-quiet plan)
+/// the fault-visibility counters move.
+#[derive(Debug, Clone)]
+pub struct WorldSpec {
+    /// The scenario (seed, dates, scale, mix).
+    pub config: ScenarioConfig,
+    /// Pre-computed population plan; built from `config` when `None`. The
+    /// sharded study runner builds the plan once and hands an [`Arc`] to
+    /// each worker.
+    pub plan: Option<Arc<PopulationPlan>>,
+    /// The engine-shard slice of the population this world owns.
+    pub shard: ShardSpec,
+    /// Block-store backend for repositories, the relay mirror and the
+    /// AppView (repro `--store mem|paged`).
+    pub store: StoreConfig,
+    /// AppView entity-shard count (repro `--appview-shards N`).
+    pub appview_shards: usize,
+    /// Wrap each AppView shard's store in a write-back cache (repro
+    /// `--writeback on|off`; on by default).
+    pub write_back: bool,
+    /// The deterministic fault schedule (quiet by default).
+    pub faults: Arc<FaultPlan>,
+}
+
+impl WorldSpec {
+    /// A whole-population spec with default storage and a quiet fault plan.
+    pub fn new(config: ScenarioConfig) -> WorldSpec {
+        WorldSpec {
+            config,
+            plan: None,
+            shard: ShardSpec::whole(),
+            store: StoreConfig::default(),
+            appview_shards: 1,
+            write_back: true,
+            faults: Arc::new(FaultPlan::quiet()),
+        }
+    }
+
+    /// Use an already-computed population plan.
+    pub fn plan(mut self, plan: Arc<PopulationPlan>) -> WorldSpec {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Select the engine-shard slice this world owns.
+    pub fn shard(mut self, shard: ShardSpec) -> WorldSpec {
+        self.shard = shard;
+        self
+    }
+
+    /// Select the block-store backend.
+    pub fn store(mut self, store: StoreConfig) -> WorldSpec {
+        self.store = store;
+        self
+    }
+
+    /// Select the AppView entity-shard count.
+    pub fn appview_shards(mut self, shards: usize) -> WorldSpec {
+        self.appview_shards = shards;
+        self
+    }
+
+    /// Toggle the AppView write-back cache.
+    pub fn write_back(mut self, write_back: bool) -> WorldSpec {
+        self.write_back = write_back;
+        self
+    }
+
+    /// Install a fault schedule.
+    pub fn faults(mut self, faults: Arc<FaultPlan>) -> WorldSpec {
+        self.faults = faults;
+        self
+    }
+}
+
 impl World {
-    /// Build the whole-population world. No activity has happened yet; call
-    /// [`World::step_day`] (or [`World::run_to_end`]) to simulate.
+    /// Build the whole-population world with every default. No activity has
+    /// happened yet; call [`World::step_day`] (or [`World::run_to_end`]) to
+    /// simulate.
     pub fn new(config: ScenarioConfig) -> World {
-        World::new_store(config, StoreConfig::default())
+        World::from_spec(WorldSpec::new(config))
     }
 
-    /// [`World::new`] with an explicit block-store backend for every
-    /// repository and the relay's CAR mirror (repro `--store mem|paged`).
-    pub fn new_store(config: ScenarioConfig, store: StoreConfig) -> World {
-        World::with_plan_store(
-            config,
-            Arc::new(PopulationPlan::build(&config)),
-            ShardSpec::whole(),
-            store,
-        )
-    }
-
-    /// Build one population shard (DID-hash partition `index` of `count`).
+    /// Build one population shard (DID-hash partition `index` of `count`)
+    /// with every other default.
     pub fn new_shard(config: ScenarioConfig, index: usize, count: usize) -> World {
-        World::with_plan(
-            config,
-            Arc::new(PopulationPlan::build(&config)),
-            ShardSpec { index, count },
-        )
+        World::from_spec(WorldSpec::new(config).shard(ShardSpec { index, count }))
     }
 
-    /// Build a shard over an already-computed population plan (the sharded
-    /// study runner builds the plan once and hands an [`Arc`] to each
-    /// worker).
-    pub fn with_plan(config: ScenarioConfig, plan: Arc<PopulationPlan>, shard: ShardSpec) -> World {
-        World::with_plan_store(config, plan, shard, StoreConfig::default())
-    }
-
-    /// [`World::new_store`] with an explicit AppView entity-shard count
-    /// (repro `--appview-shards N`): the AppView's post/actor indices are
-    /// partitioned by entity hash across `appview_shards` store-backed
-    /// shards. Shard count and backend change only residency, never an
-    /// answer — and therefore never a report byte.
-    pub fn new_store_appview(
-        config: ScenarioConfig,
-        store: StoreConfig,
-        appview_shards: usize,
-    ) -> World {
-        World::with_plan_store_appview(
-            config,
-            Arc::new(PopulationPlan::build(&config)),
-            ShardSpec::whole(),
-            store,
-            appview_shards,
-        )
-    }
-
-    /// [`World::with_plan`] with an explicit block-store backend. The
-    /// backend changes only *where* blocks reside (memory vs paged disk
-    /// spill) — every simulated byte and therefore every report is
-    /// identical across backends.
-    pub fn with_plan_store(
-        config: ScenarioConfig,
-        plan: Arc<PopulationPlan>,
-        shard: ShardSpec,
-        store: StoreConfig,
-    ) -> World {
-        World::with_plan_store_appview(config, plan, shard, store, 1)
-    }
-
-    /// [`World::with_plan_store`] with an explicit AppView entity-shard
-    /// count — the full builder every other constructor delegates to. The
-    /// AppView reuses the world's block-store backend for its entity
-    /// blocks, so `--store paged` bounds AppView residency exactly like it
-    /// bounds repositories and the relay mirror.
-    pub fn with_plan_store_appview(
-        config: ScenarioConfig,
-        plan: Arc<PopulationPlan>,
-        shard: ShardSpec,
-        store: StoreConfig,
-        appview_shards: usize,
-    ) -> World {
-        World::with_plan_store_appview_faults(
+    /// Build a world from a full [`WorldSpec`] — the one constructor every
+    /// configuration goes through. Every injected fault is a pure function
+    /// of `(seed, DID, day)` — the plan consumes no randomness from the
+    /// content/churn streams, so a quiet plan leaves the run byte-identical
+    /// to one built without it, and a faulted run stays byte-identical
+    /// serial vs. sharded.
+    pub fn from_spec(spec: WorldSpec) -> World {
+        let WorldSpec {
             config,
             plan,
             shard,
             store,
             appview_shards,
-            Arc::new(FaultPlan::quiet()),
-        )
-    }
-
-    /// [`World::with_plan_store_appview`] with an explicit [`FaultPlan`].
-    /// Every injected fault is a pure function of `(seed, DID, day)` — the
-    /// plan consumes no randomness from the content/churn streams, so a
-    /// quiet plan leaves the run byte-identical to one built without it,
-    /// and a faulted run stays byte-identical serial vs. sharded.
-    pub fn with_plan_store_appview_faults(
-        config: ScenarioConfig,
-        plan: Arc<PopulationPlan>,
-        shard: ShardSpec,
-        store: StoreConfig,
-        appview_shards: usize,
-        faults: Arc<FaultPlan>,
-    ) -> World {
+            write_back,
+            faults,
+        } = spec;
+        let plan = plan.unwrap_or_else(|| Arc::new(PopulationPlan::build(&config)));
         let root = SimRng::new(config.seed);
 
         // PDS fleet: default servers plus a few self-hosted ones. Every
@@ -331,7 +345,7 @@ impl World {
             dns: DnsZoneStore::new(),
             web: WebSpace::new(),
             relay: Relay::with_store("bsky.network", &store),
-            appview: AppView::with_shards(appview_shards, &store),
+            appview: AppView::with_shards(appview_shards, &store, write_back),
             labelers: LabelerRegistry::new(),
             labeler_info: Vec::new(),
             feedgens: Vec::new(),
@@ -490,6 +504,10 @@ impl World {
         for feed in &mut self.feedgens {
             feed.enforce_retention(day);
         }
+        // Day boundary: flush the AppView's dirty counter state and
+        // write-back buffers (a query-transparent epoch flush — see
+        // `bsky_appview::AppViewIndex::flush`).
+        self.appview.flush();
         self.today = day.plus_days(1);
     }
 
@@ -1180,6 +1198,13 @@ impl World {
         self.appview.store_stats()
     }
 
+    /// Counter mutations the AppView's hot/cold split coalesced into
+    /// already-dirty entities instead of full block rewrites (summed over
+    /// entity shards).
+    pub fn appview_counter_coalesced_writes(&self) -> u64 {
+        self.appview.index().counter_coalesced_writes()
+    }
+
     /// Run the repository compaction pass over the whole fleet: blocks
     /// older than `cutoff` that left the delta-serving window are
     /// reclaimed. The study producer calls this on its weekly snapshot
@@ -1514,12 +1539,14 @@ mod tests {
     fn appview_shards_and_store_do_not_change_the_world() {
         let config = small_config();
         let mut baseline = World::new(config);
-        // 4 entity shards over tiny paged stores: the AppView must spill
-        // while answering every query exactly like the monolithic default.
-        let mut sharded = World::new_store_appview(
-            config,
-            StoreConfig::paged().page_size(2048).resident_pages(1),
-            4,
+        // 4 entity shards over tiny paged stores, write-back cache off (the
+        // baseline has it on): the AppView must spill while answering every
+        // query exactly like the monolithic default.
+        let mut sharded = World::from_spec(
+            WorldSpec::new(config)
+                .store(StoreConfig::paged().page_size(2048).resident_pages(1))
+                .appview_shards(4)
+                .write_back(false),
         );
         for _ in 0..45 {
             baseline.step_day();

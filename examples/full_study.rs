@@ -10,7 +10,7 @@
 //! ```
 
 use bluesky_repro::bsky_atproto::Datetime;
-use bluesky_repro::bsky_study::StudyReport;
+use bluesky_repro::bsky_study::{RunSpec, StudyReport};
 use bluesky_repro::bsky_workload::ScenarioConfig;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         config.target_users(),
         config.total_days()
     );
-    let (report, summary) = StudyReport::run_streaming(config);
+    let (report, summary) = StudyReport::run_serial(&RunSpec::new(config));
     println!("{}", report.render());
     eprintln!("{}", summary.render());
 }

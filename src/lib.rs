@@ -35,11 +35,35 @@
 //! of daily volume — and `bsky_study::StudyBatch` runs whole seed × scale
 //! grids.
 //!
+//! ## Run configuration: one `RunSpec`, three entry points
+//!
+//! Every knob a study run has — seeds, scales, engine shards and worker
+//! threads, snapshot mode, block-store backend, AppView entity shards, the
+//! write-back cache, wire framing, fault scenario — lives on one builder,
+//! `bsky_study::RunSpec`:
+//!
+//! ```ignore
+//! let spec = RunSpec::new(config)
+//!     .jobs(4)
+//!     .shards(8)
+//!     .store(StoreConfig::paged().page_size(4096))
+//!     .appview_shards(4)
+//!     .scenario("pds-migration");
+//! let (report, summary) = StudyReport::run(&spec);
+//! ```
+//!
+//! The entry points are `bsky_study::StudyReport::run` (sharded across
+//! worker threads), `run_serial` (one thread, same report), and
+//! `run_batch` (the legacy materializing collector); the repro CLI maps
+//! its flags onto the same builder. `RunSpec::validate` rejects
+//! inconsistent combinations up front with an actionable message instead
+//! of a mid-run panic.
+//!
 //! ## The sharded engine
 //!
 //! Every stochastic decision in the workload derives from `(seed, DID,
 //! day)` ([`bsky_workload::PopulationPlan`]), so the population partitions
-//! exactly by DID hash: `bsky_study::StudyReport::run_sharded` (repro
+//! exactly by DID hash: `bsky_study::StudyReport::run` (repro
 //! `--jobs N [--shards S]`) runs one producer + analyzer set per shard on
 //! worker threads and merges the per-shard states through the associative
 //! `bsky_study::Analyzer::merge` — producing a report **byte-identical** to
@@ -91,14 +115,34 @@
 //! `getFeed` hydration) fan out and re-merge under a canonical
 //! `(created_at desc, uri)` order; an associative merge mirrors the
 //! pipeline's `Analyzer::merge`. Configured end to end via
-//! `bsky_workload::World::new_store_appview` /
-//! `bsky_study::StudyReport::run_sharded_appview` (repro
-//! `--appview-shards N`); a property test pins sharded == monolithic for
-//! random event/label interleavings, and the golden equivalence test pins
-//! the report byte-identical across appview shard counts × store
-//! backends. Labels that arrive before the entity they target are counted
+//! `RunSpec::appview_shards` (repro `--appview-shards N`); a property
+//! test pins sharded == monolithic for random event/label interleavings,
+//! and the golden equivalence test pins the report byte-identical across
+//! appview shard counts × store backends. Labels that arrive before the
+//! entity they target are counted
 //! (`StreamSummary::appview_labels_preindex`) instead of silently
 //! dropped.
+//!
+//! ## Hot/cold entity split & the write-back cache
+//!
+//! Each AppView entity is stored in two halves. The *cold* half — record
+//! payload, identity fields, labels — encodes once as an immutable
+//! positional DAG-CBOR content block. The *hot* half — like/repost and
+//! follower/post counters, mutated on nearly every event — accumulates in
+//! small resident dirty maps (`bsky_appview::PostCounters` /
+//! `ActorCounters`) and flushes at day boundaries into counter blocks of
+//! a dozen-odd bytes, so a day of counter bumps costs one encode+put
+//! instead of a full-entity re-encode → re-hash → delete+put cycle per
+//! event. In front of each shard's store,
+//! `bsky_atproto::blockstore::WriteBackStore` (repro `--writeback
+//! on|off`, `RunSpec::write_back`) buffers same-day block writes so
+//! create → mutate → delete cycles within a day never reach the backend,
+//! and the day-boundary flush also demotes sealed cold pages
+//! (`BlockStore::evict_cold`), keeping steady-state residency to the open
+//! page plus the dirty maps. Cache hits, misses, flushes and coalesced
+//! writes are `bsky_study::StreamSummary` counters, and the golden
+//! equivalence tests pin reports byte-identical cache-on vs cache-off,
+//! serial and sharded, mem and paged.
 //!
 //! On the wire, MST node entries are prefix-compressed exactly like the
 //! reference implementation (`p` shared-prefix length + `k` suffix),

@@ -2,7 +2,7 @@
 //! through the collectors to the analyses, plus invariants that span crates.
 
 use bluesky_repro::bsky_atproto::Datetime;
-use bluesky_repro::bsky_study::{Collector, StudyReport};
+use bluesky_repro::bsky_study::{Collector, RunSpec, StudyReport};
 use bluesky_repro::bsky_workload::{ScenarioConfig, World};
 
 fn small_config(seed: u64) -> ScenarioConfig {
@@ -15,7 +15,7 @@ fn small_config(seed: u64) -> ScenarioConfig {
 
 #[test]
 fn full_study_reproduces_headline_shapes() {
-    let report = StudyReport::run(small_config(1));
+    let (report, _) = StudyReport::run_serial(&RunSpec::new(small_config(1)));
 
     // Table 1: commits dominate the firehose.
     let commit_share = report
@@ -87,13 +87,13 @@ fn collector_observes_only_public_surfaces() {
 
 #[test]
 fn identical_seeds_give_identical_reports() {
-    let a = StudyReport::run(small_config(3));
-    let b = StudyReport::run(small_config(3));
+    let (a, _) = StudyReport::run_serial(&RunSpec::new(small_config(3)));
+    let (b, _) = StudyReport::run_serial(&RunSpec::new(small_config(3)));
     assert_eq!(a.table1.total, b.table1.total);
     assert_eq!(a.activity.totals, b.activity.totals);
     assert_eq!(a.moderation.interactions, b.moderation.interactions);
     assert_eq!(a.recommendation.total_feeds, b.recommendation.total_feeds);
     // And a different seed gives a different world.
-    let c = StudyReport::run(small_config(4));
+    let (c, _) = StudyReport::run_serial(&RunSpec::new(small_config(4)));
     assert_ne!(a.activity.totals, c.activity.totals);
 }

@@ -18,10 +18,9 @@
 //!    the clean run fetches, while still recording its retries.
 
 use bluesky_repro::bsky_atproto::blockstore::StoreConfig;
-use bluesky_repro::bsky_atproto::framing::FramingPolicy;
 use bluesky_repro::bsky_atproto::Datetime;
 use bluesky_repro::bsky_simnet::faults::{FaultPlan, FaultSpec, RetryPolicy, TimeoutClass};
-use bluesky_repro::bsky_study::{Collector, SnapshotMode, StudyAnalyzers, StudyReport};
+use bluesky_repro::bsky_study::{Collector, RunSpec, StudyAnalyzers, StudyReport};
 use bluesky_repro::bsky_workload::{ScenarioConfig, World};
 use std::sync::Arc;
 
@@ -41,24 +40,22 @@ fn run_faulted(
     spec: &FaultSpec,
     scenario: Option<&str>,
 ) -> (StudyReport, bluesky_repro::bsky_study::ShardedSummary) {
-    StudyReport::run_sharded_faulted(
-        config,
-        shards,
-        jobs,
-        SnapshotMode::Incremental,
-        store,
-        1,
-        FramingPolicy::default(),
-        spec,
-        scenario,
-    )
+    let mut run = RunSpec::new(config)
+        .shards(shards)
+        .jobs(jobs)
+        .store(store.clone())
+        .faults(spec.clone());
+    if let Some(name) = scenario {
+        run = run.scenario(name);
+    }
+    StudyReport::run(&run)
 }
 
 #[test]
 fn quiet_fault_plan_is_byte_inert() {
     for seed in [31u64, 32] {
         let config = small_config(seed);
-        let (baseline, _) = StudyReport::run_streaming(config);
+        let (baseline, _) = StudyReport::run_serial(&RunSpec::new(config));
         // Serial through the faulted terminal with the quiet spec.
         let (quiet, summary) = run_faulted(
             config,

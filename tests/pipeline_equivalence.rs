@@ -4,14 +4,16 @@
 //! the sharded run (`--jobs 4`) must be **byte-identical** to the serial
 //! run, for multiple seeds.
 //!
-//! The rendered report covers every table/figure field of every section and
-//! the JSON export covers the headline numbers, so string equality over both
-//! pins the full surface. A few structured fields are compared directly as
-//! well so a failure points at the diverging section.
+//! Every run is described by one `RunSpec`; the knob under test is the only
+//! builder call that differs between the compared specs. The rendered
+//! report covers every table/figure field of every section and the JSON
+//! export covers the headline numbers, so string equality over both pins
+//! the full surface. A few structured fields are compared directly as well
+//! so a failure points at the diverging section.
 
 use bluesky_repro::bsky_atproto::blockstore::StoreConfig;
 use bluesky_repro::bsky_atproto::Datetime;
-use bluesky_repro::bsky_study::{Collector, SnapshotMode, StudyReport};
+use bluesky_repro::bsky_study::{Collector, RunSpec, SnapshotMode, StudyReport};
 use bluesky_repro::bsky_workload::{ScenarioConfig, World};
 
 fn small_config(seed: u64) -> ScenarioConfig {
@@ -20,6 +22,10 @@ fn small_config(seed: u64) -> ScenarioConfig {
     config.end = Datetime::from_ymd(2024, 4, 20).unwrap();
     config.scale = 40_000;
     config
+}
+
+fn spec(seed: u64) -> RunSpec {
+    RunSpec::new(small_config(seed))
 }
 
 fn assert_reports_identical(streaming: &StudyReport, batch: &StudyReport, seed: u64) {
@@ -81,7 +87,7 @@ fn streaming_equals_batch_for_two_seeds() {
     for seed in [31u64, 32] {
         let config = small_config(seed);
         // Streaming: one pass, no retained firehose.
-        let (streaming, summary) = StudyReport::run_streaming(config);
+        let (streaming, summary) = StudyReport::run_serial(&spec(seed));
         // Batch: materialize the datasets, then compute from the vectors.
         let mut world = World::new(config);
         let datasets = Collector::new().run(&mut world);
@@ -107,22 +113,21 @@ fn streaming_equals_batch_for_two_seeds() {
 }
 
 #[test]
-fn run_is_the_streaming_path() {
-    let config = small_config(33);
-    let via_run = StudyReport::run(config);
-    let (via_streaming, _) = StudyReport::run_streaming(config);
-    assert_eq!(via_run.render(), via_streaming.render());
+fn run_and_run_serial_agree() {
+    let spec = spec(33);
+    let (via_run, _) = StudyReport::run(&spec);
+    let (via_serial, _) = StudyReport::run_serial(&spec);
+    assert_eq!(via_run.render(), via_serial.render());
 }
 
 #[test]
 fn sharded_run_is_byte_identical_to_serial() {
     for seed in [31u64, 32] {
-        let config = small_config(seed);
-        let (serial, _) = StudyReport::run_streaming(config);
+        let (serial, _) = StudyReport::run_serial(&spec(seed));
         // 4 shards on 4 worker threads: every stochastic decision derives
         // from (seed, DID, day), so partitioning the population must not
         // change a single byte of the rendered report or the JSON export.
-        let (sharded, summary) = StudyReport::run_sharded(config, 4, 4);
+        let (sharded, summary) = StudyReport::run(&spec(seed).shards(4).jobs(4));
         assert_eq!(summary.shards, 4);
         assert_eq!(summary.per_shard.len(), 4);
         assert_reports_identical(&sharded, &serial, seed);
@@ -145,15 +150,14 @@ fn sharded_run_is_byte_identical_to_serial() {
 #[test]
 fn incremental_snapshots_equal_full_refetch_serial_and_sharded() {
     for seed in [31u64, 32] {
-        let config = small_config(seed);
         // Full refetch: every repository CAR downloaded once, at the window
         // end (the §3 baseline).
         let (full, full_summary) =
-            StudyReport::run_sharded_with(config, 1, 1, SnapshotMode::FullRefetch);
+            StudyReport::run(&spec(seed).snapshots(SnapshotMode::FullRefetch));
         // Incremental: rev-aware weekly syncs through the repo mirror,
         // deltas for advanced repos, full CARs only for new DIDs.
         let (incremental, inc_summary) =
-            StudyReport::run_sharded_with(config, 1, 1, SnapshotMode::Incremental);
+            StudyReport::run(&spec(seed).snapshots(SnapshotMode::Incremental));
         assert_reports_identical(&incremental, &full, seed);
 
         // The incremental producer really used the delta path, and fetched
@@ -172,8 +176,12 @@ fn incremental_snapshots_equal_full_refetch_serial_and_sharded() {
 
         // And the incremental mode composes with the sharded engine: a
         // 4-shard incremental run renders byte-identically too.
-        let (sharded, sharded_summary) =
-            StudyReport::run_sharded_with(config, 4, 4, SnapshotMode::Incremental);
+        let (sharded, sharded_summary) = StudyReport::run(
+            &spec(seed)
+                .snapshots(SnapshotMode::Incremental)
+                .shards(4)
+                .jobs(4),
+        );
         assert_reports_identical(&sharded, &full, seed);
         assert!(
             sharded_summary.merged.repo_delta_fetches > 0,
@@ -185,20 +193,12 @@ fn incremental_snapshots_equal_full_refetch_serial_and_sharded() {
 #[test]
 fn paged_store_is_byte_identical_to_mem_store_serial_and_sharded() {
     for seed in [31u64, 32] {
-        let config = small_config(seed);
         // Baseline: the in-memory block store (the default everywhere).
-        let (mem, mem_summary) = StudyReport::run_sharded_store(
-            config,
-            1,
-            1,
-            SnapshotMode::Incremental,
-            &StoreConfig::mem(),
-        );
+        let (mem, mem_summary) = StudyReport::run(&spec(seed).store(StoreConfig::mem()));
         // Paged: tiny pages and a 2-page LRU so repositories, the relay
         // mirror and the producer mirror all actually spill to disk.
         let paged_config = StoreConfig::paged().page_size(4096).resident_pages(2);
-        let (paged, paged_summary) =
-            StudyReport::run_sharded_store(config, 1, 1, SnapshotMode::Incremental, &paged_config);
+        let (paged, paged_summary) = StudyReport::run(&spec(seed).store(paged_config.clone()));
         assert_reports_identical(&paged, &mem, seed);
         // The paged run really went through the spill path, and ended the
         // window with strictly fewer resident block bytes.
@@ -217,7 +217,7 @@ fn paged_store_is_byte_identical_to_mem_store_serial_and_sharded() {
         // And the paged backend composes with the sharded engine: 4 shards
         // on 4 workers, still byte-identical to the serial mem run.
         let (paged_sharded, sharded_summary) =
-            StudyReport::run_sharded_store(config, 4, 4, SnapshotMode::Incremental, &paged_config);
+            StudyReport::run(&spec(seed).store(paged_config).shards(4).jobs(4));
         assert_reports_identical(&paged_sharded, &mem, seed);
         assert!(
             sharded_summary.merged.spilled_block_bytes > 0,
@@ -229,9 +229,8 @@ fn paged_store_is_byte_identical_to_mem_store_serial_and_sharded() {
 #[test]
 fn appview_sharding_is_byte_identical_across_backends() {
     for seed in [31u64, 32] {
-        let config = small_config(seed);
         // Baseline: monolithic in-memory AppView (1 entity shard), serial.
-        let (baseline, _) = StudyReport::run_streaming(config);
+        let (baseline, _) = StudyReport::run_serial(&spec(seed));
         let paged = StoreConfig::paged().page_size(4096).resident_pages(2);
         // The full appview-shard-count × store-backend grid, serial AND on
         // the 4-shard engine: entity sharding and spill change only where
@@ -241,23 +240,16 @@ fn appview_sharding_is_byte_identical_across_backends() {
             (1, paged.clone(), "1 shard, paged"),
             (4, paged.clone(), "4 shards, paged"),
         ] {
-            let (serial, serial_summary) = StudyReport::run_sharded_appview(
-                config,
-                1,
-                1,
-                SnapshotMode::Incremental,
-                &store,
-                appview_shards,
-            );
+            let cell = |engine_shards: usize| {
+                spec(seed)
+                    .shards(engine_shards)
+                    .jobs(engine_shards)
+                    .store(store.clone())
+                    .appview_shards(appview_shards)
+            };
+            let (serial, serial_summary) = StudyReport::run(&cell(1));
             assert_reports_identical(&serial, &baseline, seed);
-            let (sharded_engine, _) = StudyReport::run_sharded_appview(
-                config,
-                4,
-                4,
-                SnapshotMode::Incremental,
-                &store,
-                appview_shards,
-            );
+            let (sharded_engine, _) = StudyReport::run(&cell(4));
             assert_reports_identical(&sharded_engine, &baseline, seed);
             // Paged layouts really exercised the spill path (repo, relay
             // and appview stores all ride the same backend).
@@ -275,37 +267,20 @@ fn appview_sharding_is_byte_identical_across_backends() {
 fn observatory_mitigations_never_change_the_report() {
     use bluesky_repro::bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
     for seed in [31u64, 32] {
-        let config = small_config(seed);
         // Baseline: the plain streaming run (implicitly FramingPolicy::none()).
-        let (baseline, _) = StudyReport::run_streaming(config);
+        let (baseline, _) = StudyReport::run_serial(&spec(seed));
         // Explicit no-op framing: the observatory tap is always on, but with
         // no padding and no batching it must not change a single report byte
         // — §4–§9 and the §10 mitigation sweep alike.
-        let none = FramingPolicy::none();
-        let (unpadded, unpadded_summary) = StudyReport::run_sharded_framed(
-            config,
-            1,
-            1,
-            SnapshotMode::default(),
-            &StoreConfig::mem(),
-            1,
-            none,
-        );
+        let (unpadded, unpadded_summary) =
+            StudyReport::run(&spec(seed).framing(FramingPolicy::none()));
         assert_reports_identical(&unpadded, &baseline, seed);
         // Mitigations on the wire: 128-byte padding buckets plus a 2-second
         // batching window. The §10 sweep is counterfactual (every cell is
         // evaluated from the captured raw traces), so the active policy may
         // only move StreamSummary counters — never a report byte.
         let mitigated = FramingPolicy::new(PaddingPolicy::Buckets, 2);
-        let (padded, padded_summary) = StudyReport::run_sharded_framed(
-            config,
-            1,
-            1,
-            SnapshotMode::default(),
-            &StoreConfig::mem(),
-            1,
-            mitigated,
-        );
+        let (padded, padded_summary) = StudyReport::run(&spec(seed).framing(mitigated));
         assert_reports_identical(&padded, &baseline, seed);
         // The capture layer really ran and the mitigation layer really cost
         // bytes: bucketed frames carry strictly more overhead than bare ones,
@@ -333,14 +308,12 @@ fn observatory_mitigations_never_change_the_report() {
         // report stays byte-identical and the wire accounting merges to the
         // exact serial totals (frame boundaries derive from (DID, time), so
         // partitioning the population cannot move them).
-        let (sharded, sharded_summary) = StudyReport::run_sharded_framed(
-            config,
-            4,
-            4,
-            SnapshotMode::default(),
-            &StoreConfig::mem(),
-            4,
-            mitigated,
+        let (sharded, sharded_summary) = StudyReport::run(
+            &spec(seed)
+                .framing(mitigated)
+                .shards(4)
+                .jobs(4)
+                .appview_shards(4),
         );
         assert_reports_identical(&sharded, &baseline, seed);
         assert_eq!(
@@ -363,30 +336,14 @@ fn observatory_mitigations_never_change_the_report() {
 fn observatory_is_byte_identical_across_store_backends() {
     use bluesky_repro::bsky_atproto::framing::{FramingPolicy, PaddingPolicy};
     let seed = 31u64;
-    let config = small_config(seed);
     let mitigated = FramingPolicy::new(PaddingPolicy::Buckets, 2);
     // Mitigated wire over the in-memory store...
-    let (mem, mem_summary) = StudyReport::run_sharded_framed(
-        config,
-        1,
-        1,
-        SnapshotMode::Incremental,
-        &StoreConfig::mem(),
-        1,
-        mitigated,
-    );
+    let (mem, mem_summary) = StudyReport::run(&spec(seed).framing(mitigated));
     // ...and over the paged disk-spill store: where blocks live is invisible
     // to the wire, so the report and the wire accounting are identical.
     let paged_config = StoreConfig::paged().page_size(4096).resident_pages(2);
-    let (paged, paged_summary) = StudyReport::run_sharded_framed(
-        config,
-        1,
-        1,
-        SnapshotMode::Incremental,
-        &paged_config,
-        1,
-        mitigated,
-    );
+    let (paged, paged_summary) =
+        StudyReport::run(&spec(seed).framing(mitigated).store(paged_config));
     assert_reports_identical(&paged, &mem, seed);
     assert_eq!(
         paged_summary.merged.wire_frames,
@@ -404,9 +361,8 @@ fn observatory_is_byte_identical_across_store_backends() {
 
 #[test]
 fn sharded_run_is_independent_of_worker_count() {
-    let config = small_config(34);
-    let (jobs1, _) = StudyReport::run_sharded(config, 3, 1);
-    let (jobs3, _) = StudyReport::run_sharded(config, 3, 3);
+    let (jobs1, _) = StudyReport::run(&spec(34).shards(3).jobs(1));
+    let (jobs3, _) = StudyReport::run(&spec(34).shards(3).jobs(3));
     assert_eq!(jobs1.render(), jobs3.render());
     assert_eq!(
         jobs1.to_json().to_string_pretty(),
