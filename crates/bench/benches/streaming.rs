@@ -8,6 +8,12 @@
 //!   either way (pinned by `tests/pipeline_equivalence.rs`); this bench
 //!   tracks the wall-clock ratio. On hardware with ≥ 4 CPUs the sharded run
 //!   must be ≥ 2.5× faster; on smaller machines the ratio is only reported.
+//! * **intra-shard pipeline** — the same 4×4 sharded run with `--pipeline
+//!   --analyzer-threads 2`: each shard's producer ships owned observation
+//!   batches over a bounded channel to analyzer workers so store I/O
+//!   overlaps analyzer CPU. Byte-identical output (same golden pin); on
+//!   ≥ 4 CPUs the pipelined run must be ≥ 1.15× faster than pipeline-off
+//!   (exported as `pipelined4_ns_per_day` / `pipeline_speedup`).
 //! * **bounded in-flight events** — the producer drains the relay in
 //!   constant-size chunks, so the peak subscription batch must not scale
 //!   with daily volume (asserted across a 3× population difference).
@@ -94,24 +100,41 @@ fn main() {
     let mut group = BenchGroup::new("streaming");
     group.sample_size(5);
 
-    // Wall clock: serial single pass vs 4 shards on 4 worker threads.
+    // Wall clock: serial single pass vs 4 shards on 4 worker threads vs
+    // the same sharded run with the intra-shard pipeline on (producer /
+    // analyzer decoupling + 2 analyzer workers per shard).
     let serial_spec = RunSpec::new(config);
     let sharded_spec = RunSpec::new(config).shards(4).jobs(4);
+    let pipelined_spec = RunSpec::new(config)
+        .shards(4)
+        .jobs(4)
+        .pipeline(true)
+        .analyzer_threads(2);
     let serial = group.measure("serial_single_pass", || {
         StudyReport::run_serial(&serial_spec)
     });
     let sharded = group.measure("sharded_4x4", || StudyReport::run(&sharded_spec));
+    let pipelined = group.measure("pipelined_4x4", || StudyReport::run(&pipelined_spec));
     let speedup = serial.as_secs_f64() / sharded.as_secs_f64().max(1e-12);
+    let pipeline_speedup = sharded.as_secs_f64() / pipelined.as_secs_f64().max(1e-12);
     println!(
         "sharded speedup: {speedup:.2}x over serial ({} CPU(s) available, {:.0} ns/day serial, {:.0} ns/day sharded)",
         parallelism,
         serial.as_nanos() as f64 / days as f64,
         sharded.as_nanos() as f64 / days as f64,
     );
+    println!(
+        "pipeline speedup: {pipeline_speedup:.2}x over pipeline-off sharded ({:.0} ns/day pipelined)",
+        pipelined.as_nanos() as f64 / days as f64,
+    );
     if !smoke && parallelism >= 4 {
         assert!(
             speedup >= 2.5,
             "sharded run must be >= 2.5x faster than serial on >=4 CPUs, got {speedup:.2}x"
+        );
+        assert!(
+            pipeline_speedup >= 1.15,
+            "pipelined run must be >= 1.15x faster than pipeline-off on >=4 CPUs, got {pipeline_speedup:.2}x"
         );
     }
 
@@ -486,7 +509,9 @@ fn main() {
             .with("cursor_gap_drops", chaos.cursor_gap_drops)
             .with("serial_ns_per_day", serial.as_nanos() as u64 / days)
             .with("sharded4_ns_per_day", sharded.as_nanos() as u64 / days)
-            .with("sharded_speedup", speedup);
+            .with("sharded_speedup", speedup)
+            .with("pipelined4_ns_per_day", pipelined.as_nanos() as u64 / days)
+            .with("pipeline_speedup", pipeline_speedup);
         // Benches run with the package as cwd; anchor the export at the
         // workspace root so the trajectory file has a stable path.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");

@@ -11,9 +11,14 @@
 //!     faithfully as eight, so this is the one timing the trajectory never
 //!     lets drift;
 //!   * `sharded_speedup` must not drop below 80 % of the baseline;
-//!   * `sharded4_ns_per_day` must not exceed 120 % of the baseline.
+//!   * `sharded4_ns_per_day` must not exceed 120 % of the baseline;
+//!   * `pipeline_speedup` must not drop below 85 % of the baseline (the
+//!     intra-shard pipeline win is gated at 15 %, matching the streaming
+//!     bench's own ≥ 1.15× assertion);
+//!   * `pipelined4_ns_per_day` must not exceed 115 % of the baseline.
 //!
-//! The *parallel* comparisons (`sharded_speedup`, `sharded4_ns_per_day`)
+//! The *parallel* comparisons (`sharded_speedup`, `sharded4_ns_per_day`,
+//! `pipeline_speedup`, `pipelined4_ns_per_day`)
 //! are skipped gracefully when either side ran on fewer than 4 CPUs — the
 //! same hardware gate the streaming bench applies to its own speedup
 //! assertion — because single-digit-core container parallelism is not
@@ -35,6 +40,10 @@ use bsky_study::json::Json;
 
 /// Allowed regression: values may move 20 % in the bad direction.
 const TOLERANCE: f64 = 0.20;
+/// Tighter gate for the intra-shard pipeline metrics: a 15 % regression of
+/// `pipeline_speedup` / `pipelined4_ns_per_day` fails the build, matching
+/// the streaming bench's own ≥ 1.15× speedup assertion.
+const PIPELINE_TOLERANCE: f64 = 0.15;
 /// Timing comparisons need at least this many CPUs on both sides.
 const MIN_CPUS: u64 = 4;
 
@@ -144,21 +153,38 @@ fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
 
     // Serial throughput is enforced on every run: one pinned core measures
     // it as faithfully as eight, so it is never CPU-gated. Lower is better.
-    let check_ns_per_day = |key: &str, log: &mut Vec<String>, regressions: &mut Vec<String>| {
-        if let (Some(cur), Some(base)) = (get_f64(current, key), get_f64(baseline, key)) {
-            let ceiling = base * (1.0 + TOLERANCE);
-            log.push(format!(
-                "{key}: {cur:.0} vs baseline {base:.0} (ceiling {ceiling:.0})"
-            ));
-            if cur > ceiling {
-                regressions.push(format!(
-                    "{key} regressed: {cur:.0} > {ceiling:.0} (baseline {base:.0} + {}%)",
-                    (TOLERANCE * 100.0) as u64
+    let check_ns_per_day =
+        |key: &str, tolerance: f64, log: &mut Vec<String>, regressions: &mut Vec<String>| {
+            if let (Some(cur), Some(base)) = (get_f64(current, key), get_f64(baseline, key)) {
+                let ceiling = base * (1.0 + tolerance);
+                log.push(format!(
+                    "{key}: {cur:.0} vs baseline {base:.0} (ceiling {ceiling:.0})"
                 ));
+                if cur > ceiling {
+                    regressions.push(format!(
+                        "{key} regressed: {cur:.0} > {ceiling:.0} (baseline {base:.0} + {}%)",
+                        (tolerance * 100.0) as u64
+                    ));
+                }
             }
-        }
-    };
-    check_ns_per_day("serial_ns_per_day", &mut log, &mut regressions);
+        };
+    // Speedups: higher is better, so the gate is a floor below the baseline.
+    let check_speedup_floor =
+        |key: &str, tolerance: f64, log: &mut Vec<String>, regressions: &mut Vec<String>| {
+            if let (Some(cur), Some(base)) = (get_f64(current, key), get_f64(baseline, key)) {
+                let floor = base * (1.0 - tolerance);
+                log.push(format!(
+                    "{key}: {cur:.2} vs baseline {base:.2} (floor {floor:.2})"
+                ));
+                if cur < floor {
+                    regressions.push(format!(
+                        "{key} regressed: {cur:.2} < {floor:.2} (baseline {base:.2} - {}%)",
+                        (tolerance * 100.0) as u64
+                    ));
+                }
+            }
+        };
+    check_ns_per_day("serial_ns_per_day", TOLERANCE, &mut log, &mut regressions);
 
     let cpus_ok = |doc: &Json| doc["parallelism"].as_u64().unwrap_or(0) >= MIN_CPUS;
     if !cpus_ok(current) || !cpus_ok(baseline) {
@@ -168,23 +194,20 @@ fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
             baseline["parallelism"].as_u64().unwrap_or(0),
         ));
     } else {
-        // Speedup: higher is better.
-        if let (Some(cur), Some(base)) = (
-            get_f64(current, "sharded_speedup"),
-            get_f64(baseline, "sharded_speedup"),
-        ) {
-            let floor = base * (1.0 - TOLERANCE);
-            log.push(format!(
-                "sharded_speedup: {cur:.2} vs baseline {base:.2} (floor {floor:.2})"
-            ));
-            if cur < floor {
-                regressions.push(format!(
-                    "sharded_speedup regressed: {cur:.2} < {floor:.2} (baseline {base:.2} - {}%)",
-                    (TOLERANCE * 100.0) as u64
-                ));
-            }
-        }
-        check_ns_per_day("sharded4_ns_per_day", &mut log, &mut regressions);
+        check_speedup_floor("sharded_speedup", TOLERANCE, &mut log, &mut regressions);
+        check_ns_per_day("sharded4_ns_per_day", TOLERANCE, &mut log, &mut regressions);
+        check_speedup_floor(
+            "pipeline_speedup",
+            PIPELINE_TOLERANCE,
+            &mut log,
+            &mut regressions,
+        );
+        check_ns_per_day(
+            "pipelined4_ns_per_day",
+            PIPELINE_TOLERANCE,
+            &mut log,
+            &mut regressions,
+        );
     }
 
     if regressions.is_empty() {
@@ -253,6 +276,8 @@ mod tests {
             .with("sharded_speedup", speedup)
             .with("serial_ns_per_day", serial_ns)
             .with("sharded4_ns_per_day", serial_ns / 2)
+            .with("pipelined4_ns_per_day", 300_000u64)
+            .with("pipeline_speedup", 1.5f64)
             .with("snapshot_bytes_fetched_incremental", inc)
             .with("snapshot_bytes_fetched_full", full)
             .with("resident_block_bytes_mem", 10_000u64)
@@ -309,6 +334,53 @@ mod tests {
             regressions.iter().any(|r| r.contains("serial_ns_per_day")),
             "{regressions:?}"
         );
+    }
+
+    #[test]
+    fn pipeline_speedup_regression_fails_at_fifteen_percent() {
+        let baseline = export(8, 3.0, 1_000_000, 700, 1_000);
+        // 1.20 vs baseline 1.5: a 20 % drop, past the 15 % pipeline gate.
+        let current = export(8, 3.0, 1_000_000, 700, 1_000).with("pipeline_speedup", 1.2f64);
+        let (outcome, _) = compare(&current, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(
+            regressions.iter().any(|r| r.contains("pipeline_speedup")),
+            "{regressions:?}"
+        );
+        // A drift inside the 15 % tolerance passes.
+        let current = export(8, 3.0, 1_000_000, 700, 1_000).with("pipeline_speedup", 1.4f64);
+        let (outcome, _) = compare(&current, &baseline);
+        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn pipelined_ns_per_day_regression_fails() {
+        let baseline = export(8, 3.0, 1_000_000, 700, 1_000);
+        let current =
+            export(8, 3.0, 1_000_000, 700, 1_000).with("pipelined4_ns_per_day", 500_000u64);
+        let (outcome, _) = compare(&current, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(
+            regressions
+                .iter()
+                .any(|r| r.contains("pipelined4_ns_per_day")),
+            "{regressions:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_checks_are_cpu_gated_like_the_other_parallel_timings() {
+        // A pipeline collapse on a 1-CPU container must not fail the build.
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        let current = export(1, 0.9, 1_000_000, 700, 1_000)
+            .with("pipeline_speedup", 0.4f64)
+            .with("pipelined4_ns_per_day", 10_000_000u64);
+        let (outcome, _) = compare(&current, &baseline);
+        assert!(matches!(outcome, Outcome::Pass { .. }), "{outcome:?}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! Usage:
 //!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
-//!         [--jobs N] [--shards N] [--appview-shards N] [--writeback on|off]
+//!         [--jobs auto|N] [--shards N] [--pipeline] [--analyzer-threads N]
+//!         [--appview-shards N] [--writeback on|off]
 //!         [--json] [--stream] [--batch] [--incremental | --full-snapshots]
 //!         [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]
 //!         [--padding none|buckets|constant] [--batch-window SECS]
@@ -20,9 +21,14 @@
 //! (default 2000 ⇒ ≈2,760 users). `--jobs N` runs the collection sharded:
 //! the population is partitioned by DID hash into `--shards` shards
 //! (default: one per job) simulated on `N` worker threads and merged — the
-//! report is byte-identical to the serial run. `--seeds`/`--scales` run a
-//! whole grid in one call via `StudyBatch` and print the comparison table
-//! instead of a single report.
+//! report is byte-identical to the serial run. `--jobs auto` (the default
+//! when only `--shards` is given) resolves to the machine's available
+//! parallelism clamped to the shard count. `--pipeline` decouples each
+//! shard's producer from its analyzers over a bounded channel and fans the
+//! analyzer set across `--analyzer-threads N` workers (default 2) — same
+//! bytes, more cores. `--seeds`/`--scales` run a whole grid in one call
+//! via `StudyBatch` and print the comparison table instead of a single
+//! report.
 //! `--incremental` (the default) keeps the §3 repositories dataset through
 //! rev-aware weekly syncs with `getRepo(since)` deltas; `--full-snapshots`
 //! restores the window-end full refetch.
@@ -53,7 +59,7 @@ use bsky_study::faults::{FaultSpec, SCENARIO_NAMES};
 use bsky_study::{RunSpec, SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs N] [--shards N] [--appview-shards N] [--writeback on|off] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS] [--scenario NAME | --faults SPEC]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs auto|N] [--shards N] [--pipeline] [--analyzer-threads N] [--appview-shards N] [--writeback on|off] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS] [--scenario NAME | --faults SPEC]";
 
 /// Parsed command line: the library [`RunSpec`] plus the CLI-only output
 /// modes.
@@ -106,6 +112,7 @@ fn parse_list(flag: &str, value: Option<&String>) -> Result<Vec<u64>, String> {
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options::default();
     let mut shards: Option<usize> = None;
+    let mut analyzer_threads: Option<usize> = None;
     let mut incremental_flag = false;
     let mut full_snapshots_flag = false;
     let mut store_kind: Option<StoreKind> = None;
@@ -135,7 +142,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 i += 1;
             }
             "--jobs" => {
-                opts.spec.jobs = parse_value("--jobs", args.get(i + 1))?;
+                let raw: String = parse_value("--jobs", args.get(i + 1))?;
+                if raw == "auto" {
+                    opts.spec.jobs = None;
+                } else {
+                    opts.spec.jobs = Some(
+                        raw.parse()
+                            .map_err(|_| format!("invalid value for --jobs: {raw:?}"))?,
+                    );
+                }
+                i += 1;
+            }
+            "--pipeline" => opts.spec.pipeline = true,
+            "--analyzer-threads" => {
+                analyzer_threads = Some(parse_value("--analyzer-threads", args.get(i + 1))?);
                 i += 1;
             }
             "--shards" => {
@@ -220,15 +240,27 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if full_snapshots_flag {
         opts.spec.snapshots = SnapshotMode::FullRefetch;
     }
-    // The shard count defaults to one shard per worker; an explicit
-    // `--shards` may exceed the worker count (more shards than threads is
-    // fine — they queue) but never the other way around (validate checks).
-    opts.spec.shards = shards.unwrap_or(opts.spec.jobs);
-    if opts.batch && (opts.spec.jobs > 1 || opts.spec.shards > 1) {
+    // The shard count defaults to one shard per explicit worker (auto jobs
+    // keep the default single shard); an explicit `--shards` may exceed
+    // the worker count (more shards than threads is fine — they queue) but
+    // never the other way around (validate checks).
+    opts.spec.shards = shards.unwrap_or(opts.spec.jobs.unwrap_or(1));
+    if opts.batch && (opts.spec.jobs.unwrap_or(1) > 1 || opts.spec.shards > 1) {
         return Err("--batch cannot be combined with --jobs/--shards".into());
     }
     if opts.batch && opts.spec.is_grid() {
         return Err("--batch cannot be combined with --seeds/--scales".into());
+    }
+    // The intra-shard pipeline replaces the sink the streaming engine
+    // folds into; the legacy materializing collector has no equivalent.
+    if opts.batch && opts.spec.pipeline {
+        return Err("--batch cannot be combined with --pipeline".into());
+    }
+    if let Some(threads) = analyzer_threads {
+        if !opts.spec.pipeline {
+            return Err("--analyzer-threads requires --pipeline".into());
+        }
+        opts.spec.analyzer_threads = threads;
     }
     // Block-store selection: page geometry only makes sense for the paged
     // backend.
@@ -325,13 +357,18 @@ fn main() {
     }
 
     eprintln!(
-        "running study: seed {}, scale 1:{} (≈{} users, {} simulated days, {} shard(s) on {} thread(s))...",
+        "running study: seed {}, scale 1:{} (≈{} users, {} simulated days, {} shard(s) on {} thread(s){})...",
         spec.config.seed,
         spec.config.scale,
         spec.config.target_users(),
         spec.config.total_days(),
         spec.shards,
-        spec.jobs,
+        spec.effective_jobs(),
+        if spec.pipeline {
+            format!(", pipelined × {} analyzer thread(s)", spec.analyzer_threads)
+        } else {
+            String::new()
+        },
     );
     let report = if opts.batch {
         StudyReport::run_batch(spec)
@@ -368,13 +405,69 @@ mod tests {
     #[test]
     fn jobs_and_shards_parse() {
         let opts = parse_args(&args(&["--jobs", "4"])).unwrap().unwrap();
-        assert_eq!(opts.spec.jobs, 4);
+        assert_eq!(opts.spec.jobs, Some(4));
         assert_eq!(opts.spec.shards, 4, "shards default to one per job");
         let opts = parse_args(&args(&["--jobs", "2", "--shards", "8"]))
             .unwrap()
             .unwrap();
-        assert_eq!(opts.spec.jobs, 2);
+        assert_eq!(opts.spec.jobs, Some(2));
         assert_eq!(opts.spec.shards, 8);
+    }
+
+    #[test]
+    fn auto_jobs_parse() {
+        // The default is auto: one shard, so the run stays serial.
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opts.spec.jobs, None);
+        assert_eq!(opts.spec.shards, 1);
+        assert_eq!(opts.spec.effective_jobs(), 1);
+        // An explicit `--jobs auto` with `--shards` resolves to the
+        // machine's parallelism clamped to the shard count.
+        let opts = parse_args(&args(&["--jobs", "auto", "--shards", "8"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.spec.jobs, None);
+        assert_eq!(opts.spec.shards, 8);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(opts.spec.effective_jobs(), cores.clamp(1, 8));
+        assert!(parse_args(&args(&["--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn pipeline_flags_parse() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert!(!opts.spec.pipeline);
+        let opts = parse_args(&args(&["--pipeline"])).unwrap().unwrap();
+        assert!(opts.spec.pipeline);
+        assert_eq!(opts.spec.analyzer_threads, 2, "default worker count");
+        let opts = parse_args(&args(&["--pipeline", "--analyzer-threads", "4"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.spec.analyzer_threads, 4);
+        // Composes with sharding, stores and scenarios.
+        assert!(parse_args(&args(&[
+            "--pipeline",
+            "--analyzer-threads",
+            "2",
+            "--jobs",
+            "2",
+            "--store",
+            "paged",
+            "--scenario",
+            "label-storm",
+        ]))
+        .is_ok());
+        // Errors: worker count without the pipeline, zero/over-limit
+        // counts, batch and grid conflicts.
+        let err = parse_args(&args(&["--analyzer-threads", "2"])).unwrap_err();
+        assert!(err.contains("requires --pipeline"), "{err}");
+        assert!(parse_args(&args(&["--pipeline", "--analyzer-threads", "0"])).is_err());
+        assert!(parse_args(&args(&["--pipeline", "--analyzer-threads", "9"])).is_err());
+        assert!(parse_args(&args(&["--pipeline", "--analyzer-threads"])).is_err());
+        assert!(parse_args(&args(&["--pipeline", "--batch"])).is_err());
+        assert!(parse_args(&args(&["--pipeline", "--seeds", "1,2"])).is_err());
     }
 
     #[test]

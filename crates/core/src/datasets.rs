@@ -787,6 +787,12 @@ impl Collector {
     /// the sink, then emit the final snapshots. One pass; nothing is
     /// retained here beyond per-DID dedup state, and at most one chunk of
     /// firehose events is in flight at any time.
+    ///
+    /// The sink may itself be concurrent: under `--pipeline` this producer
+    /// feeds a [`crate::shard::PipelinedSink`], which materializes each
+    /// borrowed [`Observation`] into an owned batch and ships it to analyzer
+    /// worker threads. The bounded channel's backpressure transfers the
+    /// one-chunk memory bound across the thread boundary unchanged.
     pub fn stream<S: ObservationSink>(&mut self, world: &mut World, sink: &mut S) -> StreamSummary {
         // Each stream is a complete, independent collection: reset the
         // per-run producer state so a reused collector starts fresh.

@@ -29,6 +29,7 @@
 //!   hash, one producer + analyzer set runs per shard on worker threads,
 //!   and the per-shard states are merged (every analyzer implements an
 //!   associative `merge`) into a report byte-identical to the serial run's.
+//!
 //! * [`spec`] — [`RunSpec`], the one builder every run flows through:
 //!   seeds, scales, engine shards and worker threads, snapshot mode,
 //!   block-store backend, AppView entity shards, the write-back cache,
@@ -44,6 +45,25 @@
 //! * [`stats`] — quantiles, Pearson correlation, share tables.
 //! * [`langdetect`] — the language detector used on feed descriptions.
 //! * [`json`] — a dependency-free JSON tree for the headline-number export.
+//!
+//! ## The intra-shard pipeline
+//!
+//! Sharding parallelizes across shards; [`RunSpec::pipeline`] (repro
+//! `--pipeline`) parallelizes *inside* each one. The producer materializes
+//! its borrowed bus items into owned, sequence-numbered
+//! [`pipeline::ObservationBatch`]es and ships them over bounded channels
+//! to [`RunSpec::analyzer_threads`] workers, each folding a disjoint
+//! subset of the eight analyzers ([`shard::ShardSink::fan_out_parts`]).
+//! Backpressure preserves the one-chunk memory bound, sequence assertions
+//! make every part fold the exact serial stream, and the parts reassemble
+//! through the same merge law at shard end — so the report stays
+//! byte-identical for any `(shards, jobs, analyzer_threads)`, while the
+//! producer's store I/O overlaps with analyzer CPU. Observations whose
+//! analyzers need the live world at observe time (the end-of-window DID
+//! documents, [`pipeline::Observation::requires_world_ctx`]) drain the
+//! workers and fold inline. `RunSpec::jobs` defaults to the machine's
+//! available parallelism clamped to the shard count
+//! ([`RunSpec::effective_jobs`]).
 //!
 //! ## Faults & scenarios
 //!
@@ -90,7 +110,10 @@ pub mod stats;
 pub use bsky_simnet::faults;
 pub use datasets::{Collector, Datasets, IncrementalRepoMirror, SnapshotMode};
 pub use observatory::{ActivityClass, ObservatoryAnalyzer, ObservatoryReport, WireTraceDay};
-pub use pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx, StudyEngine};
+pub use pipeline::{
+    Analyzer, Observation, ObservationBatch, ObservationSink, OwnedObservation, StreamSummary,
+    StudyCtx, StudyEngine,
+};
 pub use report::{StudyBatch, StudyReport};
-pub use shard::{collect_sharded, ShardSink, ShardedSummary, StudyAnalyzers};
+pub use shard::{collect_sharded, PipelinedSink, ShardSink, ShardedSummary, StudyAnalyzers};
 pub use spec::RunSpec;

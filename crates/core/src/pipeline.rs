@@ -122,6 +122,157 @@ pub enum Observation<'a> {
     },
 }
 
+impl Observation<'_> {
+    /// Whether folding this observation may require the live world context
+    /// ([`StudyCtx::world`]). Analyzers run the study's *active*
+    /// measurements (DNS, well-known fetches, WHOIS, Tranco, PSL) when a
+    /// DID document streams by, so those observations cannot be folded on a
+    /// detached analyzer worker — the intra-shard pipeline
+    /// ([`crate::shard::PipelinedSink`]) drains its workers and folds them
+    /// inline on the producer thread instead.
+    pub fn requires_world_ctx(&self) -> bool {
+        matches!(self, Observation::DidDocument { .. })
+    }
+
+    /// Materialize this borrowed bus item into its owned form so it can
+    /// cross a thread boundary (see [`OwnedObservation`]).
+    pub fn to_owned_observation(&self) -> OwnedObservation {
+        match *self {
+            Observation::WindowStart {
+                firehose_collection_start,
+                collection_end,
+            } => OwnedObservation::WindowStart {
+                firehose_collection_start,
+                collection_end,
+            },
+            Observation::DayBoundary { day } => OwnedObservation::DayBoundary { day },
+            Observation::Firehose(event) => OwnedObservation::Firehose(event.clone()),
+            Observation::UserIdentifier { did, rev } => OwnedObservation::UserIdentifier {
+                did: did.clone(),
+                rev: rev.map(str::to_owned),
+            },
+            Observation::DidDocument { doc, via_web } => OwnedObservation::DidDocument {
+                doc: doc.clone(),
+                via_web,
+            },
+            Observation::Labeler(entry) => OwnedObservation::Labeler(entry.clone()),
+            Observation::Labels { src, labels } => OwnedObservation::Labels {
+                src: src.clone(),
+                labels: labels.to_vec(),
+            },
+            Observation::FeedGenerator(entry) => OwnedObservation::FeedGenerator(entry.clone()),
+            Observation::Repo(snapshot) => OwnedObservation::Repo(snapshot.clone()),
+            Observation::WireTrace(trace) => OwnedObservation::WireTrace(trace.clone()),
+            Observation::WindowEnd { at } => OwnedObservation::WindowEnd { at },
+        }
+    }
+}
+
+/// The owned counterpart of [`Observation`]: every payload materialized so
+/// a bus item can outlive its producer and cross a thread boundary.
+///
+/// The intra-shard pipeline ([`crate::shard::PipelinedSink`]) batches these
+/// per day-chunk and ships them over a bounded channel to the analyzer
+/// workers; [`OwnedObservation::as_observation`] re-borrows the exact bus
+/// item on the receiving side, so analyzers never see the difference — the
+/// round-trip is pinned by the property test in
+/// `tests/pipeline_equivalence.rs`.
+#[derive(Debug, Clone)]
+pub enum OwnedObservation {
+    /// See [`Observation::WindowStart`].
+    WindowStart {
+        /// When the continuous firehose subscription begins.
+        firehose_collection_start: Datetime,
+        /// Day after the last collected day.
+        collection_end: Datetime,
+    },
+    /// See [`Observation::DayBoundary`].
+    DayBoundary {
+        /// Start of the day.
+        day: Datetime,
+    },
+    /// See [`Observation::Firehose`].
+    Firehose(Event),
+    /// See [`Observation::UserIdentifier`].
+    UserIdentifier {
+        /// The account DID.
+        did: Did,
+        /// Latest repo revision, if any.
+        rev: Option<String>,
+    },
+    /// See [`Observation::DidDocument`].
+    DidDocument {
+        /// The document.
+        doc: DidDocument,
+        /// Whether it was fetched over HTTPS as a did:web document.
+        via_web: bool,
+    },
+    /// See [`Observation::Labeler`].
+    Labeler(LabelerEntry),
+    /// See [`Observation::Labels`].
+    Labels {
+        /// The issuing labeler.
+        src: Did,
+        /// The new stream entries, in publication order.
+        labels: Vec<Label>,
+    },
+    /// See [`Observation::FeedGenerator`].
+    FeedGenerator(FeedGenEntry),
+    /// See [`Observation::Repo`].
+    Repo(RepoSnapshot),
+    /// See [`Observation::WireTrace`].
+    WireTrace(WireTraceDay),
+    /// See [`Observation::WindowEnd`].
+    WindowEnd {
+        /// The end of the collection window.
+        at: Datetime,
+    },
+}
+
+impl OwnedObservation {
+    /// Re-borrow this owned item as the bus [`Observation`] it was
+    /// materialized from.
+    pub fn as_observation(&self) -> Observation<'_> {
+        match self {
+            OwnedObservation::WindowStart {
+                firehose_collection_start,
+                collection_end,
+            } => Observation::WindowStart {
+                firehose_collection_start: *firehose_collection_start,
+                collection_end: *collection_end,
+            },
+            OwnedObservation::DayBoundary { day } => Observation::DayBoundary { day: *day },
+            OwnedObservation::Firehose(event) => Observation::Firehose(event),
+            OwnedObservation::UserIdentifier { did, rev } => Observation::UserIdentifier {
+                did,
+                rev: rev.as_deref(),
+            },
+            OwnedObservation::DidDocument { doc, via_web } => Observation::DidDocument {
+                doc,
+                via_web: *via_web,
+            },
+            OwnedObservation::Labeler(entry) => Observation::Labeler(entry),
+            OwnedObservation::Labels { src, labels } => Observation::Labels { src, labels },
+            OwnedObservation::FeedGenerator(entry) => Observation::FeedGenerator(entry),
+            OwnedObservation::Repo(snapshot) => Observation::Repo(snapshot),
+            OwnedObservation::WireTrace(trace) => Observation::WireTrace(trace),
+            OwnedObservation::WindowEnd { at } => Observation::WindowEnd { at: *at },
+        }
+    }
+}
+
+/// One sequence-numbered batch of owned observations — the unit the
+/// intra-shard pipeline ships from the producer thread to its analyzer
+/// workers. Workers assert they fold batches in contiguous `seq` order, so
+/// channel scheduling can never reorder the stream an analyzer sees.
+#[derive(Debug, Clone)]
+pub struct ObservationBatch {
+    /// Position of this batch in the shard's stream (0-based, contiguous).
+    pub seq: u64,
+    /// The materialized bus items, in emission order.
+    pub items: Vec<OwnedObservation>,
+}
+
 /// Read-only context handed to analyzers with every observation and at
 /// finish time.
 ///
@@ -434,6 +585,11 @@ pub struct StreamSummary {
     pub storm_labels_applied: u64,
     /// Accounts deleted by the injected tombstone storm.
     pub storm_tombstones: u64,
+    /// Observation batches the intra-shard pipeline shipped from the
+    /// producer thread to its analyzer workers (zero when the pipeline is
+    /// off). Diagnostics only — never rendered into the report, so
+    /// pipelined reports stay byte-identical.
+    pub pipeline_batches: u64,
 }
 
 impl StreamSummary {
@@ -510,6 +666,12 @@ impl StreamSummary {
                 self.cursor_gap_drops, self.cursor_rewind_replays
             ));
         }
+        if self.pipeline_batches > 0 {
+            out.push_str(&format!(
+                "; pipeline: {} observation batch(es) to analyzer workers",
+                self.pipeline_batches
+            ));
+        }
         if self.did_doc_fetch_failures > 0 {
             out.push_str(&format!(
                 "; did docs: {} fetch failure(s)",
@@ -572,6 +734,7 @@ impl StreamSummary {
         self.spam_posts_injected += other.spam_posts_injected;
         self.storm_labels_applied += other.storm_labels_applied;
         self.storm_tombstones += other.storm_tombstones;
+        self.pipeline_batches += other.pipeline_batches;
     }
 }
 

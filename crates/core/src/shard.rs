@@ -11,6 +11,25 @@
 //! influences the result; [`RunSpec::jobs`] only bounds how many shards are
 //! in flight at once.
 //!
+//! ## The intra-shard pipeline
+//!
+//! Sharding parallelizes *across* shards; [`PipelinedSink`]
+//! ([`RunSpec::pipeline`], repro `--pipeline`) parallelizes *inside* one:
+//! the producer materializes its borrowed bus items into sequence-numbered
+//! [`ObservationBatch`]es and ships them over bounded channels to
+//! [`RunSpec::analyzer_threads`] workers, each of which owns a disjoint
+//! subset of the sink's [`ShardSink::fan_out_parts`] (the eight study
+//! analyzers). Backpressure on the bounded channel preserves today's
+//! memory bound; workers assert contiguous sequence order, so every part
+//! folds the exact serial stream; and at shard end the parts are absorbed
+//! back together in part order — exact by the merge law, because merging
+//! a folded part into a default-state peer is the identity. Observations
+//! that need the live world at observe time
+//! ([`Observation::requires_world_ctx`], the end-of-window DID documents
+//! whose analyzer runs active measurements) drain the workers and fold
+//! inline on the producer thread. The result is byte-identical for any
+//! `(shards, jobs, analyzer_threads)` — pinned by the golden tests.
+//!
 //! Every run knob rides in on the [`RunSpec`]: snapshot mode changes only
 //! how much repository data each producer fetches, the store backend only
 //! where blocks reside, AppView entity shards and the write-back cache only
@@ -24,11 +43,17 @@ use crate::analysis::{
 };
 use crate::datasets::Collector;
 use crate::observatory::ObservatoryAnalyzer;
-use crate::pipeline::{Analyzer, Observation, ObservationSink, StreamSummary, StudyCtx};
+use crate::pipeline::{
+    Analyzer, Observation, ObservationBatch, ObservationSink, OwnedObservation, StreamSummary,
+    StudyCtx,
+};
 use crate::spec::RunSpec;
 use bsky_simnet::faults::FaultPlan;
 use bsky_workload::{PopulationPlan, ShardSpec, World, WorldSpec};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 
 /// An observation sink that can run sharded: each shard folds observations
 /// into a fresh [`Default`] instance on its worker thread, and the
@@ -36,10 +61,30 @@ use std::sync::{Arc, Mutex};
 ///
 /// `absorb` must be associative and agree with serial observation order —
 /// the same merge law every [`Analyzer`] obeys — so that the sharded result
-/// is byte-identical to the serial one.
-pub trait ShardSink: ObservationSink + Default + Send {
+/// is byte-identical to the serial one. (`'static` because shard workers
+/// and the intra-shard pipeline move sink instances across threads.)
+pub trait ShardSink: ObservationSink + Default + Send + 'static {
     /// Fold another instance's state into this one.
     fn absorb(&mut self, other: Self);
+
+    /// How many independently foldable parts this sink splits into for
+    /// analyzer fan-out ([`PipelinedSink`]). Each part must fold
+    /// observations without reading any other part's state, so that a
+    /// fresh instance folding only part `p` of the stream, absorbed into
+    /// peers that folded the other parts, reassembles the serial fold
+    /// exactly (the merge law, partwise). Sinks without internal structure
+    /// keep the default single part.
+    fn fan_out_parts() -> usize {
+        1
+    }
+
+    /// Fold one observation into part `part` only (`0..fan_out_parts()`).
+    /// The default forwards to [`ObservationSink::observe`], which is only
+    /// correct for single-part sinks.
+    fn observe_part(&mut self, part: usize, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        debug_assert_eq!(part, 0, "multi-part sinks must override observe_part");
+        self.observe(obs, ctx);
+    }
 }
 
 /// The report's eight analyzers as one concrete, mergeable set.
@@ -99,6 +144,187 @@ impl ShardSink for StudyAnalyzers {
     fn absorb(&mut self, other: Self) {
         self.merge(other);
     }
+
+    fn fan_out_parts() -> usize {
+        8
+    }
+
+    fn observe_part(&mut self, part: usize, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        match part {
+            0 => self.table1.observe(obs, ctx),
+            1 => self.activity.observe(obs, ctx),
+            2 => self.section4.observe(obs, ctx),
+            3 => self.identity.observe(obs, ctx),
+            4 => self.moderation.observe(obs, ctx),
+            5 => self.recommendation.observe(obs, ctx),
+            6 => self.volume.observe(obs, ctx),
+            7 => self.observatory.observe(obs, ctx),
+            _ => panic!("StudyAnalyzers has 8 fan-out parts, got part {part}"),
+        }
+    }
+}
+
+/// Capacity of one [`ObservationBatch`] before the producer flushes it to
+/// the analyzer workers — one relay day-chunk's worth
+/// ([`crate::datasets::DEFAULT_CHUNK_EVENTS`]), so pipelining changes the
+/// shipping granularity, not the producer's chunked cadence.
+const PIPELINE_BATCH_ITEMS: usize = crate::datasets::DEFAULT_CHUNK_EVENTS;
+
+/// Bounded depth (in batches) of each analyzer worker's channel. The
+/// producer blocks once a worker falls this far behind, so peak pipelined
+/// memory is `workers × PIPELINE_CHANNEL_BATCHES` shared batches — the
+/// same order as the serial path's one-chunk bound.
+const PIPELINE_CHANNEL_BATCHES: usize = 4;
+
+struct AnalyzerWorker<S> {
+    tx: SyncSender<Arc<ObservationBatch>>,
+    handle: JoinHandle<S>,
+}
+
+/// The intra-shard pipeline: an [`ObservationSink`] that materializes the
+/// producer's borrowed bus items into sequence-numbered owned batches and
+/// fans them out over bounded channels to analyzer worker threads, each
+/// folding a disjoint subset of the inner sink's
+/// [`ShardSink::fan_out_parts`].
+///
+/// Workers fold with a detached [`StudyCtx`]; the first observation that
+/// [`Observation::requires_world_ctx`] (the end-of-window DID documents)
+/// drains the workers, reassembles the sink, and folds everything from
+/// there inline with the producer's live context. [`PipelinedSink::finish`]
+/// returns a sink state byte-identical to a plain serial fold — pinned by
+/// the golden tests in `tests/pipeline_equivalence.rs`.
+pub struct PipelinedSink<S: ShardSink> {
+    workers: Vec<AnalyzerWorker<S>>,
+    pending: Vec<OwnedObservation>,
+    next_seq: u64,
+    batches_sent: u64,
+    /// Set once the pipeline has drained (world-context observation or
+    /// zero-worker construction); all further folds happen here, inline.
+    inline: Option<S>,
+}
+
+impl<S: ShardSink> PipelinedSink<S> {
+    /// Spawn up to `analyzer_threads` workers (clamped to the sink's part
+    /// count); worker `w` owns every part `p` with `p % workers == w`.
+    pub fn new(analyzer_threads: usize) -> PipelinedSink<S> {
+        let total_parts = S::fan_out_parts();
+        let workers = analyzer_threads.min(total_parts);
+        if workers <= 1 && total_parts <= 1 {
+            // Nothing to fan out: skip the channel hop entirely.
+            return PipelinedSink {
+                workers: Vec::new(),
+                pending: Vec::new(),
+                next_seq: 0,
+                batches_sent: 0,
+                inline: Some(S::default()),
+            };
+        }
+        let workers = workers.max(1);
+        let spawned = (0..workers)
+            .map(|worker| {
+                let (tx, rx): (_, Receiver<Arc<ObservationBatch>>) =
+                    mpsc::sync_channel(PIPELINE_CHANNEL_BATCHES);
+                let parts: Vec<usize> = (worker..total_parts).step_by(workers).collect();
+                let handle = std::thread::spawn(move || {
+                    let mut sink = S::default();
+                    let ctx = StudyCtx::detached();
+                    let mut expected_seq = 0u64;
+                    while let Ok(batch) = rx.recv() {
+                        assert_eq!(
+                            batch.seq, expected_seq,
+                            "pipeline batches must arrive in sequence order"
+                        );
+                        expected_seq += 1;
+                        for item in &batch.items {
+                            let obs = item.as_observation();
+                            for &part in &parts {
+                                sink.observe_part(part, &obs, &ctx);
+                            }
+                        }
+                    }
+                    sink
+                });
+                AnalyzerWorker { tx, handle }
+            })
+            .collect();
+        PipelinedSink {
+            workers: spawned,
+            pending: Vec::with_capacity(PIPELINE_BATCH_ITEMS),
+            next_seq: 0,
+            batches_sent: 0,
+            inline: None,
+        }
+    }
+
+    /// Batches shipped to the workers so far (a [`StreamSummary`]
+    /// diagnostic; zero once drained-inline folding takes over).
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent
+    }
+
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = Arc::new(ObservationBatch {
+            seq: self.next_seq,
+            items: std::mem::take(&mut self.pending),
+        });
+        self.next_seq += 1;
+        self.batches_sent += 1;
+        self.pending = Vec::with_capacity(PIPELINE_BATCH_ITEMS);
+        for worker in &self.workers {
+            if worker.tx.send(batch.clone()).is_err() {
+                // The worker is gone; join below surfaces its panic.
+                break;
+            }
+        }
+    }
+
+    /// Flush, close the channels, join every worker, and reassemble the
+    /// full sink by absorbing the per-part states in worker order (exact:
+    /// each worker folded only its own parts of the identical stream, and
+    /// absorbing into untouched peer parts is the identity).
+    fn drain(&mut self) -> S {
+        self.flush();
+        let mut merged = S::default();
+        for worker in self.workers.drain(..) {
+            let AnalyzerWorker { tx, handle } = worker;
+            drop(tx);
+            let part_sink = handle.join().expect("analyzer worker panicked");
+            merged.absorb(part_sink);
+        }
+        merged
+    }
+
+    /// Close the pipeline and hand back the fully folded sink.
+    pub fn finish(mut self) -> S {
+        match self.inline.take() {
+            Some(sink) => sink,
+            None => self.drain(),
+        }
+    }
+}
+
+impl<S: ShardSink> ObservationSink for PipelinedSink<S> {
+    fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+        if let Some(inline) = self.inline.as_mut() {
+            inline.observe(obs, ctx);
+            return;
+        }
+        if obs.requires_world_ctx() {
+            // This observation's analyzers need the live world; from here
+            // on (the end-of-window snapshot tail) fold inline.
+            let mut sink = self.drain();
+            sink.observe(obs, ctx);
+            self.inline = Some(sink);
+            return;
+        }
+        self.pending.push(obs.to_owned_observation());
+        if self.pending.len() >= PIPELINE_BATCH_ITEMS {
+            self.flush();
+        }
+    }
 }
 
 /// Result of one shard's collection pass.
@@ -108,6 +334,12 @@ struct ShardResult<S> {
     /// Only shard 0 returns its world (the finish context).
     world: Option<World>,
 }
+
+/// One single-use result channel per shard (send and receive halves).
+type ResultChannels<S> = (
+    Vec<SyncSender<ShardResult<S>>>,
+    Vec<Receiver<ShardResult<S>>>,
+);
 
 /// Summary of a sharded run.
 #[derive(Debug, Clone)]
@@ -157,7 +389,6 @@ fn run_shard<S: ShardSink>(
             .write_back(spec.write_back)
             .faults(faults.clone()),
     );
-    let mut sink = S::default();
     let mut collector = Collector::new()
         .snapshot_mode(spec.snapshots)
         .store(spec.store.clone())
@@ -166,7 +397,16 @@ fn run_shard<S: ShardSink>(
     for (class, policy) in &spec.retries {
         collector = collector.retry(*class, *policy);
     }
-    let summary = collector.stream(&mut world, &mut sink);
+    let (sink, summary) = if spec.pipeline {
+        let mut pipelined = PipelinedSink::<S>::new(spec.analyzer_threads);
+        let mut summary = collector.stream(&mut world, &mut pipelined);
+        summary.pipeline_batches = pipelined.batches_sent();
+        (pipelined.finish(), summary)
+    } else {
+        let mut sink = S::default();
+        let summary = collector.stream(&mut world, &mut sink);
+        (sink, summary)
+    };
     ShardResult {
         sink,
         summary,
@@ -195,7 +435,7 @@ pub fn collect_sharded<S: ShardSink>(spec: &RunSpec, mut sink: S) -> (S, World, 
     );
     let config = spec.config;
     let shards = spec.shards;
-    let jobs = spec.jobs;
+    let jobs = spec.effective_jobs();
     let total_days = config.end.days_since(config.start).max(0) as usize;
     let faults = Arc::new(FaultPlan::build(
         config.seed,
@@ -204,50 +444,59 @@ pub fn collect_sharded<S: ShardSink>(spec: &RunSpec, mut sink: S) -> (S, World, 
     ));
     let plan = Arc::new(PopulationPlan::build(&config));
 
-    let mut results: Vec<Option<ShardResult<S>>> = Vec::new();
-    if jobs == 1 {
-        // Serial path: no threads, same code.
-        for index in 0..shards {
-            results.push(Some(run_shard(spec, plan.clone(), index, faults.clone())));
-        }
-    } else {
-        let slots: Arc<Mutex<Vec<Option<ShardResult<S>>>>> =
-            Arc::new(Mutex::new((0..shards).map(|_| None).collect()));
-        let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                let plan = plan.clone();
-                let slots = slots.clone();
-                let next = next.clone();
-                let faults = faults.clone();
-                scope.spawn(move || loop {
-                    let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if index >= shards {
-                        break;
-                    }
-                    let result = run_shard(spec, plan.clone(), index, faults.clone());
-                    slots.lock().expect("shard result lock")[index] = Some(result);
-                });
-            }
-        });
-        results = Arc::try_unwrap(slots)
-            .unwrap_or_else(|_| panic!("all workers joined"))
-            .into_inner()
-            .expect("shard result lock");
-    }
-
     // Deterministic reduction: absorb strictly in shard-index order.
     let mut world0: Option<World> = None;
     let mut per_shard = Vec::with_capacity(shards);
     let mut merged_summary = StreamSummary::default();
-    for result in results.into_iter() {
-        let result = result.expect("every shard produced a result");
-        per_shard.push(result.summary);
+    let mut absorb_result = |result: ShardResult<S>, sink: &mut S| {
         merged_summary.absorb(&result.summary);
+        per_shard.push(result.summary);
         if let Some(world) = result.world {
             world0 = Some(world);
         }
         sink.absorb(result.sink);
+    };
+    if jobs == 1 {
+        // Serial path: no threads, same code.
+        for index in 0..shards {
+            absorb_result(
+                run_shard(spec, plan.clone(), index, faults.clone()),
+                &mut sink,
+            );
+        }
+    } else {
+        // One single-use result channel per shard: workers claim shard
+        // indices from a shared counter (Relaxed is enough — the channel
+        // send/recv pair orders the result handoff) and send each finished
+        // shard into that shard's own channel. The coordinator receives
+        // shard 0, 1, 2, … so the reduction stays in shard-index order
+        // while overlapping with still-running shards — no result-slot
+        // lock on the worker hot path.
+        let (txs, rxs): ResultChannels<S> = (0..shards).map(|_| mpsc::sync_channel(1)).unzip();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let plan = plan.clone();
+                let txs = txs.clone();
+                let next = &next;
+                let faults = faults.clone();
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= shards {
+                        break;
+                    }
+                    let result = run_shard(spec, plan.clone(), index, faults.clone());
+                    txs[index]
+                        .send(result)
+                        .expect("coordinator outlives the shard workers");
+                });
+            }
+            drop(txs);
+            for rx in &rxs {
+                let result = rx.recv().expect("every shard produces a result");
+                absorb_result(result, &mut sink);
+            }
+        });
     }
     (
         sink,
@@ -300,5 +549,128 @@ mod tests {
     fn rejects_more_jobs_than_shards() {
         let spec = RunSpec::new(small_config(51)).shards(2).jobs(3);
         let _ = collect_sharded(&spec, StudyAnalyzers::new());
+    }
+
+    /// A two-part sink: part 0 counts marker observations, part 1 counts
+    /// everything else. Exercises the fan-out dispatch without a world.
+    #[derive(Debug, Default, PartialEq, Eq)]
+    struct PartCounts {
+        markers: u64,
+        others: u64,
+    }
+
+    impl ObservationSink for PartCounts {
+        fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+            self.observe_part(0, obs, ctx);
+            self.observe_part(1, obs, ctx);
+        }
+    }
+
+    impl ShardSink for PartCounts {
+        fn absorb(&mut self, other: Self) {
+            self.markers += other.markers;
+            self.others += other.others;
+        }
+
+        fn fan_out_parts() -> usize {
+            2
+        }
+
+        fn observe_part(&mut self, part: usize, obs: &Observation<'_>, _ctx: &StudyCtx<'_>) {
+            let is_marker = matches!(
+                obs,
+                Observation::WindowStart { .. }
+                    | Observation::DayBoundary { .. }
+                    | Observation::WindowEnd { .. }
+            );
+            match part {
+                0 if is_marker => self.markers += 1,
+                1 if !is_marker => self.others += 1,
+                0 | 1 => {}
+                _ => panic!("PartCounts has 2 parts"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_sink_folds_identically_to_serial() {
+        let ctx = StudyCtx::detached();
+        let day = Datetime::from_ymd(2024, 3, 6).unwrap();
+        let did = bsky_atproto::Did::plc_from_seed(b"pipeline-test");
+        // Enough observations to force several batch flushes plus a
+        // sub-capacity tail flushed by finish().
+        let total = super::PIPELINE_BATCH_ITEMS * 3 + 17;
+        let mut serial = PartCounts::default();
+        let mut pipelined = super::PipelinedSink::<PartCounts>::new(2);
+        for i in 0..total {
+            let obs = if i % 3 == 0 {
+                Observation::DayBoundary {
+                    day: day.plus_days((i / 3) as i64),
+                }
+            } else {
+                Observation::UserIdentifier {
+                    did: &did,
+                    rev: None,
+                }
+            };
+            serial.observe(&obs, &ctx);
+            pipelined.observe(&obs, &ctx);
+        }
+        assert!(pipelined.batches_sent() >= 3);
+        let folded = pipelined.finish();
+        assert_eq!(folded, serial);
+        assert_eq!(folded.markers + folded.others, total as u64);
+    }
+
+    #[test]
+    fn pipelined_sink_drains_inline_on_world_ctx_observations() {
+        // A single-part sink pipelined over one worker, hit with a
+        // world-requiring observation mid-stream: everything after the
+        // drain must fold inline, and batches stop flowing to workers.
+        let ctx = StudyCtx::detached();
+        let day = Datetime::from_ymd(2024, 3, 6).unwrap();
+        let mut serial = PartCounts::default();
+        let mut pipelined = super::PipelinedSink::<PartCounts>::new(2);
+        let doc = bsky_identity::DidDocument::new(
+            bsky_atproto::Did::plc_from_seed(b"drain-test"),
+            bsky_atproto::Handle::parse("drain.test").unwrap(),
+            "zKey".to_string(),
+            "https://pds.example".to_string(),
+        );
+        for i in 0..10 {
+            let obs = if i == 5 {
+                Observation::DidDocument {
+                    doc: &doc,
+                    via_web: false,
+                }
+            } else {
+                Observation::DayBoundary {
+                    day: day.plus_days(i),
+                }
+            };
+            assert_eq!(obs.requires_world_ctx(), i == 5);
+            serial.observe(&obs, &ctx);
+            pipelined.observe(&obs, &ctx);
+        }
+        assert_eq!(pipelined.finish(), serial);
+    }
+
+    #[test]
+    fn pipelined_sharded_collection_matches_plain() {
+        let base = RunSpec::new(small_config(52)).shards(2).jobs(2);
+        let (plain, _, plain_summary) = collect_sharded(&base, StudyAnalyzers::new());
+        let spec = base.pipeline(true).analyzer_threads(3);
+        let (piped, world, summary) = collect_sharded(&spec, StudyAnalyzers::new());
+        assert!(summary.merged.pipeline_batches > 0);
+        assert_eq!(plain_summary.merged.pipeline_batches, 0);
+        assert_eq!(
+            summary.merged.firehose_events,
+            plain_summary.merged.firehose_events
+        );
+        let ctx = StudyCtx::new(&world);
+        assert_eq!(
+            piped.table1.finish(&ctx).total,
+            plain.table1.finish(&ctx).total
+        );
     }
 }

@@ -41,7 +41,20 @@ pub struct RunSpec {
     /// many independently simulated shards.
     pub shards: usize,
     /// Worker threads simulating shards concurrently (`1..=shards`).
-    pub jobs: usize,
+    /// `None` (the default, repro `--jobs auto`) resolves to
+    /// [`std::thread::available_parallelism`] clamped to the shard count —
+    /// see [`RunSpec::effective_jobs`].
+    pub jobs: Option<usize>,
+    /// Decouple each shard's producer from its analyzers: the producer
+    /// pushes owned observation batches into a bounded channel while
+    /// [`RunSpec::analyzer_threads`] workers fold disjoint subsets of the
+    /// analyzer set (repro `--pipeline`). Observationally transparent —
+    /// reports are byte-identical either way.
+    pub pipeline: bool,
+    /// Analyzer worker threads per shard when [`RunSpec::pipeline`] is on
+    /// (clamped to the sink's fan-out part count at run time; inert when
+    /// the pipeline is off).
+    pub analyzer_threads: usize,
     /// Repository snapshot strategy for the §3 dataset.
     pub snapshots: SnapshotMode,
     /// Block-store backend for every repository, relay mirror, producer
@@ -66,16 +79,19 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// A single serial run of `config` with every default: one shard, one
-    /// job, incremental snapshots, in-memory store, monolithic AppView with
-    /// the write-back cache on, unmitigated wire, quiet faults.
+    /// A single serial run of `config` with every default: one shard, auto
+    /// jobs (which one shard clamps to one worker), incremental snapshots,
+    /// in-memory store, monolithic AppView with the write-back cache on,
+    /// no intra-shard pipeline, unmitigated wire, quiet faults.
     pub fn new(config: ScenarioConfig) -> RunSpec {
         RunSpec {
             config,
             seeds: Vec::new(),
             scales: Vec::new(),
             shards: 1,
-            jobs: 1,
+            jobs: None,
+            pipeline: false,
+            analyzer_threads: 2,
             snapshots: SnapshotMode::default(),
             store: StoreConfig::default(),
             appview_shards: 1,
@@ -108,8 +124,41 @@ impl RunSpec {
 
     /// Simulate up to `jobs` shards concurrently.
     pub fn jobs(mut self, jobs: usize) -> RunSpec {
-        self.jobs = jobs;
+        self.jobs = Some(jobs);
         self
+    }
+
+    /// Resolve the worker-thread count automatically (the default):
+    /// [`std::thread::available_parallelism`] clamped to the shard count.
+    pub fn jobs_auto(mut self) -> RunSpec {
+        self.jobs = None;
+        self
+    }
+
+    /// Toggle the intra-shard producer/analyzer pipeline.
+    pub fn pipeline(mut self, pipeline: bool) -> RunSpec {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Set the analyzer worker-thread count used when the pipeline is on.
+    pub fn analyzer_threads(mut self, threads: usize) -> RunSpec {
+        self.analyzer_threads = threads;
+        self
+    }
+
+    /// The worker-thread count this spec resolves to: the explicit
+    /// [`RunSpec::jobs`] value, or — for auto — the machine's
+    /// [`std::thread::available_parallelism`] clamped to
+    /// [`RunSpec::shards`] (at least 1).
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            Some(jobs) => jobs,
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, self.shards.max(1)),
+        }
     }
 
     /// Select the repository snapshot strategy.
@@ -202,16 +251,27 @@ impl RunSpec {
         if self.scales.contains(&0) {
             return Err("--scales entries must be positive".into());
         }
-        if self.jobs == 0 {
-            return Err("--jobs must be at least 1".into());
+        if self.jobs == Some(0) {
+            return Err("--jobs must be at least 1 (or auto)".into());
         }
         if self.shards == 0 {
             return Err("--shards must be at least 1".into());
         }
-        if self.jobs > self.shards {
+        if let Some(jobs) = self.jobs {
+            if jobs > self.shards {
+                return Err(format!(
+                    "--jobs ({}) exceeds the shard count ({}); use --shards {} or fewer jobs",
+                    jobs, self.shards, jobs
+                ));
+            }
+        }
+        if self.analyzer_threads == 0 {
+            return Err("--analyzer-threads must be at least 1".into());
+        }
+        if self.analyzer_threads > 8 {
             return Err(format!(
-                "--jobs ({}) exceeds the shard count ({}); use --shards {} or fewer jobs",
-                self.jobs, self.shards, self.jobs
+                "--analyzer-threads ({}) exceeds the analyzer fan-out limit (8)",
+                self.analyzer_threads
             ));
         }
         if self.appview_shards == 0 {
@@ -226,8 +286,14 @@ impl RunSpec {
             if self.snapshots != SnapshotMode::default() {
                 return Err("--full-snapshots cannot be combined with --seeds/--scales".into());
             }
-            if self.shards > 1 || self.jobs > 1 {
+            if self.shards > 1 || self.jobs.unwrap_or(1) > 1 {
                 return Err("--jobs/--shards cannot be combined with --seeds/--scales".into());
+            }
+            if self.pipeline {
+                return Err("--pipeline cannot be combined with --seeds/--scales".into());
+            }
+            if !self.write_back {
+                return Err("--writeback off cannot be combined with --seeds/--scales".into());
             }
             if self.store != StoreConfig::mem() {
                 return Err("--store paged cannot be combined with --seeds/--scales".into());
@@ -259,9 +325,50 @@ mod tests {
         assert!(spec.validate().is_ok());
         assert!(!spec.is_grid());
         assert_eq!(spec.shards, 1);
-        assert_eq!(spec.jobs, 1);
+        assert_eq!(spec.jobs, None);
+        // Auto jobs clamp to the shard count, so the default stays serial.
+        assert_eq!(spec.effective_jobs(), 1);
+        assert!(!spec.pipeline);
         assert!(spec.write_back);
         assert!(spec.faults.is_quiet());
+    }
+
+    #[test]
+    fn auto_jobs_resolve_to_available_parallelism_clamped_to_shards() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let spec = base().shards(4);
+        assert_eq!(spec.effective_jobs(), cores.clamp(1, 4));
+        // An explicit value always wins over auto resolution.
+        assert_eq!(base().shards(4).jobs(2).effective_jobs(), 2);
+        assert_eq!(base().shards(4).jobs(2).jobs_auto().jobs, None);
+        // Auto never resolves above the shard count or below one worker.
+        let wide = base().shards(1024);
+        assert_eq!(wide.effective_jobs(), cores.clamp(1, 1024));
+        assert!(base().effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn pipeline_knobs_are_validated() {
+        assert!(base().pipeline(true).validate().is_ok());
+        assert!(base().pipeline(true).analyzer_threads(8).validate().is_ok());
+        let err = base().analyzer_threads(0).validate().unwrap_err();
+        assert!(err.contains("--analyzer-threads"), "{err}");
+        let err = base()
+            .pipeline(true)
+            .analyzer_threads(9)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("fan-out limit"), "{err}");
+        // Pipelined sharded runs are a supported combination.
+        assert!(base()
+            .shards(4)
+            .jobs(4)
+            .pipeline(true)
+            .analyzer_threads(2)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -318,6 +425,10 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(err.contains("--scenario/--faults"), "{err}");
+        let err = grid().pipeline(true).validate().unwrap_err();
+        assert!(err.contains("--pipeline"), "{err}");
+        let err = grid().write_back(false).validate().unwrap_err();
+        assert!(err.contains("--writeback"), "{err}");
         // The same knobs are fine outside a grid.
         assert!(base()
             .appview_shards(4)

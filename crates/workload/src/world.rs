@@ -31,7 +31,11 @@
 //! until a bounded number of relay events is pending and then crawls, and
 //! [`World::end_day`] polls labelers and closes the day. A producer that
 //! interleaves `step_chunk` with firehose reads holds only one chunk of
-//! events in flight, independent of the day's total volume.
+//! events in flight, independent of the day's total volume. That bound is
+//! consumer-agnostic: the study's intra-shard pipeline (`--pipeline`) hands
+//! each chunk's observations to analyzer worker threads over a bounded
+//! channel, so the producer blocks on a full channel instead of buffering —
+//! the world never sees more than one chunk outstanding either way.
 
 use crate::config::ScenarioConfig;
 use crate::ecosystem::{

@@ -74,6 +74,26 @@
 //! functions replay materialized datasets through the same accumulators, so
 //! all paths agree exactly (see `tests/pipeline_equivalence.rs`).
 //!
+//! ## The intra-shard pipeline
+//!
+//! Sharding parallelizes across shards; `RunSpec::pipeline` (repro
+//! `--pipeline --analyzer-threads N`) parallelizes *inside* each one. The
+//! shard's producer materializes its borrowed bus items into owned,
+//! sequence-numbered `bsky_study::ObservationBatch`es and ships them over
+//! bounded channels to N analyzer workers
+//! (`bsky_study::PipelinedSink`), each folding a disjoint subset of the
+//! eight analyzers; the bounded channel's backpressure preserves the
+//! one-chunk memory bound, the sequence numbers guarantee every part folds
+//! the exact serial stream, and the per-part states reassemble through the
+//! same associative merge at shard end. Observations whose analyzers run
+//! active measurements against the live world (the end-of-window DID
+//! documents) drain the workers and fold inline on the producer thread.
+//! The report stays byte-identical for any `(shards, jobs,
+//! analyzer_threads)` — pinned by the golden and property tests — while
+//! producer store I/O overlaps with analyzer CPU. `jobs` now defaults to
+//! the machine's available parallelism clamped to the shard count
+//! (`--jobs auto`).
+//!
 //! ## Incremental repository snapshots
 //!
 //! The §3 repositories dataset is collected incrementally by default

@@ -360,6 +360,172 @@ fn observatory_is_byte_identical_across_store_backends() {
 }
 
 #[test]
+fn pipelined_run_is_byte_identical_for_every_cell() {
+    for seed in [31u64, 32] {
+        let (baseline, _) = StudyReport::run_serial(&spec(seed));
+        // Serial engine (1 shard) with the intra-shard pipeline on: a lone
+        // worker folding all eight analyzer parts and a 3-way fan-out must
+        // both reassemble the serial bytes exactly.
+        for threads in [1usize, 3] {
+            let (piped, summary) =
+                StudyReport::run(&spec(seed).pipeline(true).analyzer_threads(threads));
+            assert_reports_identical(&piped, &baseline, seed);
+            assert!(
+                summary.merged.pipeline_batches > 0,
+                "seed {seed}: pipeline ({threads} threads) shipped no batches"
+            );
+        }
+        // The pipeline composes with the 4×4 sharded engine (mem store):
+        // (shards, jobs, analyzer_threads) = (4, 4, 2).
+        let (sharded, sharded_summary) = StudyReport::run(
+            &spec(seed)
+                .shards(4)
+                .jobs(4)
+                .pipeline(true)
+                .analyzer_threads(2),
+        );
+        assert_reports_identical(&sharded, &baseline, seed);
+        assert!(
+            sharded_summary.merged.pipeline_batches > 0,
+            "seed {seed}: sharded pipeline shipped no batches"
+        );
+        // And with the paged disk-spill store, which really spilled — the
+        // producer's store I/O is exactly what the pipeline overlaps with
+        // analyzer CPU.
+        let paged_config = StoreConfig::paged().page_size(4096).resident_pages(2);
+        let (paged, paged_summary) = StudyReport::run(
+            &spec(seed)
+                .store(paged_config)
+                .shards(4)
+                .jobs(4)
+                .pipeline(true)
+                .analyzer_threads(2),
+        );
+        assert_reports_identical(&paged, &baseline, seed);
+        assert!(
+            paged_summary.merged.spilled_block_bytes > 0,
+            "seed {seed}: pipelined paged run never spilled"
+        );
+        assert!(paged_summary.merged.pipeline_batches > 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn pipelined_fault_scenario_is_byte_identical() {
+    use bluesky_repro::bsky_study::faults::FaultSpec;
+    // One fault scenario through the pipeline: injected faults derive from
+    // (seed, key, day) on the producer side, so decoupling the analyzers
+    // cannot move a byte of the report — impact section included.
+    let seed = 31u64;
+    let scenario = || {
+        spec(seed)
+            .faults(FaultSpec::scenario("label-storm").unwrap())
+            .scenario("label-storm")
+    };
+    let (plain, plain_summary) = StudyReport::run(&scenario());
+    let (piped, piped_summary) = StudyReport::run(
+        &scenario()
+            .shards(4)
+            .jobs(4)
+            .pipeline(true)
+            .analyzer_threads(2),
+    );
+    assert_reports_identical(&piped, &plain, seed);
+    assert!(
+        piped.faults.is_some(),
+        "scenario run lost its impact section"
+    );
+    assert!(
+        plain_summary.merged.storm_labels_applied > 0,
+        "label storm injected nothing"
+    );
+    assert_eq!(
+        piped_summary.merged.storm_labels_applied, plain_summary.merged.storm_labels_applied,
+        "fault accounting diverged under the pipeline"
+    );
+    assert!(piped_summary.merged.pipeline_batches > 0);
+}
+
+#[test]
+fn owned_observation_round_trip_folds_identically() {
+    use bluesky_repro::bsky_study::{
+        Observation, ObservationBatch, ObservationSink, StudyAnalyzers, StudyCtx,
+    };
+    use std::collections::BTreeSet;
+
+    fn kind(obs: &Observation<'_>) -> &'static str {
+        match obs {
+            Observation::WindowStart { .. } => "window-start",
+            Observation::DayBoundary { .. } => "day-boundary",
+            Observation::Firehose(_) => "firehose",
+            Observation::UserIdentifier { .. } => "user-identifier",
+            Observation::DidDocument { .. } => "did-document",
+            Observation::Labeler(_) => "labeler",
+            Observation::Labels { .. } => "labels",
+            Observation::FeedGenerator(_) => "feed-generator",
+            Observation::Repo(_) => "repo",
+            Observation::WireTrace(_) => "wire-trace",
+            Observation::WindowEnd { .. } => "window-end",
+        }
+    }
+
+    /// Tees every producer observation into two analyzer sets: one folds
+    /// the borrowed bus item directly, the other folds it after a round
+    /// trip through its owned, sequence-numbered [`ObservationBatch`] form
+    /// — the exact materialization the intra-shard pipeline ships across
+    /// threads.
+    #[derive(Default)]
+    struct RoundTripTee {
+        direct: StudyAnalyzers,
+        rebuilt: StudyAnalyzers,
+        kinds: BTreeSet<&'static str>,
+        seq: u64,
+    }
+
+    impl ObservationSink for RoundTripTee {
+        fn observe(&mut self, obs: &Observation<'_>, ctx: &StudyCtx<'_>) {
+            self.kinds.insert(kind(obs));
+            self.direct.observe(obs, ctx);
+            let batch = ObservationBatch {
+                seq: self.seq,
+                items: vec![obs.to_owned_observation()],
+            };
+            self.seq += 1;
+            self.rebuilt.observe(&batch.items[0].as_observation(), ctx);
+        }
+    }
+
+    for seed in [31u64, 32] {
+        let config = small_config(seed);
+        let mut world = World::new(config);
+        let mut tee = RoundTripTee::default();
+        let summary = Collector::new().stream(&mut world, &mut tee);
+        assert!(summary.observations > 0, "seed {seed}");
+        // The live stream exercised every bus variant, WireTrace included.
+        let expected: BTreeSet<&'static str> = [
+            "window-start",
+            "day-boundary",
+            "firehose",
+            "user-identifier",
+            "did-document",
+            "labeler",
+            "labels",
+            "feed-generator",
+            "repo",
+            "wire-trace",
+            "window-end",
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(tee.kinds, expected, "seed {seed}: variants not all seen");
+        // Both folds finish to byte-identical reports.
+        let direct = StudyReport::from_analyzers(config, tee.direct, &world);
+        let rebuilt = StudyReport::from_analyzers(config, tee.rebuilt, &world);
+        assert_reports_identical(&rebuilt, &direct, seed);
+    }
+}
+
+#[test]
 fn sharded_run_is_independent_of_worker_count() {
     let (jobs1, _) = StudyReport::run(&spec(34).shards(3).jobs(1));
     let (jobs3, _) = StudyReport::run(&spec(34).shards(3).jobs(3));
