@@ -314,6 +314,35 @@ impl BlockStore for MemStore {
 /// subdirectory, even across clones.
 static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Per-process token mixed into the *default* spill root. `STORE_SEQ` only
+/// uniquifies store directories within one process and PIDs get recycled,
+/// so two processes sharing a bare `$TMPDIR/bsky-blockstore` root could end
+/// up reading each other's page files (the CID check would drop them, but
+/// silently, as corrupt reads). The token makes the default root unique per
+/// process even under PID reuse; an explicit `--spill-dir` is left alone.
+static PROCESS_TOKEN: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+
+fn process_token() -> u64 {
+    *PROCESS_TOKEN.get_or_init(|| {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let aslr = &PROCESS_TOKEN as *const _ as u64;
+        clock.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ aslr.rotate_left(17)
+    })
+}
+
+/// The default spill root for stores built without `--spill-dir`:
+/// `$TMPDIR/bsky-blockstore-<pid>-<token>`, unique to this process.
+fn default_spill_root() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "bsky-blockstore-{}-{:016x}",
+        std::process::id(),
+        process_token()
+    ))
+}
+
 /// Where a block lives.
 #[derive(Debug, Clone, Copy)]
 struct Loc {
@@ -386,7 +415,7 @@ impl PagedStore {
     pub fn new(config: &StoreConfig) -> PagedStore {
         let spill_root = match &config.spill_dir {
             Some(dir) => PathBuf::from(dir),
-            None => std::env::temp_dir().join("bsky-blockstore"),
+            None => default_spill_root(),
         };
         let mut pages = BTreeMap::new();
         pages.insert(0, Page::fresh());
@@ -1025,6 +1054,85 @@ mod tests {
         }
         assert!(store.stats().spill_loads > 0);
         assert_eq!(store.len(), blocks.len());
+    }
+
+    #[test]
+    fn default_spill_root_is_unique_per_process() {
+        let root = default_spill_root();
+        let name = root
+            .file_name()
+            .expect("default root has a final component")
+            .to_string_lossy()
+            .into_owned();
+        assert!(
+            name.starts_with(&format!("bsky-blockstore-{}-", std::process::id())),
+            "default root must embed the pid: {name}"
+        );
+        assert_eq!(root, default_spill_root(), "token is stable in-process");
+        assert_ne!(name, "bsky-blockstore", "the shared legacy root is gone");
+    }
+
+    #[test]
+    fn colliding_store_dirs_in_distinct_roots_never_cross_read() {
+        // Two processes both count STORE_SEQ from zero, so once PIDs
+        // recycle their stores can end up with identical
+        // `store-<pid>-<id>` names. The per-process default root keeps
+        // those stores in distinct roots; this pins down that even if one
+        // store's page file lands where the other looks (the failure mode
+        // of the old shared `bsky-blockstore` root), no foreign block ever
+        // surfaces as contents.
+        let root_a = std::env::temp_dir().join("bsky-blockstore-crossread-a");
+        let root_b = std::env::temp_dir().join("bsky-blockstore-crossread-b");
+        let _ = std::fs::remove_dir_all(&root_a);
+        let _ = std::fs::remove_dir_all(&root_b);
+        let config = |root: &PathBuf| {
+            StoreConfig::paged()
+                .page_size(64)
+                .resident_pages(1)
+                .spill_dir(root.to_string_lossy().into_owned())
+        };
+        let mut store_a = PagedStore::new(&config(&root_a));
+        let mut store_b = PagedStore::new(&config(&root_b));
+        let mut blocks_a = Vec::new();
+        let mut blocks_b = Vec::new();
+        for n in 0..12u64 {
+            let (cid, bytes) = block(n, 24);
+            store_a.put(cid, bytes.clone());
+            blocks_a.push((cid, bytes));
+            let (cid, bytes) = block(1000 + n, 24);
+            store_b.put(cid, bytes.clone());
+            blocks_b.push((cid, bytes));
+        }
+        store_a.evict_cold();
+        store_b.evict_cold();
+        let only_subdir = |root: &PathBuf| -> PathBuf {
+            let mut dirs: Vec<PathBuf> = std::fs::read_dir(root)
+                .expect("spill root exists")
+                .map(|e| e.expect("dir entry").path())
+                .collect();
+            assert_eq!(dirs.len(), 1, "one store dir per root: {dirs:?}");
+            dirs.pop().expect("one dir")
+        };
+        let page_a = only_subdir(&root_a).join("page-00000000.bin");
+        let page_b = only_subdir(&root_b).join("page-00000000.bin");
+        assert!(page_a.is_file() && page_b.is_file(), "both stores spilled");
+        // The collision: store A's page file lands at store B's path.
+        std::fs::copy(&page_a, &page_b).expect("overwrite page file");
+        let (cid_b, _) = blocks_b[0];
+        let (cid_a, bytes_a) = blocks_a[0].clone();
+        assert_eq!(
+            store_b.get(&cid_b),
+            None,
+            "a clobbered block reads as absent, never as foreign bytes"
+        );
+        assert_eq!(
+            store_b.get(&cid_a),
+            None,
+            "another store's blocks never surface through the index"
+        );
+        assert_eq!(store_a.get(&cid_a), Some(bytes_a), "store A is untouched");
+        let _ = std::fs::remove_dir_all(&root_a);
+        let _ = std::fs::remove_dir_all(&root_b);
     }
 
     #[test]

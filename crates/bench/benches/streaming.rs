@@ -37,6 +37,11 @@
 //! * **MST prefix compression** — node blocks encode prefix-compressed
 //!   entry keys; at a realistic tree size the structural bytes must beat
 //!   the legacy full-key encoding (asserted).
+//! * **relay federation** — the collection with the PDS fleet crawled by
+//!   two regional relays forwarding into the super-relay over the paged
+//!   store, at two population scales: resident block bytes per DID must
+//!   shrink as the population grows (sublinear scale-out; asserted and
+//!   exported as `bytes_per_did_{base,large}` / `ns_per_day_per_did_*`).
 //! * **wire observatory** — the §10 traffic-analysis sweep: classifier
 //!   accuracy and framing overhead with no mitigation vs 128-byte bucket
 //!   padding, plus the active policy's wire accounting (bucket padding
@@ -438,6 +443,50 @@ fn main() {
         "cursor gaps must surface as counted drops"
     );
 
+    // Federation: the same collection with the PDS fleet crawled by two
+    // regional relays forwarding (cursor-resumable, (did, rev)-dedup'd)
+    // into the super-relay, over the paged store, at the base and ≈3.3×
+    // populations. Residency is LRU-bounded rather than population-bound,
+    // so resident block bytes *per DID* must shrink as the population
+    // grows — the sublinear scale-out story bench-compare pins as a
+    // structural win (`bytes_per_did_{base,large}`); wall clock per day
+    // per DID rides along in the export.
+    let federated_run = |config: ScenarioConfig| {
+        let store = StoreConfig::paged().page_size(8 * 1024).resident_pages(2);
+        let mut world = World::from_spec(WorldSpec::new(config).store(store.clone()).relays(2));
+        let started = std::time::Instant::now();
+        let summary = Collector::new()
+            .store(store)
+            .stream(&mut world, &mut NullSink);
+        let elapsed = started.elapsed();
+        let population = world.users.len().max(1) as u64;
+        assert!(
+            summary.relay_events_forwarded > 0 && summary.relay_dedup_tracked > 0,
+            "federated run must forward through the super-relay"
+        );
+        assert_eq!(
+            summary.relay_duplicates_dropped, 0,
+            "clean partitions must produce zero duplicates"
+        );
+        let bytes_per_did = summary.resident_block_bytes as f64 / population as f64;
+        let ns_per_day_per_did = elapsed.as_nanos() as f64 / days as f64 / population as f64;
+        (population, bytes_per_did, ns_per_day_per_did)
+    };
+    let (population_base, bytes_per_did_base, ns_per_day_per_did_base) = federated_run(config);
+    let (population_large, bytes_per_did_large, ns_per_day_per_did_large) =
+        federated_run(large_config);
+    println!(
+        "federation (2 relays, paged): {bytes_per_did_base:.1} resident bytes/DID at {population_base} DIDs vs {bytes_per_did_large:.1} at {population_large} ({ns_per_day_per_did_base:.0} / {ns_per_day_per_did_large:.0} ns/day/DID)",
+    );
+    assert!(
+        population_large > population_base * 2,
+        "population scaling sanity: {population_large} vs {population_base}"
+    );
+    assert!(
+        bytes_per_did_large < bytes_per_did_base,
+        "per-DID residency must shrink with population (sublinear scale-out): {bytes_per_did_large:.1} vs {bytes_per_did_base:.1}"
+    );
+
     group.finish();
 
     if json {
@@ -507,6 +556,12 @@ fn main() {
             .with("outage_migrations", chaos.outage_migrations)
             .with("label_storm_peak", chaos.storm_labels_applied)
             .with("cursor_gap_drops", chaos.cursor_gap_drops)
+            .with("federated_population_base", population_base)
+            .with("federated_population_large", population_large)
+            .with("bytes_per_did_base", bytes_per_did_base)
+            .with("bytes_per_did_large", bytes_per_did_large)
+            .with("ns_per_day_per_did_base", ns_per_day_per_did_base)
+            .with("ns_per_day_per_did_large", ns_per_day_per_did_large)
             .with("serial_ns_per_day", serial.as_nanos() as u64 / days)
             .with("sharded4_ns_per_day", sharded.as_nanos() as u64 / days)
             .with("sharded_speedup", speedup)

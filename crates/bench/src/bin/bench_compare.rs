@@ -3,7 +3,7 @@
 //! enforced — not just recorded — across PRs.
 //!
 //! Usage:
-//!   bench-compare <current.json> <baseline.json>
+//!   bench-compare [--require-timing-gates] <current.json> <baseline.json>
 //!
 //! Checks (each with a 20 % tolerance):
 //!   * `serial_ns_per_day` must not exceed 120 % of the baseline — enforced
@@ -22,11 +22,33 @@
 //! are skipped gracefully when either side ran on fewer than 4 CPUs — the
 //! same hardware gate the streaming bench applies to its own speedup
 //! assertion — because single-digit-core container parallelism is not
-//! comparable. Structural wins (the incremental-vs-full snapshot
+//! comparable. Every skip is announced with a `timing gates skipped:`
+//! notice naming the offending parallelism, so a baseline that silently
+//! never fires its timing gates is visible in the CI log. Under
+//! `--require-timing-gates` a skip is an error (exit 1) instead of a
+//! notice: CI's bench job passes the flag, so a committed baseline whose
+//! `parallelism` is below 4 can never masquerade as a green timing
+//! trajectory. Structural wins (the incremental-vs-full snapshot
 //! traffic win, the paged-vs-mem resident-block-bytes win for both the
 //! repo/relay stores and the AppView's entity shards, the MST
-//! prefix-compression win, and the observatory's framing-overhead win) are
-//! always checked.
+//! prefix-compression win, the observatory's framing-overhead win, and the
+//! federation's sublinear per-DID residency win) are always checked.
+//!
+//! ## Regenerating the baseline
+//!
+//! The committed `BENCH_streaming.json` must be produced on a machine with
+//! **at least 4 available CPUs** (8+ recommended, otherwise unloaded), or
+//! its `parallelism` field permanently disarms every parallel timing gate
+//! for the whole trajectory. Regenerate with:
+//!
+//! ```text
+//! cargo bench --bench streaming
+//! git add BENCH_streaming.json
+//! ```
+//!
+//! then confirm `bench-compare --require-timing-gates` passes against the
+//! fresh export before committing. Regeneration is mandatory in the same
+//! PR that adds a metric to [`STRUCTURAL_WINS`] (stale baselines fail).
 //!
 //! First-run and stale-baseline behaviour is explicit, never a confusing
 //! JSON error: a *missing* baseline file fails with instructions to run the
@@ -88,13 +110,28 @@ const STRUCTURAL_WINS: &[StructuralWin] = &[
         worse: "padding_overhead_bytes",
         what: "unmitigated framing overhead bytes",
     },
+    // Federated scale-out must stay sublinear: a federated paged run at a
+    // larger population must hold strictly fewer resident block bytes per
+    // DID than the smaller-population run (fixed page overheads amortize;
+    // residency is LRU-bounded, not population-bound).
+    StructuralWin {
+        better: "bytes_per_did_large",
+        worse: "bytes_per_did_base",
+        what: "federated per-DID residency (sublinear scale-out)",
+    },
 ];
 
 /// The outcome of one comparison run.
 #[derive(Debug, PartialEq)]
 enum Outcome {
     /// All applicable checks passed (with possibly some skipped).
-    Pass { skipped: Vec<String> },
+    /// `timing_gates_skipped` records whether the parallel timing gates
+    /// were among the skips — `--require-timing-gates` turns that into a
+    /// failure.
+    Pass {
+        skipped: Vec<String>,
+        timing_gates_skipped: bool,
+    },
     /// At least one regression beyond tolerance.
     Fail { regressions: Vec<String> },
 }
@@ -187,9 +224,10 @@ fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
     check_ns_per_day("serial_ns_per_day", TOLERANCE, &mut log, &mut regressions);
 
     let cpus_ok = |doc: &Json| doc["parallelism"].as_u64().unwrap_or(0) >= MIN_CPUS;
-    if !cpus_ok(current) || !cpus_ok(baseline) {
+    let timing_gates_skipped = !cpus_ok(current) || !cpus_ok(baseline);
+    if timing_gates_skipped {
         skipped.push(format!(
-            "parallel timing checks: current ran on {} CPU(s), baseline on {} — both need >= {MIN_CPUS}",
+            "timing gates skipped: current parallelism={}, baseline parallelism={} — parallel timing checks need >= {MIN_CPUS} CPUs on both sides",
             current["parallelism"].as_u64().unwrap_or(0),
             baseline["parallelism"].as_u64().unwrap_or(0),
         ));
@@ -211,7 +249,13 @@ fn compare(current: &Json, baseline: &Json) -> (Outcome, Vec<String>) {
     }
 
     if regressions.is_empty() {
-        (Outcome::Pass { skipped }, log)
+        (
+            Outcome::Pass {
+                skipped,
+                timing_gates_skipped,
+            },
+            log,
+        )
     } else {
         (Outcome::Fail { regressions }, log)
     }
@@ -236,9 +280,11 @@ fn load(path: &str, is_baseline: bool) -> Json {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let require_timing_gates = args.iter().any(|a| a == "--require-timing-gates");
+    args.retain(|a| a != "--require-timing-gates");
     let [current_path, baseline_path] = args.as_slice() else {
-        eprintln!("usage: bench-compare <current.json> <baseline.json>");
+        eprintln!("usage: bench-compare [--require-timing-gates] <current.json> <baseline.json>");
         std::process::exit(2);
     };
     let current = load(current_path, false);
@@ -248,9 +294,20 @@ fn main() {
         println!("bench-compare: {line}");
     }
     match outcome {
-        Outcome::Pass { skipped } => {
+        Outcome::Pass {
+            skipped,
+            timing_gates_skipped,
+        } => {
             for line in skipped {
                 println!("bench-compare: skipped — {line}");
+            }
+            if require_timing_gates && timing_gates_skipped {
+                eprintln!(
+                    "bench-compare: FAIL — --require-timing-gates is set but the parallel \
+                     timing gates were skipped; regenerate BENCH_streaming.json on a machine \
+                     with >= {MIN_CPUS} CPUs (see the module docs) so the gates can fire"
+                );
+                std::process::exit(1);
             }
             println!("bench-compare: OK");
         }
@@ -290,6 +347,8 @@ mod tests {
             .with("padding_overhead_bytes", 9_000u64)
             .with("observer_accuracy_none", 0.8f64)
             .with("observer_accuracy_bucketed", 0.5f64)
+            .with("bytes_per_did_base", 2_000u64)
+            .with("bytes_per_did_large", 800u64)
     }
 
     #[test]
@@ -391,10 +450,56 @@ mod tests {
         let current =
             export(1, 0.5, 1_000_000, 700, 1_000).with("sharded4_ns_per_day", 10_000_000u64);
         let (outcome, _) = compare(&current, &baseline);
-        let Outcome::Pass { skipped } = outcome else {
+        let Outcome::Pass {
+            skipped,
+            timing_gates_skipped,
+        } = outcome
+        else {
             panic!("expected graceful skip");
         };
-        assert!(skipped.iter().any(|s| s.contains("parallel timing")));
+        assert!(timing_gates_skipped, "the skip must be flagged for CI");
+        // The notice names both sides' parallelism so a disarmed baseline
+        // is visible in the log (and fatal under --require-timing-gates).
+        let notice = skipped
+            .iter()
+            .find(|s| s.starts_with("timing gates skipped:"))
+            .expect("skip notice present");
+        assert!(notice.contains("baseline parallelism=1"), "{notice}");
+        assert!(notice.contains("parallel timing"), "{notice}");
+    }
+
+    #[test]
+    fn timing_gates_firing_clears_the_skip_flag() {
+        let doc = export(8, 3.0, 1_000_000, 700, 1_000);
+        let (outcome, _) = compare(&doc, &doc);
+        let Outcome::Pass {
+            timing_gates_skipped,
+            ..
+        } = outcome
+        else {
+            panic!("expected pass");
+        };
+        assert!(!timing_gates_skipped, ">=4 CPUs on both sides: gates fire");
+    }
+
+    #[test]
+    fn sublinear_bytes_per_did_win_is_always_enforced() {
+        let baseline = export(1, 0.9, 1_000_000, 700, 1_000);
+        // Per-DID residency growing with population means federation lost
+        // its scale-out story: fails even on 1 CPU.
+        let bad = export(1, 0.9, 1_000_000, 700, 1_000).with("bytes_per_did_large", 2_500u64);
+        let (outcome, _) = compare(&bad, &baseline);
+        let Outcome::Fail { regressions } = outcome else {
+            panic!("expected failure");
+        };
+        assert!(regressions[0].contains("per-DID"), "{regressions:?}");
+        // A stale baseline lacking the metric fails loudly too.
+        let stale = export(1, 0.9, 1_000_000, 700, 1_000)
+            .without("bytes_per_did_base")
+            .without("bytes_per_did_large");
+        let current = export(1, 0.9, 1_000_000, 700, 1_000);
+        let (outcome, _) = compare(&current, &stale);
+        assert!(matches!(outcome, Outcome::Fail { .. }), "{outcome:?}");
     }
 
     #[test]
@@ -481,7 +586,7 @@ mod tests {
             .with("snapshot_bytes_fetched_incremental", 700u64)
             .with("snapshot_bytes_fetched_full", 1_000u64);
         let (outcome, _) = compare(&slim, &slim);
-        let Outcome::Pass { skipped } = outcome else {
+        let Outcome::Pass { skipped, .. } = outcome else {
             panic!("expected pass");
         };
         assert!(skipped.iter().any(|s| s.contains("appview")));

@@ -4,11 +4,11 @@
 //! Usage:
 //!   repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...]
 //!         [--jobs auto|N] [--shards N] [--pipeline] [--analyzer-threads N]
-//!         [--appview-shards N] [--writeback on|off]
+//!         [--appview-shards N] [--writeback on|off] [--relays N]
 //!         [--json] [--stream] [--batch] [--incremental | --full-snapshots]
 //!         [--store mem|paged] [--page-size BYTES] [--spill-dir DIR]
 //!         [--padding none|buckets|constant] [--batch-window SECS]
-//!         [--scenario NAME | --faults SPEC]
+//!         [--scenario NAME] [--faults SPEC]
 //!
 //! Every flag maps onto one field of [`bsky_study::RunSpec`] — the single
 //! run description all library entry points take — except the three output
@@ -39,9 +39,17 @@
 //! `--appview-shards N` partitions the AppView's post/actor indices by
 //! entity hash into `N` store-backed shards; `--writeback off` disables the
 //! write-back cache in front of those entity stores (on by default).
+//! `--relays N` federates the crawl across `N` regional relays, each
+//! owning a contiguous slice of the PDS fleet and forwarding its firehose
+//! (cursor-resumable, `(did, rev)`-deduplicated) into the super-relay the
+//! collector subscribes to.
 //! `--padding` and `--batch-window` select the wire framing mitigations
 //! (§10). `--scenario NAME` runs one of the named fault scenarios;
-//! `--faults SPEC` injects a custom `key=value,...` specification.
+//! `--faults SPEC` injects a custom `key=value,...` specification. The two
+//! compose: the scenario preset is applied first and the spec's keys
+//! overlay it, so `--scenario dns-flap --faults flaky=0.1` adds flakiness
+//! on top of the preset. Giving the *same* key two different values in one
+//! spec is a contradiction and exits 2.
 //!
 //! All of these knobs are observationally transparent: snapshots, stores,
 //! AppView sharding, the write-back cache and framing move only the
@@ -59,7 +67,7 @@ use bsky_study::faults::{FaultSpec, SCENARIO_NAMES};
 use bsky_study::{RunSpec, SnapshotMode, StudyBatch, StudyReport};
 use bsky_workload::ScenarioConfig;
 
-const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs auto|N] [--shards N] [--pipeline] [--analyzer-threads N] [--appview-shards N] [--writeback on|off] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS] [--scenario NAME | --faults SPEC]";
+const USAGE: &str = "usage: repro [--seed N] [--scale N] [--seeds A,B,...] [--scales A,B,...] [--jobs auto|N] [--shards N] [--pipeline] [--analyzer-threads N] [--appview-shards N] [--writeback on|off] [--relays N] [--json] [--stream] [--batch] [--incremental | --full-snapshots] [--store mem|paged] [--page-size BYTES] [--spill-dir DIR] [--padding none|buckets|constant] [--batch-window SECS] [--scenario NAME] [--faults SPEC]";
 
 /// Parsed command line: the library [`RunSpec`] plus the CLI-only output
 /// modes.
@@ -164,6 +172,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--appview-shards" => {
                 opts.spec.appview_shards = parse_value("--appview-shards", args.get(i + 1))?;
+                i += 1;
+            }
+            "--relays" => {
+                opts.spec.relays = parse_value("--relays", args.get(i + 1))?;
                 i += 1;
             }
             "--writeback" => {
@@ -274,11 +286,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
     }
     opts.spec.framing = FramingPolicy::new(padding.unwrap_or_default(), batch_window.unwrap_or(0));
-    // Fault injection: one source of faults per run (a named scenario or a
-    // custom spec); the batch path stays quiet by construction.
-    if scenario.is_some() && faults_spec.is_some() {
-        return Err("--scenario and --faults are mutually exclusive".into());
-    }
+    // Fault injection: the scenario preset (if any) is parsed first, then
+    // the `--faults` spec overlays it key by key — preset knobs the spec
+    // doesn't name survive, named keys override. Only a self-contradictory
+    // spec (one key, two values) is an error; the batch path stays quiet by
+    // construction.
     if let Some(name) = &scenario {
         opts.spec.faults = FaultSpec::scenario(name).ok_or_else(|| {
             format!(
@@ -289,8 +301,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         opts.spec.scenario = Some(name.clone());
     }
     if let Some(spec) = &faults_spec {
-        opts.spec.faults =
-            FaultSpec::parse(spec).map_err(|e| format!("invalid --faults spec: {e}"))?;
+        opts.spec.faults = FaultSpec::parse_onto(opts.spec.faults.clone(), spec)
+            .map_err(|e| format!("invalid --faults spec: {e}"))?;
     }
     if opts.batch && !opts.spec.faults.is_quiet() {
         return Err("--scenario/--faults cannot be combined with --batch".into());
@@ -685,10 +697,77 @@ mod tests {
         assert!(parse_args(&args(&["--faults", "flaky=2.0"])).is_err());
         assert!(parse_args(&args(&["--faults", "frobnicate=1"])).is_err());
         assert!(parse_args(&args(&["--faults"])).is_err());
-        assert!(parse_args(&args(&["--scenario", "dns-flap", "--faults", "flaky=0.1"])).is_err());
         assert!(parse_args(&args(&["--scenario", "spam-wave", "--batch"])).is_err());
         assert!(parse_args(&args(&["--scenario", "cursor-gap", "--seeds", "1,2"])).is_err());
         assert!(parse_args(&args(&["--faults", "spam=0.1", "--scales", "40000"])).is_err());
+    }
+
+    #[test]
+    fn faults_compose_additively_onto_scenario_presets() {
+        // A spec on top of a scenario adds fault axes the preset leaves
+        // quiet while the preset's own knobs survive.
+        let opts = parse_args(&args(&["--scenario", "dns-flap", "--faults", "flaky=0.1"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.spec.scenario.as_deref(), Some("dns-flap"));
+        assert_eq!(opts.spec.faults.dns_flap, 0.3, "preset knob survives");
+        assert_eq!(opts.spec.faults.flaky_fetch, 0.1, "spec knob added");
+        // A spec key the preset also sets overrides the preset value.
+        let opts = parse_args(&args(&["--scenario", "dns-flap", "--faults", "dns=0.9"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.spec.faults.dns_flap, 0.9, "spec overrides preset");
+        // Flag order doesn't matter: the preset is always the base layer.
+        let opts = parse_args(&args(&["--faults", "dns=0.9", "--scenario", "dns-flap"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.spec.faults.dns_flap, 0.9);
+        // A bare `--faults` without a scenario still works as before.
+        let opts = parse_args(&args(&["--faults", "dns=0.9"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.spec.faults.dns_flap, 0.9);
+        assert_eq!(opts.spec.scenario, None);
+        // Contradictory keys inside one spec are an error (exit 2 in main);
+        // repeating the same key=value is harmless.
+        let err = parse_args(&args(&[
+            "--scenario",
+            "dns-flap",
+            "--faults",
+            "dns=0.9,dns=0.1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("contradictory"), "{err}");
+        assert!(parse_args(&args(&["--faults", "dns=0.9,dns=0.9"])).is_ok());
+    }
+
+    #[test]
+    fn relays_flag_parses() {
+        let opts = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(opts.spec.relays, 1, "classic single relay by default");
+        assert!(!opts.spec.federation());
+        let opts = parse_args(&args(&["--relays", "3"])).unwrap().unwrap();
+        assert_eq!(opts.spec.relays, 3);
+        assert!(opts.spec.federation());
+        // Composes with sharding, stores and scenarios.
+        assert!(parse_args(&args(&[
+            "--relays",
+            "2",
+            "--jobs",
+            "4",
+            "--store",
+            "paged",
+            "--appview-shards",
+            "4",
+            "--scenario",
+            "dns-flap",
+        ]))
+        .is_ok());
+        // Errors: zero relays, grid runs, bad/missing values.
+        assert!(parse_args(&args(&["--relays", "0"])).is_err());
+        assert!(parse_args(&args(&["--relays", "2", "--seeds", "1,2"])).is_err());
+        assert!(parse_args(&args(&["--relays", "two"])).is_err());
+        assert!(parse_args(&args(&["--relays"])).is_err());
     }
 
     #[test]

@@ -987,6 +987,14 @@ impl Collector {
         summary.spam_posts_injected = fault_counters.spam_posts_injected;
         summary.storm_labels_applied = fault_counters.storm_labels_applied;
         summary.storm_tombstones = fault_counters.storm_tombstones;
+        // Federation accounting: frames the super-relay accepted from the
+        // regional tier and cross-relay dedup activity (all zero in a
+        // single-relay run). Diagnostics only — the report stays
+        // byte-identical to the single-relay topology.
+        let relay_stats = world.relay.stats();
+        summary.relay_events_forwarded = relay_stats.events_forwarded();
+        summary.relay_duplicates_dropped = relay_stats.duplicates_dropped();
+        summary.relay_dedup_tracked = relay_stats.dedup_tracked();
         summary
     }
 

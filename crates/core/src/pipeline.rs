@@ -590,6 +590,16 @@ pub struct StreamSummary {
     /// off). Diagnostics only — never rendered into the report, so
     /// pipelined reports stay byte-identical.
     pub pipeline_batches: u64,
+    /// Frames the super-relay accepted from the regional relay tier (zero
+    /// outside `--relays N` federation). Diagnostics only — never rendered
+    /// into the report, which stays byte-identical to a single-relay run.
+    pub relay_events_forwarded: u64,
+    /// Frames the super-relay dropped as cross-relay duplicates (zero in a
+    /// clean-partition federated run: each region owns a disjoint PDS
+    /// slice, so nothing arrives twice).
+    pub relay_duplicates_dropped: u64,
+    /// Frame identities admitted into the cross-relay dedup index.
+    pub relay_dedup_tracked: u64,
 }
 
 impl StreamSummary {
@@ -672,6 +682,14 @@ impl StreamSummary {
                 self.pipeline_batches
             ));
         }
+        if self.relay_events_forwarded > 0 || self.relay_duplicates_dropped > 0 {
+            out.push_str(&format!(
+                "; federation: {} frame(s) forwarded to the super-relay, {} tracked, {} duplicate(s) dropped",
+                self.relay_events_forwarded,
+                self.relay_dedup_tracked,
+                self.relay_duplicates_dropped
+            ));
+        }
         if self.did_doc_fetch_failures > 0 {
             out.push_str(&format!(
                 "; did docs: {} fetch failure(s)",
@@ -735,6 +753,9 @@ impl StreamSummary {
         self.storm_labels_applied += other.storm_labels_applied;
         self.storm_tombstones += other.storm_tombstones;
         self.pipeline_batches += other.pipeline_batches;
+        self.relay_events_forwarded += other.relay_events_forwarded;
+        self.relay_duplicates_dropped += other.relay_duplicates_dropped;
+        self.relay_dedup_tracked += other.relay_dedup_tracked;
     }
 }
 

@@ -387,6 +387,7 @@ fn run_shard<S: ShardSink>(
             .store(spec.store.clone())
             .appview_shards(spec.appview_shards)
             .write_back(spec.write_back)
+            .relays(spec.relays)
             .faults(faults.clone()),
     );
     let mut collector = Collector::new()

@@ -62,6 +62,12 @@ pub struct RunSpec {
     pub store: StoreConfig,
     /// AppView entity-shard count per engine shard.
     pub appview_shards: usize,
+    /// Relay tiers: `1` (the default) runs the classic single relay; `N > 1`
+    /// runs a federated hierarchy of N regional relays forwarding into one
+    /// super-relay with cross-relay dedup (repro `--relays N`). Federated
+    /// runs are byte-identical to single-relay runs by construction — see
+    /// `bsky_relay::federation`.
+    pub relays: usize,
     /// Wrap the AppView's entity stores in a write-back cache (repro
     /// `--writeback on|off`; on by default). Observationally transparent —
     /// reports are byte-identical either way.
@@ -95,6 +101,7 @@ impl RunSpec {
             snapshots: SnapshotMode::default(),
             store: StoreConfig::default(),
             appview_shards: 1,
+            relays: 1,
             write_back: true,
             framing: FramingPolicy::default(),
             faults: FaultSpec::default(),
@@ -177,6 +184,18 @@ impl RunSpec {
     pub fn appview_shards(mut self, shards: usize) -> RunSpec {
         self.appview_shards = shards;
         self
+    }
+
+    /// Select the relay topology: `1` for the classic single relay, `N > 1`
+    /// for N regional relays federated under one super-relay.
+    pub fn relays(mut self, relays: usize) -> RunSpec {
+        self.relays = relays;
+        self
+    }
+
+    /// Whether this spec runs the federated (multi-tier) relay topology.
+    pub fn federation(&self) -> bool {
+        self.relays > 1
     }
 
     /// Toggle the AppView write-back cache.
@@ -277,11 +296,17 @@ impl RunSpec {
         if self.appview_shards == 0 {
             return Err("--appview-shards must be at least 1".into());
         }
+        if self.relays == 0 {
+            return Err("--relays must be at least 1".into());
+        }
         if self.is_grid() {
             // Grid runs sweep seed × scale through the plain streaming
             // engine; every other knob must stay at its default.
             if self.appview_shards > 1 {
                 return Err("--appview-shards cannot be combined with --seeds/--scales".into());
+            }
+            if self.relays > 1 {
+                return Err("--relays cannot be combined with --seeds/--scales".into());
             }
             if self.snapshots != SnapshotMode::default() {
                 return Err("--full-snapshots cannot be combined with --seeds/--scales".into());
@@ -395,6 +420,17 @@ mod tests {
         assert!(base().jobs(0).validate().is_err());
         assert!(base().shards(0).jobs(0).validate().is_err());
         assert!(base().appview_shards(0).validate().is_err());
+        assert!(base().relays(0).validate().is_err());
+    }
+
+    #[test]
+    fn relay_topology_knob() {
+        assert!(!base().federation(), "single relay by default");
+        assert_eq!(base().relays, 1);
+        let fed = base().relays(2);
+        assert!(fed.federation());
+        assert!(fed.validate().is_ok());
+        assert!(base().relays(2).shards(4).jobs(4).validate().is_ok());
     }
 
     #[test]
@@ -411,6 +447,8 @@ mod tests {
         assert!(grid().validate().is_ok());
         let err = grid().appview_shards(2).validate().unwrap_err();
         assert!(err.contains("--appview-shards"), "{err}");
+        let err = grid().relays(2).validate().unwrap_err();
+        assert!(err.contains("--relays"), "{err}");
         let err = grid()
             .snapshots(SnapshotMode::FullRefetch)
             .validate()

@@ -29,6 +29,19 @@ struct MirrorEntry {
     fetched_at: Datetime,
 }
 
+/// Provenance of a firehose event: which PDS outbox produced it, and at
+/// which outbox position. Events that carry no repo revision (identity,
+/// handle, tombstone frames) are deduplicated across relay tiers by this
+/// `(host, outbox_seq)` pair — the same outbox slot delivered twice is the
+/// same event, wherever it travelled.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventOrigin {
+    /// Hostname of the PDS whose outbox produced the event.
+    pub host: String,
+    /// Zero-based position in that outbox.
+    pub outbox_seq: u64,
+}
+
 /// The Relay: PDS crawler, repository mirror and firehose publisher.
 #[derive(Debug, Clone)]
 pub struct Relay {
@@ -48,6 +61,10 @@ pub struct Relay {
     /// traffic observatory. Always on — recording is a couple of integer
     /// pushes per event — and drained by the study producer at day ends.
     wire_tap: WireObserver,
+    /// Provenance of each retained firehose frame, pruned in lockstep with
+    /// the firehose retention window. Downstream relay tiers read this to
+    /// deduplicate events that carry no `(did, rev)` key of their own.
+    origins: BTreeMap<Seq, EventOrigin>,
 }
 
 impl Default for Relay {
@@ -75,6 +92,7 @@ impl Relay {
             store: store.build(),
             car_refs: BTreeMap::new(),
             wire_tap: WireObserver::new(),
+            origins: BTreeMap::new(),
         }
     }
 
@@ -116,9 +134,30 @@ impl Relay {
     /// Crawl every PDS in the fleet, ingesting new events into the firehose.
     /// Returns the number of events ingested.
     pub fn crawl(&mut self, fleet: &PdsFleet, now: Datetime) -> usize {
+        let ingested = self.crawl_hosts(fleet, now, |_| true);
+        self.prune_firehose(now);
+        ingested
+    }
+
+    /// Crawl the subset of PDSes whose hostname passes `accept`, in
+    /// hostname-sorted order — the same order a whole-fleet [`Relay::crawl`]
+    /// visits them, so a set of regional relays holding contiguous slices of
+    /// the sorted hostname list reproduces the single-relay event
+    /// interleaving exactly. Does *not* prune the firehose; callers that
+    /// forward events downstream prune after forwarding.
+    pub fn crawl_hosts(
+        &mut self,
+        fleet: &PdsFleet,
+        now: Datetime,
+        accept: impl Fn(&str) -> bool,
+    ) -> usize {
         let mut ingested = 0usize;
         // Collect hostnames first to keep borrow scopes simple.
-        let hostnames: Vec<String> = fleet.servers().map(|p| p.hostname().to_string()).collect();
+        let hostnames: Vec<String> = fleet
+            .servers()
+            .map(|p| p.hostname().to_string())
+            .filter(|h| accept(h))
+            .collect();
         for hostname in hostnames {
             let server = match fleet.server(&hostname) {
                 Some(s) => s,
@@ -126,65 +165,115 @@ impl Relay {
             };
             let cursor = self.crawl_cursors.get(&hostname).copied().unwrap_or(0);
             let (events, next_cursor) = server.events_since(cursor);
-            for event in events {
+            for (offset, event) in events.iter().enumerate() {
                 let body = match &event.detail {
-                    PdsEventDetail::Commit(result) => {
-                        // Track latest known revision for listRepos. The
-                        // mirror entry (if any) is *kept*: it goes stale, and
-                        // the next `get_repo` refreshes it with a
-                        // `getRepo(since)` delta instead of a full refetch.
-                        self.known_dids
-                            .insert(event.did.to_string(), Some(result.commit.rev.to_string()));
-                        EventBody::Commit {
-                            did: event.did.clone(),
-                            commit: result.commit_cid,
-                            rev: result.commit.rev,
-                            ops: result.ops.clone(),
-                            blocks_bytes: result.bytes_written,
-                            too_big: result.bytes_written > 1_000_000,
-                        }
-                    }
+                    PdsEventDetail::Commit(result) => EventBody::Commit {
+                        did: event.did.clone(),
+                        commit: result.commit_cid,
+                        rev: result.commit.rev,
+                        ops: result.ops.clone(),
+                        blocks_bytes: result.bytes_written,
+                        too_big: result.bytes_written > 1_000_000,
+                    },
                     PdsEventDetail::HandleChange(handle) => EventBody::HandleChange {
                         did: event.did.clone(),
                         handle: handle.clone(),
                     },
-                    PdsEventDetail::IdentityUpdate => {
-                        self.known_dids.entry(event.did.to_string()).or_insert(None);
-                        EventBody::Identity {
-                            did: event.did.clone(),
-                        }
-                    }
-                    PdsEventDetail::AccountDelete => {
-                        self.known_dids.remove(&event.did.to_string());
-                        self.drop_entry(&event.did.to_string());
-                        EventBody::Tombstone {
-                            did: event.did.clone(),
-                        }
-                    }
+                    PdsEventDetail::IdentityUpdate => EventBody::Identity {
+                        did: event.did.clone(),
+                    },
+                    PdsEventDetail::AccountDelete => EventBody::Tombstone {
+                        did: event.did.clone(),
+                    },
                 };
                 let time = if event.at.timestamp() > now.timestamp() {
                     now
                 } else {
                     event.at
                 };
-                let seq = self.firehose.append(time, body);
-                let wire_size = self
-                    .firehose
-                    .iter()
-                    .last()
-                    .map(|e| e.wire_size())
-                    .unwrap_or(0);
-                self.stats.record_event(time, wire_size, seq);
-                // Feed the passive tap: a firehose subscriber's wire carries
-                // this frame at this instant, keyed by the subject DID.
-                self.wire_tap
-                    .record(&event.did.to_string(), time.timestamp(), wire_size as u64);
+                let origin = EventOrigin {
+                    host: hostname.clone(),
+                    outbox_seq: (cursor + offset) as u64,
+                };
+                self.ingest_event(time, body, Some(origin));
                 ingested += 1;
             }
             self.crawl_cursors.insert(hostname, next_cursor);
         }
-        self.firehose.prune(now);
         ingested
+    }
+
+    /// Append one event to the firehose, updating the account table, volume
+    /// stats and passive wire tap exactly as a crawl would. This is the
+    /// ingress path shared by [`Relay::crawl`] and inter-relay forwarding:
+    /// a super-relay receiving a frame from a regional relay feeds it
+    /// through here so its mirror bookkeeping, `listRepos` view and wire
+    /// accounting are indistinguishable from having crawled the PDS itself.
+    pub fn ingest_event(
+        &mut self,
+        time: Datetime,
+        body: EventBody,
+        origin: Option<EventOrigin>,
+    ) -> Seq {
+        match &body {
+            EventBody::Commit { did, rev, .. } => {
+                // Track latest known revision for listRepos. The mirror
+                // entry (if any) is *kept*: it goes stale, and the next
+                // `get_repo` refreshes it with a `getRepo(since)` delta
+                // instead of a full refetch.
+                self.known_dids
+                    .insert(did.to_string(), Some(rev.to_string()));
+            }
+            EventBody::Identity { did } => {
+                self.known_dids.entry(did.to_string()).or_insert(None);
+            }
+            EventBody::Tombstone { did } => {
+                let key = did.to_string();
+                self.known_dids.remove(&key);
+                self.drop_entry(&key);
+            }
+            EventBody::HandleChange { .. } | EventBody::Info { .. } => {}
+        }
+        let tap_key = match &body {
+            EventBody::Commit { did, .. }
+            | EventBody::Identity { did }
+            | EventBody::HandleChange { did, .. }
+            | EventBody::Tombstone { did } => Some(did.to_string()),
+            EventBody::Info { .. } => None,
+        };
+        let seq = self.firehose.append(time, body);
+        let wire_size = self
+            .firehose
+            .iter()
+            .last()
+            .map(|e| e.wire_size())
+            .unwrap_or(0);
+        self.stats.record_event(time, wire_size, seq);
+        // Feed the passive tap: a firehose subscriber's wire carries this
+        // frame at this instant, keyed by the subject DID.
+        if let Some(key) = tap_key {
+            self.wire_tap
+                .record(&key, time.timestamp(), wire_size as u64);
+        }
+        if let Some(origin) = origin {
+            self.origins.insert(seq, origin);
+        }
+        seq
+    }
+
+    /// Prune the firehose retention window, dropping origin records for
+    /// frames that fell out of it.
+    pub fn prune_firehose(&mut self, now: Datetime) {
+        self.firehose.prune(now);
+        match self.firehose.iter().next().map(|e| e.seq) {
+            Some(oldest) => self.origins = self.origins.split_off(&oldest),
+            None => self.origins.clear(),
+        }
+    }
+
+    /// Provenance of a retained firehose frame, if recorded at ingest.
+    pub fn event_origin(&self, seq: Seq) -> Option<&EventOrigin> {
+        self.origins.get(&seq)
     }
 
     /// The firehose log (read access for subscribers and stats).
@@ -202,8 +291,15 @@ impl Relay {
     /// that want to bound their in-flight batch size check this between
     /// simulation steps and crawl once a chunk's worth is pending.
     pub fn pending_events(&self, fleet: &PdsFleet) -> usize {
+        self.pending_events_for(fleet, |_| true)
+    }
+
+    /// Pending-event count restricted to the PDSes whose hostname passes
+    /// `accept` — the per-region slice of [`Relay::pending_events`].
+    pub fn pending_events_for(&self, fleet: &PdsFleet, accept: impl Fn(&str) -> bool) -> usize {
         fleet
             .servers()
+            .filter(|server| accept(server.hostname()))
             .map(|server| {
                 let cursor = self
                     .crawl_cursors
@@ -223,6 +319,12 @@ impl Relay {
     /// Relay-level statistics.
     pub fn stats(&self) -> &RelayStats {
         &self.stats
+    }
+
+    /// Mutable statistics handle for the federation forwarder, which
+    /// accounts forwarded and deduplicated frames on the receiving relay.
+    pub(crate) fn stats_mut(&mut self) -> &mut RelayStats {
+        &mut self.stats
     }
 
     /// `sync.listRepos` served from the relay's own view of the network:

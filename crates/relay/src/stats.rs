@@ -24,6 +24,9 @@ pub struct RelayStats {
     bytes_fetched_from_pds: u64,
     delta_bytes_fetched: u64,
     highest_seq: u64,
+    events_forwarded: u64,
+    duplicates_dropped: u64,
+    dedup_tracked: u64,
 }
 
 impl RelayStats {
@@ -175,6 +178,38 @@ impl RelayStats {
     /// Highest firehose sequence number observed.
     pub fn highest_seq(&self) -> u64 {
         self.highest_seq
+    }
+
+    /// Record one frame forwarded into this relay from an upstream
+    /// (regional) relay tier.
+    pub fn record_forwarded(&mut self) {
+        self.events_forwarded += 1;
+    }
+
+    /// Record one frame dropped by the cross-relay dedup index because it
+    /// already reached this relay via another region.
+    pub fn record_duplicate_dropped(&mut self) {
+        self.duplicates_dropped += 1;
+    }
+
+    /// Record one key admitted into the cross-relay dedup index.
+    pub fn record_dedup_tracked(&mut self) {
+        self.dedup_tracked += 1;
+    }
+
+    /// Frames forwarded into this relay from upstream relay tiers.
+    pub fn events_forwarded(&self) -> u64 {
+        self.events_forwarded
+    }
+
+    /// Frames dropped by cross-relay dedup as already-seen.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// Keys admitted into the cross-relay dedup index.
+    pub fn dedup_tracked(&self) -> u64 {
+        self.dedup_tracked
     }
 }
 

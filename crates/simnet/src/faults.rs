@@ -27,6 +27,7 @@
 //! keeps signup placement a pure function of the population plan.
 
 use crate::rng::SimRng;
+use std::collections::BTreeMap;
 
 /// Cap on consecutive injected failures for one `(key, day)` request
 /// sequence. Keeps give-up decisions stable for any policy with
@@ -139,13 +140,32 @@ impl FaultSpec {
     /// probability keys take `0..=1`; count keys take non-negative
     /// integers. Unknown keys and out-of-range values are errors.
     pub fn parse(input: &str) -> Result<FaultSpec, String> {
-        let mut spec = FaultSpec::default();
+        FaultSpec::parse_onto(FaultSpec::default(), input)
+    }
+
+    /// Parse a `key=value` spec *on top of* an existing base spec — the
+    /// composition path behind `--scenario X --faults Y`: the scenario
+    /// preset is the base and each spec key overrides it, leaving the
+    /// preset's other knobs intact. A key given twice with *different*
+    /// values is contradictory and errors; an identical repeat is
+    /// harmless.
+    pub fn parse_onto(base: FaultSpec, input: &str) -> Result<FaultSpec, String> {
+        let mut spec = base;
+        let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
         for part in input.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec entry '{part}' is not key=value"))?;
             let key = key.trim();
             let value = value.trim();
+            if let Some(prev) = seen.insert(key, value) {
+                if prev != value {
+                    return Err(format!(
+                        "contradictory fault spec: '{key}' given as both '{prev}' and '{value}'"
+                    ));
+                }
+                continue;
+            }
             let fraction = || -> Result<f64, String> {
                 let v: f64 = value
                     .parse()
@@ -568,6 +588,33 @@ mod tests {
         assert!(FaultSpec::parse("flaky=1.5").is_err());
         assert!(FaultSpec::parse("flaky").is_err());
         assert!(FaultSpec::parse("flaky=x").is_err());
+    }
+
+    #[test]
+    fn parse_onto_composes_scenario_presets_with_spec_overrides() {
+        // Spec keys override the preset; untouched preset knobs survive.
+        let base = FaultSpec::scenario("flaky-fetch").unwrap();
+        let spec = FaultSpec::parse_onto(base.clone(), "flaky=0.1,dns=0.2").unwrap();
+        assert_eq!(spec.flaky_fetch, 0.1, "spec overrides the preset");
+        assert_eq!(spec.dns_flap, 0.2, "spec adds on top of the preset");
+        // A preset knob the spec does not mention is kept as-is.
+        let base = FaultSpec::scenario("spam-wave").unwrap();
+        let spec = FaultSpec::parse_onto(base.clone(), "spam=0.1").unwrap();
+        assert_eq!(spec.spam_fraction, 0.1);
+        assert_eq!(spec.spam_rate, base.spam_rate, "preset rate survives");
+        // An empty spec leaves the preset untouched.
+        assert_eq!(FaultSpec::parse_onto(base.clone(), "").unwrap(), base);
+        // Contradictory keys (same key, different values) are errors;
+        // identical repeats are harmless.
+        let err = FaultSpec::parse_onto(FaultSpec::default(), "flaky=0.1,flaky=0.2").unwrap_err();
+        assert!(err.contains("contradictory"), "{err}");
+        let spec = FaultSpec::parse_onto(FaultSpec::default(), "flaky=0.1,flaky=0.1").unwrap();
+        assert_eq!(spec.flaky_fetch, 0.1);
+        // `parse` is `parse_onto` from a quiet base.
+        assert_eq!(
+            FaultSpec::parse("dns=0.3").unwrap(),
+            FaultSpec::parse_onto(FaultSpec::default(), "dns=0.3").unwrap()
+        );
     }
 
     #[test]

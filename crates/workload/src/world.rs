@@ -62,7 +62,7 @@ use bsky_identity::resolver::publish;
 use bsky_identity::{DidDocument, PlcDirectory, PublicSuffixList, TrancoList, WhoisDatabase};
 use bsky_labeler::{LabelerOperator, LabelerRegistry, LabelerService};
 use bsky_pds::{Pds, PdsFleet, PdsOperator};
-use bsky_relay::Relay;
+use bsky_relay::{Relay, RelayFederation};
 use bsky_simnet::dns::DnsZoneStore;
 use bsky_simnet::faults::{FaultCounters, FaultPlan, LABEL_STORM_LOOKBACK_DAYS};
 use bsky_simnet::http::WebSpace;
@@ -153,8 +153,14 @@ pub struct World {
     pub dns: DnsZoneStore,
     /// Web space (well-known documents, did:web documents).
     pub web: WebSpace,
-    /// The Relay.
+    /// The Relay. Under federation this is the *super-relay* (hub): it
+    /// receives every frame forwarded by the regional tier, and every
+    /// consumer (AppView, study collector, observatory taps) keeps reading
+    /// from it unchanged.
     pub relay: Relay,
+    /// The regional relay tier, when [`WorldSpec::relays`] > 1. `None` runs
+    /// the classic single-relay topology.
+    pub federation: Option<RelayFederation>,
     /// The AppView.
     pub appview: AppView,
     /// Labeler registry.
@@ -221,6 +227,11 @@ pub struct WorldSpec {
     /// Wrap each AppView shard's store in a write-back cache (repro
     /// `--writeback on|off`; on by default).
     pub write_back: bool,
+    /// Relay tiers (repro `--relays N`): `1` runs the classic single relay;
+    /// `N > 1` federates N regional relays under the super-relay in
+    /// [`World::relay`]. Byte-identical either way — cross-relay dedup
+    /// makes the hub's stream equal the single relay's by construction.
+    pub relays: usize,
     /// The deterministic fault schedule (quiet by default).
     pub faults: Arc<FaultPlan>,
 }
@@ -235,6 +246,7 @@ impl WorldSpec {
             store: StoreConfig::default(),
             appview_shards: 1,
             write_back: true,
+            relays: 1,
             faults: Arc::new(FaultPlan::quiet()),
         }
     }
@@ -266,6 +278,12 @@ impl WorldSpec {
     /// Toggle the AppView write-back cache.
     pub fn write_back(mut self, write_back: bool) -> WorldSpec {
         self.write_back = write_back;
+        self
+    }
+
+    /// Select the relay topology (`1` = single relay, `N > 1` = federated).
+    pub fn relays(mut self, relays: usize) -> WorldSpec {
+        self.relays = relays;
         self
     }
 
@@ -304,6 +322,7 @@ impl World {
             store,
             appview_shards,
             write_back,
+            relays,
             faults,
         } = spec;
         let plan = plan.unwrap_or_else(|| Arc::new(PopulationPlan::build(&config)));
@@ -349,6 +368,7 @@ impl World {
             dns: DnsZoneStore::new(),
             web: WebSpace::new(),
             relay: Relay::with_store("bsky.network", &store),
+            federation: (relays > 1).then(|| RelayFederation::new(relays, &store)),
             appview: AppView::with_shards(appview_shards, &store, write_back),
             labelers: LabelerRegistry::new(),
             labeler_info: Vec::new(),
@@ -515,15 +535,29 @@ impl World {
         self.today = day.plus_days(1);
     }
 
-    /// Relay events produced by the fleet but not yet crawled.
+    /// Relay events produced by the fleet but not yet crawled (by the
+    /// single relay, or by the regional tier under federation).
     fn pending_relay_events(&self) -> usize {
-        self.relay.pending_events(&self.fleet)
+        match &self.federation {
+            Some(fed) => fed.pending_events(&self.fleet),
+            None => self.relay.pending_events(&self.fleet),
+        }
     }
 
-    /// Crawl the relay and let the AppView process the newly ingested
-    /// events.
+    /// Crawl the relay tier and let the AppView process the newly ingested
+    /// events. Under federation the regions crawl their PDS slices and
+    /// forward into the super-relay; either way the AppView subscribes to
+    /// `self.relay` and sees the identical stream.
     fn crawl_and_index(&mut self, day: Datetime) {
-        self.relay.crawl(&self.fleet, day.plus_seconds(86_399));
+        let now = day.plus_seconds(86_399);
+        match self.federation.as_mut() {
+            Some(fed) => {
+                fed.crawl_and_forward(&mut self.relay, &self.fleet, now);
+            }
+            None => {
+                self.relay.crawl(&self.fleet, now);
+            }
+        }
         let sub = self.relay.subscribe(self.appview_cursor);
         self.appview_cursor = sub.cursor;
         for event in &sub.events {
@@ -1192,6 +1226,9 @@ impl World {
     pub fn store_stats(&self) -> StoreStats {
         let mut stats = self.fleet.store_stats();
         stats.absorb(&self.relay.store_stats());
+        if let Some(fed) = &self.federation {
+            stats.absorb(&fed.store_stats());
+        }
         stats.absorb(&self.appview.store_stats());
         stats
     }
@@ -1603,5 +1640,53 @@ mod tests {
             coarse.appview.index().post_count(),
             fine.appview.index().post_count()
         );
+    }
+
+    #[test]
+    fn federated_world_matches_single_relay_world() {
+        let config = small_config();
+        let mut single = World::new(config);
+        let mut fed = World::from_spec(WorldSpec::new(config).relays(2));
+        for _ in 0..45 {
+            single.step_day();
+            fed.step_day();
+        }
+        assert_eq!(single.ground_truth_totals(), fed.ground_truth_totals());
+        // The super-relay's firehose equals the single relay's: same frame
+        // bodies, times and sequence numbers, same lifetime volume.
+        assert_eq!(
+            single.relay.subscribe(0).events,
+            fed.relay.subscribe(0).events
+        );
+        assert_eq!(
+            single.relay.firehose().total_events(),
+            fed.relay.firehose().total_events()
+        );
+        assert_eq!(
+            single.relay.stats().total_bytes(),
+            fed.relay.stats().total_bytes()
+        );
+        assert_eq!(
+            single.relay.known_account_count(),
+            fed.relay.known_account_count()
+        );
+        assert_eq!(
+            single.appview.index().post_count(),
+            fed.appview.index().post_count()
+        );
+        assert_eq!(
+            single.appview.index().events_processed(),
+            fed.appview.index().events_processed()
+        );
+        // Everything travelled through the regional tier: forwarding and
+        // dedup tracking are live, and a clean partition never deduplicates.
+        let stats = fed.relay.stats();
+        assert!(stats.events_forwarded() > 0);
+        assert_eq!(stats.events_forwarded(), stats.dedup_tracked());
+        assert_eq!(stats.duplicates_dropped(), 0);
+        let tier = fed.federation.as_mut().unwrap();
+        assert_eq!(tier.region_count(), 2);
+        let traces = tier.take_link_traces();
+        assert_eq!(traces.len(), 2, "one tap per region→hub wire");
     }
 }

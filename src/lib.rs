@@ -39,8 +39,8 @@
 //!
 //! Every knob a study run has — seeds, scales, engine shards and worker
 //! threads, snapshot mode, block-store backend, AppView entity shards, the
-//! write-back cache, wire framing, fault scenario — lives on one builder,
-//! `bsky_study::RunSpec`:
+//! write-back cache, wire framing, relay topology, fault scenario — lives
+//! on one builder, `bsky_study::RunSpec`:
 //!
 //! ```ignore
 //! let spec = RunSpec::new(config)
@@ -210,6 +210,45 @@
 //! The active policy's real cost *is* visible where it belongs:
 //! `bsky_study::StreamSummary` counts wire frames, padding overhead
 //! bytes, identity lookups, and observer drops.
+//!
+//! ## Hierarchical relay federation
+//!
+//! One relay crawling every PDS is the million-DID bottleneck: its
+//! firehose retention, known-DID index and crawl cursors all grow with
+//! the fleet. `bsky_relay::RelayFederation` (repro `--relays N`,
+//! `RunSpec::relays`) splits the crawl hierarchically:
+//!
+//! ```text
+//!   PDS fleet (hostname-sorted)          regional relays      super-relay
+//!   [pds00 pds01 | pds02 pds03]  --->  relay00  relay01  --->    hub
+//!        region 0      region 1         (crawl)  (crawl)      (collector)
+//! ```
+//!
+//! Each regional relay owns a *contiguous slice* of the hostname-sorted
+//! fleet and crawls only that slice; the super-relay never talks to a PDS
+//! for its firehose — regions forward their streams through
+//! cursor-resumable subscriptions (`Relay::subscribe` from the last
+//! forwarded seq, so a region outage resumes without loss) into the hub,
+//! which re-sequences them densely. A cross-relay dedup index drops
+//! commits by `(did, rev)` — the rev is a monotonic per-repo TID, so the
+//! pair names one commit globally — and revision-less frames (identity,
+//! handle change, tombstone) by their crawl provenance `(host,
+//! outbox_seq)`; a commit reaching the hub via two regions is emitted
+//! exactly once, and the index ages out with the firehose retention
+//! window. Because region 0..N−1 forward in the same order a single
+//! relay's sorted crawl would visit, the hub's stream is **byte-identical**
+//! to the classic single-relay firehose — seqs, wire sizes, stats, known
+//! DIDs — pinned by `tests/federation_golden.rs` across engines, stores
+//! and seeds against the pre-federation goldens. A relay joining late
+//! backfills through the same `getRepo(since)` delta path the study
+//! mirror uses (`RelayFederation::backfill_region`). Forwarding volume,
+//! dedup admissions and duplicate drops are `RelayStats` /
+//! `bsky_study::StreamSummary` counters, and inter-relay links run
+//! through the same bounded `WireObserver` tap as every other wire. The
+//! scale-out story is measured, not asserted: the streaming bench exports
+//! `bytes_per_did` / `ns_per_day_per_did` at two population scales and
+//! bench-compare enforces the larger population staying strictly cheaper
+//! per DID.
 //!
 //! ## Deterministic fault injection & scenarios
 //!
